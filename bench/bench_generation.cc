@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the generation pipeline:
+ * the paper's claim that "RTLCheck's assertion and assumption
+ * generation phase takes just seconds" per test (§1, §7.2), plus the
+ * performance-critical inner loops (SoC elaboration, simulation
+ * stepping, NFA compilation, µspec instantiation).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "litmus/suite.hh"
+#include "rtl/simulator.hh"
+#include "rtlcheck/assertion_gen.hh"
+#include "rtlcheck/assumption_gen.hh"
+#include "rtlcheck/runner.hh"
+#include "sva/nfa.hh"
+#include "uspec/eval.hh"
+#include "uspec/multivscale.hh"
+#include "uspec/parser.hh"
+
+using namespace rtlcheck;
+
+namespace {
+
+/** Full generation phase (assumptions + assertions) for one test. */
+void
+BM_GenerationPhase(benchmark::State &state, const char *test_name)
+{
+    const litmus::Test &test = litmus::suiteTest(test_name);
+    for (auto _ : state) {
+        vscale::Program program = vscale::lower(test);
+        rtl::Design design;
+        vscale::buildSoc(design, program,
+                         vscale::MemoryVariant::Fixed);
+        sva::PredicateTable preds;
+        core::VscaleNodeMapping mapping(design, preds, program);
+        auto assumptions = core::generateAssumptions(
+            design, preds, program, mapping);
+        auto props = core::generateAssertions(
+            uspec::multiVscaleModel(), test, mapping, preds);
+        benchmark::DoNotOptimize(assumptions);
+        benchmark::DoNotOptimize(props);
+    }
+}
+
+void
+BM_SocElaboration(benchmark::State &state)
+{
+    const litmus::Test &test = litmus::suiteTest("mp");
+    vscale::Program program = vscale::lower(test);
+    for (auto _ : state) {
+        rtl::Design design;
+        vscale::buildSoc(design, program,
+                         vscale::MemoryVariant::Fixed);
+        rtl::Netlist netlist(design);
+        benchmark::DoNotOptimize(netlist.numNodes());
+    }
+}
+
+void
+BM_SimulatorStep(benchmark::State &state)
+{
+    const litmus::Test &test = litmus::suiteTest("mp");
+    vscale::Program program = vscale::lower(test);
+    rtl::Design design;
+    vscale::buildSoc(design, program, vscale::MemoryVariant::Fixed);
+    rtl::Netlist netlist(design);
+    rtl::Simulator sim(netlist);
+    std::uint32_t sel = 0;
+    for (auto _ : state) {
+        sim.step({sel});
+        sel = (sel + 1) & 3;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+BM_UspecParse(benchmark::State &state)
+{
+    for (auto _ : state) {
+        uspec::Model m =
+            uspec::parseModel(uspec::multiVscaleSource());
+        benchmark::DoNotOptimize(m.axioms.size());
+    }
+}
+
+void
+BM_UspecInstantiate(benchmark::State &state, const char *test_name)
+{
+    const litmus::Test &test = litmus::suiteTest(test_name);
+    for (auto _ : state) {
+        auto instances =
+            uspec::instantiate(uspec::multiVscaleModel(), test,
+                               uspec::EvalMode::OutcomeAgnostic);
+        benchmark::DoNotOptimize(instances.size());
+    }
+}
+
+void
+BM_NfaCompile(benchmark::State &state)
+{
+    sva::Seq seq = sva::sChain({sva::sStar(0), sva::sPred(1),
+                                sva::sStar(0), sva::sPred(2)});
+    for (auto _ : state) {
+        sva::Nfa nfa = sva::Nfa::compile(seq);
+        benchmark::DoNotOptimize(nfa.numStates());
+    }
+}
+
+void
+BM_EndToEndVerify(benchmark::State &state, const char *test_name)
+{
+    const litmus::Test &test = litmus::suiteTest(test_name);
+    core::RunOptions o;
+    o.variant = vscale::MemoryVariant::Fixed;
+    o.config = formal::fullProofConfig();
+    for (auto _ : state) {
+        core::TestRun run =
+            core::runTest(test, uspec::multiVscaleModel(), o);
+        benchmark::DoNotOptimize(run.verify.graphNodes);
+    }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_GenerationPhase, mp, "mp");
+BENCHMARK_CAPTURE(BM_GenerationPhase, iriw, "iriw");
+BENCHMARK_CAPTURE(BM_GenerationPhase, rfi011, "rfi011");
+BENCHMARK(BM_SocElaboration);
+BENCHMARK(BM_SimulatorStep);
+BENCHMARK(BM_UspecParse);
+BENCHMARK_CAPTURE(BM_UspecInstantiate, mp, "mp");
+BENCHMARK_CAPTURE(BM_UspecInstantiate, rfi011, "rfi011");
+BENCHMARK(BM_NfaCompile);
+BENCHMARK_CAPTURE(BM_EndToEndVerify, mp, "mp");
+BENCHMARK_CAPTURE(BM_EndToEndVerify, podwr001, "podwr001");
+
+BENCHMARK_MAIN();

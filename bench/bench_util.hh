@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries that regenerate the
+ * paper's tables and figures. Each bench prints the rows/series the
+ * paper reports; EXPERIMENTS.md records paper-vs-measured values.
+ */
+
+#ifndef RTLCHECK_BENCH_BENCH_UTIL_HH
+#define RTLCHECK_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "litmus/suite.hh"
+#include "rtlcheck/runner.hh"
+#include "uspec/multivscale.hh"
+
+namespace rtlcheck::bench {
+
+/** Run one suite test under a config on the fixed design. */
+inline core::TestRun
+runFixed(const litmus::Test &test, const formal::EngineConfig &config)
+{
+    core::RunOptions o;
+    o.variant = vscale::MemoryVariant::Fixed;
+    o.config = config;
+    return core::runTest(test, uspec::multiVscaleModel(), o);
+}
+
+inline void
+printHeader(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("==============================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("(reproduces %s of the RTLCheck paper)\n",
+                paper_ref.c_str());
+    std::printf("==============================================\n\n");
+}
+
+} // namespace rtlcheck::bench
+
+#endif // RTLCHECK_BENCH_BENCH_UTIL_HH

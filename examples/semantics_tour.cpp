@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The paper's Figure 4, §3: why axiomatic and temporal verification
+ * differ, demonstrated executably on the abstract machine
+ * atomic_mach (instructions atomic, in program order) and on real
+ * traces of the RTL.
+ *
+ *   - Figure 4a (axiomatic): generate all executions of mp, check
+ *     each as a whole, exclude by outcome. We use the SC reference
+ *     executor and print the outcome table.
+ *   - Figure 4b (temporal): executions are generated step by step;
+ *     outcome filtering cannot look into the future, so partial
+ *     executions of *every* outcome must satisfy the properties —
+ *     the reason RTLCheck's assertions must be outcome-aware (§3.2).
+ *   - §3.3/§3.4: the two naive-translation pitfalls on hand traces.
+ *
+ * Run:  ./semantics_tour
+ */
+
+#include <cstdio>
+
+#include "litmus/sc_ref.hh"
+#include "litmus/suite.hh"
+#include "rtlcheck/runner.hh"
+#include "sva/trace_checker.hh"
+#include "uspec/multivscale.hh"
+
+using namespace rtlcheck;
+
+int
+main()
+{
+    const litmus::Test &mp = litmus::suiteTest("mp");
+    std::printf("=== Axiomatic vs temporal (SS3, Figure 4) ===\n\n");
+    std::printf("Litmus test: %s\n\n", mp.summary().c_str());
+
+    // --- Figure 4a: axiomatic, whole executions. -------------------
+    litmus::ScExecutor sc(mp);
+    auto outcomes = sc.allOutcomes();
+    std::printf("Figure 4a — all SC executions of mp, checked as "
+                "wholes:\n");
+    for (const auto &o : outcomes) {
+        std::printf("  r1=%u r2=%u  %s\n",
+                    o.loadValues.at({1, 0}), o.loadValues.at({1, 1}),
+                    sc.matchesConstraints(o)
+                        ? "<- the outcome under test"
+                        : "(excluded by outcome)");
+    }
+    std::printf("  the forbidden outcome r1=1,r2=0 appears in none "
+                "of the %zu executions: unobservable.\n\n",
+                outcomes.size());
+
+    // --- Figure 4b: temporal, step by step. ------------------------
+    std::printf("Figure 4b — temporal verification cannot filter by "
+                "outcome:\n");
+    std::printf("  the engine explores executions cycle by cycle; a "
+                "load-value assumption only prunes a branch at the "
+                "cycle the load actually returns the wrong value, "
+                "never earlier.\n");
+    core::RunOptions o;
+    o.variant = vscale::MemoryVariant::Fixed;
+    core::RunOptions no_assumptions = o;
+    no_assumptions.useValueAssumptions = false;
+    no_assumptions.useFinalValueCover = false;
+    core::TestRun with_a =
+        core::runTest(mp, uspec::multiVscaleModel(), o);
+    core::TestRun without_a =
+        core::runTest(mp, uspec::multiVscaleModel(), no_assumptions);
+    std::printf("  explored states with load-value assumptions: %zu; "
+                "without: %zu — partial executions of every outcome "
+                "are examined either way (SS3.1).\n\n",
+                with_a.verify.graphNodes, without_a.verify.graphNodes);
+
+    // The assertions survive this because they are outcome-aware:
+    // each Read_Values property ORs the branches for every value the
+    // load can return (SS3.2/SS4.2).
+    std::printf("  outcome-aware assertions hold on all of them: %d "
+                "proven, %d falsified (without assumptions: %d "
+                "proven, %d falsified)\n\n",
+                with_a.verify.numProven(),
+                with_a.verify.numFalsified(),
+                without_a.verify.numProven(),
+                without_a.verify.numFalsified());
+
+    // --- SS3.4: fire-always vs fire-once on a tiny trace. ----------
+    std::printf("SS3.4 — naive per-cycle match attempts contradict "
+                "microarchitectural intent:\n");
+    sva::Property prop;
+    prop.name = "##2 <st_x_wb>";
+    // Predicate 0 = "St x is in WB"; the property: it happens two
+    // cycles after the start of the execution.
+    prop.branches = {{sva::sChain({sva::sPred(1), sva::sPred(1),
+                                   sva::sPred(0)})}};
+    sva::PredMask quiet{};
+    quiet[0] = 2; // predicate 1 ("true") only
+    sva::PredMask event{};
+    event[0] = 3; // predicates 0 and 1
+    sva::Trace trace{quiet, quiet, event, quiet, quiet};
+    std::printf("  anchored (first |->): %s\n",
+                sva::triName(sva::checkFireOnce(prop, trace)).c_str());
+    std::printf("  fire-always          : %s  <- false alarm on a "
+                "correct trace\n\n",
+                sva::triName(sva::checkFireAlways(prop, trace))
+                    .c_str());
+
+    bool ok = !sc.outcomeObservable() && with_a.verified() &&
+              without_a.verify.numFalsified() == 0 &&
+              sva::checkFireOnce(prop, trace) == sva::Tri::Matched &&
+              sva::checkFireAlways(prop, trace) == sva::Tri::Failed;
+    std::printf("%s\n", ok ? "All demonstrations behaved as the "
+                             "paper describes."
+                           : "Unexpected result!");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,15 @@
+#include "bitvector.hh"
+
+#include <sstream>
+
+namespace rtlcheck {
+
+std::string
+BitVector::toString() const
+{
+    std::ostringstream oss;
+    oss << _width << "'d" << _bits;
+    return oss.str();
+}
+
+} // namespace rtlcheck

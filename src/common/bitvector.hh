@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Two-state bit-vector value type used throughout the RTL substrate.
+ *
+ * Widths are limited to 64 bits, which covers every signal in the
+ * designs this library models (the widest V-scale signal is 32 bits).
+ * All arithmetic is performed modulo 2^width, mirroring the semantics
+ * of synthesizable Verilog expressions over two-state values.
+ */
+
+#ifndef RTLCHECK_COMMON_BITVECTOR_HH
+#define RTLCHECK_COMMON_BITVECTOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "logging.hh"
+
+namespace rtlcheck {
+
+/**
+ * A fixed-width two-state bit vector.
+ *
+ * Invariant: bits above `width` are always zero, so equality and
+ * hashing can operate on the raw payload directly.
+ */
+class BitVector
+{
+  public:
+    /** Construct a zero-valued vector of the given width. */
+    explicit BitVector(unsigned width = 1)
+        : _width(width), _bits(0)
+    {
+        RC_ASSERT(width >= 1 && width <= 64, "width=", width);
+    }
+
+    /** Construct with a value, truncated to the width. */
+    BitVector(unsigned width, std::uint64_t value)
+        : _width(width), _bits(value & maskFor(width))
+    {
+        RC_ASSERT(width >= 1 && width <= 64, "width=", width);
+    }
+
+    unsigned width() const { return _width; }
+    std::uint64_t bits() const { return _bits; }
+
+    /** True iff any bit is set (Verilog truthiness). */
+    bool toBool() const { return _bits != 0; }
+
+    bool operator==(const BitVector &o) const = default;
+
+    /** Bit mask with the low `width` bits set. */
+    static std::uint64_t
+    maskFor(unsigned width)
+    {
+        return width >= 64 ? ~std::uint64_t(0)
+                           : ((std::uint64_t(1) << width) - 1);
+    }
+
+    /** Render as Verilog-style literal, e.g. 32'd7. */
+    std::string toString() const;
+
+  private:
+    unsigned _width;
+    std::uint64_t _bits;
+};
+
+} // namespace rtlcheck
+
+#endif // RTLCHECK_COMMON_BITVECTOR_HH

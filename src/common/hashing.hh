@@ -1,0 +1,55 @@
+/**
+ * @file
+ * 64-bit hashing utilities for design-state deduplication.
+ *
+ * The formal engine stores millions of flat state vectors; it needs a
+ * fast, well-mixed 64-bit hash over word arrays. We use the splitmix64
+ * finalizer as the per-word mixer in a simple multiply-accumulate
+ * scheme (this is not cryptographic, and does not need to be).
+ */
+
+#ifndef RTLCHECK_COMMON_HASHING_HH
+#define RTLCHECK_COMMON_HASHING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rtlcheck {
+
+/** splitmix64 finalizer: a cheap full-avalanche 64-bit mixer. */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Combine a hash with another value, order-sensitively. */
+inline std::uint64_t
+hashCombine(std::uint64_t seed, std::uint64_t v)
+{
+    return mix64(seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6)));
+}
+
+/** Hash a word array (e.g. a flattened design state). */
+inline std::uint64_t
+hashWords(const std::uint32_t *data, std::size_t n)
+{
+    std::uint64_t h = 0x51ab6e1dcdbca2f1ull ^ (n * 0x9e3779b97f4a7c15ull);
+    for (std::size_t i = 0; i < n; ++i)
+        h = hashCombine(h, data[i]);
+    return h;
+}
+
+inline std::uint64_t
+hashWords(const std::vector<std::uint32_t> &v)
+{
+    return hashWords(v.data(), v.size());
+}
+
+} // namespace rtlcheck
+
+#endif // RTLCHECK_COMMON_HASHING_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant
+ * violations (bugs in this library), fatal() for user errors that
+ * prevent continuing (bad input files, malformed models), warn() and
+ * inform() for non-fatal status messages.
+ */
+
+#ifndef RTLCHECK_COMMON_LOGGING_HH
+#define RTLCHECK_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace rtlcheck {
+
+/** Print a diagnostic and abort(); used for internal bugs. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a diagnostic and exit(1); used for user-caused errors. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr; execution continues. */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stderr; execution continues. */
+void informImpl(const std::string &msg);
+
+/** Build a string from stream-insertable pieces. */
+template <typename... Args>
+std::string
+catStr(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace rtlcheck
+
+#define RC_PANIC(...) \
+    ::rtlcheck::panicImpl(__FILE__, __LINE__, ::rtlcheck::catStr(__VA_ARGS__))
+
+#define RC_FATAL(...) \
+    ::rtlcheck::fatalImpl(__FILE__, __LINE__, ::rtlcheck::catStr(__VA_ARGS__))
+
+#define RC_WARN(...) \
+    ::rtlcheck::warnImpl(::rtlcheck::catStr(__VA_ARGS__))
+
+#define RC_INFORM(...) \
+    ::rtlcheck::informImpl(::rtlcheck::catStr(__VA_ARGS__))
+
+/** Invariant check that panics with a message when violated. */
+#define RC_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::rtlcheck::panicImpl(__FILE__, __LINE__, \
+                ::rtlcheck::catStr("assertion failed: " #cond " ", \
+                                   ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // RTLCHECK_COMMON_LOGGING_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Small string utilities shared by the parsers and report printers.
+ */
+
+#ifndef RTLCHECK_COMMON_STRUTIL_HH
+#define RTLCHECK_COMMON_STRUTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace rtlcheck {
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** Split on a delimiter character; empty fields are preserved. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** True iff `s` starts with `prefix`. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Join strings with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+} // namespace rtlcheck
+
+#endif // RTLCHECK_COMMON_STRUTIL_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * SV assumptions consumed by the formal engine (paper §4.1).
+ *
+ * Three kinds, mirroring the Assumption Generator's output:
+ *
+ *  - InitialPin: `first |-> <state> == <value>` — pins part of the
+ *    otherwise-free post-reset state (memory words, registers). Our
+ *    explicit-state engine applies these by constructing the pinned
+ *    initial state, which is exactly how a model checker discharges
+ *    an assumption that only constrains cycle 0.
+ *
+ *  - Implication: `ant |-> cons`, checked every cycle. Transitions
+ *    whose cycle satisfies `ant` but not `cons` are pruned — i.e.
+ *    executions are removed only *after* the offending event occurs,
+ *    the JasperGold behaviour §3.1 describes.
+ *
+ *  - FinalValueCover: the final-value assumption. The engine searches
+ *    for a covering transition (antecedent: all cores halted;
+ *    consequent: required final memory values). If none is reachable
+ *    the assumption is *unreachable* and the litmus test is verified
+ *    without checking any assertion (§4.1); if one is reachable on a
+ *    buggy design, its witness trace exhibits the forbidden outcome.
+ */
+
+#ifndef RTLCHECK_FORMAL_ASSUMPTIONS_HH
+#define RTLCHECK_FORMAL_ASSUMPTIONS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rtlcheck::formal {
+
+struct Assumption
+{
+    enum class Kind { InitialPin, Implication, FinalValueCover };
+
+    Kind kind = Kind::Implication;
+    std::string name;
+    std::string svaText;   ///< rendered SystemVerilog
+
+    // InitialPin
+    std::size_t stateSlot = 0;
+    std::uint32_t value = 0;
+
+    // Implication / FinalValueCover (predicate-table ids)
+    int antecedent = -1;
+    int consequent = -1;
+};
+
+} // namespace rtlcheck::formal
+
+#endif // RTLCHECK_FORMAL_ASSUMPTIONS_HH

@@ -1,0 +1,250 @@
+#include "engine.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <unordered_map>
+
+#include "common/hashing.hh"
+#include "common/logging.hh"
+
+namespace rtlcheck::formal {
+
+EngineConfig
+hybridConfig()
+{
+    // Table 1's Hybrid row: a mix of bounded engines and full-proof
+    // engines. The analogues of its engine budgets are a bounded
+    // state-exploration allowance and a small per-property product
+    // allowance, so larger tests receive bounded proofs.
+    return EngineConfig{"Hybrid", 100, 64};
+}
+
+EngineConfig
+fullProofConfig()
+{
+    // Table 1's Full_Proof row: exclusively full-proof engines with
+    // a larger memory budget. Exploration is unlimited; only the
+    // very largest properties fall back to bounded proofs.
+    return EngineConfig{"Full_Proof", 0, 150};
+}
+
+std::string
+proofStatusName(ProofStatus s)
+{
+    switch (s) {
+      case ProofStatus::Proven:
+        return "proven";
+      case ProofStatus::Bounded:
+        return "bounded";
+      case ProofStatus::Falsified:
+        return "falsified";
+    }
+    return "?";
+}
+
+int
+VerifyResult::numProven() const
+{
+    int n = 0;
+    for (const auto &p : properties)
+        n += p.status == ProofStatus::Proven;
+    return n;
+}
+
+int
+VerifyResult::numBounded() const
+{
+    int n = 0;
+    for (const auto &p : properties)
+        n += p.status == ProofStatus::Bounded;
+    return n;
+}
+
+int
+VerifyResult::numFalsified() const
+{
+    int n = 0;
+    for (const auto &p : properties)
+        n += p.status == ProofStatus::Falsified;
+    return n;
+}
+
+bool
+VerifyResult::clean() const
+{
+    return !coverReached && numFalsified() == 0;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** NFA-product check of one property over the cached state graph. */
+PropertyResult
+checkProperty(const StateGraph &graph, const sva::Property &prop,
+              std::size_t max_states)
+{
+    PropertyResult result;
+    result.name = prop.name;
+
+    sva::PropertyRuntime rt(prop);
+
+    struct ProductState
+    {
+        std::uint32_t node;
+        sva::PropertyRuntime::State prop;
+        std::uint32_t parent;
+        std::uint8_t input;
+        std::uint32_t depth;
+    };
+
+    std::vector<ProductState> states;
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> dedup;
+    std::vector<std::uint32_t> key;
+
+    auto keyOf = [&](std::uint32_t node,
+                     const sva::PropertyRuntime::State &ps) {
+        key.clear();
+        key.push_back(node);
+        rt.appendKey(ps, key);
+        return hashWords(key);
+    };
+
+    auto intern = [&](std::uint32_t node,
+                      sva::PropertyRuntime::State ps,
+                      std::uint32_t parent, std::uint8_t input,
+                      std::uint32_t depth) -> std::int64_t {
+        std::uint64_t h = keyOf(node, ps);
+        auto &bucket = dedup[h];
+        for (std::uint32_t id : bucket) {
+            const ProductState &other = states[id];
+            if (other.node == node &&
+                other.prop.matched == ps.matched &&
+                other.prop.live == ps.live) {
+                return -1;
+            }
+        }
+        std::uint32_t id = static_cast<std::uint32_t>(states.size());
+        states.push_back(ProductState{node, std::move(ps), parent,
+                                      input, depth});
+        bucket.push_back(id);
+        return id;
+    };
+
+    auto tracePath = [&](std::uint32_t id) {
+        WitnessTrace trace;
+        while (states[id].parent != id) {
+            trace.inputs.push_back(states[id].input);
+            id = states[id].parent;
+        }
+        std::reverse(trace.inputs.begin(), trace.inputs.end());
+        return trace;
+    };
+
+    std::int64_t root = intern(0, rt.initial(), 0, 0, 0);
+    RC_ASSERT(root == 0);
+    states[0].parent = 0;
+
+    std::deque<std::uint32_t> frontier{0};
+    bool truncated = false;
+    std::uint32_t truncated_depth = 0;
+
+    while (!frontier.empty()) {
+        std::uint32_t id = frontier.front();
+        frontier.pop_front();
+
+        sva::Tri status = rt.status(states[id].prop);
+        if (status == sva::Tri::Failed) {
+            result.status = ProofStatus::Falsified;
+            result.counterexample = tracePath(id);
+            result.productStates = states.size();
+            return result;
+        }
+        if (status == sva::Tri::Matched)
+            continue; // satisfied on every extension of this path
+
+        if (max_states && states.size() >= max_states) {
+            truncated = true;
+            truncated_depth = states[id].depth;
+            break;
+        }
+
+        for (const GraphEdge &e : graph.outEdges(states[id].node)) {
+            sva::PropertyRuntime::State next = states[id].prop;
+            rt.step(next, e.preds);
+            std::int64_t nid = intern(e.dst, std::move(next), id,
+                                      e.input, states[id].depth + 1);
+            if (nid >= 0)
+                frontier.push_back(static_cast<std::uint32_t>(nid));
+        }
+    }
+
+    result.productStates = states.size();
+    if (!truncated && graph.complete()) {
+        result.status = ProofStatus::Proven;
+    } else {
+        result.status = ProofStatus::Bounded;
+        std::uint32_t bound = graph.exploredDepth();
+        if (truncated)
+            bound = std::min(bound, truncated_depth);
+        result.boundCycles = bound;
+    }
+    return result;
+}
+
+} // namespace
+
+VerifyResult
+verify(const rtl::Netlist &netlist, const sva::PredicateTable &preds,
+       const std::vector<Assumption> &assumptions,
+       const std::vector<sva::Property> &properties,
+       const EngineConfig &config)
+{
+    VerifyResult result;
+
+    auto t0 = Clock::now();
+    ExploreLimits limits;
+    limits.maxNodes = config.exploreMaxNodes;
+    StateGraph graph(netlist, assumptions, preds, limits);
+    result.exploreSeconds = secondsSince(t0);
+
+    result.graphNodes = graph.numNodes();
+    result.graphEdges = graph.numEdges();
+    result.graphComplete = graph.complete();
+    result.graphDepth = graph.exploredDepth();
+
+    bool any_cover = false;
+    bool have_cover_assumption = false;
+    for (const Assumption &a : assumptions)
+        have_cover_assumption |=
+            a.kind == Assumption::Kind::FinalValueCover;
+    for (const CoverHit &hit : graph.coverHits()) {
+        if (hit.reached) {
+            any_cover = true;
+            WitnessTrace w;
+            w.inputs = graph.pathTo(hit.node);
+            w.inputs.push_back(hit.input);
+            result.coverWitness = w;
+        }
+    }
+    result.coverReached = any_cover;
+    result.coverUnreachable =
+        have_cover_assumption && !any_cover && graph.complete();
+
+    auto t1 = Clock::now();
+    for (const sva::Property &prop : properties) {
+        result.properties.push_back(
+            checkProperty(graph, prop, config.productMaxStates));
+    }
+    result.checkSeconds = secondsSince(t1);
+    return result;
+}
+
+} // namespace rtlcheck::formal

@@ -1,0 +1,183 @@
+#include "state_graph.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/hashing.hh"
+#include "common/logging.hh"
+
+namespace rtlcheck::formal {
+
+StateGraph::StateGraph(const rtl::Netlist &netlist,
+                       const std::vector<Assumption> &assumptions,
+                       const sva::PredicateTable &preds,
+                       const ExploreLimits &limits)
+    : _netlist(netlist), _initial(netlist.initialState())
+{
+    // Apply initial-state pins and collect the per-cycle assumptions.
+    std::vector<const Assumption *> implications;
+    std::vector<const Assumption *> covers;
+    for (const Assumption &a : assumptions) {
+        switch (a.kind) {
+          case Assumption::Kind::InitialPin:
+            RC_ASSERT(a.stateSlot < _initial.size());
+            _initial[a.stateSlot] = a.value;
+            break;
+          case Assumption::Kind::Implication:
+            implications.push_back(&a);
+            break;
+          case Assumption::Kind::FinalValueCover:
+            // A final-value assumption both prunes (executions that
+            // halt with the wrong final memory are invalid) and is
+            // the target of the cover search (§4.1).
+            covers.push_back(&a);
+            implications.push_back(&a);
+            break;
+        }
+    }
+    _covers.assign(covers.size(), CoverHit{});
+
+    // Input enumeration: the flattened valuation is the
+    // concatenation of all primary inputs, LSB-first.
+    unsigned total_bits = 0;
+    for (const auto &in : netlist.inputs()) {
+        _inputWidths.push_back(in.width);
+        total_bits += in.width;
+    }
+    RC_ASSERT(total_bits <= 8,
+              "too many free input bits for exhaustive enumeration");
+    _numInputs = 1u << total_bits;
+
+    const std::size_t words = netlist.stateWords();
+    auto stateAt = [&](std::uint32_t id) {
+        return _stateArena.data() +
+               static_cast<std::size_t>(id) * words;
+    };
+
+    auto intern = [&](const rtl::StateVec &s,
+                      bool &is_new) -> std::uint32_t {
+        std::uint64_t h = hashWords(s);
+        auto &bucket = _dedup[h];
+        for (std::uint32_t id : bucket) {
+            if (std::equal(s.begin(), s.end(), stateAt(id))) {
+                is_new = false;
+                return id;
+            }
+        }
+        std::uint32_t id = static_cast<std::uint32_t>(_edges.size());
+        _stateArena.insert(_stateArena.end(), s.begin(), s.end());
+        _edges.emplace_back();
+        _depth.push_back(0);
+        _parent.push_back({id, 0});
+        bucket.push_back(id);
+        is_new = true;
+        return id;
+    };
+
+    bool is_new = false;
+    std::uint32_t root = intern(_initial, is_new);
+    std::deque<std::uint32_t> frontier{root};
+
+    rtl::ValueVec values;
+    rtl::StateVec next;
+    std::uint32_t truncated_at_depth = 0;
+    bool truncated = false;
+
+    std::size_t expanded = 0;
+    while (!frontier.empty()) {
+        std::uint32_t node = frontier.front();
+        frontier.pop_front();
+        if (limits.maxNodes && expanded >= limits.maxNodes) {
+            truncated = true;
+            truncated_at_depth = _depth[node];
+            break;
+        }
+        ++expanded;
+
+        // Copy the state out of the arena: intern() may reallocate.
+        rtl::StateVec state(stateAt(node), stateAt(node) + words);
+
+        for (unsigned combo = 0; combo < _numInputs; ++combo) {
+            rtl::InputVec inputs =
+                decodeInput(static_cast<std::uint8_t>(combo));
+            _netlist.eval(state.data(), inputs.data(), values);
+            sva::PredMask mask = preds.evaluate(_netlist, values);
+
+            // Assumption pruning: a cycle that violates an
+            // implication invalidates every trace through it.
+            bool ok = true;
+            for (const Assumption *imp : implications) {
+                if (sva::predTrue(mask, imp->antecedent) &&
+                    !sva::predTrue(mask, imp->consequent)) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (!ok)
+                continue;
+
+            for (std::size_t ci = 0; ci < covers.size(); ++ci) {
+                if (_covers[ci].reached)
+                    continue;
+                if (sva::predTrue(mask, covers[ci]->antecedent) &&
+                    sva::predTrue(mask, covers[ci]->consequent)) {
+                    _covers[ci] = CoverHit{
+                        true, node, static_cast<std::uint8_t>(combo)};
+                }
+            }
+
+            _netlist.nextState(state.data(), values.data(), next);
+            bool fresh = false;
+            std::uint32_t dst = intern(next, fresh);
+            if (fresh) {
+                _depth[dst] = _depth[node] + 1;
+                _parent[dst] = {node, static_cast<std::uint8_t>(combo)};
+                frontier.push_back(dst);
+            }
+            _edges[node].push_back(GraphEdge{
+                dst, static_cast<std::uint8_t>(combo), mask});
+            ++_numEdges;
+        }
+    }
+
+    _complete = !truncated;
+    if (_complete) {
+        std::uint32_t max_depth = 0;
+        for (std::uint32_t d : _depth)
+            max_depth = std::max(max_depth, d);
+        // Fully explored: every trace of any length is represented.
+        _exploredDepth = max_depth;
+    } else {
+        // BFS order: every state at depth < truncated_at_depth was
+        // expanded, so traces up to that length are complete.
+        _exploredDepth = truncated_at_depth;
+    }
+}
+
+std::vector<std::uint8_t>
+StateGraph::pathTo(std::uint32_t node) const
+{
+    std::vector<std::uint8_t> inputs;
+    std::uint32_t cur = node;
+    while (_parent[cur].first != cur) {
+        inputs.push_back(_parent[cur].second);
+        cur = _parent[cur].first;
+    }
+    std::reverse(inputs.begin(), inputs.end());
+    return inputs;
+}
+
+rtl::InputVec
+StateGraph::decodeInput(std::uint8_t combo) const
+{
+    rtl::InputVec inputs(_inputWidths.size());
+    unsigned shift = 0;
+    for (std::size_t i = 0; i < _inputWidths.size(); ++i) {
+        inputs[i] = (combo >> shift) &
+                    ((1u << _inputWidths[i]) - 1);
+        shift += _inputWidths[i];
+    }
+    return inputs;
+}
+
+} // namespace rtlcheck::formal

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Reachable-state-graph exploration under assumptions.
+ *
+ * The explorer runs breadth-first from the (pinned) initial state,
+ * trying every primary-input valuation each cycle — for Multi-V-scale
+ * this is every arbiter switching pattern, the nondeterminism §5.2
+ * says the property verifier must cover. States are deduplicated by
+ * their flat word vectors; every surviving transition records the
+ * truth of all registered SVA predicates, so property checking later
+ * needs no RTL evaluation at all.
+ */
+
+#ifndef RTLCHECK_FORMAL_STATE_GRAPH_HH
+#define RTLCHECK_FORMAL_STATE_GRAPH_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "formal/assumptions.hh"
+#include "rtl/netlist.hh"
+#include "sva/predicates.hh"
+
+namespace rtlcheck::formal {
+
+/** One outgoing transition of a state-graph node. */
+struct GraphEdge
+{
+    std::uint32_t dst = 0;
+    std::uint8_t input = 0;     ///< flattened input valuation
+    sva::PredMask preds{};  ///< predicate truths on this cycle
+};
+
+struct CoverHit
+{
+    bool reached = false;
+    std::uint32_t node = 0;     ///< source node of the covering cycle
+    std::uint8_t input = 0;
+};
+
+struct ExploreLimits
+{
+    /** Maximum distinct states to expand; 0 means unlimited. */
+    std::size_t maxNodes = 0;
+};
+
+class StateGraph
+{
+  public:
+    /** BFS exploration; see file comment. `pins` overwrite state
+     *  words of the reset state before exploration begins. */
+    StateGraph(const rtl::Netlist &netlist,
+               const std::vector<Assumption> &assumptions,
+               const sva::PredicateTable &preds,
+               const ExploreLimits &limits);
+
+    std::size_t numNodes() const { return _edges.size(); }
+    std::uint64_t numEdges() const { return _numEdges; }
+
+    /** True iff every reachable state was expanded. */
+    bool complete() const { return _complete; }
+
+    /** All traces of up to this many cycles are fully represented,
+     *  even when exploration was truncated. */
+    std::uint32_t exploredDepth() const { return _exploredDepth; }
+
+    const std::vector<GraphEdge> &outEdges(std::uint32_t node) const
+    {
+        return _edges[node];
+    }
+
+    std::uint32_t depthOf(std::uint32_t node) const
+    {
+        return _depth[node];
+    }
+
+    /** Cover results, one per FinalValueCover assumption (in input
+     *  order). */
+    const std::vector<CoverHit> &coverHits() const { return _covers; }
+
+    /** Reconstruct the per-cycle input choices of a path from the
+     *  initial state to `node` (inclusive of reaching it). */
+    std::vector<std::uint8_t> pathTo(std::uint32_t node) const;
+
+    /** The pinned initial state. */
+    const rtl::StateVec &initialState() const { return _initial; }
+
+    /** Total number of distinct input valuations per cycle. */
+    unsigned numInputCombos() const { return _numInputs; }
+
+    /** Decode a flattened input valuation into an InputVec. */
+    rtl::InputVec decodeInput(std::uint8_t combo) const;
+
+  private:
+    const rtl::Netlist &_netlist;
+    rtl::StateVec _initial;
+    std::vector<std::vector<GraphEdge>> _edges;
+    std::vector<std::uint32_t> _depth;
+    std::vector<std::pair<std::uint32_t, std::uint8_t>> _parent;
+    std::vector<CoverHit> _covers;
+    std::vector<std::uint32_t> _stateArena;
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>
+        _dedup;
+    std::uint64_t _numEdges = 0;
+    bool _complete = false;
+    std::uint32_t _exploredDepth = 0;
+    unsigned _numInputs = 1;
+    std::vector<unsigned> _inputWidths;
+};
+
+} // namespace rtlcheck::formal
+
+#endif // RTLCHECK_FORMAL_STATE_GRAPH_HH

@@ -1,0 +1,153 @@
+#include "parser.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace rtlcheck::litmus {
+
+int
+addressIndex(const std::string &name)
+{
+    if (name == "x")
+        return 0;
+    if (name == "y")
+        return 1;
+    if (name == "z")
+        return 2;
+    if (name == "w")
+        return 3;
+    if (name.size() > 1 && name[0] == 'a')
+        return std::stoi(name.substr(1));
+    RC_FATAL("bad litmus address name '", name, "'");
+}
+
+namespace {
+
+/** Parse "name=value" into its two halves. */
+std::pair<std::string, std::uint32_t>
+parseAssign(const std::string &tok)
+{
+    auto parts = split(tok, '=');
+    if (parts.size() != 2)
+        RC_FATAL("expected name=value, got '", tok, "'");
+    return {trim(parts[0]),
+            static_cast<std::uint32_t>(std::stoul(trim(parts[1])))};
+}
+
+/** Parse one "St x 1" or "Ld r1 y" instruction. */
+Instr
+parseInstr(const std::string &text)
+{
+    std::istringstream iss(text);
+    std::string op, f1, f2;
+    iss >> op >> f1 >> f2;
+    if (op == "St") {
+        Instr in;
+        in.type = OpType::Store;
+        in.address = addressIndex(f1);
+        in.value = static_cast<std::uint32_t>(std::stoul(f2));
+        return in;
+    }
+    if (op == "Ld") {
+        Instr in;
+        in.type = OpType::Load;
+        in.reg = f1;
+        in.address = addressIndex(f2);
+        return in;
+    }
+    if (op == "Fence") {
+        Instr in;
+        in.type = OpType::Fence;
+        in.address = -1;
+        return in;
+    }
+    RC_FATAL("bad litmus instruction '", text, "'");
+}
+
+} // namespace
+
+Test
+parseTest(const std::string &text)
+{
+    Test test;
+    std::istringstream iss(text);
+    std::string line;
+    while (std::getline(iss, line)) {
+        line = trim(line);
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string keyword;
+        ls >> keyword;
+        std::string rest = trim(line.substr(keyword.size()));
+        if (keyword == "test") {
+            test.name = rest;
+        } else if (keyword == "init") {
+            for (const auto &tok : split(rest, ' ')) {
+                if (trim(tok).empty())
+                    continue;
+                auto [name, value] = parseAssign(trim(tok));
+                test.initialMem[addressIndex(name)] = value;
+            }
+        } else if (keyword == "thread") {
+            Thread th;
+            for (const auto &part : split(rest, ';')) {
+                std::string p = trim(part);
+                if (!p.empty())
+                    th.instrs.push_back(parseInstr(p));
+            }
+            test.threads.push_back(th);
+        } else if (keyword == "forbid") {
+            for (const auto &tok : split(rest, ' ')) {
+                std::string t = trim(tok);
+                if (t.empty())
+                    continue;
+                auto colon = t.find(':');
+                if (colon == std::string::npos)
+                    RC_FATAL("forbid entries look like 1:r1=1; got '",
+                             t, "'");
+                int thread = std::stoi(t.substr(0, colon));
+                auto [reg, value] = parseAssign(t.substr(colon + 1));
+                if (thread < 0 ||
+                    thread >= static_cast<int>(test.threads.size()))
+                    RC_FATAL("forbid references missing thread ",
+                             thread);
+                bool found = false;
+                const auto &instrs = test.threads[thread].instrs;
+                for (int i = 0; i < static_cast<int>(instrs.size());
+                     ++i) {
+                    if (instrs[i].type == OpType::Load &&
+                        instrs[i].reg == reg) {
+                        test.loadConstraints.push_back(
+                            LoadConstraint{InstrRef{thread, i}, value});
+                        found = true;
+                        break;
+                    }
+                }
+                if (!found)
+                    RC_FATAL("forbid references unknown load ", thread,
+                             ":", reg);
+            }
+        } else if (keyword == "final") {
+            for (const auto &tok : split(rest, ' ')) {
+                std::string t = trim(tok);
+                if (t.empty())
+                    continue;
+                auto [name, value] = parseAssign(t);
+                test.finalMem.push_back(
+                    FinalMemConstraint{addressIndex(name), value});
+            }
+        } else {
+            RC_FATAL("bad litmus line '", line, "'");
+        }
+    }
+    if (test.name.empty())
+        RC_FATAL("litmus test has no 'test <name>' line");
+    if (test.threads.empty())
+        RC_FATAL("litmus test '", test.name, "' has no threads");
+    return test;
+}
+
+} // namespace rtlcheck::litmus

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Parser for the textual litmus-test format used by the suite.
+ *
+ * Example (the paper's Figure 2 message-passing test):
+ *
+ *     test mp
+ *     thread St x 1 ; St y 1
+ *     thread Ld r1 y ; Ld r2 x
+ *     forbid 1:r1=1 1:r2=0
+ *
+ * Optional lines: `init x=1 y=2` (initial memory values; default 0)
+ * and `final x=1` (final-state memory constraints in the outcome).
+ * Lines starting with `#` are comments.
+ */
+
+#ifndef RTLCHECK_LITMUS_PARSER_HH
+#define RTLCHECK_LITMUS_PARSER_HH
+
+#include <string>
+
+#include "litmus/test.hh"
+
+namespace rtlcheck::litmus {
+
+/** Parse one litmus test; fatal-errors on malformed input. */
+Test parseTest(const std::string &text);
+
+/** Map an address name (x, y, z, w, aN) to its index. */
+int addressIndex(const std::string &name);
+
+} // namespace rtlcheck::litmus
+
+#endif // RTLCHECK_LITMUS_PARSER_HH

@@ -1,0 +1,85 @@
+#include "sc_ref.hh"
+
+#include <algorithm>
+
+namespace rtlcheck::litmus {
+
+void
+ScExecutor::explore(std::vector<int> &pc,
+                    std::map<int, std::uint32_t> &mem,
+                    ScOutcome &partial,
+                    std::vector<ScOutcome> &out) const
+{
+    bool done = true;
+    for (int t = 0; t < static_cast<int>(_test.threads.size()); ++t) {
+        const auto &instrs = _test.threads[t].instrs;
+        if (pc[t] >= static_cast<int>(instrs.size()))
+            continue;
+        done = false;
+        const Instr &in = instrs[pc[t]];
+        ++pc[t];
+        if (in.type == OpType::Fence) {
+            // Fences are no-ops on an SC machine.
+            explore(pc, mem, partial, out);
+        } else if (in.type == OpType::Store) {
+            auto it = mem.find(in.address);
+            std::uint32_t saved = it->second;
+            it->second = in.value;
+            explore(pc, mem, partial, out);
+            it->second = saved;
+        } else {
+            InstrRef ref{t, pc[t] - 1};
+            partial.loadValues[ref] = mem.at(in.address);
+            explore(pc, mem, partial, out);
+            partial.loadValues.erase(ref);
+        }
+        --pc[t];
+    }
+    if (done) {
+        ScOutcome o = partial;
+        o.finalMem = mem;
+        out.push_back(o);
+    }
+}
+
+std::vector<ScOutcome>
+ScExecutor::allOutcomes() const
+{
+    std::vector<int> pc(_test.threads.size(), 0);
+    std::map<int, std::uint32_t> mem;
+    for (int a = 0; a < _test.numAddresses(); ++a)
+        mem[a] = _test.initialValue(a);
+    ScOutcome partial;
+    std::vector<ScOutcome> out;
+    explore(pc, mem, partial, out);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+bool
+ScExecutor::matchesConstraints(const ScOutcome &outcome) const
+{
+    for (const auto &c : _test.loadConstraints) {
+        auto it = outcome.loadValues.find(c.ref);
+        if (it == outcome.loadValues.end() || it->second != c.value)
+            return false;
+    }
+    for (const auto &f : _test.finalMem) {
+        auto it = outcome.finalMem.find(f.address);
+        if (it == outcome.finalMem.end() || it->second != f.value)
+            return false;
+    }
+    return true;
+}
+
+bool
+ScExecutor::outcomeObservable() const
+{
+    for (const auto &o : allOutcomes())
+        if (matchesConstraints(o))
+            return true;
+    return false;
+}
+
+} // namespace rtlcheck::litmus

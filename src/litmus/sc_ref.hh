@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reference sequentially-consistent executor for litmus tests.
+ *
+ * This is the `atomic_mach` abstract machine of the paper's Figure 4:
+ * it performs instructions atomically and in program order, in every
+ * possible interleaving, and collects the set of SC-permitted
+ * outcomes. It serves two roles: (i) a baseline oracle that certifies
+ * each suite test's outcome really is SC-forbidden, and (ii) the
+ * subject of the axiomatic-vs-temporal worked examples.
+ */
+
+#ifndef RTLCHECK_LITMUS_SC_REF_HH
+#define RTLCHECK_LITMUS_SC_REF_HH
+
+#include <map>
+#include <vector>
+
+#include "litmus/test.hh"
+
+namespace rtlcheck::litmus {
+
+/** One complete SC execution's observable result. */
+struct ScOutcome
+{
+    std::map<InstrRef, std::uint32_t> loadValues;
+    std::map<int, std::uint32_t> finalMem;
+
+    bool operator==(const ScOutcome &o) const = default;
+    auto operator<=>(const ScOutcome &o) const = default;
+};
+
+class ScExecutor
+{
+  public:
+    explicit ScExecutor(const Test &test) : _test(test) {}
+
+    /** All distinct outcomes over every interleaving. */
+    std::vector<ScOutcome> allOutcomes() const;
+
+    /** True iff the test's outcome under test is SC-permitted. */
+    bool outcomeObservable() const;
+
+    /** Does an outcome satisfy the test's load/final constraints? */
+    bool matchesConstraints(const ScOutcome &outcome) const;
+
+  private:
+    void
+    explore(std::vector<int> &pc, std::map<int, std::uint32_t> &mem,
+            ScOutcome &partial, std::vector<ScOutcome> &out) const;
+
+    const Test &_test;
+};
+
+} // namespace rtlcheck::litmus
+
+#endif // RTLCHECK_LITMUS_SC_REF_HH

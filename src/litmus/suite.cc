@@ -1,0 +1,473 @@
+#include "suite.hh"
+
+#include "common/logging.hh"
+#include "litmus/parser.hh"
+
+namespace rtlcheck::litmus {
+
+namespace {
+
+/**
+ * Test bodies in Figure 13 order. Each entry is one test in the
+ * textual litmus format of litmus/parser.hh.
+ */
+const char *suiteSources[] = {
+    // amd3: store-buffering with own-store reads on both threads.
+    R"(test amd3
+thread St x 1 ; Ld r1 x ; Ld r2 y
+thread St y 1 ; Ld r3 y ; Ld r4 x
+forbid 0:r1=1 0:r2=0 1:r3=1 1:r4=0
+)",
+    // co-iriw: two readers must agree on the coherence order of x.
+    R"(test co-iriw
+thread St x 1
+thread St x 2
+thread Ld r1 x ; Ld r2 x
+thread Ld r3 x ; Ld r4 x
+forbid 2:r1=1 2:r2=2 3:r3=2 3:r4=1
+)",
+    // co-mp: reads must not see two same-address writes out of order.
+    R"(test co-mp
+thread St x 1 ; St x 2
+thread Ld r1 x ; Ld r2 x
+forbid 1:r1=2 1:r2=1
+)",
+    // iriw: independent readers, independent writers (Figure 13's
+    // heaviest four-core test).
+    R"(test iriw
+thread St x 1
+thread St y 1
+thread Ld r1 x ; Ld r2 y
+thread Ld r3 y ; Ld r4 x
+forbid 2:r1=1 2:r2=0 3:r3=1 3:r4=0
+)",
+    // iwp23b: asymmetric store-buffering with one own-store read.
+    R"(test iwp23b
+thread St x 1 ; Ld r1 x ; Ld r2 y
+thread St y 1 ; Ld r3 x
+forbid 0:r1=1 0:r2=0 1:r3=0
+)",
+    // iwp24: store-buffering where one side re-reads its own store.
+    R"(test iwp24
+thread St x 1 ; Ld r1 y
+thread St y 1 ; Ld r2 y ; Ld r3 x
+forbid 0:r1=0 1:r2=1 1:r3=0
+)",
+    // lb: load buffering.
+    R"(test lb
+thread Ld r1 x ; St y 1
+thread Ld r2 y ; St x 1
+forbid 0:r1=1 1:r2=1
+)",
+    // mp+staleld: message passing plus a stale second read of x.
+    R"(test mp+staleld
+thread St x 1 ; St y 1
+thread Ld r1 y ; Ld r2 x ; Ld r3 x
+forbid 1:r1=1 1:r2=1 1:r3=0
+)",
+    // mp: the paper's Figure 2 message-passing test.
+    R"(test mp
+thread St x 1 ; St y 1
+thread Ld r1 y ; Ld r2 x
+forbid 1:r1=1 1:r2=0
+)",
+    // n1: own-store read plus a final-state constraint on x.
+    R"(test n1
+thread St x 1 ; Ld r1 x ; Ld r2 y
+thread St y 1 ; St x 2
+forbid 0:r1=1 0:r2=0
+final x=1
+)",
+    // n2: write racing an own-store read, final y pinned.
+    R"(test n2
+thread St x 1 ; St y 1
+thread St y 2 ; Ld r1 y ; Ld r2 x
+forbid 1:r1=2 1:r2=0
+final y=2
+)",
+    // n4: store-buffering through an own-store read of y.
+    R"(test n4
+thread St x 1 ; Ld r1 y
+thread St y 1 ; Ld r2 y ; Ld r3 x
+forbid 0:r1=0 1:r2=1 1:r3=0
+)",
+    // n5: classic two-thread same-address exchange.
+    R"(test n5
+thread St x 1 ; Ld r1 x
+thread St x 2 ; Ld r2 x
+forbid 0:r1=2 1:r2=1
+)",
+    // n6: own-store read ordered against a second write, final y.
+    R"(test n6
+thread St x 1 ; St y 1 ; Ld r1 y
+thread St y 2 ; Ld r2 x
+forbid 0:r1=1 1:r2=0
+final y=2
+)",
+    // n7: two-thread iriw-like shape with own-store reads.
+    R"(test n7
+thread St x 1 ; Ld r1 x ; Ld r2 y
+thread St y 1 ; Ld r3 y ; Ld r4 x
+forbid 0:r1=1 0:r2=0 1:r3=1 1:r4=0
+final x=1 y=1
+)",
+    // podwr000: three-thread store-buffering ring.
+    R"(test podwr000
+thread St x 1 ; Ld r1 y
+thread St y 1 ; Ld r2 z
+thread St z 1 ; Ld r3 x
+forbid 0:r1=0 1:r2=0 2:r3=0
+)",
+    // podwr001: four-thread store-buffering ring.
+    R"(test podwr001
+thread St x 1 ; Ld r1 y
+thread St y 1 ; Ld r2 z
+thread St z 1 ; Ld r3 w
+thread St w 1 ; Ld r4 x
+forbid 0:r1=0 1:r2=0 2:r3=0 3:r4=0
+)",
+    // rfi000: store-buffering with internal reads on both sides.
+    R"(test rfi000
+thread St x 1 ; Ld r1 x ; Ld r2 y
+thread St y 1 ; Ld r3 y ; Ld r4 x
+forbid 0:r1=1 0:r2=0 1:r3=1 1:r4=0
+)",
+    // rfi001: message passing with an internal read of x.
+    R"(test rfi001
+thread St x 1 ; Ld r1 x ; St y 1
+thread Ld r2 y ; Ld r3 x
+forbid 0:r1=1 1:r2=1 1:r3=0
+)",
+    // rfi002: internal read racing a remote overwrite, final x pinned.
+    R"(test rfi002
+thread St x 1 ; Ld r1 x ; Ld r2 y
+thread St y 1 ; St x 2
+forbid 0:r1=1 0:r2=0
+final x=1
+)",
+    // rfi003: double internal read against a remote write.
+    R"(test rfi003
+thread St x 1 ; Ld r1 x ; Ld r2 x
+thread St x 2
+forbid 0:r1=1 0:r2=2
+final x=1
+)",
+    // rfi004: rfi000 with distinct store data.
+    R"(test rfi004
+thread St x 1 ; Ld r1 x ; Ld r2 y
+thread St y 2 ; Ld r3 y ; Ld r4 x
+forbid 0:r1=1 0:r2=0 1:r3=2 1:r4=0
+)",
+    // rfi005: internal reads with cross-thread overwrite of x.
+    R"(test rfi005
+thread St x 2 ; Ld r1 x ; Ld r2 y
+thread St y 1 ; Ld r3 y ; St x 1
+forbid 0:r1=2 0:r2=0 1:r3=1
+final x=2
+)",
+    // rfi006: message passing with an internal read of y.
+    R"(test rfi006
+thread St x 1 ; St y 1 ; Ld r1 y
+thread Ld r2 y ; Ld r3 x
+forbid 0:r1=1 1:r2=1 1:r3=0
+)",
+    // rfi011: three-thread store-buffering ring with internal reads.
+    R"(test rfi011
+thread St x 1 ; Ld r1 x ; Ld r2 y
+thread St y 1 ; Ld r3 y ; Ld r4 z
+thread St z 1 ; Ld r5 z ; Ld r6 x
+forbid 0:r1=1 0:r2=0 1:r3=1 1:r4=0 2:r5=1 2:r6=0
+)",
+    // rfi012: coherence on a double store with internal reads.
+    R"(test rfi012
+thread St x 1 ; Ld r1 x ; St x 2 ; Ld r2 x
+thread Ld r3 x ; Ld r4 x
+forbid 0:r1=1 0:r2=2 1:r3=2 1:r4=1
+)",
+    // rfi013: store-buffering through a z-indirection.
+    R"(test rfi013
+thread St x 1 ; Ld r1 x ; Ld r2 y
+thread St y 1 ; St z 1 ; Ld r3 z ; Ld r4 x
+forbid 0:r1=1 0:r2=0 1:r3=1 1:r4=0
+)",
+    // rfi014: rfi000 with a nonzero initial value of x.
+    R"(test rfi014
+init x=5
+thread St x 1 ; Ld r1 x ; Ld r2 y
+thread St y 1 ; Ld r3 y ; Ld r4 x
+forbid 0:r1=1 0:r2=0 1:r3=1 1:r4=5
+)",
+    // rfi015: store-buffering over three addresses.
+    R"(test rfi015
+thread St x 1 ; St y 1 ; Ld r1 y ; Ld r2 z
+thread St z 1 ; Ld r3 z ; Ld r4 x
+forbid 0:r1=1 0:r2=0 1:r3=1 1:r4=0
+)",
+    // rwc: read-to-write causality.
+    R"(test rwc
+thread St x 1
+thread Ld r1 x ; Ld r2 y
+thread St y 1 ; Ld r3 x
+forbid 1:r1=1 1:r2=0 2:r3=0
+)",
+    // safe000: message passing with data value 2.
+    R"(test safe000
+thread St x 2 ; St y 2
+thread Ld r1 y ; Ld r2 x
+forbid 1:r1=2 1:r2=0
+)",
+    // safe001: store buffering over nonzero initial values.
+    R"(test safe001
+init x=3 y=3
+thread St x 1 ; Ld r1 y
+thread St y 1 ; Ld r2 x
+forbid 0:r1=3 1:r2=3
+)",
+    // safe002: load buffering with data value 2.
+    R"(test safe002
+thread Ld r1 x ; St y 2
+thread Ld r2 y ; St x 2
+forbid 0:r1=2 1:r2=2
+)",
+    // safe003: 2+2W — writes only, outcome is a final-state cycle.
+    R"(test safe003
+thread St x 1 ; St y 2
+thread St y 1 ; St x 2
+final x=1 y=1
+)",
+    // safe004: S pattern with a final-state constraint.
+    R"(test safe004
+thread St x 2 ; St y 1
+thread Ld r1 y ; St x 1
+forbid 1:r1=1
+final x=2
+)",
+    // safe006: R pattern with a final-state constraint.
+    R"(test safe006
+thread St x 1 ; St y 1
+thread St y 2 ; Ld r1 x
+forbid 1:r1=0
+final y=2
+)",
+    // safe007: message passing into an overwrite of x.
+    R"(test safe007
+thread St x 1 ; St y 1
+thread Ld r1 y ; St x 2
+forbid 1:r1=1
+final x=1
+)",
+    // safe008: coherence — stale read after a fresh read.
+    R"(test safe008
+thread St x 1 ; St x 2
+thread Ld r1 x ; Ld r2 x
+forbid 1:r1=1 1:r2=0
+)",
+    // safe009: write-read causality chain into an overwrite.
+    R"(test safe009
+thread St x 1
+thread Ld r1 x ; St y 1
+thread Ld r2 y ; St x 2
+forbid 1:r1=1 2:r2=1
+final x=1
+)",
+    // safe010: store buffering with an overwrite, final x pinned.
+    R"(test safe010
+thread St x 1 ; Ld r1 y
+thread St y 1 ; St x 2 ; Ld r2 x
+forbid 0:r1=0 1:r2=2
+final x=1
+)",
+    // safe011: coherence of read-then-write against a remote write.
+    R"(test safe011
+thread Ld r1 x ; St x 1
+thread St x 2
+forbid 0:r1=2
+final x=2
+)",
+    // safe012: coherence of write-then-read against a remote write.
+    R"(test safe012
+thread St x 1 ; Ld r1 x
+thread St x 2
+forbid 0:r1=2
+final x=1
+)",
+    // safe014: three threads disagreeing with the final write order.
+    R"(test safe014
+thread St x 1
+thread St x 2
+thread Ld r1 x ; Ld r2 x
+forbid 2:r1=1 2:r2=2
+final x=1
+)",
+    // safe016: message passing across a three-store chain.
+    R"(test safe016
+thread St x 1 ; St y 1 ; St z 1
+thread Ld r1 z ; Ld r2 x
+forbid 1:r1=1 1:r2=0
+)",
+    // safe017: message passing with a doubled fresh read.
+    R"(test safe017
+thread St x 1 ; St y 1
+thread Ld r1 y ; Ld r2 y ; Ld r3 x
+forbid 1:r1=1 1:r2=1 1:r3=0
+)",
+    // safe018: message passing observed by two reader threads.
+    R"(test safe018
+thread St x 1 ; St y 1
+thread Ld r1 y ; Ld r2 x
+thread Ld r3 y ; Ld r4 x
+forbid 1:r1=1 1:r2=0 2:r3=1 2:r4=0
+)",
+    // safe019: store buffering with a doubled read of y.
+    R"(test safe019
+thread St x 1 ; Ld r1 y ; Ld r2 y
+thread St y 1 ; Ld r3 x
+forbid 0:r1=0 0:r2=1 1:r3=0
+)",
+    // safe021: load buffering through a z-indirection.
+    R"(test safe021
+thread Ld r1 x ; St y 1 ; St z 1
+thread Ld r2 z ; St x 1
+forbid 0:r1=1 1:r2=1
+)",
+    // safe022: load buffering with a doubled read of y.
+    R"(test safe022
+thread Ld r1 x ; St y 2
+thread Ld r2 y ; Ld r3 y ; St x 2
+forbid 0:r1=2 1:r2=2 1:r3=2
+)",
+    // safe026: 2+2W with own-store reads.
+    R"(test safe026
+thread St x 1 ; St y 2 ; Ld r1 y
+thread St y 1 ; St x 2 ; Ld r2 x
+forbid 0:r1=2 1:r2=2
+final x=1 y=1
+)",
+    // safe027: R pattern with an own-store read, final y pinned.
+    R"(test safe027
+thread St x 1 ; St y 1
+thread St y 2 ; Ld r1 y ; Ld r2 x
+forbid 1:r1=2 1:r2=0
+final y=2
+)",
+    // safe029: ISA2 — message passing through a z handoff.
+    R"(test safe029
+thread St x 1 ; St y 1
+thread Ld r1 y ; St z 1
+thread Ld r2 z ; Ld r3 x
+forbid 1:r1=1 2:r2=1 2:r3=0
+)",
+    // safe030: W+RWC — writes racing a read chain.
+    R"(test safe030
+thread St x 1 ; St y 1
+thread Ld r1 y ; Ld r2 z
+thread St z 1 ; Ld r3 x
+forbid 1:r1=1 1:r2=0 2:r3=0
+)",
+    // sb: store buffering (Dekker).
+    R"(test sb
+thread St x 1 ; Ld r1 y
+thread St y 1 ; Ld r2 x
+forbid 0:r1=0 1:r2=0
+)",
+    // ssl: same-address store-store-load coherence.
+    R"(test ssl
+thread St x 1 ; St x 2 ; Ld r1 x
+thread Ld r2 x ; Ld r3 x
+forbid 0:r1=2 1:r2=2 1:r3=1
+)",
+    // wrc: write-to-read causality.
+    R"(test wrc
+thread St x 1
+thread Ld r1 x ; St y 1
+thread Ld r2 y ; Ld r3 x
+forbid 1:r1=1 2:r2=1 2:r3=0
+)",
+};
+
+std::vector<Test>
+buildSuite()
+{
+    std::vector<Test> suite;
+    for (const char *src : suiteSources)
+        suite.push_back(parseTest(src));
+    return suite;
+}
+
+} // namespace
+
+const std::vector<Test> &
+standardSuite()
+{
+    static const std::vector<Test> suite = buildSuite();
+    return suite;
+}
+
+const Test &
+suiteTest(const std::string &name)
+{
+    for (const Test &t : standardSuite())
+        if (t.name == name)
+            return t;
+    for (const Test &t : fenceSuite())
+        if (t.name == name)
+            return t;
+    RC_FATAL("no suite test named '", name, "'");
+}
+
+namespace {
+
+const char *fenceSources[] = {
+    // sb+fences: both sides fenced; TSO forbids the sb outcome again.
+    R"(test sb+fences
+thread St x 1 ; Fence ; Ld r1 y
+thread St y 1 ; Fence ; Ld r2 x
+forbid 0:r1=0 1:r2=0
+)",
+    // sb+fence-left: only one side fenced; still TSO-observable.
+    R"(test sb+fence-left
+thread St x 1 ; Fence ; Ld r1 y
+thread St y 1 ; Ld r2 x
+forbid 0:r1=0 1:r2=0
+)",
+    // iwp23b+fences: the own-store read still returns the buffered
+    // value before the fence; the cross reads are ordered.
+    R"(test iwp23b+fences
+thread St x 1 ; Fence ; Ld r1 x ; Ld r2 y
+thread St y 1 ; Fence ; Ld r3 x
+forbid 0:r1=1 0:r2=0 1:r3=0
+)",
+    // rfi000+fences: sb with own-store reads and fences.
+    R"(test rfi000+fences
+thread St x 1 ; Fence ; Ld r1 x ; Ld r2 y
+thread St y 1 ; Fence ; Ld r3 y ; Ld r4 x
+forbid 0:r1=1 0:r2=0 1:r3=1 1:r4=0
+)",
+    // fence-noop-mp: fences never make an SC-forbidden outcome
+    // observable; mp with fences stays forbidden everywhere.
+    R"(test mp+fences
+thread St x 1 ; Fence ; St y 1
+thread Ld r1 y ; Fence ; Ld r2 x
+forbid 1:r1=1 1:r2=0
+)",
+};
+
+std::vector<Test>
+buildFenceSuite()
+{
+    std::vector<Test> suite;
+    for (const char *src : fenceSources)
+        suite.push_back(parseTest(src));
+    return suite;
+}
+
+} // namespace
+
+const std::vector<Test> &
+fenceSuite()
+{
+    static const std::vector<Test> suite = buildFenceSuite();
+    return suite;
+}
+
+} // namespace rtlcheck::litmus

@@ -1,0 +1,114 @@
+#include "test.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace rtlcheck::litmus {
+
+int
+Test::numAddresses() const
+{
+    int max_addr = -1;
+    for (const auto &t : threads)
+        for (const auto &i : t.instrs)
+            if (i.type != OpType::Fence)
+                max_addr = std::max(max_addr, i.address);
+    for (const auto &[addr, value] : initialMem)
+        max_addr = std::max(max_addr, addr);
+    return max_addr + 1;
+}
+
+int
+Test::numInstrs() const
+{
+    int n = 0;
+    for (const auto &t : threads)
+        n += static_cast<int>(t.instrs.size());
+    return n;
+}
+
+const Instr &
+Test::instrAt(InstrRef ref) const
+{
+    RC_ASSERT(ref.thread >= 0 &&
+              ref.thread < static_cast<int>(threads.size()),
+              "bad thread in InstrRef");
+    const auto &instrs = threads[ref.thread].instrs;
+    RC_ASSERT(ref.index >= 0 &&
+              ref.index < static_cast<int>(instrs.size()),
+              "bad index in InstrRef");
+    return instrs[ref.index];
+}
+
+std::optional<std::uint32_t>
+Test::constraintFor(InstrRef ref) const
+{
+    for (const auto &c : loadConstraints)
+        if (c.ref == ref)
+            return c.value;
+    return std::nullopt;
+}
+
+std::uint32_t
+Test::initialValue(int address) const
+{
+    auto it = initialMem.find(address);
+    return it == initialMem.end() ? 0 : it->second;
+}
+
+std::vector<InstrRef>
+Test::allRefs() const
+{
+    std::vector<InstrRef> refs;
+    for (int t = 0; t < static_cast<int>(threads.size()); ++t)
+        for (int i = 0; i < static_cast<int>(threads[t].instrs.size());
+             ++i)
+            refs.push_back(InstrRef{t, i});
+    return refs;
+}
+
+std::string
+Test::addressName(int address)
+{
+    static const char *names[] = {"x", "y", "z", "w"};
+    if (address >= 0 && address < 4)
+        return names[address];
+    return "a" + std::to_string(address);
+}
+
+std::string
+Test::summary() const
+{
+    std::ostringstream oss;
+    oss << name << ": ";
+    for (std::size_t t = 0; t < threads.size(); ++t) {
+        if (t)
+            oss << " || ";
+        for (std::size_t i = 0; i < threads[t].instrs.size(); ++i) {
+            const Instr &in = threads[t].instrs[i];
+            if (i)
+                oss << "; ";
+            if (in.type == OpType::Store) {
+                oss << "St " << addressName(in.address) << "="
+                    << in.value;
+            } else if (in.type == OpType::Load) {
+                oss << "Ld " << in.reg << "<-"
+                    << addressName(in.address);
+            } else {
+                oss << "Fence";
+            }
+        }
+    }
+    oss << " | forbid:";
+    for (const auto &c : loadConstraints) {
+        oss << ' ' << c.ref.thread << ':'
+            << instrAt(c.ref).reg << '=' << c.value;
+    }
+    for (const auto &f : finalMem)
+        oss << ' ' << addressName(f.address) << '=' << f.value;
+    return oss.str();
+}
+
+} // namespace rtlcheck::litmus

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Litmus-test data model.
+ *
+ * A litmus test is a small multithreaded program of loads and stores
+ * over a few symbolic addresses, plus an *outcome under test*: the
+ * values particular loads return and optionally the final values of
+ * memory. For every test in this repository's suite the outcome is
+ * forbidden under sequential consistency, matching the paper's
+ * evaluation (§6: 56 tests from the x86-TSO suite and diy).
+ */
+
+#ifndef RTLCHECK_LITMUS_TEST_HH
+#define RTLCHECK_LITMUS_TEST_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rtlcheck::litmus {
+
+enum class OpType : std::uint8_t { Store, Load, Fence };
+
+/** One litmus instruction (a memory microop or a fence). */
+struct Instr
+{
+    OpType type = OpType::Store;
+    int address = 0;             ///< symbolic address index (0=x,1=y,...)
+    std::uint32_t value = 0;     ///< store data (stores only)
+    std::string reg;             ///< destination register name (loads)
+};
+
+struct Thread
+{
+    std::vector<Instr> instrs;
+};
+
+/** Identifies one instruction within a test. */
+struct InstrRef
+{
+    int thread = 0;
+    int index = 0;
+
+    bool operator==(const InstrRef &o) const = default;
+    auto operator<=>(const InstrRef &o) const = default;
+};
+
+/** Constraint "load (thread,index) returns value" in the outcome. */
+struct LoadConstraint
+{
+    InstrRef ref;
+    std::uint32_t value = 0;
+};
+
+/** Constraint "address holds value at the end of the test". */
+struct FinalMemConstraint
+{
+    int address = 0;
+    std::uint32_t value = 0;
+};
+
+class Test
+{
+  public:
+    std::string name;
+    std::vector<Thread> threads;
+    /** Initial memory values; addresses not listed start at 0. */
+    std::map<int, std::uint32_t> initialMem;
+    /** The outcome under test. */
+    std::vector<LoadConstraint> loadConstraints;
+    std::vector<FinalMemConstraint> finalMem;
+
+    /** Number of distinct symbolic addresses referenced. */
+    int numAddresses() const;
+    /** Total instruction count over all threads. */
+    int numInstrs() const;
+    const Instr &instrAt(InstrRef ref) const;
+    /** Outcome value constraint for a load, if any. */
+    std::optional<std::uint32_t> constraintFor(InstrRef ref) const;
+    /** Initial value of an address (0 unless overridden). */
+    std::uint32_t initialValue(int address) const;
+    /** All InstrRefs in (thread, index) order. */
+    std::vector<InstrRef> allRefs() const;
+
+    /** Conventional name for an address index: x, y, z, w, a5, ... */
+    static std::string addressName(int address);
+
+    /** One-line rendering, for reports. */
+    std::string summary() const;
+};
+
+} // namespace rtlcheck::litmus
+
+#endif // RTLCHECK_LITMUS_TEST_HH

@@ -1,0 +1,124 @@
+#include "tso_ref.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rtlcheck::litmus {
+
+std::string
+TsoExecutor::stateKey(const std::vector<int> &pc,
+                      const std::vector<std::optional<SbEntry>> &sb,
+                      const std::map<int, std::uint32_t> &mem,
+                      const ScOutcome &partial) const
+{
+    std::ostringstream oss;
+    for (int p : pc)
+        oss << p << ',';
+    oss << '|';
+    for (const auto &e : sb) {
+        if (e)
+            oss << e->address << ':' << e->data;
+        oss << ',';
+    }
+    oss << '|';
+    for (const auto &[a, v] : mem)
+        oss << a << ':' << v << ',';
+    oss << '|';
+    for (const auto &[ref, v] : partial.loadValues)
+        oss << ref.thread << '.' << ref.index << ':' << v << ',';
+    return oss.str();
+}
+
+void
+TsoExecutor::explore(std::vector<int> &pc,
+                     std::vector<std::optional<SbEntry>> &sb,
+                     std::map<int, std::uint32_t> &mem,
+                     ScOutcome &partial, std::set<ScOutcome> &out,
+                     std::set<std::string> &visited) const
+{
+    if (!visited.insert(stateKey(pc, sb, mem, partial)).second)
+        return;
+
+    bool done = true;
+    for (int t = 0; t < static_cast<int>(_test.threads.size()); ++t) {
+        const auto &instrs = _test.threads[t].instrs;
+
+        // Move 1: drain this thread's store buffer.
+        if (sb[t]) {
+            done = false;
+            SbEntry entry = *sb[t];
+            std::uint32_t saved = mem.at(entry.address);
+            mem[entry.address] = entry.data;
+            sb[t] = std::nullopt;
+            explore(pc, sb, mem, partial, out, visited);
+            sb[t] = entry;
+            mem[entry.address] = saved;
+        }
+
+        // Move 2: execute this thread's next instruction.
+        if (pc[t] >= static_cast<int>(instrs.size()))
+            continue;
+        done = false;
+        const Instr &in = instrs[pc[t]];
+        if (in.type == OpType::Fence) {
+            // A fence executes only once the store buffer is empty.
+            if (sb[t])
+                continue;
+            ++pc[t];
+            explore(pc, sb, mem, partial, out, visited);
+            --pc[t];
+        } else if (in.type == OpType::Store) {
+            // The single-entry buffer must be free.
+            if (sb[t])
+                continue;
+            ++pc[t];
+            sb[t] = SbEntry{in.address, in.value};
+            explore(pc, sb, mem, partial, out, visited);
+            sb[t] = std::nullopt;
+            --pc[t];
+        } else {
+            InstrRef ref{t, pc[t]};
+            std::uint32_t value =
+                (sb[t] && sb[t]->address == in.address)
+                    ? sb[t]->data            // store->load forwarding
+                    : mem.at(in.address);    // read memory
+            ++pc[t];
+            partial.loadValues[ref] = value;
+            explore(pc, sb, mem, partial, out, visited);
+            partial.loadValues.erase(ref);
+            --pc[t];
+        }
+    }
+    if (done) {
+        ScOutcome o = partial;
+        o.finalMem = mem;
+        out.insert(std::move(o));
+    }
+}
+
+std::vector<ScOutcome>
+TsoExecutor::allOutcomes() const
+{
+    std::vector<int> pc(_test.threads.size(), 0);
+    std::vector<std::optional<SbEntry>> sb(_test.threads.size());
+    std::map<int, std::uint32_t> mem;
+    for (int a = 0; a < _test.numAddresses(); ++a)
+        mem[a] = _test.initialValue(a);
+    ScOutcome partial;
+    std::set<ScOutcome> out;
+    std::set<std::string> visited;
+    explore(pc, sb, mem, partial, out, visited);
+    return std::vector<ScOutcome>(out.begin(), out.end());
+}
+
+bool
+TsoExecutor::outcomeObservable() const
+{
+    ScExecutor matcher(_test);
+    for (const auto &o : allOutcomes())
+        if (matcher.matchesConstraints(o))
+            return true;
+    return false;
+}
+
+} // namespace rtlcheck::litmus

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reference TSO executor: an operational total-store-order machine
+ * with one single-entry FIFO store buffer per thread, matching the
+ * TSO Multi-V-scale variant (soc_tso.cc) and its µspec model.
+ *
+ * Moves: a thread executes its next instruction (a store requires an
+ * empty buffer; a load forwards from a matching buffer entry or
+ * reads memory), or a thread's buffer drains to memory. All
+ * interleavings are explored; outcomes include the final memory
+ * state after every buffer has drained.
+ *
+ * Together with ScExecutor this gives two baselines: an outcome
+ * observable here but not under SC is exactly a TSO-relaxed
+ * behaviour (e.g. the sb litmus test's outcome).
+ */
+
+#ifndef RTLCHECK_LITMUS_TSO_REF_HH
+#define RTLCHECK_LITMUS_TSO_REF_HH
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "litmus/sc_ref.hh"
+
+namespace rtlcheck::litmus {
+
+class TsoExecutor
+{
+  public:
+    explicit TsoExecutor(const Test &test) : _test(test) {}
+
+    /** All distinct outcomes over every interleaving. */
+    std::vector<ScOutcome> allOutcomes() const;
+
+    /** True iff the test's outcome under test is TSO-permitted. */
+    bool outcomeObservable() const;
+
+  private:
+    struct SbEntry
+    {
+        int address = 0;
+        std::uint32_t data = 0;
+    };
+
+    void explore(std::vector<int> &pc,
+                 std::vector<std::optional<SbEntry>> &sb,
+                 std::map<int, std::uint32_t> &mem,
+                 ScOutcome &partial, std::set<ScOutcome> &out,
+                 std::set<std::string> &visited) const;
+
+    /** Serialized machine state + partial load values, used to prune
+     *  re-exploration of subtrees already covered (different
+     *  interleavings converge on identical states constantly). */
+    std::string stateKey(const std::vector<int> &pc,
+                         const std::vector<std::optional<SbEntry>> &sb,
+                         const std::map<int, std::uint32_t> &mem,
+                         const ScOutcome &partial) const;
+
+    const Test &_test;
+};
+
+} // namespace rtlcheck::litmus
+
+#endif // RTLCHECK_LITMUS_TSO_REF_HH

@@ -1,0 +1,323 @@
+#include "design.hh"
+
+#include "common/logging.hh"
+
+namespace rtlcheck::rtl {
+
+void
+Design::pushScope(const std::string &name)
+{
+    _scopes.push_back(name);
+}
+
+void
+Design::popScope()
+{
+    RC_ASSERT(!_scopes.empty());
+    _scopes.pop_back();
+}
+
+std::string
+Design::qualify(const std::string &name) const
+{
+    std::string out;
+    for (const auto &s : _scopes) {
+        out += s;
+        out += '.';
+    }
+    out += name;
+    return out;
+}
+
+Signal
+Design::addNode(ExprNode node)
+{
+    _nodes.push_back(node);
+    return Signal{static_cast<std::uint32_t>(_nodes.size() - 1)};
+}
+
+const ExprNode &
+Design::nodeOf(Signal s) const
+{
+    RC_ASSERT(s.valid() && s.id < _nodes.size());
+    return _nodes[s.id];
+}
+
+Signal
+Design::addInput(const std::string &name, unsigned width)
+{
+    RC_ASSERT(width >= 1 && width <= 32);
+    ExprNode n;
+    n.op = Op::Input;
+    n.width = static_cast<std::uint8_t>(width);
+    n.inputSlot = static_cast<std::uint32_t>(_inputs.size());
+    Signal s = addNode(n);
+    _inputs.push_back(InputDecl{qualify(name),
+                                static_cast<std::uint8_t>(width), s});
+    return nameWire(name, s);
+}
+
+Signal
+Design::addReg(const std::string &name, unsigned width,
+               std::uint32_t reset_value)
+{
+    RC_ASSERT(width >= 1 && width <= 32);
+    ExprNode n;
+    n.op = Op::RegQ;
+    n.width = static_cast<std::uint8_t>(width);
+    n.stateSlot = static_cast<std::uint32_t>(_regs.size());
+    Signal q = addNode(n);
+    RegDecl r;
+    r.name = qualify(name);
+    r.width = static_cast<std::uint8_t>(width);
+    r.resetValue = reset_value & BitVector::maskFor(width);
+    r.q = q;
+    _regs.push_back(r);
+    return nameWire(name, q);
+}
+
+void
+Design::setNext(Signal reg_q, Signal next)
+{
+    const ExprNode &n = nodeOf(reg_q);
+    RC_ASSERT(n.op == Op::RegQ, "setNext on non-register signal");
+    RC_ASSERT(widthOf(next) == n.width,
+              "width mismatch on register next-state");
+    _regs[n.stateSlot].next = next;
+}
+
+MemHandle
+Design::addMem(const std::string &name, std::uint32_t words,
+               unsigned width)
+{
+    RC_ASSERT(width >= 1 && width <= 32);
+    MemDecl m;
+    m.name = qualify(name);
+    m.words = words;
+    m.width = static_cast<std::uint8_t>(width);
+    m.init.assign(words, 0);
+    _mems.push_back(m);
+    MemHandle h{static_cast<std::uint32_t>(_mems.size() - 1)};
+    _namedMems[m.name] = h;
+    return h;
+}
+
+MemHandle
+Design::addRom(const std::string &name, std::uint32_t words,
+               unsigned width, const std::vector<std::uint32_t> &contents)
+{
+    MemHandle h = addMem(name, words, width);
+    _mems[h.id].isRom = true;
+    RC_ASSERT(contents.size() <= words, "ROM contents exceed size");
+    for (std::size_t i = 0; i < contents.size(); ++i)
+        _mems[h.id].init[i] = contents[i] & BitVector::maskFor(width);
+    return h;
+}
+
+void
+Design::memInit(MemHandle mem, std::uint32_t word, std::uint32_t value)
+{
+    RC_ASSERT(mem.valid() && mem.id < _mems.size());
+    MemDecl &m = _mems[mem.id];
+    RC_ASSERT(word < m.words, "memInit out of range");
+    m.init[word] = value & BitVector::maskFor(m.width);
+}
+
+void
+Design::addMemWrite(MemHandle mem, Signal enable, Signal addr,
+                    Signal data)
+{
+    RC_ASSERT(mem.valid() && mem.id < _mems.size());
+    MemDecl &m = _mems[mem.id];
+    RC_ASSERT(!m.isRom, "write port on ROM ", m.name);
+    RC_ASSERT(widthOf(enable) == 1, "write enable must be 1 bit");
+    RC_ASSERT(widthOf(data) == m.width, "write data width mismatch");
+    m.writePorts.push_back(MemWritePort{enable, addr, data});
+}
+
+Signal
+Design::constant(unsigned width, std::uint32_t value)
+{
+    RC_ASSERT(width >= 1 && width <= 32);
+    ExprNode n;
+    n.op = Op::Const;
+    n.width = static_cast<std::uint8_t>(width);
+    n.imm = value & BitVector::maskFor(width);
+    return addNode(n);
+}
+
+Signal
+Design::memRead(MemHandle mem, Signal addr)
+{
+    RC_ASSERT(mem.valid() && mem.id < _mems.size());
+    ExprNode n;
+    n.op = Op::MemRead;
+    n.width = _mems[mem.id].width;
+    n.a = addr;
+    n.memId = mem.id;
+    return addNode(n);
+}
+
+Signal
+Design::notOf(Signal a)
+{
+    ExprNode n;
+    n.op = Op::Not;
+    n.width = nodeOf(a).width;
+    n.a = a;
+    return addNode(n);
+}
+
+namespace {
+
+/** Shared width rule for symmetric binary bitwise/arith operators. */
+std::uint8_t
+requireSameWidth(const ExprNode &a, const ExprNode &b)
+{
+    RC_ASSERT(a.width == b.width, "binary operand width mismatch: ",
+              int(a.width), " vs ", int(b.width));
+    return a.width;
+}
+
+} // namespace
+
+#define RTLCHECK_BINOP(method, opcode, result_width)                    \
+    Signal                                                              \
+    Design::method(Signal a, Signal b)                                  \
+    {                                                                   \
+        const ExprNode &na = nodeOf(a);                                 \
+        const ExprNode &nb = nodeOf(b);                                 \
+        ExprNode n;                                                     \
+        n.op = opcode;                                                  \
+        n.width = (result_width);                                       \
+        n.a = a;                                                        \
+        n.b = b;                                                        \
+        return addNode(n);                                              \
+    }
+
+RTLCHECK_BINOP(andOf, Op::And, requireSameWidth(na, nb))
+RTLCHECK_BINOP(orOf, Op::Or, requireSameWidth(na, nb))
+RTLCHECK_BINOP(xorOf, Op::Xor, requireSameWidth(na, nb))
+RTLCHECK_BINOP(add, Op::Add, requireSameWidth(na, nb))
+RTLCHECK_BINOP(sub, Op::Sub, requireSameWidth(na, nb))
+RTLCHECK_BINOP(eq, Op::Eq, (requireSameWidth(na, nb), 1))
+RTLCHECK_BINOP(ne, Op::Ne, (requireSameWidth(na, nb), 1))
+RTLCHECK_BINOP(ult, Op::Ult, (requireSameWidth(na, nb), 1))
+
+#undef RTLCHECK_BINOP
+
+Signal
+Design::mux(Signal sel, Signal then_v, Signal else_v)
+{
+    const ExprNode &ns = nodeOf(sel);
+    const ExprNode &nt = nodeOf(then_v);
+    const ExprNode &ne = nodeOf(else_v);
+    RC_ASSERT(ns.width == 1, "mux select must be 1 bit");
+    RC_ASSERT(nt.width == ne.width, "mux arm width mismatch");
+    ExprNode n;
+    n.op = Op::Mux;
+    n.width = nt.width;
+    n.a = then_v;
+    n.b = else_v;
+    n.c = sel;
+    return addNode(n);
+}
+
+Signal
+Design::concat(Signal hi, Signal lo)
+{
+    const ExprNode &nh = nodeOf(hi);
+    const ExprNode &nl = nodeOf(lo);
+    unsigned w = nh.width + nl.width;
+    RC_ASSERT(w <= 32, "concat wider than 32 bits");
+    ExprNode n;
+    n.op = Op::Concat;
+    n.width = static_cast<std::uint8_t>(w);
+    n.a = hi;
+    n.b = lo;
+    return addNode(n);
+}
+
+Signal
+Design::slice(Signal a, unsigned lo, unsigned width)
+{
+    const ExprNode &na = nodeOf(a);
+    RC_ASSERT(lo + width <= na.width, "slice out of range");
+    RC_ASSERT(width >= 1);
+    ExprNode n;
+    n.op = Op::Slice;
+    n.width = static_cast<std::uint8_t>(width);
+    n.a = a;
+    n.imm = lo;
+    return addNode(n);
+}
+
+Signal
+Design::shlC(Signal a, unsigned amount)
+{
+    ExprNode n;
+    n.op = Op::ShlC;
+    n.width = nodeOf(a).width;
+    n.a = a;
+    n.imm = amount;
+    return addNode(n);
+}
+
+Signal
+Design::shrC(Signal a, unsigned amount)
+{
+    ExprNode n;
+    n.op = Op::ShrC;
+    n.width = nodeOf(a).width;
+    n.a = a;
+    n.imm = amount;
+    return addNode(n);
+}
+
+Signal
+Design::eqConst(Signal a, std::uint32_t value)
+{
+    return eq(a, constant(widthOf(a), value));
+}
+
+Signal
+Design::nameWire(const std::string &name, Signal s)
+{
+    std::string qual = qualify(name);
+    RC_ASSERT(!_named.count(qual), "duplicate signal name ", qual);
+    _named[qual] = s;
+    return s;
+}
+
+Signal
+Design::signalByName(const std::string &name) const
+{
+    auto it = _named.find(name);
+    if (it == _named.end())
+        RC_FATAL("no signal named '", name, "'");
+    return it->second;
+}
+
+Signal
+Design::findSignal(const std::string &name) const
+{
+    auto it = _named.find(name);
+    return it == _named.end() ? Signal{} : it->second;
+}
+
+MemHandle
+Design::memByName(const std::string &name) const
+{
+    auto it = _namedMems.find(name);
+    if (it == _namedMems.end())
+        RC_FATAL("no memory named '", name, "'");
+    return it->second;
+}
+
+unsigned
+Design::widthOf(Signal s) const
+{
+    return nodeOf(s).width;
+}
+
+} // namespace rtlcheck::rtl

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Builder API for RTL designs.
+ *
+ * A Design is constructed programmatically, much like writing
+ * structural Verilog: declare inputs, registers, and memories, build
+ * combinational expressions over them, then connect register
+ * next-state functions and synchronous memory write ports. Hierarchy
+ * is modeled with a scope stack that prefixes signal names
+ * (e.g. "core0.PC_WB"), so that mapping functions and waveform dumps
+ * can refer to signals by the same hierarchical names the paper uses.
+ */
+
+#ifndef RTLCHECK_RTL_DESIGN_HH
+#define RTLCHECK_RTL_DESIGN_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.hh"
+#include "rtl/expr.hh"
+
+namespace rtlcheck::rtl {
+
+/** A synchronous write port attached to a memory. */
+struct MemWritePort
+{
+    Signal enable;  ///< 1-bit write enable
+    Signal addr;    ///< word address
+    Signal data;    ///< data to store
+};
+
+/** A memory array: combinational reads, synchronous writes. */
+struct MemDecl
+{
+    std::string name;
+    std::uint32_t words = 0;             ///< number of words
+    std::uint8_t width = 32;             ///< word width in bits
+    bool isRom = false;                  ///< no write ports allowed
+    std::vector<std::uint32_t> init;     ///< initial contents
+    std::vector<MemWritePort> writePorts;
+};
+
+/** A register declaration (state element). */
+struct RegDecl
+{
+    std::string name;
+    std::uint8_t width = 1;
+    std::uint32_t resetValue = 0;
+    Signal q;      ///< output node (Op::RegQ)
+    Signal next;   ///< next-state expression; must be set before freeze
+};
+
+/** A primary input declaration. */
+struct InputDecl
+{
+    std::string name;
+    std::uint8_t width = 1;
+    Signal node;
+};
+
+/**
+ * Mutable design under construction. Once fully built, a Netlist is
+ * elaborated from it for simulation and formal exploration.
+ */
+class Design
+{
+  public:
+    /// @name Hierarchy
+    /// @{
+    void pushScope(const std::string &name);
+    void popScope();
+    /** Current fully-qualified name for a local name. */
+    std::string qualify(const std::string &name) const;
+    /// @}
+
+    /// @name State and I/O declaration
+    /// @{
+    Signal addInput(const std::string &name, unsigned width);
+    Signal addReg(const std::string &name, unsigned width,
+                  std::uint32_t reset_value = 0);
+    void setNext(Signal reg_q, Signal next);
+    MemHandle addMem(const std::string &name, std::uint32_t words,
+                     unsigned width);
+    MemHandle addRom(const std::string &name, std::uint32_t words,
+                     unsigned width,
+                     const std::vector<std::uint32_t> &contents);
+    void memInit(MemHandle mem, std::uint32_t word, std::uint32_t value);
+    void addMemWrite(MemHandle mem, Signal enable, Signal addr,
+                     Signal data);
+    /// @}
+
+    /// @name Combinational operators
+    /// @{
+    Signal constant(unsigned width, std::uint32_t value);
+    Signal memRead(MemHandle mem, Signal addr);
+    Signal notOf(Signal a);
+    Signal andOf(Signal a, Signal b);
+    Signal orOf(Signal a, Signal b);
+    Signal xorOf(Signal a, Signal b);
+    Signal add(Signal a, Signal b);
+    Signal sub(Signal a, Signal b);
+    Signal eq(Signal a, Signal b);
+    Signal ne(Signal a, Signal b);
+    Signal ult(Signal a, Signal b);
+    Signal mux(Signal sel, Signal then_v, Signal else_v);
+    Signal concat(Signal hi, Signal lo);
+    Signal slice(Signal a, unsigned lo, unsigned width);
+    Signal shlC(Signal a, unsigned amount);
+    Signal shrC(Signal a, unsigned amount);
+    /** Equality against a constant of matching width. */
+    Signal eqConst(Signal a, std::uint32_t value);
+    /// @}
+
+    /** Attach a hierarchical name to any signal (for maps/waves). */
+    Signal nameWire(const std::string &name, Signal s);
+
+    /** Look up a named signal; fatal if absent. */
+    Signal signalByName(const std::string &name) const;
+    /** Look up a named signal; invalid handle if absent. */
+    Signal findSignal(const std::string &name) const;
+    /** Look up a memory by hierarchical name; fatal if absent. */
+    MemHandle memByName(const std::string &name) const;
+
+    unsigned widthOf(Signal s) const;
+
+    /// @name Introspection (used by elaboration)
+    /// @{
+    const std::vector<ExprNode> &nodes() const { return _nodes; }
+    const std::vector<RegDecl> &regs() const { return _regs; }
+    const std::vector<InputDecl> &inputs() const { return _inputs; }
+    const std::vector<MemDecl> &mems() const { return _mems; }
+    const std::map<std::string, Signal> &namedSignals() const
+    {
+        return _named;
+    }
+    /// @}
+
+  private:
+    Signal addNode(ExprNode node);
+    const ExprNode &nodeOf(Signal s) const;
+
+    std::vector<ExprNode> _nodes;
+    std::vector<RegDecl> _regs;
+    std::vector<InputDecl> _inputs;
+    std::vector<MemDecl> _mems;
+    std::map<std::string, Signal> _named;
+    std::map<std::string, MemHandle> _namedMems;
+    std::vector<std::string> _scopes;
+};
+
+} // namespace rtlcheck::rtl
+
+#endif // RTLCHECK_RTL_DESIGN_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Expression-node definitions for the RTL intermediate representation.
+ *
+ * A design is a DAG of these nodes. Leaves are constants, primary
+ * inputs, register outputs, and memory read ports; interior nodes are
+ * the combinational operators of a synthesizable-Verilog expression
+ * subset. All signals are two-state and at most 32 bits wide, which is
+ * sufficient for the RV32 designs this library models and keeps the
+ * simulator's flat state vectors compact (one word per signal).
+ */
+
+#ifndef RTLCHECK_RTL_EXPR_HH
+#define RTLCHECK_RTL_EXPR_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace rtlcheck::rtl {
+
+/** Opaque handle to an expression node within a Design. */
+struct Signal
+{
+    static constexpr std::uint32_t invalidId =
+        std::numeric_limits<std::uint32_t>::max();
+
+    std::uint32_t id = invalidId;
+
+    bool valid() const { return id != invalidId; }
+    bool operator==(const Signal &o) const = default;
+};
+
+/** Opaque handle to a memory array within a Design. */
+struct MemHandle
+{
+    std::uint32_t id = std::numeric_limits<std::uint32_t>::max();
+
+    bool valid() const
+    {
+        return id != std::numeric_limits<std::uint32_t>::max();
+    }
+    bool operator==(const MemHandle &o) const = default;
+};
+
+/** Combinational operator kinds. */
+enum class Op : std::uint8_t
+{
+    Const,    ///< literal value (in `imm`)
+    Input,    ///< primary input (free each cycle)
+    RegQ,     ///< register output (value from the state vector)
+    MemRead,  ///< combinational memory read port; a = address
+    Not,      ///< bitwise complement within width
+    And,      ///< bitwise and
+    Or,       ///< bitwise or
+    Xor,      ///< bitwise xor
+    Add,      ///< modular add
+    Sub,      ///< modular subtract
+    Eq,       ///< 1-bit equality
+    Ne,       ///< 1-bit inequality
+    Ult,      ///< 1-bit unsigned less-than
+    Mux,      ///< sel ? a : b  (sel is operand c)
+    Concat,   ///< {a, b}; a forms the high bits
+    Slice,    ///< a[lo +: width]; lo in `imm`
+    ShlC,     ///< a << imm (constant shift)
+    ShrC,     ///< a >> imm (constant, logical)
+};
+
+/**
+ * One expression node. Operand handles refer to other nodes in the
+ * same Design; unused operands are left invalid.
+ */
+struct ExprNode
+{
+    Op op = Op::Const;
+    std::uint8_t width = 1;          ///< result width, 1..32
+    Signal a;                        ///< first operand
+    Signal b;                        ///< second operand
+    Signal c;                        ///< third operand (Mux select)
+    std::uint32_t imm = 0;           ///< Const value / Slice lo / shift
+    std::uint32_t memId = 0;         ///< MemRead: memory index
+    std::uint32_t stateSlot = 0;     ///< RegQ: state-vector index
+    std::uint32_t inputSlot = 0;     ///< Input: input-vector index
+};
+
+} // namespace rtlcheck::rtl
+
+#endif // RTLCHECK_RTL_EXPR_HH

@@ -1,0 +1,195 @@
+#include "netlist.hh"
+
+#include "common/bitvector.hh"
+#include "common/logging.hh"
+
+namespace rtlcheck::rtl {
+
+Netlist::Netlist(const Design &design)
+    : _nodes(design.nodes()),
+      _regs(design.regs()),
+      _inputs(design.inputs()),
+      _mems(design.mems()),
+      _named(design.namedSignals())
+{
+    for (std::size_t i = 0; i < _regs.size(); ++i) {
+        RC_ASSERT(_regs[i].next.valid(),
+                  "register '", _regs[i].name, "' has no next-state");
+    }
+
+    _stateWords = _regs.size();
+    _memLayout.resize(_mems.size());
+    for (std::size_t i = 0; i < _mems.size(); ++i) {
+        if (_mems[i].isRom)
+            continue;
+        _memLayout[i].inState = true;
+        _memLayout[i].stateBase = _stateWords;
+        _stateWords += _mems[i].words;
+    }
+
+    std::uint32_t mem_id = 0;
+    for (const auto &m : _mems)
+        _namedMems[m.name] = MemHandle{mem_id++};
+}
+
+StateVec
+Netlist::initialState() const
+{
+    StateVec state(_stateWords, 0);
+    for (std::size_t i = 0; i < _regs.size(); ++i)
+        state[i] = _regs[i].resetValue;
+    for (std::size_t i = 0; i < _mems.size(); ++i) {
+        if (!_memLayout[i].inState)
+            continue;
+        for (std::uint32_t w = 0; w < _mems[i].words; ++w)
+            state[_memLayout[i].stateBase + w] = _mems[i].init[w];
+    }
+    return state;
+}
+
+void
+Netlist::eval(const std::uint32_t *state, const std::uint32_t *inputs,
+              ValueVec &values) const
+{
+    values.resize(_nodes.size());
+    std::uint32_t *v = values.data();
+    const std::size_t n = _nodes.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const ExprNode &e = _nodes[i];
+        const std::uint32_t mask =
+            static_cast<std::uint32_t>(BitVector::maskFor(e.width));
+        std::uint32_t r = 0;
+        switch (e.op) {
+          case Op::Const:
+            r = e.imm;
+            break;
+          case Op::Input:
+            r = inputs[e.inputSlot] & mask;
+            break;
+          case Op::RegQ:
+            r = state[e.stateSlot];
+            break;
+          case Op::MemRead: {
+            const MemDecl &m = _mems[e.memId];
+            const std::uint32_t addr = v[e.a.id];
+            if (addr >= m.words) {
+                r = 0;
+            } else if (_memLayout[e.memId].inState) {
+                r = state[_memLayout[e.memId].stateBase + addr];
+            } else {
+                r = m.init[addr];
+            }
+            break;
+          }
+          case Op::Not:
+            r = ~v[e.a.id] & mask;
+            break;
+          case Op::And:
+            r = v[e.a.id] & v[e.b.id];
+            break;
+          case Op::Or:
+            r = v[e.a.id] | v[e.b.id];
+            break;
+          case Op::Xor:
+            r = v[e.a.id] ^ v[e.b.id];
+            break;
+          case Op::Add:
+            r = (v[e.a.id] + v[e.b.id]) & mask;
+            break;
+          case Op::Sub:
+            r = (v[e.a.id] - v[e.b.id]) & mask;
+            break;
+          case Op::Eq:
+            r = v[e.a.id] == v[e.b.id];
+            break;
+          case Op::Ne:
+            r = v[e.a.id] != v[e.b.id];
+            break;
+          case Op::Ult:
+            r = v[e.a.id] < v[e.b.id];
+            break;
+          case Op::Mux:
+            r = v[e.c.id] ? v[e.a.id] : v[e.b.id];
+            break;
+          case Op::Concat:
+            r = ((v[e.a.id] << _nodes[e.b.id].width) | v[e.b.id]) & mask;
+            break;
+          case Op::Slice:
+            r = (v[e.a.id] >> e.imm) & mask;
+            break;
+          case Op::ShlC:
+            r = (v[e.a.id] << e.imm) & mask;
+            break;
+          case Op::ShrC:
+            r = (v[e.a.id] >> e.imm) & mask;
+            break;
+        }
+        v[i] = r;
+    }
+}
+
+void
+Netlist::nextState(const std::uint32_t *state,
+                   const std::uint32_t *values, StateVec &next) const
+{
+    next.assign(state, state + _stateWords);
+    for (std::size_t i = 0; i < _regs.size(); ++i)
+        next[i] = values[_regs[i].next.id];
+    for (std::size_t i = 0; i < _mems.size(); ++i) {
+        if (!_memLayout[i].inState)
+            continue;
+        const MemDecl &m = _mems[i];
+        for (const MemWritePort &p : m.writePorts) {
+            if (!values[p.enable.id])
+                continue;
+            const std::uint32_t addr = values[p.addr.id];
+            if (addr < m.words)
+                next[_memLayout[i].stateBase + addr] = values[p.data.id];
+        }
+    }
+}
+
+std::size_t
+Netlist::stateSlotOfReg(Signal q) const
+{
+    RC_ASSERT(q.valid() && q.id < _nodes.size());
+    const ExprNode &n = _nodes[q.id];
+    RC_ASSERT(n.op == Op::RegQ, "stateSlotOfReg on non-register");
+    return n.stateSlot;
+}
+
+std::size_t
+Netlist::stateSlotOfMemWord(MemHandle mem, std::uint32_t word) const
+{
+    RC_ASSERT(mem.valid() && mem.id < _mems.size());
+    RC_ASSERT(_memLayout[mem.id].inState, "ROM words are not in state");
+    RC_ASSERT(word < _mems[mem.id].words, "memory word out of range");
+    return _memLayout[mem.id].stateBase + word;
+}
+
+Signal
+Netlist::signalByName(const std::string &name) const
+{
+    auto it = _named.find(name);
+    if (it == _named.end())
+        RC_FATAL("no signal named '", name, "'");
+    return it->second;
+}
+
+Signal
+Netlist::findSignal(const std::string &name) const
+{
+    auto it = _named.find(name);
+    return it == _named.end() ? Signal{} : it->second;
+}
+
+MemHandle
+Netlist::memByName(const std::string &name) const
+{
+    auto it = _namedMems.find(name);
+    if (it == _namedMems.end())
+        RC_FATAL("no memory named '", name, "'");
+    return it->second;
+}
+
+} // namespace rtlcheck::rtl

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Elaborated, immutable form of a Design, ready for fast evaluation.
+ *
+ * Because the Design builder only lets expressions reference
+ * already-created nodes, node-index order is a valid evaluation order:
+ * a single linear pass computes every combinational value for a cycle.
+ * Registers and writable memories are flattened into one `uint32_t`
+ * state vector, so design states can be hashed and deduplicated by the
+ * formal engine. ROMs are folded into the netlist and occupy no state.
+ */
+
+#ifndef RTLCHECK_RTL_NETLIST_HH
+#define RTLCHECK_RTL_NETLIST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/design.hh"
+
+namespace rtlcheck::rtl {
+
+/** Flattened design state: registers first, then memory words. */
+using StateVec = std::vector<std::uint32_t>;
+/** Primary-input values for one cycle. */
+using InputVec = std::vector<std::uint32_t>;
+/** Scratch buffer holding every node's value for one cycle. */
+using ValueVec = std::vector<std::uint32_t>;
+
+class Netlist
+{
+  public:
+    /** Elaborate a finished design. The design must outlive nothing;
+     *  the netlist copies everything it needs. */
+    explicit Netlist(const Design &design);
+
+    std::size_t stateWords() const { return _stateWords; }
+    std::size_t numNodes() const { return _nodes.size(); }
+    std::size_t numInputs() const { return _inputs.size(); }
+
+    /** State vector after reset (register resets + memory init). */
+    StateVec initialState() const;
+
+    /** Evaluate all combinational values for one cycle. */
+    void eval(const std::uint32_t *state, const std::uint32_t *inputs,
+              ValueVec &values) const;
+
+    /** Compute the post-clock-edge state from this cycle's values. */
+    void nextState(const std::uint32_t *state,
+                   const std::uint32_t *values, StateVec &next) const;
+
+    /** Read a signal's value out of an eval() result. */
+    std::uint32_t
+    valueOf(Signal s, const ValueVec &values) const
+    {
+        return values[s.id];
+    }
+
+    /** State-vector slot of a register (by its Q signal). */
+    std::size_t stateSlotOfReg(Signal q) const;
+    /** State-vector slot of one word of a writable memory. */
+    std::size_t stateSlotOfMemWord(MemHandle mem, std::uint32_t word) const;
+
+    /** Named-signal table copied from the design. */
+    Signal signalByName(const std::string &name) const;
+    Signal findSignal(const std::string &name) const;
+    MemHandle memByName(const std::string &name) const;
+    unsigned widthOf(Signal s) const { return _nodes[s.id].width; }
+
+    const std::vector<InputDecl> &inputs() const { return _inputs; }
+    const std::vector<RegDecl> &regs() const { return _regs; }
+    const std::vector<MemDecl> &mems() const { return _mems; }
+
+  private:
+    struct MemLayout
+    {
+        /// offset into the state vector; unused for ROMs
+        std::size_t stateBase = 0;
+        bool inState = false;
+    };
+
+    std::vector<ExprNode> _nodes;
+    std::vector<RegDecl> _regs;
+    std::vector<InputDecl> _inputs;
+    std::vector<MemDecl> _mems;
+    std::vector<MemLayout> _memLayout;
+    std::map<std::string, Signal> _named;
+    std::map<std::string, MemHandle> _namedMems;
+    std::size_t _stateWords = 0;
+};
+
+} // namespace rtlcheck::rtl
+
+#endif // RTLCHECK_RTL_NETLIST_HH

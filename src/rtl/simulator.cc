@@ -1,0 +1,106 @@
+#include "simulator.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace rtlcheck::rtl {
+
+Simulator::Simulator(const Netlist &netlist)
+    : _netlist(netlist), _state(netlist.initialState())
+{
+}
+
+void
+Simulator::reset()
+{
+    _state = _netlist.initialState();
+    _cycle = 0;
+    _hasValues = false;
+}
+
+void
+Simulator::resetWith(const std::vector<std::pair<std::size_t,
+                                                 std::uint32_t>> &pins)
+{
+    reset();
+    for (const auto &[slot, value] : pins) {
+        RC_ASSERT(slot < _state.size(), "pin slot out of range");
+        _state[slot] = value;
+    }
+}
+
+void
+Simulator::step(const InputVec &inputs)
+{
+    RC_ASSERT(inputs.size() == _netlist.numInputs(),
+              "expected ", _netlist.numInputs(), " inputs, got ",
+              inputs.size());
+    _netlist.eval(_state.data(), inputs.data(), _lastValues);
+    StateVec next;
+    _netlist.nextState(_state.data(), _lastValues.data(), next);
+    _state = std::move(next);
+    _hasValues = true;
+    ++_cycle;
+}
+
+std::uint32_t
+Simulator::lastValue(Signal s) const
+{
+    RC_ASSERT(_hasValues, "no step() has been executed yet");
+    return _lastValues[s.id];
+}
+
+std::uint32_t
+Simulator::lastValue(const std::string &name) const
+{
+    return lastValue(_netlist.signalByName(name));
+}
+
+Waveform::Waveform(const Netlist &netlist,
+                   const std::vector<std::string> &signal_names)
+    : _names(signal_names)
+{
+    for (const auto &n : _names)
+        _signals.push_back(netlist.signalByName(n));
+    _rows.resize(_names.size());
+}
+
+void
+Waveform::sample(const Simulator &sim)
+{
+    for (std::size_t i = 0; i < _signals.size(); ++i)
+        _rows[i].push_back(sim.lastValue(_signals[i]));
+}
+
+std::string
+Waveform::render() const
+{
+    std::size_t name_w = 5;
+    for (const auto &n : _names)
+        name_w = std::max(name_w, n.size());
+
+    std::ostringstream oss;
+    oss << std::left << std::setw(static_cast<int>(name_w)) << "cycle"
+        << " |";
+    const std::size_t cycles = _rows.empty() ? 0 : _rows[0].size();
+    for (std::size_t c = 0; c < cycles; ++c)
+        oss << std::right << std::setw(9) << c;
+    oss << '\n';
+    oss << std::string(name_w, '-') << "-+"
+        << std::string(9 * cycles, '-') << '\n';
+    for (std::size_t i = 0; i < _names.size(); ++i) {
+        oss << std::left << std::setw(static_cast<int>(name_w))
+            << _names[i] << " |";
+        for (std::size_t c = 0; c < cycles; ++c) {
+            std::ostringstream cell;
+            cell << "0x" << std::hex << _rows[i][c];
+            oss << std::right << std::setw(9) << cell.str();
+        }
+        oss << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace rtlcheck::rtl

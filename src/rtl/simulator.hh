@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Interactive cycle-accurate simulator over an elaborated Netlist.
+ *
+ * Used by tests, the examples, and for counterexample replay: the
+ * formal engine stores only the per-cycle input choices along a
+ * violating path, and the simulator re-executes them to recover every
+ * signal value for waveform printing (Figure 12 of the paper).
+ */
+
+#ifndef RTLCHECK_RTL_SIMULATOR_HH
+#define RTLCHECK_RTL_SIMULATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.hh"
+
+namespace rtlcheck::rtl {
+
+class Simulator
+{
+  public:
+    explicit Simulator(const Netlist &netlist);
+
+    /** Reset to the initial state (cycle count back to 0). */
+    void reset();
+
+    /** Reset, then overwrite selected state words (pinned values). */
+    void resetWith(const std::vector<std::pair<std::size_t,
+                                               std::uint32_t>> &pins);
+
+    /** Advance one clock cycle with the given primary inputs. */
+    void step(const InputVec &inputs);
+
+    /** Value of a signal as of the most recent step()'s cycle. */
+    std::uint32_t lastValue(Signal s) const;
+    std::uint32_t lastValue(const std::string &name) const;
+
+    /** Current (post-edge) architectural state. */
+    const StateVec &state() const { return _state; }
+    StateVec &mutableState() { return _state; }
+
+    std::uint64_t cycle() const { return _cycle; }
+    const Netlist &netlist() const { return _netlist; }
+
+  private:
+    const Netlist &_netlist;
+    StateVec _state;
+    ValueVec _lastValues;
+    bool _hasValues = false;
+    std::uint64_t _cycle = 0;
+};
+
+/**
+ * Records named signals over a run and renders an ASCII timing table,
+ * in the spirit of the paper's Figure 6 / Figure 12 traces.
+ */
+class Waveform
+{
+  public:
+    Waveform(const Netlist &netlist,
+             const std::vector<std::string> &signal_names);
+
+    /** Capture the signal values of the current cycle. */
+    void sample(const Simulator &sim);
+
+    /** Render an ASCII table: one row per signal, one column/cycle. */
+    std::string render() const;
+
+    /** Recorded values: rows[signal][cycle]. */
+    const std::vector<std::vector<std::uint32_t>> &rows() const
+    {
+        return _rows;
+    }
+
+  private:
+    std::vector<std::string> _names;
+    std::vector<Signal> _signals;
+    std::vector<std::vector<std::uint32_t>> _rows;
+};
+
+} // namespace rtlcheck::rtl
+
+#endif // RTLCHECK_RTL_SIMULATOR_HH

@@ -1,0 +1,83 @@
+#include "vcd.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace rtlcheck::rtl {
+
+namespace {
+
+/** Short printable VCD identifier for signal index i. */
+std::string
+vcdId(std::size_t i)
+{
+    std::string id;
+    do {
+        id += static_cast<char>('!' + (i % 94));
+        i /= 94;
+    } while (i);
+    return id;
+}
+
+/** Binary rendering of a value at a given width. */
+std::string
+binary(std::uint32_t value, unsigned width)
+{
+    std::string out;
+    for (unsigned b = width; b-- > 0;)
+        out += ((value >> b) & 1) ? '1' : '0';
+    return out;
+}
+
+} // namespace
+
+std::string
+toVcd(const Netlist &netlist,
+      const std::vector<std::string> &signal_names,
+      const Waveform &waveform, const std::string &module_name)
+{
+    RC_ASSERT(signal_names.size() == waveform.rows().size(),
+              "signal list does not match waveform rows");
+
+    std::ostringstream oss;
+    oss << "$date RTLCheck-cpp $end\n";
+    oss << "$timescale 1ns $end\n";
+    oss << "$scope module " << module_name << " $end\n";
+
+    std::vector<unsigned> widths;
+    for (std::size_t i = 0; i < signal_names.size(); ++i) {
+        unsigned width =
+            netlist.widthOf(netlist.signalByName(signal_names[i]));
+        widths.push_back(width);
+        std::string flat = signal_names[i];
+        for (char &c : flat)
+            if (c == '.')
+                c = '_';
+        oss << "$var wire " << width << " " << vcdId(i) << " " << flat
+            << " $end\n";
+    }
+    oss << "$upscope $end\n$enddefinitions $end\n";
+
+    const std::size_t cycles =
+        waveform.rows().empty() ? 0 : waveform.rows()[0].size();
+    std::vector<std::uint32_t> last(signal_names.size(), ~0u);
+    for (std::size_t c = 0; c < cycles; ++c) {
+        oss << '#' << c << '\n';
+        for (std::size_t i = 0; i < signal_names.size(); ++i) {
+            std::uint32_t v = waveform.rows()[i][c];
+            if (c > 0 && v == last[i])
+                continue;
+            last[i] = v;
+            if (widths[i] == 1)
+                oss << (v ? '1' : '0') << vcdId(i) << '\n';
+            else
+                oss << 'b' << binary(v, widths[i]) << ' ' << vcdId(i)
+                    << '\n';
+        }
+    }
+    oss << '#' << cycles << '\n';
+    return oss.str();
+}
+
+} // namespace rtlcheck::rtl

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Value-change-dump (VCD) output for recorded waveforms, so
+ * counterexample traces can be inspected in standard waveform
+ * viewers (GTKWave etc.) exactly like traces from a Verilog
+ * simulator.
+ */
+
+#ifndef RTLCHECK_RTL_VCD_HH
+#define RTLCHECK_RTL_VCD_HH
+
+#include <string>
+#include <vector>
+
+#include "rtl/simulator.hh"
+
+namespace rtlcheck::rtl {
+
+/**
+ * Render a recorded Waveform as VCD text. Signal names keep their
+ * hierarchical dots (viewers show them as scopes). One VCD time unit
+ * per clock cycle.
+ */
+std::string toVcd(const Netlist &netlist,
+                  const std::vector<std::string> &signal_names,
+                  const Waveform &waveform,
+                  const std::string &module_name = "rtlcheck");
+
+} // namespace rtlcheck::rtl
+
+#endif // RTLCHECK_RTL_VCD_HH

@@ -1,0 +1,156 @@
+#include "assertion_gen.hh"
+
+#include "common/logging.hh"
+
+namespace rtlcheck::core {
+
+using litmus::InstrRef;
+using sva::Seq;
+using uspec::UhbNode;
+
+namespace {
+
+/** Load-value constraint applicable to one node in one branch. */
+std::optional<std::uint32_t>
+constraintFor(const UhbNode &node,
+              const std::map<InstrRef, std::uint32_t> &load_values)
+{
+    // Load values are observable only at Writeback, where the data
+    // returns (Figure 9's WB case).
+    if (node.stage != uspec::Stage::Writeback)
+        return std::nullopt;
+    auto it = load_values.find(node.instr);
+    if (it == load_values.end())
+        return std::nullopt;
+    return it->second;
+}
+
+} // namespace
+
+Seq
+edgeSequence(NodeMapping &mapping, const UhbNode &src,
+             const UhbNode &dst,
+             const std::map<InstrRef, std::uint32_t> &load_values,
+             EdgeEncoding encoding)
+{
+    int src_p = mapping.mapNode(src, constraintFor(src, load_values));
+    int dst_p = mapping.mapNode(dst, constraintFor(dst, load_values));
+
+    if (encoding == EdgeEncoding::Naive) {
+        // §3.3: ##[0:$] <src> ##[1:$] <dst> — delay cycles may
+        // silently absorb occurrences of the events themselves, so
+        // this encoding misses bugs.
+        int t = mapping.truePred();
+        return sva::sChain({sva::sStar(t), sva::sPred(src_p),
+                            sva::sStar(t), sva::sPred(dst_p)});
+    }
+
+    // §4.3: delay cycles must be cycles where neither event occurs
+    // (evaluated without load-value constraints).
+    int gap = mapping.mapGap(src, dst);
+    return sva::sChain({sva::sStar(gap), sva::sPred(src_p),
+                        sva::sStar(gap), sva::sPred(dst_p)});
+}
+
+Seq
+nodeSequence(NodeMapping &mapping, const UhbNode &node,
+             const std::map<InstrRef, std::uint32_t> &load_values,
+             EdgeEncoding encoding)
+{
+    int p = mapping.mapNode(node, constraintFor(node, load_values));
+    if (encoding == EdgeEncoding::Naive) {
+        int t = mapping.truePred();
+        return sva::sConcat(sva::sStar(t), sva::sPred(p));
+    }
+    // (~node)[*0:$] ##1 node — using a self-gap so delay cycles
+    // cannot absorb the event with different data.
+    int gap = mapping.mapGap(node, node);
+    return sva::sConcat(sva::sStar(gap), sva::sPred(p));
+}
+
+std::vector<sva::Property>
+generateAssertions(const uspec::Model &model, const litmus::Test &test,
+                   NodeMapping &mapping,
+                   const sva::PredicateTable &preds,
+                   EdgeEncoding encoding)
+{
+    auto instances = uspec::instantiate(
+        model, test, uspec::EvalMode::OutcomeAgnostic);
+
+    std::vector<sva::Property> props;
+    for (const auto &inst : instances) {
+        auto branches = uspec::toDnf(inst.formula);
+
+        sva::Property prop;
+        prop.name = inst.axiom + "[" + inst.binding + "]";
+
+        bool trivially_true = false;
+        for (const uspec::Branch &br : branches) {
+            if (br.edges.empty() && br.loadValues.empty()) {
+                // A branch with no temporal obligations holds on
+                // every trace; the whole property is vacuous.
+                trivially_true = true;
+                break;
+            }
+            std::vector<Seq> seqs;
+            for (const uspec::EdgeLit &lit : br.edges) {
+                const UhbNode &a = lit.positive ? lit.src : lit.dst;
+                const UhbNode &b = lit.positive ? lit.dst : lit.src;
+                seqs.push_back(edgeSequence(mapping, a, b,
+                                            br.loadValues, encoding));
+            }
+            // A load-value constraint whose load appears at
+            // Writeback in no edge of this branch would go
+            // unchecked; lower it as a node-existence sequence
+            // (§4.3's node-existence case).
+            for (const auto &[ref, value] : br.loadValues) {
+                bool covered = false;
+                for (const uspec::EdgeLit &lit : br.edges) {
+                    covered |=
+                        (lit.src.instr == ref &&
+                         lit.src.stage == uspec::Stage::Writeback) ||
+                        (lit.dst.instr == ref &&
+                         lit.dst.stage == uspec::Stage::Writeback);
+                }
+                if (!covered) {
+                    seqs.push_back(nodeSequence(
+                        mapping,
+                        UhbNode{ref, uspec::Stage::Writeback},
+                        br.loadValues, encoding));
+                }
+            }
+            prop.branches.push_back(std::move(seqs));
+        }
+        if (trivially_true || prop.branches.empty()) {
+            // branches.empty(): the formula is unsatisfiable, which
+            // cannot arise from a well-formed axiom; skip defensively.
+            if (prop.branches.empty() && !trivially_true)
+                RC_WARN("axiom instance ", prop.name,
+                        " is unsatisfiable; skipped");
+            continue;
+        }
+
+        // Render the SystemVerilog text (§4.4's first-guarded form).
+        std::string body;
+        for (std::size_t b = 0; b < prop.branches.size(); ++b) {
+            if (b)
+                body += " or ";
+            body += "(";
+            for (std::size_t s = 0; s < prop.branches[b].size(); ++s) {
+                if (s)
+                    body += " and ";
+                body += "(" +
+                        sva::seqToSva(prop.branches[b][s], preds) +
+                        ")";
+            }
+            body += ")";
+        }
+        prop.svaText = "assert property (@(posedge clk) first |-> (" +
+                       body + ")); // " + prop.name;
+
+        props.push_back(std::move(prop));
+    }
+    return props;
+}
+
+} // namespace rtlcheck::core

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The Assertion Generator (paper §4.2–§4.4).
+ *
+ * Each µspec axiom instance, evaluated outcome-agnostically, becomes
+ * one SVA property:
+ *
+ *  - the instance's formula is expanded to DNF; each branch carries
+ *    the load-value constraints its data predicates imply (§4.2), and
+ *    branches combine with SVA `or`;
+ *  - each positive edge literal lowers to the strict delay-sequence
+ *    encoding of §4.3 (never the naive unbounded ranges of §3.3);
+ *    each negated edge literal lowers to the reversed-order sequence;
+ *  - the whole property is guarded by `first |->` so only the
+ *    anchored match attempt is checked (§4.4).
+ *
+ * A naive generation mode reproduces the §3.3 pitfall for the tests
+ * and benches that demonstrate why the strict encoding is needed.
+ */
+
+#ifndef RTLCHECK_RTLCHECK_ASSERTION_GEN_HH
+#define RTLCHECK_RTLCHECK_ASSERTION_GEN_HH
+
+#include <vector>
+
+#include "rtlcheck/mapping.hh"
+#include "sva/property.hh"
+#include "uspec/eval.hh"
+
+namespace rtlcheck::core {
+
+enum class EdgeEncoding
+{
+    Strict, ///< §4.3 gap-restricted delay sequences
+    Naive,  ///< §3.3 unbounded ranges (unsound; for demonstration)
+};
+
+/** Lower one µhb edge to an SVA sequence. `load_values` supplies the
+ *  branch's load-value constraints (§4.2). */
+sva::Seq edgeSequence(NodeMapping &mapping, const uspec::UhbNode &src,
+                      const uspec::UhbNode &dst,
+                      const std::map<litmus::InstrRef,
+                                     std::uint32_t> &load_values,
+                      EdgeEncoding encoding);
+
+/** Lower a node-existence check to an SVA sequence. */
+sva::Seq nodeSequence(NodeMapping &mapping, const uspec::UhbNode &node,
+                      const std::map<litmus::InstrRef,
+                                     std::uint32_t> &load_values,
+                      EdgeEncoding encoding);
+
+/**
+ * Generate one property per (non-trivial) axiom instance of the
+ * model on the test.
+ */
+std::vector<sva::Property>
+generateAssertions(const uspec::Model &model, const litmus::Test &test,
+                   NodeMapping &mapping, const sva::PredicateTable &preds,
+                   EdgeEncoding encoding = EdgeEncoding::Strict);
+
+} // namespace rtlcheck::core
+
+#endif // RTLCHECK_RTLCHECK_ASSERTION_GEN_HH

@@ -1,0 +1,166 @@
+#include "assumption_gen.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "vscale/isa.hh"
+#include "vscale/soc.hh"
+
+namespace rtlcheck::core {
+
+using vscale::SocInfo;
+
+std::vector<formal::Assumption>
+AssumptionSet::resolve(const rtl::Netlist &netlist) const
+{
+    std::vector<formal::Assumption> out;
+    for (const PinSpec &pin : pins) {
+        formal::Assumption a;
+        a.kind = formal::Assumption::Kind::InitialPin;
+        a.name = "pin:" + pin.mem + "[" + std::to_string(pin.word) +
+                 "]";
+        a.svaText = pin.svaText;
+        a.stateSlot = netlist.stateSlotOfMemWord(
+            netlist.memByName(pin.mem), pin.word);
+        a.value = pin.value;
+        out.push_back(std::move(a));
+    }
+    for (const formal::Assumption &a : cycleAssumptions)
+        out.push_back(a);
+    return out;
+}
+
+std::vector<std::string>
+AssumptionSet::allSvaText() const
+{
+    std::vector<std::string> out = romLines;
+    for (const PinSpec &pin : pins)
+        out.push_back(pin.svaText);
+    for (const formal::Assumption &a : cycleAssumptions)
+        out.push_back(a.svaText);
+    return out;
+}
+
+namespace {
+
+std::string
+assumeWrap(const std::string &body)
+{
+    return "assume property (@(posedge clk) " + body + ");";
+}
+
+} // namespace
+
+AssumptionSet
+generateAssumptions(rtl::Design &design, sva::PredicateTable &preds,
+                    const vscale::Program &program,
+                    VscaleNodeMapping &mapping)
+{
+    AssumptionSet set;
+    const litmus::Test &test = *program.test;
+
+    // (1) Instruction-memory initialization (Figure 8, second line).
+    // The lowered program is baked into the shared instruction ROM;
+    // the rendered assumptions document the same constraint.
+    for (std::size_t w = 0; w < program.imem.size(); ++w) {
+        if (program.imem[w] == 0)
+            continue;
+        std::ostringstream body;
+        body << "first |-> imem[" << w << "] == 32'h" << std::hex
+             << program.imem[w];
+        set.romLines.push_back(assumeWrap(body.str()));
+    }
+
+    // (2) Data-memory initialization.
+    for (const auto &[word, value] : program.dmemInit) {
+        PinSpec pin;
+        pin.mem = SocInfo::dmemName;
+        pin.word = word;
+        pin.value = value;
+        pin.svaText = assumeWrap(
+            "first |-> mem[" + std::to_string(word) + "] == {32'd" +
+            std::to_string(value) + "}");
+        set.pins.push_back(std::move(pin));
+    }
+
+    // (3) Register initialization: address and data registers of
+    // every litmus instruction.
+    for (const vscale::RegPin &rp : program.regPins) {
+        PinSpec pin;
+        pin.mem = SocInfo::regfileName(rp.core);
+        pin.word = rp.reg;
+        pin.value = rp.value;
+        std::ostringstream body;
+        body << "first |-> core[" << rp.core << "].regfile[" << rp.reg
+             << "] == {32'd" << rp.value << "}";
+        pin.svaText = assumeWrap(body.str());
+        set.pins.push_back(std::move(pin));
+    }
+
+    // (4) Load-value assumptions: when a constrained load performs
+    // its WB, it returns the outcome's value (§4.1: these cannot
+    // enforce the outcome, but guide and prune the search).
+    for (const litmus::LoadConstraint &lc : test.loadConstraints) {
+        uspec::UhbNode node{lc.ref, uspec::Stage::Writeback};
+        int ant = mapping.mapNode(node, std::nullopt);
+        int cons = mapping.mapNode(node, lc.value);
+
+        formal::Assumption a;
+        a.kind = formal::Assumption::Kind::Implication;
+        a.name = "loadval:" + std::to_string(lc.ref.thread) + "." +
+                 std::to_string(lc.ref.index);
+        a.antecedent = ant;
+        a.consequent = cons;
+        a.svaText = assumeWrap("(" + preds.textOf(ant) + ") |-> (" +
+                               preds.textOf(cons) + ")");
+        set.cycleAssumptions.push_back(std::move(a));
+    }
+
+    // (5) Final-value assumption: antecedent is "all cores have
+    // halted"; consequent is the required final memory state (or a
+    // constant 1 when the test has none — Figure 8's last line).
+    {
+        rtl::Signal all_halted =
+            design.signalByName(SocInfo::allHaltedName);
+        int ant = preds.add(all_halted, "(all cores halted)");
+
+        rtl::Signal cons_sig = design.constant(1, 1);
+        std::ostringstream cons_text;
+        if (test.finalMem.empty()) {
+            cons_text << "(1)";
+        } else {
+            rtl::MemHandle dmem = design.memByName(SocInfo::dmemName);
+            bool first_term = true;
+            cons_text << "(";
+            for (const auto &fm : test.finalMem) {
+                std::uint32_t word = vscale::dmemWordOf(fm.address);
+                rtl::Signal rd = design.memRead(
+                    dmem, design.constant(3, word));
+                cons_sig = design.andOf(
+                    cons_sig, design.eqConst(rd, fm.value));
+                if (!first_term)
+                    cons_text << " && ";
+                cons_text << "mem[" << word << "] == 32'd" << fm.value;
+                first_term = false;
+            }
+            cons_text << ")";
+        }
+        int cons = preds.add(cons_sig,
+                             "final-values " + cons_text.str());
+
+        formal::Assumption a;
+        a.kind = formal::Assumption::Kind::FinalValueCover;
+        a.name = "final-values";
+        a.antecedent = ant;
+        a.consequent = cons;
+        a.svaText = assumeWrap(
+            "(core[0].halted && core[1].halted && core[2].halted && "
+            "core[3].halted) |-> " +
+            cons_text.str());
+        set.cycleAssumptions.push_back(std::move(a));
+    }
+
+    return set;
+}
+
+} // namespace rtlcheck::core

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The Assumption Generator (paper §4.1, Figure 8).
+ *
+ * For one litmus test it produces: instruction- and data-memory
+ * initialization, register initialization, load-value assumptions
+ * (guidance that prunes the verifier's search), and the final-value
+ * assumption whose covering trace *is* an execution of the outcome
+ * under test. Initialization assumptions constrain only the first
+ * cycle, so the engine discharges them as initial-state pins; the
+ * instruction initialization is realized by the instruction ROM the
+ * program was lowered into. Every assumption also carries rendered
+ * SystemVerilog in Figure 8's style.
+ */
+
+#ifndef RTLCHECK_RTLCHECK_ASSUMPTION_GEN_HH
+#define RTLCHECK_RTLCHECK_ASSUMPTION_GEN_HH
+
+#include <string>
+#include <vector>
+
+#include "formal/assumptions.hh"
+#include "rtl/netlist.hh"
+#include "rtlcheck/mapping.hh"
+
+namespace rtlcheck::core {
+
+/** A pin expressed against a named memory; resolved to a state slot
+ *  once the netlist exists. */
+struct PinSpec
+{
+    std::string mem;
+    std::uint32_t word = 0;
+    std::uint32_t value = 0;
+    std::string svaText;
+};
+
+struct AssumptionSet
+{
+    std::vector<PinSpec> pins;
+    /** Implications and the final-value cover (predicate ids). */
+    std::vector<formal::Assumption> cycleAssumptions;
+    /** Rendered instruction-initialization assumptions (realized by
+     *  the ROM contents at design build time). */
+    std::vector<std::string> romLines;
+
+    /** Engine-consumable assumption list. */
+    std::vector<formal::Assumption>
+    resolve(const rtl::Netlist &netlist) const;
+
+    /** All rendered SystemVerilog assumption lines. */
+    std::vector<std::string> allSvaText() const;
+};
+
+/** Generate all assumptions for a lowered litmus test. Predicates
+ *  are built into the design via the node mapping. */
+AssumptionSet generateAssumptions(rtl::Design &design,
+                                  sva::PredicateTable &preds,
+                                  const vscale::Program &program,
+                                  VscaleNodeMapping &mapping);
+
+} // namespace rtlcheck::core
+
+#endif // RTLCHECK_RTLCHECK_ASSUMPTION_GEN_HH

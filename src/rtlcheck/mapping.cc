@@ -1,0 +1,131 @@
+#include "mapping.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "vscale/soc.hh"
+
+namespace rtlcheck::core {
+
+using vscale::SocInfo;
+
+std::pair<rtl::Signal, std::string>
+VscaleNodeMapping::nodeExpr(const uspec::UhbNode &node,
+                            std::optional<std::uint32_t> load_value)
+{
+    Key key{node, load_value ? static_cast<std::int64_t>(*load_value)
+                             : -1};
+    auto it = _cache.find(key);
+    if (it != _cache.end())
+        return it->second;
+
+    const int core = node.instr.thread;
+    const std::uint32_t pc = _program.pcOf(node.instr);
+
+    const char *pc_name = nullptr;
+    const char *stall_name = nullptr;
+    switch (node.stage) {
+      case uspec::Stage::Fetch:
+        pc_name = "PC_IF";
+        stall_name = "stall_IF";
+        break;
+      case uspec::Stage::DecodeExecute:
+        pc_name = "PC_DX";
+        stall_name = "stall_DX";
+        break;
+      case uspec::Stage::Writeback:
+        pc_name = "PC_WB";
+        stall_name = "stall_WB";
+        break;
+      case uspec::Stage::Memory: {
+        // The store-buffer drain event of the TSO variant: this
+        // store's buffer entry commits to the memory array.
+        RC_ASSERT(!load_value,
+                  "load-value constraints do not apply to drains");
+        rtl::Signal fire = _design.findSignal(
+            SocInfo::coreSignal(core, "sb_drain_fire"));
+        if (!fire.valid()) {
+            RC_FATAL("the µspec model references the Memory stage "
+                     "but the design has no store buffer (build the "
+                     "TSO SoC variant)");
+        }
+        rtl::Signal sb_pc = _design.signalByName(
+            SocInfo::coreSignal(core, "sb_pc"));
+        rtl::Signal expr = _design.andOf(
+            fire, _design.eqConst(sb_pc, pc));
+        std::ostringstream text;
+        text << "core[" << core << "].sb_drain_fire && core[" << core
+             << "].sb_pc == 32'd" << pc;
+        auto result = std::make_pair(expr, text.str());
+        _cache[key] = result;
+        return result;
+      }
+    }
+
+    rtl::Signal pc_sig =
+        _design.signalByName(SocInfo::coreSignal(core, pc_name));
+    rtl::Signal stall_sig =
+        _design.signalByName(SocInfo::coreSignal(core, stall_name));
+
+    rtl::Signal expr = _design.andOf(_design.eqConst(pc_sig, pc),
+                                     _design.notOf(stall_sig));
+    std::ostringstream text;
+    text << "core[" << core << "]." << pc_name << " == 32'd" << pc
+         << " && ~(core[" << core << "]." << stall_name << ")";
+
+    if (load_value) {
+        RC_ASSERT(node.stage == uspec::Stage::Writeback,
+                  "load-value constraints only apply at Writeback");
+        rtl::Signal data = _design.signalByName(
+            SocInfo::coreSignal(core, "load_data_WB"));
+        expr = _design.andOf(expr,
+                             _design.eqConst(data, *load_value));
+        text << " && core[" << core << "].load_data_WB == 32'd"
+             << *load_value;
+    }
+
+    auto result = std::make_pair(expr, text.str());
+    _cache[key] = result;
+    return result;
+}
+
+int
+VscaleNodeMapping::mapNode(const uspec::UhbNode &node,
+                           std::optional<std::uint32_t> load_value)
+{
+    auto [sig, text] = nodeExpr(node, load_value);
+    return _preds.add(sig, "(" + text + ")");
+}
+
+int
+VscaleNodeMapping::mapGap(const uspec::UhbNode &a,
+                          const uspec::UhbNode &b)
+{
+    Key ka{a, -1};
+    Key kb{b, -1};
+    auto pair_key = ka < kb ? std::make_pair(ka, kb)
+                            : std::make_pair(kb, ka);
+    auto it = _gapCache.find(pair_key);
+    if (it != _gapCache.end())
+        return it->second;
+
+    // §4.3: delay cycles are cycles where neither event of interest
+    // occurs, with *no* load-value constraints, so that delay cycles
+    // cannot silently absorb the events with different data.
+    auto [sa, ta] = nodeExpr(a, std::nullopt);
+    auto [sb, tb] = nodeExpr(b, std::nullopt);
+    rtl::Signal gap = _design.notOf(_design.orOf(sa, sb));
+    int id = _preds.add(gap, "(~((" + ta + ") || (" + tb + ")))");
+    _gapCache[pair_key] = id;
+    return id;
+}
+
+int
+VscaleNodeMapping::truePred()
+{
+    if (_truePred < 0)
+        _truePred = _preds.add(_design.constant(1, 1), "1'b1");
+    return _truePred;
+}
+
+} // namespace rtlcheck::core

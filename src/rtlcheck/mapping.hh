@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Node mapping functions (paper §4.3, Figure 9).
+ *
+ * A node mapping turns an abstract µhb node — one instruction at one
+ * pipeline stage — into an RTL boolean expression that is true
+ * exactly on the cycle the event occurs, optionally strengthened by a
+ * load-value constraint (§4.2). Expressions are built into the design
+ * and registered as atomic predicates; their SystemVerilog renderings
+ * are kept so generated properties can be emitted as .sv text.
+ */
+
+#ifndef RTLCHECK_RTLCHECK_MAPPING_HH
+#define RTLCHECK_RTLCHECK_MAPPING_HH
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "rtl/design.hh"
+#include "sva/predicates.hh"
+#include "uspec/formula.hh"
+#include "vscale/program.hh"
+
+namespace rtlcheck::core {
+
+/** Abstract node-mapping interface, so RTLCheck applies to any
+ *  design for which the user supplies one. */
+class NodeMapping
+{
+  public:
+    virtual ~NodeMapping() = default;
+
+    /** Predicate for "this node's event occurs this cycle", with an
+     *  optional load-value constraint on the data returned. */
+    virtual int mapNode(const uspec::UhbNode &node,
+                        std::optional<std::uint32_t> load_value) = 0;
+
+    /** Gap predicate for delay cycles of an edge src->dst: true when
+     *  *neither* event occurs, irrespective of data values (§4.3). */
+    virtual int mapGap(const uspec::UhbNode &a,
+                       const uspec::UhbNode &b) = 0;
+
+    /** Predicate that is true on every cycle (for the naive §3.3
+     *  unbounded-range encodings). */
+    virtual int truePred() = 0;
+};
+
+/** The Multi-V-scale node mapping function of Figure 9. */
+class VscaleNodeMapping : public NodeMapping
+{
+  public:
+    VscaleNodeMapping(rtl::Design &design, sva::PredicateTable &preds,
+                      const vscale::Program &program)
+        : _design(design), _preds(preds), _program(program)
+    {
+    }
+
+    int mapNode(const uspec::UhbNode &node,
+                std::optional<std::uint32_t> load_value) override;
+    int mapGap(const uspec::UhbNode &a,
+               const uspec::UhbNode &b) override;
+    int truePred() override;
+
+    /** The raw signal + SVA text of a node event (shared with the
+     *  assumption generator). */
+    std::pair<rtl::Signal, std::string>
+    nodeExpr(const uspec::UhbNode &node,
+             std::optional<std::uint32_t> load_value);
+
+  private:
+    rtl::Design &_design;
+    sva::PredicateTable &_preds;
+    const vscale::Program &_program;
+
+    struct Key
+    {
+        uspec::UhbNode node;
+        std::int64_t lvc; ///< -1 when absent
+
+        auto operator<=>(const Key &o) const = default;
+    };
+    std::map<Key, std::pair<rtl::Signal, std::string>> _cache;
+
+    /** Gap predicates are shared per unordered node pair so the
+     *  predicate table stays small on large tests. */
+    std::map<std::pair<Key, Key>, int> _gapCache;
+    int _truePred = -1;
+};
+
+} // namespace rtlcheck::core
+
+#endif // RTLCHECK_RTLCHECK_MAPPING_HH

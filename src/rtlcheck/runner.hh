@@ -1,0 +1,111 @@
+/**
+ * @file
+ * End-to-end RTLCheck flow for one litmus test (paper Figure 7).
+ *
+ * Inputs: an RTL design variant, the µspec model, a litmus test, and
+ * the Multi-V-scale program/node mapping functions. The runner lowers
+ * the test, builds the SoC, generates assumptions and assertions,
+ * elaborates, and hands everything to the property-verification
+ * engine; the result says whether the implementation upholds the
+ * microarchitectural axioms for this test.
+ */
+
+#ifndef RTLCHECK_RTLCHECK_RUNNER_HH
+#define RTLCHECK_RTLCHECK_RUNNER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "formal/engine.hh"
+#include "litmus/test.hh"
+#include "rtlcheck/assertion_gen.hh"
+#include "rtlcheck/assumption_gen.hh"
+#include "uspec/ast.hh"
+#include "vscale/soc.hh"
+
+namespace rtlcheck::core {
+
+/** Which Multi-V-scale pipeline to verify. */
+enum class Pipeline
+{
+    InOrder,      ///< the paper's SC design (§5)
+    StoreBuffer,  ///< the TSO extension (soc_tso.cc)
+};
+
+struct RunOptions
+{
+    Pipeline pipeline = Pipeline::InOrder;
+    vscale::MemoryVariant variant = vscale::MemoryVariant::Fixed;
+    formal::EngineConfig config = formal::fullProofConfig();
+    EdgeEncoding encoding = EdgeEncoding::Strict;
+    /** Ablation: drop the load-value assumptions of §4.1 (the
+     *  verifier then explores executions of every outcome). */
+    bool useValueAssumptions = true;
+    /** Ablation: drop the final-value assumption, losing the §4.1
+     *  unreachable-cover shortcut. */
+    bool useFinalValueCover = true;
+};
+
+struct TestRun
+{
+    std::string testName;
+    formal::VerifyResult verify;
+    double generationSeconds = 0.0;
+    double totalSeconds = 0.0;
+    int numProperties = 0;
+    std::vector<std::string> svaAssumptions;
+    std::vector<std::string> svaAssertions;
+
+    /** Verified: outcome unobservable and every assertion holds. */
+    bool verified() const { return verify.clean(); }
+};
+
+/** Run RTLCheck on one test. */
+TestRun runTest(const litmus::Test &test, const uspec::Model &model,
+                const RunOptions &options);
+
+/**
+ * Replay a witness trace (per-cycle arbiter inputs) on a freshly
+ * built design and render the named signals as an ASCII timing
+ * diagram — how the paper's Figure 12 counterexample is inspected.
+ */
+std::string renderWitness(const litmus::Test &test,
+                          vscale::MemoryVariant variant,
+                          const formal::WitnessTrace &trace,
+                          const std::vector<std::string> &signals);
+
+/** As above, but honouring the full options (pipeline variant). */
+std::string renderWitness(const litmus::Test &test,
+                          const RunOptions &options,
+                          const formal::WitnessTrace &trace,
+                          const std::vector<std::string> &signals);
+
+/** Replay a witness and render it as a VCD file for waveform
+ *  viewers. */
+std::string renderWitnessVcd(const litmus::Test &test,
+                             const RunOptions &options,
+                             const formal::WitnessTrace &trace,
+                             const std::vector<std::string> &signals);
+
+/** Signals worth showing for a 2-core trace (Figure 12's set). */
+std::vector<std::string> defaultWaveSignals(int cores);
+
+/** Render the generated assumptions and assertions as one
+ *  SystemVerilog file, the artifact shape the paper's tool emits
+ *  per litmus test (§6). */
+std::string renderSvaFile(const TestRun &run);
+
+/**
+ * Replay a cover witness in the simulator and check that it truly
+ * exhibits the test's outcome under test: every constrained load
+ * returns its outcome value and the final memory state matches.
+ * Used to validate the engine's cover search end-to-end.
+ */
+bool witnessExhibitsOutcome(const litmus::Test &test,
+                            const RunOptions &options,
+                            const formal::WitnessTrace &trace);
+
+} // namespace rtlcheck::core
+
+#endif // RTLCHECK_RTLCHECK_RUNNER_HH

@@ -1,0 +1,140 @@
+#include "nfa.hh"
+
+#include "common/logging.hh"
+
+namespace rtlcheck::sva {
+
+namespace {
+
+/** Epsilon-NFA under construction (Thompson-style). */
+struct ENfa
+{
+    struct ETrans
+    {
+        int pred;
+        int target;
+    };
+
+    std::vector<std::vector<ETrans>> trans;
+    std::vector<std::vector<int>> eps;
+
+    int
+    newState()
+    {
+        trans.emplace_back();
+        eps.emplace_back();
+        return static_cast<int>(trans.size()) - 1;
+    }
+};
+
+struct Fragment
+{
+    int start = 0;
+    std::vector<int> accepts;
+};
+
+Fragment
+build(ENfa &nfa, const Seq &seq)
+{
+    switch (seq->kind) {
+      case SeqNode::Kind::Pred: {
+        int s0 = nfa.newState();
+        int s1 = nfa.newState();
+        nfa.trans[static_cast<std::size_t>(s0)].push_back(
+            {seq->pred, s1});
+        return Fragment{s0, {s1}};
+      }
+      case SeqNode::Kind::Star: {
+        int s0 = nfa.newState();
+        nfa.trans[static_cast<std::size_t>(s0)].push_back(
+            {seq->pred, s0});
+        return Fragment{s0, {s0}};
+      }
+      case SeqNode::Kind::Concat: {
+        Fragment a = build(nfa, seq->children[0]);
+        Fragment b = build(nfa, seq->children[1]);
+        for (int acc : a.accepts)
+            nfa.eps[static_cast<std::size_t>(acc)].push_back(b.start);
+        return Fragment{a.start, b.accepts};
+      }
+      case SeqNode::Kind::Or: {
+        Fragment a = build(nfa, seq->children[0]);
+        Fragment b = build(nfa, seq->children[1]);
+        int s = nfa.newState();
+        nfa.eps[static_cast<std::size_t>(s)].push_back(a.start);
+        nfa.eps[static_cast<std::size_t>(s)].push_back(b.start);
+        Fragment f;
+        f.start = s;
+        f.accepts = a.accepts;
+        f.accepts.insert(f.accepts.end(), b.accepts.begin(),
+                         b.accepts.end());
+        return f;
+      }
+    }
+    RC_PANIC("unreachable");
+}
+
+std::uint64_t
+closureMask(const ENfa &nfa, int state)
+{
+    std::uint64_t mask = 0;
+    std::vector<int> stack{state};
+    while (!stack.empty()) {
+        int s = stack.back();
+        stack.pop_back();
+        std::uint64_t bit = std::uint64_t(1) << s;
+        if (mask & bit)
+            continue;
+        mask |= bit;
+        for (int t : nfa.eps[static_cast<std::size_t>(s)])
+            stack.push_back(t);
+    }
+    return mask;
+}
+
+} // namespace
+
+Nfa
+Nfa::compile(const Seq &seq)
+{
+    ENfa enfa;
+    Fragment frag = build(enfa, seq);
+    const int n = static_cast<int>(enfa.trans.size());
+    RC_ASSERT(n <= 64, "sequence NFA exceeds 64 states (", n, ")");
+
+    std::vector<std::uint64_t> closures(static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s)
+        closures[static_cast<std::size_t>(s)] = closureMask(enfa, s);
+
+    Nfa out;
+    out._trans.resize(static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) {
+        for (const auto &t : enfa.trans[static_cast<std::size_t>(s)]) {
+            out._trans[static_cast<std::size_t>(s)].push_back(
+                Trans{t.pred,
+                      closures[static_cast<std::size_t>(t.target)]});
+        }
+    }
+    out._initial = closures[static_cast<std::size_t>(frag.start)];
+    for (int acc : frag.accepts)
+        out._accepting |= std::uint64_t(1) << acc;
+    return out;
+}
+
+std::uint64_t
+Nfa::step(std::uint64_t live, const PredMask &mask) const
+{
+    std::uint64_t next = 0;
+    std::uint64_t work = live;
+    while (work) {
+        int s = __builtin_ctzll(work);
+        work &= work - 1;
+        for (const Trans &t : _trans[static_cast<std::size_t>(s)]) {
+            if (t.pred < 0 || predTrue(mask, t.pred))
+                next |= t.targetMask;
+        }
+    }
+    return next;
+}
+
+} // namespace rtlcheck::sva

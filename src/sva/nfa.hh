@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Compilation of SVA sequences to nondeterministic finite automata.
+ *
+ * The automaton consumes one "letter" per clock cycle (a PredMask).
+ * A sequence *matches* a trace prefix when an accepting state is
+ * reached after consuming the prefix's last cycle; it *fails* on a
+ * trace when its live-state set becomes empty before any match. The
+ * live set fits a 64-bit mask: RTLCheck-generated sequences have only
+ * a handful of states.
+ */
+
+#ifndef RTLCHECK_SVA_NFA_HH
+#define RTLCHECK_SVA_NFA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sva/sequence.hh"
+
+namespace rtlcheck::sva {
+
+class Nfa
+{
+  public:
+    /** Compile a sequence. */
+    static Nfa compile(const Seq &seq);
+
+    /** Initial live-state mask (before consuming any cycle). */
+    std::uint64_t initial() const { return _initial; }
+
+    /** True iff the empty prefix already matches. */
+    bool matchesEmpty() const { return (_initial & _accepting) != 0; }
+
+    /** Advance the live set by one cycle. */
+    std::uint64_t step(std::uint64_t live, const PredMask &mask) const;
+
+    /** Does the live set contain an accepting state? */
+    bool
+    accepts(std::uint64_t live) const
+    {
+        return (live & _accepting) != 0;
+    }
+
+    int numStates() const { return static_cast<int>(_trans.size()); }
+
+  private:
+    struct Trans
+    {
+        int pred;                  ///< predicate id; -1 = always
+        std::uint64_t targetMask;  ///< epsilon-closed target states
+    };
+
+    std::vector<std::vector<Trans>> _trans;
+    std::uint64_t _initial = 0;
+    std::uint64_t _accepting = 0;
+};
+
+} // namespace rtlcheck::sva
+
+#endif // RTLCHECK_SVA_NFA_HH

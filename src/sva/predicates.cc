@@ -1,0 +1,52 @@
+#include "predicates.hh"
+
+#include "common/logging.hh"
+
+namespace rtlcheck::sva {
+
+int
+PredicateTable::add(rtl::Signal signal, const std::string &sva_text)
+{
+    RC_ASSERT(signal.valid());
+    auto it = _bySignal.find(signal.id);
+    if (it != _bySignal.end())
+        return it->second;
+    RC_ASSERT(size() < maxPredicates,
+              "too many atomic predicates for one test");
+    int id = size();
+    _signals.push_back(signal);
+    _texts.push_back(sva_text);
+    _bySignal[signal.id] = id;
+    return id;
+}
+
+rtl::Signal
+PredicateTable::signalOf(int id) const
+{
+    RC_ASSERT(id >= 0 && id < size());
+    return _signals[static_cast<std::size_t>(id)];
+}
+
+const std::string &
+PredicateTable::textOf(int id) const
+{
+    RC_ASSERT(id >= 0 && id < size());
+    return _texts[static_cast<std::size_t>(id)];
+}
+
+PredMask
+PredicateTable::evaluate(const rtl::Netlist &netlist,
+                         const rtl::ValueVec &values) const
+{
+    PredMask mask{};
+    for (int i = 0; i < size(); ++i) {
+        if (netlist.valueOf(_signals[static_cast<std::size_t>(i)],
+                            values)) {
+            mask[static_cast<std::size_t>(i) / 64] |=
+                std::uint64_t(1) << (i % 64);
+        }
+    }
+    return mask;
+}
+
+} // namespace rtlcheck::sva

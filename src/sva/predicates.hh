@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Atomic cycle predicates for SVA sequences.
+ *
+ * Every boolean expression an assertion or assumption needs (node
+ * mappings, gap conditions, antecedents) is built as a 1-bit RTL
+ * signal and registered here. The formal engine then evaluates the
+ * whole table once per explored transition, producing a compact
+ * bitmask; sequence NFAs and assumptions consume only those masks.
+ */
+
+#ifndef RTLCHECK_SVA_PREDICATES_HH
+#define RTLCHECK_SVA_PREDICATES_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.hh"
+
+namespace rtlcheck::sva {
+
+/** Truth values of all registered predicates in one cycle. */
+using PredMask = std::array<std::uint64_t, 4>;
+
+constexpr int maxPredicates = 256;
+
+inline bool
+predTrue(const PredMask &mask, int id)
+{
+    return (mask[static_cast<std::size_t>(id) / 64] >> (id % 64)) & 1;
+}
+
+class PredicateTable
+{
+  public:
+    /**
+     * Register a predicate; `sva_text` is its SystemVerilog
+     * rendering (used when emitting .sv output). Registering the
+     * same signal twice returns the original id.
+     */
+    int add(rtl::Signal signal, const std::string &sva_text);
+
+    int size() const { return static_cast<int>(_signals.size()); }
+    rtl::Signal signalOf(int id) const;
+    const std::string &textOf(int id) const;
+
+    /** Evaluate every predicate against one cycle's values. */
+    PredMask evaluate(const rtl::Netlist &netlist,
+                      const rtl::ValueVec &values) const;
+
+  private:
+    std::vector<rtl::Signal> _signals;
+    std::vector<std::string> _texts;
+    std::map<std::uint32_t, int> _bySignal;
+};
+
+} // namespace rtlcheck::sva
+
+#endif // RTLCHECK_SVA_PREDICATES_HH

@@ -1,0 +1,141 @@
+#include "property.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace rtlcheck::sva {
+
+std::string
+triName(Tri t)
+{
+    switch (t) {
+      case Tri::Pending:
+        return "pending";
+      case Tri::Matched:
+        return "matched";
+      case Tri::Failed:
+        return "failed";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Structural key of a sequence, for sharing NFAs across branches
+ *  (DNF branches of one axiom instance reuse many edges). */
+std::string
+seqKey(const Seq &s)
+{
+    switch (s->kind) {
+      case SeqNode::Kind::Pred:
+        return "p" + std::to_string(s->pred);
+      case SeqNode::Kind::Star:
+        return "s" + std::to_string(s->pred);
+      case SeqNode::Kind::Concat:
+        return "(" + seqKey(s->children[0]) + "." +
+               seqKey(s->children[1]) + ")";
+      case SeqNode::Kind::Or:
+        return "(" + seqKey(s->children[0]) + "|" +
+               seqKey(s->children[1]) + ")";
+    }
+    return "?";
+}
+
+} // namespace
+
+PropertyRuntime::PropertyRuntime(const Property &prop)
+{
+    RC_ASSERT(!prop.branches.empty(),
+              "property '", prop.name, "' has no branches");
+    std::map<std::string, int> seq_index;
+    for (const auto &branch : prop.branches) {
+        RC_ASSERT(!branch.empty(), "empty branch in property '",
+                  prop.name, "'");
+        std::vector<int> seq_ids;
+        for (const Seq &s : branch) {
+            std::string key = seqKey(s);
+            auto it = seq_index.find(key);
+            int id;
+            if (it != seq_index.end()) {
+                id = it->second;
+            } else {
+                id = static_cast<int>(_nfas.size());
+                _nfas.push_back(Nfa::compile(s));
+                seq_index[key] = id;
+            }
+            seq_ids.push_back(id);
+        }
+        _branchSeqs.push_back(std::move(seq_ids));
+    }
+    RC_ASSERT(_nfas.size() <= 64,
+              "property '", prop.name, "' needs more than 64 distinct "
+              "sequences");
+}
+
+PropertyRuntime::State
+PropertyRuntime::initial() const
+{
+    State st;
+    st.live.resize(_nfas.size());
+    for (std::size_t i = 0; i < _nfas.size(); ++i) {
+        st.live[i] = _nfas[i].initial();
+        if (_nfas[i].matchesEmpty())
+            st.matched |= std::uint64_t(1) << i;
+    }
+    return st;
+}
+
+void
+PropertyRuntime::step(State &state, const PredMask &mask) const
+{
+    for (std::size_t i = 0; i < _nfas.size(); ++i) {
+        if ((state.matched >> i) & 1) {
+            state.live[i] = 0; // matched is sticky; stop tracking
+            continue;
+        }
+        state.live[i] = _nfas[i].step(state.live[i], mask);
+        if (_nfas[i].accepts(state.live[i]))
+            state.matched |= std::uint64_t(1) << i;
+    }
+}
+
+Tri
+PropertyRuntime::status(const State &state) const
+{
+    bool any_pending_branch = false;
+    for (const auto &branch : _branchSeqs) {
+        bool failed = false;
+        bool all_matched = true;
+        for (int s : branch) {
+            const bool m = (state.matched >> s) & 1;
+            if (m)
+                continue;
+            all_matched = false;
+            if (state.live[static_cast<std::size_t>(s)] == 0) {
+                failed = true;
+                break;
+            }
+        }
+        if (failed)
+            continue;
+        if (all_matched)
+            return Tri::Matched;
+        any_pending_branch = true;
+    }
+    return any_pending_branch ? Tri::Pending : Tri::Failed;
+}
+
+void
+PropertyRuntime::appendKey(const State &state,
+                           std::vector<std::uint32_t> &out) const
+{
+    for (std::uint64_t l : state.live) {
+        out.push_back(static_cast<std::uint32_t>(l));
+        out.push_back(static_cast<std::uint32_t>(l >> 32));
+    }
+    out.push_back(static_cast<std::uint32_t>(state.matched));
+    out.push_back(static_cast<std::uint32_t>(state.matched >> 32));
+}
+
+} // namespace rtlcheck::sva

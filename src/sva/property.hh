@@ -1,0 +1,74 @@
+/**
+ * @file
+ * SVA properties of the shape RTLCheck generates:
+ *
+ *     assert property (@(posedge clk) first |->
+ *         (seq and seq ...) or (seq and seq ...) ...);
+ *
+ * The `first |->` guard realizes the paper's match-attempt filtering
+ * (§4.4): exactly one match attempt, anchored at the first cycle
+ * after reset. Property evaluation uses three-valued status with
+ * weak (safety) semantics: a sequence that can still match is
+ * Pending, and only a sequence whose NFA dies unmatched is Failed.
+ */
+
+#ifndef RTLCHECK_SVA_PROPERTY_HH
+#define RTLCHECK_SVA_PROPERTY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sva/nfa.hh"
+#include "sva/sequence.hh"
+
+namespace rtlcheck::sva {
+
+enum class Tri { Pending, Matched, Failed };
+
+std::string triName(Tri t);
+
+/** One generated property: an OR of branches, each an AND of
+ *  sequences (§4.2's outcome cases). */
+struct Property
+{
+    std::string name;
+    std::vector<std::vector<Seq>> branches;
+    std::string svaText;   ///< rendered SystemVerilog
+};
+
+/**
+ * Compiled evaluator for one property. The evaluation state is a
+ * small vector of NFA live-sets plus sticky matched bits; it is
+ * serializable so the formal engine can deduplicate product states.
+ */
+class PropertyRuntime
+{
+  public:
+    explicit PropertyRuntime(const Property &prop);
+
+    struct State
+    {
+        std::vector<std::uint64_t> live;  ///< one live-set per seq
+        std::uint64_t matched = 0;        ///< sticky match bits
+    };
+
+    State initial() const;
+    void step(State &state, const PredMask &mask) const;
+    Tri status(const State &state) const;
+
+    /** Serialize for product-state hashing. */
+    void appendKey(const State &state,
+                   std::vector<std::uint32_t> &out) const;
+
+    int numSequences() const { return static_cast<int>(_nfas.size()); }
+
+  private:
+    std::vector<Nfa> _nfas;
+    /** branch -> indices into _nfas. */
+    std::vector<std::vector<int>> _branchSeqs;
+};
+
+} // namespace rtlcheck::sva
+
+#endif // RTLCHECK_SVA_PROPERTY_HH

@@ -1,0 +1,71 @@
+#include "sequence.hh"
+
+#include "common/logging.hh"
+
+namespace rtlcheck::sva {
+
+Seq
+sPred(int pred)
+{
+    auto n = std::make_shared<SeqNode>();
+    n->kind = SeqNode::Kind::Pred;
+    n->pred = pred;
+    return n;
+}
+
+Seq
+sStar(int pred)
+{
+    auto n = std::make_shared<SeqNode>();
+    n->kind = SeqNode::Kind::Star;
+    n->pred = pred;
+    return n;
+}
+
+Seq
+sConcat(Seq a, Seq b)
+{
+    auto n = std::make_shared<SeqNode>();
+    n->kind = SeqNode::Kind::Concat;
+    n->children = {std::move(a), std::move(b)};
+    return n;
+}
+
+Seq
+sOr(Seq a, Seq b)
+{
+    auto n = std::make_shared<SeqNode>();
+    n->kind = SeqNode::Kind::Or;
+    n->children = {std::move(a), std::move(b)};
+    return n;
+}
+
+Seq
+sChain(const std::vector<Seq> &parts)
+{
+    RC_ASSERT(!parts.empty());
+    Seq out = parts[0];
+    for (std::size_t i = 1; i < parts.size(); ++i)
+        out = sConcat(out, parts[i]);
+    return out;
+}
+
+std::string
+seqToSva(const Seq &seq, const PredicateTable &preds)
+{
+    switch (seq->kind) {
+      case SeqNode::Kind::Pred:
+        return "(" + preds.textOf(seq->pred) + ")";
+      case SeqNode::Kind::Star:
+        return "(" + preds.textOf(seq->pred) + ") [*0:$]";
+      case SeqNode::Kind::Concat:
+        return seqToSva(seq->children[0], preds) + " ##1 " +
+               seqToSva(seq->children[1], preds);
+      case SeqNode::Kind::Or:
+        return "(" + seqToSva(seq->children[0], preds) + ") or (" +
+               seqToSva(seq->children[1], preds) + ")";
+    }
+    return "?";
+}
+
+} // namespace rtlcheck::sva

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The SVA sequence subset RTLCheck generates (paper §4.3).
+ *
+ * Sequences are built from atomic cycle predicates with:
+ *   - Pred(p):    one cycle where p holds
+ *   - Star(p):    p[*0:$] — zero or more consecutive p-cycles
+ *   - Concat:     a ##1 b — b begins the cycle after a ends
+ *   - Or:         SVA `or` of sequences
+ *
+ * This is exactly enough to express the paper's strict happens-before
+ * edge encoding, node-existence sequences, and the *naive* unbounded
+ * -range encodings of §3.3 that the tests demonstrate are unsound.
+ */
+
+#ifndef RTLCHECK_SVA_SEQUENCE_HH
+#define RTLCHECK_SVA_SEQUENCE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sva/predicates.hh"
+
+namespace rtlcheck::sva {
+
+struct SeqNode;
+using Seq = std::shared_ptr<const SeqNode>;
+
+struct SeqNode
+{
+    enum class Kind { Pred, Star, Concat, Or };
+
+    Kind kind = Kind::Pred;
+    int pred = -1;           ///< Pred / Star
+    std::vector<Seq> children;
+};
+
+Seq sPred(int pred);
+Seq sStar(int pred);
+Seq sConcat(Seq a, Seq b);
+Seq sOr(Seq a, Seq b);
+
+/** Fold a ##1 chain: parts[0] ##1 parts[1] ##1 ... */
+Seq sChain(const std::vector<Seq> &parts);
+
+/** Render as SystemVerilog sequence text. */
+std::string seqToSva(const Seq &seq, const PredicateTable &preds);
+
+} // namespace rtlcheck::sva
+
+#endif // RTLCHECK_SVA_SEQUENCE_HH

@@ -1,0 +1,54 @@
+#include "trace_checker.hh"
+
+namespace rtlcheck::sva {
+
+namespace {
+
+Tri
+runFrom(const PropertyRuntime &rt, const Trace &trace,
+        std::size_t start)
+{
+    PropertyRuntime::State st = rt.initial();
+    Tri verdict = rt.status(st);
+    for (std::size_t c = start; c < trace.size(); ++c) {
+        if (verdict != Tri::Pending)
+            return verdict;
+        rt.step(st, trace[c]);
+        verdict = rt.status(st);
+    }
+    return verdict;
+}
+
+} // namespace
+
+Tri
+checkFireOnce(const Property &prop, const Trace &trace)
+{
+    PropertyRuntime rt(prop);
+    return runFrom(rt, trace, 0);
+}
+
+Tri
+checkFireAlways(const Property &prop, const Trace &trace)
+{
+    PropertyRuntime rt(prop);
+    bool any_matched = false;
+    bool any_pending = false;
+    for (std::size_t start = 0; start < trace.size(); ++start) {
+        switch (runFrom(rt, trace, start)) {
+          case Tri::Failed:
+            return Tri::Failed;
+          case Tri::Matched:
+            any_matched = true;
+            break;
+          case Tri::Pending:
+            any_pending = true;
+            break;
+        }
+    }
+    if (any_pending)
+        return Tri::Pending;
+    return any_matched ? Tri::Matched : Tri::Pending;
+}
+
+} // namespace rtlcheck::sva

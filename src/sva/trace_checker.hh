@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Property checking over concrete finite traces.
+ *
+ * Used by simulation-based tests and by the examples that reproduce
+ * the paper's §3.3/§3.4 pitfalls. Two attempt policies are provided:
+ *
+ *  - fireOnce: the RTLCheck semantics — a single match attempt
+ *    anchored at the first cycle (the `first |->` guard of §4.4).
+ *  - fireAlways: raw SVA assertion semantics — one match attempt per
+ *    cycle, the property fails if *any* attempt fails. §3.4 shows why
+ *    this contradicts microarchitectural intent.
+ */
+
+#ifndef RTLCHECK_SVA_TRACE_CHECKER_HH
+#define RTLCHECK_SVA_TRACE_CHECKER_HH
+
+#include <vector>
+
+#include "sva/property.hh"
+
+namespace rtlcheck::sva {
+
+/** A finite trace: one PredMask per cycle. */
+using Trace = std::vector<PredMask>;
+
+/** Single anchored attempt; Pending means the trace ended while the
+ *  property could still match (weak semantics: not a failure). */
+Tri checkFireOnce(const Property &prop, const Trace &trace);
+
+/** One attempt per start cycle; Failed if any attempt fails. */
+Tri checkFireAlways(const Property &prop, const Trace &trace);
+
+} // namespace rtlcheck::sva
+
+#endif // RTLCHECK_SVA_TRACE_CHECKER_HH

@@ -1,0 +1,126 @@
+#include "graph.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace rtlcheck::uhb {
+
+using uspec::numStages;
+
+UhbGraph::UhbGraph(const litmus::Test &test)
+    : _refs(test.allRefs())
+{
+    _numNodes = static_cast<int>(_refs.size()) * numStages;
+    RC_ASSERT(_numNodes <= 64, "µhb graph too large for bitmask "
+              "adjacency (", _numNodes, " nodes)");
+    _adj.assign(static_cast<std::size_t>(_numNodes), 0);
+}
+
+int
+UhbGraph::nodeId(const uspec::UhbNode &node) const
+{
+    for (std::size_t i = 0; i < _refs.size(); ++i) {
+        if (_refs[i] == node.instr)
+            return static_cast<int>(i) * numStages +
+                   static_cast<int>(node.stage);
+    }
+    RC_PANIC("µhb node references an instruction outside the test");
+}
+
+uspec::UhbNode
+UhbGraph::nodeOf(int id) const
+{
+    RC_ASSERT(id >= 0 && id < _numNodes);
+    uspec::UhbNode node;
+    node.instr = _refs[static_cast<std::size_t>(id / numStages)];
+    node.stage = static_cast<uspec::Stage>(id % numStages);
+    return node;
+}
+
+void
+UhbGraph::addEdge(int src, int dst, const std::string &label)
+{
+    RC_ASSERT(src >= 0 && src < _numNodes && dst >= 0 &&
+              dst < _numNodes);
+    if (hasEdge(src, dst))
+        return;
+    _adj[static_cast<std::size_t>(src)] |= std::uint64_t(1) << dst;
+    _edges.push_back(Edge{src, dst, label});
+}
+
+void
+UhbGraph::addEdge(const uspec::UhbNode &src, const uspec::UhbNode &dst,
+                  const std::string &label)
+{
+    addEdge(nodeId(src), nodeId(dst), label);
+}
+
+bool
+UhbGraph::hasEdge(int src, int dst) const
+{
+    return (_adj[static_cast<std::size_t>(src)] >> dst) & 1;
+}
+
+bool
+UhbGraph::hasPath(int src, int dst) const
+{
+    std::uint64_t visited = 0;
+    std::uint64_t frontier = _adj[static_cast<std::size_t>(src)];
+    while (frontier) {
+        if ((frontier >> dst) & 1)
+            return true;
+        visited |= frontier;
+        std::uint64_t next = 0;
+        std::uint64_t f = frontier;
+        while (f) {
+            int n = __builtin_ctzll(f);
+            f &= f - 1;
+            next |= _adj[static_cast<std::size_t>(n)];
+        }
+        frontier = next & ~visited;
+    }
+    return false;
+}
+
+bool
+UhbGraph::isCyclic() const
+{
+    for (int n = 0; n < _numNodes; ++n)
+        if (hasPath(n, n))
+            return true;
+    return false;
+}
+
+void
+UhbGraph::clear()
+{
+    _adj.assign(static_cast<std::size_t>(_numNodes), 0);
+    _edges.clear();
+}
+
+std::string
+UhbGraph::toDot(const litmus::Test &test) const
+{
+    std::ostringstream oss;
+    oss << "digraph uhb {\n  rankdir=TB;\n";
+    for (int id = 0; id < _numNodes; ++id) {
+        uspec::UhbNode node = nodeOf(id);
+        const litmus::Instr &in = test.instrAt(node.instr);
+        oss << "  n" << id << " [label=\"(i" << node.instr.thread
+            << "." << node.instr.index << ") "
+            << (in.type == litmus::OpType::Store ? "St " : "Ld ")
+            << litmus::Test::addressName(in.address) << " @"
+            << uspec::stageName(node.stage) << "\"];\n";
+    }
+    for (const Edge &e : _edges) {
+        oss << "  n" << e.src << " -> n" << e.dst;
+        if (!e.label.empty())
+            oss << " [label=\"" << e.label << "\"]";
+        oss << ";\n";
+    }
+    oss << "}\n";
+    return oss.str();
+}
+
+} // namespace rtlcheck::uhb

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Microarchitectural happens-before (µhb) graphs.
+ *
+ * Nodes are (instruction, pipeline stage) pairs; edges are known
+ * happens-before relationships (paper §2.1, Figure 3a). A cycle
+ * proves the depicted execution impossible, which is the core of
+ * Check-style microarchitectural verification.
+ */
+
+#ifndef RTLCHECK_UHB_GRAPH_HH
+#define RTLCHECK_UHB_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "litmus/test.hh"
+#include "uspec/formula.hh"
+
+namespace rtlcheck::uhb {
+
+/**
+ * Dense µhb graph over the nodes of one litmus test. Node ids are
+ * instrIndex * numStages + stage, where instrIndex follows
+ * litmus::Test::allRefs() order.
+ */
+class UhbGraph
+{
+  public:
+    explicit UhbGraph(const litmus::Test &test);
+
+    int numNodes() const { return _numNodes; }
+
+    int nodeId(const uspec::UhbNode &node) const;
+    uspec::UhbNode nodeOf(int id) const;
+
+    /** Add a directed edge (idempotent). */
+    void addEdge(int src, int dst, const std::string &label = "");
+    void addEdge(const uspec::UhbNode &src, const uspec::UhbNode &dst,
+                 const std::string &label = "");
+
+    bool hasEdge(int src, int dst) const;
+
+    /** True iff a directed path src -> dst exists (length >= 1). */
+    bool hasPath(int src, int dst) const;
+
+    /** True iff the graph contains a directed cycle. */
+    bool isCyclic() const;
+
+    /** Would adding src -> dst create a cycle? */
+    bool
+    wouldCreateCycle(int src, int dst) const
+    {
+        return src == dst || hasPath(dst, src);
+    }
+
+    /** Remove all edges (keeps the node universe). */
+    void clear();
+
+    /** Edge list with labels, for rendering. */
+    struct Edge
+    {
+        int src;
+        int dst;
+        std::string label;
+    };
+    const std::vector<Edge> &edges() const { return _edges; }
+
+    /** GraphViz dot rendering in the style of Figure 3a. */
+    std::string toDot(const litmus::Test &test) const;
+
+  private:
+    int _numNodes = 0;
+    std::vector<std::uint64_t> _adj;  ///< adjacency bitmasks
+    std::vector<Edge> _edges;
+    std::vector<litmus::InstrRef> _refs;
+};
+
+} // namespace rtlcheck::uhb
+
+#endif // RTLCHECK_UHB_GRAPH_HH

@@ -1,0 +1,156 @@
+#include "solver.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rtlcheck::uhb {
+
+using uspec::Branch;
+using uspec::EdgeLit;
+
+namespace {
+
+/** One axiom instance prepared for search. */
+struct SearchItem
+{
+    std::vector<Branch> branches;
+};
+
+class Search
+{
+  public:
+    Search(const litmus::Test &test,
+           std::vector<SearchItem> items)
+        : _graph(test), _items(std::move(items))
+    {
+    }
+
+    SolveResult
+    run()
+    {
+        SolveResult result;
+        result.numInstances = static_cast<int>(_items.size());
+        // Single-branch instances are forced: apply them first so
+        // their edges prune everything below.
+        std::stable_sort(_items.begin(), _items.end(),
+                         [](const SearchItem &a, const SearchItem &b) {
+                             return a.branches.size() <
+                                    b.branches.size();
+                         });
+        _result = &result;
+        recurse(0);
+        return result;
+    }
+
+  private:
+    /** Apply a branch's AddEdge literals; returns false on cycle or
+     *  on an already-contradicted negated literal. Since paths only
+     *  grow down the search, a negated edge literal contradicted now
+     *  stays contradicted at every leaf below, so pruning here is
+     *  sound and keeps implication-style axioms from exploding the
+     *  search. */
+    bool
+    applyBranch(const Branch &branch)
+    {
+        for (const EdgeLit &lit : branch.edges) {
+            int s = _graph.nodeId(lit.src);
+            int d = _graph.nodeId(lit.dst);
+            if (!lit.positive) {
+                if (s == d || _graph.hasPath(s, d))
+                    return false;
+                continue;
+            }
+            if (!lit.isAdd)
+                continue; // positive EdgeExists: checked at the leaf
+            if (_graph.hasEdge(s, d))
+                continue;
+            if (_graph.wouldCreateCycle(s, d))
+                return false;
+            _graph.addEdge(s, d, lit.label);
+        }
+        return true;
+    }
+
+    /** Leaf check: positive EdgeExists need paths; negated edge
+     *  literals must have no path. */
+    bool
+    leafConsistent() const
+    {
+        for (const auto &item : _leafBranches) {
+            for (const EdgeLit &lit : *item) {
+                int s = _graph.nodeId(lit.src);
+                int d = _graph.nodeId(lit.dst);
+                if (lit.positive && !lit.isAdd) {
+                    if (!(s == d ? false : _graph.hasPath(s, d)) &&
+                        !_graph.hasEdge(s, d))
+                        return false;
+                }
+                if (!lit.positive) {
+                    if (s == d || _graph.hasPath(s, d))
+                        return false;
+                }
+            }
+        }
+        return true;
+    }
+
+    void
+    recurse(std::size_t idx)
+    {
+        if (_result->observable)
+            return;
+        if (idx == _items.size()) {
+            ++_result->scenariosExplored;
+            if (leafConsistent()) {
+                _result->observable = true;
+                _result->witness = _graph;
+            }
+            return;
+        }
+        for (const Branch &branch : _items[idx].branches) {
+            UhbGraph saved = _graph;
+            if (applyBranch(branch)) {
+                _leafBranches.push_back(&branch.edges);
+                recurse(idx + 1);
+                _leafBranches.pop_back();
+            }
+            _graph = std::move(saved);
+            if (_result->observable)
+                return;
+        }
+    }
+
+    UhbGraph _graph;
+    std::vector<SearchItem> _items;
+    std::vector<const std::vector<EdgeLit> *> _leafBranches;
+    SolveResult *_result = nullptr;
+};
+
+} // namespace
+
+SolveResult
+checkOutcome(const uspec::Model &model, const litmus::Test &test)
+{
+    auto instances =
+        uspec::instantiate(model, test, uspec::EvalMode::Omniscient);
+
+    std::vector<SearchItem> items;
+    for (const auto &inst : instances) {
+        SearchItem item;
+        item.branches = uspec::toDnf(inst.formula);
+        if (item.branches.empty()) {
+            // An axiom instance is unsatisfiable outright: the
+            // outcome is unobservable regardless of other choices.
+            SolveResult r;
+            r.observable = false;
+            r.numInstances = static_cast<int>(instances.size());
+            return r;
+        }
+        items.push_back(std::move(item));
+    }
+
+    return Search(test, std::move(items)).run();
+}
+
+} // namespace rtlcheck::uhb

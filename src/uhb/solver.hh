@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Check-style microarchitectural verification (paper §2.1, Figure 4a).
+ *
+ * The solver instantiates the µspec model omnisciently on a litmus
+ * test's outcome under test, then searches for a *consistent,
+ * acyclic* scenario: a choice of one DNF branch per axiom instance
+ * whose AddEdge atoms form an acyclic graph in which every positive
+ * EdgeExists literal has a supporting path and no negated edge
+ * literal does. If such a scenario exists, the outcome is observable
+ * at the microarchitecture level; for the SC-forbidden outcomes in
+ * our suite, every scenario must be cyclic or inconsistent.
+ */
+
+#ifndef RTLCHECK_UHB_SOLVER_HH
+#define RTLCHECK_UHB_SOLVER_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "litmus/test.hh"
+#include "uhb/graph.hh"
+#include "uspec/ast.hh"
+#include "uspec/eval.hh"
+
+namespace rtlcheck::uhb {
+
+struct SolveResult
+{
+    bool observable = false;
+    /** Scenarios (complete branch choices) examined. */
+    std::uint64_t scenariosExplored = 0;
+    /** Witness graph when observable. */
+    std::optional<UhbGraph> witness;
+    /** Axiom instances that participated. */
+    int numInstances = 0;
+};
+
+/**
+ * Decide whether the test's outcome under test is observable on the
+ * modeled microarchitecture.
+ */
+SolveResult checkOutcome(const uspec::Model &model,
+                         const litmus::Test &test);
+
+} // namespace rtlcheck::uhb
+
+#endif // RTLCHECK_UHB_SOLVER_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Abstract syntax for the µspec modeling language.
+ *
+ * µspec is the first-order logic language the Check suite uses to
+ * describe microarchitectural happens-before orderings (paper §2.1,
+ * Figures 3b and 5). A model is a set of named axioms plus reusable
+ * macros; axioms quantify over the microops of a litmus test and
+ * constrain µhb graph edges through predicates and AddEdge /
+ * EdgeExists terms.
+ *
+ * Macro expansion follows µspec convention: a macro body may refer to
+ * variables bound at its expansion site (e.g. `i` in Figure 5's
+ * macros), so expansion is inlining without renaming.
+ */
+
+#ifndef RTLCHECK_USPEC_AST_HH
+#define RTLCHECK_USPEC_AST_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rtlcheck::uspec {
+
+/**
+ * Pipeline stages / performing locations of the modeled
+ * microarchitectures. The in-order SC pipeline uses the first three;
+ * the TSO store-buffer variant adds Memory, the point where a store
+ * drains from its store buffer into the memory array.
+ */
+enum class Stage : int
+{
+    Fetch = 0,
+    DecodeExecute = 1,
+    Writeback = 2,
+    Memory = 3,
+};
+
+constexpr int numStages = 4;
+
+/** Parse a stage name as written in µspec models. */
+Stage stageFromName(const std::string &name);
+std::string stageName(Stage stage);
+
+/** A (microop-variable, stage) pair inside an edge term. */
+struct NodeSpec
+{
+    std::string var;
+    Stage stage = Stage::Fetch;
+};
+
+/** One edge inside AddEdge / EdgeExists / EdgesExist. */
+struct EdgeSpec
+{
+    NodeSpec src;
+    NodeSpec dst;
+    std::string label;
+};
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/** Quantifier domain. */
+enum class Domain { Microop, Core };
+
+struct Expr
+{
+    enum class Kind
+    {
+        Forall,      ///< vars over domain; children[0] = body
+        Exists,      ///< vars over domain; children[0] = body
+        And,         ///< children[0..n]
+        Or,          ///< children[0..n]
+        Not,         ///< children[0]
+        Predicate,   ///< name + variable args
+        AddEdge,     ///< edges (conjunction if several)
+        EdgeExists,  ///< edges (conjunction if several)
+        ExpandMacro, ///< name of macro to inline
+    };
+
+    Kind kind = Kind::Predicate;
+    Domain domain = Domain::Microop;
+    std::string name;                ///< predicate / macro name
+    std::vector<std::string> vars;   ///< quantified vars or pred args
+    std::vector<EdgeSpec> edges;
+    std::vector<ExprPtr> children;
+};
+
+/** A named top-level axiom. */
+struct Axiom
+{
+    std::string name;
+    ExprPtr body;
+};
+
+/** A parsed µspec model. */
+struct Model
+{
+    std::vector<Axiom> axioms;
+    std::map<std::string, ExprPtr> macros;
+};
+
+} // namespace rtlcheck::uspec
+
+#endif // RTLCHECK_USPEC_AST_HH

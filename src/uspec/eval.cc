@@ -1,0 +1,424 @@
+#include "eval.hh"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace rtlcheck::uspec {
+
+namespace {
+
+/** Binding of a µspec variable: a microop or a core id. */
+struct Value
+{
+    bool isCore = false;
+    litmus::InstrRef instr;
+    int core = 0;
+};
+
+using Env = std::map<std::string, Value>;
+
+class Evaluator
+{
+  public:
+    Evaluator(const Model &model, const litmus::Test &test,
+              EvalMode mode)
+        : _model(model), _test(test), _mode(mode),
+          _refs(test.allRefs())
+    {
+    }
+
+    Formula
+    eval(const ExprPtr &expr, Env &env)
+    {
+        using Kind = Expr::Kind;
+        switch (expr->kind) {
+          case Kind::Forall:
+          case Kind::Exists:
+            return evalQuantifier(expr, env, 0);
+          case Kind::And: {
+            // Short-circuit so that guard predicates (IsAnyWrite w,
+            // SameAddress w i, ...) protect data predicates that are
+            // only meaningful under them (µspec models rely on this;
+            // predicates have no side effects).
+            std::vector<Formula> parts;
+            for (const auto &c : expr->children) {
+                Formula f = eval(c, env);
+                if (isTriviallyFalse(f))
+                    return fFalse();
+                parts.push_back(std::move(f));
+            }
+            return fAnd(std::move(parts));
+          }
+          case Kind::Or: {
+            std::vector<Formula> parts;
+            for (const auto &c : expr->children) {
+                Formula f = eval(c, env);
+                if (isTriviallyTrue(f))
+                    return fTrue();
+                parts.push_back(std::move(f));
+            }
+            return fOr(std::move(parts));
+          }
+          case Kind::Not:
+            return fNot(eval(expr->children[0], env));
+          case Kind::Predicate:
+            return evalPredicate(*expr, env);
+          case Kind::AddEdge:
+          case Kind::EdgeExists: {
+            std::vector<Formula> parts;
+            for (const auto &e : expr->edges) {
+                parts.push_back(
+                    fEdge(resolveNode(e.src, env),
+                          resolveNode(e.dst, env),
+                          expr->kind == Kind::AddEdge, e.label));
+            }
+            return fAnd(std::move(parts));
+          }
+          case Kind::ExpandMacro: {
+            auto it = _model.macros.find(expr->name);
+            if (it == _model.macros.end())
+                RC_FATAL("unknown macro '", expr->name, "'");
+            return eval(it->second, env);
+          }
+        }
+        RC_PANIC("unreachable");
+    }
+
+    const std::vector<litmus::InstrRef> &refs() const { return _refs; }
+
+    int
+    numCores() const
+    {
+        return static_cast<int>(_test.threads.size());
+    }
+
+  private:
+    Formula
+    evalQuantifier(const ExprPtr &expr, Env &env, std::size_t var_idx)
+    {
+        if (var_idx == expr->vars.size())
+            return eval(expr->children[0], env);
+
+        const std::string &var = expr->vars[var_idx];
+        const bool is_forall = expr->kind == Expr::Kind::Forall;
+        std::vector<Formula> parts;
+        if (expr->domain == Domain::Microop) {
+            for (const auto &ref : _refs) {
+                env[var] = Value{false, ref, 0};
+                parts.push_back(evalQuantifier(expr, env, var_idx + 1));
+            }
+        } else {
+            for (int c = 0; c < numCores(); ++c) {
+                env[var] = Value{true, {}, c};
+                parts.push_back(evalQuantifier(expr, env, var_idx + 1));
+            }
+        }
+        env.erase(var);
+        return is_forall ? fAnd(std::move(parts))
+                         : fOr(std::move(parts));
+    }
+
+    const Value &
+    lookup(const std::string &var, const Env &env) const
+    {
+        auto it = env.find(var);
+        if (it == env.end())
+            RC_FATAL("unbound µspec variable '", var, "'");
+        return it->second;
+    }
+
+    litmus::InstrRef
+    microop(const std::string &var, const Env &env) const
+    {
+        const Value &v = lookup(var, env);
+        RC_ASSERT(!v.isCore, "variable '", var, "' is a core, not a "
+                  "microop");
+        return v.instr;
+    }
+
+    UhbNode
+    resolveNode(const NodeSpec &spec, const Env &env) const
+    {
+        return UhbNode{microop(spec.var, env), spec.stage};
+    }
+
+    /** The value a load returns in the outcome under test, if
+     *  constrained. */
+    std::optional<std::uint32_t>
+    outcomeValue(litmus::InstrRef ref) const
+    {
+        return _test.constraintFor(ref);
+    }
+
+    /** Outcome value required by omniscient data predicates; loads
+     *  left unconstrained by the test are outside what omniscient
+     *  simplification can decide. */
+    std::uint32_t
+    requireOutcomeValue(litmus::InstrRef ref) const
+    {
+        auto v = outcomeValue(ref);
+        if (!v) {
+            RC_FATAL("omniscient evaluation needs an outcome value for "
+                     "load ", ref.thread, ".", ref.index);
+        }
+        return *v;
+    }
+
+    Formula
+    boolF(bool b) const
+    {
+        return b ? fTrue() : fFalse();
+    }
+
+    /** Formula for "instruction a and instruction b carry the same
+     *  data", per §3.2 and §4.2. */
+    Formula
+    sameData(litmus::InstrRef a, litmus::InstrRef b)
+    {
+        const litmus::Instr &ia = _test.instrAt(a);
+        const litmus::Instr &ib = _test.instrAt(b);
+        const bool a_store = ia.type == litmus::OpType::Store;
+        const bool b_store = ib.type == litmus::OpType::Store;
+        if (a_store && b_store)
+            return boolF(ia.value == ib.value);
+        if (a_store != b_store) {
+            const litmus::InstrRef load = a_store ? b : a;
+            const std::uint32_t data = a_store ? ia.value : ib.value;
+            if (_mode == EvalMode::Omniscient)
+                return boolF(requireOutcomeValue(load) == data);
+            return fLoadVal(load, data);
+        }
+        // Load/load comparison: decidable only omnisciently.
+        if (_mode == EvalMode::Omniscient) {
+            return boolF(requireOutcomeValue(a) ==
+                         requireOutcomeValue(b));
+        }
+        RC_FATAL("SameData over two loads is outside the "
+                 "SVA-synthesizable µspec subset");
+    }
+
+    Formula
+    dataFromInitialState(litmus::InstrRef ref)
+    {
+        const litmus::Instr &in = _test.instrAt(ref);
+        const std::uint32_t init = _test.initialValue(in.address);
+        if (in.type == litmus::OpType::Store)
+            return boolF(in.value == init);
+        if (_mode == EvalMode::Omniscient)
+            return boolF(requireOutcomeValue(ref) == init);
+        return fLoadVal(ref, init);
+    }
+
+    Formula
+    dataFromFinalState(litmus::InstrRef ref)
+    {
+        // §4.2: at RTL, "is the final write" cannot be enforced, so
+        // the predicate is conservatively false.
+        if (_mode == EvalMode::OutcomeAgnostic)
+            return fFalse();
+        const litmus::Instr &in = _test.instrAt(ref);
+        std::optional<std::uint32_t> final_v;
+        for (const auto &f : _test.finalMem)
+            if (f.address == in.address)
+                final_v = f.value;
+        // An address the outcome leaves unconstrained is vacuously
+        // consistent with the final state.
+        if (!final_v)
+            return fTrue();
+        if (in.type == litmus::OpType::Store)
+            return boolF(in.value == *final_v);
+        return boolF(requireOutcomeValue(ref) == *final_v);
+    }
+
+    Formula
+    evalPredicate(const Expr &expr, Env &env)
+    {
+        const std::string &name = expr.name;
+        const auto &args = expr.vars;
+
+        auto arity = [&](std::size_t n) {
+            RC_ASSERT(args.size() == n, "predicate ", name,
+                      " expects ", n, " args");
+        };
+
+        if (name == "OnCore") {
+            arity(2);
+            const Value &core = lookup(args[0], env);
+            RC_ASSERT(core.isCore, "OnCore expects a core variable");
+            return boolF(microop(args[1], env).thread == core.core);
+        }
+        if (name == "SameCore") {
+            arity(2);
+            return boolF(microop(args[0], env).thread ==
+                         microop(args[1], env).thread);
+        }
+        if (name == "ProgramOrder") {
+            arity(2);
+            auto a = microop(args[0], env);
+            auto b = microop(args[1], env);
+            return boolF(a.thread == b.thread && a.index < b.index);
+        }
+        if (name == "SameMicroop") {
+            arity(2);
+            return boolF(microop(args[0], env) ==
+                         microop(args[1], env));
+        }
+        if (name == "IsAnyRead" || name == "IsRead") {
+            arity(1);
+            return boolF(_test.instrAt(microop(args[0], env)).type ==
+                         litmus::OpType::Load);
+        }
+        if (name == "IsAnyWrite" || name == "IsWrite") {
+            arity(1);
+            return boolF(_test.instrAt(microop(args[0], env)).type ==
+                         litmus::OpType::Store);
+        }
+        if (name == "IsMemOp") {
+            arity(1);
+            auto ty = _test.instrAt(microop(args[0], env)).type;
+            return boolF(ty == litmus::OpType::Load ||
+                         ty == litmus::OpType::Store);
+        }
+        if (name == "IsFence") {
+            arity(1);
+            return boolF(_test.instrAt(microop(args[0], env)).type ==
+                         litmus::OpType::Fence);
+        }
+        if (name == "SameAddress" || name == "SamePhysicalAddress") {
+            arity(2);
+            return boolF(
+                _test.instrAt(microop(args[0], env)).address ==
+                _test.instrAt(microop(args[1], env)).address);
+        }
+        if (name == "SameData") {
+            arity(2);
+            return sameData(microop(args[0], env),
+                            microop(args[1], env));
+        }
+        if (name == "DataFromInitialStateAtPA") {
+            arity(1);
+            return dataFromInitialState(microop(args[0], env));
+        }
+        if (name == "DataFromFinalStateAtPA") {
+            arity(1);
+            return dataFromFinalState(microop(args[0], env));
+        }
+        RC_FATAL("unknown µspec predicate '", name, "'");
+    }
+
+    const Model &_model;
+    const litmus::Test &_test;
+    EvalMode _mode;
+    std::vector<litmus::InstrRef> _refs;
+};
+
+/** Canonical key used to drop symmetric duplicate instances: And/Or
+ *  children are sorted textually. */
+std::string
+canonicalKey(const Formula &f)
+{
+    using Kind = FormulaNode::Kind;
+    switch (f->kind) {
+      case Kind::And:
+      case Kind::Or: {
+        std::vector<std::string> keys;
+        for (const auto &c : f->children)
+            keys.push_back(canonicalKey(c));
+        std::sort(keys.begin(), keys.end());
+        std::string s = f->kind == Kind::And ? "A(" : "O(";
+        for (const auto &k : keys)
+            s += k + ";";
+        return s + ")";
+      }
+      case Kind::Not:
+        return "N(" + canonicalKey(f->children[0]) + ")";
+      default:
+        return formulaToString(f);
+    }
+}
+
+std::string
+bindingString(const std::vector<std::string> &vars,
+              const std::vector<litmus::InstrRef> &refs)
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+        if (i)
+            oss << ", ";
+        oss << vars[i] << "=" << refs[i].thread << "." << refs[i].index;
+    }
+    return oss.str();
+}
+
+} // namespace
+
+std::vector<AxiomInstance>
+instantiate(const Model &model, const litmus::Test &test, EvalMode mode)
+{
+    Evaluator ev(model, test, mode);
+    std::vector<AxiomInstance> out;
+    std::set<std::string> seen;
+
+    for (const Axiom &axiom : model.axioms) {
+        // Peel the outermost block of universal microop quantifiers;
+        // each binding becomes one separately-checkable instance.
+        std::vector<std::string> header_vars;
+        ExprPtr body = axiom.body;
+        while (body->kind == Expr::Kind::Forall &&
+               body->domain == Domain::Microop) {
+            for (const auto &v : body->vars)
+                header_vars.push_back(v);
+            body = body->children[0];
+        }
+
+        const auto &refs = ev.refs();
+        std::vector<litmus::InstrRef> binding(header_vars.size());
+        std::vector<std::size_t> idx(header_vars.size(), 0);
+
+        // Odometer over all bindings of the header variables.
+        const std::size_t n_vars = header_vars.size();
+        std::size_t total = 1;
+        for (std::size_t i = 0; i < n_vars; ++i)
+            total *= refs.size();
+        if (n_vars == 0)
+            total = 1;
+
+        for (std::size_t combo = 0; combo < total; ++combo) {
+            std::size_t rem = combo;
+            Env env;
+            for (std::size_t i = 0; i < n_vars; ++i) {
+                binding[i] = refs[rem % refs.size()];
+                rem /= refs.size();
+                env[header_vars[i]] = Value{false, binding[i], 0};
+            }
+            Formula f = ev.eval(body, env);
+            if (isTriviallyTrue(f))
+                continue;
+            std::string key = axiom.name + "|" + canonicalKey(f);
+            if (!seen.insert(key).second)
+                continue;
+            AxiomInstance inst;
+            inst.axiom = axiom.name;
+            inst.binding = bindingString(header_vars, binding);
+            inst.formula = std::move(f);
+            out.push_back(std::move(inst));
+        }
+    }
+    return out;
+}
+
+Formula
+conjunction(const std::vector<AxiomInstance> &instances)
+{
+    std::vector<Formula> parts;
+    for (const auto &inst : instances)
+        parts.push_back(inst.formula);
+    return fAnd(std::move(parts));
+}
+
+} // namespace rtlcheck::uspec

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Instantiation of µspec axioms against a litmus test.
+ *
+ * Quantifiers are expanded over the test's microops (and thread ids,
+ * for core quantifiers); statically-decidable predicates are
+ * evaluated away. Data predicates are handled per the paper's two
+ * regimes:
+ *
+ *  - EvalMode::Omniscient (§3.2): the Check suite's behaviour —
+ *    predicates over load values are decided from the litmus test's
+ *    outcome under test, so instances reduce to pure edge formulas
+ *    for the µhb scenario solver.
+ *
+ *  - EvalMode::OutcomeAgnostic (§4.2): RTL verifiers cannot enforce
+ *    the outcome, so data predicates on loads become symbolic
+ *    load-value atoms that the assertion generator folds into node
+ *    mappings, and DataFromFinalStateAtPA is conservatively false.
+ */
+
+#ifndef RTLCHECK_USPEC_EVAL_HH
+#define RTLCHECK_USPEC_EVAL_HH
+
+#include <string>
+#include <vector>
+
+#include "litmus/test.hh"
+#include "uspec/ast.hh"
+#include "uspec/formula.hh"
+
+namespace rtlcheck::uspec {
+
+enum class EvalMode { Omniscient, OutcomeAgnostic };
+
+/** One ground axiom instance (one per top-level binding). */
+struct AxiomInstance
+{
+    std::string axiom;    ///< axiom name
+    std::string binding;  ///< e.g. "a1=0.0, a2=1.1"
+    Formula formula;
+};
+
+/**
+ * Instantiate every axiom of the model on the test. One instance is
+ * produced per binding of each axiom's outermost quantifier block;
+ * trivially-true instances and duplicates (e.g. the two symmetric
+ * bindings of a total-order axiom) are dropped.
+ */
+std::vector<AxiomInstance> instantiate(const Model &model,
+                                       const litmus::Test &test,
+                                       EvalMode mode);
+
+/** Conjunction of all instances, for whole-test reasoning. */
+Formula conjunction(const std::vector<AxiomInstance> &instances);
+
+} // namespace rtlcheck::uspec
+
+#endif // RTLCHECK_USPEC_EVAL_HH

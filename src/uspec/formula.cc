@@ -1,0 +1,272 @@
+#include "formula.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace rtlcheck::uspec {
+
+std::string
+nodeToString(const UhbNode &node)
+{
+    std::ostringstream oss;
+    oss << "(" << node.instr.thread << "." << node.instr.index << ", "
+        << stageName(node.stage) << ")";
+    return oss.str();
+}
+
+Formula
+fTrue()
+{
+    static const Formula t = std::make_shared<FormulaNode>();
+    return t;
+}
+
+Formula
+fFalse()
+{
+    static const Formula f = [] {
+        auto n = std::make_shared<FormulaNode>();
+        n->kind = FormulaNode::Kind::False;
+        return n;
+    }();
+    return f;
+}
+
+Formula
+fAnd(std::vector<Formula> children)
+{
+    std::vector<Formula> kept;
+    for (auto &c : children) {
+        if (c->kind == FormulaNode::Kind::False)
+            return fFalse();
+        if (c->kind == FormulaNode::Kind::True)
+            continue;
+        if (c->kind == FormulaNode::Kind::And) {
+            for (const auto &g : c->children)
+                kept.push_back(g);
+        } else {
+            kept.push_back(std::move(c));
+        }
+    }
+    if (kept.empty())
+        return fTrue();
+    if (kept.size() == 1)
+        return kept[0];
+    auto n = std::make_shared<FormulaNode>();
+    n->kind = FormulaNode::Kind::And;
+    n->children = std::move(kept);
+    return n;
+}
+
+Formula
+fOr(std::vector<Formula> children)
+{
+    std::vector<Formula> kept;
+    for (auto &c : children) {
+        if (c->kind == FormulaNode::Kind::True)
+            return fTrue();
+        if (c->kind == FormulaNode::Kind::False)
+            continue;
+        if (c->kind == FormulaNode::Kind::Or) {
+            for (const auto &g : c->children)
+                kept.push_back(g);
+        } else {
+            kept.push_back(std::move(c));
+        }
+    }
+    if (kept.empty())
+        return fFalse();
+    if (kept.size() == 1)
+        return kept[0];
+    auto n = std::make_shared<FormulaNode>();
+    n->kind = FormulaNode::Kind::Or;
+    n->children = std::move(kept);
+    return n;
+}
+
+Formula
+fNot(Formula child)
+{
+    switch (child->kind) {
+      case FormulaNode::Kind::True:
+        return fFalse();
+      case FormulaNode::Kind::False:
+        return fTrue();
+      case FormulaNode::Kind::Not:
+        return child->children[0];
+      default: {
+        auto n = std::make_shared<FormulaNode>();
+        n->kind = FormulaNode::Kind::Not;
+        n->children.push_back(std::move(child));
+        return n;
+      }
+    }
+}
+
+Formula
+fEdge(UhbNode src, UhbNode dst, bool is_add, std::string label)
+{
+    auto n = std::make_shared<FormulaNode>();
+    n->kind = FormulaNode::Kind::Edge;
+    n->src = src;
+    n->dst = dst;
+    n->isAdd = is_add;
+    n->label = std::move(label);
+    return n;
+}
+
+Formula
+fLoadVal(litmus::InstrRef instr, std::uint32_t value)
+{
+    auto n = std::make_shared<FormulaNode>();
+    n->kind = FormulaNode::Kind::LoadVal;
+    n->instr = instr;
+    n->value = value;
+    return n;
+}
+
+namespace {
+
+/** DNF worker: `negated` tracks the polarity from enclosing Nots. */
+void
+dnfRec(const Formula &f, bool negated, Branch current,
+       std::vector<Branch> &out);
+
+/** Try to extend a branch with a load-value constraint. Returns
+ *  false when the branch becomes contradictory. */
+bool
+addLoadValue(Branch &branch, litmus::InstrRef instr, std::uint32_t v)
+{
+    auto [it, inserted] = branch.loadValues.insert({instr, v});
+    return inserted || it->second == v;
+}
+
+void
+dnfCross(const std::vector<Formula> &children, std::size_t idx,
+         bool negated, Branch current, std::vector<Branch> &out)
+{
+    if (idx == children.size()) {
+        out.push_back(std::move(current));
+        return;
+    }
+    // Conjunction: expand child idx into branches, continue each.
+    std::vector<Branch> partial;
+    dnfRec(children[idx], negated, current, partial);
+    for (auto &b : partial)
+        dnfCross(children, idx + 1, negated, std::move(b), out);
+}
+
+void
+dnfRec(const Formula &f, bool negated, Branch current,
+       std::vector<Branch> &out)
+{
+    using Kind = FormulaNode::Kind;
+    switch (f->kind) {
+      case Kind::True:
+        if (!negated)
+            out.push_back(std::move(current));
+        return;
+      case Kind::False:
+        if (negated)
+            out.push_back(std::move(current));
+        return;
+      case Kind::Not:
+        dnfRec(f->children[0], !negated, std::move(current), out);
+        return;
+      case Kind::And:
+      case Kind::Or: {
+        const bool conjunctive = (f->kind == Kind::And) != negated;
+        if (conjunctive) {
+            dnfCross(f->children, 0, negated, std::move(current), out);
+        } else {
+            for (const auto &c : f->children) {
+                Branch copy = current;
+                dnfRec(c, negated, std::move(copy), out);
+            }
+        }
+        return;
+      }
+      case Kind::Edge: {
+        EdgeLit lit;
+        lit.src = f->src;
+        lit.dst = f->dst;
+        lit.isAdd = f->isAdd;
+        lit.label = f->label;
+        lit.positive = !negated;
+        current.edges.push_back(std::move(lit));
+        out.push_back(std::move(current));
+        return;
+      }
+      case Kind::LoadVal: {
+        if (negated) {
+            RC_FATAL("negated load-value constraint is outside the "
+                     "SVA-synthesizable µspec subset");
+        }
+        if (addLoadValue(current, f->instr, f->value))
+            out.push_back(std::move(current));
+        return;
+      }
+    }
+}
+
+} // namespace
+
+std::vector<Branch>
+toDnf(const Formula &formula)
+{
+    std::vector<Branch> out;
+    dnfRec(formula, false, Branch{}, out);
+    return out;
+}
+
+std::string
+formulaToString(const Formula &f)
+{
+    using Kind = FormulaNode::Kind;
+    switch (f->kind) {
+      case Kind::True:
+        return "true";
+      case Kind::False:
+        return "false";
+      case Kind::Not:
+        return "~" + formulaToString(f->children[0]);
+      case Kind::And:
+      case Kind::Or: {
+        std::string sep = f->kind == Kind::And ? " /\\ " : " \\/ ";
+        std::string s = "(";
+        for (std::size_t i = 0; i < f->children.size(); ++i) {
+            if (i)
+                s += sep;
+            s += formulaToString(f->children[i]);
+        }
+        return s + ")";
+      }
+      case Kind::Edge: {
+        std::string s = f->isAdd ? "AddEdge" : "EdgeExists";
+        return s + "[" + nodeToString(f->src) + " -> " +
+               nodeToString(f->dst) + "]";
+      }
+      case Kind::LoadVal: {
+        std::ostringstream oss;
+        oss << "LoadVal[" << f->instr.thread << "." << f->instr.index
+            << " == " << f->value << "]";
+        return oss.str();
+      }
+    }
+    return "?";
+}
+
+bool
+isTriviallyTrue(const Formula &f)
+{
+    return f->kind == FormulaNode::Kind::True;
+}
+
+bool
+isTriviallyFalse(const Formula &f)
+{
+    return f->kind == FormulaNode::Kind::False;
+}
+
+} // namespace rtlcheck::uspec

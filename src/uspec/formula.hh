@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Ground formulas produced by instantiating µspec axioms on a test.
+ *
+ * After quantifier expansion and static-predicate evaluation, an
+ * axiom instance reduces to a boolean combination of:
+ *  - µhb edge atoms (AddEdge or EdgeExists over concrete nodes), and
+ *  - load-value atoms (only in outcome-agnostic mode, §4.2): the
+ *    residue of data predicates applied to loads, carried as
+ *    constraints into the SVA node mapping.
+ *
+ * The same representation feeds both the µhb scenario solver
+ * (omniscient mode) and the SVA assertion generator.
+ */
+
+#ifndef RTLCHECK_USPEC_FORMULA_HH
+#define RTLCHECK_USPEC_FORMULA_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "litmus/test.hh"
+#include "uspec/ast.hh"
+
+namespace rtlcheck::uspec {
+
+/** A concrete µhb node: one instruction at one pipeline stage. */
+struct UhbNode
+{
+    litmus::InstrRef instr;
+    Stage stage = Stage::Fetch;
+
+    bool operator==(const UhbNode &o) const = default;
+    auto operator<=>(const UhbNode &o) const = default;
+};
+
+std::string nodeToString(const UhbNode &node);
+
+struct FormulaNode;
+using Formula = std::shared_ptr<const FormulaNode>;
+
+struct FormulaNode
+{
+    enum class Kind
+    {
+        True,
+        False,
+        And,
+        Or,
+        Not,
+        Edge,     ///< µhb edge atom
+        LoadVal,  ///< "load `instr` returns `value`"
+    };
+
+    Kind kind = Kind::True;
+    std::vector<Formula> children;
+
+    // Edge atom fields.
+    UhbNode src;
+    UhbNode dst;
+    bool isAdd = false;   ///< AddEdge (true) vs EdgeExists (false)
+    std::string label;
+
+    // LoadVal atom fields.
+    litmus::InstrRef instr;
+    std::uint32_t value = 0;
+};
+
+/// @name Smart constructors (fold constants eagerly).
+/// @{
+Formula fTrue();
+Formula fFalse();
+Formula fAnd(std::vector<Formula> children);
+Formula fOr(std::vector<Formula> children);
+Formula fNot(Formula child);
+Formula fEdge(UhbNode src, UhbNode dst, bool is_add,
+              std::string label = "");
+Formula fLoadVal(litmus::InstrRef instr, std::uint32_t value);
+/// @}
+
+/** One literal of a DNF branch. */
+struct EdgeLit
+{
+    UhbNode src;
+    UhbNode dst;
+    bool positive = true;  ///< negated edges assert the absence of
+                           ///< the happens-before relationship
+    bool isAdd = false;
+    std::string label;
+};
+
+/**
+ * One DNF branch: a conjunction of edge literals plus the load-value
+ * constraints active in this branch (§4.2's per-outcome cases).
+ */
+struct Branch
+{
+    std::vector<EdgeLit> edges;
+    std::map<litmus::InstrRef, std::uint32_t> loadValues;
+};
+
+/**
+ * Expand a formula to DNF branches. Branches with contradictory
+ * load-value constraints are dropped. Negated load-value atoms are
+ * outside the SVA-synthesizable µspec subset (see DESIGN.md) and are
+ * rejected with a fatal error.
+ */
+std::vector<Branch> toDnf(const Formula &formula);
+
+/** Human-readable rendering, for reports and tests. */
+std::string formulaToString(const Formula &formula);
+
+/** True iff the formula is the constant true. */
+bool isTriviallyTrue(const Formula &formula);
+/** True iff the formula is the constant false. */
+bool isTriviallyFalse(const Formula &formula);
+
+} // namespace rtlcheck::uspec
+
+#endif // RTLCHECK_USPEC_FORMULA_HH

@@ -1,0 +1,110 @@
+#include "lexer.hh"
+
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace rtlcheck::uspec {
+
+std::vector<Token>
+tokenize(const std::string &source)
+{
+    std::vector<Token> toks;
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = source.size();
+
+    auto push = [&](TokKind kind, std::string text) {
+        toks.push_back(Token{kind, std::move(text), line});
+    };
+
+    while (i < n) {
+        char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '%') {
+            while (i < n && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '"') {
+            std::size_t j = i + 1;
+            while (j < n && source[j] != '"')
+                ++j;
+            if (j >= n)
+                RC_FATAL("unterminated string at line ", line);
+            push(TokKind::String, source.substr(i + 1, j - i - 1));
+            i = j + 1;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && source[i + 1] == '\\') {
+            push(TokKind::AndOp, "/\\");
+            i += 2;
+            continue;
+        }
+        if (c == '\\' && i + 1 < n && source[i + 1] == '/') {
+            push(TokKind::OrOp, "\\/");
+            i += 2;
+            continue;
+        }
+        if (c == '=' && i + 1 < n && source[i + 1] == '>') {
+            push(TokKind::Implies, "=>");
+            i += 2;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t j = i;
+            while (j < n &&
+                   (std::isalnum(static_cast<unsigned char>(source[j])) ||
+                    source[j] == '_' || source[j] == '\''))
+                ++j;
+            push(TokKind::Ident, source.substr(i, j - i));
+            i = j;
+            continue;
+        }
+        switch (c) {
+          case '(':
+            push(TokKind::LParen, "(");
+            break;
+          case ')':
+            push(TokKind::RParen, ")");
+            break;
+          case '[':
+            push(TokKind::LBracket, "[");
+            break;
+          case ']':
+            push(TokKind::RBracket, "]");
+            break;
+          case ',':
+            push(TokKind::Comma, ",");
+            break;
+          case ':':
+            push(TokKind::Colon, ":");
+            break;
+          case ';':
+            push(TokKind::Semicolon, ";");
+            break;
+          case '.':
+            push(TokKind::Period, ".");
+            break;
+          case '~':
+            push(TokKind::Tilde, "~");
+            break;
+          default:
+            RC_FATAL("unexpected character '", std::string(1, c),
+                     "' at line ", line);
+        }
+        ++i;
+    }
+    push(TokKind::End, "");
+    return toks;
+}
+
+} // namespace rtlcheck::uspec

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Tokenizer for µspec model text.
+ */
+
+#ifndef RTLCHECK_USPEC_LEXER_HH
+#define RTLCHECK_USPEC_LEXER_HH
+
+#include <string>
+#include <vector>
+
+namespace rtlcheck::uspec {
+
+enum class TokKind
+{
+    Ident,    ///< identifiers and keywords (may contain ')
+    String,   ///< "quoted"
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Colon,
+    Semicolon,
+    Period,
+    Implies,  ///< =>
+    AndOp,    ///< /\ :
+    OrOp,     ///< \/
+    Tilde,    ///< ~
+    End,
+};
+
+struct Token
+{
+    TokKind kind = TokKind::End;
+    std::string text;
+    int line = 0;
+};
+
+/** Tokenize; `%` starts a line comment (as in µspec models). */
+std::vector<Token> tokenize(const std::string &source);
+
+} // namespace rtlcheck::uspec
+
+#endif // RTLCHECK_USPEC_LEXER_HH

@@ -1,0 +1,109 @@
+#include "multivscale.hh"
+
+#include "uspec/parser.hh"
+
+namespace rtlcheck::uspec {
+
+const char *
+multiVscaleSource()
+{
+    // The axiom set of §5.3: per-instruction stage paths, in-order
+    // pipelines (Figure 3b's WB_FIFO among them), a total order on
+    // the DX stages of memory operations (the arbiter), memory WB
+    // order following DX order (memory WB is exactly one cycle after
+    // the granted DX), and the load-value axiom of Figure 5.
+    return R"USPEC(
+% Every instruction flows through Fetch -> DecodeExecute -> Writeback.
+Axiom "Instr_Path":
+forall microops "i",
+AddEdge ((i, Fetch), (i, DecodeExecute)) /\
+AddEdge ((i, DecodeExecute), (i, Writeback)).
+
+% Same-core instructions are fetched in program order.
+Axiom "PO_Fetch":
+forall microops "a1", "a2",
+(SameCore a1 a2 /\ ProgramOrder a1 a2) =>
+AddEdge ((a1, Fetch), (a2, Fetch)).
+
+% The DX stage is in order with fetch (in-order pipeline).
+Axiom "DX_FIFO":
+forall microops "a1", "a2",
+(SameCore a1 a2 /\ ProgramOrder a1 a2) =>
+(EdgeExists ((a1, Fetch), (a2, Fetch)) =>
+ AddEdge ((a1, DecodeExecute), (a2, DecodeExecute))).
+
+% Figure 3b: the WB stage is FIFO with respect to DX.
+Axiom "WB_FIFO":
+forall microops "a1", "a2",
+(SameCore a1 a2 /\ ~SameMicroop a1 a2 /\ ProgramOrder a1 a2) =>
+(EdgeExists ((a1, DecodeExecute), (a2, DecodeExecute)) =>
+ AddEdge ((a1, Writeback), (a2, Writeback))).
+
+% The arbiter serializes memory operations' DX (address) phases.
+Axiom "Mem_DX_TotalOrder":
+forall microops "a1", "a2",
+(IsMemOp a1 /\ IsMemOp a2 /\ ~SameMicroop a1 a2) =>
+(AddEdge ((a1, DecodeExecute), (a2, DecodeExecute)) \/
+ AddEdge ((a2, DecodeExecute), (a1, DecodeExecute))).
+
+% Memory WB (data) phases happen exactly one cycle after the granted
+% DX, so WB order follows DX order across all memory operations.
+Axiom "Mem_WB_Follows_DX":
+forall microops "a1", "a2",
+(IsMemOp a1 /\ IsMemOp a2 /\ ~SameMicroop a1 a2) =>
+(EdgeExists ((a1, DecodeExecute), (a2, DecodeExecute)) =>
+ AddEdge ((a1, Writeback), (a2, Writeback))).
+
+% Final memory values: every same-address write whose data does not
+% match the litmus test's final state must complete WB before every
+% write whose data does. At RTL, DataFromFinalStateAtPA is
+% conservatively false (§4.2), which makes these instances vacuous
+% there — final values are enforced by the final-value assumption.
+Axiom "Final_Values":
+forall microops "w1", "w2",
+(IsAnyWrite w1 /\ IsAnyWrite w2 /\ SameAddress w1 w2 /\
+ ~SameMicroop w1 w2 /\ DataFromFinalStateAtPA w2 /\
+ ~DataFromFinalStateAtPA w1) =>
+AddEdge ((w1, Writeback), (w2, Writeback), "ws").
+
+% Figure 5: loads read from the last same-address write to complete
+% WB, or from the initial state of memory before all writes.
+DefineMacro "NoInterveningWrite":
+exists microop "w", (
+  IsAnyWrite w /\ SameAddress w i /\ SameData w i /\
+  EdgeExists ((w, Writeback), (i, Writeback)) /\
+  ~(exists microop "w'",
+    IsAnyWrite w' /\ SameAddress i w' /\ ~SameMicroop w w' /\
+    EdgesExist [((w, Writeback), (w', Writeback), "");
+                ((w', Writeback), (i, Writeback), "")])).
+
+DefineMacro "BeforeAllWrites":
+DataFromInitialStateAtPA i /\
+forall microop "w", (
+  (IsAnyWrite w /\ SameAddress w i /\ ~SameMicroop i w) =>
+  AddEdge ((i, Writeback), (w, Writeback), "fr", "red")).
+
+DefineMacro "BeforeOrAfterEveryWrite":
+forall microop "w", (
+  (IsAnyWrite w /\ SameAddress w i) =>
+  (AddEdge ((w, DecodeExecute), (i, DecodeExecute)) \/
+   AddEdge ((i, DecodeExecute), (w, DecodeExecute)))).
+
+Axiom "Read_Values":
+forall microops "i",
+IsAnyRead i => (
+  ExpandMacro BeforeAllWrites
+  \/
+  (ExpandMacro NoInterveningWrite /\
+   ExpandMacro BeforeOrAfterEveryWrite)).
+)USPEC";
+}
+
+const Model &
+multiVscaleModel()
+{
+    static const Model model = parseModel(multiVscaleSource());
+    return model;
+}
+
+} // namespace rtlcheck::uspec

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * The µspec model of the Multi-V-scale processor (paper §5.3).
+ */
+
+#ifndef RTLCHECK_USPEC_MULTIVSCALE_HH
+#define RTLCHECK_USPEC_MULTIVSCALE_HH
+
+#include "uspec/ast.hh"
+
+namespace rtlcheck::uspec {
+
+/** µspec source text of the Multi-V-scale model. */
+const char *multiVscaleSource();
+
+/** Parsed Multi-V-scale model (parsed once, cached). */
+const Model &multiVscaleModel();
+
+} // namespace rtlcheck::uspec
+
+#endif // RTLCHECK_USPEC_MULTIVSCALE_HH

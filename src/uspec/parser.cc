@@ -1,0 +1,294 @@
+#include "parser.hh"
+
+#include "common/logging.hh"
+#include "uspec/lexer.hh"
+
+namespace rtlcheck::uspec {
+
+Stage
+stageFromName(const std::string &name)
+{
+    if (name == "Fetch")
+        return Stage::Fetch;
+    if (name == "DecodeExecute")
+        return Stage::DecodeExecute;
+    if (name == "Writeback")
+        return Stage::Writeback;
+    if (name == "Memory")
+        return Stage::Memory;
+    RC_FATAL("unknown pipeline stage '", name, "'");
+}
+
+std::string
+stageName(Stage stage)
+{
+    switch (stage) {
+      case Stage::Fetch:
+        return "Fetch";
+      case Stage::DecodeExecute:
+        return "DecodeExecute";
+      case Stage::Writeback:
+        return "Writeback";
+      case Stage::Memory:
+        return "Memory";
+    }
+    return "?";
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &source)
+        : _toks(tokenize(source))
+    {
+    }
+
+    Model
+    parse()
+    {
+        Model model;
+        while (peek().kind != TokKind::End) {
+            const Token &kw = expect(TokKind::Ident);
+            bool is_axiom = kw.text == "Axiom";
+            if (!is_axiom && kw.text != "DefineMacro")
+                RC_FATAL("expected Axiom or DefineMacro at line ",
+                         kw.line, ", got '", kw.text, "'");
+            std::string name = expect(TokKind::String).text;
+            expect(TokKind::Colon);
+            ExprPtr body = parseExpr();
+            expect(TokKind::Period);
+            if (is_axiom)
+                model.axioms.push_back(Axiom{name, body});
+            else
+                model.macros[name] = body;
+        }
+        return model;
+    }
+
+  private:
+    const Token &peek(int ahead = 0) const
+    {
+        std::size_t idx = _pos + static_cast<std::size_t>(ahead);
+        return idx < _toks.size() ? _toks[idx] : _toks.back();
+    }
+
+    const Token &
+    advance()
+    {
+        const Token &t = _toks[_pos];
+        if (_pos + 1 < _toks.size())
+            ++_pos;
+        return t;
+    }
+
+    const Token &
+    expect(TokKind kind)
+    {
+        const Token &t = advance();
+        if (t.kind != kind)
+            RC_FATAL("unexpected token '", t.text, "' at line ", t.line);
+        return t;
+    }
+
+    bool
+    accept(TokKind kind)
+    {
+        if (peek().kind == kind) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    ExprPtr parseExpr() { return parseImplies(); }
+
+    ExprPtr
+    parseImplies()
+    {
+        ExprPtr lhs = parseOr();
+        if (accept(TokKind::Implies)) {
+            ExprPtr rhs = parseImplies();
+            // a => b  desugars to  ~a \/ b
+            auto neg = std::make_shared<Expr>();
+            neg->kind = Expr::Kind::Not;
+            neg->children.push_back(lhs);
+            auto node = std::make_shared<Expr>();
+            node->kind = Expr::Kind::Or;
+            node->children.push_back(neg);
+            node->children.push_back(rhs);
+            return node;
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseOr()
+    {
+        ExprPtr lhs = parseAnd();
+        if (peek().kind != TokKind::OrOp)
+            return lhs;
+        auto node = std::make_shared<Expr>();
+        node->kind = Expr::Kind::Or;
+        node->children.push_back(lhs);
+        while (accept(TokKind::OrOp))
+            node->children.push_back(parseAnd());
+        return node;
+    }
+
+    ExprPtr
+    parseAnd()
+    {
+        ExprPtr lhs = parseUnary();
+        if (peek().kind != TokKind::AndOp)
+            return lhs;
+        auto node = std::make_shared<Expr>();
+        node->kind = Expr::Kind::And;
+        node->children.push_back(lhs);
+        while (accept(TokKind::AndOp))
+            node->children.push_back(parseUnary());
+        return node;
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        if (accept(TokKind::Tilde)) {
+            auto node = std::make_shared<Expr>();
+            node->kind = Expr::Kind::Not;
+            node->children.push_back(parseUnary());
+            return node;
+        }
+        const Token &t = peek();
+        if (t.kind == TokKind::Ident &&
+            (t.text == "forall" || t.text == "exists")) {
+            return parseQuantifier();
+        }
+        return parsePrimary();
+    }
+
+    ExprPtr
+    parseQuantifier()
+    {
+        const Token &q = expect(TokKind::Ident);
+        auto node = std::make_shared<Expr>();
+        node->kind = q.text == "forall" ? Expr::Kind::Forall
+                                        : Expr::Kind::Exists;
+        const Token &dom = expect(TokKind::Ident);
+        if (dom.text == "microop" || dom.text == "microops")
+            node->domain = Domain::Microop;
+        else if (dom.text == "core" || dom.text == "cores")
+            node->domain = Domain::Core;
+        else
+            RC_FATAL("bad quantifier domain '", dom.text, "' at line ",
+                     dom.line);
+        node->vars.push_back(expect(TokKind::String).text);
+        // Further quoted names before the body are additional
+        // variables (e.g. forall microops "a1", "a2", ...).
+        while (peek().kind == TokKind::Comma &&
+               peek(1).kind == TokKind::String) {
+            advance();
+            node->vars.push_back(expect(TokKind::String).text);
+        }
+        expect(TokKind::Comma);
+        node->children.push_back(parseImplies());
+        return node;
+    }
+
+    NodeSpec
+    parseNodeSpec()
+    {
+        expect(TokKind::LParen);
+        NodeSpec spec;
+        spec.var = expect(TokKind::Ident).text;
+        expect(TokKind::Comma);
+        spec.stage = stageFromName(expect(TokKind::Ident).text);
+        expect(TokKind::RParen);
+        return spec;
+    }
+
+    EdgeSpec
+    parseEdgeBody()
+    {
+        EdgeSpec edge;
+        edge.src = parseNodeSpec();
+        expect(TokKind::Comma);
+        edge.dst = parseNodeSpec();
+        if (accept(TokKind::Comma)) {
+            edge.label = expect(TokKind::String).text;
+            if (accept(TokKind::Comma))
+                expect(TokKind::String); // color: display-only, ignored
+        }
+        return edge;
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        if (accept(TokKind::LParen)) {
+            ExprPtr inner = parseExpr();
+            expect(TokKind::RParen);
+            return inner;
+        }
+        const Token &t = expect(TokKind::Ident);
+        if (t.text == "AddEdge" || t.text == "EdgeExists") {
+            auto node = std::make_shared<Expr>();
+            node->kind = t.text == "AddEdge" ? Expr::Kind::AddEdge
+                                             : Expr::Kind::EdgeExists;
+            expect(TokKind::LParen);
+            node->edges.push_back(parseEdgeBody());
+            expect(TokKind::RParen);
+            return node;
+        }
+        if (t.text == "EdgesExist") {
+            auto node = std::make_shared<Expr>();
+            node->kind = Expr::Kind::EdgeExists;
+            expect(TokKind::LBracket);
+            while (true) {
+                expect(TokKind::LParen);
+                node->edges.push_back(parseEdgeBody());
+                expect(TokKind::RParen);
+                if (!accept(TokKind::Semicolon))
+                    break;
+            }
+            expect(TokKind::RBracket);
+            return node;
+        }
+        if (t.text == "ExpandMacro") {
+            auto node = std::make_shared<Expr>();
+            node->kind = Expr::Kind::ExpandMacro;
+            node->name = expect(TokKind::Ident).text;
+            return node;
+        }
+        // Predicate application: name followed by juxtaposed args.
+        auto node = std::make_shared<Expr>();
+        node->kind = Expr::Kind::Predicate;
+        node->name = t.text;
+        while (peek().kind == TokKind::Ident && !isKeyword(peek().text))
+            node->vars.push_back(advance().text);
+        return node;
+    }
+
+    static bool
+    isKeyword(const std::string &s)
+    {
+        return s == "forall" || s == "exists" || s == "AddEdge" ||
+               s == "EdgeExists" || s == "EdgesExist" ||
+               s == "ExpandMacro" || s == "Axiom" ||
+               s == "DefineMacro";
+    }
+
+    std::vector<Token> _toks;
+    std::size_t _pos = 0;
+};
+
+} // namespace
+
+Model
+parseModel(const std::string &source)
+{
+    return Parser(source).parse();
+}
+
+} // namespace rtlcheck::uspec

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Recursive-descent parser for µspec models.
+ *
+ * Statement forms:
+ *     Axiom "Name": <expr> .
+ *     DefineMacro "Name": <expr> .
+ *
+ * Expression syntax, loosest to tightest binding: quantifiers extend
+ * maximally to the right; then `=>` (right associative), `\/`, `/\`,
+ * `~`, and primaries. Primaries are parenthesized expressions,
+ * AddEdge/EdgeExists/EdgesExist terms, ExpandMacro references, and
+ * predicate applications written by juxtaposition (`OnCore c i`).
+ */
+
+#ifndef RTLCHECK_USPEC_PARSER_HH
+#define RTLCHECK_USPEC_PARSER_HH
+
+#include <string>
+
+#include "uspec/ast.hh"
+
+namespace rtlcheck::uspec {
+
+/** Parse a µspec model; fatal-errors with line info on bad input. */
+Model parseModel(const std::string &source);
+
+} // namespace rtlcheck::uspec
+
+#endif // RTLCHECK_USPEC_PARSER_HH

@@ -1,0 +1,141 @@
+#include "tso.hh"
+
+#include "uspec/parser.hh"
+
+namespace rtlcheck::uspec {
+
+const char *
+tsoVscaleSource()
+{
+    return R"USPEC(
+% Every instruction flows through the in-order front end.
+Axiom "Instr_Path":
+forall microops "i",
+AddEdge ((i, Fetch), (i, DecodeExecute)) /\
+AddEdge ((i, DecodeExecute), (i, Writeback)).
+
+% Stores additionally perform at the Memory location: the cycle the
+% store-buffer entry drains into the memory array.
+Axiom "Store_Path":
+forall microops "i",
+IsAnyWrite i =>
+AddEdge ((i, Writeback), (i, Memory)).
+
+Axiom "PO_Fetch":
+forall microops "a1", "a2",
+(SameCore a1 a2 /\ ProgramOrder a1 a2) =>
+AddEdge ((a1, Fetch), (a2, Fetch)).
+
+Axiom "DX_FIFO":
+forall microops "a1", "a2",
+(SameCore a1 a2 /\ ProgramOrder a1 a2) =>
+(EdgeExists ((a1, Fetch), (a2, Fetch)) =>
+ AddEdge ((a1, DecodeExecute), (a2, DecodeExecute))).
+
+Axiom "WB_FIFO":
+forall microops "a1", "a2",
+(SameCore a1 a2 /\ ~SameMicroop a1 a2 /\ ProgramOrder a1 a2) =>
+(EdgeExists ((a1, DecodeExecute), (a2, DecodeExecute)) =>
+ AddEdge ((a1, Writeback), (a2, Writeback))).
+
+% The single-entry store buffer: an older store has fully drained
+% before a younger same-core store can even complete WB (it could
+% not have deposited otherwise).
+Axiom "SB_OneEntry":
+forall microops "w1", "w2",
+(IsAnyWrite w1 /\ IsAnyWrite w2 /\ SameCore w1 w2 /\
+ ProgramOrder w1 w2) =>
+AddEdge ((w1, Memory), (w2, Writeback)).
+
+% A fence cannot leave DX until the store buffer has drained: every
+% po-earlier store's Memory event strictly precedes the fence's DX.
+Axiom "Fence_Drains":
+forall microops "f", "w",
+(IsFence f /\ IsAnyWrite w /\ SameCore f w /\ ProgramOrder w f) =>
+AddEdge ((w, Memory), (f, DecodeExecute), "fence").
+
+% The arbiter serializes drains: a total order on Memory events.
+Axiom "Mem_TotalOrder":
+forall microops "w1", "w2",
+(IsAnyWrite w1 /\ IsAnyWrite w2 /\ ~SameMicroop w1 w2) =>
+(AddEdge ((w1, Memory), (w2, Memory)) \/
+ AddEdge ((w2, Memory), (w1, Memory))).
+
+% Final memory values: non-matching writes drain before matching
+% writes of the same address.
+Axiom "Final_Values":
+forall microops "w1", "w2",
+(IsAnyWrite w1 /\ IsAnyWrite w2 /\ SameAddress w1 w2 /\
+ ~SameMicroop w1 w2 /\ DataFromFinalStateAtPA w2 /\
+ ~DataFromFinalStateAtPA w1) =>
+AddEdge ((w1, Memory), (w2, Memory), "ws").
+
+% --- Load values under TSO. --------------------------------------
+
+% No po-earlier same-core store to the load's address exists (such a
+% store would be forwarded from or already drained).
+DefineMacro "TsoNoSameCoreOlderStore":
+forall microop "w", (
+  (IsAnyWrite w /\ SameCore w i /\ SameAddress w i) =>
+  ProgramOrder i w).
+
+% Case 1: the load reads the initial state of memory — it performs
+% before every same-address drain and has no po-earlier same-core
+% same-address store.
+DefineMacro "TsoBeforeAll":
+DataFromInitialStateAtPA i /\
+ExpandMacro TsoNoSameCoreOlderStore /\
+forall microop "w", (
+  (IsAnyWrite w /\ SameAddress w i /\ ~SameMicroop i w) =>
+  AddEdge ((i, Writeback), (w, Memory), "fr", "red")).
+
+% Case 2: the load forwards from its own store buffer — the latest
+% po-earlier same-core same-address store, still undrained at the
+% load's DX.
+DefineMacro "TsoForward":
+exists microop "w", (
+  IsAnyWrite w /\ SameCore w i /\ SameAddress w i /\ SameData w i /\
+  ProgramOrder w i /\
+  AddEdge ((i, DecodeExecute), (w, Memory), "fwd") /\
+  ~(exists microop "w'", (
+      IsAnyWrite w' /\ SameCore w' i /\ SameAddress w' i /\
+      ProgramOrder w w' /\ ProgramOrder w' i))).
+
+% Every po-earlier same-core same-address store has drained before
+% the load's DX (otherwise the load would forward instead).
+DefineMacro "TsoNoUndrainedMask":
+forall microop "wm", (
+  (IsAnyWrite wm /\ SameCore wm i /\ SameAddress wm i /\
+   ProgramOrder wm i) =>
+  AddEdge ((wm, Memory), (i, DecodeExecute), "drained")).
+
+% Case 3: the load reads from memory — some same-address write
+% drained before the load's WB with no other same-address drain in
+% between, and no undrained same-core store masks the array.
+DefineMacro "TsoFromMemory":
+exists microop "w", (
+  IsAnyWrite w /\ SameAddress w i /\ SameData w i /\
+  AddEdge ((w, Memory), (i, Writeback), "rf") /\
+  ~(exists microop "w'", (
+      IsAnyWrite w' /\ SameAddress w' i /\ ~SameMicroop w w' /\
+      EdgesExist [((w, Memory), (w', Memory), "");
+                  ((w', Memory), (i, Writeback), "")])) /\
+  ExpandMacro TsoNoUndrainedMask).
+
+Axiom "Read_Values":
+forall microops "i",
+IsAnyRead i => (
+  ExpandMacro TsoBeforeAll
+  \/ ExpandMacro TsoForward
+  \/ ExpandMacro TsoFromMemory).
+)USPEC";
+}
+
+const Model &
+tsoVscaleModel()
+{
+    static const Model model = parseModel(tsoVscaleSource());
+    return model;
+}
+
+} // namespace rtlcheck::uspec

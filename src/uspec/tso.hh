@@ -1,0 +1,27 @@
+/**
+ * @file
+ * The µspec model of the TSO (store-buffer) Multi-V-scale variant.
+ *
+ * Demonstrates the paper's claim (§1) that the methodology handles
+ * ISA-level MCMs beyond SC: stores perform at a separate Memory
+ * location (the store-buffer drain), loads may perform before
+ * po-earlier stores to other addresses, and same-core same-address
+ * loads forward from the store buffer.
+ */
+
+#ifndef RTLCHECK_USPEC_TSO_HH
+#define RTLCHECK_USPEC_TSO_HH
+
+#include "uspec/ast.hh"
+
+namespace rtlcheck::uspec {
+
+/** µspec source text of the TSO Multi-V-scale model. */
+const char *tsoVscaleSource();
+
+/** Parsed TSO model (parsed once, cached). */
+const Model &tsoVscaleModel();
+
+} // namespace rtlcheck::uspec
+
+#endif // RTLCHECK_USPEC_TSO_HH

@@ -1,0 +1,67 @@
+#include "isa.hh"
+
+#include "common/logging.hh"
+
+namespace rtlcheck::vscale {
+
+std::uint32_t
+encodeLw(unsigned rd, unsigned rs1, std::int32_t imm)
+{
+    RC_ASSERT(rd < 32 && rs1 < 32);
+    RC_ASSERT(imm >= -2048 && imm < 2048);
+    const std::uint32_t imm12 = static_cast<std::uint32_t>(imm) & 0xfff;
+    return (imm12 << 20) | (rs1 << 15) | (funct3Word << 12) | (rd << 7) |
+           opcodeLoad;
+}
+
+std::uint32_t
+encodeSw(unsigned rs2, unsigned rs1, std::int32_t imm)
+{
+    RC_ASSERT(rs2 < 32 && rs1 < 32);
+    RC_ASSERT(imm >= -2048 && imm < 2048);
+    const std::uint32_t imm12 = static_cast<std::uint32_t>(imm) & 0xfff;
+    const std::uint32_t imm_hi = imm12 >> 5;
+    const std::uint32_t imm_lo = imm12 & 0x1f;
+    return (imm_hi << 25) | (rs2 << 20) | (rs1 << 15) |
+           (funct3Word << 12) | (imm_lo << 7) | opcodeStore;
+}
+
+std::uint32_t
+encodeHalt()
+{
+    return opcodeHalt;
+}
+
+std::uint32_t
+encodeFence()
+{
+    // fence iorw, iorw: pred/succ all-ones, fm/rd/rs1/funct3 zero.
+    return (0xffu << 20) | opcodeFence;
+}
+
+Decoded
+decode(std::uint32_t instr)
+{
+    Decoded d;
+    const std::uint32_t opcode = instr & 0x7f;
+    const std::uint32_t funct3 = (instr >> 12) & 0x7;
+    d.rd = (instr >> 7) & 0x1f;
+    d.rs1 = (instr >> 15) & 0x1f;
+    d.rs2 = (instr >> 20) & 0x1f;
+    if (opcode == opcodeLoad && funct3 == funct3Word) {
+        d.isLoad = true;
+        std::uint32_t imm12 = instr >> 20;
+        d.imm = static_cast<std::int32_t>((imm12 ^ 0x800) - 0x800);
+    } else if (opcode == opcodeStore && funct3 == funct3Word) {
+        d.isStore = true;
+        std::uint32_t imm12 = ((instr >> 25) << 5) | ((instr >> 7) & 0x1f);
+        d.imm = static_cast<std::int32_t>((imm12 ^ 0x800) - 0x800);
+    } else if (opcode == opcodeHalt) {
+        d.isHalt = true;
+    } else if (opcode == opcodeFence) {
+        d.isFence = true;
+    }
+    return d;
+}
+
+} // namespace rtlcheck::vscale

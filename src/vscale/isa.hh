@@ -1,0 +1,62 @@
+/**
+ * @file
+ * RV32I subset used by Multi-V-scale litmus programs.
+ *
+ * Litmus tests lower to word-sized loads (LW) and stores (SW) plus a
+ * custom HALT instruction (custom-0 opcode); the RISC-V ISA has no
+ * halt, so the paper added one (§5.2) and so do we. Encodings are the
+ * real RV32 ones — the instruction-initialization assumptions the
+ * paper shows in Figure 8 spell out exactly these bit fields.
+ */
+
+#ifndef RTLCHECK_VSCALE_ISA_HH
+#define RTLCHECK_VSCALE_ISA_HH
+
+#include <cstdint>
+
+namespace rtlcheck::vscale {
+
+/// RV32 opcode fields (low 7 bits).
+constexpr std::uint32_t opcodeLoad = 0b0000011;
+constexpr std::uint32_t opcodeStore = 0b0100011;
+constexpr std::uint32_t opcodeOpImm = 0b0010011;
+constexpr std::uint32_t opcodeFence = 0b0001111; ///< MISC-MEM
+constexpr std::uint32_t opcodeHalt = 0b0001011;  ///< custom-0
+
+/// funct3 for word-sized memory accesses.
+constexpr std::uint32_t funct3Word = 0b010;
+
+/// ADDI x0, x0, 0 — the canonical NOP / pipeline bubble.
+constexpr std::uint32_t instrNop = 0x00000013;
+
+/** Encode LW rd, imm(rs1). */
+std::uint32_t encodeLw(unsigned rd, unsigned rs1, std::int32_t imm);
+
+/** Encode SW rs2, imm(rs1). */
+std::uint32_t encodeSw(unsigned rs2, unsigned rs1, std::int32_t imm);
+
+/** Encode the custom HALT instruction. */
+std::uint32_t encodeHalt();
+
+/** Encode FENCE (full fence; drains the store buffer on the TSO
+ *  variant, a no-op on the in-order SC pipeline). */
+std::uint32_t encodeFence();
+
+/** Software-side decode, used by tests to cross-check the RTL. */
+struct Decoded
+{
+    bool isLoad = false;
+    bool isStore = false;
+    bool isHalt = false;
+    bool isFence = false;
+    unsigned rd = 0;
+    unsigned rs1 = 0;
+    unsigned rs2 = 0;
+    std::int32_t imm = 0;
+};
+
+Decoded decode(std::uint32_t instr);
+
+} // namespace rtlcheck::vscale
+
+#endif // RTLCHECK_VSCALE_ISA_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * RTL helpers shared by the Multi-V-scale SoC builders (the simple
+ * in-order SC pipeline of soc.cc and the TSO store-buffer variant of
+ * soc_tso.cc).
+ */
+
+#ifndef RTLCHECK_VSCALE_PIPELINE_UTIL_HH
+#define RTLCHECK_VSCALE_PIPELINE_UTIL_HH
+
+#include <array>
+
+#include "rtl/design.hh"
+#include "vscale/isa.hh"
+
+namespace rtlcheck::vscale::detail {
+
+/** Sign-extend a 12-bit immediate to 32 bits. */
+inline rtl::Signal
+sext12(rtl::Design &d, rtl::Signal imm12)
+{
+    rtl::Signal sign = d.slice(imm12, 11, 1);
+    rtl::Signal hi =
+        d.mux(sign, d.constant(20, 0xfffff), d.constant(20, 0));
+    return d.concat(hi, imm12);
+}
+
+/** Decoded instruction fields as RTL signals. */
+struct RtlDecode
+{
+    rtl::Signal isLoad;
+    rtl::Signal isStore;
+    rtl::Signal isMem;
+    rtl::Signal isHalt;
+    rtl::Signal isFence;
+    rtl::Signal rd;
+    rtl::Signal rs1;
+    rtl::Signal rs2;
+    rtl::Signal imm;
+};
+
+inline RtlDecode
+decodeRtl(rtl::Design &d, rtl::Signal instr)
+{
+    RtlDecode out;
+    rtl::Signal opcode = d.slice(instr, 0, 7);
+    rtl::Signal funct3 = d.slice(instr, 12, 3);
+    rtl::Signal f3_word = d.eqConst(funct3, funct3Word);
+    out.isLoad = d.andOf(d.eqConst(opcode, opcodeLoad), f3_word);
+    out.isStore = d.andOf(d.eqConst(opcode, opcodeStore), f3_word);
+    out.isMem = d.orOf(out.isLoad, out.isStore);
+    out.isHalt = d.eqConst(opcode, opcodeHalt);
+    out.isFence = d.eqConst(opcode, opcodeFence);
+    out.rd = d.slice(instr, 7, 5);
+    out.rs1 = d.slice(instr, 15, 5);
+    out.rs2 = d.slice(instr, 20, 5);
+    rtl::Signal imm_i = d.slice(instr, 20, 12);
+    rtl::Signal imm_s =
+        d.concat(d.slice(instr, 25, 7), d.slice(instr, 7, 5));
+    out.imm = sext12(d, d.mux(out.isStore, imm_s, imm_i));
+    return out;
+}
+
+/** 4-way mux indexed by a 2-bit select. */
+inline rtl::Signal
+mux4(rtl::Design &d, rtl::Signal sel,
+     const std::array<rtl::Signal, 4> &inputs)
+{
+    rtl::Signal bit0 = d.slice(sel, 0, 1);
+    rtl::Signal bit1 = d.slice(sel, 1, 1);
+    rtl::Signal lo = d.mux(bit0, inputs[1], inputs[0]);
+    rtl::Signal hi = d.mux(bit0, inputs[3], inputs[2]);
+    return d.mux(bit1, hi, lo);
+}
+
+} // namespace rtlcheck::vscale::detail
+
+#endif // RTLCHECK_VSCALE_PIPELINE_UTIL_HH

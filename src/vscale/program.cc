@@ -1,0 +1,61 @@
+#include "program.hh"
+
+#include "common/logging.hh"
+#include "vscale/isa.hh"
+
+namespace rtlcheck::vscale {
+
+std::uint32_t
+Program::pcOf(litmus::InstrRef ref) const
+{
+    return basePc(ref.thread) + 4 * static_cast<std::uint32_t>(ref.index);
+}
+
+Program
+lower(const litmus::Test &test)
+{
+    RC_ASSERT(static_cast<int>(test.threads.size()) <= numCores,
+              "test '", test.name, "' needs more than ", numCores,
+              " cores");
+    RC_ASSERT(test.numAddresses() <= static_cast<int>(dmemWords) - 1,
+              "test '", test.name, "' uses too many addresses");
+
+    Program prog;
+    prog.test = &test;
+    prog.imem.assign(imemWords, 0);
+
+    for (int c = 0; c < numCores; ++c) {
+        const std::uint32_t base_word = basePc(c) / 4;
+        int n = 0;
+        if (c < static_cast<int>(test.threads.size()))
+            n = static_cast<int>(test.threads[c].instrs.size());
+        RC_ASSERT(Program::addrReg(n) < regfileRegs,
+                  "test '", test.name, "' has too many instructions on ",
+                  "core ", c);
+        for (int i = 0; i < n; ++i) {
+            const litmus::Instr &in = test.threads[c].instrs[i];
+            if (in.type == litmus::OpType::Fence) {
+                prog.imem[base_word + i] = encodeFence();
+                continue;
+            }
+            const unsigned areg = Program::addrReg(i);
+            const unsigned dreg = Program::dataReg(i);
+            prog.regPins.push_back(
+                RegPin{c, areg, byteAddrOf(in.address)});
+            if (in.type == litmus::OpType::Store) {
+                prog.regPins.push_back(RegPin{c, dreg, in.value});
+                prog.imem[base_word + i] = encodeSw(dreg, areg, 0);
+            } else {
+                prog.imem[base_word + i] = encodeLw(dreg, areg, 0);
+            }
+        }
+        prog.imem[base_word + n] = encodeHalt();
+    }
+
+    for (int a = 0; a < test.numAddresses(); ++a)
+        prog.dmemInit.push_back({dmemWordOf(a), test.initialValue(a)});
+
+    return prog;
+}
+
+} // namespace rtlcheck::vscale

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Lowering of litmus tests to Multi-V-scale programs.
+ *
+ * This is the deterministic half of the paper's *program mapping
+ * function* (§4.1): it turns a litmus test into the shared instruction
+ * ROM image, the per-core register pre-loads (address and data
+ * registers for each memory instruction), the data-memory initial
+ * values, and the PC of every litmus instruction (the context
+ * information node mapping functions need — Figure 9).
+ */
+
+#ifndef RTLCHECK_VSCALE_PROGRAM_HH
+#define RTLCHECK_VSCALE_PROGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "litmus/test.hh"
+
+namespace rtlcheck::vscale {
+
+/// Fixed Multi-V-scale geometry (paper §5.2: four three-stage cores).
+constexpr int numCores = 4;
+constexpr std::uint32_t imemWords = 64;
+constexpr std::uint32_t dmemWords = 8;
+constexpr unsigned regfileRegs = 16;
+
+/** Byte PC of a core's first instruction. Core 0 starts at PC 4 so
+ *  that the bubble value 0 in PC_WB never aliases a real PC. */
+constexpr std::uint32_t
+basePc(int core)
+{
+    return 4 + 32 * static_cast<std::uint32_t>(core);
+}
+
+/** Data-memory word index backing a symbolic litmus address. Word 0
+ *  is reserved so a zero address never aliases a litmus location. */
+constexpr std::uint32_t
+dmemWordOf(int address)
+{
+    return static_cast<std::uint32_t>(address) + 1;
+}
+
+/** Byte address a core uses to access a symbolic litmus address. */
+constexpr std::uint32_t
+byteAddrOf(int address)
+{
+    return dmemWordOf(address) * 4;
+}
+
+/** One register pre-load for a core. */
+struct RegPin
+{
+    int core = 0;
+    unsigned reg = 0;
+    std::uint32_t value = 0;
+};
+
+/** A lowered litmus test. */
+struct Program
+{
+    std::vector<std::uint32_t> imem;           ///< shared ROM image
+    std::vector<RegPin> regPins;               ///< register pre-loads
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> dmemInit;
+    const litmus::Test *test = nullptr;
+
+    /** PC of a litmus instruction. */
+    std::uint32_t pcOf(litmus::InstrRef ref) const;
+    /** Address register index of instruction `index` on a core. */
+    static unsigned addrReg(int index) { return 1 + 2 * index; }
+    /** Data/destination register index of instruction `index`. */
+    static unsigned dataReg(int index) { return 2 + 2 * index; }
+};
+
+/** Lower a litmus test; fatal if it exceeds the SoC geometry. */
+Program lower(const litmus::Test &test);
+
+} // namespace rtlcheck::vscale
+
+#endif // RTLCHECK_VSCALE_PROGRAM_HH

@@ -1,0 +1,265 @@
+#include "soc.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+#include "vscale/isa.hh"
+#include "vscale/pipeline_util.hh"
+
+namespace rtlcheck::vscale {
+
+using rtl::Design;
+using rtl::MemHandle;
+using rtl::Signal;
+using detail::decodeRtl;
+using detail::mux4;
+using detail::RtlDecode;
+
+namespace {
+
+/** Per-core signals the arbiter and memory need to see. */
+struct CorePorts
+{
+    Signal isMemDx;       ///< memory op in DX (request)
+    Signal isStoreDx;
+    Signal isLoadDx;
+    Signal addrWordDx;    ///< word address computed in DX
+    Signal storeDataWb;   ///< store data driven during WB
+    Signal isLoadWb;      ///< load currently in WB (data phase)
+    Signal rdWb;          ///< destination register of the load in WB
+    Signal halted;
+    MemHandle regfile;
+};
+
+/**
+ * Build one V-scale core. `grant` is the arbiter's grant for this
+ * core; `loadDataWb` is the memory read data routed back during this
+ * core's data phase (WB), already gated so it is zero when this core
+ * is not in a load data phase.
+ */
+CorePorts
+buildCore(Design &d, int core, Signal grant, Signal memRdata,
+          Signal dphaseLoadHere)
+{
+    d.pushScope("core" + std::to_string(core));
+
+    Signal pc_if = d.addReg("PC_IF", 32, basePc(core));
+    Signal fetch_done = d.addReg("fetch_done", 1, 0);
+    Signal pc_dx = d.addReg("PC_DX", 32, 0);
+    Signal instr_dx = d.addReg("instr_DX", 32, instrNop);
+    Signal pc_wb = d.addReg("PC_WB", 32, 0);
+    Signal instr_wb = d.addReg("instr_WB", 32, instrNop);
+    Signal store_data_wb = d.addReg("store_data_WB", 32, 0);
+    Signal alu_out_wb = d.addReg("alu_out_WB", 32, 0);
+    Signal halted = d.addReg("halted", 1, 0);
+
+    MemHandle regfile = d.addMem("regfile", regfileRegs, 32);
+
+    // --- IF: fetch from the shared instruction ROM. --------------
+    MemHandle imem = d.memByName("imem");
+    Signal imem_word = d.slice(pc_if, 2, 6);
+    Signal imem_rdata = d.memRead(imem, imem_word);
+    Signal if_instr =
+        d.mux(fetch_done, d.constant(32, instrNop), imem_rdata);
+    Signal if_is_halt =
+        d.eqConst(d.slice(if_instr, 0, 7), opcodeHalt);
+
+    // --- DX: decode, read registers, compute the address. --------
+    RtlDecode dec = decodeRtl(d, instr_dx);
+    Signal rs1_idx = d.slice(dec.rs1, 0, 4);
+    Signal rs2_idx = d.slice(dec.rs2, 0, 4);
+    Signal rs1_data = d.memRead(regfile, rs1_idx);
+    Signal rs2_data = d.memRead(regfile, rs2_idx);
+    Signal alu_out_dx = d.nameWire("alu_out_DX", d.add(rs1_data, dec.imm));
+
+    Signal stall_dx =
+        d.nameWire("stall_DX", d.andOf(dec.isMem, d.notOf(grant)));
+    Signal stall_if = d.nameWire("stall_IF", stall_dx);
+    d.nameWire("stall_WB", d.constant(1, 0));
+    d.nameWire("grant", grant);
+    d.nameWire("is_load_DX", dec.isLoad);
+    d.nameWire("is_store_DX", dec.isStore);
+
+    // --- Register updates. ----------------------------------------
+    Signal hold_pc =
+        d.orOf(d.orOf(stall_if, fetch_done), if_is_halt);
+    d.setNext(pc_if, d.mux(hold_pc, pc_if,
+                           d.add(pc_if, d.constant(32, 4))));
+    d.setNext(fetch_done,
+              d.orOf(fetch_done,
+                     d.andOf(if_is_halt, d.notOf(stall_dx))));
+    d.setNext(pc_dx, d.mux(stall_dx, pc_dx, pc_if));
+    d.setNext(instr_dx, d.mux(stall_dx, instr_dx, if_instr));
+
+    // On a DX stall, WB receives a pipeline bubble (Figure 3c).
+    Signal zero32 = d.constant(32, 0);
+    d.setNext(pc_wb, d.mux(stall_dx, zero32, pc_dx));
+    d.setNext(instr_wb,
+              d.mux(stall_dx, d.constant(32, instrNop), instr_dx));
+    d.setNext(store_data_wb, d.mux(stall_dx, zero32, rs2_data));
+    d.setNext(alu_out_wb, d.mux(stall_dx, zero32, alu_out_dx));
+
+    d.setNext(halted,
+              d.orOf(halted, d.andOf(dec.isHalt, d.notOf(stall_dx))));
+
+    // --- WB: receive load data / drive store data. ----------------
+    RtlDecode dec_wb = decodeRtl(d, instr_wb);
+    Signal load_data_wb =
+        d.nameWire("load_data_WB",
+                   d.mux(dphaseLoadHere, memRdata, zero32));
+    d.nameWire("is_load_WB", dec_wb.isLoad);
+    d.nameWire("is_store_WB", dec_wb.isStore);
+
+    Signal rd_idx = d.slice(dec_wb.rd, 0, 4);
+    d.addMemWrite(regfile, dphaseLoadHere, rd_idx, load_data_wb);
+
+    CorePorts ports;
+    ports.isMemDx = dec.isMem;
+    ports.isStoreDx = dec.isStore;
+    ports.isLoadDx = dec.isLoad;
+    ports.addrWordDx = d.slice(alu_out_dx, 2, 3);
+    ports.storeDataWb = store_data_wb;
+    ports.isLoadWb = dec_wb.isLoad;
+    ports.rdWb = rd_idx;
+    ports.halted = halted;
+    ports.regfile = regfile;
+
+    d.popScope();
+    return ports;
+}
+
+} // namespace
+
+SocInfo
+buildSoc(Design &d, const Program &program, MemoryVariant variant)
+{
+    SocInfo info;
+    info.variant = variant;
+
+    d.addRom("imem", imemWords, 32, program.imem);
+
+    Signal arb_select = d.addInput(SocInfo::arbSelectName, 2);
+
+    // --- Memory data-phase bookkeeping registers. ------------------
+    // These are declared before the cores so load data can be routed
+    // into each core's WB stage; their next-state functions are
+    // connected after the cores exist.
+    d.pushScope("mem");
+    Signal dphase_valid = d.addReg("dphase_valid", 1, 0);
+    Signal dphase_load = d.addReg("dphase_load", 1, 0);
+    Signal dphase_store = d.addReg("dphase_store", 1, 0);
+    Signal dphase_addr = d.addReg("dphase_addr", 3, 0);
+    Signal dphase_core = d.addReg("dphase_core", 2, 0);
+    MemHandle dmem = d.addMem("dmem", dmemWords, 32);
+    for (const auto &[word, value] : program.dmemInit)
+        d.memInit(dmem, word, value);
+    d.popScope();
+
+    // --- Cores. -----------------------------------------------------
+    std::array<CorePorts, numCores> cores;
+    std::array<Signal, 4> store_data{};
+    Signal mem_rdata_placeholder; // defined below per variant
+
+    // Memory read data must exist before cores are built; compute it
+    // from the data-phase registers and (for the buggy variant) the
+    // store buffer, which also must exist first.
+    Signal wvalid, waddr, wdata;
+    if (variant == MemoryVariant::Buggy) {
+        d.pushScope("mem");
+        wvalid = d.addReg("wvalid", 1, 0);
+        waddr = d.addReg("waddr", 3, 0);
+        wdata = d.addReg("wdata", 32, 0);
+        d.popScope();
+        Signal bypass_hit = d.andOf(wvalid, d.eq(waddr, dphase_addr));
+        mem_rdata_placeholder =
+            d.mux(bypass_hit, wdata, d.memRead(dmem, dphase_addr));
+    } else {
+        mem_rdata_placeholder = d.memRead(dmem, dphase_addr);
+    }
+    Signal mem_rdata = d.nameWire("mem.rdata", mem_rdata_placeholder);
+
+    for (int c = 0; c < numCores; ++c) {
+        Signal grant = d.eqConst(arb_select, static_cast<unsigned>(c));
+        if (variant == MemoryVariant::DoubleGrant && c == 0) {
+            // Seeded fault: core 0 also sees a grant when core 1 is
+            // selected, but the memory still services core 1 — core
+            // 0's transaction silently vanishes.
+            grant = d.orOf(grant, d.eqConst(arb_select, 1));
+        }
+        Signal here = d.eqConst(dphase_core, static_cast<unsigned>(c));
+        Signal dphase_load_here =
+            d.andOf(d.andOf(dphase_valid, dphase_load), here);
+        cores[c] = buildCore(d, c, grant, mem_rdata, dphase_load_here);
+        store_data[c] = cores[c].storeDataWb;
+    }
+
+    // --- Arbiter: route the selected core's request to memory. -----
+    std::array<Signal, 4> is_mem{}, is_store{}, is_load{}, addr{};
+    for (int c = 0; c < numCores; ++c) {
+        is_mem[c] = cores[c].isMemDx;
+        is_store[c] = cores[c].isStoreDx;
+        is_load[c] = cores[c].isLoadDx;
+        addr[c] = cores[c].addrWordDx;
+    }
+    Signal req_valid =
+        d.nameWire("arb.req_valid", mux4(d, arb_select, is_mem));
+    Signal req_is_store = d.andOf(req_valid,
+                                  mux4(d, arb_select, is_store));
+    Signal req_is_load = d.andOf(req_valid,
+                                 mux4(d, arb_select, is_load));
+    Signal req_addr = mux4(d, arb_select, addr);
+    d.nameWire("arb.req_is_store", req_is_store);
+    d.nameWire("arb.req_addr", req_addr);
+
+    d.setNext(dphase_valid, req_valid);
+    d.setNext(dphase_load, req_is_load);
+    d.setNext(dphase_store, req_is_store);
+    if (variant == MemoryVariant::StaleLoadAddress) {
+        // Seeded fault: the data phase uses the *previous*
+        // transaction's address.
+        d.pushScope("mem");
+        Signal prev_addr = d.addReg("prev_req_addr", 3, 0);
+        d.popScope();
+        d.setNext(prev_addr,
+                  d.mux(req_valid, req_addr, d.constant(3, 0)));
+        d.setNext(dphase_addr, prev_addr);
+    } else {
+        d.setNext(dphase_addr,
+                  d.mux(req_valid, req_addr, d.constant(3, 0)));
+    }
+    d.setNext(dphase_core,
+              d.mux(req_valid, arb_select, d.constant(2, 0)));
+
+    Signal store_data_bus =
+        d.nameWire("mem.store_data_bus", mux4(d, dphase_core, store_data));
+
+    if (variant == MemoryVariant::Buggy) {
+        // §7.1: the next store's address phase pushes the *old*
+        // (waddr, wdata) pair into the array; with back-to-back
+        // stores, wdata has not yet latched the first store's data,
+        // so stale data is pushed and the first store is dropped.
+        Signal push = d.andOf(req_is_store, wvalid);
+        d.addMemWrite(dmem, push, waddr, wdata);
+        d.setNext(waddr, d.mux(req_is_store, req_addr, waddr));
+        d.setNext(wvalid, d.orOf(wvalid, req_is_store));
+        d.setNext(wdata, d.mux(dphase_store, store_data_bus, wdata));
+    } else if (variant == MemoryVariant::StoreWrongAddress) {
+        // Seeded fault: stores commit one word above their address.
+        Signal skewed =
+            d.add(dphase_addr, d.constant(3, 1));
+        d.addMemWrite(dmem, dphase_store, skewed, store_data_bus);
+    } else {
+        // The fix: clock store data straight into the array one cycle
+        // after the store's WB stage.
+        d.addMemWrite(dmem, dphase_store, dphase_addr, store_data_bus);
+    }
+
+    Signal all_halted = cores[0].halted;
+    for (int c = 1; c < numCores; ++c)
+        all_halted = d.andOf(all_halted, cores[c].halted);
+    d.nameWire(SocInfo::allHaltedName, all_halted);
+
+    return info;
+}
+
+} // namespace rtlcheck::vscale

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The Multi-V-scale SoC: four three-stage V-scale pipelines behind a
+ * memory arbiter (paper Figure 1 / §5).
+ *
+ * Each core's pipeline is IF -> DX -> WB. Memory instructions send
+ * their address to memory during DX (the address phase) and move to
+ * WB only when the arbiter grants them; data moves during WB (the
+ * data phase), as in the paper's Figure 11. The arbiter's
+ * core-selection is a free top-level input, so a property verifier
+ * explores every switching pattern (§5.2).
+ *
+ * The data memory comes in two variants:
+ *  - MemoryVariant::Buggy reproduces the V-scale bug of §7.1: a
+ *    single-entry `wdata` store buffer whose contents are pushed to
+ *    the memory array when the *next* store starts its address phase;
+ *    back-to-back stores push stale data and drop the first store.
+ *  - MemoryVariant::Fixed clocks store data directly into the array
+ *    one cycle after the store's WB, the paper's fix.
+ */
+
+#ifndef RTLCHECK_VSCALE_SOC_HH
+#define RTLCHECK_VSCALE_SOC_HH
+
+#include <string>
+
+#include "rtl/design.hh"
+#include "vscale/program.hh"
+
+namespace rtlcheck::vscale {
+
+/**
+ * Design variants of the Multi-V-scale memory system. `Fixed` is the
+ * corrected design; `Buggy` is the paper's §7.1 store-drop bug; the
+ * remaining variants are additional seeded faults used by the
+ * fault-injection campaign to demonstrate detection power.
+ */
+enum class MemoryVariant
+{
+    Buggy,             ///< §7.1: wdata buffer drops back-to-back stores
+    Fixed,             ///< the paper's fix: direct clock-in
+    StoreWrongAddress, ///< stores commit to address+1
+    StaleLoadAddress,  ///< loads read the previous transaction's address
+    DoubleGrant,       ///< arbiter also "grants" core 0 when core 1 is
+                       ///< selected, so core 0's accesses are dropped
+};
+
+/** Handles and naming conventions for a built SoC. */
+struct SocInfo
+{
+    MemoryVariant variant = MemoryVariant::Fixed;
+
+    /** Hierarchical name of a per-core signal, e.g. core0.PC_WB. */
+    static std::string
+    coreSignal(int core, const std::string &name)
+    {
+        return "core" + std::to_string(core) + "." + name;
+    }
+
+    static std::string regfileName(int core)
+    {
+        return "core" + std::to_string(core) + ".regfile";
+    }
+
+    static constexpr const char *dmemName = "mem.dmem";
+    static constexpr const char *arbSelectName = "arb_select";
+    static constexpr const char *allHaltedName = "all_halted";
+};
+
+/** Build the Multi-V-scale SoC into `design` with the given program
+ *  in its shared instruction ROM. */
+SocInfo buildSoc(rtl::Design &design, const Program &program,
+                 MemoryVariant variant);
+
+/**
+ * Build the TSO variant of Multi-V-scale: each core gains a
+ * single-entry store buffer. Stores deposit into the buffer at WB
+ * and drain to memory through the arbiter later (the Memory stage of
+ * the TSO µspec model); loads forward from a matching buffer entry
+ * and may bypass a pending store to a different address — the
+ * store-to-load reordering x86-TSO permits. Demonstrates the paper's
+ * claim that the methodology supports MCMs beyond SC (§1).
+ *
+ * Extra per-core signals: sb_valid, sb_addr, sb_data, sb_pc, and the
+ * drain event sb_drain_fire; all_halted additionally requires all
+ * store buffers to have drained.
+ */
+SocInfo buildTsoSoc(rtl::Design &design, const Program &program);
+
+} // namespace rtlcheck::vscale
+
+#endif // RTLCHECK_VSCALE_SOC_HH

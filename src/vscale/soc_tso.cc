@@ -1,0 +1,260 @@
+/**
+ * @file
+ * The TSO (store-buffer) variant of Multi-V-scale. See soc.hh.
+ *
+ * Per-core memory behaviour:
+ *  - Stores never use the arbiter at DX; a store stalls in DX only
+ *    while the single-entry store buffer is full and this core is
+ *    not granted a drain. It deposits (addr, data, pc) into the
+ *    buffer on the edge it moves to WB.
+ *  - The buffer drains to the memory array when the arbiter grants
+ *    the core and no load occupies DX (the buffer's read port is
+ *    busy on load cycles; this also keeps the drain event strictly
+ *    ordered against load events, which the µspec edges rely on).
+ *  - Loads check the buffer in DX: on a hit the forwarded data rides
+ *    a pipeline register to WB with no memory access; on a miss the
+ *    load requests the arbiter and reads memory during WB (the data
+ *    phase), exactly like the SC design.
+ *
+ * Because a load can be granted while the buffer still holds an
+ * older store to a different address, stores and loads reorder —
+ * the outcome of the sb (Dekker) litmus test becomes observable,
+ * as x86-TSO allows.
+ */
+
+#include <array>
+
+#include "common/logging.hh"
+#include "vscale/isa.hh"
+#include "vscale/pipeline_util.hh"
+#include "vscale/soc.hh"
+
+namespace rtlcheck::vscale {
+
+using rtl::Design;
+using rtl::MemHandle;
+using rtl::Signal;
+using detail::decodeRtl;
+using detail::mux4;
+using detail::RtlDecode;
+
+namespace {
+
+struct TsoCorePorts
+{
+    Signal loadReq;      ///< load miss in DX wants the bus
+    Signal addrWordDx;   ///< load address (word)
+    Signal drainFire;    ///< this cycle drains the store buffer
+    Signal sbAddr;
+    Signal sbData;
+    Signal halted;
+    Signal sbValid;
+};
+
+TsoCorePorts
+buildTsoCore(Design &d, int core, Signal grant, Signal memRdata,
+             Signal dphaseLoadHere, Signal memBusy)
+{
+    d.pushScope("core" + std::to_string(core));
+
+    Signal pc_if = d.addReg("PC_IF", 32, basePc(core));
+    Signal fetch_done = d.addReg("fetch_done", 1, 0);
+    Signal pc_dx = d.addReg("PC_DX", 32, 0);
+    Signal instr_dx = d.addReg("instr_DX", 32, instrNop);
+    Signal pc_wb = d.addReg("PC_WB", 32, 0);
+    Signal instr_wb = d.addReg("instr_WB", 32, instrNop);
+    Signal store_data_wb = d.addReg("store_data_WB", 32, 0);
+    Signal halted = d.addReg("halted", 1, 0);
+    Signal fwd_valid_wb = d.addReg("fwd_valid_WB", 1, 0);
+    Signal fwd_data_wb = d.addReg("fwd_data_WB", 32, 0);
+
+    // The single-entry store buffer.
+    Signal sb_valid = d.addReg("sb_valid", 1, 0);
+    Signal sb_addr = d.addReg("sb_addr", 3, 0);
+    Signal sb_data = d.addReg("sb_data", 32, 0);
+    Signal sb_pc = d.addReg("sb_pc", 32, 0);
+
+    MemHandle regfile = d.addMem("regfile", regfileRegs, 32);
+
+    // --- IF --------------------------------------------------------
+    MemHandle imem = d.memByName("imem");
+    Signal imem_rdata = d.memRead(imem, d.slice(pc_if, 2, 6));
+    Signal if_instr =
+        d.mux(fetch_done, d.constant(32, instrNop), imem_rdata);
+    Signal if_is_halt = d.eqConst(d.slice(if_instr, 0, 7), opcodeHalt);
+
+    // --- DX --------------------------------------------------------
+    RtlDecode dec = decodeRtl(d, instr_dx);
+    Signal rs1_data = d.memRead(regfile, d.slice(dec.rs1, 0, 4));
+    Signal rs2_data = d.memRead(regfile, d.slice(dec.rs2, 0, 4));
+    Signal alu_out_dx =
+        d.nameWire("alu_out_DX", d.add(rs1_data, dec.imm));
+    Signal addr_word = d.slice(alu_out_dx, 2, 3);
+
+    Signal sb_hit = d.nameWire(
+        "sb_hit",
+        d.andOf(d.andOf(sb_valid, d.eq(sb_addr, addr_word)),
+                dec.isLoad));
+    Signal load_needs_mem =
+        d.nameWire("load_needs_mem",
+                   d.andOf(dec.isLoad, d.notOf(sb_hit)));
+
+    // Drain: granted, buffer full, no load occupying DX (the
+    // buffer's read port is busy), the memory array not completing a
+    // read this cycle (single-ported array), and no forwarded load
+    // of this core in WB. The last three conditions serialize drain
+    // events against load events, which both the hardware's
+    // value-routing and the µspec model's strict happens-before
+    // edges rely on.
+    Signal drain_fire = d.nameWire(
+        "sb_drain_fire",
+        d.andOf(d.andOf(d.andOf(grant, sb_valid),
+                        d.notOf(dec.isLoad)),
+                d.notOf(d.orOf(memBusy, fwd_valid_wb))));
+
+    // A fence stalls in DX until the store buffer is *already*
+    // empty, so every po-earlier store's drain strictly precedes the
+    // fence's DX event (the TSO model's Fence_Drains axiom).
+    Signal stall_dx = d.nameWire(
+        "stall_DX",
+        d.orOf(d.orOf(d.andOf(load_needs_mem, d.notOf(grant)),
+                      d.andOf(d.andOf(dec.isStore, sb_valid),
+                              d.notOf(drain_fire))),
+               d.andOf(dec.isFence, sb_valid)));
+    Signal stall_if = d.nameWire("stall_IF", stall_dx);
+    d.nameWire("stall_WB", d.constant(1, 0));
+    d.nameWire("is_load_DX", dec.isLoad);
+    d.nameWire("is_store_DX", dec.isStore);
+
+    // --- Register updates -------------------------------------------
+    Signal hold_pc = d.orOf(d.orOf(stall_if, fetch_done), if_is_halt);
+    d.setNext(pc_if, d.mux(hold_pc, pc_if,
+                           d.add(pc_if, d.constant(32, 4))));
+    d.setNext(fetch_done,
+              d.orOf(fetch_done,
+                     d.andOf(if_is_halt, d.notOf(stall_dx))));
+    d.setNext(pc_dx, d.mux(stall_dx, pc_dx, pc_if));
+    d.setNext(instr_dx, d.mux(stall_dx, instr_dx, if_instr));
+
+    Signal zero32 = d.constant(32, 0);
+    d.setNext(pc_wb, d.mux(stall_dx, zero32, pc_dx));
+    d.setNext(instr_wb,
+              d.mux(stall_dx, d.constant(32, instrNop), instr_dx));
+    d.setNext(store_data_wb, d.mux(stall_dx, zero32, rs2_data));
+    d.setNext(halted,
+              d.orOf(halted, d.andOf(dec.isHalt, d.notOf(stall_dx))));
+
+    // Forwarded load data captured in DX.
+    Signal fwd_now =
+        d.andOf(d.andOf(dec.isLoad, sb_hit), d.notOf(stall_dx));
+    d.setNext(fwd_valid_wb, fwd_now);
+    d.setNext(fwd_data_wb, d.mux(fwd_now, sb_data, zero32));
+
+    // Store-buffer deposit (store leaving DX) and drain. A deposit
+    // and a drain can share an edge: the drain pushes the old entry
+    // into memory while the new store takes its place.
+    Signal deposit = d.andOf(dec.isStore, d.notOf(stall_dx));
+    d.setNext(sb_valid,
+              d.mux(deposit, d.constant(1, 1),
+                    d.mux(drain_fire, d.constant(1, 0), sb_valid)));
+    d.setNext(sb_addr, d.mux(deposit, addr_word, sb_addr));
+    d.setNext(sb_data, d.mux(deposit, rs2_data, sb_data));
+    d.setNext(sb_pc, d.mux(deposit, pc_dx, sb_pc));
+
+    // --- WB ----------------------------------------------------------
+    RtlDecode dec_wb = decodeRtl(d, instr_wb);
+    Signal load_data_wb = d.nameWire(
+        "load_data_WB",
+        d.mux(fwd_valid_wb, fwd_data_wb,
+              d.mux(dphaseLoadHere, memRdata, zero32)));
+    d.nameWire("is_load_WB", dec_wb.isLoad);
+    d.nameWire("is_store_WB", dec_wb.isStore);
+
+    Signal rf_we = d.orOf(fwd_valid_wb, dphaseLoadHere);
+    d.addMemWrite(regfile, rf_we, d.slice(dec_wb.rd, 0, 4),
+                  load_data_wb);
+
+    TsoCorePorts ports;
+    ports.loadReq = load_needs_mem;
+    ports.addrWordDx = addr_word;
+    ports.drainFire = drain_fire;
+    ports.sbAddr = sb_addr;
+    ports.sbData = sb_data;
+    ports.halted = halted;
+    ports.sbValid = sb_valid;
+
+    d.popScope();
+    return ports;
+}
+
+} // namespace
+
+SocInfo
+buildTsoSoc(Design &d, const Program &program)
+{
+    SocInfo info;
+    info.variant = MemoryVariant::Fixed;
+
+    d.addRom("imem", imemWords, 32, program.imem);
+
+    Signal arb_select = d.addInput(SocInfo::arbSelectName, 2);
+
+    d.pushScope("mem");
+    Signal dphase_valid = d.addReg("dphase_valid", 1, 0);
+    Signal dphase_addr = d.addReg("dphase_addr", 3, 0);
+    Signal dphase_core = d.addReg("dphase_core", 2, 0);
+    MemHandle dmem = d.addMem("dmem", dmemWords, 32);
+    for (const auto &[word, value] : program.dmemInit)
+        d.memInit(dmem, word, value);
+    d.popScope();
+
+    Signal mem_rdata =
+        d.nameWire("mem.rdata", d.memRead(dmem, dphase_addr));
+
+    std::array<TsoCorePorts, numCores> cores;
+    for (int c = 0; c < numCores; ++c) {
+        Signal grant = d.eqConst(arb_select, static_cast<unsigned>(c));
+        Signal here = d.eqConst(dphase_core, static_cast<unsigned>(c));
+        Signal dphase_load_here = d.andOf(dphase_valid, here);
+        cores[c] = buildTsoCore(d, c, grant, mem_rdata,
+                                dphase_load_here, dphase_valid);
+    }
+
+    // Arbiter: the granted core performs either a load address phase
+    // or a store-buffer drain this cycle.
+    std::array<Signal, 4> load_req{}, addr{};
+    for (int c = 0; c < numCores; ++c) {
+        load_req[c] = cores[c].loadReq;
+        addr[c] = cores[c].addrWordDx;
+    }
+    Signal req_load =
+        d.nameWire("arb.req_load", mux4(d, arb_select, load_req));
+    Signal req_addr = mux4(d, arb_select, addr);
+
+    d.setNext(dphase_valid, req_load);
+    d.setNext(dphase_addr,
+              d.mux(req_load, req_addr, d.constant(3, 0)));
+    d.setNext(dphase_core,
+              d.mux(req_load, arb_select, d.constant(2, 0)));
+
+    // Drain write ports: at most one drainFire is high per cycle
+    // (grants are exclusive).
+    for (int c = 0; c < numCores; ++c) {
+        d.addMemWrite(dmem, cores[c].drainFire, cores[c].sbAddr,
+                      cores[c].sbData);
+    }
+
+    // Done = all cores halted *and* all store buffers drained.
+    Signal all_done = d.andOf(cores[0].halted,
+                              d.notOf(cores[0].sbValid));
+    for (int c = 1; c < numCores; ++c) {
+        all_done = d.andOf(
+            all_done,
+            d.andOf(cores[c].halted, d.notOf(cores[c].sbValid)));
+    }
+    d.nameWire(SocInfo::allHaltedName, all_done);
+
+    return info;
+}
+
+} // namespace rtlcheck::vscale

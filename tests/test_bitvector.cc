@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the common substrate: BitVector, hashing, strings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitvector.hh"
+#include "common/hashing.hh"
+#include "common/strutil.hh"
+
+namespace rtlcheck {
+namespace {
+
+TEST(BitVector, TruncatesToWidth)
+{
+    BitVector v(4, 0x1f);
+    EXPECT_EQ(v.bits(), 0xfu);
+    EXPECT_EQ(v.width(), 4u);
+}
+
+TEST(BitVector, FullWidthMask)
+{
+    EXPECT_EQ(BitVector::maskFor(64), ~std::uint64_t(0));
+    EXPECT_EQ(BitVector::maskFor(32), 0xffffffffull);
+    EXPECT_EQ(BitVector::maskFor(1), 1ull);
+}
+
+TEST(BitVector, Equality)
+{
+    EXPECT_EQ(BitVector(8, 42), BitVector(8, 42));
+    EXPECT_NE(BitVector(8, 42), BitVector(8, 43));
+    EXPECT_NE(BitVector(8, 42), BitVector(9, 42));
+}
+
+TEST(BitVector, ToBool)
+{
+    EXPECT_FALSE(BitVector(32, 0).toBool());
+    EXPECT_TRUE(BitVector(32, 7).toBool());
+}
+
+TEST(BitVector, ToString)
+{
+    EXPECT_EQ(BitVector(32, 7).toString(), "32'd7");
+}
+
+TEST(Hashing, DistinctInputsDistinctHashes)
+{
+    std::vector<std::uint32_t> a{1, 2, 3};
+    std::vector<std::uint32_t> b{1, 2, 4};
+    std::vector<std::uint32_t> c{1, 3, 2};
+    EXPECT_NE(hashWords(a), hashWords(b));
+    EXPECT_NE(hashWords(a), hashWords(c));
+    EXPECT_EQ(hashWords(a), hashWords(a));
+}
+
+TEST(Hashing, OrderSensitive)
+{
+    std::vector<std::uint32_t> a{5, 9};
+    std::vector<std::uint32_t> b{9, 5};
+    EXPECT_NE(hashWords(a), hashWords(b));
+}
+
+TEST(Strutil, Trim)
+{
+    EXPECT_EQ(trim("  hello "), "hello");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("a"), "a");
+}
+
+TEST(Strutil, Split)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strutil, StartsWith)
+{
+    EXPECT_TRUE(startsWith("core0.PC_WB", "core0"));
+    EXPECT_FALSE(startsWith("core0", "core0.PC"));
+}
+
+TEST(Strutil, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, "."), "a.b.c");
+    EXPECT_EQ(join({}, "."), "");
+}
+
+} // namespace
+} // namespace rtlcheck

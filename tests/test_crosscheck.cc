@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Cross-layer validation:
+ *
+ *  - VCD output of recorded waveforms is well-formed and complete.
+ *  - The finite-trace checker agrees with the formal engine: on the
+ *    fixed design no valid simulated schedule may fail a property
+ *    the engine proved; on the buggy design the Figure 12 schedule
+ *    fails Read_Values through the trace checker too.
+ *  - Exhaustive outcome agreement: for every combination of load
+ *    values of selected tests, the µhb solver (SC and TSO models)
+ *    agrees with the corresponding reference executor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/suite.hh"
+#include "litmus/tso_ref.hh"
+#include "rtl/vcd.hh"
+#include "rtlcheck/assertion_gen.hh"
+#include "rtlcheck/assumption_gen.hh"
+#include "rtlcheck/runner.hh"
+#include "sva/trace_checker.hh"
+#include "uhb/solver.hh"
+#include "uspec/multivscale.hh"
+#include "uspec/tso.hh"
+
+namespace rtlcheck {
+namespace {
+
+using litmus::suiteTest;
+
+TEST(Vcd, WellFormedOutput)
+{
+    rtl::Design d;
+    rtl::Signal c = d.addReg("top.counter", 8, 0);
+    d.setNext(c, d.add(c, d.constant(8, 1)));
+    rtl::Signal bit = d.nameWire("top.lsb", d.slice(c, 0, 1));
+    (void)bit;
+    rtl::Netlist n(d);
+    rtl::Simulator sim(n);
+    rtl::Waveform wave(n, {"top.counter", "top.lsb"});
+    for (int i = 0; i < 4; ++i) {
+        sim.step({});
+        wave.sample(sim);
+    }
+    std::string vcd = rtl::toVcd(n, {"top.counter", "top.lsb"}, wave);
+    EXPECT_NE(vcd.find("$timescale"), std::string::npos);
+    EXPECT_NE(vcd.find("$var wire 8"), std::string::npos);
+    EXPECT_NE(vcd.find("$var wire 1"), std::string::npos);
+    EXPECT_NE(vcd.find("top_counter"), std::string::npos);
+    EXPECT_NE(vcd.find("b00000010"), std::string::npos); // cycle 2
+    EXPECT_NE(vcd.find("#3"), std::string::npos);
+}
+
+/** Build everything needed to evaluate generated properties on
+ *  simulated traces. */
+struct TraceFixture
+{
+    vscale::Program program;
+    rtl::Design design;
+    sva::PredicateTable preds;
+    std::unique_ptr<core::VscaleNodeMapping> mapping;
+    std::vector<formal::Assumption> assumptions;
+    std::vector<sva::Property> properties;
+    std::unique_ptr<rtl::Netlist> netlist;
+
+    TraceFixture(const litmus::Test &test,
+                 vscale::MemoryVariant variant)
+        : program(vscale::lower(test))
+    {
+        vscale::buildSoc(design, program, variant);
+        mapping = std::make_unique<core::VscaleNodeMapping>(
+            design, preds, program);
+        core::AssumptionSet set = core::generateAssumptions(
+            design, preds, program, *mapping);
+        properties = core::generateAssertions(
+            uspec::multiVscaleModel(), test, *mapping, preds);
+        netlist = std::make_unique<rtl::Netlist>(design);
+        assumptions = set.resolve(*netlist);
+    }
+
+    /** Simulate a schedule; returns the predicate trace, truncated
+     *  at the first assumption violation (exclusive). */
+    sva::Trace
+    simulate(const std::vector<unsigned> &schedule)
+    {
+        rtl::Simulator sim(*netlist);
+        std::vector<std::pair<std::size_t, std::uint32_t>> pins;
+        for (const auto &a : assumptions)
+            if (a.kind == formal::Assumption::Kind::InitialPin)
+                pins.push_back({a.stateSlot, a.value});
+        sim.resetWith(pins);
+
+        sva::Trace trace;
+        for (unsigned sel : schedule) {
+            sim.step({sel});
+            sva::PredMask mask{};
+            for (int p = 0; p < preds.size(); ++p) {
+                if (sim.lastValue(preds.signalOf(p)))
+                    mask[static_cast<std::size_t>(p) / 64] |=
+                        std::uint64_t(1) << (p % 64);
+            }
+            bool valid = true;
+            for (const auto &a : assumptions) {
+                if (a.kind == formal::Assumption::Kind::InitialPin)
+                    continue;
+                if (sva::predTrue(mask, a.antecedent) &&
+                    !sva::predTrue(mask, a.consequent))
+                    valid = false;
+            }
+            if (!valid)
+                break;
+            trace.push_back(mask);
+        }
+        return trace;
+    }
+};
+
+TEST(TraceVsFormal, ProvenPropertiesHoldOnSimulatedTraces)
+{
+    TraceFixture fx(suiteTest("mp"), vscale::MemoryVariant::Fixed);
+    std::uint32_t s = 777;
+    for (int run = 0; run < 30; ++run) {
+        std::vector<unsigned> schedule;
+        for (int i = 0; i < 40; ++i) {
+            s = s * 1664525u + 1013904223u;
+            schedule.push_back((s >> 9) & 3);
+        }
+        sva::Trace trace = fx.simulate(schedule);
+        for (const auto &p : fx.properties) {
+            EXPECT_NE(sva::checkFireOnce(p, trace),
+                      sva::Tri::Failed)
+                << p.name << " run=" << run;
+        }
+    }
+}
+
+TEST(TraceVsFormal, BuggyScheduleFailsReadValuesViaTraceChecker)
+{
+    TraceFixture fx(suiteTest("mp"), vscale::MemoryVariant::Buggy);
+    // The Figure 12 schedule: back-to-back stores, then the loads.
+    sva::Trace trace =
+        fx.simulate({0, 0, 0, 1, 1, 1, 2, 3, 2, 3, 0, 1});
+    bool read_values_failed = false;
+    for (const auto &p : fx.properties) {
+        if (p.name.find("Read_Values[i=1.1]") != std::string::npos)
+            read_values_failed |=
+                sva::checkFireOnce(p, trace) == sva::Tri::Failed;
+    }
+    EXPECT_TRUE(read_values_failed);
+}
+
+/**
+ * Exhaustive outcome agreement between the µhb solver and the
+ * reference executors, over every load-value combination.
+ */
+void
+sweepOutcomes(const char *test_name,
+              const std::vector<std::uint32_t> &value_domain)
+{
+    const litmus::Test &base = suiteTest(test_name);
+    std::vector<litmus::InstrRef> loads;
+    for (const auto &ref : base.allRefs())
+        if (base.instrAt(ref).type == litmus::OpType::Load)
+            loads.push_back(ref);
+
+    std::size_t combos = 1;
+    for (std::size_t i = 0; i < loads.size(); ++i)
+        combos *= value_domain.size();
+
+    for (std::size_t combo = 0; combo < combos; ++combo) {
+        litmus::Test t = base;
+        t.loadConstraints.clear();
+        std::size_t rem = combo;
+        for (const auto &ref : loads) {
+            t.loadConstraints.push_back(litmus::LoadConstraint{
+                ref, value_domain[rem % value_domain.size()]});
+            rem /= value_domain.size();
+        }
+        bool sc = litmus::ScExecutor(t).outcomeObservable();
+        bool sc_uhb =
+            uhb::checkOutcome(uspec::multiVscaleModel(), t)
+                .observable;
+        EXPECT_EQ(sc, sc_uhb)
+            << test_name << " combo=" << combo << " (SC)";
+
+        bool tso = litmus::TsoExecutor(t).outcomeObservable();
+        bool tso_uhb =
+            uhb::checkOutcome(uspec::tsoVscaleModel(), t).observable;
+        EXPECT_EQ(tso, tso_uhb)
+            << test_name << " combo=" << combo << " (TSO)";
+    }
+}
+
+TEST(OutcomeSweep, Mp)
+{
+    sweepOutcomes("mp", {0, 1});
+}
+
+TEST(OutcomeSweep, Sb)
+{
+    sweepOutcomes("sb", {0, 1});
+}
+
+TEST(OutcomeSweep, Lb)
+{
+    sweepOutcomes("lb", {0, 1});
+}
+
+TEST(OutcomeSweep, CoMp)
+{
+    sweepOutcomes("co-mp", {0, 1, 2});
+}
+
+TEST(OutcomeSweep, Iwp23b)
+{
+    sweepOutcomes("iwp23b", {0, 1});
+}
+
+TEST(OutcomeSweep, SbFences)
+{
+    sweepOutcomes("sb+fences", {0, 1});
+}
+
+} // namespace
+} // namespace rtlcheck

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * FENCE extension tests: the x86-TSO-style full fence drains the
+ * store buffer, restoring orderings TSO otherwise relaxes. Checked
+ * at all three levels: operational TSO machine, µhb solver on the
+ * TSO model (Fence_Drains axiom), and the RTL store-buffer design.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/suite.hh"
+#include "litmus/tso_ref.hh"
+#include "rtlcheck/runner.hh"
+#include "uhb/solver.hh"
+#include "uspec/multivscale.hh"
+#include "uspec/tso.hh"
+#include "vscale/isa.hh"
+
+namespace rtlcheck {
+namespace {
+
+using litmus::suiteTest;
+
+TEST(FenceIsa, EncodeDecode)
+{
+    vscale::Decoded d = vscale::decode(vscale::encodeFence());
+    EXPECT_TRUE(d.isFence);
+    EXPECT_FALSE(d.isLoad || d.isStore || d.isHalt);
+}
+
+TEST(FenceLitmus, ParserAcceptsFence)
+{
+    const litmus::Test &t = suiteTest("sb+fences");
+    ASSERT_EQ(t.threads[0].instrs.size(), 3u);
+    EXPECT_EQ(t.threads[0].instrs[1].type, litmus::OpType::Fence);
+}
+
+TEST(FenceLitmus, LowersToFenceEncoding)
+{
+    vscale::Program prog = vscale::lower(suiteTest("sb+fences"));
+    vscale::Decoded d =
+        vscale::decode(prog.imem[vscale::basePc(0) / 4 + 1]);
+    EXPECT_TRUE(d.isFence);
+}
+
+TEST(FenceExecutors, ScTreatsFenceAsNoop)
+{
+    // Under SC the fence changes nothing: sb and sb+fences have the
+    // same (forbidden) status.
+    EXPECT_FALSE(litmus::ScExecutor(suiteTest("sb+fences"))
+                     .outcomeObservable());
+    EXPECT_FALSE(
+        litmus::ScExecutor(suiteTest("sb")).outcomeObservable());
+}
+
+TEST(FenceExecutors, FencesRestoreSbOrdering)
+{
+    EXPECT_TRUE(
+        litmus::TsoExecutor(suiteTest("sb")).outcomeObservable());
+    EXPECT_FALSE(litmus::TsoExecutor(suiteTest("sb+fences"))
+                     .outcomeObservable());
+}
+
+TEST(FenceExecutors, OneSidedFenceInsufficient)
+{
+    EXPECT_TRUE(litmus::TsoExecutor(suiteTest("sb+fence-left"))
+                    .outcomeObservable());
+}
+
+/** Three-level agreement across all fence-variant tests. */
+class FenceSuiteAgreement
+    : public ::testing::TestWithParam<const litmus::Test *>
+{
+};
+
+TEST_P(FenceSuiteAgreement, OperationalUhbAndRtlAgree)
+{
+    const litmus::Test &t = *GetParam();
+    bool op = litmus::TsoExecutor(t).outcomeObservable();
+    bool uhb_obs =
+        uhb::checkOutcome(uspec::tsoVscaleModel(), t).observable;
+    EXPECT_EQ(op, uhb_obs) << t.summary();
+
+    core::RunOptions o;
+    o.pipeline = core::Pipeline::StoreBuffer;
+    o.config = formal::fullProofConfig();
+    core::TestRun run =
+        core::runTest(t, uspec::tsoVscaleModel(), o);
+    EXPECT_EQ(run.verify.coverReached, op) << t.summary();
+    EXPECT_EQ(run.verify.numFalsified(), 0) << t.name;
+
+    // Observable outcomes come with replayable witnesses.
+    if (run.verify.coverReached) {
+        ASSERT_TRUE(run.verify.coverWitness.has_value());
+        EXPECT_TRUE(core::witnessExhibitsOutcome(
+            t, o, *run.verify.coverWitness));
+    }
+}
+
+std::vector<const litmus::Test *>
+fencePointers()
+{
+    std::vector<const litmus::Test *> out;
+    for (const litmus::Test &t : litmus::fenceSuite())
+        out.push_back(&t);
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, FenceSuiteAgreement, ::testing::ValuesIn(fencePointers()),
+    [](const ::testing::TestParamInfo<const litmus::Test *> &info) {
+        std::string name = info.param->name;
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(FenceRtl, FenceIsNoopOnScDesign)
+{
+    // The in-order SC design ignores fences; sb+fences verifies
+    // against the SC model exactly like sb.
+    core::RunOptions o;
+    o.variant = vscale::MemoryVariant::Fixed;
+    o.config = formal::fullProofConfig();
+    core::TestRun run = core::runTest(
+        suiteTest("sb+fences"), uspec::multiVscaleModel(), o);
+    EXPECT_TRUE(run.verified());
+    EXPECT_TRUE(run.verify.coverUnreachable);
+}
+
+TEST(FenceRtl, FenceDrainsAxiomProven)
+{
+    // The Fence_Drains properties themselves must be proven on the
+    // store-buffer design.
+    core::RunOptions o;
+    o.pipeline = core::Pipeline::StoreBuffer;
+    o.config = formal::fullProofConfig();
+    core::TestRun run = core::runTest(
+        suiteTest("sb+fences"), uspec::tsoVscaleModel(), o);
+    int fence_props = 0;
+    for (const auto &p : run.verify.properties) {
+        if (p.name.find("Fence_Drains") == std::string::npos)
+            continue;
+        ++fence_props;
+        EXPECT_NE(p.status, formal::ProofStatus::Falsified)
+            << p.name;
+    }
+    EXPECT_GT(fence_props, 0);
+}
+
+} // namespace
+} // namespace rtlcheck

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for the formal engine on small hand-built designs: state
+ * graph exploration, assumption pruning, cover search, and the three
+ * proof outcomes (proven / bounded / falsified).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "formal/engine.hh"
+#include "rtl/design.hh"
+
+namespace rtlcheck::formal {
+namespace {
+
+/**
+ * A 3-bit counter that increments every cycle and saturates at 7,
+ * plus a toggle bit driven by a free input (so the state graph
+ * branches). The events c==3 and c==7 each occur on exactly one
+ * cycle per execution — the same single-cycle-event discipline the
+ * V-scale node mapping guarantees via ~stall (well, c==7 repeats
+ * once saturated, but by then the properties below have resolved).
+ */
+struct CounterDesign
+{
+    rtl::Design d;
+    sva::PredicateTable preds;
+    int atSeven;
+    int atThree;
+    int goPred;
+    int falsePred;
+    int gapPred; ///< neither c==3 nor c==7
+
+    CounterDesign()
+    {
+        rtl::Signal go = d.addInput("go", 1);
+        rtl::Signal c = d.addReg("c", 3, 0);
+        rtl::Signal t = d.addReg("t", 1, 0);
+        rtl::Signal at7 = d.eqConst(c, 7);
+        d.setNext(c, d.mux(at7, c, d.add(c, d.constant(3, 1))));
+        d.setNext(t, d.xorOf(t, go));
+
+        rtl::Signal at3 = d.eqConst(c, 3);
+        atSeven = preds.add(at7, "c==7");
+        atThree = preds.add(at3, "c==3");
+        goPred = preds.add(go, "go");
+        falsePred = preds.add(d.constant(1, 0), "1'b0");
+        gapPred = preds.add(d.notOf(d.orOf(at3, at7)), "gap");
+    }
+
+    std::unique_ptr<rtl::Netlist>
+    elaborate()
+    {
+        return std::make_unique<rtl::Netlist>(d);
+    }
+
+    /** gap[*0:$] ##1 <a> ##1 gap[*0:$] ##1 <b> */
+    sva::Property
+    edgeProp(const std::string &name, int a, int b) const
+    {
+        sva::Property p;
+        p.name = name;
+        p.branches = {{sva::sChain({sva::sStar(gapPred),
+                                    sva::sPred(a),
+                                    sva::sStar(gapPred),
+                                    sva::sPred(b)})}};
+        return p;
+    }
+};
+
+TEST(StateGraph, ExploresAllCounterStates)
+{
+    CounterDesign cd;
+    auto netlist = cd.elaborate();
+    StateGraph g(*netlist, {}, cd.preds, ExploreLimits{});
+    EXPECT_TRUE(g.complete());
+    // (0,0) plus (c,t) for c in 1..7, t in {0,1}: the toggle cannot
+    // flip before the first cycle, so (0,1) is unreachable.
+    EXPECT_EQ(g.numNodes(), 15u);
+    EXPECT_EQ(g.numEdges(), 30u); // two input choices per state
+}
+
+TEST(StateGraph, NodeBudgetTruncates)
+{
+    CounterDesign cd;
+    auto netlist = cd.elaborate();
+    ExploreLimits limits;
+    limits.maxNodes = 3;
+    StateGraph g(*netlist, {}, cd.preds, limits);
+    EXPECT_FALSE(g.complete());
+    EXPECT_LE(g.exploredDepth(), 3u);
+}
+
+TEST(StateGraph, InitialPinChangesStart)
+{
+    CounterDesign cd;
+    auto netlist = cd.elaborate();
+    Assumption pin;
+    pin.kind = Assumption::Kind::InitialPin;
+    pin.stateSlot = netlist->stateSlotOfReg(
+        netlist->signalByName("c"));
+    pin.value = 6;
+    StateGraph g(*netlist, {pin}, cd.preds, ExploreLimits{});
+    EXPECT_TRUE(g.complete());
+    // Reachable: (6,0), (7,0), (7,1).
+    EXPECT_EQ(g.numNodes(), 3u);
+}
+
+TEST(StateGraph, ImplicationPrunesTransitions)
+{
+    CounterDesign cd;
+    auto netlist = cd.elaborate();
+    // Assume "c is never 3": every cycle with c==3 is invalid, so
+    // nothing past c==3 is reachable.
+    Assumption imp;
+    imp.kind = Assumption::Kind::Implication;
+    imp.antecedent = cd.atThree;
+    imp.consequent = cd.falsePred;
+    StateGraph g(*netlist, {imp}, cd.preds, ExploreLimits{});
+    EXPECT_TRUE(g.complete());
+    // Reachable: (0,0) plus c in {1,2,3} x t in {0,1}; states with
+    // c==3 have no outgoing edges.
+    EXPECT_EQ(g.numNodes(), 7u);
+    for (std::uint32_t n = 0; n < g.numNodes(); ++n)
+        EXPECT_LE(g.outEdges(n).size(), 2u);
+}
+
+TEST(StateGraph, CoverSearchFindsTarget)
+{
+    CounterDesign cd;
+    auto netlist = cd.elaborate();
+    Assumption cover;
+    cover.kind = Assumption::Kind::FinalValueCover;
+    cover.antecedent = cd.atSeven;
+    cover.consequent = cd.atSeven;
+    StateGraph g(*netlist, {cover}, cd.preds, ExploreLimits{});
+    ASSERT_EQ(g.coverHits().size(), 1u);
+    EXPECT_TRUE(g.coverHits()[0].reached);
+    // c first equals 7 after 7 cycles.
+    EXPECT_EQ(g.pathTo(g.coverHits()[0].node).size(), 7u);
+}
+
+TEST(StateGraph, CoverUnreachableWhenPruned)
+{
+    CounterDesign cd;
+    auto netlist = cd.elaborate();
+    Assumption imp;
+    imp.kind = Assumption::Kind::Implication;
+    imp.antecedent = cd.atThree;
+    imp.consequent = cd.falsePred;
+    Assumption cover;
+    cover.kind = Assumption::Kind::FinalValueCover;
+    cover.antecedent = cd.atSeven;
+    cover.consequent = cd.atSeven;
+    StateGraph g(*netlist, {imp, cover}, cd.preds, ExploreLimits{});
+    EXPECT_TRUE(g.complete());
+    ASSERT_EQ(g.coverHits().size(), 1u);
+    EXPECT_FALSE(g.coverHits()[0].reached);
+}
+
+TEST(Engine, ProvenProperty)
+{
+    CounterDesign cd;
+    auto netlist = cd.elaborate();
+    // "c==3 happens before c==7" is true of every execution.
+    sva::Property p =
+        cd.edgeProp("three-before-seven", cd.atThree, cd.atSeven);
+    auto result = verify(*netlist, cd.preds, {}, {p},
+                         EngineConfig{"test", 0, 0});
+    ASSERT_EQ(result.properties.size(), 1u);
+    EXPECT_EQ(result.properties[0].status, ProofStatus::Proven);
+    EXPECT_TRUE(result.graphComplete);
+}
+
+TEST(Engine, FalsifiedPropertyWithCounterexample)
+{
+    CounterDesign cd;
+    auto netlist = cd.elaborate();
+    // "c==7 happens before c==3" is false on every execution; the
+    // NFA dies when c==3 arrives first, 4 cycles in.
+    sva::Property p =
+        cd.edgeProp("seven-before-three", cd.atSeven, cd.atThree);
+    auto result = verify(*netlist, cd.preds, {}, {p},
+                         EngineConfig{"test", 0, 0});
+    ASSERT_EQ(result.properties.size(), 1u);
+    EXPECT_EQ(result.properties[0].status, ProofStatus::Falsified);
+    ASSERT_TRUE(result.properties[0].counterexample.has_value());
+    EXPECT_EQ(result.properties[0].counterexample->inputs.size(), 4u);
+}
+
+TEST(Engine, BoundedWhenGraphTruncated)
+{
+    CounterDesign cd;
+    auto netlist = cd.elaborate();
+    sva::Property p =
+        cd.edgeProp("three-before-seven", cd.atThree, cd.atSeven);
+    auto result = verify(*netlist, cd.preds, {}, {p},
+                         EngineConfig{"tiny", 4, 0});
+    ASSERT_EQ(result.properties.size(), 1u);
+    EXPECT_EQ(result.properties[0].status, ProofStatus::Bounded);
+    EXPECT_FALSE(result.graphComplete);
+}
+
+TEST(Engine, BoundedWhenProductTruncated)
+{
+    CounterDesign cd;
+    auto netlist = cd.elaborate();
+    sva::Property p =
+        cd.edgeProp("three-before-seven", cd.atThree, cd.atSeven);
+    auto result = verify(*netlist, cd.preds, {}, {p},
+                         EngineConfig{"tiny-product", 0, 5});
+    ASSERT_EQ(result.properties.size(), 1u);
+    EXPECT_EQ(result.properties[0].status, ProofStatus::Bounded);
+    EXPECT_TRUE(result.graphComplete);
+}
+
+TEST(Engine, MatchedStatePrunesProduct)
+{
+    CounterDesign cd;
+    auto netlist = cd.elaborate();
+    // A property matched early: node-existence of c==3. Product
+    // exploration must stop expanding matched states, so the product
+    // stays small even though the graph loops forever.
+    sva::Property p;
+    p.name = "c3-exists";
+    p.branches = {{sva::sConcat(sva::sStar(cd.gapPred),
+                                sva::sPred(cd.atThree))}};
+    auto result = verify(*netlist, cd.preds, {}, {p},
+                         EngineConfig{"test", 0, 0});
+    ASSERT_EQ(result.properties.size(), 1u);
+    EXPECT_EQ(result.properties[0].status, ProofStatus::Proven);
+    EXPECT_LE(result.properties[0].productStates, 32u);
+}
+
+TEST(Engine, ConfigsExist)
+{
+    EXPECT_EQ(hybridConfig().name, "Hybrid");
+    EXPECT_EQ(fullProofConfig().name, "Full_Proof");
+    // Full_Proof explores without a node budget and allows larger
+    // per-property products than Hybrid.
+    EXPECT_EQ(fullProofConfig().exploreMaxNodes, 0u);
+    EXPECT_GT(hybridConfig().exploreMaxNodes, 0u);
+    EXPECT_LT(hybridConfig().productMaxStates,
+              fullProofConfig().productMaxStates);
+}
+
+} // namespace
+} // namespace rtlcheck::formal

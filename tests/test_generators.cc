@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Unit tests for the Assumption Generator and the Assertion
+ * Generator: the exact structure of what §4.1–§4.4 require them to
+ * produce for concrete litmus tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/suite.hh"
+#include "rtlcheck/assertion_gen.hh"
+#include "rtlcheck/assumption_gen.hh"
+#include "rtlcheck/runner.hh"
+#include "uspec/multivscale.hh"
+#include "vscale/soc.hh"
+
+namespace rtlcheck::core {
+namespace {
+
+using litmus::suiteTest;
+
+/** Everything generation needs for one test. */
+struct GenFixture
+{
+    vscale::Program program;
+    rtl::Design design;
+    sva::PredicateTable preds;
+    std::unique_ptr<VscaleNodeMapping> mapping;
+    AssumptionSet assumptions;
+
+    explicit GenFixture(const litmus::Test &test)
+        : program(vscale::lower(test))
+    {
+        vscale::buildSoc(design, program,
+                         vscale::MemoryVariant::Fixed);
+        mapping = std::make_unique<VscaleNodeMapping>(design, preds,
+                                                      program);
+        assumptions =
+            generateAssumptions(design, preds, program, *mapping);
+    }
+};
+
+TEST(AssumptionGen, MpPinsDataMemory)
+{
+    GenFixture fx(suiteTest("mp"));
+    // x and y pinned to 0 in the data memory.
+    int dmem_pins = 0;
+    for (const PinSpec &pin : fx.assumptions.pins)
+        dmem_pins += pin.mem == vscale::SocInfo::dmemName;
+    EXPECT_EQ(dmem_pins, 2);
+}
+
+TEST(AssumptionGen, MpPinsRegisters)
+{
+    GenFixture fx(suiteTest("mp"));
+    // Core 0: 2 stores x (addr, data) pairs = 4 registers. Core 1: 2
+    // loads x addr register each = 2 registers.
+    int rf0 = 0;
+    int rf1 = 0;
+    for (const PinSpec &pin : fx.assumptions.pins) {
+        rf0 += pin.mem == vscale::SocInfo::regfileName(0);
+        rf1 += pin.mem == vscale::SocInfo::regfileName(1);
+    }
+    EXPECT_EQ(rf0, 4);
+    EXPECT_EQ(rf1, 2);
+}
+
+TEST(AssumptionGen, MpLoadValueImplications)
+{
+    GenFixture fx(suiteTest("mp"));
+    int load_vals = 0;
+    int covers = 0;
+    for (const auto &a : fx.assumptions.cycleAssumptions) {
+        load_vals += a.kind == formal::Assumption::Kind::Implication;
+        covers += a.kind == formal::Assumption::Kind::FinalValueCover;
+    }
+    EXPECT_EQ(load_vals, 2); // one per constrained load
+    EXPECT_EQ(covers, 1);    // exactly one final-value assumption
+}
+
+TEST(AssumptionGen, InstructionInitCoversProgramAndHalts)
+{
+    GenFixture fx(suiteTest("mp"));
+    // 2 stores + halt on core 0, 2 loads + halt on core 1, plus a
+    // halt on each idle core: 8 nonzero ROM words.
+    EXPECT_EQ(fx.assumptions.romLines.size(), 8u);
+}
+
+TEST(AssumptionGen, FinalValueConsequentFromTest)
+{
+    GenFixture fx(suiteTest("safe003")); // final x=1 y=1
+    bool found = false;
+    for (const auto &a : fx.assumptions.cycleAssumptions) {
+        if (a.kind != formal::Assumption::Kind::FinalValueCover)
+            continue;
+        found = true;
+        EXPECT_NE(a.svaText.find("mem[1] == 32'd1"),
+                  std::string::npos)
+            << a.svaText;
+        EXPECT_NE(a.svaText.find("mem[2] == 32'd1"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(AssumptionGen, ResolvePinsToStateSlots)
+{
+    GenFixture fx(suiteTest("rfi014")); // init x=5
+    rtl::Netlist netlist(fx.design);
+    auto resolved = fx.assumptions.resolve(netlist);
+    std::size_t x_slot = netlist.stateSlotOfMemWord(
+        netlist.memByName(vscale::SocInfo::dmemName),
+        vscale::dmemWordOf(0));
+    bool found = false;
+    for (const auto &a : resolved) {
+        if (a.kind == formal::Assumption::Kind::InitialPin &&
+            a.stateSlot == x_slot) {
+            EXPECT_EQ(a.value, 5u);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(AssertionGen, MpPropertyCount)
+{
+    GenFixture fx(suiteTest("mp"));
+    auto props = generateAssertions(uspec::multiVscaleModel(),
+                                    suiteTest("mp"), *fx.mapping,
+                                    fx.preds);
+    // 4 Instr_Path + 2 PO_Fetch + 2 DX_FIFO + 2 WB_FIFO +
+    // 6 Mem_DX_TotalOrder + 12 Mem_WB_Follows_DX + 2 Read_Values.
+    EXPECT_EQ(props.size(), 30u);
+}
+
+TEST(AssertionGen, ReadValuesHasOutcomeAwareBranches)
+{
+    GenFixture fx(suiteTest("mp"));
+    auto props = generateAssertions(uspec::multiVscaleModel(),
+                                    suiteTest("mp"), *fx.mapping,
+                                    fx.preds);
+    // §4.2: the Read_Values property for the load of x must OR the
+    // case where it returns 0 with the case where it returns 1.
+    bool found = false;
+    for (const auto &p : props) {
+        if (p.name.find("Read_Values[i=1.1]") == std::string::npos)
+            continue;
+        found = true;
+        EXPECT_GE(p.branches.size(), 2u) << p.svaText;
+        EXPECT_NE(p.svaText.find("load_data_WB == 32'd0"),
+                  std::string::npos);
+        EXPECT_NE(p.svaText.find("load_data_WB == 32'd1"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(AssertionGen, StrictEncodingHasGapStars)
+{
+    GenFixture fx(suiteTest("mp"));
+    auto props = generateAssertions(uspec::multiVscaleModel(),
+                                    suiteTest("mp"), *fx.mapping,
+                                    fx.preds, EdgeEncoding::Strict);
+    for (const auto &p : props) {
+        EXPECT_NE(p.svaText.find("[*0:$]"), std::string::npos);
+        // The delay condition excludes the events of interest — it
+        // must reference the PC expressions, never a bare 1'b1.
+        EXPECT_EQ(p.svaText.find("(1'b1) [*0:$]"), std::string::npos)
+            << p.name;
+    }
+}
+
+TEST(AssertionGen, NaiveEncodingUsesTrueStars)
+{
+    GenFixture fx(suiteTest("mp"));
+    auto props = generateAssertions(uspec::multiVscaleModel(),
+                                    suiteTest("mp"), *fx.mapping,
+                                    fx.preds, EdgeEncoding::Naive);
+    bool any_true_star = false;
+    for (const auto &p : props)
+        any_true_star |=
+            p.svaText.find("(1'b1) [*0:$]") != std::string::npos;
+    EXPECT_TRUE(any_true_star);
+}
+
+TEST(AssertionGen, AllPropertiesFirstGuarded)
+{
+    for (const char *name : {"mp", "iriw", "safe003"}) {
+        GenFixture fx(suiteTest(name));
+        auto props = generateAssertions(uspec::multiVscaleModel(),
+                                        suiteTest(name), *fx.mapping,
+                                        fx.preds);
+        for (const auto &p : props) {
+            EXPECT_NE(p.svaText.find("first |->"), std::string::npos)
+                << name << " " << p.name;
+        }
+    }
+}
+
+TEST(AssertionGen, NoDataFromFinalStatePropertiesAtRtl)
+{
+    // §4.2: DataFromFinalStateAtPA is conservatively false at RTL,
+    // so the Final_Values axiom generates no properties even for
+    // tests with final-state constraints.
+    GenFixture fx(suiteTest("safe003"));
+    auto props = generateAssertions(uspec::multiVscaleModel(),
+                                    suiteTest("safe003"), *fx.mapping,
+                                    fx.preds);
+    for (const auto &p : props)
+        EXPECT_EQ(p.name.find("Final_Values"), std::string::npos);
+}
+
+TEST(NodeMapping, Figure9Shapes)
+{
+    GenFixture fx(suiteTest("mp"));
+    // The WB node of the load of y on core 1, with a load-value
+    // constraint — Figure 9's WB case.
+    uspec::UhbNode node{litmus::InstrRef{1, 0},
+                        uspec::Stage::Writeback};
+    auto [sig, text] = fx.mapping->nodeExpr(node, 1);
+    EXPECT_TRUE(sig.valid());
+    EXPECT_EQ(text,
+              "core[1].PC_WB == 32'd36 && ~(core[1].stall_WB) && "
+              "core[1].load_data_WB == 32'd1");
+}
+
+TEST(NodeMapping, CachesNodesAndGaps)
+{
+    GenFixture fx(suiteTest("mp"));
+    uspec::UhbNode a{litmus::InstrRef{0, 0},
+                     uspec::Stage::DecodeExecute};
+    uspec::UhbNode b{litmus::InstrRef{0, 1},
+                     uspec::Stage::DecodeExecute};
+    int before = fx.preds.size();
+    int g1 = fx.mapping->mapGap(a, b);
+    int mid = fx.preds.size();
+    int g2 = fx.mapping->mapGap(b, a); // unordered: same predicate
+    EXPECT_EQ(g1, g2);
+    EXPECT_EQ(fx.preds.size(), mid);
+    EXPECT_GT(mid, before);
+}
+
+TEST(SvaFile, RenderContainsModuleAndFirst)
+{
+    core::RunOptions o;
+    core::TestRun run = core::runTest(
+        suiteTest("mp"), uspec::multiVscaleModel(), o);
+    std::string sv = renderSvaFile(run);
+    EXPECT_NE(sv.find("module rtlcheck_props"), std::string::npos);
+    EXPECT_NE(sv.find("wire first"), std::string::npos);
+    EXPECT_NE(sv.find("assume property"), std::string::npos);
+    EXPECT_NE(sv.find("assert property"), std::string::npos);
+    EXPECT_NE(sv.find("endmodule"), std::string::npos);
+}
+
+} // namespace
+} // namespace rtlcheck::core

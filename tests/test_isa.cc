@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the RV32 subset encoder/decoder and litmus lowering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/suite.hh"
+#include "vscale/isa.hh"
+#include "vscale/program.hh"
+
+namespace rtlcheck::vscale {
+namespace {
+
+TEST(Isa, LwRoundTrip)
+{
+    std::uint32_t enc = encodeLw(4, 1, 0);
+    Decoded d = decode(enc);
+    EXPECT_TRUE(d.isLoad);
+    EXPECT_FALSE(d.isStore);
+    EXPECT_FALSE(d.isHalt);
+    EXPECT_EQ(d.rd, 4u);
+    EXPECT_EQ(d.rs1, 1u);
+    EXPECT_EQ(d.imm, 0);
+}
+
+TEST(Isa, SwRoundTrip)
+{
+    std::uint32_t enc = encodeSw(2, 1, 0);
+    Decoded d = decode(enc);
+    EXPECT_TRUE(d.isStore);
+    EXPECT_EQ(d.rs2, 2u);
+    EXPECT_EQ(d.rs1, 1u);
+    EXPECT_EQ(d.imm, 0);
+}
+
+TEST(Isa, Figure8StoreEncoding)
+{
+    // The paper's Figure 8 instruction-initialization assumption:
+    // {7'b0, 5'd2, 5'd1, 3'd2, 5'b0, RV32_STORE} — sw x2, 0(x1).
+    std::uint32_t expected = (0u << 25) | (2u << 20) | (1u << 15) |
+                             (2u << 12) | (0u << 7) | 0b0100011u;
+    EXPECT_EQ(encodeSw(2, 1, 0), expected);
+}
+
+TEST(Isa, SignedImmediates)
+{
+    Decoded lw = decode(encodeLw(3, 2, -4));
+    EXPECT_EQ(lw.imm, -4);
+    Decoded sw = decode(encodeSw(3, 2, -8));
+    EXPECT_EQ(sw.imm, -8);
+    Decoded lw2 = decode(encodeLw(3, 2, 2047));
+    EXPECT_EQ(lw2.imm, 2047);
+}
+
+TEST(Isa, HaltAndNop)
+{
+    EXPECT_TRUE(decode(encodeHalt()).isHalt);
+    Decoded nop = decode(instrNop);
+    EXPECT_FALSE(nop.isLoad);
+    EXPECT_FALSE(nop.isStore);
+    EXPECT_FALSE(nop.isHalt);
+    Decoded zero = decode(0);
+    EXPECT_FALSE(zero.isLoad || zero.isStore || zero.isHalt);
+}
+
+TEST(Program, LowersMp)
+{
+    const litmus::Test &mp = litmus::suiteTest("mp");
+    Program prog = lower(mp);
+
+    // Core 0: St x, St y, HALT at PCs 4, 8, 12.
+    EXPECT_EQ(prog.pcOf({0, 0}), 4u);
+    EXPECT_EQ(prog.pcOf({0, 1}), 8u);
+    Decoded i0 = decode(prog.imem[1]);
+    EXPECT_TRUE(i0.isStore);
+    Decoded i2 = decode(prog.imem[3]);
+    EXPECT_TRUE(i2.isHalt);
+
+    // Core 1: Ld y, Ld x, HALT at PCs 36, 40, 44.
+    EXPECT_EQ(prog.pcOf({1, 0}), 36u);
+    Decoded l0 = decode(prog.imem[9]);
+    EXPECT_TRUE(l0.isLoad);
+
+    // Idle cores 2 and 3 halt immediately.
+    EXPECT_TRUE(decode(prog.imem[basePc(2) / 4]).isHalt);
+    EXPECT_TRUE(decode(prog.imem[basePc(3) / 4]).isHalt);
+}
+
+TEST(Program, RegisterPinsCoverAddressesAndData)
+{
+    const litmus::Test &mp = litmus::suiteTest("mp");
+    Program prog = lower(mp);
+
+    // Store of x on core 0: address register x1 = &x, data x2 = 1.
+    bool found_addr = false;
+    bool found_data = false;
+    for (const RegPin &pin : prog.regPins) {
+        if (pin.core == 0 && pin.reg == Program::addrReg(0)) {
+            EXPECT_EQ(pin.value, byteAddrOf(0));
+            found_addr = true;
+        }
+        if (pin.core == 0 && pin.reg == Program::dataReg(0)) {
+            EXPECT_EQ(pin.value, 1u);
+            found_data = true;
+        }
+    }
+    EXPECT_TRUE(found_addr);
+    EXPECT_TRUE(found_data);
+}
+
+TEST(Program, DmemInitFromTest)
+{
+    const litmus::Test &t = litmus::suiteTest("rfi014"); // init x=5
+    Program prog = lower(t);
+    bool found = false;
+    for (const auto &[word, value] : prog.dmemInit) {
+        if (word == dmemWordOf(0)) {
+            EXPECT_EQ(value, 5u);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+} // namespace
+} // namespace rtlcheck::vscale

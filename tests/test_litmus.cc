@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the litmus substrate: parser, SC reference executor, and
+ * the key suite property — every outcome under test is SC-forbidden.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/parser.hh"
+#include "litmus/sc_ref.hh"
+#include "litmus/suite.hh"
+
+namespace rtlcheck::litmus {
+namespace {
+
+TEST(Parser, ParsesMp)
+{
+    litmus::Test t = parseTest(R"(test mp
+thread St x 1 ; St y 1
+thread Ld r1 y ; Ld r2 x
+forbid 1:r1=1 1:r2=0
+)");
+    EXPECT_EQ(t.name, "mp");
+    ASSERT_EQ(t.threads.size(), 2u);
+    EXPECT_EQ(t.threads[0].instrs.size(), 2u);
+    EXPECT_EQ(t.threads[0].instrs[0].type, OpType::Store);
+    EXPECT_EQ(t.threads[0].instrs[0].address, 0);
+    EXPECT_EQ(t.threads[1].instrs[0].reg, "r1");
+    ASSERT_EQ(t.loadConstraints.size(), 2u);
+    EXPECT_EQ(t.loadConstraints[0].ref, (InstrRef{1, 0}));
+    EXPECT_EQ(t.loadConstraints[0].value, 1u);
+}
+
+TEST(Parser, ParsesInitAndFinal)
+{
+    litmus::Test t = parseTest(R"(test demo
+init x=3 y=7
+thread St x 1
+final x=1 y=7
+)");
+    EXPECT_EQ(t.initialValue(0), 3u);
+    EXPECT_EQ(t.initialValue(1), 7u);
+    ASSERT_EQ(t.finalMem.size(), 2u);
+    EXPECT_EQ(t.finalMem[0].address, 0);
+    EXPECT_EQ(t.finalMem[0].value, 1u);
+}
+
+TEST(Parser, AddressNames)
+{
+    EXPECT_EQ(addressIndex("x"), 0);
+    EXPECT_EQ(addressIndex("y"), 1);
+    EXPECT_EQ(addressIndex("z"), 2);
+    EXPECT_EQ(addressIndex("w"), 3);
+    EXPECT_EQ(addressIndex("a5"), 5);
+    EXPECT_EQ(litmus::Test::addressName(2), "z");
+}
+
+TEST(ScExecutor, MpOutcomesMatchFigure4)
+{
+    // Figure 4a enumerates four candidate outcomes for mp; under SC
+    // exactly three are reachable — (r1,r2) in {(0,0),(0,1),(1,1)} —
+    // and the forbidden (1,0) is not among them.
+    const litmus::Test &mp = suiteTest("mp");
+    ScExecutor exec(mp);
+    auto outcomes = exec.allOutcomes();
+    EXPECT_EQ(outcomes.size(), 3u);
+    EXPECT_FALSE(exec.outcomeObservable());
+}
+
+TEST(ScExecutor, SbForbiddenOutcome)
+{
+    EXPECT_FALSE(ScExecutor(suiteTest("sb")).outcomeObservable());
+}
+
+TEST(ScExecutor, ObservableOutcomeDetected)
+{
+    litmus::Test t = parseTest(R"(test obs
+thread St x 1
+thread Ld r1 x
+forbid 1:r1=1
+)");
+    EXPECT_TRUE(ScExecutor(t).outcomeObservable());
+}
+
+TEST(Suite, Has56Tests)
+{
+    EXPECT_EQ(standardSuite().size(), 56u);
+}
+
+TEST(Suite, NamesMatchFigure13)
+{
+    // Spot-check the presence of the paper's test names.
+    for (const char *name :
+         {"mp", "sb", "lb", "iriw", "wrc", "rwc", "amd3", "iwp23b",
+          "iwp24", "co-mp", "co-iriw", "mp+staleld", "ssl", "n1",
+          "n7", "podwr001", "rfi000", "rfi015", "safe000",
+          "safe030"}) {
+        EXPECT_NO_FATAL_FAILURE(suiteTest(name)) << name;
+    }
+}
+
+TEST(Suite, FitsMultiVscaleGeometry)
+{
+    for (const litmus::Test &t : standardSuite()) {
+        EXPECT_LE(t.threads.size(), 4u) << t.name;
+        EXPECT_LE(t.numAddresses(), 4) << t.name;
+        for (const auto &th : t.threads)
+            EXPECT_LE(th.instrs.size(), 4u) << t.name;
+    }
+}
+
+/** The load-bearing suite property: every outcome is SC-forbidden. */
+class SuiteForbidden : public ::testing::TestWithParam<const litmus::Test *>
+{
+};
+
+TEST_P(SuiteForbidden, OutcomeIsScForbidden)
+{
+    const litmus::Test &t = *GetParam();
+    EXPECT_FALSE(ScExecutor(t).outcomeObservable())
+        << t.summary();
+}
+
+std::vector<const litmus::Test *>
+suitePointers()
+{
+    std::vector<const litmus::Test *> out;
+    for (const litmus::Test &t : standardSuite())
+        out.push_back(&t);
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, SuiteForbidden, ::testing::ValuesIn(suitePointers()),
+    [](const ::testing::TestParamInfo<const litmus::Test *> &info) {
+        std::string name = info.param->name;
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+/** Every load referenced by a forbid clause exists, and every load
+ *  in every test is constrained (required by omniscient mode). */
+TEST(Suite, AllLoadsConstrained)
+{
+    for (const litmus::Test &t : standardSuite()) {
+        for (const InstrRef &ref : t.allRefs()) {
+            if (t.instrAt(ref).type != OpType::Load)
+                continue;
+            EXPECT_TRUE(t.constraintFor(ref).has_value())
+                << t.name << " load " << ref.thread << "."
+                << ref.index;
+        }
+    }
+}
+
+} // namespace
+} // namespace rtlcheck::litmus

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Property-based validation of the ground-formula machinery: random
+ * formulas over a small atom universe are expanded to DNF and
+ * compared against brute-force truth-table evaluation. The DNF is
+ * what both the µhb solver and the assertion generator consume.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "uspec/formula.hh"
+
+namespace rtlcheck::uspec {
+namespace {
+
+struct Rng
+{
+    std::uint32_t state;
+
+    explicit Rng(std::uint32_t seed) : state(seed * 2654435761u + 1) {}
+
+    std::uint32_t
+    next(std::uint32_t bound)
+    {
+        state ^= state << 13;
+        state ^= state >> 17;
+        state ^= state << 5;
+        return state % bound;
+    }
+};
+
+// A tiny universe of edge atoms over two instructions.
+const UhbNode nodeA{{0, 0}, Stage::Writeback};
+const UhbNode nodeB{{0, 1}, Stage::Writeback};
+const UhbNode nodeC{{1, 0}, Stage::Writeback};
+
+struct AtomUniverse
+{
+    std::vector<std::pair<UhbNode, UhbNode>> edges{
+        {nodeA, nodeB}, {nodeB, nodeC}, {nodeC, nodeA}};
+};
+
+Formula
+randomFormula(Rng &rng, const AtomUniverse &u, int depth)
+{
+    if (depth == 0 || rng.next(4) == 0) {
+        switch (rng.next(3)) {
+          case 0:
+            return fTrue();
+          case 1:
+            return fFalse();
+          default: {
+            auto [s, d] = u.edges[rng.next(
+                static_cast<std::uint32_t>(u.edges.size()))];
+            return fEdge(s, d, rng.next(2) != 0);
+          }
+        }
+    }
+    switch (rng.next(3)) {
+      case 0:
+        return fAnd({randomFormula(rng, u, depth - 1),
+                     randomFormula(rng, u, depth - 1)});
+      case 1:
+        return fOr({randomFormula(rng, u, depth - 1),
+                    randomFormula(rng, u, depth - 1)});
+      default:
+        return fNot(randomFormula(rng, u, depth - 1));
+    }
+}
+
+/** Atom key ignoring Add-vs-Exists (both denote the same ordering
+ *  fact when evaluating a formula as propositional logic). */
+std::string
+atomKey(const UhbNode &s, const UhbNode &d)
+{
+    return nodeToString(s) + ">" + nodeToString(d);
+}
+
+bool
+evalFormula(const Formula &f,
+            const std::map<std::string, bool> &assignment)
+{
+    using Kind = FormulaNode::Kind;
+    switch (f->kind) {
+      case Kind::True:
+        return true;
+      case Kind::False:
+        return false;
+      case Kind::Not:
+        return !evalFormula(f->children[0], assignment);
+      case Kind::And: {
+        for (const auto &c : f->children)
+            if (!evalFormula(c, assignment))
+                return false;
+        return true;
+      }
+      case Kind::Or: {
+        for (const auto &c : f->children)
+            if (evalFormula(c, assignment))
+                return true;
+        return false;
+      }
+      case Kind::Edge:
+        return assignment.at(atomKey(f->src, f->dst));
+      case Kind::LoadVal:
+        return false; // not generated in this test
+    }
+    return false;
+}
+
+bool
+evalBranch(const Branch &br,
+           const std::map<std::string, bool> &assignment)
+{
+    for (const EdgeLit &lit : br.edges) {
+        bool v = assignment.at(atomKey(lit.src, lit.dst));
+        if (v != lit.positive)
+            return false;
+    }
+    return true;
+}
+
+class RandomFormula : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomFormula, DnfEquivalentUnderAllAssignments)
+{
+    Rng rng(static_cast<std::uint32_t>(GetParam()));
+    AtomUniverse u;
+    for (int round = 0; round < 50; ++round) {
+        Formula f = randomFormula(rng, u, 4);
+        auto branches = toDnf(f);
+
+        // Enumerate all 8 assignments of the three edge atoms.
+        for (unsigned bits = 0; bits < 8; ++bits) {
+            std::map<std::string, bool> assignment;
+            for (std::size_t i = 0; i < u.edges.size(); ++i) {
+                assignment[atomKey(u.edges[i].first,
+                                   u.edges[i].second)] =
+                    (bits >> i) & 1;
+            }
+            bool direct = evalFormula(f, assignment);
+            bool via_dnf = false;
+            for (const Branch &br : branches)
+                via_dnf |= evalBranch(br, assignment);
+            EXPECT_EQ(direct, via_dnf)
+                << "seed=" << GetParam() << " round=" << round
+                << " bits=" << bits << " formula="
+                << formulaToString(f);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFormula,
+                         ::testing::Range(1, 16));
+
+} // namespace
+} // namespace rtlcheck::uspec

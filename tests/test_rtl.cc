@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the RTL substrate: design building, elaboration,
+ * simulation semantics (registers, memories, write ports, ROMs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "rtl/design.hh"
+#include "rtl/netlist.hh"
+#include "rtl/simulator.hh"
+
+namespace rtlcheck::rtl {
+namespace {
+
+TEST(Design, CombOperators)
+{
+    Design d;
+    Signal a = d.addInput("a", 8);
+    Signal b = d.addInput("b", 8);
+    d.nameWire("sum", d.add(a, b));
+    d.nameWire("diff", d.sub(a, b));
+    d.nameWire("conj", d.andOf(a, b));
+    d.nameWire("disj", d.orOf(a, b));
+    d.nameWire("exor", d.xorOf(a, b));
+    d.nameWire("eq", d.eq(a, b));
+    d.nameWire("lt", d.ult(a, b));
+    Signal r = d.addReg("dummy", 1, 0);
+    d.setNext(r, d.constant(1, 0));
+
+    Netlist n(d);
+    Simulator sim(n);
+    sim.step({200, 100});
+    EXPECT_EQ(sim.lastValue("sum"), 44u); // mod 256
+    EXPECT_EQ(sim.lastValue("diff"), 100u);
+    EXPECT_EQ(sim.lastValue("conj"), 200u & 100u);
+    EXPECT_EQ(sim.lastValue("disj"), 200u | 100u);
+    EXPECT_EQ(sim.lastValue("exor"), 200u ^ 100u);
+    EXPECT_EQ(sim.lastValue("eq"), 0u);
+    EXPECT_EQ(sim.lastValue("lt"), 0u);
+    sim.step({7, 7});
+    EXPECT_EQ(sim.lastValue("eq"), 1u);
+}
+
+TEST(Design, MuxConcatSliceShift)
+{
+    Design d;
+    Signal sel = d.addInput("sel", 1);
+    Signal a = d.constant(8, 0xab);
+    Signal b = d.constant(8, 0xcd);
+    d.nameWire("m", d.mux(sel, a, b));
+    d.nameWire("cat", d.concat(a, b));
+    d.nameWire("hi", d.slice(d.concat(a, b), 8, 8));
+    d.nameWire("shl", d.shlC(a, 4));
+    d.nameWire("shr", d.shrC(a, 4));
+    Signal r = d.addReg("dummy", 1, 0);
+    d.setNext(r, d.constant(1, 0));
+
+    Netlist n(d);
+    Simulator sim(n);
+    sim.step({1});
+    EXPECT_EQ(sim.lastValue("m"), 0xabu);
+    EXPECT_EQ(sim.lastValue("cat"), 0xabcdu);
+    EXPECT_EQ(sim.lastValue("hi"), 0xabu);
+    EXPECT_EQ(sim.lastValue("shl"), 0xb0u);
+    EXPECT_EQ(sim.lastValue("shr"), 0x0au);
+    sim.step({0});
+    EXPECT_EQ(sim.lastValue("m"), 0xcdu);
+}
+
+TEST(Design, RegisterResetAndUpdate)
+{
+    Design d;
+    Signal counter = d.addReg("counter", 8, 5);
+    d.setNext(counter, d.add(counter, d.constant(8, 1)));
+
+    Netlist n(d);
+    Simulator sim(n);
+    EXPECT_EQ(sim.state()[n.stateSlotOfReg(counter)], 5u);
+    sim.step({});
+    EXPECT_EQ(sim.lastValue("counter"), 5u); // pre-edge value
+    EXPECT_EQ(sim.state()[n.stateSlotOfReg(counter)], 6u);
+    sim.step({});
+    EXPECT_EQ(sim.lastValue("counter"), 6u);
+}
+
+TEST(Design, MemoryWriteAndRead)
+{
+    Design d;
+    MemHandle m = d.addMem("m", 4, 16);
+    d.memInit(m, 2, 0x1234);
+    Signal we = d.addInput("we", 1);
+    Signal addr = d.addInput("addr", 2);
+    Signal data = d.addInput("data", 16);
+    d.addMemWrite(m, we, addr, data);
+    d.nameWire("rdata", d.memRead(m, addr));
+
+    Netlist n(d);
+    Simulator sim(n);
+    sim.step({0, 2, 0});
+    EXPECT_EQ(sim.lastValue("rdata"), 0x1234u); // init value
+    sim.step({1, 2, 0xbeef});
+    EXPECT_EQ(sim.lastValue("rdata"), 0x1234u); // write is synchronous
+    sim.step({0, 2, 0});
+    EXPECT_EQ(sim.lastValue("rdata"), 0xbeefu);
+}
+
+TEST(Design, MemoryOutOfRangeReadsZero)
+{
+    Design d;
+    MemHandle m = d.addMem("m", 3, 8);
+    d.memInit(m, 0, 0xff);
+    Signal addr = d.addInput("addr", 8);
+    d.nameWire("rdata", d.memRead(m, addr));
+    Signal r = d.addReg("dummy", 1, 0);
+    d.setNext(r, d.constant(1, 0));
+
+    Netlist n(d);
+    Simulator sim(n);
+    sim.step({200});
+    EXPECT_EQ(sim.lastValue("rdata"), 0u);
+    sim.step({0});
+    EXPECT_EQ(sim.lastValue("rdata"), 0xffu);
+}
+
+TEST(Design, RomContents)
+{
+    Design d;
+    MemHandle rom = d.addRom("rom", 4, 32, {10, 20, 30, 40});
+    Signal addr = d.addInput("addr", 2);
+    d.nameWire("rdata", d.memRead(rom, addr));
+    Signal r = d.addReg("dummy", 1, 0);
+    d.setNext(r, d.constant(1, 0));
+
+    Netlist n(d);
+    // ROMs occupy no state.
+    EXPECT_EQ(n.stateWords(), 1u);
+    Simulator sim(n);
+    sim.step({3});
+    EXPECT_EQ(sim.lastValue("rdata"), 40u);
+}
+
+TEST(Design, HierarchicalNames)
+{
+    Design d;
+    d.pushScope("core0");
+    Signal r = d.addReg("PC", 32, 4);
+    d.setNext(r, r);
+    d.popScope();
+    EXPECT_TRUE(d.findSignal("core0.PC").valid());
+    EXPECT_FALSE(d.findSignal("PC").valid());
+}
+
+TEST(Design, LastWritePortWins)
+{
+    Design d;
+    MemHandle m = d.addMem("m", 2, 8);
+    Signal one = d.constant(1, 1);
+    Signal addr = d.constant(1, 0);
+    d.addMemWrite(m, one, addr, d.constant(8, 11));
+    d.addMemWrite(m, one, addr, d.constant(8, 22));
+    d.nameWire("rdata", d.memRead(m, addr));
+
+    Netlist n(d);
+    Simulator sim(n);
+    sim.step({});
+    sim.step({});
+    EXPECT_EQ(sim.lastValue("rdata"), 22u);
+}
+
+TEST(Simulator, ResetWithPins)
+{
+    Design d;
+    Signal r = d.addReg("r", 8, 1);
+    d.setNext(r, r);
+    Netlist n(d);
+    Simulator sim(n);
+    sim.resetWith({{n.stateSlotOfReg(r), 99}});
+    sim.step({});
+    EXPECT_EQ(sim.lastValue("r"), 99u);
+}
+
+TEST(Waveform, RendersSamples)
+{
+    Design d;
+    Signal c = d.addReg("c", 8, 0);
+    d.setNext(c, d.add(c, d.constant(8, 1)));
+    Netlist n(d);
+    Simulator sim(n);
+    Waveform wave(n, {"c"});
+    for (int i = 0; i < 3; ++i) {
+        sim.step({});
+        wave.sample(sim);
+    }
+    ASSERT_EQ(wave.rows().size(), 1u);
+    EXPECT_EQ(wave.rows()[0], (std::vector<std::uint32_t>{0, 1, 2}));
+    EXPECT_NE(wave.render().find("0x2"), std::string::npos);
+}
+
+} // namespace
+} // namespace rtlcheck::rtl

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Edge-case tests for the RTL substrate beyond test_rtl.cc: width
+ * boundaries, netlist state layout, multi-input designs, sequential
+ * semantics corner cases, and waveform/VCD interplay.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rtl/design.hh"
+#include "rtl/netlist.hh"
+#include "rtl/simulator.hh"
+#include "rtl/vcd.hh"
+
+namespace rtlcheck::rtl {
+namespace {
+
+TEST(RtlEdge, FullWidthArithmeticWraps)
+{
+    Design d;
+    Signal a = d.constant(32, 0xffffffffu);
+    Signal b = d.constant(32, 1);
+    d.nameWire("sum", d.add(a, b));
+    d.nameWire("diff", d.sub(b, a));
+    Signal r = d.addReg("dummy", 1, 0);
+    d.setNext(r, r);
+    Netlist n(d);
+    Simulator sim(n);
+    sim.step({});
+    EXPECT_EQ(sim.lastValue("sum"), 0u);
+    EXPECT_EQ(sim.lastValue("diff"), 2u);
+}
+
+TEST(RtlEdge, SliceOfSliceComposes)
+{
+    Design d;
+    Signal a = d.constant(32, 0xdeadbeefu);
+    Signal hi16 = d.slice(a, 16, 16);
+    d.nameWire("nib", d.slice(hi16, 8, 4)); // bits 24..27 => 0xe
+    Signal r = d.addReg("dummy", 1, 0);
+    d.setNext(r, r);
+    Netlist n(d);
+    Simulator sim(n);
+    sim.step({});
+    EXPECT_EQ(sim.lastValue("nib"), 0xeu);
+}
+
+TEST(RtlEdge, OneBitConcatChain)
+{
+    Design d;
+    Signal one = d.constant(1, 1);
+    Signal zero = d.constant(1, 0);
+    d.nameWire("pair", d.concat(one, zero)); // 2'b10
+    Signal r = d.addReg("dummy", 1, 0);
+    d.setNext(r, r);
+    Netlist n(d);
+    Simulator sim(n);
+    sim.step({});
+    EXPECT_EQ(sim.lastValue("pair"), 2u);
+}
+
+TEST(RtlEdge, StateLayoutRegsThenMems)
+{
+    Design d;
+    Signal r0 = d.addReg("r0", 8, 1);
+    Signal r1 = d.addReg("r1", 8, 2);
+    MemHandle m = d.addMem("m", 2, 8);
+    d.memInit(m, 1, 9);
+    d.setNext(r0, r0);
+    d.setNext(r1, r1);
+    Netlist n(d);
+    EXPECT_EQ(n.stateWords(), 4u);
+    EXPECT_EQ(n.stateSlotOfReg(r0), 0u);
+    EXPECT_EQ(n.stateSlotOfReg(r1), 1u);
+    EXPECT_EQ(n.stateSlotOfMemWord(m, 0), 2u);
+    EXPECT_EQ(n.stateSlotOfMemWord(m, 1), 3u);
+    StateVec init = n.initialState();
+    EXPECT_EQ(init, (StateVec{1, 2, 0, 9}));
+}
+
+TEST(RtlEdge, RegisterChainShiftsByOneCyclePerStage)
+{
+    // A 3-deep pipeline of registers: data moves one stage per edge,
+    // all updates seeing pre-edge values (non-blocking semantics).
+    Design d;
+    Signal in = d.addInput("in", 8);
+    Signal s1 = d.addReg("s1", 8, 0);
+    Signal s2 = d.addReg("s2", 8, 0);
+    Signal s3 = d.addReg("s3", 8, 0);
+    d.setNext(s1, in);
+    d.setNext(s2, s1);
+    d.setNext(s3, s2);
+    Netlist n(d);
+    Simulator sim(n);
+    sim.step({7});
+    sim.step({0});
+    sim.step({0});
+    EXPECT_EQ(sim.lastValue("s3"), 0u); // value not yet at s3
+    sim.step({0});
+    EXPECT_EQ(sim.lastValue("s3"), 7u);
+}
+
+TEST(RtlEdge, WriteEnableGatesMemWrite)
+{
+    Design d;
+    MemHandle m = d.addMem("m", 2, 8);
+    Signal we = d.addInput("we", 1);
+    d.addMemWrite(m, we, d.constant(1, 0), d.constant(8, 0x5a));
+    d.nameWire("r", d.memRead(m, d.constant(1, 0)));
+    Netlist n(d);
+    Simulator sim(n);
+    sim.step({0});
+    sim.step({0});
+    EXPECT_EQ(sim.lastValue("r"), 0u);
+    sim.step({1});
+    sim.step({0});
+    EXPECT_EQ(sim.lastValue("r"), 0x5au);
+}
+
+TEST(RtlEdge, MultipleInputsDecodeIndependently)
+{
+    Design d;
+    Signal a = d.addInput("a", 2);
+    Signal b = d.addInput("b", 3);
+    d.nameWire("cat", d.concat(b, a));
+    Signal r = d.addReg("dummy", 1, 0);
+    d.setNext(r, r);
+    Netlist n(d);
+    EXPECT_EQ(n.numInputs(), 2u);
+    Simulator sim(n);
+    sim.step({3, 5});
+    EXPECT_EQ(sim.lastValue("cat"), (5u << 2) | 3u);
+}
+
+TEST(RtlEdge, InputValuesTruncatedToWidth)
+{
+    Design d;
+    Signal a = d.addInput("a", 2);
+    d.nameWire("echo", a);
+    Signal r = d.addReg("dummy", 1, 0);
+    d.setNext(r, r);
+    Netlist n(d);
+    Simulator sim(n);
+    sim.step({0xff});
+    EXPECT_EQ(sim.lastValue("echo"), 3u);
+}
+
+TEST(RtlEdge, EqConstWidthsMatch)
+{
+    Design d;
+    Signal a = d.addInput("a", 5);
+    d.nameWire("is17", d.eqConst(a, 17));
+    Signal r = d.addReg("dummy", 1, 0);
+    d.setNext(r, r);
+    Netlist n(d);
+    Simulator sim(n);
+    sim.step({17});
+    EXPECT_EQ(sim.lastValue("is17"), 1u);
+    sim.step({16});
+    EXPECT_EQ(sim.lastValue("is17"), 0u);
+}
+
+TEST(RtlEdge, VcdOmitsUnchangedValues)
+{
+    Design d;
+    Signal c = d.addReg("c", 4, 0);
+    d.setNext(c, c); // never changes
+    Netlist n(d);
+    Simulator sim(n);
+    Waveform wave(n, {"c"});
+    for (int i = 0; i < 3; ++i) {
+        sim.step({});
+        wave.sample(sim);
+    }
+    std::string vcd = toVcd(n, {"c"}, wave);
+    // Exactly one value line for the constant signal.
+    std::size_t count = 0;
+    for (std::size_t pos = vcd.find("b0000");
+         pos != std::string::npos; pos = vcd.find("b0000", pos + 1))
+        ++count;
+    EXPECT_EQ(count, 1u);
+}
+
+TEST(RtlEdge, ScopesNest)
+{
+    Design d;
+    d.pushScope("a");
+    d.pushScope("b");
+    Signal r = d.addReg("r", 1, 0);
+    d.setNext(r, r);
+    d.popScope();
+    Signal s = d.addReg("s", 1, 0);
+    d.setNext(s, s);
+    d.popScope();
+    EXPECT_TRUE(d.findSignal("a.b.r").valid());
+    EXPECT_TRUE(d.findSignal("a.s").valid());
+    EXPECT_FALSE(d.findSignal("b.r").valid());
+}
+
+} // namespace
+} // namespace rtlcheck::rtl

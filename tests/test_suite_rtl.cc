@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Suite-wide RTL verification sweeps — the paper's headline result
+ * (§1: "we verify that the multicore V-scale implementation
+ * satisfies sequential consistency across 56 litmus tests") plus
+ * soundness cross-checks on the buggy design: every witness the
+ * engine produces is replayed in the simulator and must genuinely
+ * exhibit the forbidden outcome.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/suite.hh"
+#include "rtlcheck/runner.hh"
+#include "uspec/multivscale.hh"
+
+namespace rtlcheck::core {
+namespace {
+
+std::vector<const litmus::Test *>
+suitePointers()
+{
+    std::vector<const litmus::Test *> out;
+    for (const litmus::Test &t : litmus::standardSuite())
+        out.push_back(&t);
+    return out;
+}
+
+auto
+nameOf(const ::testing::TestParamInfo<const litmus::Test *> &info)
+{
+    std::string name = info.param->name;
+    for (char &c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return name;
+}
+
+/** Fixed design + Full_Proof: every suite test verifies. */
+class SuiteRtlVerifies
+    : public ::testing::TestWithParam<const litmus::Test *>
+{
+};
+
+TEST_P(SuiteRtlVerifies, FixedDesignUpholdsScAxioms)
+{
+    RunOptions o;
+    o.variant = vscale::MemoryVariant::Fixed;
+    o.config = formal::fullProofConfig();
+    TestRun run =
+        runTest(*GetParam(), uspec::multiVscaleModel(), o);
+    EXPECT_TRUE(run.verified()) << GetParam()->summary();
+    EXPECT_TRUE(run.verify.coverUnreachable);
+    EXPECT_EQ(run.verify.numFalsified(), 0);
+    EXPECT_TRUE(run.verify.graphComplete);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, SuiteRtlVerifies,
+                         ::testing::ValuesIn(suitePointers()), nameOf);
+
+/**
+ * Buggy design: for every test, either it still verifies or the
+ * engine's evidence is genuine — the cover witness replays to the
+ * forbidden outcome in the simulator.
+ */
+class SuiteRtlBuggy
+    : public ::testing::TestWithParam<const litmus::Test *>
+{
+};
+
+TEST_P(SuiteRtlBuggy, EvidenceIsGenuine)
+{
+    RunOptions o;
+    o.variant = vscale::MemoryVariant::Buggy;
+    o.config = formal::fullProofConfig();
+    TestRun run =
+        runTest(*GetParam(), uspec::multiVscaleModel(), o);
+
+    if (run.verify.coverReached) {
+        ASSERT_TRUE(run.verify.coverWitness.has_value());
+        EXPECT_TRUE(witnessExhibitsOutcome(
+            *GetParam(), o, *run.verify.coverWitness))
+            << GetParam()->summary();
+    }
+    // An assertion counterexample without an observable outcome
+    // would still be a true axiom violation; we at least require
+    // consistency: a clean run must have a complete graph and an
+    // unreachable cover.
+    if (run.verified()) {
+        EXPECT_TRUE(run.verify.coverUnreachable)
+            << GetParam()->name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, SuiteRtlBuggy,
+                         ::testing::ValuesIn(suitePointers()), nameOf);
+
+TEST(SuiteRtl, BugIsCaughtSomewhere)
+{
+    // The §7.1 bug must be visible through the suite on the buggy
+    // design (the paper found it via mp).
+    RunOptions o;
+    o.variant = vscale::MemoryVariant::Buggy;
+    o.config = formal::fullProofConfig();
+    int exposed = 0;
+    for (const litmus::Test &t : litmus::standardSuite()) {
+        TestRun run = runTest(t, uspec::multiVscaleModel(), o);
+        exposed += !run.verified();
+    }
+    EXPECT_GT(exposed, 0);
+}
+
+TEST(SuiteRtl, HybridNeverContradictsFullProof)
+{
+    // A property falsified under one budget must be falsified (or at
+    // least never *proven*) under the other: budgets may weaken
+    // proofs to bounded, but never flip verdicts.
+    RunOptions hybrid;
+    hybrid.config = formal::hybridConfig();
+    RunOptions full;
+    full.config = formal::fullProofConfig();
+    for (const char *name : {"mp", "iriw", "podwr001", "safe003"}) {
+        TestRun h = runTest(litmus::suiteTest(name),
+                            uspec::multiVscaleModel(), hybrid);
+        TestRun f = runTest(litmus::suiteTest(name),
+                            uspec::multiVscaleModel(), full);
+        EXPECT_EQ(h.verify.numFalsified(), 0) << name;
+        EXPECT_EQ(f.verify.numFalsified(), 0) << name;
+        EXPECT_LE(h.verify.numProven(), f.verify.numProven()) << name;
+    }
+}
+
+} // namespace
+} // namespace rtlcheck::core

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the SVA substrate: sequence NFAs, three-valued property
+ * status, trace checking, and the paper's §3.3/§3.4 pitfalls
+ * demonstrated on hand-built traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rtl/design.hh"
+#include "sva/trace_checker.hh"
+
+namespace rtlcheck::sva {
+namespace {
+
+/** Build a mask with the given predicate ids set. */
+PredMask
+mask(std::initializer_list<int> ids)
+{
+    PredMask m{};
+    for (int id : ids)
+        m[static_cast<std::size_t>(id) / 64] |=
+            std::uint64_t(1) << (id % 64);
+    return m;
+}
+
+// Predicate ids used symbolically in these tests.
+constexpr int A = 0;
+constexpr int B = 1;
+constexpr int GAP = 2; // "neither A nor B"
+constexpr int TRUE_P = 3;
+
+/** The §4.3 strict edge sequence: gap[*0:$] ##1 A ##1 gap[*0:$] ##1 B */
+Seq
+strictEdge()
+{
+    return sChain({sStar(GAP), sPred(A), sStar(GAP), sPred(B)});
+}
+
+/** The §3.3 naive edge sequence: true[*0:$] ##1 A ##1 true[*0:$] ##1 B */
+Seq
+naiveEdge()
+{
+    return sChain(
+        {sStar(TRUE_P), sPred(A), sStar(TRUE_P), sPred(B)});
+}
+
+Property
+prop(Seq s)
+{
+    Property p;
+    p.name = "test";
+    p.branches = {{std::move(s)}};
+    return p;
+}
+
+TEST(Nfa, SingleePredMatch)
+{
+    Nfa n = Nfa::compile(sPred(A));
+    EXPECT_FALSE(n.matchesEmpty());
+    std::uint64_t live = n.initial();
+    live = n.step(live, mask({A}));
+    EXPECT_TRUE(n.accepts(live));
+}
+
+TEST(Nfa, StarMatchesEmpty)
+{
+    Nfa n = Nfa::compile(sStar(A));
+    EXPECT_TRUE(n.matchesEmpty());
+}
+
+TEST(Nfa, ConcatAfterStar)
+{
+    // gap[*0:$] ##1 A: matches A at cycle 0 (zero repetitions).
+    Nfa n = Nfa::compile(sConcat(sStar(GAP), sPred(A)));
+    std::uint64_t live = n.step(n.initial(), mask({A}));
+    EXPECT_TRUE(n.accepts(live));
+    // ...or after some gap cycles.
+    live = n.initial();
+    live = n.step(live, mask({GAP}));
+    EXPECT_FALSE(n.accepts(live));
+    live = n.step(live, mask({GAP}));
+    live = n.step(live, mask({A}));
+    EXPECT_TRUE(n.accepts(live));
+}
+
+TEST(Nfa, DeadOnWrongLetter)
+{
+    Nfa n = Nfa::compile(sPred(A));
+    std::uint64_t live = n.step(n.initial(), mask({B}));
+    EXPECT_EQ(live, 0u);
+}
+
+TEST(TraceChecker, StrictEdgeMatchesInOrder)
+{
+    // gap, A, gap, B: the edge A->B holds.
+    Trace t{mask({GAP}), mask({A}), mask({GAP}), mask({B})};
+    EXPECT_EQ(checkFireOnce(prop(strictEdge()), t), Tri::Matched);
+}
+
+TEST(TraceChecker, StrictEdgeFailsOnReversedOrder)
+{
+    // B occurs before A: the live set dies at cycle 0 (B is not a
+    // gap and not A).
+    Trace t{mask({B}), mask({GAP}), mask({A}), mask({GAP})};
+    EXPECT_EQ(checkFireOnce(prop(strictEdge()), t), Tri::Failed);
+}
+
+TEST(TraceChecker, StrictEdgePendingWhenBNeverOccurs)
+{
+    // Weak semantics: no B yet, but the NFA is still alive.
+    Trace t{mask({GAP}), mask({A}), mask({GAP}), mask({GAP})};
+    EXPECT_EQ(checkFireOnce(prop(strictEdge()), t), Tri::Pending);
+}
+
+TEST(TraceChecker, Section33NaiveEncodingMissesReversedOrder)
+{
+    // §3.3's core observation: with unbounded ranges, the initial
+    // delay can absorb the B event, so a trace with B before A is
+    // *not* a counterexample to the naive property — the bug is
+    // missed. The strict encoding catches it (test above).
+    Trace t{mask({B, TRUE_P}), mask({GAP, TRUE_P}),
+            mask({A, TRUE_P}), mask({GAP, TRUE_P})};
+    Tri naive = checkFireOnce(prop(naiveEdge()), t);
+    EXPECT_NE(naive, Tri::Failed); // pending: could still match later
+    EXPECT_EQ(checkFireOnce(prop(strictEdge()), t), Tri::Failed);
+}
+
+TEST(TraceChecker, Section34FireAlwaysContradictsIntent)
+{
+    // §3.4: ##2 <B> asserted fire-always fails from the second
+    // attempt even though the anchored attempt holds.
+    Property p;
+    p.name = "fig-3.4";
+    p.branches = {{sChain({sPred(TRUE_P), sPred(TRUE_P), sPred(B)})}};
+    Trace t{mask({TRUE_P}), mask({TRUE_P}), mask({B, TRUE_P}),
+            mask({TRUE_P}), mask({TRUE_P})};
+    EXPECT_EQ(checkFireOnce(p, t), Tri::Matched);
+    EXPECT_EQ(checkFireAlways(p, t), Tri::Failed);
+}
+
+TEST(Property, AndBranchesRequireAll)
+{
+    Property p;
+    p.branches = {{sPred(A), sPred(B)}};
+    // A and B both at cycle 0: both sequences match.
+    EXPECT_EQ(checkFireOnce(p, Trace{mask({A, B})}), Tri::Matched);
+    // Only A: the B-sequence dies -> the single branch fails.
+    EXPECT_EQ(checkFireOnce(p, Trace{mask({A})}), Tri::Failed);
+}
+
+TEST(Property, OrBranchesRequireOne)
+{
+    Property p;
+    p.branches = {{sPred(A)}, {sPred(B)}};
+    EXPECT_EQ(checkFireOnce(p, Trace{mask({B})}), Tri::Matched);
+    EXPECT_EQ(checkFireOnce(p, Trace{mask({GAP})}), Tri::Failed);
+}
+
+TEST(Property, StatusMonotone)
+{
+    // Once matched, later cycles cannot un-match.
+    Property p;
+    p.branches = {{sPred(A)}};
+    PropertyRuntime rt(p);
+    auto st = rt.initial();
+    rt.step(st, mask({A}));
+    EXPECT_EQ(rt.status(st), Tri::Matched);
+    rt.step(st, mask({GAP}));
+    EXPECT_EQ(rt.status(st), Tri::Matched);
+}
+
+TEST(Property, KeySerializationDistinguishesStates)
+{
+    Property p;
+    p.branches = {{strictEdge()}};
+    PropertyRuntime rt(p);
+    auto s1 = rt.initial();
+    auto s2 = rt.initial();
+    rt.step(s2, mask({GAP}));
+    auto s3 = rt.initial();
+    rt.step(s3, mask({A}));
+    std::vector<std::uint32_t> k1, k2, k3;
+    rt.appendKey(s1, k1);
+    rt.appendKey(s2, k2);
+    rt.appendKey(s3, k3);
+    EXPECT_EQ(k1, k2); // gap keeps the same live set here
+    EXPECT_NE(k1, k3);
+}
+
+TEST(Predicates, TableDedupsAndEvaluates)
+{
+    rtl::Design d;
+    rtl::Signal x = d.addInput("x", 1);
+    rtl::Signal y = d.addInput("y", 1);
+    PredicateTable preds;
+    int px = preds.add(x, "x");
+    int py = preds.add(y, "y");
+    EXPECT_EQ(preds.add(x, "x-again"), px);
+    EXPECT_EQ(preds.size(), 2);
+
+    rtl::Netlist n(d);
+    rtl::ValueVec values;
+    rtl::InputVec in{1, 0};
+    std::vector<std::uint32_t> state;
+    n.eval(state.data(), in.data(), values);
+    PredMask m = preds.evaluate(n, values);
+    EXPECT_TRUE(predTrue(m, px));
+    EXPECT_FALSE(predTrue(m, py));
+}
+
+TEST(Sequence, SvaRendering)
+{
+    rtl::Design d;
+    PredicateTable preds;
+    int a = preds.add(d.addInput("a", 1), "sig_a");
+    int b = preds.add(d.addInput("b", 1), "sig_b");
+    Seq s = sConcat(sStar(a), sPred(b));
+    EXPECT_EQ(seqToSva(s, preds), "(sig_a) [*0:$] ##1 (sig_b)");
+}
+
+} // namespace
+} // namespace rtlcheck::sva

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the TSO extension: the store-buffer Multi-V-scale
+ * variant, the TSO µspec model, and the TSO reference executor —
+ * including the full-stack agreement property: for every suite test,
+ * the operational TSO machine, the µhb solver on the TSO model, and
+ * the RTL cover search on the store-buffer design agree on whether
+ * the outcome is observable.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/parser.hh"
+#include "litmus/suite.hh"
+#include "litmus/tso_ref.hh"
+#include "rtlcheck/runner.hh"
+#include "uhb/solver.hh"
+#include "uspec/multivscale.hh"
+#include "uspec/tso.hh"
+
+namespace rtlcheck {
+namespace {
+
+using litmus::suiteTest;
+
+TEST(TsoExecutor, SbOutcomeAllowed)
+{
+    // Store buffering: the canonical outcome SC forbids and TSO
+    // allows.
+    EXPECT_FALSE(
+        litmus::ScExecutor(suiteTest("sb")).outcomeObservable());
+    EXPECT_TRUE(
+        litmus::TsoExecutor(suiteTest("sb")).outcomeObservable());
+}
+
+TEST(TsoExecutor, MpStillForbidden)
+{
+    EXPECT_FALSE(
+        litmus::TsoExecutor(suiteTest("mp")).outcomeObservable());
+}
+
+TEST(TsoExecutor, CoherenceStillForbidden)
+{
+    EXPECT_FALSE(
+        litmus::TsoExecutor(suiteTest("co-mp")).outcomeObservable());
+    EXPECT_FALSE(
+        litmus::TsoExecutor(suiteTest("co-iriw")).outcomeObservable());
+}
+
+TEST(TsoExecutor, TsoOutcomesSupersetOfSc)
+{
+    // Everything SC allows, TSO allows.
+    for (const litmus::Test &t : litmus::standardSuite()) {
+        auto sc = litmus::ScExecutor(t).allOutcomes();
+        auto tso = litmus::TsoExecutor(t).allOutcomes();
+        for (const auto &o : sc) {
+            EXPECT_TRUE(std::find(tso.begin(), tso.end(), o) !=
+                        tso.end())
+                << t.name;
+        }
+    }
+}
+
+TEST(TsoExecutor, ForwardingReadsOwnStore)
+{
+    litmus::Test t = litmus::parseTest(R"(test fwd
+thread St x 1 ; Ld r1 x
+forbid 0:r1=0
+)");
+    // The load must forward 1 from the buffer (or read it from
+    // memory after a drain); reading 0 is impossible.
+    EXPECT_FALSE(litmus::TsoExecutor(t).outcomeObservable());
+}
+
+TEST(TsoModel, Parses)
+{
+    const uspec::Model &m = uspec::tsoVscaleModel();
+    EXPECT_EQ(m.axioms.size(), 10u);
+    EXPECT_TRUE(m.macros.count("TsoForward"));
+}
+
+TEST(TsoModel, SbObservableMpForbidden)
+{
+    EXPECT_TRUE(uhb::checkOutcome(uspec::tsoVscaleModel(),
+                                  suiteTest("sb"))
+                    .observable);
+    EXPECT_FALSE(uhb::checkOutcome(uspec::tsoVscaleModel(),
+                                   suiteTest("mp"))
+                     .observable);
+}
+
+/** µhb TSO model agrees with the operational TSO machine on the
+ *  whole suite. */
+class TsoSuiteAgreement
+    : public ::testing::TestWithParam<const litmus::Test *>
+{
+};
+
+TEST_P(TsoSuiteAgreement, UhbMatchesOperationalTso)
+{
+    const litmus::Test &t = *GetParam();
+    bool op = litmus::TsoExecutor(t).outcomeObservable();
+    bool uhb_obs =
+        uhb::checkOutcome(uspec::tsoVscaleModel(), t).observable;
+    EXPECT_EQ(op, uhb_obs) << t.summary();
+}
+
+/** RTL-level agreement: the store-buffer design's cover search finds
+ *  the outcome exactly when TSO allows it, and the TSO axioms hold
+ *  on the design either way. */
+class TsoSuiteRtl
+    : public ::testing::TestWithParam<const litmus::Test *>
+{
+};
+
+TEST_P(TsoSuiteRtl, CoverMatchesTsoAndAxiomsHold)
+{
+    const litmus::Test &t = *GetParam();
+    core::RunOptions o;
+    o.pipeline = core::Pipeline::StoreBuffer;
+    o.config = formal::fullProofConfig();
+    core::TestRun run =
+        core::runTest(t, uspec::tsoVscaleModel(), o);
+
+    bool tso_allowed = litmus::TsoExecutor(t).outcomeObservable();
+    EXPECT_EQ(run.verify.coverReached, tso_allowed) << t.summary();
+    EXPECT_EQ(run.verify.numFalsified(), 0)
+        << t.name << ": the TSO axioms must hold on the "
+        << "store-buffer design";
+}
+
+std::vector<const litmus::Test *>
+suitePointers()
+{
+    std::vector<const litmus::Test *> out;
+    for (const litmus::Test &t : litmus::standardSuite())
+        out.push_back(&t);
+    return out;
+}
+
+auto
+nameOf(const ::testing::TestParamInfo<const litmus::Test *> &info)
+{
+    std::string name = info.param->name;
+    for (char &c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, TsoSuiteAgreement,
+                         ::testing::ValuesIn(suitePointers()), nameOf);
+INSTANTIATE_TEST_SUITE_P(All, TsoSuiteRtl,
+                         ::testing::ValuesIn(suitePointers()), nameOf);
+
+TEST(TsoRtl, ScModelFalsifiedOnStoreBufferDesign)
+{
+    // Iterative refinement in the other direction: the *SC* axioms
+    // do not hold on the TSO hardware; RTLCheck must produce a
+    // counterexample (the sb reordering violates SC's Read_Values /
+    // ordering axioms).
+    core::RunOptions o;
+    o.pipeline = core::Pipeline::StoreBuffer;
+    o.config = formal::fullProofConfig();
+    core::TestRun run = core::runTest(
+        suiteTest("sb"), uspec::multiVscaleModel(), o);
+    EXPECT_GT(run.verify.numFalsified(), 0);
+}
+
+TEST(TsoRtl, SbWitnessRevealsReordering)
+{
+    // The cover witness for sb on the TSO design is a genuine
+    // store-to-load reordering: replay it and observe both loads
+    // returning 0.
+    core::RunOptions o;
+    o.pipeline = core::Pipeline::StoreBuffer;
+    o.config = formal::fullProofConfig();
+    core::TestRun run =
+        core::runTest(suiteTest("sb"), uspec::tsoVscaleModel(), o);
+    ASSERT_TRUE(run.verify.coverReached);
+    ASSERT_TRUE(run.verify.coverWitness.has_value());
+    EXPECT_FALSE(run.verify.coverWitness->inputs.empty());
+}
+
+} // namespace
+} // namespace rtlcheck

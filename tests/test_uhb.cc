@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for µhb graphs and the Check-style scenario solver,
+ * culminating in the paper's §2.1 claim: every forbidden outcome in
+ * the 56-test suite is unobservable on the Multi-V-scale µspec model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/parser.hh"
+#include "litmus/sc_ref.hh"
+#include "litmus/suite.hh"
+#include "uhb/graph.hh"
+#include "uhb/solver.hh"
+#include "uspec/multivscale.hh"
+
+namespace rtlcheck::uhb {
+namespace {
+
+using litmus::suiteTest;
+using uspec::Stage;
+using uspec::UhbNode;
+
+TEST(UhbGraph, PathAndCycleDetection)
+{
+    const litmus::Test &mp = suiteTest("mp");
+    UhbGraph g(mp);
+    UhbNode a{{0, 0}, Stage::Fetch};
+    UhbNode b{{0, 0}, Stage::DecodeExecute};
+    UhbNode c{{0, 0}, Stage::Writeback};
+    g.addEdge(a, b);
+    g.addEdge(b, c);
+    EXPECT_TRUE(g.hasPath(g.nodeId(a), g.nodeId(c)));
+    EXPECT_FALSE(g.hasPath(g.nodeId(c), g.nodeId(a)));
+    EXPECT_FALSE(g.isCyclic());
+    EXPECT_TRUE(g.wouldCreateCycle(g.nodeId(c), g.nodeId(a)));
+    g.addEdge(c, a);
+    EXPECT_TRUE(g.isCyclic());
+}
+
+TEST(UhbGraph, AddEdgeIdempotent)
+{
+    const litmus::Test &mp = suiteTest("mp");
+    UhbGraph g(mp);
+    UhbNode a{{0, 0}, Stage::Fetch};
+    UhbNode b{{0, 1}, Stage::Fetch};
+    g.addEdge(a, b);
+    g.addEdge(a, b);
+    EXPECT_EQ(g.edges().size(), 1u);
+}
+
+TEST(UhbGraph, DotRendering)
+{
+    const litmus::Test &mp = suiteTest("mp");
+    UhbGraph g(mp);
+    g.addEdge(UhbNode{{0, 0}, Stage::Fetch},
+              UhbNode{{0, 0}, Stage::DecodeExecute}, "path");
+    std::string dot = g.toDot(mp);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("St x"), std::string::npos);
+    EXPECT_NE(dot.find("path"), std::string::npos);
+}
+
+TEST(Solver, MpForbiddenOutcomeUnobservable)
+{
+    // Figure 3a: all µhb graphs for mp's forbidden outcome on
+    // Multi-V-scale are cyclic.
+    auto result =
+        checkOutcome(uspec::multiVscaleModel(), suiteTest("mp"));
+    EXPECT_FALSE(result.observable);
+    EXPECT_GT(result.numInstances, 0);
+}
+
+TEST(Solver, ObservableOutcomeFoundWithWitness)
+{
+    // A permitted outcome must be observable, with an acyclic
+    // witness graph.
+    litmus::Test t = litmus::parseTest(R"(test mp-ok
+thread St x 1 ; St y 1
+thread Ld r1 y ; Ld r2 x
+forbid 1:r1=1 1:r2=1
+)");
+    auto result = checkOutcome(uspec::multiVscaleModel(), t);
+    EXPECT_TRUE(result.observable);
+    ASSERT_TRUE(result.witness.has_value());
+    EXPECT_FALSE(result.witness->isCyclic());
+}
+
+TEST(Solver, SbPermittedOutcomeObservable)
+{
+    // sb with outcome r1=1, r2=1 is SC-permitted.
+    litmus::Test t = litmus::parseTest(R"(test sb-ok
+thread St x 1 ; Ld r1 y
+thread St y 1 ; Ld r2 x
+forbid 0:r1=1 1:r2=1
+)");
+    EXPECT_TRUE(
+        checkOutcome(uspec::multiVscaleModel(), t).observable);
+}
+
+/** §2.1 headline: the whole suite is unobservable at the µhb level. */
+class SuiteUnobservable
+    : public ::testing::TestWithParam<const litmus::Test *>
+{
+};
+
+TEST_P(SuiteUnobservable, ForbiddenOnMultiVscale)
+{
+    auto result =
+        checkOutcome(uspec::multiVscaleModel(), *GetParam());
+    EXPECT_FALSE(result.observable) << GetParam()->summary();
+}
+
+std::vector<const litmus::Test *>
+suitePointers()
+{
+    std::vector<const litmus::Test *> out;
+    for (const litmus::Test &t : litmus::standardSuite())
+        out.push_back(&t);
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, SuiteUnobservable, ::testing::ValuesIn(suitePointers()),
+    [](const ::testing::TestParamInfo<const litmus::Test *> &info) {
+        std::string name = info.param->name;
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+/**
+ * Agreement property: for a spread of outcomes, the µhb solver and
+ * the SC reference executor agree on observability. This pins the
+ * µspec model to "exactly SC" rather than merely "at most SC".
+ */
+TEST(Solver, AgreesWithScExecutorOnMpVariants)
+{
+    const char *bodies[] = {
+        "forbid 1:r1=0 1:r2=0", "forbid 1:r1=0 1:r2=1",
+        "forbid 1:r1=1 1:r2=0", "forbid 1:r1=1 1:r2=1"};
+    for (const char *forbid : bodies) {
+        std::string src = std::string(R"(test mp-var
+thread St x 1 ; St y 1
+thread Ld r1 y ; Ld r2 x
+)") + forbid + "\n";
+        litmus::Test t = litmus::parseTest(src);
+        bool sc = litmus::ScExecutor(t).outcomeObservable();
+        bool uhb =
+            checkOutcome(uspec::multiVscaleModel(), t).observable;
+        EXPECT_EQ(sc, uhb) << forbid;
+    }
+}
+
+TEST(Solver, AgreesWithScExecutorOnSbVariants)
+{
+    const char *bodies[] = {
+        "forbid 0:r1=0 1:r2=0", "forbid 0:r1=0 1:r2=1",
+        "forbid 0:r1=1 1:r2=0", "forbid 0:r1=1 1:r2=1"};
+    for (const char *forbid : bodies) {
+        std::string src = std::string(R"(test sb-var
+thread St x 1 ; Ld r1 y
+thread St y 1 ; Ld r2 x
+)") + forbid + "\n";
+        litmus::Test t = litmus::parseTest(src);
+        bool sc = litmus::ScExecutor(t).outcomeObservable();
+        bool uhb =
+            checkOutcome(uspec::multiVscaleModel(), t).observable;
+        EXPECT_EQ(sc, uhb) << forbid;
+    }
+}
+
+} // namespace
+} // namespace rtlcheck::uhb

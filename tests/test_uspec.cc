@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the µspec language: lexer, parser, macro expansion,
+ * instantiation in both evaluation modes, and DNF conversion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/suite.hh"
+#include "uspec/eval.hh"
+#include "uspec/lexer.hh"
+#include "uspec/multivscale.hh"
+#include "uspec/parser.hh"
+
+namespace rtlcheck::uspec {
+namespace {
+
+TEST(Lexer, TokenKinds)
+{
+    auto toks = tokenize(R"(Axiom "A": ~x /\ y \/ z => w.)");
+    std::vector<TokKind> kinds;
+    for (const auto &t : toks)
+        kinds.push_back(t.kind);
+    EXPECT_EQ(kinds,
+              (std::vector<TokKind>{
+                  TokKind::Ident, TokKind::String, TokKind::Colon,
+                  TokKind::Tilde, TokKind::Ident, TokKind::AndOp,
+                  TokKind::Ident, TokKind::OrOp, TokKind::Ident,
+                  TokKind::Implies, TokKind::Ident, TokKind::Period,
+                  TokKind::End}));
+}
+
+TEST(Lexer, CommentsAndPrimedIdents)
+{
+    auto toks = tokenize("% a comment\nw' x");
+    ASSERT_GE(toks.size(), 2u);
+    EXPECT_EQ(toks[0].text, "w'");
+    EXPECT_EQ(toks[1].text, "x");
+}
+
+TEST(Parser, Figure3bAxiom)
+{
+    Model m = parseModel(R"(
+Axiom "WB_FIFO":
+forall microops "a1", "a2",
+(SameCore a1 a2 /\ ~SameMicroop a1 a2 /\ ProgramOrder a1 a2) =>
+(EdgeExists ((a1, DecodeExecute), (a2, DecodeExecute)) =>
+ AddEdge ((a1, Writeback), (a2, Writeback))).
+)");
+    ASSERT_EQ(m.axioms.size(), 1u);
+    EXPECT_EQ(m.axioms[0].name, "WB_FIFO");
+    const Expr &body = *m.axioms[0].body;
+    EXPECT_EQ(body.kind, Expr::Kind::Forall);
+    EXPECT_EQ(body.vars,
+              (std::vector<std::string>{"a1", "a2"}));
+}
+
+TEST(Parser, MultiVscaleModelParses)
+{
+    const Model &m = multiVscaleModel();
+    EXPECT_EQ(m.axioms.size(), 8u);
+    EXPECT_EQ(m.macros.size(), 3u);
+    EXPECT_TRUE(m.macros.count("NoInterveningWrite"));
+    EXPECT_TRUE(m.macros.count("BeforeAllWrites"));
+    EXPECT_TRUE(m.macros.count("BeforeOrAfterEveryWrite"));
+}
+
+TEST(Formula, SmartConstructorsFold)
+{
+    EXPECT_TRUE(isTriviallyTrue(fAnd({fTrue(), fTrue()})));
+    EXPECT_TRUE(isTriviallyFalse(fAnd({fTrue(), fFalse()})));
+    EXPECT_TRUE(isTriviallyTrue(fOr({fFalse(), fTrue()})));
+    EXPECT_TRUE(isTriviallyFalse(fNot(fTrue())));
+    EXPECT_TRUE(isTriviallyTrue(fNot(fNot(fTrue()))));
+}
+
+TEST(Formula, DnfCrossProduct)
+{
+    UhbNode a{{0, 0}, Stage::Writeback};
+    UhbNode b{{0, 1}, Stage::Writeback};
+    UhbNode c{{1, 0}, Stage::Writeback};
+    // (e1 \/ e2) /\ e3  ->  two branches of two literals each.
+    Formula f = fAnd({fOr({fEdge(a, b, true), fEdge(b, a, true)}),
+                      fEdge(a, c, true)});
+    auto branches = toDnf(f);
+    ASSERT_EQ(branches.size(), 2u);
+    EXPECT_EQ(branches[0].edges.size(), 2u);
+    EXPECT_EQ(branches[1].edges.size(), 2u);
+}
+
+TEST(Formula, DnfNegationPushed)
+{
+    UhbNode a{{0, 0}, Stage::Writeback};
+    UhbNode b{{0, 1}, Stage::Writeback};
+    // ~(e1 /\ e2) -> ~e1 \/ ~e2.
+    Formula f =
+        fNot(fAnd({fEdge(a, b, false), fEdge(b, a, false)}));
+    auto branches = toDnf(f);
+    ASSERT_EQ(branches.size(), 2u);
+    EXPECT_FALSE(branches[0].edges[0].positive);
+}
+
+TEST(Formula, DnfDropsContradictoryLoadValues)
+{
+    litmus::InstrRef ld{1, 0};
+    Formula f = fAnd({fLoadVal(ld, 0), fLoadVal(ld, 1)});
+    EXPECT_TRUE(toDnf(f).empty());
+}
+
+TEST(Instantiate, OmniscientMpReadValues)
+{
+    const litmus::Test &mp = litmus::suiteTest("mp");
+    auto instances = instantiate(multiVscaleModel(), mp,
+                                 EvalMode::Omniscient);
+    // Read_Values must yield one instance per load.
+    int read_values = 0;
+    for (const auto &inst : instances)
+        read_values += inst.axiom == "Read_Values";
+    EXPECT_EQ(read_values, 2);
+
+    // In omniscient mode no load-value atoms survive.
+    for (const auto &inst : instances) {
+        for (const auto &br : toDnf(inst.formula))
+            EXPECT_TRUE(br.loadValues.empty())
+                << inst.axiom << " " << inst.binding;
+    }
+}
+
+TEST(Instantiate, OutcomeAgnosticCarriesLoadValues)
+{
+    const litmus::Test &mp = litmus::suiteTest("mp");
+    auto instances = instantiate(multiVscaleModel(), mp,
+                                 EvalMode::OutcomeAgnostic);
+    // §4.2: the Read_Values instance for the load of x must have a
+    // branch where the load returns 0 (BeforeAllWrites) and one
+    // where it returns 1 (NoInterveningWrite).
+    bool found_zero = false;
+    bool found_one = false;
+    for (const auto &inst : instances) {
+        if (inst.axiom != "Read_Values")
+            continue;
+        for (const auto &br : toDnf(inst.formula)) {
+            for (const auto &[ref, v] : br.loadValues) {
+                if (ref == litmus::InstrRef{1, 1}) {
+                    found_zero |= v == 0;
+                    found_one |= v == 1;
+                }
+            }
+        }
+    }
+    EXPECT_TRUE(found_zero);
+    EXPECT_TRUE(found_one);
+}
+
+TEST(Instantiate, SymmetricInstancesDeduped)
+{
+    const litmus::Test &mp = litmus::suiteTest("mp");
+    auto instances = instantiate(multiVscaleModel(), mp,
+                                 EvalMode::Omniscient);
+    // Mem_DX_TotalOrder over 4 memory ops: C(4,2)=6 unordered pairs,
+    // not 12 ordered ones.
+    int total_order = 0;
+    for (const auto &inst : instances)
+        total_order += inst.axiom == "Mem_DX_TotalOrder";
+    EXPECT_EQ(total_order, 6);
+}
+
+TEST(Instantiate, WritesOnlyTestHasNoReadValues)
+{
+    const litmus::Test &t = litmus::suiteTest("safe003");
+    auto instances = instantiate(multiVscaleModel(), t,
+                                 EvalMode::Omniscient);
+    for (const auto &inst : instances)
+        EXPECT_NE(inst.axiom, "Read_Values");
+}
+
+} // namespace
+} // namespace rtlcheck::uspec

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Command-line driver for the RTLCheck flow.
+ *
+ * Usage:
+ *   rtlcheck_cli [options] <suite-test-name>
+ *   rtlcheck_cli [options] --file <litmus-file>
+ *   rtlcheck_cli --list
+ *   rtlcheck_cli --all [options]
+ *
+ * Options:
+ *   --model sc|tso        µspec model to verify against (default sc)
+ *   --design fixed|buggy|tso
+ *                         RTL design variant (default fixed)
+ *   --config hybrid|full  engine configuration (default full)
+ *   --naive               use the §3.3 naive edge encoding (unsound;
+ *                         for demonstration)
+ *   --emit-sva <path>     write the generated SystemVerilog file
+ *   --uhb                 also run the Check-style µhb analysis and
+ *                         print the result (plus a dot witness graph
+ *                         when the outcome is observable)
+ *   --wave                print the witness waveform when the
+ *                         forbidden outcome is reachable
+ *   --vcd <path>          write the witness waveform as a VCD file
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "litmus/parser.hh"
+#include "litmus/suite.hh"
+#include "rtlcheck/runner.hh"
+#include "uhb/solver.hh"
+#include "uspec/multivscale.hh"
+#include "uspec/tso.hh"
+
+using namespace rtlcheck;
+
+namespace {
+
+struct CliOptions
+{
+    std::string testName;
+    std::string litmusFile;
+    std::string model = "sc";
+    std::string design = "fixed";
+    std::string config = "full";
+    std::string emitSva;
+    std::string vcdPath;
+    bool naive = false;
+    bool uhb = false;
+    bool wave = false;
+    bool list = false;
+    bool all = false;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: rtlcheck_cli [options] <suite-test-name>\n"
+        "       rtlcheck_cli [options] --file <litmus-file>\n"
+        "       rtlcheck_cli --list | --all\n"
+        "options: --model sc|tso  --design fixed|buggy|tso\n"
+        "         --config hybrid|full  --naive  --uhb  --wave\n"
+        "         --emit-sva <path>\n");
+}
+
+const uspec::Model &
+modelFor(const CliOptions &opts)
+{
+    if (opts.model == "tso")
+        return uspec::tsoVscaleModel();
+    if (opts.model == "sc")
+        return uspec::multiVscaleModel();
+    RC_FATAL("unknown model '", opts.model, "' (sc or tso)");
+}
+
+core::RunOptions
+runOptionsFor(const CliOptions &opts)
+{
+    core::RunOptions o;
+    if (opts.design == "buggy") {
+        o.variant = vscale::MemoryVariant::Buggy;
+    } else if (opts.design == "tso") {
+        o.pipeline = core::Pipeline::StoreBuffer;
+    } else if (opts.design != "fixed") {
+        RC_FATAL("unknown design '", opts.design,
+                 "' (fixed, buggy, or tso)");
+    }
+    o.config = opts.config == "hybrid" ? formal::hybridConfig()
+                                       : formal::fullProofConfig();
+    o.encoding = opts.naive ? core::EdgeEncoding::Naive
+                            : core::EdgeEncoding::Strict;
+    return o;
+}
+
+int
+runOne(const litmus::Test &test, const CliOptions &opts,
+       bool verbose)
+{
+    const uspec::Model &model = modelFor(opts);
+    core::RunOptions o = runOptionsFor(opts);
+
+    if (opts.uhb) {
+        auto r = uhb::checkOutcome(model, test);
+        std::printf("µhb analysis: outcome %s (%llu scenarios, %d "
+                    "axiom instances)\n",
+                    r.observable ? "OBSERVABLE" : "forbidden",
+                    static_cast<unsigned long long>(
+                        r.scenariosExplored),
+                    r.numInstances);
+        if (r.observable && r.witness && verbose)
+            std::printf("%s\n", r.witness->toDot(test).c_str());
+    }
+
+    core::TestRun run = core::runTest(test, model, o);
+    const char *verdict;
+    if (run.verify.numFalsified() > 0)
+        verdict = "AXIOM VIOLATION";
+    else if (run.verify.coverReached)
+        verdict = "OUTCOME OBSERVABLE (axioms upheld)";
+    else
+        verdict = "VERIFIED";
+    std::printf("%-14s %3d props: %3d proven %3d bounded %3d "
+                "falsified | cover %-11s | %7.2f ms %s\n",
+                test.name.c_str(), run.numProperties,
+                run.verify.numProven(), run.verify.numBounded(),
+                run.verify.numFalsified(),
+                run.verify.coverUnreachable
+                    ? "unreachable"
+                    : (run.verify.coverReached ? "REACHED"
+                                               : "bounded"),
+                run.totalSeconds * 1e3, verdict);
+
+    if (verbose) {
+        for (const auto &p : run.verify.properties) {
+            if (p.status == formal::ProofStatus::Falsified) {
+                std::printf("  counterexample: %s (%zu cycles)\n",
+                            p.name.c_str(),
+                            p.counterexample->inputs.size());
+            }
+        }
+    }
+
+    if (opts.wave && run.verify.coverWitness) {
+        std::printf("\nWitness waveform:\n%s\n",
+                    core::renderWitness(
+                        test, o, *run.verify.coverWitness,
+                        core::defaultWaveSignals(
+                            static_cast<int>(test.threads.size())))
+                        .c_str());
+    }
+
+    if (!opts.vcdPath.empty() && run.verify.coverWitness) {
+        std::ofstream out(opts.vcdPath);
+        if (!out)
+            RC_FATAL("cannot write '", opts.vcdPath, "'");
+        out << core::renderWitnessVcd(
+            test, o, *run.verify.coverWitness,
+            core::defaultWaveSignals(
+                static_cast<int>(test.threads.size())));
+        std::printf("wrote %s\n", opts.vcdPath.c_str());
+    }
+
+    if (!opts.emitSva.empty()) {
+        std::ofstream out(opts.emitSva);
+        if (!out)
+            RC_FATAL("cannot write '", opts.emitSva, "'");
+        out << core::renderSvaFile(run);
+        std::printf("wrote %s\n", opts.emitSva.c_str());
+    }
+    return run.verified() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                RC_FATAL("option ", arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--model") {
+            opts.model = next();
+        } else if (arg == "--design") {
+            opts.design = next();
+        } else if (arg == "--config") {
+            opts.config = next();
+        } else if (arg == "--file") {
+            opts.litmusFile = next();
+        } else if (arg == "--emit-sva") {
+            opts.emitSva = next();
+        } else if (arg == "--vcd") {
+            opts.vcdPath = next();
+        } else if (arg == "--naive") {
+            opts.naive = true;
+        } else if (arg == "--uhb") {
+            opts.uhb = true;
+        } else if (arg == "--wave") {
+            opts.wave = true;
+        } else if (arg == "--list") {
+            opts.list = true;
+        } else if (arg == "--all") {
+            opts.all = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+            return 2;
+        } else {
+            opts.testName = arg;
+        }
+    }
+
+    if (opts.list) {
+        for (const litmus::Test &t : litmus::standardSuite())
+            std::printf("%s\n", t.name.c_str());
+        for (const litmus::Test &t : litmus::fenceSuite())
+            std::printf("%s\n", t.name.c_str());
+        return 0;
+    }
+
+    if (opts.all) {
+        int failures = 0;
+        for (const litmus::Test &t : litmus::standardSuite())
+            failures += runOne(t, opts, false) != 0;
+        std::printf("%d of %zu tests with violations\n", failures,
+                    litmus::standardSuite().size());
+        return failures ? 1 : 0;
+    }
+
+    if (!opts.litmusFile.empty()) {
+        std::ifstream in(opts.litmusFile);
+        if (!in)
+            RC_FATAL("cannot read '", opts.litmusFile, "'");
+        std::ostringstream text;
+        text << in.rdbuf();
+        litmus::Test test = litmus::parseTest(text.str());
+        return runOne(test, opts, true);
+    }
+
+    if (opts.testName.empty()) {
+        usage();
+        return 2;
+    }
+    return runOne(litmus::suiteTest(opts.testName), opts, true);
+}
