@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Parallel-scaling sweep: suite wall-clock at jobs ∈ {1,2,4,8} under
+ * both engine configurations, emitted as JSON so the speedup curve
+ * lands in the bench trajectory.
+ *
+ * The paper's runtimes (Figure 13, Table 1) come from JasperGold
+ * farming engines out over a cluster; this bench measures our
+ * analogue — whole litmus tests fanned out over the suite-level
+ * thread pool — and cross-checks that every job count produces
+ * identical verdicts (the engine is deterministic by construction).
+ */
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.hh"
+
+using namespace rtlcheck;
+using namespace rtlcheck::bench;
+
+namespace {
+
+/** Identical statuses, bounds, counterexamples, and covers? */
+bool
+sameVerdicts(const core::SuiteRun &a, const core::SuiteRun &b)
+{
+    if (a.runs.size() != b.runs.size())
+        return false;
+    for (std::size_t i = 0; i < a.runs.size(); ++i) {
+        const formal::VerifyResult &x = a.runs[i].verify;
+        const formal::VerifyResult &y = b.runs[i].verify;
+        if (x.coverUnreachable != y.coverUnreachable ||
+            x.coverReached != y.coverReached ||
+            x.properties.size() != y.properties.size())
+            return false;
+        for (std::size_t p = 0; p < x.properties.size(); ++p) {
+            const formal::PropertyResult &px = x.properties[p];
+            const formal::PropertyResult &py = y.properties[p];
+            if (px.status != py.status ||
+                px.boundCycles != py.boundCycles ||
+                px.counterexample.has_value() !=
+                    py.counterexample.has_value())
+                return false;
+            if (px.counterexample &&
+                px.counterexample->inputs != py.counterexample->inputs)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::size_t job_counts[] = {1, 2, 4, 8};
+    const formal::EngineConfig configs[2] = {
+        formal::hybridConfig(), formal::fullProofConfig()};
+    const auto &suite = litmus::standardSuite();
+
+    std::printf("{\n");
+    std::printf("  \"bench\": \"parallel_scaling\",\n");
+    std::printf("  \"suite_tests\": %zu,\n", suite.size());
+    std::printf("  \"hardware_concurrency\": %u,\n",
+                std::thread::hardware_concurrency());
+    std::printf("  \"configs\": [\n");
+    for (int c = 0; c < 2; ++c) {
+        std::printf("    {\"config\": \"%s\", \"runs\": [\n",
+                    configs[c].name.c_str());
+        core::SuiteRun baseline;
+        for (std::size_t j = 0; j < 4; ++j) {
+            core::SuiteRun sweep =
+                runSuiteFixed(suite, configs[c], job_counts[j]);
+            double cpu = 0.0;
+            for (const core::TestRun &run : sweep.runs)
+                cpu += run.totalSeconds;
+            bool deterministic =
+                j == 0 || sameVerdicts(baseline, sweep);
+            if (j == 0)
+                baseline = std::move(sweep);
+            std::printf("      {\"jobs\": %zu, \"wall_seconds\": "
+                        "%.6f, \"cpu_seconds\": %.6f, "
+                        "\"speedup_vs_jobs1\": %.3f, "
+                        "\"verdicts_match_jobs1\": %s}%s\n",
+                        job_counts[j],
+                        j == 0 ? baseline.wallSeconds
+                               : sweep.wallSeconds,
+                        cpu,
+                        j == 0 ? 1.0
+                               : baseline.wallSeconds /
+                                     sweep.wallSeconds,
+                        deterministic ? "true" : "false",
+                        j + 1 < 4 ? "," : "");
+        }
+        std::printf("    ]}%s\n", c == 0 ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+}

@@ -28,6 +28,19 @@ runFixed(const litmus::Test &test, const formal::EngineConfig &config)
     return core::runTest(test, uspec::multiVscaleModel(), o);
 }
 
+/** Run a batch of tests under a config on the fixed design, `jobs`
+ *  tests at a time (0 = RTLCHECK_JOBS / hardware concurrency).
+ *  Per-test results are identical to runFixed at any job count. */
+inline core::SuiteRun
+runSuiteFixed(const std::vector<litmus::Test> &tests,
+              const formal::EngineConfig &config, std::size_t jobs = 0)
+{
+    core::RunOptions o;
+    o.variant = vscale::MemoryVariant::Fixed;
+    o.config = config;
+    return core::runSuite(tests, uspec::multiVscaleModel(), o, jobs);
+}
+
 inline void
 printHeader(const std::string &title, const std::string &paper_ref)
 {

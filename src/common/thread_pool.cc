@@ -1,0 +1,136 @@
+#include "thread_pool.hh"
+
+#include <cstdlib>
+
+namespace rtlcheck {
+
+std::size_t
+ThreadPool::defaultJobs()
+{
+    if (const char *env = std::getenv("RTLCHECK_JOBS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t parallelism)
+{
+    if (parallelism == 0)
+        parallelism = defaultJobs();
+    for (std::size_t i = 0; i + 1 < parallelism; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stopping = true;
+    }
+    _wake.notify_all();
+    for (std::thread &w : _workers)
+        w.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _queue.push_back(std::move(task));
+    }
+    _wake.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _wake.wait(lock,
+                       [this] { return _stopping || !_queue.empty(); });
+            if (_queue.empty())
+                return; // stopping and drained
+            task = std::move(_queue.front());
+            _queue.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::drainLoop(const std::shared_ptr<LoopState> &loop,
+                      bool on_caller)
+{
+    for (;;) {
+        std::size_t i =
+            loop->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= loop->total)
+            return;
+        try {
+            (*loop->body)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(loop->mutex);
+            if (!loop->error || i < loop->errorIndex) {
+                loop->error = std::current_exception();
+                loop->errorIndex = i;
+            }
+        }
+        _tasksRun.fetch_add(1, std::memory_order_relaxed);
+        if (on_caller)
+            _tasksOnCaller.fetch_add(1, std::memory_order_relaxed);
+        if (loop->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            loop->total) {
+            std::lock_guard<std::mutex> lock(loop->mutex);
+            loop->finished.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::runIndexed(const std::function<void(std::size_t)> &body,
+                       std::size_t n)
+{
+    if (n == 0)
+        return;
+    _parallelForCalls.fetch_add(1, std::memory_order_relaxed);
+
+    // Shared so that helper tasks waking after the loop completed
+    // (they then claim an index >= total and return) stay valid.
+    auto loop = std::make_shared<LoopState>();
+    loop->total = n;
+    loop->body = &body;
+
+    // One helper per worker, capped at n-1: the caller is a lane too.
+    std::size_t helpers = std::min(_workers.size(), n - 1);
+    for (std::size_t h = 0; h < helpers; ++h)
+        enqueue([this, loop] { drainLoop(loop, false); });
+
+    drainLoop(loop, true);
+
+    std::unique_lock<std::mutex> lock(loop->mutex);
+    loop->finished.wait(lock, [&] {
+        return loop->done.load(std::memory_order_acquire) == n;
+    });
+    if (loop->error)
+        std::rethrow_exception(loop->error);
+}
+
+ThreadPool::Stats
+ThreadPool::stats() const
+{
+    Stats s;
+    s.tasksRun = _tasksRun.load(std::memory_order_relaxed);
+    s.tasksOnCaller = _tasksOnCaller.load(std::memory_order_relaxed);
+    s.parallelForCalls =
+        _parallelForCalls.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace rtlcheck

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * A fixed-size worker thread pool with a parallelFor/futures API.
+ *
+ * The pool models a *parallelism level* of J lanes: it owns J-1
+ * worker threads and the thread calling parallelFor() contributes
+ * the Jth lane by draining loop indices itself. This keeps a level
+ * of 1 exactly serial (no threads are ever spawned) and makes
+ * nested parallelFor() calls deadlock-free: the nesting caller
+ * always makes progress on its own loop even when every worker is
+ * busy.
+ *
+ * The default level is the RTLCHECK_JOBS environment variable when
+ * set to a positive integer, else std::thread::hardware_concurrency.
+ *
+ * parallelFor(n, fn) invokes fn(i) exactly once for every index in
+ * [0, n), in no particular order, and returns only when all n
+ * invocations finished. Callers obtain deterministic, input-ordered
+ * results by writing fn's output to slot i of a preallocated vector.
+ * If any invocation throws, the loop still claims and runs every
+ * index, then rethrows the exception of the lowest-numbered failing
+ * index on the calling thread.
+ */
+
+#ifndef RTLCHECK_COMMON_THREAD_POOL_HH
+#define RTLCHECK_COMMON_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace rtlcheck {
+
+class ThreadPool
+{
+  public:
+    /** A pool with `parallelism` lanes (J-1 worker threads); 0 means
+     *  defaultJobs(). */
+    explicit ThreadPool(std::size_t parallelism = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** RTLCHECK_JOBS when set to a positive integer, else
+     *  hardware_concurrency (at least 1). */
+    static std::size_t defaultJobs();
+
+    /** Total lanes (worker threads + the participating caller). */
+    std::size_t parallelism() const { return _workers.size() + 1; }
+
+    /** Owned worker threads (parallelism() - 1). */
+    std::size_t numWorkers() const { return _workers.size(); }
+
+    /** Run fn(i) for every i in [0, n); see file comment. */
+    template <class F>
+    void parallelFor(std::size_t n, F &&fn);
+
+    /** Run a callable asynchronously; with zero workers it runs
+     *  inline and the future is immediately ready. */
+    template <class F>
+    auto submit(F &&fn) -> std::future<std::invoke_result_t<F>>;
+
+    /** Utilization counters (monotonic over the pool's lifetime). */
+    struct Stats
+    {
+        /** parallelFor indices + submitted tasks executed, total. */
+        std::uint64_t tasksRun = 0;
+        /** Of those, how many ran on a caller (non-worker) thread. */
+        std::uint64_t tasksOnCaller = 0;
+        std::uint64_t parallelForCalls = 0;
+    };
+    Stats stats() const;
+
+  private:
+    struct LoopState
+    {
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::size_t total = 0;
+        const std::function<void(std::size_t)> *body = nullptr;
+        std::mutex mutex;
+        std::condition_variable finished;
+        std::exception_ptr error;
+        std::size_t errorIndex = 0;
+    };
+
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+    /** Claim and run loop indices until none remain; `on_caller`
+     *  attributes the work in stats(). */
+    void drainLoop(const std::shared_ptr<LoopState> &loop,
+                   bool on_caller);
+    void runIndexed(const std::function<void(std::size_t)> &body,
+                    std::size_t n);
+
+    std::vector<std::thread> _workers;
+    std::deque<std::function<void()>> _queue;
+    mutable std::mutex _mutex;
+    std::condition_variable _wake;
+    bool _stopping = false;
+
+    std::atomic<std::uint64_t> _tasksRun{0};
+    std::atomic<std::uint64_t> _tasksOnCaller{0};
+    std::atomic<std::uint64_t> _parallelForCalls{0};
+};
+
+template <class F>
+void
+ThreadPool::parallelFor(std::size_t n, F &&fn)
+{
+    const std::function<void(std::size_t)> body = std::ref(fn);
+    runIndexed(body, n);
+}
+
+template <class F>
+auto
+ThreadPool::submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+{
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    if (_workers.empty()) {
+        (*task)();
+        _tasksRun.fetch_add(1, std::memory_order_relaxed);
+        _tasksOnCaller.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        enqueue([this, task] {
+            (*task)();
+            _tasksRun.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    return future;
+}
+
+} // namespace rtlcheck
+
+#endif // RTLCHECK_COMMON_THREAD_POOL_HH

@@ -7,6 +7,7 @@
 
 #include "common/hashing.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace rtlcheck::formal {
 
@@ -86,11 +87,15 @@ secondsSince(Clock::time_point t0)
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/** NFA-product check of one property over the cached state graph. */
+/** NFA-product check of one property over the cached state graph.
+ *  Pure function of (graph, prop, max_states): the graph is
+ *  read-only and all working state is local, so any number of
+ *  checkProperty calls may run concurrently on one graph. */
 PropertyResult
 checkProperty(const StateGraph &graph, const sva::Property &prop,
               std::size_t max_states)
 {
+    auto t0 = Clock::now();
     PropertyResult result;
     result.name = prop.name;
 
@@ -107,6 +112,10 @@ checkProperty(const StateGraph &graph, const sva::Property &prop,
 
     std::vector<ProductState> states;
     std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> dedup;
+    // The product is usually a small multiple of the graph; one
+    // rehash-free reservation beats growing through ~10 rehashes.
+    dedup.reserve(max_states ? max_states
+                             : graph.numNodes() * std::size_t(4));
     std::vector<std::uint32_t> key;
 
     auto keyOf = [&](std::uint32_t node,
@@ -117,8 +126,12 @@ checkProperty(const StateGraph &graph, const sva::Property &prop,
         return hashWords(key);
     };
 
+    // Takes the candidate state by reference and copies it only when
+    // it is genuinely new: the caller's scratch state is untouched on
+    // the (dominant) duplicate path, so the hot loop allocates only
+    // for states it keeps.
     auto intern = [&](std::uint32_t node,
-                      sva::PropertyRuntime::State ps,
+                      const sva::PropertyRuntime::State &ps,
                       std::uint32_t parent, std::uint8_t input,
                       std::uint32_t depth) -> std::int64_t {
         std::uint64_t h = keyOf(node, ps);
@@ -132,8 +145,7 @@ checkProperty(const StateGraph &graph, const sva::Property &prop,
             }
         }
         std::uint32_t id = static_cast<std::uint32_t>(states.size());
-        states.push_back(ProductState{node, std::move(ps), parent,
-                                      input, depth});
+        states.push_back(ProductState{node, ps, parent, input, depth});
         bucket.push_back(id);
         return id;
     };
@@ -156,6 +168,11 @@ checkProperty(const StateGraph &graph, const sva::Property &prop,
     bool truncated = false;
     std::uint32_t truncated_depth = 0;
 
+    // Scratch successor state, reused across every edge: the copy
+    // assignment below reuses its live-set buffer instead of
+    // allocating a fresh vector per edge.
+    sva::PropertyRuntime::State scratch = rt.initial();
+
     while (!frontier.empty()) {
         std::uint32_t id = frontier.front();
         frontier.pop_front();
@@ -165,6 +182,7 @@ checkProperty(const StateGraph &graph, const sva::Property &prop,
             result.status = ProofStatus::Falsified;
             result.counterexample = tracePath(id);
             result.productStates = states.size();
+            result.checkSeconds = secondsSince(t0);
             return result;
         }
         if (status == sva::Tri::Matched)
@@ -172,15 +190,21 @@ checkProperty(const StateGraph &graph, const sva::Property &prop,
 
         if (max_states && states.size() >= max_states) {
             truncated = true;
+            // The proof is only valid up to the shallowest state
+            // left unexpanded; take the minimum over the whole
+            // frontier rather than trusting queue order.
             truncated_depth = states[id].depth;
+            for (std::uint32_t f : frontier)
+                truncated_depth =
+                    std::min(truncated_depth, states[f].depth);
             break;
         }
 
         for (const GraphEdge &e : graph.outEdges(states[id].node)) {
-            sva::PropertyRuntime::State next = states[id].prop;
-            rt.step(next, e.preds);
-            std::int64_t nid = intern(e.dst, std::move(next), id,
-                                      e.input, states[id].depth + 1);
+            scratch = states[id].prop;
+            rt.step(scratch, graph.maskOf(e.maskId));
+            std::int64_t nid = intern(e.dst, scratch, id, e.input,
+                                      states[id].depth + 1);
             if (nid >= 0)
                 frontier.push_back(static_cast<std::uint32_t>(nid));
         }
@@ -196,6 +220,7 @@ checkProperty(const StateGraph &graph, const sva::Property &prop,
             bound = std::min(bound, truncated_depth);
         result.boundCycles = bound;
     }
+    result.checkSeconds = secondsSince(t0);
     return result;
 }
 
@@ -238,10 +263,25 @@ verify(const rtl::Netlist &netlist, const sva::PredicateTable &preds,
     result.coverUnreachable =
         have_cover_assumption && !any_cover && graph.complete();
 
+    // Property checks are independent NFA products over the (now
+    // immutable) graph: fan them out across a pool, each check
+    // writing its own input-order slot, so the result is identical
+    // to the serial engine at any lane count.
     auto t1 = Clock::now();
-    for (const sva::Property &prop : properties) {
-        result.properties.push_back(
-            checkProperty(graph, prop, config.productMaxStates));
+    std::size_t jobs =
+        config.jobs ? config.jobs : ThreadPool::defaultJobs();
+    result.properties.resize(properties.size());
+    if (jobs > 1 && properties.size() > 1) {
+        ThreadPool pool(jobs);
+        pool.parallelFor(properties.size(), [&](std::size_t i) {
+            result.properties[i] = checkProperty(
+                graph, properties[i], config.productMaxStates);
+        });
+        result.checkJobs = jobs;
+    } else {
+        for (std::size_t i = 0; i < properties.size(); ++i)
+            result.properties[i] = checkProperty(
+                graph, properties[i], config.productMaxStates);
     }
     result.checkSeconds = secondsSince(t1);
     return result;

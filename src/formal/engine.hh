@@ -38,6 +38,11 @@ struct EngineConfig
     std::string name;
     std::size_t exploreMaxNodes = 0;   ///< 0 = unlimited
     std::size_t productMaxStates = 0;  ///< per property; 0 = unlimited
+    /** Parallel lanes for the per-property product checks (the
+     *  analogue of JasperGold's internal engine parallelism); 1 =
+     *  serial, 0 = ThreadPool::defaultJobs(). Results are identical
+     *  at every setting. */
+    std::size_t jobs = 1;
 };
 
 /** Table 1's Hybrid configuration analogue: bounded engines. */
@@ -64,6 +69,8 @@ struct PropertyResult
     std::uint32_t boundCycles = 0;
     std::optional<WitnessTrace> counterexample;
     std::size_t productStates = 0;
+    /** Wall-clock spent checking this property's NFA product. */
+    double checkSeconds = 0.0;
 };
 
 struct VerifyResult
@@ -84,6 +91,8 @@ struct VerifyResult
 
     double exploreSeconds = 0.0;
     double checkSeconds = 0.0;
+    /** Parallel lanes the property checks actually used. */
+    std::size_t checkJobs = 1;
 
     int numProven() const;
     int numBounded() const;

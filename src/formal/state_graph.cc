@@ -135,7 +135,8 @@ StateGraph::StateGraph(const rtl::Netlist &netlist,
                 frontier.push_back(dst);
             }
             _edges[node].push_back(GraphEdge{
-                dst, static_cast<std::uint8_t>(combo), mask});
+                dst, internMask(mask),
+                static_cast<std::uint8_t>(combo)});
             ++_numEdges;
         }
     }
@@ -152,6 +153,22 @@ StateGraph::StateGraph(const rtl::Netlist &netlist,
         // expanded, so traces up to that length are complete.
         _exploredDepth = truncated_at_depth;
     }
+}
+
+std::uint32_t
+StateGraph::internMask(const sva::PredMask &mask)
+{
+    std::uint64_t h = 0;
+    for (std::uint64_t w : mask)
+        h = hashCombine(h, w);
+    auto &bucket = _maskIndex[h];
+    for (std::uint32_t id : bucket)
+        if (_maskTable[id] == mask)
+            return id;
+    std::uint32_t id = static_cast<std::uint32_t>(_maskTable.size());
+    _maskTable.push_back(mask);
+    bucket.push_back(id);
+    return id;
 }
 
 std::vector<std::uint8_t>

@@ -24,12 +24,15 @@
 
 namespace rtlcheck::formal {
 
-/** One outgoing transition of a state-graph node. */
+/** One outgoing transition of a state-graph node. Predicate truths
+ *  are interned: few distinct masks occur across millions of edges,
+ *  so edges store an index into StateGraph::maskOf() instead of the
+ *  32-byte mask itself. */
 struct GraphEdge
 {
     std::uint32_t dst = 0;
+    std::uint32_t maskId = 0;   ///< interned mask; StateGraph::maskOf
     std::uint8_t input = 0;     ///< flattened input valuation
-    sva::PredMask preds{};  ///< predicate truths on this cycle
 };
 
 struct CoverHit
@@ -70,6 +73,15 @@ class StateGraph
         return _edges[node];
     }
 
+    /** The interned predicate mask of an edge. */
+    const sva::PredMask &maskOf(std::uint32_t mask_id) const
+    {
+        return _maskTable[mask_id];
+    }
+
+    /** Distinct predicate masks seen across all edges. */
+    std::size_t numDistinctMasks() const { return _maskTable.size(); }
+
     std::uint32_t depthOf(std::uint32_t node) const
     {
         return _depth[node];
@@ -93,6 +105,8 @@ class StateGraph
     rtl::InputVec decodeInput(std::uint8_t combo) const;
 
   private:
+    std::uint32_t internMask(const sva::PredMask &mask);
+
     const rtl::Netlist &_netlist;
     rtl::StateVec _initial;
     std::vector<std::vector<GraphEdge>> _edges;
@@ -102,6 +116,9 @@ class StateGraph
     std::vector<std::uint32_t> _stateArena;
     std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>
         _dedup;
+    std::vector<sva::PredMask> _maskTable;
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>
+        _maskIndex;
     std::uint64_t _numEdges = 0;
     bool _complete = false;
     std::uint32_t _exploredDepth = 0;

@@ -65,6 +65,27 @@ struct TestRun
 TestRun runTest(const litmus::Test &test, const uspec::Model &model,
                 const RunOptions &options);
 
+/** Result of running a batch of tests, in input order. */
+struct SuiteRun
+{
+    std::vector<TestRun> runs;
+    /** Wall-clock for the whole batch (≤ the sum of per-test
+     *  totalSeconds when jobs > 1). */
+    double wallSeconds = 0.0;
+    /** Parallel lanes the batch was run with. */
+    std::size_t jobs = 1;
+};
+
+/**
+ * Run RTLCheck on many tests concurrently, `jobs` at a time (0 =
+ * ThreadPool::defaultJobs()). Each test builds its own SoC, netlist,
+ * and state graph, so tests share nothing mutable; `runs[i]` is
+ * exactly what runTest(tests[i], ...) returns, at any job count.
+ */
+SuiteRun runSuite(const std::vector<litmus::Test> &tests,
+                  const uspec::Model &model, const RunOptions &options,
+                  std::size_t jobs = 0);
+
 /**
  * Replay a witness trace (per-cycle arbiter inputs) on a freshly
  * built design and render the named signals as an ASCII timing

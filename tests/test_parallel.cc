@@ -1,0 +1,267 @@
+/**
+ * @file
+ * The concurrency layer and the parallel verification engine.
+ *
+ * ThreadPool: every index runs exactly once, results land in input
+ * order, exceptions propagate to the caller, nested parallelFor on
+ * one pool completes (the caller is always a lane), RTLCHECK_JOBS
+ * drives defaultJobs().
+ *
+ * Determinism: runSuite at jobs=4 and jobs=1 produce identical
+ * VerifyResults (statuses, bounds, counterexample inputs, covers)
+ * over a representative slice of the 56-test suite, and the engine's
+ * per-property fan-out matches its serial path. This binary is also
+ * the ctest ThreadSanitizer gate (see tests/CMakeLists.txt).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/thread_pool.hh"
+#include "litmus/suite.hh"
+#include "rtlcheck/runner.hh"
+#include "uspec/multivscale.hh"
+
+namespace rtlcheck {
+namespace {
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ResultsLandInInputOrder)
+{
+    // The canonical engine usage: fn(i) writes slot i.
+    ThreadPool pool(4);
+    std::vector<std::size_t> out(257);
+    pool.parallelFor(out.size(),
+                     [&](std::size_t i) { out[i] = i * i; });
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, SubmitReturnsFutureValue)
+{
+    ThreadPool pool(3);
+    auto a = pool.submit([] { return 41; });
+    auto b = pool.submit([] { return std::string("hi"); });
+    EXPECT_EQ(a.get(), 41);
+    EXPECT_EQ(b.get(), "hi");
+}
+
+TEST(ThreadPool, ExceptionPropagatesAfterAllIndicesRun)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [&](std::size_t i) {
+                                      ++ran;
+                                      if (i == 13)
+                                          throw std::runtime_error(
+                                              "boom");
+                                  }),
+                 std::runtime_error);
+    // The loop drains every index even when one throws.
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, SerialPoolPropagatesExceptionToo)
+{
+    ThreadPool pool(1);
+    EXPECT_THROW(pool.parallelFor(
+                     3,
+                     [](std::size_t i) {
+                         if (i == 2)
+                             throw std::runtime_error("boom");
+                     }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, ReentrantParallelForCompletes)
+{
+    // A worker lane that itself calls parallelFor must not deadlock,
+    // even when the inner loop finds every worker busy.
+    ThreadPool pool(2);
+    std::atomic<int> total{0};
+    pool.parallelFor(4, [&](std::size_t) {
+        pool.parallelFor(8, [&](std::size_t) { ++total; });
+    });
+    EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, SerialLevelSpawnsNoWorkers)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.numWorkers(), 0u);
+    EXPECT_EQ(pool.parallelism(), 1u);
+    std::vector<int> out(5, 0);
+    pool.parallelFor(out.size(),
+                     [&](std::size_t i) { out[i] = 1; });
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 5);
+    // All work is attributed to the caller lane.
+    EXPECT_EQ(pool.stats().tasksRun, 5u);
+    EXPECT_EQ(pool.stats().tasksOnCaller, 5u);
+}
+
+TEST(ThreadPool, UtilizationCountersAccumulate)
+{
+    ThreadPool pool(4);
+    pool.parallelFor(10, [](std::size_t) {});
+    pool.parallelFor(7, [](std::size_t) {});
+    ThreadPool::Stats s = pool.stats();
+    EXPECT_EQ(s.tasksRun, 17u);
+    EXPECT_EQ(s.parallelForCalls, 2u);
+    EXPECT_LE(s.tasksOnCaller, s.tasksRun);
+}
+
+TEST(ThreadPool, EnvOverridesDefaultJobs)
+{
+    ASSERT_EQ(setenv("RTLCHECK_JOBS", "3", 1), 0);
+    EXPECT_EQ(ThreadPool::defaultJobs(), 3u);
+    ASSERT_EQ(setenv("RTLCHECK_JOBS", "not-a-number", 1), 0);
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u); // falls back to hw
+    ASSERT_EQ(unsetenv("RTLCHECK_JOBS"), 0);
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+}
+
+// ---------------------------------------------------------------
+// Determinism of the parallel verification engine.
+
+void
+expectSameVerify(const formal::VerifyResult &a,
+                 const formal::VerifyResult &b,
+                 const std::string &test_name)
+{
+    SCOPED_TRACE(test_name);
+    EXPECT_EQ(a.coverUnreachable, b.coverUnreachable);
+    EXPECT_EQ(a.coverReached, b.coverReached);
+    ASSERT_EQ(a.coverWitness.has_value(), b.coverWitness.has_value());
+    if (a.coverWitness)
+        EXPECT_EQ(a.coverWitness->inputs, b.coverWitness->inputs);
+    EXPECT_EQ(a.graphNodes, b.graphNodes);
+    EXPECT_EQ(a.graphEdges, b.graphEdges);
+    EXPECT_EQ(a.graphComplete, b.graphComplete);
+    EXPECT_EQ(a.graphDepth, b.graphDepth);
+    ASSERT_EQ(a.properties.size(), b.properties.size());
+    for (std::size_t p = 0; p < a.properties.size(); ++p) {
+        const formal::PropertyResult &x = a.properties[p];
+        const formal::PropertyResult &y = b.properties[p];
+        SCOPED_TRACE(x.name);
+        EXPECT_EQ(x.name, y.name);
+        EXPECT_EQ(x.status, y.status);
+        EXPECT_EQ(x.boundCycles, y.boundCycles);
+        EXPECT_EQ(x.productStates, y.productStates);
+        ASSERT_EQ(x.counterexample.has_value(),
+                  y.counterexample.has_value());
+        if (x.counterexample)
+            EXPECT_EQ(x.counterexample->inputs,
+                      y.counterexample->inputs);
+    }
+}
+
+/** A representative slice: well-known 2/4-core tests, the heavy
+ *  bounded tails (podwr001, rfi011), and a spread of the synthesized
+ *  families. */
+std::vector<litmus::Test>
+representativeTests()
+{
+    std::vector<litmus::Test> tests;
+    for (const char *name :
+         {"mp", "sb", "lb", "iriw", "wrc", "rwc", "co-mp", "ssl",
+          "amd3", "podwr001", "rfi011", "rfi005", "safe011",
+          "safe030", "n7"})
+        tests.push_back(litmus::suiteTest(name));
+    return tests;
+}
+
+TEST(ParallelSuite, SuiteFanOutIsDeterministic)
+{
+    std::vector<litmus::Test> tests = representativeTests();
+    core::RunOptions o;
+    // Hybrid budgets exercise the bounded/truncation paths too.
+    o.config = formal::hybridConfig();
+
+    core::SuiteRun serial =
+        core::runSuite(tests, uspec::multiVscaleModel(), o, 1);
+    core::SuiteRun parallel =
+        core::runSuite(tests, uspec::multiVscaleModel(), o, 4);
+
+    EXPECT_EQ(serial.jobs, 1u);
+    EXPECT_EQ(parallel.jobs, 4u);
+    ASSERT_EQ(serial.runs.size(), tests.size());
+    ASSERT_EQ(parallel.runs.size(), tests.size());
+    for (std::size_t i = 0; i < tests.size(); ++i) {
+        EXPECT_EQ(serial.runs[i].testName, tests[i].name);
+        EXPECT_EQ(parallel.runs[i].testName, tests[i].name);
+        EXPECT_EQ(serial.runs[i].numProperties,
+                  parallel.runs[i].numProperties);
+        EXPECT_EQ(serial.runs[i].svaAssertions,
+                  parallel.runs[i].svaAssertions);
+        expectSameVerify(serial.runs[i].verify,
+                         parallel.runs[i].verify, tests[i].name);
+    }
+}
+
+TEST(ParallelSuite, SuiteFanOutMatchesDirectRunTest)
+{
+    std::vector<litmus::Test> tests = representativeTests();
+    core::RunOptions o; // Full_Proof defaults
+    core::SuiteRun parallel =
+        core::runSuite(tests, uspec::multiVscaleModel(), o, 4);
+    for (std::size_t i = 0; i < tests.size(); ++i) {
+        core::TestRun direct =
+            core::runTest(tests[i], uspec::multiVscaleModel(), o);
+        expectSameVerify(direct.verify, parallel.runs[i].verify,
+                         tests[i].name);
+    }
+}
+
+TEST(ParallelEngine, PerPropertyFanOutMatchesSerial)
+{
+    // The finer grain: one test, the engine's property checks fanned
+    // out across lanes vs checked one by one.
+    const litmus::Test &test = litmus::suiteTest("iriw");
+    core::RunOptions serial_o;
+    serial_o.config.jobs = 1;
+    core::RunOptions parallel_o;
+    parallel_o.config.jobs = 4;
+
+    core::TestRun serial =
+        core::runTest(test, uspec::multiVscaleModel(), serial_o);
+    core::TestRun parallel =
+        core::runTest(test, uspec::multiVscaleModel(), parallel_o);
+    EXPECT_EQ(serial.verify.checkJobs, 1u);
+    EXPECT_EQ(parallel.verify.checkJobs, 4u);
+    expectSameVerify(serial.verify, parallel.verify, test.name);
+}
+
+TEST(ParallelEngine, FalsificationSurvivesFanOut)
+{
+    // The buggy design must still produce the §7.1 counterexample
+    // when properties are checked concurrently.
+    const litmus::Test &test = litmus::suiteTest("mp");
+    core::RunOptions o;
+    o.variant = vscale::MemoryVariant::Buggy;
+    o.config.jobs = 4;
+    core::TestRun run =
+        core::runTest(test, uspec::multiVscaleModel(), o);
+    EXPECT_GT(run.verify.numFalsified(), 0);
+
+    o.config.jobs = 1;
+    core::TestRun serial =
+        core::runTest(test, uspec::multiVscaleModel(), o);
+    expectSameVerify(serial.verify, run.verify, test.name);
+}
+
+} // namespace
+} // namespace rtlcheck

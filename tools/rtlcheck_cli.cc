@@ -22,13 +22,21 @@
  *   --wave                print the witness waveform when the
  *                         forbidden outcome is reachable
  *   --vcd <path>          write the witness waveform as a VCD file
+ *   --jobs N              parallel lanes for --all (whole tests run
+ *                         concurrently) and for the engine's
+ *                         per-property checks on single tests.
+ *                         Default: $RTLCHECK_JOBS, else the
+ *                         machine's hardware concurrency. Verdicts
+ *                         are identical at every setting.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "litmus/parser.hh"
 #include "litmus/suite.hh"
@@ -50,6 +58,7 @@ struct CliOptions
     std::string config = "full";
     std::string emitSva;
     std::string vcdPath;
+    std::size_t jobs = 0; ///< 0 = ThreadPool::defaultJobs()
     bool naive = false;
     bool uhb = false;
     bool wave = false;
@@ -66,7 +75,11 @@ usage()
         "       rtlcheck_cli --list | --all\n"
         "options: --model sc|tso  --design fixed|buggy|tso\n"
         "         --config hybrid|full  --naive  --uhb  --wave\n"
-        "         --emit-sva <path>\n");
+        "         --emit-sva <path>  --jobs N\n"
+        "--jobs (or $RTLCHECK_JOBS) sets the parallel lanes used to\n"
+        "run tests under --all and to check properties on a single\n"
+        "test; the default is the hardware concurrency and verdicts\n"
+        "are identical at every setting.\n");
 }
 
 const uspec::Model &
@@ -98,26 +111,12 @@ runOptionsFor(const CliOptions &opts)
     return o;
 }
 
+/** Print one test's result and write any requested artifacts. */
 int
-runOne(const litmus::Test &test, const CliOptions &opts,
+report(const litmus::Test &test, const core::TestRun &run,
+       const core::RunOptions &o, const CliOptions &opts,
        bool verbose)
 {
-    const uspec::Model &model = modelFor(opts);
-    core::RunOptions o = runOptionsFor(opts);
-
-    if (opts.uhb) {
-        auto r = uhb::checkOutcome(model, test);
-        std::printf("µhb analysis: outcome %s (%llu scenarios, %d "
-                    "axiom instances)\n",
-                    r.observable ? "OBSERVABLE" : "forbidden",
-                    static_cast<unsigned long long>(
-                        r.scenariosExplored),
-                    r.numInstances);
-        if (r.observable && r.witness && verbose)
-            std::printf("%s\n", r.witness->toDot(test).c_str());
-    }
-
-    core::TestRun run = core::runTest(test, model, o);
     const char *verdict;
     if (run.verify.numFalsified() > 0)
         verdict = "AXIOM VIOLATION";
@@ -176,6 +175,65 @@ runOne(const litmus::Test &test, const CliOptions &opts,
     return run.verified() ? 0 : 1;
 }
 
+/** Report the µhb analysis for one test (the --uhb flag). */
+void
+reportUhb(const litmus::Test &test, const uspec::Model &model,
+          bool verbose)
+{
+    auto r = uhb::checkOutcome(model, test);
+    std::printf("µhb analysis: outcome %s (%llu scenarios, %d "
+                "axiom instances)\n",
+                r.observable ? "OBSERVABLE" : "forbidden",
+                static_cast<unsigned long long>(r.scenariosExplored),
+                r.numInstances);
+    if (r.observable && r.witness && verbose)
+        std::printf("%s\n", r.witness->toDot(test).c_str());
+}
+
+int
+runOne(const litmus::Test &test, const CliOptions &opts,
+       bool verbose)
+{
+    const uspec::Model &model = modelFor(opts);
+    core::RunOptions o = runOptionsFor(opts);
+    // A single test parallelizes at the finer grain: the engine's
+    // per-property product checks.
+    o.config.jobs = opts.jobs;
+
+    if (opts.uhb)
+        reportUhb(test, model, verbose);
+
+    core::TestRun run = core::runTest(test, model, o);
+    return report(test, run, o, opts, verbose);
+}
+
+/** The --all mode: the whole suite, `jobs` tests at a time. */
+int
+runAll(const CliOptions &opts)
+{
+    const uspec::Model &model = modelFor(opts);
+    const core::RunOptions o = runOptionsFor(opts);
+    const std::vector<litmus::Test> &suite = litmus::standardSuite();
+
+    core::SuiteRun sr = core::runSuite(suite, model, o, opts.jobs);
+
+    int failures = 0;
+    double cpu = 0.0;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        if (opts.uhb)
+            reportUhb(suite[i], model, false);
+        failures += report(suite[i], sr.runs[i], o, opts, false) != 0;
+        cpu += sr.runs[i].totalSeconds;
+    }
+    std::printf("%d of %zu tests with violations\n", failures,
+                suite.size());
+    std::printf("jobs %zu | wall %.3f s | cpu %.3f s | speedup "
+                "%.2fx\n",
+                sr.jobs, sr.wallSeconds, cpu,
+                sr.wallSeconds > 0 ? cpu / sr.wallSeconds : 1.0);
+    return failures ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -201,6 +259,9 @@ main(int argc, char **argv)
             opts.emitSva = next();
         } else if (arg == "--vcd") {
             opts.vcdPath = next();
+        } else if (arg == "--jobs") {
+            opts.jobs = static_cast<std::size_t>(
+                std::strtoul(next().c_str(), nullptr, 10));
         } else if (arg == "--naive") {
             opts.naive = true;
         } else if (arg == "--uhb") {
@@ -230,14 +291,8 @@ main(int argc, char **argv)
         return 0;
     }
 
-    if (opts.all) {
-        int failures = 0;
-        for (const litmus::Test &t : litmus::standardSuite())
-            failures += runOne(t, opts, false) != 0;
-        std::printf("%d of %zu tests with violations\n", failures,
-                    litmus::standardSuite().size());
-        return failures ? 1 : 0;
-    }
+    if (opts.all)
+        return runAll(opts);
 
     if (!opts.litmusFile.empty()) {
         std::ifstream in(opts.litmusFile);
