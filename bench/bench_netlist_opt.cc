@@ -1,0 +1,141 @@
+/**
+ * @file
+ * End-to-end effect of the netlist compilation pipeline and the
+ * verification-reuse machinery: the Figure-13-style suite sweep (all
+ * 56 litmus tests, Hybrid + Full_Proof) run twice on one thread —
+ *
+ *   optimized:   compilation pipeline on, per-test artifacts built
+ *                once for both configs (runSuiteSweep), one shared
+ *                GraphCache with Full_Proof first so Hybrid is
+ *                served from cache;
+ *   baseline:    --no-netlist-opt analogue with reuse disabled
+ *                (every config rebuilds and re-explores every test).
+ *
+ * The two runs must produce bit-identical verdicts, bounds,
+ * counterexample traces, and cover outcomes; the headline number is
+ * the single-thread wall-clock speedup (target: >= 1.5x).
+ */
+
+#include <algorithm>
+#include <chrono>
+
+#include "bench_util.hh"
+
+using namespace rtlcheck;
+using namespace rtlcheck::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Netlist compilation pipeline + verification reuse",
+                "the Figure 13 suite, used as the speedup workload");
+
+    const auto &suite = litmus::standardSuite();
+    const std::vector<formal::EngineConfig> configs = {
+        formal::fullProofConfig(), formal::hybridConfig()};
+
+    // Three timed iterations per flow, best-of-N wall clock: the
+    // whole workload runs in a few hundred milliseconds, where one
+    // scheduler hiccup can swamp the comparison. Each optimized
+    // iteration gets a fresh cache so every iteration does identical
+    // work (stats below are from the last one).
+    constexpr int iterations = 3;
+    double opt_seconds = 0.0;
+    double base_seconds = 0.0;
+    core::SweepRun sweep;
+    core::SuiteRun base_full;
+    core::SuiteRun base_hybrid;
+    formal::GraphCache::Stats cs;
+    for (int it = 0; it < iterations; ++it) {
+        // Optimized flow: pipeline on, one build per test, shared
+        // cache, Full_Proof first.
+        formal::GraphCache cache;
+        auto t0 = Clock::now();
+        sweep = runSweepFixed(suite, configs, 1, &cache);
+        const double opt_it = secondsSince(t0);
+        cs = cache.stats();
+
+        // Baseline flow: per-config full runs, verbatim netlists, no
+        // reuse of any kind.
+        t0 = Clock::now();
+        base_full = runSuiteFixed(suite, configs[0], 1, nullptr, false);
+        base_hybrid =
+            runSuiteFixed(suite, configs[1], 1, nullptr, false);
+        const double base_it = secondsSince(t0);
+
+        opt_seconds = it ? std::min(opt_seconds, opt_it) : opt_it;
+        base_seconds = it ? std::min(base_seconds, base_it) : base_it;
+    }
+    const core::SuiteRun &opt_full = sweep.configs[0];
+    const core::SuiteRun &opt_hybrid = sweep.configs[1];
+
+    const bool identical = sameVerdicts(opt_full, base_full) &&
+                           sameVerdicts(opt_hybrid, base_hybrid);
+    const double speedup =
+        opt_seconds > 0 ? base_seconds / opt_seconds : 1.0;
+
+    std::size_t nodes_before = 0;
+    std::size_t nodes_after = 0;
+    for (const core::TestRun &run : opt_full.runs) {
+        nodes_before += run.netlistStats.nodesBefore;
+        nodes_after += run.netlistStats.nodesAfter;
+    }
+
+    // Every (netlist, assumptions) pair is explored at most once; a
+    // handful of litmus tests (e.g. iwp24/n4) lower to bit-identical
+    // designs and legitimately share one graph, so `explores` may be
+    // slightly below the test count — but never above it.
+    const bool one_explore_per_test =
+        cs.explores <= suite.size() &&
+        cs.explores + cs.hits == 2 * suite.size();
+
+    std::printf("suite tests        : %zu x %zu configs\n",
+                suite.size(), configs.size());
+    std::printf("baseline (no opt)  : %8.3f s  (%zu explorations)\n",
+                base_seconds, 2 * suite.size());
+    std::printf("optimized + reuse  : %8.3f s  (%zu explorations, "
+                "%zu cache hits)\n",
+                opt_seconds, cs.explores, cs.hits);
+    std::printf("netlist nodes      : %zu -> %zu (%.1f%% removed)\n",
+                nodes_before, nodes_after,
+                nodes_before
+                    ? 100.0 * (nodes_before - nodes_after) /
+                          nodes_before
+                    : 0.0);
+    std::printf("speedup            : %8.2fx  (target >= 1.50x)\n",
+                speedup);
+    std::printf("verdicts identical : %s\n", identical ? "yes" : "NO");
+    std::printf("<=1 exploration/test: %s (%zu graphs for %zu tests; "
+                "duplicate litmus tests share)\n",
+                one_explore_per_test ? "yes" : "NO", cs.explores,
+                suite.size());
+
+    JsonObject json;
+    json.str("bench", "netlist_opt");
+    json.count("suite_tests", suite.size());
+    json.num("baseline_seconds", base_seconds);
+    json.num("optimized_seconds", opt_seconds);
+    json.num("speedup", speedup);
+    json.count("nodes_before", nodes_before);
+    json.count("nodes_after", nodes_after);
+    json.count("cache_explores", cs.explores);
+    json.count("cache_hits", cs.hits);
+    json.boolean("verdicts_identical", identical);
+    writeBenchJson("netlist_opt", json);
+
+    // Fail loudly if the optimization ever changes a verdict or the
+    // cache stops collapsing the per-config re-exploration.
+    return identical && one_explore_per_test ? 0 : 1;
+}

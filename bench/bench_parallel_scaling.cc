@@ -19,39 +19,6 @@
 using namespace rtlcheck;
 using namespace rtlcheck::bench;
 
-namespace {
-
-/** Identical statuses, bounds, counterexamples, and covers? */
-bool
-sameVerdicts(const core::SuiteRun &a, const core::SuiteRun &b)
-{
-    if (a.runs.size() != b.runs.size())
-        return false;
-    for (std::size_t i = 0; i < a.runs.size(); ++i) {
-        const formal::VerifyResult &x = a.runs[i].verify;
-        const formal::VerifyResult &y = b.runs[i].verify;
-        if (x.coverUnreachable != y.coverUnreachable ||
-            x.coverReached != y.coverReached ||
-            x.properties.size() != y.properties.size())
-            return false;
-        for (std::size_t p = 0; p < x.properties.size(); ++p) {
-            const formal::PropertyResult &px = x.properties[p];
-            const formal::PropertyResult &py = y.properties[p];
-            if (px.status != py.status ||
-                px.boundCycles != py.boundCycles ||
-                px.counterexample.has_value() !=
-                    py.counterexample.has_value())
-                return false;
-            if (px.counterexample &&
-                px.counterexample->inputs != py.counterexample->inputs)
-                return false;
-        }
-    }
-    return true;
-}
-
-} // namespace
-
 int
 main()
 {

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fast benchmark smoke gate, registered in ctest: a small slice of
+ * the suite through the optimized flow (pipeline + config sweep +
+ * shared cache) and the baseline flow, cross-checked for identical
+ * verdicts. Emits the same machine-readable JSON as the full benches
+ * so CI trend tracking has a cheap, always-on data point.
+ */
+
+#include "bench_util.hh"
+
+using namespace rtlcheck;
+using namespace rtlcheck::bench;
+
+int
+main()
+{
+    printHeader("Benchmark smoke gate (suite slice)",
+                "the Figure 13 flow, abbreviated");
+
+    const auto &full = litmus::standardSuite();
+    const std::size_t slice = full.size() < 8 ? full.size() : 8;
+    std::vector<litmus::Test> tests(full.begin(),
+                                    full.begin() +
+                                        static_cast<long>(slice));
+
+    const std::vector<formal::EngineConfig> configs = {
+        formal::fullProofConfig(), formal::hybridConfig()};
+
+    formal::GraphCache cache;
+    core::SweepRun sweep = runSweepFixed(tests, configs, 1, &cache);
+
+    core::SuiteRun base[2];
+    base[0] = runSuiteFixed(tests, configs[0], 1, nullptr, false);
+    base[1] = runSuiteFixed(tests, configs[1], 1, nullptr, false);
+
+    const bool identical =
+        sameVerdicts(sweep.configs[0], base[0]) &&
+        sameVerdicts(sweep.configs[1], base[1]);
+    const formal::GraphCache::Stats cs = cache.stats();
+    // Distinct graphs never exceed the test count (duplicate litmus
+    // tests may share), and the second config adds no explorations.
+    const bool cache_collapses =
+        cs.explores <= tests.size() &&
+        cs.explores + cs.hits == 2 * tests.size();
+
+    std::size_t nodes_before = 0;
+    std::size_t nodes_after = 0;
+    double explore_seconds = 0.0;
+    double check_seconds = 0.0;
+    for (const core::SuiteRun &suite : sweep.configs) {
+        for (const core::TestRun &run : suite.runs) {
+            nodes_before += run.netlistStats.nodesBefore;
+            nodes_after += run.netlistStats.nodesAfter;
+            explore_seconds += run.verify.exploreSeconds;
+            check_seconds += run.verify.checkSeconds;
+        }
+    }
+
+    std::printf("tests %zu x 2 configs | nodes %zu -> %zu | "
+                "explore %.3f s | check %.3f s | cache %zu explores, "
+                "%zu hits | verdicts %s\n",
+                tests.size(), nodes_before, nodes_after,
+                explore_seconds, check_seconds, cs.explores, cs.hits,
+                identical ? "identical" : "DIFFER");
+
+    JsonObject json;
+    json.str("bench", "smoke");
+    json.count("suite_tests", tests.size());
+    json.count("nodes_before", nodes_before);
+    json.count("nodes_after", nodes_after);
+    json.num("explore_seconds", explore_seconds);
+    json.num("check_seconds", check_seconds);
+    json.count("cache_explores", cs.explores);
+    json.count("cache_hits", cs.hits);
+    json.boolean("verdicts_identical", identical);
+    writeBenchJson("smoke", json);
+
+    return identical && cache_collapses ? 0 : 1;
+}

@@ -9,6 +9,8 @@
 #define RTLCHECK_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -18,13 +20,19 @@
 
 namespace rtlcheck::bench {
 
-/** Run one suite test under a config on the fixed design. */
+/** Run one suite test under a config on the fixed design. A non-null
+ *  `cache` shares state-graph explorations across calls; `optimize`
+ *  toggles the netlist compilation pipeline. Verdicts are identical
+ *  in all four combinations. */
 inline core::TestRun
-runFixed(const litmus::Test &test, const formal::EngineConfig &config)
+runFixed(const litmus::Test &test, const formal::EngineConfig &config,
+         formal::GraphCache *cache = nullptr, bool optimize = true)
 {
     core::RunOptions o;
     o.variant = vscale::MemoryVariant::Fixed;
     o.config = config;
+    o.graphCache = cache;
+    o.optimizeNetlist = optimize;
     return core::runTest(test, uspec::multiVscaleModel(), o);
 }
 
@@ -33,12 +41,138 @@ runFixed(const litmus::Test &test, const formal::EngineConfig &config)
  *  Per-test results are identical to runFixed at any job count. */
 inline core::SuiteRun
 runSuiteFixed(const std::vector<litmus::Test> &tests,
-              const formal::EngineConfig &config, std::size_t jobs = 0)
+              const formal::EngineConfig &config, std::size_t jobs = 0,
+              formal::GraphCache *cache = nullptr, bool optimize = true)
 {
     core::RunOptions o;
     o.variant = vscale::MemoryVariant::Fixed;
     o.config = config;
+    o.graphCache = cache;
+    o.optimizeNetlist = optimize;
     return core::runSuite(tests, uspec::multiVscaleModel(), o, jobs);
+}
+
+/** Sweep a batch of tests over several engine configs on the fixed
+ *  design, building each test's artifacts once (see runSuiteSweep).
+ *  With a cache, put the most generous config first: one exploration
+ *  serves every config. Verdicts are identical to per-config
+ *  runSuiteFixed calls. */
+inline core::SweepRun
+runSweepFixed(const std::vector<litmus::Test> &tests,
+              const std::vector<formal::EngineConfig> &configs,
+              std::size_t jobs = 0, formal::GraphCache *cache = nullptr,
+              bool optimize = true)
+{
+    core::RunOptions o;
+    o.variant = vscale::MemoryVariant::Fixed;
+    o.graphCache = cache;
+    o.optimizeNetlist = optimize;
+    return core::runSuiteSweep(tests, uspec::multiVscaleModel(), o,
+                               configs, jobs);
+}
+
+/** Full per-property verdict equality between two sweeps of the same
+ *  tests: statuses, bound depths, counterexample traces, and cover
+ *  outcomes must all be bit-identical. */
+inline bool
+sameVerdicts(const core::SuiteRun &a, const core::SuiteRun &b)
+{
+    if (a.runs.size() != b.runs.size())
+        return false;
+    for (std::size_t i = 0; i < a.runs.size(); ++i) {
+        const formal::VerifyResult &x = a.runs[i].verify;
+        const formal::VerifyResult &y = b.runs[i].verify;
+        if (x.coverUnreachable != y.coverUnreachable ||
+            x.coverReached != y.coverReached ||
+            x.coverWitness.has_value() != y.coverWitness.has_value() ||
+            x.properties.size() != y.properties.size())
+            return false;
+        if (x.coverWitness &&
+            x.coverWitness->inputs != y.coverWitness->inputs)
+            return false;
+        for (std::size_t p = 0; p < x.properties.size(); ++p) {
+            const formal::PropertyResult &px = x.properties[p];
+            const formal::PropertyResult &py = y.properties[p];
+            if (px.status != py.status ||
+                px.boundCycles != py.boundCycles ||
+                px.counterexample.has_value() !=
+                    py.counterexample.has_value())
+                return false;
+            if (px.counterexample &&
+                px.counterexample->inputs != py.counterexample->inputs)
+                return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * Minimal machine-readable results object. Each bench appends its
+ * headline numbers and writes them next to the binary as
+ * `BENCH_<name>.json`, so sweeps over benchmark output need no
+ * stdout scraping.
+ */
+class JsonObject
+{
+  public:
+    void
+    num(const std::string &key, double value)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6f", value);
+        _fields.push_back({key, buf});
+    }
+
+    void
+    count(const std::string &key, std::uint64_t value)
+    {
+        _fields.push_back({key, std::to_string(value)});
+    }
+
+    void
+    boolean(const std::string &key, bool value)
+    {
+        _fields.push_back({key, value ? "true" : "false"});
+    }
+
+    void
+    str(const std::string &key, const std::string &value)
+    {
+        _fields.push_back({key, "\"" + value + "\""});
+    }
+
+    /** Pre-rendered JSON (nested arrays/objects). */
+    void
+    raw(const std::string &key, const std::string &rendered)
+    {
+        _fields.push_back({key, rendered});
+    }
+
+    std::string
+    render() const
+    {
+        std::ostringstream out;
+        out << "{\n";
+        for (std::size_t i = 0; i < _fields.size(); ++i)
+            out << "  \"" << _fields[i].first
+                << "\": " << _fields[i].second
+                << (i + 1 < _fields.size() ? "," : "") << "\n";
+        out << "}\n";
+        return out.str();
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> _fields;
+};
+
+/** Write `BENCH_<bench>.json` into the working directory. */
+inline void
+writeBenchJson(const std::string &bench, const JsonObject &object)
+{
+    const std::string path = "BENCH_" + bench + ".json";
+    std::ofstream out(path);
+    out << object.render();
+    std::printf("\nwrote %s\n", path.c_str());
 }
 
 inline void

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
-#include <deque>
-#include <unordered_map>
+#include <cstring>
+#include <memory>
+#include <vector>
 
 #include "common/hashing.hh"
 #include "common/logging.hh"
@@ -92,62 +93,124 @@ secondsSince(Clock::time_point t0)
  *  read-only and all working state is local, so any number of
  *  checkProperty calls may run concurrently on one graph. */
 PropertyResult
-checkProperty(const StateGraph &graph, const sva::Property &prop,
+checkProperty(const GraphView &graph, const sva::Property &prop,
               std::size_t max_states)
 {
     auto t0 = Clock::now();
     PropertyResult result;
     result.name = prop.name;
 
-    sva::PropertyRuntime rt(prop);
+    // The compiled runtime is immutable and graph-independent;
+    // generation attaches one per property so every engine config
+    // shares it. Hand-assembled properties compile here instead.
+    std::shared_ptr<const sva::PropertyRuntime> local;
+    if (!prop.runtime)
+        local = std::make_shared<const sva::PropertyRuntime>(prop);
+    const sva::PropertyRuntime &rt = prop.runtime ? *prop.runtime
+                                                  : *local;
+    // Precompile the NFA transitions against this graph's interned
+    // edge alphabet: the product walk below consumes the same few
+    // letters across every edge, so per-edge predicate testing is
+    // pure waste.
+    const sva::PropertyRuntime::StepTables tables =
+        rt.compileAlphabet(graph.maskTable());
+
+    // Product states live in flat parallel arrays: the fixed-size
+    // fields in `states`, the per-sequence live sets in `livePool`
+    // (id-major, `nseq` words per state). Keeping a state costs one
+    // arena append instead of a heap-allocated vector copy.
+    const std::size_t nseq =
+        static_cast<std::size_t>(rt.numSequences());
 
     struct ProductState
     {
         std::uint32_t node;
-        sva::PropertyRuntime::State prop;
         std::uint32_t parent;
-        std::uint8_t input;
         std::uint32_t depth;
+        std::uint64_t matched;
+        std::uint8_t input;
     };
 
     std::vector<ProductState> states;
-    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> dedup;
-    // The product is usually a small multiple of the graph; one
-    // rehash-free reservation beats growing through ~10 rehashes.
-    dedup.reserve(max_states ? max_states
-                             : graph.numNodes() * std::size_t(4));
-    std::vector<std::uint32_t> key;
+    std::vector<std::uint64_t> livePool;
+    const std::size_t expected =
+        max_states ? max_states + 64
+                   : graph.numNodes() * std::size_t(4);
+    states.reserve(expected);
+    livePool.reserve(expected * nseq);
 
-    auto keyOf = [&](std::uint32_t node,
-                     const sva::PropertyRuntime::State &ps) {
-        key.clear();
-        key.push_back(node);
-        rt.appendKey(ps, key);
-        return hashWords(key);
+    // Dedup is a small open-addressed table of (hash, id) slots with
+    // linear probing: the products here are a few hundred states, so
+    // node-based maps spend more time allocating and pointer-chasing
+    // than hashing. Equal full hashes still compare the actual state.
+    constexpr std::uint32_t slot_empty = 0xffffffffu;
+    std::size_t cap = 64;
+    while (cap < expected * 2)
+        cap <<= 1;
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> slots(
+        cap, {0, slot_empty});
+    std::size_t used = 0;
+
+    auto keyOf = [](std::uint32_t node,
+                    const sva::PropertyRuntime::State &ps) {
+        std::uint64_t h = hashCombine(0x70726f6475637421ull, node);
+        for (std::uint64_t l : ps.live)
+            h = hashCombine(h, l);
+        return hashCombine(h, ps.matched);
+    };
+
+    auto grow = [&]() {
+        std::vector<std::pair<std::uint64_t, std::uint32_t>> old(
+            cap * 2, {0, slot_empty});
+        old.swap(slots);
+        cap *= 2;
+        for (const auto &s : old) {
+            if (s.second == slot_empty)
+                continue;
+            std::size_t idx = s.first & (cap - 1);
+            while (slots[idx].second != slot_empty)
+                idx = (idx + 1) & (cap - 1);
+            slots[idx] = s;
+        }
     };
 
     // Takes the candidate state by reference and copies it only when
     // it is genuinely new: the caller's scratch state is untouched on
-    // the (dominant) duplicate path, so the hot loop allocates only
-    // for states it keeps.
+    // the (dominant) duplicate path. Returns true for new states.
     auto intern = [&](std::uint32_t node,
                       const sva::PropertyRuntime::State &ps,
                       std::uint32_t parent, std::uint8_t input,
-                      std::uint32_t depth) -> std::int64_t {
+                      std::uint32_t depth) -> bool {
         std::uint64_t h = keyOf(node, ps);
-        auto &bucket = dedup[h];
-        for (std::uint32_t id : bucket) {
-            const ProductState &other = states[id];
-            if (other.node == node &&
-                other.prop.matched == ps.matched &&
-                other.prop.live == ps.live) {
-                return -1;
+        std::size_t idx = h & (cap - 1);
+        for (;;) {
+            auto &slot = slots[idx];
+            if (slot.second == slot_empty) {
+                std::uint32_t id =
+                    static_cast<std::uint32_t>(states.size());
+                slot = {h, id};
+                ++used;
+                states.push_back(
+                    ProductState{node, parent, depth, ps.matched,
+                                 input});
+                livePool.insert(livePool.end(), ps.live.begin(),
+                                ps.live.end());
+                if (used * 4 >= cap * 3)
+                    grow();
+                return true;
             }
+            if (slot.first == h) {
+                const ProductState &other = states[slot.second];
+                if (other.node == node &&
+                    other.matched == ps.matched &&
+                    std::memcmp(livePool.data() +
+                                    std::size_t(slot.second) * nseq,
+                                ps.live.data(),
+                                nseq * sizeof(std::uint64_t)) == 0)
+                    return false;
+            }
+            idx = (idx + 1) & (cap - 1);
         }
-        std::uint32_t id = static_cast<std::uint32_t>(states.size());
-        states.push_back(ProductState{node, ps, parent, input, depth});
-        bucket.push_back(id);
-        return id;
     };
 
     auto tracePath = [&](std::uint32_t id) {
@@ -160,24 +223,28 @@ checkProperty(const StateGraph &graph, const sva::Property &prop,
         return trace;
     };
 
-    std::int64_t root = intern(0, rt.initial(), 0, 0, 0);
-    RC_ASSERT(root == 0);
+    bool root_new = intern(0, rt.initial(), 0, 0, 0);
+    RC_ASSERT(root_new);
     states[0].parent = 0;
 
-    std::deque<std::uint32_t> frontier{0};
     bool truncated = false;
     std::uint32_t truncated_depth = 0;
 
-    // Scratch successor state, reused across every edge: the copy
-    // assignment below reuses its live-set buffer instead of
-    // allocating a fresh vector per edge.
+    // Scratch states, reused across every pop/edge: the copy
+    // assignments below reuse their live-set buffers instead of
+    // allocating fresh vectors.
+    sva::PropertyRuntime::State cur = rt.initial();
     sva::PropertyRuntime::State scratch = rt.initial();
 
-    while (!frontier.empty()) {
-        std::uint32_t id = frontier.front();
-        frontier.pop_front();
+    // New states are appended in discovery order, so the FIFO
+    // frontier is just the id counter.
+    for (std::uint32_t id = 0; id < states.size(); ++id) {
+        const std::uint64_t *live =
+            livePool.data() + std::size_t(id) * nseq;
+        cur.live.assign(live, live + nseq);
+        cur.matched = states[id].matched;
 
-        sva::Tri status = rt.status(states[id].prop);
+        sva::Tri status = rt.status(cur);
         if (status == sva::Tri::Failed) {
             result.status = ProofStatus::Falsified;
             result.counterexample = tracePath(id);
@@ -192,21 +259,22 @@ checkProperty(const StateGraph &graph, const sva::Property &prop,
             truncated = true;
             // The proof is only valid up to the shallowest state
             // left unexpanded; take the minimum over the whole
-            // frontier rather than trusting queue order.
+            // frontier (every discovered-but-unexpanded id) rather
+            // than trusting queue order.
             truncated_depth = states[id].depth;
-            for (std::uint32_t f : frontier)
+            for (std::uint32_t f = id + 1;
+                 f < static_cast<std::uint32_t>(states.size()); ++f)
                 truncated_depth =
                     std::min(truncated_depth, states[f].depth);
             break;
         }
 
-        for (const GraphEdge &e : graph.outEdges(states[id].node)) {
-            scratch = states[id].prop;
-            rt.step(scratch, graph.maskOf(e.maskId));
-            std::int64_t nid = intern(e.dst, scratch, id, e.input,
-                                      states[id].depth + 1);
-            if (nid >= 0)
-                frontier.push_back(static_cast<std::uint32_t>(nid));
+        const std::uint32_t node = states[id].node;
+        const std::uint32_t depth = states[id].depth;
+        for (const GraphEdge &e : graph.outEdges(node)) {
+            scratch = cur;
+            rt.stepLetter(scratch, e.maskId, tables);
+            intern(e.dst, scratch, id, e.input, depth + 1);
         }
     }
 
@@ -230,15 +298,28 @@ VerifyResult
 verify(const rtl::Netlist &netlist, const sva::PredicateTable &preds,
        const std::vector<Assumption> &assumptions,
        const std::vector<sva::Property> &properties,
-       const EngineConfig &config)
+       const EngineConfig &config, GraphCache *cache)
 {
     VerifyResult result;
 
     auto t0 = Clock::now();
     ExploreLimits limits;
     limits.maxNodes = config.exploreMaxNodes;
-    StateGraph graph(netlist, assumptions, preds, limits);
+    std::shared_ptr<const StateGraph> owner;
+    bool was_hit = false;
+    if (cache) {
+        owner = cache->obtain(netlist, preds, assumptions, limits,
+                              &was_hit);
+    } else {
+        owner = std::make_shared<const StateGraph>(
+            netlist, assumptions, preds, limits);
+    }
+    // The cached graph may be larger than this config's budget; the
+    // view recovers exactly the bounded run's shape, so everything
+    // below is identical to having explored with `limits`.
+    GraphView graph(owner.get(), limits.maxNodes);
     result.exploreSeconds = secondsSince(t0);
+    result.graphFromCache = was_hit;
 
     result.graphNodes = graph.numNodes();
     result.graphEdges = graph.numEdges();

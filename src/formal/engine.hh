@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "formal/graph_cache.hh"
 #include "formal/state_graph.hh"
 #include "sva/property.hh"
 
@@ -88,6 +89,8 @@ struct VerifyResult
     std::uint64_t graphEdges = 0;
     bool graphComplete = false;
     std::uint32_t graphDepth = 0;
+    /** Exploration was served from a GraphCache instead of run. */
+    bool graphFromCache = false;
 
     double exploreSeconds = 0.0;
     double checkSeconds = 0.0;
@@ -104,12 +107,28 @@ struct VerifyResult
 /**
  * Run the engine. `assumptions` and `properties` reference predicate
  * ids in `preds`; `netlist` must outlive the call.
+ *
+ * With a non-null `cache`, the state-graph exploration is looked up
+ * in (and published to) the cache; a cached graph from a larger
+ * budget is viewed through GraphView at this config's budget, so all
+ * results are bit-identical to a cache-less run.
  */
 VerifyResult verify(const rtl::Netlist &netlist,
                     const sva::PredicateTable &preds,
                     const std::vector<Assumption> &assumptions,
                     const std::vector<sva::Property> &properties,
-                    const EngineConfig &config);
+                    const EngineConfig &config,
+                    GraphCache *cache);
+
+inline VerifyResult
+verify(const rtl::Netlist &netlist, const sva::PredicateTable &preds,
+       const std::vector<Assumption> &assumptions,
+       const std::vector<sva::Property> &properties,
+       const EngineConfig &config)
+{
+    return verify(netlist, preds, assumptions, properties, config,
+                  nullptr);
+}
 
 } // namespace rtlcheck::formal
 

@@ -1,0 +1,106 @@
+#include "graph_cache.hh"
+
+#include "common/hashing.hh"
+
+namespace rtlcheck::formal {
+
+std::uint64_t
+GraphCache::keyOf(const rtl::Netlist &netlist,
+                  const sva::PredicateTable &preds,
+                  const std::vector<Assumption> &assumptions)
+{
+    // The netlist fingerprint covers nodes, remap, and state layout,
+    // so two independently elaborated netlists of the same design
+    // share a key. Predicates and assumptions are hashed by their
+    // resolved content (design-space signal ids, state slots,
+    // predicate ids) — names and SVA text are presentation only.
+    std::uint64_t h = netlist.fingerprint();
+    h = hashCombine(h, static_cast<std::uint64_t>(preds.size()));
+    for (int i = 0; i < preds.size(); ++i)
+        h = hashCombine(h, preds.signalOf(i).id);
+    h = hashCombine(h, assumptions.size());
+    for (const Assumption &a : assumptions) {
+        h = hashCombine(h, static_cast<std::uint64_t>(a.kind));
+        h = hashCombine(h, (std::uint64_t(a.stateSlot) << 32) | a.value);
+        h = hashCombine(h,
+                        (std::uint64_t(std::uint32_t(a.antecedent))
+                         << 32) |
+                            std::uint32_t(a.consequent));
+    }
+    return h;
+}
+
+bool
+GraphCache::sufficient(const StateGraph &graph,
+                       const ExploreLimits &limits)
+{
+    // A complete graph answers anything (GraphView recovers any
+    // bounded prefix). A truncated graph answers requests bounded at
+    // or below what it expanded; an unlimited request (maxNodes == 0)
+    // needs a complete graph.
+    if (graph.complete())
+        return true;
+    return limits.maxNodes != 0 &&
+           graph.expandedNodes() >= limits.maxNodes;
+}
+
+std::shared_ptr<const StateGraph>
+GraphCache::obtain(const rtl::Netlist &netlist,
+                   const sva::PredicateTable &preds,
+                   const std::vector<Assumption> &assumptions,
+                   const ExploreLimits &limits, bool *was_hit)
+{
+    const std::uint64_t key = keyOf(netlist, preds, assumptions);
+
+    Entry *entry = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        auto &slot = _entries[key];
+        if (!slot)
+            slot = std::make_unique<Entry>();
+        entry = slot.get();
+    }
+
+    // Per-entry lock: concurrent requests for the same key serialize
+    // (first one explores, the rest reuse); different keys proceed in
+    // parallel.
+    std::lock_guard<std::mutex> entry_lock(entry->mutex);
+    if (entry->graph && sufficient(*entry->graph, limits)) {
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_stats.hits;
+        if (was_hit)
+            *was_hit = true;
+        return entry->graph;
+    }
+
+    auto graph = std::make_shared<const StateGraph>(
+        netlist, assumptions, preds, limits);
+    // Keep the more-complete graph: a truncated cached graph is
+    // replaced by this larger exploration, never the reverse (the
+    // sufficiency check above would have reused a larger one).
+    entry->graph = graph;
+
+    std::lock_guard<std::mutex> lock(_mutex);
+    ++_stats.misses;
+    ++_stats.explores;
+    if (was_hit)
+        *was_hit = false;
+    return graph;
+}
+
+GraphCache::Stats
+GraphCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _stats;
+}
+
+void
+GraphCache::clear()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _entries.clear();
+    _stats = Stats{};
+}
+
+} // namespace rtlcheck::formal

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Cross-configuration reuse of explored state graphs.
+ *
+ * Exploring the reachable state graph dominates end-to-end
+ * verification time, yet the same (netlist, assumptions) pair is
+ * explored repeatedly: once per engine configuration in a Table-1
+ * style sweep, and once per figure in the benchmark suite. The cache
+ * keys finished explorations on the netlist's content fingerprint
+ * plus the resolved assumption set and predicate roots, so every
+ * subsequent request — including ones from an independently
+ * re-elaborated netlist of the same design — is served without
+ * re-exploring.
+ *
+ * A cached graph serves a *more* bounded request through GraphView
+ * (truncated BFS runs are prefixes of fuller runs; see
+ * state_graph.hh), so a complete Full_Proof graph satisfies Hybrid's
+ * truncated exploration with bit-identical verdicts. A cached graph
+ * that is itself truncated below the request is insufficient: the
+ * cache re-explores at the requested budget and keeps whichever
+ * graph is more complete.
+ *
+ * Thread safety: obtain() may be called concurrently (the suite
+ * runner fans tests out across a pool). The map is guarded by one
+ * mutex; each entry has its own mutex so two threads asking for the
+ * same key block on each other (one explores, the other reuses)
+ * while requests for different keys explore in parallel.
+ */
+
+#ifndef RTLCHECK_FORMAL_GRAPH_CACHE_HH
+#define RTLCHECK_FORMAL_GRAPH_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "formal/state_graph.hh"
+
+namespace rtlcheck::formal {
+
+class GraphCache
+{
+  public:
+    struct Stats
+    {
+        std::size_t hits = 0;      ///< requests served from cache
+        std::size_t misses = 0;    ///< requests that had to explore
+        std::size_t explores = 0;  ///< explorations actually run
+    };
+
+    /**
+     * Return a graph equivalent to `StateGraph(netlist, assumptions,
+     * preds, limits)`, exploring only if no sufficient graph is
+     * cached. The returned graph may be *larger* than requested —
+     * callers must view it through `GraphView(graph.get(),
+     * limits.maxNodes)` to recover bounded-run semantics. `was_hit`
+     * (optional) reports whether the request was served from cache.
+     */
+    std::shared_ptr<const StateGraph>
+    obtain(const rtl::Netlist &netlist,
+           const sva::PredicateTable &preds,
+           const std::vector<Assumption> &assumptions,
+           const ExploreLimits &limits, bool *was_hit = nullptr);
+
+    /** Content key of a request (netlist fingerprint + predicate
+     *  roots + resolved assumptions). Exposed for tests. */
+    static std::uint64_t keyOf(const rtl::Netlist &netlist,
+                               const sva::PredicateTable &preds,
+                               const std::vector<Assumption> &assumptions);
+
+    Stats stats() const;
+    void clear();
+
+  private:
+    struct Entry
+    {
+        std::mutex mutex;
+        std::shared_ptr<const StateGraph> graph;
+    };
+
+    /** Can `graph` serve a request explored with `limits`? */
+    static bool sufficient(const StateGraph &graph,
+                           const ExploreLimits &limits);
+
+    mutable std::mutex _mutex;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Entry>> _entries;
+    Stats _stats;
+};
+
+} // namespace rtlcheck::formal
+
+#endif // RTLCHECK_FORMAL_GRAPH_CACHE_HH

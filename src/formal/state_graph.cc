@@ -12,7 +12,7 @@ StateGraph::StateGraph(const rtl::Netlist &netlist,
                        const std::vector<Assumption> &assumptions,
                        const sva::PredicateTable &preds,
                        const ExploreLimits &limits)
-    : _netlist(netlist), _initial(netlist.initialState())
+    : _initial(netlist.initialState())
 {
     // Apply initial-state pins and collect the per-cycle assumptions.
     std::vector<const Assumption *> implications;
@@ -38,7 +38,8 @@ StateGraph::StateGraph(const rtl::Netlist &netlist,
     _covers.assign(covers.size(), CoverHit{});
 
     // Input enumeration: the flattened valuation is the
-    // concatenation of all primary inputs, LSB-first.
+    // concatenation of all primary inputs, LSB-first. Decode every
+    // combo once here; the BFS loop indexes the table.
     unsigned total_bits = 0;
     for (const auto &in : netlist.inputs()) {
         _inputWidths.push_back(in.width);
@@ -47,12 +48,36 @@ StateGraph::StateGraph(const rtl::Netlist &netlist,
     RC_ASSERT(total_bits <= 8,
               "too many free input bits for exhaustive enumeration");
     _numInputs = 1u << total_bits;
+    _inputTable.reserve(_numInputs);
+    for (unsigned combo = 0; combo < _numInputs; ++combo) {
+        rtl::InputVec inputs(_inputWidths.size());
+        unsigned shift = 0;
+        for (std::size_t i = 0; i < _inputWidths.size(); ++i) {
+            inputs[i] = (combo >> shift) &
+                        ((1u << _inputWidths[i]) - 1);
+            shift += _inputWidths[i];
+        }
+        _inputTable.push_back(std::move(inputs));
+    }
 
     const std::size_t words = netlist.stateWords();
     auto stateAt = [&](std::uint32_t id) {
         return _stateArena.data() +
                static_cast<std::size_t>(id) * words;
     };
+
+    // Size the dedup table and arena up front: growth rehashes and
+    // arena reallocs otherwise dominate large explorations. For
+    // bounded runs the node count is known; unlimited runs get a
+    // generous floor and grow from there.
+    const std::size_t expected =
+        limits.maxNodes ? limits.maxNodes + limits.maxNodes / 2
+                        : 4096;
+    _dedup.reserve(expected);
+    _stateArena.reserve(expected * words);
+    _edges.reserve(expected);
+    _depth.reserve(expected);
+    _parent.reserve(expected);
 
     auto intern = [&](const rtl::StateVec &s,
                       bool &is_new) -> std::uint32_t {
@@ -82,26 +107,26 @@ StateGraph::StateGraph(const rtl::Netlist &netlist,
     rtl::StateVec next;
     std::uint32_t truncated_at_depth = 0;
     bool truncated = false;
+    std::size_t covers_left = covers.size();
 
-    std::size_t expanded = 0;
     while (!frontier.empty()) {
         std::uint32_t node = frontier.front();
         frontier.pop_front();
-        if (limits.maxNodes && expanded >= limits.maxNodes) {
+        if (limits.maxNodes && _expanded >= limits.maxNodes) {
             truncated = true;
             truncated_at_depth = _depth[node];
             break;
         }
-        ++expanded;
+        ++_expanded;
 
         // Copy the state out of the arena: intern() may reallocate.
         rtl::StateVec state(stateAt(node), stateAt(node) + words);
+        _edges[node].reserve(_numInputs);
 
         for (unsigned combo = 0; combo < _numInputs; ++combo) {
-            rtl::InputVec inputs =
-                decodeInput(static_cast<std::uint8_t>(combo));
-            _netlist.eval(state.data(), inputs.data(), values);
-            sva::PredMask mask = preds.evaluate(_netlist, values);
+            const rtl::InputVec &inputs = _inputTable[combo];
+            netlist.eval(state.data(), inputs.data(), values);
+            sva::PredMask mask = preds.evaluate(netlist, values);
 
             // Assumption pruning: a cycle that violates an
             // implication invalidates every trace through it.
@@ -116,17 +141,21 @@ StateGraph::StateGraph(const rtl::Netlist &netlist,
             if (!ok)
                 continue;
 
-            for (std::size_t ci = 0; ci < covers.size(); ++ci) {
-                if (_covers[ci].reached)
-                    continue;
-                if (sva::predTrue(mask, covers[ci]->antecedent) &&
-                    sva::predTrue(mask, covers[ci]->consequent)) {
-                    _covers[ci] = CoverHit{
-                        true, node, static_cast<std::uint8_t>(combo)};
+            if (covers_left) {
+                for (std::size_t ci = 0; ci < covers.size(); ++ci) {
+                    if (_covers[ci].reached)
+                        continue;
+                    if (sva::predTrue(mask, covers[ci]->antecedent) &&
+                        sva::predTrue(mask, covers[ci]->consequent)) {
+                        _covers[ci] = CoverHit{
+                            true, node,
+                            static_cast<std::uint8_t>(combo)};
+                        --covers_left;
+                    }
                 }
             }
 
-            _netlist.nextState(state.data(), values.data(), next);
+            netlist.nextState(state.data(), values.data(), next);
             bool fresh = false;
             std::uint32_t dst = intern(next, fresh);
             if (fresh) {
@@ -184,17 +213,52 @@ StateGraph::pathTo(std::uint32_t node) const
     return inputs;
 }
 
-rtl::InputVec
-StateGraph::decodeInput(std::uint8_t combo) const
+const std::vector<GraphEdge> GraphView::_noEdges;
+
+GraphView::GraphView(const StateGraph *graph, std::size_t max_nodes)
+    : _graph(graph)
 {
-    rtl::InputVec inputs(_inputWidths.size());
-    unsigned shift = 0;
-    for (std::size_t i = 0; i < _inputWidths.size(); ++i) {
-        inputs[i] = (combo >> shift) &
-                    ((1u << _inputWidths[i]) - 1);
-        shift += _inputWidths[i];
+    const std::size_t expanded = graph->expandedNodes();
+    if (max_nodes == 0 || max_nodes >= expanded) {
+        // Pass-through: the request is no stricter than what the
+        // graph already explored.
+        _cutoff = expanded;
+        _truncated = false;
+        _numNodes = graph->numNodes();
+        _numEdges = graph->numEdges();
+        _complete = graph->complete();
+        _exploredDepth = graph->exploredDepth();
+        return;
     }
-    return inputs;
+
+    // Reconstruct the bounded run's shape from the prefix. Nodes are
+    // expanded in id order, so the bounded run expanded exactly ids
+    // [0, max_nodes); it had discovered every destination of those
+    // edges (ids are contiguous in discovery order), and it stopped
+    // at the depth of the first unexpanded node.
+    _cutoff = max_nodes;
+    _truncated = true;
+    _complete = false;
+    _exploredDepth = graph->depthOf(
+        static_cast<std::uint32_t>(max_nodes));
+    std::size_t max_seen = max_nodes; // ids 0..max_nodes-1 exist
+    for (std::size_t n = 0; n < max_nodes; ++n) {
+        const auto &edges =
+            graph->outEdges(static_cast<std::uint32_t>(n));
+        _numEdges += edges.size();
+        for (const GraphEdge &e : edges)
+            max_seen =
+                std::max(max_seen, static_cast<std::size_t>(e.dst) + 1);
+    }
+    _numNodes = max_seen;
+
+    // A cover hit found while expanding a node past the cutoff was
+    // never seen by the bounded run.
+    _coverStorage = graph->coverHits();
+    for (CoverHit &hit : _coverStorage) {
+        if (hit.reached && hit.node >= max_nodes)
+            hit = CoverHit{};
+    }
 }
 
 } // namespace rtlcheck::formal

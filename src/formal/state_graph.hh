@@ -9,6 +9,13 @@
  * their flat word vectors; every surviving transition records the
  * truth of all registered SVA predicates, so property checking later
  * needs no RTL evaluation at all.
+ *
+ * Exploration invariants the rest of the formal layer relies on:
+ * node ids are assigned in discovery order, the frontier is FIFO, and
+ * therefore nodes are *expanded* in id order. A run truncated at
+ * `maxNodes` is an exact prefix of the unlimited run — which is what
+ * lets a complete graph serve a bounded request through `GraphView`
+ * without re-exploring anything.
  */
 
 #ifndef RTLCHECK_FORMAL_STATE_GRAPH_HH
@@ -61,6 +68,10 @@ class StateGraph
     std::size_t numNodes() const { return _edges.size(); }
     std::uint64_t numEdges() const { return _numEdges; }
 
+    /** Nodes actually expanded (= numNodes() when complete). Nodes
+     *  with id >= expandedNodes() were discovered but not expanded. */
+    std::size_t expandedNodes() const { return _expanded; }
+
     /** True iff every reachable state was expanded. */
     bool complete() const { return _complete; }
 
@@ -82,6 +93,13 @@ class StateGraph
     /** Distinct predicate masks seen across all edges. */
     std::size_t numDistinctMasks() const { return _maskTable.size(); }
 
+    /** The whole interned-mask table — the edge alphabet, indexed by
+     *  GraphEdge::maskId (see PropertyRuntime::compileAlphabet). */
+    const std::vector<sva::PredMask> &maskTable() const
+    {
+        return _maskTable;
+    }
+
     std::uint32_t depthOf(std::uint32_t node) const
     {
         return _depth[node];
@@ -101,13 +119,19 @@ class StateGraph
     /** Total number of distinct input valuations per cycle. */
     unsigned numInputCombos() const { return _numInputs; }
 
-    /** Decode a flattened input valuation into an InputVec. */
-    rtl::InputVec decodeInput(std::uint8_t combo) const;
+    /** Decode a flattened input valuation into an InputVec (indexes
+     *  the table precomputed at construction). */
+    const rtl::InputVec &decodeInput(std::uint8_t combo) const
+    {
+        return _inputTable[combo];
+    }
 
   private:
     std::uint32_t internMask(const sva::PredMask &mask);
 
-    const rtl::Netlist &_netlist;
+    // No reference to the netlist is retained: a cached graph may
+    // outlive the netlist instance it was explored with (GraphCache
+    // serves graphs across independently elaborated netlists).
     rtl::StateVec _initial;
     std::vector<std::vector<GraphEdge>> _edges;
     std::vector<std::uint32_t> _depth;
@@ -120,10 +144,86 @@ class StateGraph
     std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>
         _maskIndex;
     std::uint64_t _numEdges = 0;
+    std::size_t _expanded = 0;
     bool _complete = false;
     std::uint32_t _exploredDepth = 0;
     unsigned _numInputs = 1;
     std::vector<unsigned> _inputWidths;
+    /// all 2^k decoded input valuations, indexed by flattened combo
+    std::vector<rtl::InputVec> _inputTable;
+};
+
+/**
+ * A (possibly truncated) read-only view of a StateGraph, presenting
+ * exactly what an exploration bounded at `maxNodes` would have
+ * produced. Because truncated BFS runs are prefixes of fuller runs
+ * (see the StateGraph invariants above), a complete graph can serve
+ * any bounded request: the view clips out-edges of nodes past the
+ * cutoff, recomputes node/edge counts and the explored depth for the
+ * prefix, and filters cover hits discovered past the cutoff. Verdicts
+ * derived from a view are bit-identical to a fresh bounded
+ * exploration.
+ */
+class GraphView
+{
+  public:
+    GraphView() = default;
+
+    /** View `graph` as if explored with `maxNodes` (0 = as-is). */
+    GraphView(const StateGraph *graph, std::size_t max_nodes);
+
+    bool truncated() const { return _truncated; }
+
+    std::size_t numNodes() const { return _numNodes; }
+    std::uint64_t numEdges() const { return _numEdges; }
+    bool complete() const { return _complete; }
+    std::uint32_t exploredDepth() const { return _exploredDepth; }
+
+    const std::vector<GraphEdge> &
+    outEdges(std::uint32_t node) const
+    {
+        return node < _cutoff ? _graph->outEdges(node) : _noEdges;
+    }
+
+    const sva::PredMask &
+    maskOf(std::uint32_t mask_id) const
+    {
+        return _graph->maskOf(mask_id);
+    }
+
+    /** The underlying graph's edge alphabet. A truncated view keeps
+     *  the full table; letters only referenced past the cutoff are
+     *  simply never consumed. */
+    const std::vector<sva::PredMask> &maskTable() const
+    {
+        return _graph->maskTable();
+    }
+
+    const std::vector<CoverHit> &
+    coverHits() const
+    {
+        return _truncated ? _coverStorage : _graph->coverHits();
+    }
+
+    std::vector<std::uint8_t>
+    pathTo(std::uint32_t node) const
+    {
+        return _graph->pathTo(node);
+    }
+
+    const StateGraph &graph() const { return *_graph; }
+
+  private:
+    const StateGraph *_graph = nullptr;
+    std::size_t _cutoff = 0;
+    bool _truncated = false;
+    std::size_t _numNodes = 0;
+    std::uint64_t _numEdges = 0;
+    bool _complete = false;
+    std::uint32_t _exploredDepth = 0;
+    std::vector<CoverHit> _coverStorage;
+
+    static const std::vector<GraphEdge> _noEdges;
 };
 
 } // namespace rtlcheck::formal

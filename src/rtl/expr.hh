@@ -80,6 +80,9 @@ struct ExprNode
     std::uint32_t memId = 0;         ///< MemRead: memory index
     std::uint32_t stateSlot = 0;     ///< RegQ: state-vector index
     std::uint32_t inputSlot = 0;     ///< Input: input-vector index
+    /** Low-`width` bit mask, precomputed at Netlist elaboration so
+     *  the eval inner loop never recomputes it. */
+    std::uint32_t mask = 1;
 };
 
 } // namespace rtlcheck::rtl

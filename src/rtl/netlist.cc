@@ -1,13 +1,13 @@
 #include "netlist.hh"
 
 #include "common/bitvector.hh"
+#include "common/hashing.hh"
 #include "common/logging.hh"
 
 namespace rtlcheck::rtl {
 
-Netlist::Netlist(const Design &design)
-    : _nodes(design.nodes()),
-      _regs(design.regs()),
+Netlist::Netlist(const Design &design, const NetlistOptions &options)
+    : _regs(design.regs()),
       _inputs(design.inputs()),
       _mems(design.mems()),
       _named(design.namedSignals())
@@ -15,6 +15,31 @@ Netlist::Netlist(const Design &design)
     for (std::size_t i = 0; i < _regs.size(); ++i) {
         RC_ASSERT(_regs[i].next.valid(),
                   "register '", _regs[i].name, "' has no next-state");
+    }
+
+    OptimizeResult opt = optimize(design, options);
+    _nodes = std::move(opt.nodes);
+    _remap = std::move(opt.remap);
+    _optStats = opt.stats;
+    for (ExprNode &n : _nodes)
+        n.mask = static_cast<std::uint32_t>(
+            BitVector::maskFor(n.width));
+
+    // Translate the sequential frontier into optimized-node space
+    // once, so eval/nextState never consult the remap table.
+    auto translate = [&](Signal &s) {
+        RC_ASSERT(s.valid() && _remap[s.id] != Signal::invalidId,
+                  "optimizer dropped a sequential-frontier node");
+        s = Signal{_remap[s.id]};
+    };
+    for (RegDecl &r : _regs)
+        translate(r.next);
+    for (MemDecl &m : _mems) {
+        for (MemWritePort &p : m.writePorts) {
+            translate(p.enable);
+            translate(p.addr);
+            translate(p.data);
+        }
     }
 
     _stateWords = _regs.size();
@@ -30,6 +55,46 @@ Netlist::Netlist(const Design &design)
     std::uint32_t mem_id = 0;
     for (const auto &m : _mems)
         _namedMems[m.name] = MemHandle{mem_id++};
+
+    _fingerprint = computeFingerprint();
+}
+
+std::uint64_t
+Netlist::computeFingerprint() const
+{
+    std::uint64_t h = 0x52544c636b5e7631ull; // arbitrary seed
+    h = hashCombine(h, _nodes.size());
+    for (const ExprNode &n : _nodes) {
+        h = hashCombine(h, static_cast<std::uint64_t>(n.op) |
+                               (std::uint64_t(n.width) << 8));
+        h = hashCombine(h, (std::uint64_t(n.a.id) << 32) | n.b.id);
+        h = hashCombine(h, (std::uint64_t(n.c.id) << 32) | n.imm);
+        h = hashCombine(h, (std::uint64_t(n.memId) << 32) |
+                               (n.stateSlot ^ (n.inputSlot << 16)));
+    }
+    h = hashCombine(h, _remap.size());
+    for (std::uint32_t r : _remap)
+        h = hashCombine(h, r);
+    for (const RegDecl &r : _regs) {
+        h = hashCombine(h, (std::uint64_t(r.next.id) << 32) |
+                               r.resetValue);
+        h = hashCombine(h, r.width);
+    }
+    for (const InputDecl &in : _inputs)
+        h = hashCombine(h, in.width);
+    for (const MemDecl &m : _mems) {
+        h = hashCombine(h, (std::uint64_t(m.words) << 32) |
+                               (std::uint64_t(m.width) << 8) |
+                               (m.isRom ? 1 : 0));
+        for (std::uint32_t w : m.init)
+            h = hashCombine(h, w);
+        for (const MemWritePort &p : m.writePorts) {
+            h = hashCombine(h, (std::uint64_t(p.enable.id) << 32) |
+                                   p.addr.id);
+            h = hashCombine(h, p.data.id);
+        }
+    }
+    return h;
 }
 
 StateVec
@@ -56,15 +121,13 @@ Netlist::eval(const std::uint32_t *state, const std::uint32_t *inputs,
     const std::size_t n = _nodes.size();
     for (std::size_t i = 0; i < n; ++i) {
         const ExprNode &e = _nodes[i];
-        const std::uint32_t mask =
-            static_cast<std::uint32_t>(BitVector::maskFor(e.width));
         std::uint32_t r = 0;
         switch (e.op) {
           case Op::Const:
             r = e.imm;
             break;
           case Op::Input:
-            r = inputs[e.inputSlot] & mask;
+            r = inputs[e.inputSlot] & e.mask;
             break;
           case Op::RegQ:
             r = state[e.stateSlot];
@@ -82,7 +145,7 @@ Netlist::eval(const std::uint32_t *state, const std::uint32_t *inputs,
             break;
           }
           case Op::Not:
-            r = ~v[e.a.id] & mask;
+            r = ~v[e.a.id] & e.mask;
             break;
           case Op::And:
             r = v[e.a.id] & v[e.b.id];
@@ -94,10 +157,10 @@ Netlist::eval(const std::uint32_t *state, const std::uint32_t *inputs,
             r = v[e.a.id] ^ v[e.b.id];
             break;
           case Op::Add:
-            r = (v[e.a.id] + v[e.b.id]) & mask;
+            r = (v[e.a.id] + v[e.b.id]) & e.mask;
             break;
           case Op::Sub:
-            r = (v[e.a.id] - v[e.b.id]) & mask;
+            r = (v[e.a.id] - v[e.b.id]) & e.mask;
             break;
           case Op::Eq:
             r = v[e.a.id] == v[e.b.id];
@@ -112,16 +175,17 @@ Netlist::eval(const std::uint32_t *state, const std::uint32_t *inputs,
             r = v[e.c.id] ? v[e.a.id] : v[e.b.id];
             break;
           case Op::Concat:
-            r = ((v[e.a.id] << _nodes[e.b.id].width) | v[e.b.id]) & mask;
+            r = ((v[e.a.id] << _nodes[e.b.id].width) | v[e.b.id]) &
+                e.mask;
             break;
           case Op::Slice:
-            r = (v[e.a.id] >> e.imm) & mask;
+            r = (v[e.a.id] >> e.imm) & e.mask;
             break;
           case Op::ShlC:
-            r = (v[e.a.id] << e.imm) & mask;
+            r = (v[e.a.id] << e.imm) & e.mask;
             break;
           case Op::ShrC:
-            r = (v[e.a.id] >> e.imm) & mask;
+            r = (v[e.a.id] >> e.imm) & e.mask;
             break;
         }
         v[i] = r;
@@ -152,8 +216,10 @@ Netlist::nextState(const std::uint32_t *state,
 std::size_t
 Netlist::stateSlotOfReg(Signal q) const
 {
-    RC_ASSERT(q.valid() && q.id < _nodes.size());
-    const ExprNode &n = _nodes[q.id];
+    RC_ASSERT(q.valid() && q.id < _remap.size());
+    RC_ASSERT(_remap[q.id] != Signal::invalidId,
+              "stateSlotOfReg on an optimized-out node");
+    const ExprNode &n = _nodes[_remap[q.id]];
     RC_ASSERT(n.op == Op::RegQ, "stateSlotOfReg on non-register");
     return n.stateSlot;
 }

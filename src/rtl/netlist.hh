@@ -8,6 +8,16 @@
  * Registers and writable memories are flattened into one `uint32_t`
  * state vector, so design states can be hashed and deduplicated by the
  * formal engine. ROMs are folded into the netlist and occupy no state.
+ *
+ * Elaboration runs the `rtl::optimize` compilation pipeline (constant
+ * folding, copy propagation, CSE, optional cone-of-influence
+ * reduction) over the design's node list first. The public API keeps
+ * speaking design-space Signal handles: an internal remap table
+ * translates them to optimized node ids, so predicate tables,
+ * waveforms, and witness replay are oblivious to the optimization.
+ * The state-vector layout (registers, memory words) is never changed
+ * by optimization, so state hashes, pins, and witness traces are
+ * identical with and without it.
  */
 
 #ifndef RTLCHECK_RTL_NETLIST_HH
@@ -18,6 +28,7 @@
 #include <vector>
 
 #include "rtl/design.hh"
+#include "rtl/optimize.hh"
 
 namespace rtlcheck::rtl {
 
@@ -28,16 +39,35 @@ using InputVec = std::vector<std::uint32_t>;
 /** Scratch buffer holding every node's value for one cycle. */
 using ValueVec = std::vector<std::uint32_t>;
 
+/** Elaboration knobs; the default runs the always-safe optimizer
+ *  passes (every design-space node stays readable). */
+using NetlistOptions = OptimizeOptions;
+
 class Netlist
 {
   public:
     /** Elaborate a finished design. The design must outlive nothing;
      *  the netlist copies everything it needs. */
-    explicit Netlist(const Design &design);
+    explicit Netlist(const Design &design)
+        : Netlist(design, NetlistOptions{})
+    {
+    }
+
+    Netlist(const Design &design, const NetlistOptions &options);
 
     std::size_t stateWords() const { return _stateWords; }
     std::size_t numNodes() const { return _nodes.size(); }
     std::size_t numInputs() const { return _inputs.size(); }
+
+    /** What the compilation pipeline did during elaboration. */
+    const OptStats &optStats() const { return _optStats; }
+
+    /** Content hash of everything that determines this netlist's
+     *  behaviour (nodes, state layout, memory images, remap). Two
+     *  independently elaborated netlists of the same design under
+     *  the same options share a fingerprint; the formal layer keys
+     *  its state-graph cache on it. */
+    std::uint64_t fingerprint() const { return _fingerprint; }
 
     /** State vector after reset (register resets + memory init). */
     StateVec initialState() const;
@@ -50,11 +80,12 @@ class Netlist
     void nextState(const std::uint32_t *state,
                    const std::uint32_t *values, StateVec &next) const;
 
-    /** Read a signal's value out of an eval() result. */
+    /** Read a signal's value out of an eval() result. `s` is a
+     *  design-space handle; the remap translates it. */
     std::uint32_t
     valueOf(Signal s, const ValueVec &values) const
     {
-        return values[s.id];
+        return values[_remap[s.id]];
     }
 
     /** State-vector slot of a register (by its Q signal). */
@@ -62,11 +93,15 @@ class Netlist
     /** State-vector slot of one word of a writable memory. */
     std::size_t stateSlotOfMemWord(MemHandle mem, std::uint32_t word) const;
 
-    /** Named-signal table copied from the design. */
+    /** Named-signal table copied from the design (design-space
+     *  handles; feed them back into valueOf / widthOf). */
     Signal signalByName(const std::string &name) const;
     Signal findSignal(const std::string &name) const;
     MemHandle memByName(const std::string &name) const;
-    unsigned widthOf(Signal s) const { return _nodes[s.id].width; }
+    unsigned widthOf(Signal s) const
+    {
+        return _nodes[_remap[s.id]].width;
+    }
 
     const std::vector<InputDecl> &inputs() const { return _inputs; }
     const std::vector<RegDecl> &regs() const { return _regs; }
@@ -80,7 +115,13 @@ class Netlist
         bool inState = false;
     };
 
+    std::uint64_t computeFingerprint() const;
+
+    /// optimized nodes; operand handles are in optimized space
     std::vector<ExprNode> _nodes;
+    /// design-space node id -> optimized node id
+    std::vector<std::uint32_t> _remap;
+    /// regs/mems with next-state / write-port handles pre-remapped
     std::vector<RegDecl> _regs;
     std::vector<InputDecl> _inputs;
     std::vector<MemDecl> _mems;
@@ -88,6 +129,8 @@ class Netlist
     std::map<std::string, Signal> _named;
     std::map<std::string, MemHandle> _namedMems;
     std::size_t _stateWords = 0;
+    OptStats _optStats;
+    std::uint64_t _fingerprint = 0;
 };
 
 } // namespace rtlcheck::rtl

@@ -1,0 +1,410 @@
+#include "optimize.hh"
+
+#include <unordered_map>
+
+#include "common/bitvector.hh"
+#include "common/hashing.hh"
+#include "common/logging.hh"
+
+namespace rtlcheck::rtl {
+
+namespace {
+
+std::uint32_t
+maskOf(unsigned width)
+{
+    return static_cast<std::uint32_t>(BitVector::maskFor(width));
+}
+
+/** Structural hash of a rewritten node, for hash-consing. */
+std::uint64_t
+hashNode(const ExprNode &n)
+{
+    std::uint64_t h = mix64(static_cast<std::uint64_t>(n.op) |
+                            (std::uint64_t(n.width) << 8));
+    h = hashCombine(h, n.a.id);
+    h = hashCombine(h, n.b.id);
+    h = hashCombine(h, n.c.id);
+    h = hashCombine(h, n.imm);
+    h = hashCombine(h, (std::uint64_t(n.memId) << 32) |
+                           (std::uint64_t(n.stateSlot) ^
+                            (std::uint64_t(n.inputSlot) << 16)));
+    return h;
+}
+
+bool
+sameNode(const ExprNode &x, const ExprNode &y)
+{
+    return x.op == y.op && x.width == y.width && x.a == y.a &&
+           x.b == y.b && x.c == y.c && x.imm == y.imm &&
+           x.memId == y.memId && x.stateSlot == y.stateSlot &&
+           x.inputSlot == y.inputSlot;
+}
+
+/** Builds the optimized node list with hash-consing. */
+class Rewriter
+{
+  public:
+    explicit Rewriter(const Design &design) : _design(design) {}
+
+    std::vector<ExprNode> nodes;
+    OptStats stats;
+
+    const ExprNode &at(Signal s) const { return nodes[s.id]; }
+
+    bool
+    isConst(Signal s, std::uint32_t value) const
+    {
+        return at(s).op == Op::Const && at(s).imm == value;
+    }
+
+    bool isZero(Signal s) const { return isConst(s, 0); }
+
+    bool
+    isAllOnes(Signal s) const
+    {
+        return isConst(s, maskOf(at(s).width));
+    }
+
+    /** Emit a node, merging structural duplicates. */
+    Signal
+    emit(ExprNode n)
+    {
+        std::uint64_t h = hashNode(n);
+        auto &bucket = _cse[h];
+        for (std::uint32_t id : bucket) {
+            if (sameNode(nodes[id], n)) {
+                ++stats.cseMerged;
+                return Signal{id};
+            }
+        }
+        std::uint32_t id = static_cast<std::uint32_t>(nodes.size());
+        nodes.push_back(n);
+        bucket.push_back(id);
+        return Signal{id};
+    }
+
+    Signal
+    emitConst(unsigned width, std::uint32_t value)
+    {
+        ExprNode n;
+        n.op = Op::Const;
+        n.width = static_cast<std::uint8_t>(width);
+        n.imm = value & maskOf(width);
+        return emit(n);
+    }
+
+    /** Fold `n` (operands already rewritten) to a constant, replace
+     *  it with an operand, or emit it. Every rule reproduces
+     *  Netlist::eval bit-for-bit and preserves the node's width. */
+    Signal
+    simplify(ExprNode n)
+    {
+        const std::uint32_t mask = maskOf(n.width);
+        switch (n.op) {
+          case Op::Const:
+            n.imm &= mask;
+            return emit(n);
+          case Op::Input:
+          case Op::RegQ:
+            return emit(n);
+
+          case Op::MemRead: {
+            const MemDecl &m = _design.mems()[n.memId];
+            if (at(n.a).op == Op::Const) {
+                const std::uint32_t addr = at(n.a).imm;
+                if (addr >= m.words) {
+                    ++stats.memReadsFolded;
+                    return fold(n.width, 0);
+                }
+                if (m.isRom) {
+                    ++stats.memReadsFolded;
+                    return fold(n.width, m.init[addr]);
+                }
+            }
+            return emit(n);
+          }
+
+          case Op::Not:
+            if (at(n.a).op == Op::Const)
+                return fold(n.width, ~at(n.a).imm & mask);
+            if (at(n.a).op == Op::Not)
+                return copy(at(n.a).a);
+            return emit(n);
+
+          case Op::And:
+            if (bothConst(n))
+                return fold(n.width, at(n.a).imm & at(n.b).imm);
+            if (n.a == n.b)
+                return copy(n.a);
+            if (isZero(n.a) || isZero(n.b))
+                return fold(n.width, 0);
+            if (isAllOnes(n.a))
+                return copy(n.b);
+            if (isAllOnes(n.b))
+                return copy(n.a);
+            return emit(canonical(n));
+
+          case Op::Or:
+            if (bothConst(n))
+                return fold(n.width, at(n.a).imm | at(n.b).imm);
+            if (n.a == n.b)
+                return copy(n.a);
+            if (isAllOnes(n.a) || isAllOnes(n.b))
+                return fold(n.width, mask);
+            if (isZero(n.a))
+                return copy(n.b);
+            if (isZero(n.b))
+                return copy(n.a);
+            return emit(canonical(n));
+
+          case Op::Xor:
+            if (bothConst(n))
+                return fold(n.width, at(n.a).imm ^ at(n.b).imm);
+            if (n.a == n.b)
+                return fold(n.width, 0);
+            if (isZero(n.a))
+                return copy(n.b);
+            if (isZero(n.b))
+                return copy(n.a);
+            return emit(canonical(n));
+
+          case Op::Add:
+            if (bothConst(n))
+                return fold(n.width,
+                            (at(n.a).imm + at(n.b).imm) & mask);
+            if (isZero(n.a))
+                return copy(n.b);
+            if (isZero(n.b))
+                return copy(n.a);
+            return emit(canonical(n));
+
+          case Op::Sub:
+            if (bothConst(n))
+                return fold(n.width,
+                            (at(n.a).imm - at(n.b).imm) & mask);
+            if (n.a == n.b)
+                return fold(n.width, 0);
+            if (isZero(n.b))
+                return copy(n.a);
+            return emit(n);
+
+          case Op::Eq:
+            if (bothConst(n))
+                return fold(1, at(n.a).imm == at(n.b).imm);
+            if (n.a == n.b)
+                return fold(1, 1);
+            // 1-bit x == 1'b1 is x itself (x is 0 or 1).
+            if (at(n.a).width == 1 && isConst(n.b, 1))
+                return copy(n.a);
+            if (at(n.b).width == 1 && isConst(n.a, 1))
+                return copy(n.b);
+            return emit(canonical(n));
+
+          case Op::Ne:
+            if (bothConst(n))
+                return fold(1, at(n.a).imm != at(n.b).imm);
+            if (n.a == n.b)
+                return fold(1, 0);
+            if (at(n.a).width == 1 && isZero(n.b))
+                return copy(n.a);
+            if (at(n.b).width == 1 && isZero(n.a))
+                return copy(n.b);
+            return emit(canonical(n));
+
+          case Op::Ult:
+            if (bothConst(n))
+                return fold(1, at(n.a).imm < at(n.b).imm);
+            if (n.a == n.b)
+                return fold(1, 0);
+            return emit(n);
+
+          case Op::Mux:
+            if (at(n.c).op == Op::Const)
+                return copy(at(n.c).imm ? n.a : n.b);
+            if (n.a == n.b)
+                return copy(n.a);
+            // 1-bit sel ? 1 : 0 is the select itself.
+            if (n.width == 1 && isConst(n.a, 1) && isZero(n.b))
+                return copy(n.c);
+            return emit(n);
+
+          case Op::Concat:
+            if (bothConst(n))
+                return fold(n.width,
+                            ((at(n.a).imm << at(n.b).width) |
+                             at(n.b).imm) &
+                                mask);
+            return emit(n);
+
+          case Op::Slice:
+            if (at(n.a).op == Op::Const)
+                return fold(n.width, (at(n.a).imm >> n.imm) & mask);
+            if (n.imm == 0 && n.width == at(n.a).width)
+                return copy(n.a);
+            return emit(n);
+
+          case Op::ShlC:
+            if (at(n.a).op == Op::Const)
+                return fold(n.width, (at(n.a).imm << n.imm) & mask);
+            if (n.imm == 0)
+                return copy(n.a);
+            if (n.imm >= n.width)
+                return fold(n.width, 0);
+            return emit(n);
+
+          case Op::ShrC:
+            if (at(n.a).op == Op::Const)
+                return fold(n.width, (at(n.a).imm >> n.imm) & mask);
+            if (n.imm == 0)
+                return copy(n.a);
+            if (n.imm >= at(n.a).width)
+                return fold(n.width, 0);
+            return emit(n);
+        }
+        return emit(n); // unreachable
+    }
+
+  private:
+    bool
+    bothConst(const ExprNode &n) const
+    {
+        return at(n.a).op == Op::Const && at(n.b).op == Op::Const;
+    }
+
+    /** Order commutative operands so CSE sees a&b and b&a alike. */
+    ExprNode
+    canonical(ExprNode n) const
+    {
+        if (n.a.id > n.b.id)
+            std::swap(n.a, n.b);
+        return n;
+    }
+
+    Signal
+    fold(unsigned width, std::uint32_t value)
+    {
+        ++stats.constFolded;
+        return emitConst(width, value);
+    }
+
+    Signal
+    copy(Signal s)
+    {
+        ++stats.copyPropagated;
+        return s;
+    }
+
+    const Design &_design;
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>
+        _cse;
+};
+
+} // namespace
+
+OptimizeResult
+optimize(const Design &design, const OptimizeOptions &options)
+{
+    const std::vector<ExprNode> &src = design.nodes();
+    OptimizeResult result;
+    result.stats.nodesBefore = src.size();
+
+    if (!options.enable) {
+        result.nodes = src;
+        result.remap.resize(src.size());
+        for (std::size_t i = 0; i < src.size(); ++i)
+            result.remap[i] = static_cast<std::uint32_t>(i);
+        result.stats.nodesAfter = src.size();
+        return result;
+    }
+
+    // Forward rewrite: fold + copy-propagate + hash-cons in one
+    // pass. Operand ids always precede users, so rewritten operands
+    // are final when a user is visited.
+    Rewriter rw(design);
+    rw.nodes.reserve(src.size());
+    result.remap.resize(src.size());
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        ExprNode n = src[i];
+        if (n.a.valid())
+            n.a = Signal{result.remap[n.a.id]};
+        if (n.b.valid())
+            n.b = Signal{result.remap[n.b.id]};
+        if (n.c.valid())
+            n.c = Signal{result.remap[n.c.id]};
+        Signal out = rw.simplify(n);
+        RC_ASSERT(rw.at(out).width == src[i].width,
+                  "optimizer changed node width");
+        result.remap[i] = out.id;
+    }
+
+    if (options.coneOfInfluence) {
+        // Mark everything reachable from the roots, walking the
+        // topological order backwards so marks propagate in one pass.
+        std::vector<char> live(rw.nodes.size(), 0);
+        auto root = [&](Signal design_sig) {
+            if (design_sig.valid())
+                live[result.remap[design_sig.id]] = 1;
+        };
+        for (const RegDecl &r : design.regs()) {
+            root(r.q);
+            root(r.next);
+        }
+        for (const MemDecl &m : design.mems()) {
+            for (const MemWritePort &p : m.writePorts) {
+                root(p.enable);
+                root(p.addr);
+                root(p.data);
+            }
+        }
+        for (const InputDecl &in : design.inputs())
+            root(in.node);
+        for (const auto &[name, sig] : design.namedSignals())
+            root(sig);
+        for (Signal s : options.keepSignals)
+            root(s);
+
+        for (std::size_t i = rw.nodes.size(); i-- > 0;) {
+            if (!live[i])
+                continue;
+            const ExprNode &n = rw.nodes[i];
+            if (n.a.valid())
+                live[n.a.id] = 1;
+            if (n.b.valid())
+                live[n.b.id] = 1;
+            if (n.c.valid())
+                live[n.c.id] = 1;
+        }
+
+        // Compact the survivors and rewrite both operand handles and
+        // the design-space remap through the compaction.
+        std::vector<std::uint32_t> compact(rw.nodes.size(),
+                                           Signal::invalidId);
+        std::vector<ExprNode> kept;
+        for (std::size_t i = 0; i < rw.nodes.size(); ++i) {
+            if (!live[i])
+                continue;
+            ExprNode n = rw.nodes[i];
+            if (n.a.valid())
+                n.a = Signal{compact[n.a.id]};
+            if (n.b.valid())
+                n.b = Signal{compact[n.b.id]};
+            if (n.c.valid())
+                n.c = Signal{compact[n.c.id]};
+            compact[i] = static_cast<std::uint32_t>(kept.size());
+            kept.push_back(n);
+        }
+        rw.stats.coiDropped = rw.nodes.size() - kept.size();
+        rw.nodes = std::move(kept);
+        for (std::size_t i = 0; i < result.remap.size(); ++i)
+            result.remap[i] = compact[result.remap[i]];
+    }
+
+    rw.stats.nodesBefore = src.size();
+    rw.stats.nodesAfter = rw.nodes.size();
+    result.nodes = std::move(rw.nodes);
+    result.stats = rw.stats;
+    return result;
+}
+
+} // namespace rtlcheck::rtl

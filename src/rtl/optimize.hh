@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Netlist compilation pipeline: rewrites a Design's expression DAG
+ * into a smaller, semantically identical node list before Netlist
+ * elaboration.
+ *
+ * The Multi-V-scale builder emits gates one at a time, so the raw DAG
+ * is full of repeated subexpressions, constant subtrees (ROM reads at
+ * constant addresses, decoded instruction fields) and identity
+ * operations. Because `Netlist::eval` interprets every node once per
+ * (state, input-combo) pair during reachability exploration, each
+ * node removed here is saved millions of times downstream.
+ *
+ * Passes, applied in one forward walk over the topologically ordered
+ * node list (operands always precede users, so a single pass reaches
+ * a fixpoint over already-rewritten operands):
+ *
+ *  1. constant folding — operators over constants, ROM reads at
+ *     constant addresses, out-of-range memory reads, constant mux
+ *     selects;
+ *  2. copy propagation — width-preserving identities
+ *     (x&ones, x|0, x^0, x+0, x-0, mux(c,x,x), full-width slices,
+ *     zero shifts, double negation, 1-bit eq/ne against constants);
+ *  3. common-subexpression elimination — structural hash-consing of
+ *     the rewritten nodes.
+ *
+ * An optional cone-of-influence pass then drops every node not
+ * reachable from the design's sequential frontier (register
+ * next-state functions, memory write ports), its named signals, or
+ * caller-supplied roots (e.g. the SVA predicate table). Identities
+ * never substitute a node of different width: `Op::Concat` reads its
+ * operand's width at eval time, so width is part of a node's
+ * observable interface.
+ *
+ * The result carries a remap table from design-space node ids to
+ * optimized ids, which `Netlist` uses to keep its public API
+ * (valueOf / signalByName / stateSlotOfReg / widthOf) speaking
+ * design-space handles — witness replay, waveforms, and predicate
+ * evaluation are unaffected.
+ */
+
+#ifndef RTLCHECK_RTL_OPTIMIZE_HH
+#define RTLCHECK_RTL_OPTIMIZE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/design.hh"
+
+namespace rtlcheck::rtl {
+
+struct OptimizeOptions
+{
+    /** Master switch; false yields a verbatim copy (identity remap). */
+    bool enable = true;
+
+    /** Drop nodes outside the cone of influence of the roots. Off by
+     *  default: arbitrary nodes stay readable through valueOf. */
+    bool coneOfInfluence = false;
+
+    /** Extra cone-of-influence roots in design-space ids (the
+     *  sequential frontier and named signals are always roots). */
+    std::vector<Signal> keepSignals;
+};
+
+struct OptStats
+{
+    std::size_t nodesBefore = 0;
+    std::size_t nodesAfter = 0;
+    std::size_t constFolded = 0;     ///< nodes folded to constants
+    std::size_t memReadsFolded = 0;  ///< subset of constFolded: ROM/OOB reads
+    std::size_t copyPropagated = 0;  ///< identity ops replaced by an operand
+    std::size_t cseMerged = 0;       ///< structurally duplicate nodes merged
+    std::size_t coiDropped = 0;      ///< dead nodes removed by COI
+
+    std::size_t removed() const { return nodesBefore - nodesAfter; }
+};
+
+struct OptimizeResult
+{
+    /** Rewritten nodes; operand handles are in optimized space. */
+    std::vector<ExprNode> nodes;
+    /** Design-space id -> optimized id; Signal::invalidId for nodes
+     *  dropped by the cone-of-influence pass. */
+    std::vector<std::uint32_t> remap;
+    OptStats stats;
+};
+
+/** Run the pipeline over a finished design. Deterministic: the same
+ *  design and options always produce the same result. */
+OptimizeResult optimize(const Design &design,
+                        const OptimizeOptions &options);
+
+} // namespace rtlcheck::rtl
+
+#endif // RTLCHECK_RTL_OPTIMIZE_HH

@@ -49,7 +49,8 @@ std::uint32_t
 Simulator::lastValue(Signal s) const
 {
     RC_ASSERT(_hasValues, "no step() has been executed yet");
-    return _lastValues[s.id];
+    // Design-space handle: valueOf applies the optimizer's remap.
+    return _netlist.valueOf(s, _lastValues);
 }
 
 std::uint32_t

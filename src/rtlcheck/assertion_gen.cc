@@ -148,6 +148,9 @@ generateAssertions(const uspec::Model &model, const litmus::Test &test,
         prop.svaText = "assert property (@(posedge clk) first |-> (" +
                        body + ")); // " + prop.name;
 
+        // Compile the NFA evaluator here, once per test: every engine
+        // config that later checks this property shares it.
+        prop.compileRuntime();
         props.push_back(std::move(prop));
     }
     return props;

@@ -23,13 +23,27 @@ secondsSince(Clock::time_point t0)
 
 } // namespace
 
-TestRun
-runTest(const litmus::Test &test, const uspec::Model &model,
-        const RunOptions &options)
+namespace {
+
+/** Everything runTest builds before the engine runs: the per-test
+ *  artifacts are a function of (test, model, options) only — not of
+ *  the engine config — so a config sweep can build them once and
+ *  verify under every config. */
+struct TestContext
 {
-    TestRun run;
-    run.testName = test.name;
-    auto t_start = Clock::now();
+    TestRun proto;   ///< all TestRun fields except verify/totalSeconds
+    sva::PredicateTable preds;
+    std::unique_ptr<rtl::Netlist> netlist;
+    std::vector<formal::Assumption> resolved;
+    std::vector<sva::Property> properties;
+};
+
+TestContext
+buildContext(const litmus::Test &test, const uspec::Model &model,
+             const RunOptions &options)
+{
+    TestContext ctx;
+    ctx.proto.testName = test.name;
 
     // Lower the test and build the SoC around it.
     vscale::Program program = vscale::lower(test);
@@ -42,27 +56,37 @@ runTest(const litmus::Test &test, const uspec::Model &model,
     // Generate assumptions and assertions (this is the part the
     // paper reports takes "just seconds" per test).
     auto t_gen = Clock::now();
-    sva::PredicateTable preds;
+    sva::PredicateTable &preds = ctx.preds;
     VscaleNodeMapping mapping(design, preds, program);
     AssumptionSet assumptions =
         generateAssumptions(design, preds, program, mapping);
-    std::vector<sva::Property> properties = generateAssertions(
-        model, test, mapping, preds, options.encoding);
-    run.generationSeconds = secondsSince(t_gen);
+    ctx.properties = generateAssertions(model, test, mapping, preds,
+                                        options.encoding);
+    ctx.proto.generationSeconds = secondsSince(t_gen);
 
-    run.svaAssumptions = assumptions.allSvaText();
-    for (const auto &p : properties)
-        run.svaAssertions.push_back(p.svaText);
-    run.numProperties = static_cast<int>(properties.size());
+    ctx.proto.svaAssumptions = assumptions.allSvaText();
+    for (const auto &p : ctx.properties)
+        ctx.proto.svaAssertions.push_back(p.svaText);
+    ctx.proto.numProperties = static_cast<int>(ctx.properties.size());
 
-    // Elaborate and verify.
-    rtl::Netlist netlist(design);
-    std::vector<formal::Assumption> resolved =
-        assumptions.resolve(netlist);
+    // Elaborate. The compilation pipeline may drop any combinational
+    // node the verification cannot observe, so the cone-of-influence
+    // roots must include every predicate signal — those are read via
+    // valueOf() during exploration.
+    rtl::NetlistOptions nopts;
+    nopts.enable = options.optimizeNetlist;
+    if (options.optimizeNetlist) {
+        nopts.coneOfInfluence = true;
+        for (int i = 0; i < preds.size(); ++i)
+            nopts.keepSignals.push_back(preds.signalOf(i));
+    }
+    ctx.netlist = std::make_unique<rtl::Netlist>(design, nopts);
+    ctx.proto.netlistStats = ctx.netlist->optStats();
+    ctx.resolved = assumptions.resolve(*ctx.netlist);
     if (!options.useValueAssumptions ||
         !options.useFinalValueCover) {
         std::vector<formal::Assumption> kept;
-        for (auto &a : resolved) {
+        for (auto &a : ctx.resolved) {
             if (!options.useValueAssumptions &&
                 a.kind == formal::Assumption::Kind::Implication)
                 continue;
@@ -71,12 +95,34 @@ runTest(const litmus::Test &test, const uspec::Model &model,
                 continue;
             kept.push_back(std::move(a));
         }
-        resolved = std::move(kept);
+        ctx.resolved = std::move(kept);
     }
-    run.verify = formal::verify(netlist, preds, resolved, properties,
-                                options.config);
-    run.totalSeconds = secondsSince(t_start);
+    return ctx;
+}
+
+TestRun
+verifyContext(const TestContext &ctx, const formal::EngineConfig &config,
+              formal::GraphCache *cache, double build_seconds)
+{
+    auto t0 = Clock::now();
+    TestRun run = ctx.proto;
+    run.verify = formal::verify(*ctx.netlist, ctx.preds, ctx.resolved,
+                                ctx.properties, config, cache);
+    run.totalSeconds = build_seconds + secondsSince(t0);
     return run;
+}
+
+} // namespace
+
+TestRun
+runTest(const litmus::Test &test, const uspec::Model &model,
+        const RunOptions &options)
+{
+    auto t_start = Clock::now();
+    TestContext ctx = buildContext(test, model, options);
+    const double build_seconds = secondsSince(t_start);
+    return verifyContext(ctx, options.config, options.graphCache,
+                         build_seconds);
 }
 
 SuiteRun
@@ -101,6 +147,51 @@ runSuite(const std::vector<litmus::Test> &tests,
     }
     suite.wallSeconds = secondsSince(t0);
     return suite;
+}
+
+SweepRun
+runSuiteSweep(const std::vector<litmus::Test> &tests,
+              const uspec::Model &model, const RunOptions &options,
+              const std::vector<formal::EngineConfig> &configs,
+              std::size_t jobs)
+{
+    SweepRun sweep;
+    sweep.jobs = jobs ? jobs : ThreadPool::defaultJobs();
+    sweep.configs.resize(configs.size());
+    for (SuiteRun &suite : sweep.configs) {
+        suite.runs.resize(tests.size());
+        suite.jobs = sweep.jobs;
+    }
+
+    auto runOne = [&](std::size_t i) {
+        auto t0 = Clock::now();
+        TestContext ctx = buildContext(tests[i], model, options);
+        double build = secondsSince(t0);
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            // The shared build is charged to the first config (the
+            // one whose verification pays for the exploration when a
+            // cache is attached); later configs reuse it for free.
+            sweep.configs[c].runs[i] = verifyContext(
+                ctx, configs[c], options.graphCache,
+                c == 0 ? build : 0.0);
+        }
+    };
+
+    auto t0 = Clock::now();
+    if (sweep.jobs > 1 && tests.size() > 1) {
+        ThreadPool pool(sweep.jobs);
+        pool.parallelFor(tests.size(), runOne);
+    } else {
+        sweep.jobs = 1;
+        for (SuiteRun &suite : sweep.configs)
+            suite.jobs = 1;
+        for (std::size_t i = 0; i < tests.size(); ++i)
+            runOne(i);
+    }
+    sweep.wallSeconds = secondsSince(t0);
+    for (SuiteRun &suite : sweep.configs)
+        suite.wallSeconds = sweep.wallSeconds;
+    return sweep;
 }
 
 std::string

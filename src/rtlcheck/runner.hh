@@ -45,6 +45,16 @@ struct RunOptions
     /** Ablation: drop the final-value assumption, losing the §4.1
      *  unreachable-cover shortcut. */
     bool useFinalValueCover = true;
+    /** Run the netlist compilation pipeline (constant folding, copy
+     *  propagation, CSE, cone-of-influence reduction rooted at the
+     *  state and the predicate table). Off = elaborate the design
+     *  verbatim; verdicts are identical either way. */
+    bool optimizeNetlist = true;
+    /** Optional cross-test/cross-config state-graph cache. Shared
+     *  safely across runSuite lanes; each (design, assumptions) pair
+     *  is explored once and reused by every engine config whose
+     *  budget it covers. */
+    formal::GraphCache *graphCache = nullptr;
 };
 
 struct TestRun
@@ -54,6 +64,8 @@ struct TestRun
     double generationSeconds = 0.0;
     double totalSeconds = 0.0;
     int numProperties = 0;
+    /** What the netlist compilation pipeline did for this test. */
+    rtl::OptStats netlistStats;
     std::vector<std::string> svaAssumptions;
     std::vector<std::string> svaAssertions;
 
@@ -85,6 +97,35 @@ struct SuiteRun
 SuiteRun runSuite(const std::vector<litmus::Test> &tests,
                   const uspec::Model &model, const RunOptions &options,
                   std::size_t jobs = 0);
+
+/** Result of sweeping a suite over several engine configs with the
+ *  per-test artifacts (SoC, generated SVA, netlist) built once. */
+struct SweepRun
+{
+    /** One SuiteRun per entry of `configs`, in argument order. */
+    std::vector<SuiteRun> configs;
+    double wallSeconds = 0.0;
+    std::size_t jobs = 1;
+};
+
+/**
+ * Run every test under every engine config, building each test's
+ * artifacts once: the SoC, the generated assumptions/assertions, and
+ * the (optimized) netlist are functions of the test alone, so a
+ * config sweep need not redo them per config. Combined with
+ * `options.graphCache`, the state graph is also explored only once —
+ * put the most generous config first so its graph serves the rest.
+ *
+ * Verdicts are bit-identical to per-config runSuite calls; only the
+ * time accounting differs: the shared build cost appears in the first
+ * config's per-test totalSeconds, later configs report verify time
+ * only, and every SuiteRun carries the sweep-wide wall clock.
+ */
+SweepRun runSuiteSweep(const std::vector<litmus::Test> &tests,
+                       const uspec::Model &model,
+                       const RunOptions &options,
+                       const std::vector<formal::EngineConfig> &configs,
+                       std::size_t jobs = 0);
 
 /**
  * Replay a witness trace (per-cycle arbiter inputs) on a freshly

@@ -129,10 +129,18 @@ Nfa::step(std::uint64_t live, const PredMask &mask) const
     while (work) {
         int s = __builtin_ctzll(work);
         work &= work - 1;
-        for (const Trans &t : _trans[static_cast<std::size_t>(s)]) {
-            if (t.pred < 0 || predTrue(mask, t.pred))
-                next |= t.targetMask;
-        }
+        next |= stepOne(s, mask);
+    }
+    return next;
+}
+
+std::uint64_t
+Nfa::stepOne(int state, const PredMask &mask) const
+{
+    std::uint64_t next = 0;
+    for (const Trans &t : _trans[static_cast<std::size_t>(state)]) {
+        if (t.pred < 0 || predTrue(mask, t.pred))
+            next |= t.targetMask;
     }
     return next;
 }

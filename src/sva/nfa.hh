@@ -35,6 +35,10 @@ class Nfa
     /** Advance the live set by one cycle. */
     std::uint64_t step(std::uint64_t live, const PredMask &mask) const;
 
+    /** Successor set contributed by one live state under `mask`
+     *  (the per-state column of a precompiled transition table). */
+    std::uint64_t stepOne(int state, const PredMask &mask) const;
+
     /** Does the live set contain an accepting state? */
     bool
     accepts(std::uint64_t live) const

@@ -44,6 +44,13 @@ seqKey(const Seq &s)
 
 } // namespace
 
+void
+Property::compileRuntime()
+{
+    if (!runtime)
+        runtime = std::make_shared<const PropertyRuntime>(*this);
+}
+
 PropertyRuntime::PropertyRuntime(const Property &prop)
 {
     RC_ASSERT(!prop.branches.empty(),
@@ -71,6 +78,12 @@ PropertyRuntime::PropertyRuntime(const Property &prop)
     RC_ASSERT(_nfas.size() <= 64,
               "property '", prop.name, "' needs more than 64 distinct "
               "sequences");
+    for (const auto &branch : _branchSeqs) {
+        std::uint64_t mask = 0;
+        for (int s : branch)
+            mask |= std::uint64_t(1) << s;
+        _branchMask.push_back(mask);
+    }
 }
 
 PropertyRuntime::State
@@ -100,26 +113,66 @@ PropertyRuntime::step(State &state, const PredMask &mask) const
     }
 }
 
+PropertyRuntime::StepTables
+PropertyRuntime::compileAlphabet(const std::vector<PredMask> &letters) const
+{
+    StepTables tables(_nfas.size());
+    for (std::size_t i = 0; i < _nfas.size(); ++i) {
+        const Nfa &nfa = _nfas[i];
+        const std::size_t n =
+            static_cast<std::size_t>(nfa.numStates());
+        std::vector<std::uint64_t> &table = tables[i];
+        table.resize(letters.size() * n);
+        for (std::size_t l = 0; l < letters.size(); ++l)
+            for (std::size_t s = 0; s < n; ++s)
+                table[l * n + s] =
+                    nfa.stepOne(static_cast<int>(s), letters[l]);
+    }
+    return tables;
+}
+
+void
+PropertyRuntime::stepLetter(State &state, std::uint32_t letter,
+                            const StepTables &tables) const
+{
+    for (std::size_t i = 0; i < _nfas.size(); ++i) {
+        if ((state.matched >> i) & 1) {
+            state.live[i] = 0; // matched is sticky; stop tracking
+            continue;
+        }
+        const std::size_t n =
+            static_cast<std::size_t>(_nfas[i].numStates());
+        const std::uint64_t *row = tables[i].data() + letter * n;
+        std::uint64_t work = state.live[i];
+        std::uint64_t next = 0;
+        while (work) {
+            int s = __builtin_ctzll(work);
+            work &= work - 1;
+            next |= row[static_cast<std::size_t>(s)];
+        }
+        state.live[i] = next;
+        if (_nfas[i].accepts(next))
+            state.matched |= std::uint64_t(1) << i;
+    }
+}
+
 Tri
 PropertyRuntime::status(const State &state) const
 {
+    // A sequence is dead when it is unmatched with an empty live set;
+    // a branch fails if any member is dead, matches when all members
+    // matched. One dead-set computation makes each branch a couple of
+    // bit operations.
+    std::uint64_t dead = 0;
+    for (std::size_t i = 0; i < _nfas.size(); ++i) {
+        if (state.live[i] == 0 && !((state.matched >> i) & 1))
+            dead |= std::uint64_t(1) << i;
+    }
     bool any_pending_branch = false;
-    for (const auto &branch : _branchSeqs) {
-        bool failed = false;
-        bool all_matched = true;
-        for (int s : branch) {
-            const bool m = (state.matched >> s) & 1;
-            if (m)
-                continue;
-            all_matched = false;
-            if (state.live[static_cast<std::size_t>(s)] == 0) {
-                failed = true;
-                break;
-            }
-        }
-        if (failed)
+    for (std::uint64_t mask : _branchMask) {
+        if (mask & dead)
             continue;
-        if (all_matched)
+        if ((state.matched & mask) == mask)
             return Tri::Matched;
         any_pending_branch = true;
     }

@@ -16,6 +16,7 @@
 #define RTLCHECK_SVA_PROPERTY_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,8 @@ enum class Tri { Pending, Matched, Failed };
 
 std::string triName(Tri t);
 
+class PropertyRuntime;
+
 /** One generated property: an OR of branches, each an AND of
  *  sequences (§4.2's outcome cases). */
 struct Property
@@ -35,6 +38,17 @@ struct Property
     std::string name;
     std::vector<std::vector<Seq>> branches;
     std::string svaText;   ///< rendered SystemVerilog
+
+    /** Optional precompiled evaluator, shared by every engine config
+     *  that checks this property (compileRuntime()). The engine
+     *  builds one on the fly when absent, so hand-assembled
+     *  properties need not bother. */
+    std::shared_ptr<const PropertyRuntime> runtime;
+
+    /** Compile `runtime` (idempotent). Generation calls this once
+     *  per property so NFA compilation happens once per test instead
+     *  of once per (property, engine-config) product check. */
+    void compileRuntime();
 };
 
 /**
@@ -57,6 +71,26 @@ class PropertyRuntime
     void step(State &state, const PredMask &mask) const;
     Tri status(const State &state) const;
 
+    /** Per sequence: letters x numStates successor sets, row-major
+     *  by letter. Graph-specific, so kept outside the (shareable,
+     *  immutable) runtime itself. */
+    using StepTables = std::vector<std::vector<std::uint64_t>>;
+
+    /**
+     * Precompile transition tables over a finite alphabet of interned
+     * predicate masks (the distinct masks of one state graph). With
+     * the tables, stepLetter() advances the state with one table load
+     * per live NFA state instead of re-testing predicates on every
+     * transition — the product-check hot loop consumes the same edge
+     * letter millions of times.
+     */
+    StepTables compileAlphabet(const std::vector<PredMask> &letters) const;
+
+    /** step(), but over letter index `letter` of a compiled
+     *  alphabet. Produces bit-identical State contents. */
+    void stepLetter(State &state, std::uint32_t letter,
+                    const StepTables &tables) const;
+
     /** Serialize for product-state hashing. */
     void appendKey(const State &state,
                    std::vector<std::uint32_t> &out) const;
@@ -67,6 +101,9 @@ class PropertyRuntime
     std::vector<Nfa> _nfas;
     /** branch -> indices into _nfas. */
     std::vector<std::vector<int>> _branchSeqs;
+    /** branch -> bitmask of its sequence indices, for the bit-
+     *  parallel status() evaluation. */
+    std::vector<std::uint64_t> _branchMask;
 };
 
 } // namespace rtlcheck::sva

@@ -1,0 +1,599 @@
+/**
+ * @file
+ * Tests for the netlist compilation pipeline (rtl/optimize) and the
+ * state-graph cache (formal/graph_cache):
+ *
+ *  - per-pass unit tests over hand-built designs (constant folding,
+ *    ROM-read folding, copy propagation, CSE, cone-of-influence);
+ *  - randomized simulator equivalence: optimized and verbatim
+ *    netlists of every SoC variant produce bit-identical named
+ *    signals and state vectors on random arbiter schedules;
+ *  - verdict identity: runTest with and without the pipeline agrees
+ *    on every property status, bound, and witness trace;
+ *  - GraphCache hit/miss behaviour and the GraphView bounded view's
+ *    equivalence to a fresh bounded exploration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+
+#include "formal/engine.hh"
+#include "formal/graph_cache.hh"
+#include "litmus/suite.hh"
+#include "rtl/optimize.hh"
+#include "rtl/simulator.hh"
+#include "rtlcheck/runner.hh"
+#include "uspec/multivscale.hh"
+#include "vscale/soc.hh"
+
+namespace rtlcheck {
+namespace {
+
+// ---------------------------------------------------------------
+// Per-pass unit tests on hand-built designs.
+// ---------------------------------------------------------------
+
+rtl::OptimizeResult
+optimizeAll(const rtl::Design &design, bool coi = false,
+            std::vector<rtl::Signal> keep = {})
+{
+    rtl::OptimizeOptions opts;
+    opts.coneOfInfluence = coi;
+    opts.keepSignals = std::move(keep);
+    return rtl::optimize(design, opts);
+}
+
+TEST(OptimizePasses, ConstantsFold)
+{
+    rtl::Design d;
+    rtl::Signal a = d.constant(8, 3);
+    rtl::Signal b = d.constant(8, 5);
+    rtl::Signal sum = d.add(a, b);
+    rtl::Signal prod = d.andOf(sum, d.constant(8, 0x0f));
+
+    rtl::OptimizeResult r = optimizeAll(d);
+    const rtl::ExprNode &n = r.nodes[r.remap[prod.id]];
+    EXPECT_EQ(n.op, rtl::Op::Const);
+    EXPECT_EQ(n.imm, 8u);
+    EXPECT_GE(r.stats.constFolded, 2u);
+}
+
+TEST(OptimizePasses, RomReadAtConstantAddressFolds)
+{
+    rtl::Design d;
+    rtl::MemHandle rom = d.addRom("rom", 4, 32, {10, 20, 30, 40});
+    rtl::Signal v = d.memRead(rom, d.constant(2, 2));
+    rtl::Signal oob = d.memRead(rom, d.constant(8, 200));
+
+    rtl::OptimizeResult r = optimizeAll(d);
+    EXPECT_EQ(r.nodes[r.remap[v.id]].op, rtl::Op::Const);
+    EXPECT_EQ(r.nodes[r.remap[v.id]].imm, 30u);
+    EXPECT_EQ(r.nodes[r.remap[oob.id]].op, rtl::Op::Const);
+    EXPECT_EQ(r.nodes[r.remap[oob.id]].imm, 0u);
+    EXPECT_EQ(r.stats.memReadsFolded, 2u);
+}
+
+TEST(OptimizePasses, IdentitiesCopyPropagate)
+{
+    rtl::Design d;
+    rtl::Signal x = d.addInput("x", 8);
+    rtl::Signal ones = d.constant(8, 0xff);
+    rtl::Signal zero = d.constant(8, 0);
+    rtl::Signal sel = d.addInput("sel", 1);
+
+    const rtl::Signal identical[] = {
+        d.andOf(x, ones),     d.orOf(x, zero),
+        d.xorOf(x, zero),     d.add(zero, x),
+        d.sub(x, zero),       d.mux(sel, x, x),
+        d.notOf(d.notOf(x)),  d.slice(x, 0, 8),
+        d.shlC(x, 0),         d.shrC(x, 0),
+    };
+
+    rtl::OptimizeResult r = optimizeAll(d);
+    for (rtl::Signal s : identical)
+        EXPECT_EQ(r.remap[s.id], r.remap[x.id]);
+    EXPECT_GE(r.stats.copyPropagated, 10u);
+
+    // 1-bit eq/ne against constants reduce to the operand.
+    rtl::Design d2;
+    rtl::Signal c = d2.addInput("c", 1);
+    rtl::Signal eq1 = d2.eq(c, d2.constant(1, 1));
+    rtl::Signal ne0 = d2.ne(c, d2.constant(1, 0));
+    rtl::Signal m = d2.mux(c, d2.constant(1, 1), d2.constant(1, 0));
+    rtl::OptimizeResult r2 = optimizeAll(d2);
+    EXPECT_EQ(r2.remap[eq1.id], r2.remap[c.id]);
+    EXPECT_EQ(r2.remap[ne0.id], r2.remap[c.id]);
+    EXPECT_EQ(r2.remap[m.id], r2.remap[c.id]);
+}
+
+TEST(OptimizePasses, CseMergesStructuralDuplicates)
+{
+    rtl::Design d;
+    rtl::Signal x = d.addInput("x", 8);
+    rtl::Signal y = d.addInput("y", 8);
+    rtl::Signal a1 = d.andOf(x, y);
+    rtl::Signal a2 = d.andOf(x, y);
+    rtl::Signal a3 = d.andOf(y, x); // commutative canonicalization
+
+    rtl::OptimizeResult r = optimizeAll(d);
+    EXPECT_EQ(r.remap[a1.id], r.remap[a2.id]);
+    EXPECT_EQ(r.remap[a1.id], r.remap[a3.id]);
+    EXPECT_GE(r.stats.cseMerged, 2u);
+}
+
+TEST(OptimizePasses, ConeOfInfluenceDropsDeadNodes)
+{
+    rtl::Design d;
+    rtl::Signal x = d.addInput("x", 8);
+    rtl::Signal q = d.addReg("r", 8);
+    d.setNext(q, d.add(q, x));
+    // Dead: feeds neither state nor any named signal.
+    rtl::Signal dead = d.xorOf(d.notOf(x), d.constant(8, 0x5a));
+    // Kept: named.
+    rtl::Signal named = d.nameWire("kept", d.orOf(x, q));
+    // Kept only through keepSignals.
+    rtl::Signal pinned = d.ult(x, q);
+
+    rtl::OptimizeResult r = optimizeAll(d, true, {pinned});
+    EXPECT_EQ(r.remap[dead.id], rtl::Signal::invalidId);
+    EXPECT_NE(r.remap[named.id], rtl::Signal::invalidId);
+    EXPECT_NE(r.remap[pinned.id], rtl::Signal::invalidId);
+    EXPECT_GE(r.stats.coiDropped, 1u);
+
+    // Without keepSignals the comparison is dead too.
+    rtl::OptimizeResult r2 = optimizeAll(d, true);
+    EXPECT_EQ(r2.remap[pinned.id], rtl::Signal::invalidId);
+}
+
+TEST(OptimizePasses, NetlistFacadeSurvivesCoi)
+{
+    rtl::Design d;
+    rtl::Signal x = d.addInput("x", 4);
+    rtl::Signal q = d.addReg("r", 4, 7);
+    d.setNext(q, d.add(q, x));
+    d.nameWire("sum", d.add(q, x));
+
+    rtl::NetlistOptions opts;
+    opts.coneOfInfluence = true;
+    rtl::Netlist net(d, opts);
+
+    // Register slots, named lookups, and widths all still speak
+    // design-space handles.
+    EXPECT_EQ(net.stateSlotOfReg(q), 0u);
+    EXPECT_EQ(net.widthOf(net.signalByName("sum")), 4u);
+    EXPECT_EQ(net.initialState()[0], 7u);
+
+    rtl::Simulator sim(net);
+    sim.step({3});
+    EXPECT_EQ(sim.lastValue("sum"), (7u + 3u) & 0xfu);
+    EXPECT_EQ(sim.state()[0], (7u + 3u) & 0xfu);
+}
+
+TEST(OptimizePasses, DisabledPipelineIsVerbatim)
+{
+    rtl::Design d;
+    rtl::Signal x = d.addInput("x", 8);
+    d.andOf(x, d.constant(8, 0xff));
+
+    rtl::OptimizeOptions off;
+    off.enable = false;
+    rtl::OptimizeResult r = rtl::optimize(d, off);
+    EXPECT_EQ(r.nodes.size(), d.nodes().size());
+    EXPECT_EQ(r.stats.removed(), 0u);
+    for (std::size_t i = 0; i < r.remap.size(); ++i)
+        EXPECT_EQ(r.remap[i], i);
+}
+
+// ---------------------------------------------------------------
+// Randomized simulator equivalence over the SoC variants.
+// ---------------------------------------------------------------
+
+/** Step both netlists of one design through random schedules and
+ *  compare every named signal and the full state each cycle. */
+void
+expectSimEquivalent(const rtl::Design &design,
+                    const rtl::NetlistOptions &opt_options,
+                    unsigned seed)
+{
+    rtl::Netlist opt(design, opt_options);
+    rtl::NetlistOptions off;
+    off.enable = false;
+    rtl::Netlist ref(design, off);
+
+    ASSERT_EQ(opt.stateWords(), ref.stateWords());
+    ASSERT_EQ(opt.initialState(), ref.initialState());
+    ASSERT_LE(opt.numNodes(), ref.numNodes());
+
+    std::mt19937 rng(seed);
+    for (int schedule = 0; schedule < 4; ++schedule) {
+        rtl::Simulator a(opt);
+        rtl::Simulator b(ref);
+        for (int cycle = 0; cycle < 40; ++cycle) {
+            rtl::InputVec inputs(ref.numInputs());
+            for (std::size_t i = 0; i < inputs.size(); ++i) {
+                unsigned width = ref.inputs()[i].width;
+                inputs[i] = rng() & ((1u << width) - 1);
+            }
+            a.step(inputs);
+            b.step(inputs);
+            ASSERT_EQ(a.state(), b.state())
+                << "state diverged at cycle " << cycle;
+            for (const auto &[name, sig] : design.namedSignals()) {
+                ASSERT_EQ(a.lastValue(sig), b.lastValue(sig))
+                    << name << " diverged at cycle " << cycle;
+            }
+        }
+    }
+}
+
+class OptimizeSocEquivalence
+    : public ::testing::TestWithParam<vscale::MemoryVariant>
+{
+};
+
+TEST_P(OptimizeSocEquivalence, RandomSchedulesMatchVerbatimNetlist)
+{
+    vscale::Program program =
+        vscale::lower(litmus::suiteTest("mp"));
+    rtl::Design design;
+    vscale::buildSoc(design, program, GetParam());
+
+    rtl::NetlistOptions opt;
+    EXPECT_GT(rtl::optimize(design, opt).stats.removed(), 0u);
+    expectSimEquivalent(design, opt, 12345);
+
+    // And with the cone-of-influence pass (the runner's setting).
+    rtl::NetlistOptions coi;
+    coi.coneOfInfluence = true;
+    expectSimEquivalent(design, coi, 99999);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, OptimizeSocEquivalence,
+    ::testing::Values(vscale::MemoryVariant::Fixed,
+                      vscale::MemoryVariant::Buggy,
+                      vscale::MemoryVariant::StoreWrongAddress,
+                      vscale::MemoryVariant::StaleLoadAddress,
+                      vscale::MemoryVariant::DoubleGrant));
+
+TEST(OptimizeSocEquivalenceTso, RandomSchedulesMatchVerbatimNetlist)
+{
+    vscale::Program program =
+        vscale::lower(litmus::suiteTest("sb"));
+    rtl::Design design;
+    vscale::buildTsoSoc(design, program);
+    expectSimEquivalent(design, rtl::NetlistOptions{}, 2026);
+}
+
+TEST(OptimizeFingerprint, StableAcrossElaborationsSensitiveToOptions)
+{
+    vscale::Program program =
+        vscale::lower(litmus::suiteTest("mp"));
+    rtl::Design design;
+    vscale::buildSoc(design, program, vscale::MemoryVariant::Fixed);
+
+    rtl::Netlist a(design);
+    rtl::Netlist b(design);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+    rtl::NetlistOptions off;
+    off.enable = false;
+    rtl::Netlist c(design, off);
+    EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+// ---------------------------------------------------------------
+// Verdict identity through the full runner.
+// ---------------------------------------------------------------
+
+void
+expectSameVerify(const formal::VerifyResult &x,
+                 const formal::VerifyResult &y)
+{
+    EXPECT_EQ(x.coverUnreachable, y.coverUnreachable);
+    EXPECT_EQ(x.coverReached, y.coverReached);
+    ASSERT_EQ(x.coverWitness.has_value(), y.coverWitness.has_value());
+    if (x.coverWitness)
+        EXPECT_EQ(x.coverWitness->inputs, y.coverWitness->inputs);
+    EXPECT_EQ(x.graphNodes, y.graphNodes);
+    EXPECT_EQ(x.graphEdges, y.graphEdges);
+    EXPECT_EQ(x.graphComplete, y.graphComplete);
+    EXPECT_EQ(x.graphDepth, y.graphDepth);
+    ASSERT_EQ(x.properties.size(), y.properties.size());
+    for (std::size_t p = 0; p < x.properties.size(); ++p) {
+        const formal::PropertyResult &px = x.properties[p];
+        const formal::PropertyResult &py = y.properties[p];
+        EXPECT_EQ(px.status, py.status) << px.name;
+        EXPECT_EQ(px.boundCycles, py.boundCycles) << px.name;
+        ASSERT_EQ(px.counterexample.has_value(),
+                  py.counterexample.has_value())
+            << px.name;
+        if (px.counterexample)
+            EXPECT_EQ(px.counterexample->inputs,
+                      py.counterexample->inputs)
+                << px.name;
+    }
+}
+
+class OptimizeVerdictIdentity
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(OptimizeVerdictIdentity, OptAndNoOptAgreeUnderBothConfigs)
+{
+    const litmus::Test &test = litmus::suiteTest(GetParam());
+    for (const formal::EngineConfig &cfg :
+         {formal::hybridConfig(), formal::fullProofConfig()}) {
+        core::RunOptions on;
+        on.config = cfg;
+        core::RunOptions off = on;
+        off.optimizeNetlist = false;
+        core::TestRun a =
+            core::runTest(test, uspec::multiVscaleModel(), on);
+        core::TestRun b =
+            core::runTest(test, uspec::multiVscaleModel(), off);
+        expectSameVerify(a.verify, b.verify);
+        EXPECT_LT(a.netlistStats.nodesAfter,
+                  a.netlistStats.nodesBefore);
+        EXPECT_EQ(b.netlistStats.removed(), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SuiteSlice, OptimizeVerdictIdentity,
+                         ::testing::Values("mp", "sb", "lb",
+                                           "safe006"));
+
+TEST(OptimizeVerdictIdentity, BuggyDesignWitnessesAgree)
+{
+    const litmus::Test &test = litmus::suiteTest("mp");
+    core::RunOptions on;
+    on.variant = vscale::MemoryVariant::Buggy;
+    core::RunOptions off = on;
+    off.optimizeNetlist = false;
+    core::TestRun a = core::runTest(test, uspec::multiVscaleModel(), on);
+    core::TestRun b =
+        core::runTest(test, uspec::multiVscaleModel(), off);
+    expectSameVerify(a.verify, b.verify);
+    // The shared witness replays identically on both flows.
+    ASSERT_TRUE(a.verify.coverWitness.has_value());
+    EXPECT_TRUE(core::witnessExhibitsOutcome(test, on,
+                                             *a.verify.coverWitness));
+    EXPECT_TRUE(core::witnessExhibitsOutcome(test, off,
+                                             *a.verify.coverWitness));
+}
+
+// ---------------------------------------------------------------
+// GraphCache and the bounded GraphView.
+// ---------------------------------------------------------------
+
+struct FormalFixture
+{
+    vscale::Program program;
+    rtl::Design design;
+    sva::PredicateTable preds;
+    std::unique_ptr<core::VscaleNodeMapping> mapping;
+    std::vector<formal::Assumption> assumptions;
+    std::unique_ptr<rtl::Netlist> netlist;
+
+    explicit FormalFixture(const char *test_name)
+        : program(vscale::lower(litmus::suiteTest(test_name)))
+    {
+        vscale::buildSoc(design, program,
+                         vscale::MemoryVariant::Fixed);
+        mapping = std::make_unique<core::VscaleNodeMapping>(
+            design, preds, program);
+        core::AssumptionSet set = core::generateAssumptions(
+            design, preds, program, *mapping);
+        netlist = std::make_unique<rtl::Netlist>(design);
+        assumptions = set.resolve(*netlist);
+    }
+};
+
+TEST(GraphCache, MissThenHitReturnsSameGraph)
+{
+    FormalFixture fx("mp");
+    formal::GraphCache cache;
+    bool hit = true;
+    auto g1 = cache.obtain(*fx.netlist, fx.preds, fx.assumptions,
+                           formal::ExploreLimits{}, &hit);
+    EXPECT_FALSE(hit);
+    auto g2 = cache.obtain(*fx.netlist, fx.preds, fx.assumptions,
+                           formal::ExploreLimits{}, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(g1.get(), g2.get());
+    EXPECT_EQ(cache.stats().explores, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+
+    // A fresh elaboration of the same design shares the key.
+    rtl::Netlist again(fx.design);
+    auto g3 = cache.obtain(again, fx.preds, fx.assumptions,
+                           formal::ExploreLimits{}, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(g1.get(), g3.get());
+}
+
+TEST(GraphCache, CompleteGraphServesBoundedRequest)
+{
+    FormalFixture fx("mp");
+    formal::GraphCache cache;
+    auto full = cache.obtain(*fx.netlist, fx.preds, fx.assumptions,
+                             formal::ExploreLimits{});
+    ASSERT_TRUE(full->complete());
+
+    bool hit = false;
+    formal::ExploreLimits bounded;
+    bounded.maxNodes = 100;
+    auto served = cache.obtain(*fx.netlist, fx.preds, fx.assumptions,
+                               bounded, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(served.get(), full.get());
+    EXPECT_EQ(cache.stats().explores, 1u);
+}
+
+TEST(GraphCache, TruncatedEntryInsufficientForLargerRequest)
+{
+    FormalFixture fx("mp");
+    // Pick a budget strictly below the reachable-state count so the
+    // first exploration is guaranteed to truncate.
+    formal::StateGraph probe(*fx.netlist, fx.assumptions, fx.preds,
+                             formal::ExploreLimits{});
+    ASSERT_GT(probe.numNodes(), 2u);
+    formal::GraphCache cache;
+    formal::ExploreLimits small;
+    small.maxNodes = probe.numNodes() / 2;
+    auto g1 = cache.obtain(*fx.netlist, fx.preds, fx.assumptions,
+                           small);
+    ASSERT_FALSE(g1->complete());
+
+    // Same budget: reuse. Larger budget: re-explore and replace.
+    bool hit = false;
+    cache.obtain(*fx.netlist, fx.preds, fx.assumptions, small, &hit);
+    EXPECT_TRUE(hit);
+    auto g2 = cache.obtain(*fx.netlist, fx.preds, fx.assumptions,
+                           formal::ExploreLimits{}, &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_TRUE(g2->complete());
+    EXPECT_EQ(cache.stats().explores, 2u);
+
+    // The replacement now serves the small request too.
+    auto g3 = cache.obtain(*fx.netlist, fx.preds, fx.assumptions,
+                           small, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(g3.get(), g2.get());
+}
+
+TEST(GraphCache, DifferentAssumptionsMiss)
+{
+    FormalFixture fx("mp");
+    formal::GraphCache cache;
+    cache.obtain(*fx.netlist, fx.preds, fx.assumptions,
+                 formal::ExploreLimits{});
+
+    std::vector<formal::Assumption> fewer = fx.assumptions;
+    fewer.pop_back();
+    bool hit = true;
+    cache.obtain(*fx.netlist, fx.preds, fewer,
+                 formal::ExploreLimits{}, &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(cache.stats().explores, 2u);
+}
+
+TEST(GraphView, BoundedViewMatchesFreshBoundedExploration)
+{
+    FormalFixture fx("mp");
+    formal::StateGraph full(*fx.netlist, fx.assumptions, fx.preds,
+                            formal::ExploreLimits{});
+    ASSERT_TRUE(full.complete());
+
+    for (std::size_t k : {std::size_t(25), std::size_t(100),
+                          std::size_t(400)}) {
+        formal::ExploreLimits limits;
+        limits.maxNodes = k;
+        formal::StateGraph fresh(*fx.netlist, fx.assumptions,
+                                 fx.preds, limits);
+        formal::GraphView view(&full, k);
+
+        ASSERT_EQ(view.numNodes(), fresh.numNodes()) << "k=" << k;
+        ASSERT_EQ(view.numEdges(), fresh.numEdges()) << "k=" << k;
+        ASSERT_EQ(view.complete(), fresh.complete()) << "k=" << k;
+        ASSERT_EQ(view.exploredDepth(), fresh.exploredDepth())
+            << "k=" << k;
+        for (std::uint32_t n = 0; n < fresh.numNodes(); ++n) {
+            const auto &ve = view.outEdges(n);
+            const auto &fe = fresh.outEdges(n);
+            ASSERT_EQ(ve.size(), fe.size()) << "node " << n;
+            for (std::size_t e = 0; e < fe.size(); ++e) {
+                EXPECT_EQ(ve[e].dst, fe[e].dst);
+                EXPECT_EQ(ve[e].input, fe[e].input);
+                EXPECT_EQ(view.maskOf(ve[e].maskId),
+                          fresh.maskOf(fe[e].maskId));
+            }
+        }
+        ASSERT_EQ(view.coverHits().size(), fresh.coverHits().size());
+        for (std::size_t c = 0; c < fresh.coverHits().size(); ++c) {
+            EXPECT_EQ(view.coverHits()[c].reached,
+                      fresh.coverHits()[c].reached);
+            if (fresh.coverHits()[c].reached) {
+                EXPECT_EQ(view.coverHits()[c].node,
+                          fresh.coverHits()[c].node);
+                EXPECT_EQ(view.coverHits()[c].input,
+                          fresh.coverHits()[c].input);
+            }
+        }
+    }
+}
+
+TEST(GraphCacheEngine, HybridServedFromFullProofGraphIsIdentical)
+{
+    const litmus::Test &test = litmus::suiteTest("mp");
+    for (bool buggy : {false, true}) {
+        core::RunOptions plain;
+        plain.variant = buggy ? vscale::MemoryVariant::Buggy
+                              : vscale::MemoryVariant::Fixed;
+        plain.config = formal::hybridConfig();
+        core::TestRun expect =
+            core::runTest(test, uspec::multiVscaleModel(), plain);
+
+        formal::GraphCache cache;
+        core::RunOptions cached = plain;
+        cached.graphCache = &cache;
+        cached.config = formal::fullProofConfig();
+        core::runTest(test, uspec::multiVscaleModel(), cached);
+        cached.config = formal::hybridConfig();
+        core::TestRun got =
+            core::runTest(test, uspec::multiVscaleModel(), cached);
+
+        EXPECT_EQ(cache.stats().explores, 1u);
+        EXPECT_GE(cache.stats().hits, 1u);
+        EXPECT_TRUE(got.verify.graphFromCache);
+        expectSameVerify(expect.verify, got.verify);
+    }
+}
+
+// runSuiteSweep builds each test once and verifies it under every
+// config; the results must be indistinguishable from independent
+// per-config runSuite calls, and the shared cache must collapse the
+// second config's explorations into hits.
+TEST(SuiteSweep, MatchesPerConfigRunsAndExploresOnce)
+{
+    std::vector<litmus::Test> slice(litmus::standardSuite().begin(),
+                                    litmus::standardSuite().begin() +
+                                        6);
+    const std::vector<formal::EngineConfig> configs = {
+        formal::fullProofConfig(), formal::hybridConfig()};
+
+    formal::GraphCache cache;
+    core::RunOptions options;
+    options.graphCache = &cache;
+    core::SweepRun sweep = core::runSuiteSweep(
+        slice, uspec::multiVscaleModel(), options, configs, 1);
+
+    ASSERT_EQ(sweep.configs.size(), configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        core::RunOptions per;
+        per.config = configs[c];
+        core::SuiteRun solo =
+            core::runSuite(slice, uspec::multiVscaleModel(), per, 1);
+        ASSERT_EQ(sweep.configs[c].runs.size(), solo.runs.size());
+        for (std::size_t i = 0; i < slice.size(); ++i) {
+            SCOPED_TRACE(slice[i].name);
+            expectSameVerify(sweep.configs[c].runs[i].verify,
+                             solo.runs[i].verify);
+        }
+    }
+
+    // One exploration per distinct graph; every later request for the
+    // same test under the other config is a hit.
+    const formal::GraphCache::Stats cs = cache.stats();
+    EXPECT_LE(cs.explores, slice.size());
+    EXPECT_EQ(cs.explores + cs.hits, 2 * slice.size());
+    // Hybrid (second config) is served from Full_Proof's graphs.
+    for (const core::TestRun &run : sweep.configs[1].runs)
+        EXPECT_TRUE(run.verify.graphFromCache);
+}
+
+} // namespace
+} // namespace rtlcheck

@@ -28,6 +28,12 @@
  *                         Default: $RTLCHECK_JOBS, else the
  *                         machine's hardware concurrency. Verdicts
  *                         are identical at every setting.
+ *   --no-netlist-opt      skip the netlist compilation pipeline
+ *                         (constant folding, copy propagation, CSE,
+ *                         cone-of-influence reduction). Slower;
+ *                         verdicts are identical. Single-test runs
+ *                         print an opt-stats line showing what the
+ *                         pipeline did.
  */
 
 #include <cstdio>
@@ -60,6 +66,7 @@ struct CliOptions
     std::string vcdPath;
     std::size_t jobs = 0; ///< 0 = ThreadPool::defaultJobs()
     bool naive = false;
+    bool noNetlistOpt = false;
     bool uhb = false;
     bool wave = false;
     bool list = false;
@@ -75,7 +82,7 @@ usage()
         "       rtlcheck_cli --list | --all\n"
         "options: --model sc|tso  --design fixed|buggy|tso\n"
         "         --config hybrid|full  --naive  --uhb  --wave\n"
-        "         --emit-sva <path>  --jobs N\n"
+        "         --emit-sva <path>  --jobs N  --no-netlist-opt\n"
         "--jobs (or $RTLCHECK_JOBS) sets the parallel lanes used to\n"
         "run tests under --all and to check properties on a single\n"
         "test; the default is the hardware concurrency and verdicts\n"
@@ -108,6 +115,7 @@ runOptionsFor(const CliOptions &opts)
                                        : formal::fullProofConfig();
     o.encoding = opts.naive ? core::EdgeEncoding::Naive
                             : core::EdgeEncoding::Strict;
+    o.optimizeNetlist = !opts.noNetlistOpt;
     return o;
 }
 
@@ -136,6 +144,12 @@ report(const litmus::Test &test, const core::TestRun &run,
                 run.totalSeconds * 1e3, verdict);
 
     if (verbose) {
+        const rtl::OptStats &os = run.netlistStats;
+        std::printf("  netlist opt: %zu -> %zu nodes (%zu folded, "
+                    "%zu mem-reads, %zu copied, %zu cse, %zu coi)\n",
+                    os.nodesBefore, os.nodesAfter, os.constFolded,
+                    os.memReadsFolded, os.copyPropagated, os.cseMerged,
+                    os.coiDropped);
         for (const auto &p : run.verify.properties) {
             if (p.status == formal::ProofStatus::Falsified) {
                 std::printf("  counterexample: %s (%zu cycles)\n",
@@ -212,8 +226,13 @@ int
 runAll(const CliOptions &opts)
 {
     const uspec::Model &model = modelFor(opts);
-    const core::RunOptions o = runOptionsFor(opts);
+    core::RunOptions o = runOptionsFor(opts);
     const std::vector<litmus::Test> &suite = litmus::standardSuite();
+
+    // Share one state-graph cache across the whole batch: tests with
+    // identical (design, assumptions) pairs explore once.
+    formal::GraphCache cache;
+    o.graphCache = &cache;
 
     core::SuiteRun sr = core::runSuite(suite, model, o, opts.jobs);
 
@@ -264,6 +283,8 @@ main(int argc, char **argv)
                 std::strtoul(next().c_str(), nullptr, 10));
         } else if (arg == "--naive") {
             opts.naive = true;
+        } else if (arg == "--no-netlist-opt") {
+            opts.noNetlistOpt = true;
         } else if (arg == "--uhb") {
             opts.uhb = true;
         } else if (arg == "--wave") {
