@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bug_fig12.dir/bench_bug_fig12.cc.o"
+  "CMakeFiles/bench_bug_fig12.dir/bench_bug_fig12.cc.o.d"
+  "bench_bug_fig12"
+  "bench_bug_fig12.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bug_fig12.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

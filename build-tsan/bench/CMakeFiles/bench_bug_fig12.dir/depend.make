@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_bug_fig12.
+# This may be replaced when dependencies are built.

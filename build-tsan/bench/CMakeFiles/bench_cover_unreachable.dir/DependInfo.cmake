@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_cover_unreachable.cc" "bench/CMakeFiles/bench_cover_unreachable.dir/bench_cover_unreachable.cc.o" "gcc" "bench/CMakeFiles/bench_cover_unreachable.dir/bench_cover_unreachable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/rtlcheck/CMakeFiles/rc_rtlcheck.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/uhb/CMakeFiles/rc_uhb.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/formal/CMakeFiles/rc_formal.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sva/CMakeFiles/rc_sva.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/uspec/CMakeFiles/rc_uspec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/vscale/CMakeFiles/rc_vscale.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rtl/CMakeFiles/rc_rtl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/litmus/CMakeFiles/rc_litmus.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/rc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cover_unreachable.dir/bench_cover_unreachable.cc.o"
+  "CMakeFiles/bench_cover_unreachable.dir/bench_cover_unreachable.cc.o.d"
+  "bench_cover_unreachable"
+  "bench_cover_unreachable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cover_unreachable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_cover_unreachable.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_proven.dir/bench_fig14_proven.cc.o"
+  "CMakeFiles/bench_fig14_proven.dir/bench_fig14_proven.cc.o.d"
+  "bench_fig14_proven"
+  "bench_fig14_proven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_proven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

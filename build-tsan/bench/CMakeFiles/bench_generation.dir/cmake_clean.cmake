@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_generation.dir/bench_generation.cc.o"
+  "CMakeFiles/bench_generation.dir/bench_generation.cc.o.d"
+  "bench_generation"
+  "bench_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

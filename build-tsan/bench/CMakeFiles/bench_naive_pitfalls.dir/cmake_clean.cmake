@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_naive_pitfalls.dir/bench_naive_pitfalls.cc.o"
+  "CMakeFiles/bench_naive_pitfalls.dir/bench_naive_pitfalls.cc.o.d"
+  "bench_naive_pitfalls"
+  "bench_naive_pitfalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_naive_pitfalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_naive_pitfalls.
+# This may be replaced when dependencies are built.

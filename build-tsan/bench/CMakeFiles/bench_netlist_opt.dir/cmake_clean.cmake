@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_netlist_opt.dir/bench_netlist_opt.cc.o"
+  "CMakeFiles/bench_netlist_opt.dir/bench_netlist_opt.cc.o.d"
+  "bench_netlist_opt"
+  "bench_netlist_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_netlist_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

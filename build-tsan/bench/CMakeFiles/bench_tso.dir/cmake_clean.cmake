@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tso.dir/bench_tso.cc.o"
+  "CMakeFiles/bench_tso.dir/bench_tso.cc.o.d"
+  "bench_tso"
+  "bench_tso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_uhb.dir/bench_uhb.cc.o"
+  "CMakeFiles/bench_uhb.dir/bench_uhb.cc.o.d"
+  "bench_uhb"
+  "bench_uhb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_uhb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

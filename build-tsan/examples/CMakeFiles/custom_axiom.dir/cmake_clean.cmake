@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_axiom.dir/custom_axiom.cpp.o"
+  "CMakeFiles/custom_axiom.dir/custom_axiom.cpp.o.d"
+  "custom_axiom"
+  "custom_axiom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_axiom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

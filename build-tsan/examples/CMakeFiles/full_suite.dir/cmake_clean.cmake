@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_suite.dir/full_suite.cpp.o"
+  "CMakeFiles/full_suite.dir/full_suite.cpp.o.d"
+  "full_suite"
+  "full_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

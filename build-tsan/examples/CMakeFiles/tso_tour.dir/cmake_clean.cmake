@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tso_tour.dir/tso_tour.cpp.o"
+  "CMakeFiles/tso_tour.dir/tso_tour.cpp.o.d"
+  "tso_tour"
+  "tso_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tso_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

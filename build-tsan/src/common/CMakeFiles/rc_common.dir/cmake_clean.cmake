@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_common.dir/bitvector.cc.o"
+  "CMakeFiles/rc_common.dir/bitvector.cc.o.d"
+  "CMakeFiles/rc_common.dir/logging.cc.o"
+  "CMakeFiles/rc_common.dir/logging.cc.o.d"
+  "CMakeFiles/rc_common.dir/strutil.cc.o"
+  "CMakeFiles/rc_common.dir/strutil.cc.o.d"
+  "CMakeFiles/rc_common.dir/thread_pool.cc.o"
+  "CMakeFiles/rc_common.dir/thread_pool.cc.o.d"
+  "librc_common.a"
+  "librc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

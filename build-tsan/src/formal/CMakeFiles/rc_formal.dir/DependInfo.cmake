@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/formal/engine.cc" "src/formal/CMakeFiles/rc_formal.dir/engine.cc.o" "gcc" "src/formal/CMakeFiles/rc_formal.dir/engine.cc.o.d"
+  "/root/repo/src/formal/graph_cache.cc" "src/formal/CMakeFiles/rc_formal.dir/graph_cache.cc.o" "gcc" "src/formal/CMakeFiles/rc_formal.dir/graph_cache.cc.o.d"
+  "/root/repo/src/formal/state_graph.cc" "src/formal/CMakeFiles/rc_formal.dir/state_graph.cc.o" "gcc" "src/formal/CMakeFiles/rc_formal.dir/state_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/rtl/CMakeFiles/rc_rtl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sva/CMakeFiles/rc_sva.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/rc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

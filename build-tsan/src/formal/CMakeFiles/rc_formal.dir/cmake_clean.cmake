@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_formal.dir/engine.cc.o"
+  "CMakeFiles/rc_formal.dir/engine.cc.o.d"
+  "CMakeFiles/rc_formal.dir/graph_cache.cc.o"
+  "CMakeFiles/rc_formal.dir/graph_cache.cc.o.d"
+  "CMakeFiles/rc_formal.dir/state_graph.cc.o"
+  "CMakeFiles/rc_formal.dir/state_graph.cc.o.d"
+  "librc_formal.a"
+  "librc_formal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_formal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rc_formal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/litmus/parser.cc" "src/litmus/CMakeFiles/rc_litmus.dir/parser.cc.o" "gcc" "src/litmus/CMakeFiles/rc_litmus.dir/parser.cc.o.d"
+  "/root/repo/src/litmus/sc_ref.cc" "src/litmus/CMakeFiles/rc_litmus.dir/sc_ref.cc.o" "gcc" "src/litmus/CMakeFiles/rc_litmus.dir/sc_ref.cc.o.d"
+  "/root/repo/src/litmus/suite.cc" "src/litmus/CMakeFiles/rc_litmus.dir/suite.cc.o" "gcc" "src/litmus/CMakeFiles/rc_litmus.dir/suite.cc.o.d"
+  "/root/repo/src/litmus/test.cc" "src/litmus/CMakeFiles/rc_litmus.dir/test.cc.o" "gcc" "src/litmus/CMakeFiles/rc_litmus.dir/test.cc.o.d"
+  "/root/repo/src/litmus/tso_ref.cc" "src/litmus/CMakeFiles/rc_litmus.dir/tso_ref.cc.o" "gcc" "src/litmus/CMakeFiles/rc_litmus.dir/tso_ref.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/rc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_litmus.dir/parser.cc.o"
+  "CMakeFiles/rc_litmus.dir/parser.cc.o.d"
+  "CMakeFiles/rc_litmus.dir/sc_ref.cc.o"
+  "CMakeFiles/rc_litmus.dir/sc_ref.cc.o.d"
+  "CMakeFiles/rc_litmus.dir/suite.cc.o"
+  "CMakeFiles/rc_litmus.dir/suite.cc.o.d"
+  "CMakeFiles/rc_litmus.dir/test.cc.o"
+  "CMakeFiles/rc_litmus.dir/test.cc.o.d"
+  "CMakeFiles/rc_litmus.dir/tso_ref.cc.o"
+  "CMakeFiles/rc_litmus.dir/tso_ref.cc.o.d"
+  "librc_litmus.a"
+  "librc_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/design.cc" "src/rtl/CMakeFiles/rc_rtl.dir/design.cc.o" "gcc" "src/rtl/CMakeFiles/rc_rtl.dir/design.cc.o.d"
+  "/root/repo/src/rtl/netlist.cc" "src/rtl/CMakeFiles/rc_rtl.dir/netlist.cc.o" "gcc" "src/rtl/CMakeFiles/rc_rtl.dir/netlist.cc.o.d"
+  "/root/repo/src/rtl/optimize.cc" "src/rtl/CMakeFiles/rc_rtl.dir/optimize.cc.o" "gcc" "src/rtl/CMakeFiles/rc_rtl.dir/optimize.cc.o.d"
+  "/root/repo/src/rtl/simulator.cc" "src/rtl/CMakeFiles/rc_rtl.dir/simulator.cc.o" "gcc" "src/rtl/CMakeFiles/rc_rtl.dir/simulator.cc.o.d"
+  "/root/repo/src/rtl/vcd.cc" "src/rtl/CMakeFiles/rc_rtl.dir/vcd.cc.o" "gcc" "src/rtl/CMakeFiles/rc_rtl.dir/vcd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/rc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_rtl.dir/design.cc.o"
+  "CMakeFiles/rc_rtl.dir/design.cc.o.d"
+  "CMakeFiles/rc_rtl.dir/netlist.cc.o"
+  "CMakeFiles/rc_rtl.dir/netlist.cc.o.d"
+  "CMakeFiles/rc_rtl.dir/optimize.cc.o"
+  "CMakeFiles/rc_rtl.dir/optimize.cc.o.d"
+  "CMakeFiles/rc_rtl.dir/simulator.cc.o"
+  "CMakeFiles/rc_rtl.dir/simulator.cc.o.d"
+  "CMakeFiles/rc_rtl.dir/vcd.cc.o"
+  "CMakeFiles/rc_rtl.dir/vcd.cc.o.d"
+  "librc_rtl.a"
+  "librc_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_rtlcheck.dir/assertion_gen.cc.o"
+  "CMakeFiles/rc_rtlcheck.dir/assertion_gen.cc.o.d"
+  "CMakeFiles/rc_rtlcheck.dir/assumption_gen.cc.o"
+  "CMakeFiles/rc_rtlcheck.dir/assumption_gen.cc.o.d"
+  "CMakeFiles/rc_rtlcheck.dir/mapping.cc.o"
+  "CMakeFiles/rc_rtlcheck.dir/mapping.cc.o.d"
+  "CMakeFiles/rc_rtlcheck.dir/runner.cc.o"
+  "CMakeFiles/rc_rtlcheck.dir/runner.cc.o.d"
+  "librc_rtlcheck.a"
+  "librc_rtlcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_rtlcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

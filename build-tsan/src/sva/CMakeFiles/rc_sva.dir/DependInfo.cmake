@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sva/nfa.cc" "src/sva/CMakeFiles/rc_sva.dir/nfa.cc.o" "gcc" "src/sva/CMakeFiles/rc_sva.dir/nfa.cc.o.d"
+  "/root/repo/src/sva/predicates.cc" "src/sva/CMakeFiles/rc_sva.dir/predicates.cc.o" "gcc" "src/sva/CMakeFiles/rc_sva.dir/predicates.cc.o.d"
+  "/root/repo/src/sva/property.cc" "src/sva/CMakeFiles/rc_sva.dir/property.cc.o" "gcc" "src/sva/CMakeFiles/rc_sva.dir/property.cc.o.d"
+  "/root/repo/src/sva/sequence.cc" "src/sva/CMakeFiles/rc_sva.dir/sequence.cc.o" "gcc" "src/sva/CMakeFiles/rc_sva.dir/sequence.cc.o.d"
+  "/root/repo/src/sva/trace_checker.cc" "src/sva/CMakeFiles/rc_sva.dir/trace_checker.cc.o" "gcc" "src/sva/CMakeFiles/rc_sva.dir/trace_checker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/rtl/CMakeFiles/rc_rtl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/rc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_sva.dir/nfa.cc.o"
+  "CMakeFiles/rc_sva.dir/nfa.cc.o.d"
+  "CMakeFiles/rc_sva.dir/predicates.cc.o"
+  "CMakeFiles/rc_sva.dir/predicates.cc.o.d"
+  "CMakeFiles/rc_sva.dir/property.cc.o"
+  "CMakeFiles/rc_sva.dir/property.cc.o.d"
+  "CMakeFiles/rc_sva.dir/sequence.cc.o"
+  "CMakeFiles/rc_sva.dir/sequence.cc.o.d"
+  "CMakeFiles/rc_sva.dir/trace_checker.cc.o"
+  "CMakeFiles/rc_sva.dir/trace_checker.cc.o.d"
+  "librc_sva.a"
+  "librc_sva.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_sva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

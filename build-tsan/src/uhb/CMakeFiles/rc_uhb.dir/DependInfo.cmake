@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uhb/graph.cc" "src/uhb/CMakeFiles/rc_uhb.dir/graph.cc.o" "gcc" "src/uhb/CMakeFiles/rc_uhb.dir/graph.cc.o.d"
+  "/root/repo/src/uhb/solver.cc" "src/uhb/CMakeFiles/rc_uhb.dir/solver.cc.o" "gcc" "src/uhb/CMakeFiles/rc_uhb.dir/solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/uspec/CMakeFiles/rc_uspec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/litmus/CMakeFiles/rc_litmus.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/rc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

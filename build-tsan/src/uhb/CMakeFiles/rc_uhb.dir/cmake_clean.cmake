@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_uhb.dir/graph.cc.o"
+  "CMakeFiles/rc_uhb.dir/graph.cc.o.d"
+  "CMakeFiles/rc_uhb.dir/solver.cc.o"
+  "CMakeFiles/rc_uhb.dir/solver.cc.o.d"
+  "librc_uhb.a"
+  "librc_uhb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_uhb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uspec/eval.cc" "src/uspec/CMakeFiles/rc_uspec.dir/eval.cc.o" "gcc" "src/uspec/CMakeFiles/rc_uspec.dir/eval.cc.o.d"
+  "/root/repo/src/uspec/formula.cc" "src/uspec/CMakeFiles/rc_uspec.dir/formula.cc.o" "gcc" "src/uspec/CMakeFiles/rc_uspec.dir/formula.cc.o.d"
+  "/root/repo/src/uspec/lexer.cc" "src/uspec/CMakeFiles/rc_uspec.dir/lexer.cc.o" "gcc" "src/uspec/CMakeFiles/rc_uspec.dir/lexer.cc.o.d"
+  "/root/repo/src/uspec/multivscale.cc" "src/uspec/CMakeFiles/rc_uspec.dir/multivscale.cc.o" "gcc" "src/uspec/CMakeFiles/rc_uspec.dir/multivscale.cc.o.d"
+  "/root/repo/src/uspec/parser.cc" "src/uspec/CMakeFiles/rc_uspec.dir/parser.cc.o" "gcc" "src/uspec/CMakeFiles/rc_uspec.dir/parser.cc.o.d"
+  "/root/repo/src/uspec/tso.cc" "src/uspec/CMakeFiles/rc_uspec.dir/tso.cc.o" "gcc" "src/uspec/CMakeFiles/rc_uspec.dir/tso.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/rc_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/litmus/CMakeFiles/rc_litmus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

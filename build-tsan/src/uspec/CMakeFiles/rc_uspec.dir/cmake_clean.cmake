@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_uspec.dir/eval.cc.o"
+  "CMakeFiles/rc_uspec.dir/eval.cc.o.d"
+  "CMakeFiles/rc_uspec.dir/formula.cc.o"
+  "CMakeFiles/rc_uspec.dir/formula.cc.o.d"
+  "CMakeFiles/rc_uspec.dir/lexer.cc.o"
+  "CMakeFiles/rc_uspec.dir/lexer.cc.o.d"
+  "CMakeFiles/rc_uspec.dir/multivscale.cc.o"
+  "CMakeFiles/rc_uspec.dir/multivscale.cc.o.d"
+  "CMakeFiles/rc_uspec.dir/parser.cc.o"
+  "CMakeFiles/rc_uspec.dir/parser.cc.o.d"
+  "CMakeFiles/rc_uspec.dir/tso.cc.o"
+  "CMakeFiles/rc_uspec.dir/tso.cc.o.d"
+  "librc_uspec.a"
+  "librc_uspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_uspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

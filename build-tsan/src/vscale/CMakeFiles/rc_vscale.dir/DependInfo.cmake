@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vscale/isa.cc" "src/vscale/CMakeFiles/rc_vscale.dir/isa.cc.o" "gcc" "src/vscale/CMakeFiles/rc_vscale.dir/isa.cc.o.d"
+  "/root/repo/src/vscale/program.cc" "src/vscale/CMakeFiles/rc_vscale.dir/program.cc.o" "gcc" "src/vscale/CMakeFiles/rc_vscale.dir/program.cc.o.d"
+  "/root/repo/src/vscale/soc.cc" "src/vscale/CMakeFiles/rc_vscale.dir/soc.cc.o" "gcc" "src/vscale/CMakeFiles/rc_vscale.dir/soc.cc.o.d"
+  "/root/repo/src/vscale/soc_tso.cc" "src/vscale/CMakeFiles/rc_vscale.dir/soc_tso.cc.o" "gcc" "src/vscale/CMakeFiles/rc_vscale.dir/soc_tso.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/rtl/CMakeFiles/rc_rtl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/litmus/CMakeFiles/rc_litmus.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/rc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_vscale.dir/isa.cc.o"
+  "CMakeFiles/rc_vscale.dir/isa.cc.o.d"
+  "CMakeFiles/rc_vscale.dir/program.cc.o"
+  "CMakeFiles/rc_vscale.dir/program.cc.o.d"
+  "CMakeFiles/rc_vscale.dir/soc.cc.o"
+  "CMakeFiles/rc_vscale.dir/soc.cc.o.d"
+  "CMakeFiles/rc_vscale.dir/soc_tso.cc.o"
+  "CMakeFiles/rc_vscale.dir/soc_tso.cc.o.d"
+  "librc_vscale.a"
+  "librc_vscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_vscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

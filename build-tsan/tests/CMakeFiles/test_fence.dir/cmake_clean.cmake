@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fence.dir/test_fence.cc.o"
+  "CMakeFiles/test_fence.dir/test_fence.cc.o.d"
+  "test_fence"
+  "test_fence.pdb"
+  "test_fence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_formal.dir/test_formal.cc.o"
+  "CMakeFiles/test_formal.dir/test_formal.cc.o.d"
+  "test_formal"
+  "test_formal.pdb"
+  "test_formal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_formal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

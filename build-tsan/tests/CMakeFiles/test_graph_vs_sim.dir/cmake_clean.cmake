@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_vs_sim.dir/test_graph_vs_sim.cc.o"
+  "CMakeFiles/test_graph_vs_sim.dir/test_graph_vs_sim.cc.o.d"
+  "test_graph_vs_sim"
+  "test_graph_vs_sim.pdb"
+  "test_graph_vs_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_vs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

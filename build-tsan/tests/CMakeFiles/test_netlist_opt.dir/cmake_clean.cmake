@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netlist_opt.dir/test_netlist_opt.cc.o"
+  "CMakeFiles/test_netlist_opt.dir/test_netlist_opt.cc.o.d"
+  "test_netlist_opt"
+  "test_netlist_opt.pdb"
+  "test_netlist_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netlist_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_formula.dir/test_random_formula.cc.o"
+  "CMakeFiles/test_random_formula.dir/test_random_formula.cc.o.d"
+  "test_random_formula"
+  "test_random_formula.pdb"
+  "test_random_formula[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_formula.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_nfa.dir/test_random_nfa.cc.o"
+  "CMakeFiles/test_random_nfa.dir/test_random_nfa.cc.o.d"
+  "test_random_nfa"
+  "test_random_nfa.pdb"
+  "test_random_nfa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_nfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl_edge.dir/test_rtl_edge.cc.o"
+  "CMakeFiles/test_rtl_edge.dir/test_rtl_edge.cc.o.d"
+  "test_rtl_edge"
+  "test_rtl_edge.pdb"
+  "test_rtl_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtlcheck.dir/test_rtlcheck.cc.o"
+  "CMakeFiles/test_rtlcheck.dir/test_rtlcheck.cc.o.d"
+  "test_rtlcheck"
+  "test_rtlcheck.pdb"
+  "test_rtlcheck[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtlcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

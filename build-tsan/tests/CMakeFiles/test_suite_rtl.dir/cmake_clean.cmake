@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suite_rtl.dir/test_suite_rtl.cc.o"
+  "CMakeFiles/test_suite_rtl.dir/test_suite_rtl.cc.o.d"
+  "test_suite_rtl"
+  "test_suite_rtl.pdb"
+  "test_suite_rtl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suite_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sva.dir/test_sva.cc.o"
+  "CMakeFiles/test_sva.dir/test_sva.cc.o.d"
+  "test_sva"
+  "test_sva.pdb"
+  "test_sva[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

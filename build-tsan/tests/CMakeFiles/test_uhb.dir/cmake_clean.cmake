@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uhb.dir/test_uhb.cc.o"
+  "CMakeFiles/test_uhb.dir/test_uhb.cc.o.d"
+  "test_uhb"
+  "test_uhb.pdb"
+  "test_uhb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uhb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uspec.dir/test_uspec.cc.o"
+  "CMakeFiles/test_uspec.dir/test_uspec.cc.o.d"
+  "test_uspec"
+  "test_uspec.pdb"
+  "test_uspec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uspec_edge.dir/test_uspec_edge.cc.o"
+  "CMakeFiles/test_uspec_edge.dir/test_uspec_edge.cc.o.d"
+  "test_uspec_edge"
+  "test_uspec_edge.pdb"
+  "test_uspec_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uspec_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vscale_sim.dir/test_vscale_sim.cc.o"
+  "CMakeFiles/test_vscale_sim.dir/test_vscale_sim.cc.o.d"
+  "test_vscale_sim"
+  "test_vscale_sim.pdb"
+  "test_vscale_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vscale_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

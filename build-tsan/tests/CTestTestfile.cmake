@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_bitvector[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_rtl[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_litmus[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_isa[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_vscale_sim[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_uspec[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_uhb[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sva[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_formal[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_rtlcheck[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_tso[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_generators[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_suite_rtl[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_fence[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_random_nfa[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_random_formula[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_graph_vs_sim[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_fault_injection[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_crosscheck[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_rtl_edge[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_uspec_edge[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_engine_edge[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_netlist_opt[1]_include.cmake")
+add_test(parallel_determinism_tsan "/root/repo/build-tsan/tests/test_parallel" "--gtest_filter=Parallel*:ThreadPool.*")
+set_tests_properties(parallel_determinism_tsan PROPERTIES  ENVIRONMENT "TSAN_OPTIONS=halt_on_error=1" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;41;add_test;/root/repo/tests/CMakeLists.txt;0;")

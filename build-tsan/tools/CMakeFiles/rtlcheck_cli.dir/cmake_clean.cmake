@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtlcheck_cli.dir/rtlcheck_cli.cc.o"
+  "CMakeFiles/rtlcheck_cli.dir/rtlcheck_cli.cc.o.d"
+  "rtlcheck_cli"
+  "rtlcheck_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtlcheck_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
