@@ -1,6 +1,7 @@
 #include "thread_pool.hh"
 
 #include <cstdlib>
+#include <map>
 
 namespace rtlcheck {
 
@@ -15,6 +16,21 @@ ThreadPool::defaultJobs()
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
+}
+
+ThreadPool &
+ThreadPool::shared(std::size_t parallelism)
+{
+    if (parallelism == 0)
+        parallelism = defaultJobs();
+    static std::mutex registry_mutex;
+    static std::map<std::size_t, std::unique_ptr<ThreadPool>>
+        registry;
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    auto &slot = registry[parallelism];
+    if (!slot)
+        slot = std::make_unique<ThreadPool>(parallelism);
+    return *slot;
 }
 
 ThreadPool::ThreadPool(std::size_t parallelism)

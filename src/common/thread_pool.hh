@@ -55,6 +55,16 @@ class ThreadPool
      *  hardware_concurrency (at least 1). */
     static std::size_t defaultJobs();
 
+    /** A process-wide pool with exactly `parallelism` lanes (0 =
+     *  defaultJobs()), created on first use and reused by every
+     *  caller asking for the same level — repeated short-lived
+     *  parallel sections (one state-graph exploration per litmus
+     *  test, say) would otherwise pay thread spawn/join per section.
+     *  Safe to use from several threads at once: concurrent
+     *  parallelFor calls interleave on the shared queue and each
+     *  caller still drains its own loop. */
+    static ThreadPool &shared(std::size_t parallelism = 0);
+
     /** Total lanes (worker threads + the participating caller). */
     std::size_t parallelism() const { return _workers.size() + 1; }
 
@@ -64,6 +74,13 @@ class ThreadPool
     /** Run fn(i) for every i in [0, n); see file comment. */
     template <class F>
     void parallelFor(std::size_t n, F &&fn);
+
+    /** Split [0, n) into at most parallelism() * 4 contiguous chunks
+     *  and run fn(begin, end) for each via parallelFor. Lets loop
+     *  bodies amortize per-invocation setup (scratch buffers) over a
+     *  range while keeping enough chunks for load balancing. */
+    template <class F>
+    void parallelChunks(std::size_t n, F &&fn);
 
     /** Run a callable asynchronously; with zero workers it runs
      *  inline and the future is immediately ready. */
@@ -120,6 +137,24 @@ ThreadPool::parallelFor(std::size_t n, F &&fn)
 {
     const std::function<void(std::size_t)> body = std::ref(fn);
     runIndexed(body, n);
+}
+
+template <class F>
+void
+ThreadPool::parallelChunks(std::size_t n, F &&fn)
+{
+    if (n == 0)
+        return;
+    std::size_t chunks = parallelism() * 4;
+    if (chunks > n)
+        chunks = n;
+    const std::size_t base = n / chunks;
+    const std::size_t extra = n % chunks;
+    parallelFor(chunks, [&](std::size_t c) {
+        const std::size_t begin =
+            c * base + (c < extra ? c : extra);
+        fn(begin, begin + base + (c < extra ? 1 : 0));
+    });
 }
 
 template <class F>

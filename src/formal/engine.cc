@@ -88,39 +88,168 @@ secondsSince(Clock::time_point t0)
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/** NFA-product check of one property over the cached state graph.
- *  Pure function of (graph, prop, max_states): the graph is
- *  read-only and all working state is local, so any number of
- *  checkProperty calls may run concurrently on one graph. */
-PropertyResult
-checkProperty(const GraphView &graph, const sva::Property &prop,
-              std::size_t max_states)
+/**
+ * NFA-product check of one property over a state graph, resumable.
+ *
+ * The product frontier is FIFO by product-state id, and a product
+ * state's status (Failed / Matched / cap truncation) depends only on
+ * the state itself — not on edges. So the walk can *stall* at the
+ * first queued state whose graph node has no committed out-edges yet
+ * and resume once more of the graph exists: the pop/expand sequence
+ * is exactly the batch one, just spread over time, and every id,
+ * parent, witness trace, and truncation decision is bit-identical to
+ * a single finish() over the completed graph. That is what lets the
+ * engine step these checkers *during* exploration (early
+ * falsification) and reuse them as the final check results.
+ *
+ * `G` is StateGraph (exploration-time monitors) or GraphView (batch
+ * checks over cached graphs). All working state is local, so any
+ * number of checkers may run concurrently on one graph.
+ */
+template <class G>
+class ProductChecker
 {
-    auto t0 = Clock::now();
-    PropertyResult result;
-    result.name = prop.name;
+  public:
+    ProductChecker(const G &graph, const sva::Property &prop,
+                   std::size_t max_states)
+        : _graph(graph), _max(max_states)
+    {
+        _result.name = prop.name;
 
-    // The compiled runtime is immutable and graph-independent;
-    // generation attaches one per property so every engine config
-    // shares it. Hand-assembled properties compile here instead.
-    std::shared_ptr<const sva::PropertyRuntime> local;
-    if (!prop.runtime)
-        local = std::make_shared<const sva::PropertyRuntime>(prop);
-    const sva::PropertyRuntime &rt = prop.runtime ? *prop.runtime
-                                                  : *local;
-    // Precompile the NFA transitions against this graph's interned
-    // edge alphabet: the product walk below consumes the same few
-    // letters across every edge, so per-edge predicate testing is
-    // pure waste.
-    const sva::PropertyRuntime::StepTables tables =
-        rt.compileAlphabet(graph.maskTable());
+        // The compiled runtime is immutable and graph-independent;
+        // generation attaches one per property so every engine
+        // config shares it. Hand-assembled properties compile here.
+        if (!prop.runtime)
+            _local =
+                std::make_shared<const sva::PropertyRuntime>(prop);
+        _rt = prop.runtime ? prop.runtime.get() : _local.get();
+        _nseq = static_cast<std::size_t>(_rt->numSequences());
 
-    // Product states live in flat parallel arrays: the fixed-size
-    // fields in `states`, the per-sequence live sets in `livePool`
-    // (id-major, `nseq` words per state). Keeping a state costs one
-    // arena append instead of a heap-allocated vector copy.
-    const std::size_t nseq =
-        static_cast<std::size_t>(rt.numSequences());
+        // Product states live in flat parallel arrays: the
+        // fixed-size fields in `_states`, the per-sequence live sets
+        // in `_livePool` (id-major, `_nseq` words per state).
+        const std::size_t expected =
+            _max ? _max + 64 : _graph.numNodes() * std::size_t(4);
+        _states.reserve(expected);
+        _livePool.reserve(expected * _nseq);
+        _cap = 64;
+        while (_cap < expected * 2)
+            _cap <<= 1;
+        _slots.assign(_cap, {0, kSlotEmpty});
+
+        // NFA transitions are precompiled against the graph's
+        // interned edge alphabet; syncAlphabet() appends rows as
+        // exploration interns new masks (per-letter rows are
+        // independent, see PropertyRuntime::extendAlphabet).
+        _tables.resize(static_cast<std::size_t>(_nseq));
+        syncAlphabet();
+
+        _cur = _rt->initial();
+        _scratch = _rt->initial();
+        bool root_new = intern(0, _rt->initial(), 0, 0, 0);
+        RC_ASSERT(root_new);
+        _states[0].parent = 0;
+    }
+
+    /**
+     * Pop and process product states in id order. Stops early (without
+     * marking the check done) at the first state whose graph node is
+     * not among the `expanded_nodes` committed ones — unless `final`,
+     * in which case such states simply have no out-edges, exactly as
+     * in a batch run over the finished graph.
+     */
+    void
+    advance(std::size_t expanded_nodes, bool final)
+    {
+        if (_done)
+            return;
+        auto t0 = Clock::now();
+        syncAlphabet();
+        while (_next < _states.size()) {
+            const std::uint32_t id = _next;
+            const std::uint64_t *live =
+                _livePool.data() + std::size_t(id) * _nseq;
+            _cur.live.assign(live, live + _nseq);
+            _cur.matched = _states[id].matched;
+
+            sva::Tri status = _rt->status(_cur);
+            if (status == sva::Tri::Failed) {
+                _result.status = ProofStatus::Falsified;
+                _result.counterexample = tracePath(id);
+                _result.productStates = _states.size();
+                _done = true;
+                break;
+            }
+            if (status == sva::Tri::Matched) {
+                ++_next; // satisfied on every extension of this path
+                continue;
+            }
+
+            if (_max && _states.size() >= _max) {
+                _truncated = true;
+                // The proof is only valid up to the shallowest state
+                // left unexpanded; take the minimum over the whole
+                // frontier (every discovered-but-unexpanded id)
+                // rather than trusting queue order.
+                _truncatedDepth = _states[id].depth;
+                for (std::uint32_t f = id + 1;
+                     f < static_cast<std::uint32_t>(_states.size());
+                     ++f)
+                    _truncatedDepth = std::min(_truncatedDepth,
+                                               _states[f].depth);
+                _done = true;
+                break;
+            }
+
+            const std::uint32_t node = _states[id].node;
+            if (!final && node >= expanded_nodes)
+                break; // stall until this node's edges are committed
+
+            const std::uint32_t depth = _states[id].depth;
+            for (const GraphEdge &e : _graph.outEdges(node)) {
+                _scratch = _cur;
+                _rt->stepLetter(_scratch, e.maskId, _tables);
+                intern(e.dst, _scratch, id, e.input, depth + 1);
+            }
+            ++_next;
+        }
+        _seconds += secondsSince(t0);
+    }
+
+    /** Terminal (Falsified or product-cap) — no advance() can change
+     *  the outcome anymore. */
+    bool done() const { return _done; }
+
+    bool
+    falsified() const
+    {
+        return _done && _result.status == ProofStatus::Falsified;
+    }
+
+    /** Drain the remaining queue against the finished graph and
+     *  assemble the result. */
+    PropertyResult
+    finish()
+    {
+        advance(0, true);
+        if (_result.status != ProofStatus::Falsified) {
+            _result.productStates = _states.size();
+            if (!_truncated && _graph.complete()) {
+                _result.status = ProofStatus::Proven;
+            } else {
+                _result.status = ProofStatus::Bounded;
+                std::uint32_t bound = _graph.exploredDepth();
+                if (_truncated)
+                    bound = std::min(bound, _truncatedDepth);
+                _result.boundCycles = bound;
+            }
+        }
+        _result.checkSeconds = _seconds;
+        return _result;
+    }
+
+  private:
+    static constexpr std::uint32_t kSlotEmpty = 0xffffffffu;
 
     struct ProductState
     {
@@ -131,166 +260,195 @@ checkProperty(const GraphView &graph, const sva::Property &prop,
         std::uint8_t input;
     };
 
-    std::vector<ProductState> states;
-    std::vector<std::uint64_t> livePool;
-    const std::size_t expected =
-        max_states ? max_states + 64
-                   : graph.numNodes() * std::size_t(4);
-    states.reserve(expected);
-    livePool.reserve(expected * nseq);
+    void
+    syncAlphabet()
+    {
+        const std::vector<sva::PredMask> &letters =
+            _graph.maskTable();
+        if (letters.size() > _compiledLetters) {
+            _rt->extendAlphabet(letters, _compiledLetters, _tables);
+            _compiledLetters = letters.size();
+        }
+    }
 
-    // Dedup is a small open-addressed table of (hash, id) slots with
-    // linear probing: the products here are a few hundred states, so
-    // node-based maps spend more time allocating and pointer-chasing
-    // than hashing. Equal full hashes still compare the actual state.
-    constexpr std::uint32_t slot_empty = 0xffffffffu;
-    std::size_t cap = 64;
-    while (cap < expected * 2)
-        cap <<= 1;
-    std::vector<std::pair<std::uint64_t, std::uint32_t>> slots(
-        cap, {0, slot_empty});
-    std::size_t used = 0;
-
-    auto keyOf = [](std::uint32_t node,
-                    const sva::PropertyRuntime::State &ps) {
+    static std::uint64_t
+    keyOf(std::uint32_t node, const sva::PropertyRuntime::State &ps)
+    {
         std::uint64_t h = hashCombine(0x70726f6475637421ull, node);
         for (std::uint64_t l : ps.live)
             h = hashCombine(h, l);
         return hashCombine(h, ps.matched);
-    };
+    }
 
-    auto grow = [&]() {
+    void
+    grow()
+    {
         std::vector<std::pair<std::uint64_t, std::uint32_t>> old(
-            cap * 2, {0, slot_empty});
-        old.swap(slots);
-        cap *= 2;
+            _cap * 2, {0, kSlotEmpty});
+        old.swap(_slots);
+        _cap *= 2;
         for (const auto &s : old) {
-            if (s.second == slot_empty)
+            if (s.second == kSlotEmpty)
                 continue;
-            std::size_t idx = s.first & (cap - 1);
-            while (slots[idx].second != slot_empty)
-                idx = (idx + 1) & (cap - 1);
-            slots[idx] = s;
+            std::size_t idx = s.first & (_cap - 1);
+            while (_slots[idx].second != kSlotEmpty)
+                idx = (idx + 1) & (_cap - 1);
+            _slots[idx] = s;
         }
-    };
+    }
 
-    // Takes the candidate state by reference and copies it only when
-    // it is genuinely new: the caller's scratch state is untouched on
-    // the (dominant) duplicate path. Returns true for new states.
-    auto intern = [&](std::uint32_t node,
-                      const sva::PropertyRuntime::State &ps,
-                      std::uint32_t parent, std::uint8_t input,
-                      std::uint32_t depth) -> bool {
+    // Dedup is a small open-addressed table of (hash, id) slots with
+    // linear probing: the products here are a few hundred states, so
+    // node-based maps spend more time allocating and pointer-chasing
+    // than hashing. Equal full hashes still compare the actual
+    // state. Takes the candidate by reference and copies it only
+    // when genuinely new; returns true for new states.
+    bool
+    intern(std::uint32_t node,
+           const sva::PropertyRuntime::State &ps,
+           std::uint32_t parent, std::uint8_t input,
+           std::uint32_t depth)
+    {
         std::uint64_t h = keyOf(node, ps);
-        std::size_t idx = h & (cap - 1);
+        std::size_t idx = h & (_cap - 1);
         for (;;) {
-            auto &slot = slots[idx];
-            if (slot.second == slot_empty) {
+            auto &slot = _slots[idx];
+            if (slot.second == kSlotEmpty) {
                 std::uint32_t id =
-                    static_cast<std::uint32_t>(states.size());
+                    static_cast<std::uint32_t>(_states.size());
                 slot = {h, id};
-                ++used;
-                states.push_back(
-                    ProductState{node, parent, depth, ps.matched,
-                                 input});
-                livePool.insert(livePool.end(), ps.live.begin(),
-                                ps.live.end());
-                if (used * 4 >= cap * 3)
+                ++_used;
+                _states.push_back(ProductState{
+                    node, parent, depth, ps.matched, input});
+                _livePool.insert(_livePool.end(), ps.live.begin(),
+                                 ps.live.end());
+                if (_used * 4 >= _cap * 3)
                     grow();
                 return true;
             }
             if (slot.first == h) {
-                const ProductState &other = states[slot.second];
+                const ProductState &other = _states[slot.second];
                 if (other.node == node &&
                     other.matched == ps.matched &&
-                    std::memcmp(livePool.data() +
-                                    std::size_t(slot.second) * nseq,
-                                ps.live.data(),
-                                nseq * sizeof(std::uint64_t)) == 0)
+                    std::memcmp(
+                        _livePool.data() +
+                            std::size_t(slot.second) * _nseq,
+                        ps.live.data(),
+                        _nseq * sizeof(std::uint64_t)) == 0)
                     return false;
             }
-            idx = (idx + 1) & (cap - 1);
+            idx = (idx + 1) & (_cap - 1);
         }
-    };
+    }
 
-    auto tracePath = [&](std::uint32_t id) {
+    WitnessTrace
+    tracePath(std::uint32_t id) const
+    {
         WitnessTrace trace;
-        while (states[id].parent != id) {
-            trace.inputs.push_back(states[id].input);
-            id = states[id].parent;
+        while (_states[id].parent != id) {
+            trace.inputs.push_back(_states[id].input);
+            id = _states[id].parent;
         }
         std::reverse(trace.inputs.begin(), trace.inputs.end());
         return trace;
-    };
-
-    bool root_new = intern(0, rt.initial(), 0, 0, 0);
-    RC_ASSERT(root_new);
-    states[0].parent = 0;
-
-    bool truncated = false;
-    std::uint32_t truncated_depth = 0;
-
-    // Scratch states, reused across every pop/edge: the copy
-    // assignments below reuse their live-set buffers instead of
-    // allocating fresh vectors.
-    sva::PropertyRuntime::State cur = rt.initial();
-    sva::PropertyRuntime::State scratch = rt.initial();
-
-    // New states are appended in discovery order, so the FIFO
-    // frontier is just the id counter.
-    for (std::uint32_t id = 0; id < states.size(); ++id) {
-        const std::uint64_t *live =
-            livePool.data() + std::size_t(id) * nseq;
-        cur.live.assign(live, live + nseq);
-        cur.matched = states[id].matched;
-
-        sva::Tri status = rt.status(cur);
-        if (status == sva::Tri::Failed) {
-            result.status = ProofStatus::Falsified;
-            result.counterexample = tracePath(id);
-            result.productStates = states.size();
-            result.checkSeconds = secondsSince(t0);
-            return result;
-        }
-        if (status == sva::Tri::Matched)
-            continue; // satisfied on every extension of this path
-
-        if (max_states && states.size() >= max_states) {
-            truncated = true;
-            // The proof is only valid up to the shallowest state
-            // left unexpanded; take the minimum over the whole
-            // frontier (every discovered-but-unexpanded id) rather
-            // than trusting queue order.
-            truncated_depth = states[id].depth;
-            for (std::uint32_t f = id + 1;
-                 f < static_cast<std::uint32_t>(states.size()); ++f)
-                truncated_depth =
-                    std::min(truncated_depth, states[f].depth);
-            break;
-        }
-
-        const std::uint32_t node = states[id].node;
-        const std::uint32_t depth = states[id].depth;
-        for (const GraphEdge &e : graph.outEdges(node)) {
-            scratch = cur;
-            rt.stepLetter(scratch, e.maskId, tables);
-            intern(e.dst, scratch, id, e.input, depth + 1);
-        }
     }
 
-    result.productStates = states.size();
-    if (!truncated && graph.complete()) {
-        result.status = ProofStatus::Proven;
-    } else {
-        result.status = ProofStatus::Bounded;
-        std::uint32_t bound = graph.exploredDepth();
-        if (truncated)
-            bound = std::min(bound, truncated_depth);
-        result.boundCycles = bound;
-    }
-    result.checkSeconds = secondsSince(t0);
-    return result;
+    const G &_graph;
+    std::size_t _max = 0;
+    const sva::PropertyRuntime *_rt = nullptr;
+    std::shared_ptr<const sva::PropertyRuntime> _local;
+    std::size_t _nseq = 0;
+    sva::PropertyRuntime::StepTables _tables;
+    std::size_t _compiledLetters = 0;
+
+    std::vector<ProductState> _states;
+    std::vector<std::uint64_t> _livePool;
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> _slots;
+    std::size_t _cap = 0;
+    std::size_t _used = 0;
+
+    sva::PropertyRuntime::State _cur;
+    sva::PropertyRuntime::State _scratch;
+    std::uint32_t _next = 0;
+    bool _done = false;
+    bool _truncated = false;
+    std::uint32_t _truncatedDepth = 0;
+    double _seconds = 0.0;
+    PropertyResult _result;
+};
+
+/** One-shot batch check (cached graphs, parallel fan-out). */
+PropertyResult
+checkProperty(const GraphView &graph, const sva::Property &prop,
+              std::size_t max_states)
+{
+    ProductChecker<GraphView> checker(graph, prop, max_states);
+    return checker.finish();
 }
+
+/**
+ * Exploration observer that steps one ProductChecker per property
+ * after every committed BFS level, recording the wall-clock moment a
+ * counterexample is first detected. When engaged (fresh exploration),
+ * finishing the checkers *is* the check phase: the product work
+ * happens exactly once, spread across exploration.
+ */
+class EarlyMonitor final : public ExploreObserver
+{
+  public:
+    EarlyMonitor(const std::vector<sva::Property> &props,
+                 std::size_t max_states, Clock::time_point start)
+        : _props(props), _max(max_states), _start(start)
+    {
+    }
+
+    void
+    onLevelCommitted(const StateGraph &graph, std::size_t expanded,
+                     std::uint32_t) override
+    {
+        if (!_engaged) {
+            _engaged = true;
+            _early.assign(_props.size(), 0.0);
+            _checkers.reserve(_props.size());
+            for (const sva::Property &p : _props)
+                _checkers.push_back(
+                    std::make_unique<ProductChecker<StateGraph>>(
+                        graph, p, _max));
+        }
+        for (std::size_t i = 0; i < _checkers.size(); ++i) {
+            ProductChecker<StateGraph> &c = *_checkers[i];
+            if (c.done())
+                continue;
+            c.advance(expanded, false);
+            if (c.falsified())
+                _early[i] = secondsSince(_start);
+        }
+    }
+
+    /** Did a fresh exploration actually run the monitors? (False on
+     *  cache hits — the batch path takes over.) */
+    bool engaged() const { return _engaged; }
+
+    PropertyResult
+    finish(std::size_t i)
+    {
+        PropertyResult r = _checkers[i]->finish();
+        if (_early[i] > 0.0) {
+            r.earlyFalsified = true;
+            r.earlyFalsifySeconds = _early[i];
+        }
+        return r;
+    }
+
+  private:
+    const std::vector<sva::Property> &_props;
+    std::size_t _max = 0;
+    Clock::time_point _start;
+    bool _engaged = false;
+    std::vector<std::unique_ptr<ProductChecker<StateGraph>>>
+        _checkers;
+    std::vector<double> _early;
+};
 
 } // namespace
 
@@ -305,14 +463,24 @@ verify(const rtl::Netlist &netlist, const sva::PredicateTable &preds,
     auto t0 = Clock::now();
     ExploreLimits limits;
     limits.maxNodes = config.exploreMaxNodes;
+    limits.jobs = config.exploreJobs;
+    // On-the-fly falsification: if this call ends up running a fresh
+    // exploration, the monitor steps every property's product after
+    // each committed BFS level, so counterexamples surface as soon as
+    // the violating path exists. Cache hits skip exploration, so the
+    // monitor stays disengaged and the batch check below runs.
+    EarlyMonitor monitor(properties, config.productMaxStates, t0);
+    ExploreObserver *observer =
+        config.earlyFalsify && !properties.empty() ? &monitor
+                                                   : nullptr;
     std::shared_ptr<const StateGraph> owner;
     bool was_hit = false;
     if (cache) {
         owner = cache->obtain(netlist, preds, assumptions, limits,
-                              &was_hit);
+                              &was_hit, observer);
     } else {
         owner = std::make_shared<const StateGraph>(
-            netlist, assumptions, preds, limits);
+            netlist, assumptions, preds, limits, observer);
     }
     // The cached graph may be larger than this config's budget; the
     // view recovers exactly the bounded run's shape, so everything
@@ -320,6 +488,8 @@ verify(const rtl::Netlist &netlist, const sva::PredicateTable &preds,
     GraphView graph(owner.get(), limits.maxNodes);
     result.exploreSeconds = secondsSince(t0);
     result.graphFromCache = was_hit;
+    result.arenaBytes = owner->arenaBytes();
+    result.arenaBytesUnpacked = owner->unpackedArenaBytes();
 
     result.graphNodes = graph.numNodes();
     result.graphEdges = graph.numEdges();
@@ -338,6 +508,14 @@ verify(const rtl::Netlist &netlist, const sva::PredicateTable &preds,
             w.inputs = graph.pathTo(hit.node);
             w.inputs.push_back(hit.input);
             result.coverWitness = w;
+#ifndef NDEBUG
+            // Witness integrity: replaying the recorded path must
+            // land exactly on the stored packed state (guards the
+            // packing + parallel renumbering machinery).
+            RC_ASSERT(owner->replayMatches(netlist, hit.node),
+                      "cover witness replay diverged from the "
+                      "stored packed state");
+#endif
         }
     }
     result.coverReached = any_cover;
@@ -352,7 +530,16 @@ verify(const rtl::Netlist &netlist, const sva::PredicateTable &preds,
     std::size_t jobs =
         config.jobs ? config.jobs : ThreadPool::defaultJobs();
     result.properties.resize(properties.size());
-    if (jobs > 1 && properties.size() > 1) {
+    if (monitor.engaged()) {
+        // The monitors already consumed the graph while it was being
+        // explored; finishing them (draining whatever the product
+        // queues still hold) IS the check phase — the product work
+        // happens exactly once, and the results are bit-identical to
+        // the batch path below.
+        for (std::size_t i = 0; i < properties.size(); ++i)
+            result.properties[i] = monitor.finish(i);
+        result.checkJobs = 1;
+    } else if (jobs > 1 && properties.size() > 1) {
         ThreadPool pool(jobs);
         pool.parallelFor(properties.size(), [&](std::size_t i) {
             result.properties[i] = checkProperty(

@@ -44,6 +44,18 @@ struct EngineConfig
      *  serial, 0 = ThreadPool::defaultJobs(). Results are identical
      *  at every setting. */
     std::size_t jobs = 1;
+    /** Parallel lanes for state-graph exploration (level-synchronized
+     *  frontier expansion; see state_graph.hh); 1 = serial, 0 =
+     *  ThreadPool::defaultJobs(). Graphs and verdicts are identical
+     *  at every setting. Kept at 1 by default because the suite
+     *  runner already fans whole tests out across a pool. */
+    std::size_t exploreJobs = 1;
+    /** Step per-property monitors during fresh explorations so hard
+     *  counterexamples are detected as soon as the violating path
+     *  exists, before the exploration fixpoint. Never changes any
+     *  verdict or witness — only *when* falsification is detected
+     *  (PropertyResult::earlyFalsified). */
+    bool earlyFalsify = true;
 };
 
 /** Table 1's Hybrid configuration analogue: bounded engines. */
@@ -72,6 +84,12 @@ struct PropertyResult
     std::size_t productStates = 0;
     /** Wall-clock spent checking this property's NFA product. */
     double checkSeconds = 0.0;
+    /** The counterexample was detected by an exploration-time
+     *  monitor, before the exploration fixpoint. */
+    bool earlyFalsified = false;
+    /** Wall-clock from exploration start to the monitor detecting
+     *  the counterexample (0 unless earlyFalsified). */
+    double earlyFalsifySeconds = 0.0;
 };
 
 struct VerifyResult
@@ -92,6 +110,12 @@ struct VerifyResult
     /** Exploration was served from a GraphCache instead of run. */
     bool graphFromCache = false;
 
+    /** Packed state-arena bytes of the explored graph, and what the
+     *  pre-packing one-word-per-slot encoding would have used. */
+    std::size_t arenaBytes = 0;
+    std::size_t arenaBytesUnpacked = 0;
+
+    /** Includes on-the-fly monitor stepping when earlyFalsify ran. */
     double exploreSeconds = 0.0;
     double checkSeconds = 0.0;
     /** Parallel lanes the property checks actually used. */

@@ -48,51 +48,109 @@ std::shared_ptr<const StateGraph>
 GraphCache::obtain(const rtl::Netlist &netlist,
                    const sva::PredicateTable &preds,
                    const std::vector<Assumption> &assumptions,
-                   const ExploreLimits &limits, bool *was_hit)
+                   const ExploreLimits &limits, bool *was_hit,
+                   ExploreObserver *observer)
 {
     const std::uint64_t key = keyOf(netlist, preds, assumptions);
 
-    Entry *entry = nullptr;
+    std::shared_ptr<Entry> entry;
     {
         std::lock_guard<std::mutex> lock(_mutex);
         auto &slot = _entries[key];
         if (!slot)
-            slot = std::make_unique<Entry>();
-        entry = slot.get();
+            slot = std::make_shared<Entry>();
+        entry = slot;
     }
 
     // Per-entry lock: concurrent requests for the same key serialize
     // (first one explores, the rest reuse); different keys proceed in
-    // parallel.
+    // parallel. Never taken while holding _mutex, so eviction can
+    // drop graphs of other keys while this one explores.
     std::lock_guard<std::mutex> entry_lock(entry->mutex);
-    if (entry->graph && sufficient(*entry->graph, limits)) {
+    {
         std::lock_guard<std::mutex> lock(_mutex);
-        ++_stats.hits;
-        if (was_hit)
-            *was_hit = true;
-        return entry->graph;
+        if (entry->graph && sufficient(*entry->graph, limits)) {
+            ++_stats.hits;
+            entry->lastUse = ++_useCounter;
+            if (was_hit)
+                *was_hit = true;
+            return entry->graph;
+        }
     }
 
+    // The exploration observer only ever fires on this caller's own
+    // fresh exploration — never on a cache hit — so the engine can
+    // tell whether its monitors actually saw the graph being built.
     auto graph = std::make_shared<const StateGraph>(
-        netlist, assumptions, preds, limits);
+        netlist, assumptions, preds, limits, observer);
+
+    std::lock_guard<std::mutex> lock(_mutex);
     // Keep the more-complete graph: a truncated cached graph is
     // replaced by this larger exploration, never the reverse (the
     // sufficiency check above would have reused a larger one).
+    if (entry->graph) {
+        _bytesCached -= entry->bytes;
+        --_numCached;
+    }
     entry->graph = graph;
-
-    std::lock_guard<std::mutex> lock(_mutex);
+    entry->bytes = graph->memoryBytes();
+    entry->lastUse = ++_useCounter;
+    _bytesCached += entry->bytes;
+    ++_numCached;
     ++_stats.misses;
     ++_stats.explores;
+    enforceBudgetLocked(entry.get());
     if (was_hit)
         *was_hit = false;
     return graph;
+}
+
+void
+GraphCache::setBudget(std::size_t max_bytes, std::size_t max_entries)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _maxBytes = max_bytes;
+    _maxEntries = max_entries;
+    enforceBudgetLocked(nullptr);
+}
+
+void
+GraphCache::enforceBudgetLocked(const Entry *keep)
+{
+    if (!_maxBytes && !_maxEntries)
+        return;
+    for (;;) {
+        const bool over =
+            (_maxBytes && _bytesCached > _maxBytes) ||
+            (_maxEntries && _numCached > _maxEntries);
+        if (!over)
+            return;
+        Entry *victim = nullptr;
+        for (auto &kv : _entries) {
+            Entry *e = kv.second.get();
+            if (!e->graph || e == keep)
+                continue;
+            if (!victim || e->lastUse < victim->lastUse)
+                victim = e;
+        }
+        if (!victim)
+            return; // only the exempt graph remains
+        _bytesCached -= victim->bytes;
+        victim->bytes = 0;
+        victim->graph.reset();
+        --_numCached;
+        ++_stats.evictions;
+    }
 }
 
 GraphCache::Stats
 GraphCache::stats() const
 {
     std::lock_guard<std::mutex> lock(_mutex);
-    return _stats;
+    Stats s = _stats;
+    s.entries = _numCached;
+    s.bytesCached = _bytesCached;
+    return s;
 }
 
 void
@@ -101,6 +159,9 @@ GraphCache::clear()
     std::lock_guard<std::mutex> lock(_mutex);
     _entries.clear();
     _stats = Stats{};
+    _bytesCached = 0;
+    _numCached = 0;
+    _useCounter = 0;
 }
 
 } // namespace rtlcheck::formal

@@ -21,10 +21,19 @@
  * graph is more complete.
  *
  * Thread safety: obtain() may be called concurrently (the suite
- * runner fans tests out across a pool). The map is guarded by one
- * mutex; each entry has its own mutex so two threads asking for the
- * same key block on each other (one explores, the other reuses)
- * while requests for different keys explore in parallel.
+ * runner fans tests out across a pool). The map and every entry's
+ * graph pointer are guarded by one mutex; each entry additionally
+ * has its own mutex so two threads asking for the same key block on
+ * each other (one explores, the other reuses) while requests for
+ * different keys explore in parallel. Eviction only ever resets an
+ * entry's graph pointer under the map mutex — shared_ptr holders
+ * returned from earlier obtain() calls stay valid.
+ *
+ * Memory: setBudget() bounds the bytes/graphs kept resident. When a
+ * freshly published graph pushes the cache over budget, the
+ * least-recently-used other graphs are dropped (counted in
+ * Stats::evictions); a later request for an evicted key simply
+ * re-explores.
  */
 
 #ifndef RTLCHECK_FORMAL_GRAPH_CACHE_HH
@@ -47,6 +56,9 @@ class GraphCache
         std::size_t hits = 0;      ///< requests served from cache
         std::size_t misses = 0;    ///< requests that had to explore
         std::size_t explores = 0;  ///< explorations actually run
+        std::size_t evictions = 0; ///< graphs dropped for the budget
+        std::size_t entries = 0;     ///< graphs currently resident
+        std::size_t bytesCached = 0; ///< their approximate bytes
     };
 
     /**
@@ -61,7 +73,14 @@ class GraphCache
     obtain(const rtl::Netlist &netlist,
            const sva::PredicateTable &preds,
            const std::vector<Assumption> &assumptions,
-           const ExploreLimits &limits, bool *was_hit = nullptr);
+           const ExploreLimits &limits, bool *was_hit = nullptr,
+           ExploreObserver *observer = nullptr);
+
+    /** Bound resident graphs to `max_bytes` (memoryBytes() sum) and
+     *  `max_entries` graphs; 0 = unlimited. Applies to future
+     *  publications; the newest graph is never evicted. */
+    void setBudget(std::size_t max_bytes,
+                   std::size_t max_entries = 0);
 
     /** Content key of a request (netlist fingerprint + predicate
      *  roots + resolved assumptions). Exposed for tests. */
@@ -75,17 +94,34 @@ class GraphCache
   private:
     struct Entry
     {
+        /** Serializes exploration per key (held without _mutex). */
         std::mutex mutex;
+        // The fields below are guarded by GraphCache::_mutex, NOT by
+        // the entry mutex: eviction must be able to drop a graph
+        // while another thread holds the entry mutex to explore a
+        // *different* key.
         std::shared_ptr<const StateGraph> graph;
+        std::size_t bytes = 0;
+        std::uint64_t lastUse = 0;
     };
 
     /** Can `graph` serve a request explored with `limits`? */
     static bool sufficient(const StateGraph &graph,
                            const ExploreLimits &limits);
 
+    /** Drop LRU graphs until within budget; `keep` is exempt.
+     *  Caller holds _mutex. */
+    void enforceBudgetLocked(const Entry *keep);
+
     mutable std::mutex _mutex;
-    std::unordered_map<std::uint64_t, std::unique_ptr<Entry>> _entries;
+    std::unordered_map<std::uint64_t, std::shared_ptr<Entry>>
+        _entries;
     Stats _stats;
+    std::size_t _maxBytes = 0;
+    std::size_t _maxEntries = 0;
+    std::size_t _bytesCached = 0;
+    std::size_t _numCached = 0;
+    std::uint64_t _useCounter = 0;
 };
 
 } // namespace rtlcheck::formal

@@ -1,18 +1,39 @@
 #include "state_graph.hh"
 
 #include <algorithm>
-#include <deque>
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
 
 #include "common/hashing.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace rtlcheck::formal {
+
+namespace {
+
+// Sentinels of the concurrent dedup table's id slots. Committed node
+// ids occupy [0, kClaimBit); in-level claims are published as
+// kClaimBit | claim-index and rewritten to their final id during the
+// serial commit pass.
+constexpr std::uint32_t kEmptySlot = 0xffffffffu;
+constexpr std::uint32_t kBusySlot = 0xfffffffeu;
+constexpr std::uint32_t kClaimBit = 0x80000000u;
+
+// Fewer parallel tasks than this and a level is expanded inline: the
+// per-level fork/join costs more than the evaluation it spreads.
+constexpr std::size_t kParallelGrain = 64;
+
+} // namespace
 
 StateGraph::StateGraph(const rtl::Netlist &netlist,
                        const std::vector<Assumption> &assumptions,
                        const sva::PredicateTable &preds,
-                       const ExploreLimits &limits)
-    : _initial(netlist.initialState())
+                       const ExploreLimits &limits,
+                       ExploreObserver *observer)
+    : _initial(netlist.initialState()), _packing(netlist.packing())
 {
     // Apply initial-state pins and collect the per-cycle assumptions.
     std::vector<const Assumption *> implications;
@@ -36,6 +57,14 @@ StateGraph::StateGraph(const rtl::Netlist &netlist,
         }
     }
     _covers.assign(covers.size(), CoverHit{});
+    RC_ASSERT(covers.size() <= 64,
+              "cover bitmap limited to 64 per exploration");
+
+    // Packed dedup is injective only on states that fit their
+    // declared widths; eval() guarantees that for every successor, so
+    // checking the (pinned) root covers all reachable states.
+    RC_ASSERT(_packing.fits(_initial.data()),
+              "pinned initial state exceeds declared widths");
 
     // Input enumeration: the flattened valuation is the
     // concatenation of all primary inputs, LSB-first. Decode every
@@ -60,114 +89,350 @@ StateGraph::StateGraph(const rtl::Netlist &netlist,
         _inputTable.push_back(std::move(inputs));
     }
 
-    const std::size_t words = netlist.stateWords();
-    auto stateAt = [&](std::uint32_t id) {
-        return _stateArena.data() +
-               static_cast<std::size_t>(id) * words;
-    };
+    const std::size_t uw = _initial.size();
+    const std::size_t pw = _packing.packedWords();
+    _packedWords = pw;
 
-    // Size the dedup table and arena up front: growth rehashes and
-    // arena reallocs otherwise dominate large explorations. For
-    // bounded runs the node count is known; unlimited runs get a
-    // generous floor and grow from there.
+    // Size the arena and metadata up front: growth reallocs
+    // otherwise dominate large explorations. For bounded runs the
+    // node count is known; unlimited runs get a generous floor.
     const std::size_t expected =
         limits.maxNodes ? limits.maxNodes + limits.maxNodes / 2
                         : 4096;
-    _dedup.reserve(expected);
-    _stateArena.reserve(expected * words);
+    _stateArena.reserve(expected * pw);
     _edges.reserve(expected);
     _depth.reserve(expected);
     _parent.reserve(expected);
 
-    auto intern = [&](const rtl::StateVec &s,
-                      bool &is_new) -> std::uint32_t {
-        std::uint64_t h = hashWords(s);
-        auto &bucket = _dedup[h];
-        for (std::uint32_t id : bucket) {
-            if (std::equal(s.begin(), s.end(), stateAt(id))) {
-                is_new = false;
-                return id;
-            }
-        }
-        std::uint32_t id = static_cast<std::uint32_t>(_edges.size());
-        _stateArena.insert(_stateArena.end(), s.begin(), s.end());
+    // ---- concurrent dedup table (scoped to construction) ----
+    //
+    // Open addressing over two parallel arrays: plain 64-bit hashes
+    // and atomic 32-bit ids. Insertion CASes an id slot from empty to
+    // busy, writes the hash and its claim bookkeeping, then publishes
+    // the claim reference with a release store; probers acquire-load
+    // the id and may then safely read the hash and the claimed state.
+    // The table is sized before each level so it never grows while
+    // lanes are probing, and it is freed once exploration finishes —
+    // the graph itself keeps only the packed arena.
+    std::size_t cap = 1024;
+    std::vector<std::uint64_t> slotHash(cap, 0);
+    std::unique_ptr<std::atomic<std::uint32_t>[]> slotId(
+        new std::atomic<std::uint32_t>[cap]);
+    for (std::size_t i = 0; i < cap; ++i)
+        slotId[i].store(kEmptySlot, std::memory_order_relaxed);
+    std::vector<std::uint64_t> nodeHash; // per committed node
+    nodeHash.reserve(expected);
+
+    auto packedOf = [&](std::uint32_t id) {
+        return _stateArena.data() +
+               static_cast<std::size_t>(id) * pw;
+    };
+
+    // Serial-only: append a committed node (id = discovery order).
+    auto commitNode = [&](const std::uint32_t *packed,
+                          std::uint64_t h, std::uint32_t parent,
+                          std::uint8_t input,
+                          std::uint32_t depth) -> std::uint32_t {
+        const std::uint32_t id =
+            static_cast<std::uint32_t>(_edges.size());
+        RC_ASSERT(id < kClaimBit, "state graph node id overflow");
+        _stateArena.insert(_stateArena.end(), packed, packed + pw);
         _edges.emplace_back();
-        _depth.push_back(0);
-        _parent.push_back({id, 0});
-        bucket.push_back(id);
-        is_new = true;
+        _depth.push_back(depth);
+        _parent.push_back({parent, input});
+        nodeHash.push_back(h);
         return id;
     };
 
-    bool is_new = false;
-    std::uint32_t root = intern(_initial, is_new);
-    std::deque<std::uint32_t> frontier{root};
+    // Serial-only: insert a committed node into the table.
+    auto publish = [&](std::uint32_t id) {
+        std::size_t idx = nodeHash[id] & (cap - 1);
+        while (slotId[idx].load(std::memory_order_relaxed) !=
+               kEmptySlot)
+            idx = (idx + 1) & (cap - 1);
+        slotHash[idx] = nodeHash[id];
+        slotId[idx].store(id, std::memory_order_relaxed);
+    };
 
-    rtl::ValueVec values;
-    rtl::StateVec next;
-    std::uint32_t truncated_at_depth = 0;
-    bool truncated = false;
-    std::size_t covers_left = covers.size();
+    // Serial-only, between levels: keep the load factor under 1/2 for
+    // the worst case (every task of the next level claims a slot).
+    auto ensureCapacity = [&](std::size_t needed) {
+        if (needed * 2 <= cap)
+            return;
+        while (cap < needed * 2)
+            cap <<= 1;
+        slotHash.assign(cap, 0);
+        slotId.reset(new std::atomic<std::uint32_t>[cap]);
+        for (std::size_t i = 0; i < cap; ++i)
+            slotId[i].store(kEmptySlot, std::memory_order_relaxed);
+        for (std::uint32_t id = 0;
+             id < static_cast<std::uint32_t>(_edges.size()); ++id)
+            publish(id);
+    };
 
-    while (!frontier.empty()) {
-        std::uint32_t node = frontier.front();
-        frontier.pop_front();
-        if (limits.maxNodes && _expanded >= limits.maxNodes) {
-            truncated = true;
-            truncated_at_depth = _depth[node];
-            break;
+    // ---- per-level staging ----
+    //
+    // Task index ("flat") = level-node index * numInputs + combo.
+    // Lanes write results only into their own task's slots, so the
+    // parallel phase needs no synchronization beyond the dedup table.
+    struct EdgeTask
+    {
+        sva::PredMask mask{};
+        std::uint64_t hash = 0;
+        std::uint64_t coverMask = 0;
+        std::uint32_t dstRef = 0;
+        bool pruned = false;
+    };
+    std::vector<EdgeTask> results;
+    std::vector<std::uint32_t> staging; // candidate packed states
+    std::vector<std::uint32_t> claimFlat; // claim -> creating task
+    std::vector<std::uint32_t> claimSlot; // claim -> table slot
+    std::vector<std::uint32_t> claimFinal; // claim -> committed id
+    std::atomic<std::uint32_t> claimCount{0};
+
+    // Find the state's committed id, or claim it as new. Every lane
+    // probing an equal state walks the same probe sequence from the
+    // same hash and never passes the first empty slot of that
+    // sequence without either claiming it or comparing against its
+    // occupant — so one state can never be claimed twice.
+    auto claimOrFind = [&](const std::uint32_t *cand,
+                           std::uint64_t h,
+                           std::uint32_t flat) -> std::uint32_t {
+        std::size_t idx = h & (cap - 1);
+        for (;;) {
+            std::uint32_t id =
+                slotId[idx].load(std::memory_order_acquire);
+            if (id == kEmptySlot) {
+                std::uint32_t expected = kEmptySlot;
+                if (slotId[idx].compare_exchange_strong(
+                        expected, kBusySlot,
+                        std::memory_order_acq_rel)) {
+                    const std::uint32_t ci = claimCount.fetch_add(
+                        1, std::memory_order_relaxed);
+                    claimFlat[ci] = flat;
+                    claimSlot[ci] =
+                        static_cast<std::uint32_t>(idx);
+                    slotHash[idx] = h;
+                    slotId[idx].store(kClaimBit | ci,
+                                      std::memory_order_release);
+                    return kClaimBit | ci;
+                }
+                continue; // lost the race; re-examine this slot
+            }
+            if (id == kBusySlot)
+                continue; // claimant is publishing; spin briefly
+            if (slotHash[idx] == h) {
+                const std::uint32_t *other =
+                    (id & kClaimBit)
+                        ? staging.data() +
+                              static_cast<std::size_t>(
+                                  claimFlat[id & ~kClaimBit]) *
+                                  pw
+                        : packedOf(id);
+                if (std::memcmp(other, cand,
+                                pw * sizeof(std::uint32_t)) == 0)
+                    return id;
+            }
+            idx = (idx + 1) & (cap - 1);
         }
-        ++_expanded;
+    };
 
-        // Copy the state out of the arena: intern() may reallocate.
-        rtl::StateVec state(stateAt(node), stateAt(node) + words);
-        _edges[node].reserve(_numInputs);
+    // Interned-mask table, also scoped to construction.
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>
+        maskIndex;
+    auto internMask =
+        [&](const sva::PredMask &mask) -> std::uint32_t {
+        std::uint64_t h = 0;
+        for (std::uint64_t w : mask)
+            h = hashCombine(h, w);
+        auto &bucket = maskIndex[h];
+        for (std::uint32_t id : bucket)
+            if (_maskTable[id] == mask)
+                return id;
+        std::uint32_t id =
+            static_cast<std::uint32_t>(_maskTable.size());
+        _maskTable.push_back(mask);
+        bucket.push_back(id);
+        return id;
+    };
 
-        for (unsigned combo = 0; combo < _numInputs; ++combo) {
-            const rtl::InputVec &inputs = _inputTable[combo];
-            netlist.eval(state.data(), inputs.data(), values);
-            sva::PredMask mask = preds.evaluate(netlist, values);
+    // Root: pack the pinned initial state and commit it as node 0.
+    {
+        std::vector<std::uint32_t> packed(pw, 0);
+        _packing.pack(_initial.data(), packed.data());
+        commitNode(packed.data(), hashWords(packed.data(), pw), 0, 0,
+                   0);
+        publish(0);
+    }
 
-            // Assumption pruning: a cycle that violates an
-            // implication invalidates every trace through it.
-            bool ok = true;
-            for (const Assumption *imp : implications) {
-                if (sva::predTrue(mask, imp->antecedent) &&
-                    !sva::predTrue(mask, imp->consequent)) {
-                    ok = false;
-                    break;
-                }
+    const std::size_t jobs =
+        limits.jobs ? limits.jobs : ThreadPool::defaultJobs();
+    ThreadPool *pool = nullptr; // bound on the first wide level
+
+    std::vector<std::size_t> coverPending; // unreached cover indices
+    std::size_t covers_left = covers.size();
+    bool truncated = false;
+    std::uint32_t truncated_at_depth = 0;
+
+    std::size_t levelBegin = 0;
+    std::size_t levelEnd = 1;
+    while (levelBegin < levelEnd) {
+        const std::uint32_t depth =
+            _depth[levelBegin];
+        const std::size_t levelCount = levelEnd - levelBegin;
+        std::size_t expandCount = levelCount;
+        if (limits.maxNodes) {
+            const std::size_t left = limits.maxNodes > _expanded
+                                         ? limits.maxNodes - _expanded
+                                         : 0;
+            if (left < levelCount) {
+                // Same cut the serial FIFO makes: the first node it
+                // would have popped without expanding is at this
+                // level's depth.
+                truncated = true;
+                expandCount = left;
+                truncated_at_depth = depth;
             }
-            if (!ok)
-                continue;
+        }
+        if (expandCount == 0)
+            break;
 
-            if (covers_left) {
-                for (std::size_t ci = 0; ci < covers.size(); ++ci) {
-                    if (_covers[ci].reached)
-                        continue;
-                    if (sva::predTrue(mask, covers[ci]->antecedent) &&
-                        sva::predTrue(mask, covers[ci]->consequent)) {
-                        _covers[ci] = CoverHit{
-                            true, node,
-                            static_cast<std::uint8_t>(combo)};
-                        --covers_left;
+        const std::size_t tasks = expandCount * _numInputs;
+        ensureCapacity(_edges.size() + tasks);
+        results.resize(tasks);
+        staging.resize(tasks * pw);
+        claimFlat.resize(tasks);
+        claimSlot.resize(tasks);
+        claimFinal.assign(tasks, kEmptySlot);
+        claimCount.store(0, std::memory_order_relaxed);
+        coverPending.clear();
+        for (std::size_t ci = 0; ci < covers.size(); ++ci)
+            if (!_covers[ci].reached)
+                coverPending.push_back(ci);
+
+        // Phase A (parallel): evaluate every (node, combo) of the
+        // level into its own staging slot. The arena is read-only
+        // here; only the dedup table is shared-mutable.
+        auto expandRange = [&](std::size_t begin, std::size_t end) {
+            rtl::ValueVec values;
+            rtl::StateVec state(uw);
+            rtl::StateVec next;
+            for (std::size_t li = begin; li < end; ++li) {
+                const std::uint32_t node = static_cast<std::uint32_t>(
+                    levelBegin + li);
+                _packing.unpack(packedOf(node), state.data());
+                for (unsigned combo = 0; combo < _numInputs;
+                     ++combo) {
+                    const std::uint32_t flat =
+                        static_cast<std::uint32_t>(
+                            li * _numInputs + combo);
+                    EdgeTask &task = results[flat];
+                    netlist.eval(state.data(),
+                                 _inputTable[combo].data(), values);
+                    sva::PredMask mask =
+                        preds.evaluate(netlist, values);
+
+                    // Assumption pruning: a cycle that violates an
+                    // implication invalidates every trace through it.
+                    bool ok = true;
+                    for (const Assumption *imp : implications) {
+                        if (sva::predTrue(mask, imp->antecedent) &&
+                            !sva::predTrue(mask, imp->consequent)) {
+                            ok = false;
+                            break;
+                        }
                     }
+                    task.pruned = !ok;
+                    if (!ok)
+                        continue;
+                    task.mask = mask;
+
+                    std::uint64_t cm = 0;
+                    for (std::size_t ci : coverPending) {
+                        if (sva::predTrue(mask,
+                                          covers[ci]->antecedent) &&
+                            sva::predTrue(mask,
+                                          covers[ci]->consequent))
+                            cm |= std::uint64_t(1) << ci;
+                    }
+                    task.coverMask = cm;
+
+                    netlist.nextState(state.data(), values.data(),
+                                      next);
+                    std::uint32_t *cand =
+                        staging.data() +
+                        static_cast<std::size_t>(flat) * pw;
+                    _packing.pack(next.data(), cand);
+                    task.hash = hashWords(cand, pw);
+                    task.dstRef =
+                        claimOrFind(cand, task.hash, flat);
+                }
+            }
+        };
+
+        if (jobs > 1 && tasks >= kParallelGrain) {
+            if (!pool)
+                pool = &ThreadPool::shared(jobs);
+            pool->parallelChunks(expandCount, expandRange);
+        } else {
+            expandRange(0, expandCount);
+        }
+        _expanded += expandCount;
+
+        // Phase B (serial commit): walk tasks in (node, combo) order
+        // — the exact order the serial FIFO expands — and assign new
+        // ids on first encounter, so the numbering is independent of
+        // which lane claimed a state first.
+        for (std::size_t n = 0; n < expandCount; ++n)
+            _edges[levelBegin + n].reserve(_numInputs);
+        for (std::size_t flat = 0; flat < tasks; ++flat) {
+            const EdgeTask &task = results[flat];
+            if (task.pruned)
+                continue;
+            const std::uint32_t src = static_cast<std::uint32_t>(
+                levelBegin + flat / _numInputs);
+            const std::uint8_t combo =
+                static_cast<std::uint8_t>(flat % _numInputs);
+
+            if (covers_left && task.coverMask) {
+                for (std::size_t ci = 0; ci < covers.size(); ++ci) {
+                    if (_covers[ci].reached ||
+                        !((task.coverMask >> ci) & 1))
+                        continue;
+                    _covers[ci] = CoverHit{true, src, combo};
+                    --covers_left;
                 }
             }
 
-            netlist.nextState(state.data(), values.data(), next);
-            bool fresh = false;
-            std::uint32_t dst = intern(next, fresh);
-            if (fresh) {
-                _depth[dst] = _depth[node] + 1;
-                _parent[dst] = {node, static_cast<std::uint8_t>(combo)};
-                frontier.push_back(dst);
+            std::uint32_t dst;
+            if (task.dstRef & kClaimBit) {
+                const std::uint32_t ci = task.dstRef & ~kClaimBit;
+                if (claimFinal[ci] == kEmptySlot) {
+                    dst = commitNode(
+                        staging.data() +
+                            static_cast<std::size_t>(flat) * pw,
+                        task.hash, src, combo, depth + 1);
+                    claimFinal[ci] = dst;
+                    slotId[claimSlot[ci]].store(
+                        dst, std::memory_order_relaxed);
+                } else {
+                    dst = claimFinal[ci];
+                }
+            } else {
+                dst = task.dstRef;
             }
-            _edges[node].push_back(GraphEdge{
-                dst, internMask(mask),
-                static_cast<std::uint8_t>(combo)});
+
+            _edges[src].push_back(
+                GraphEdge{dst, internMask(task.mask), combo});
             ++_numEdges;
         }
+
+        if (observer)
+            observer->onLevelCommitted(*this, _expanded, depth);
+        if (truncated)
+            break;
+        levelBegin = levelEnd;
+        levelEnd = _edges.size();
     }
 
     _complete = !truncated;
@@ -184,22 +449,6 @@ StateGraph::StateGraph(const rtl::Netlist &netlist,
     }
 }
 
-std::uint32_t
-StateGraph::internMask(const sva::PredMask &mask)
-{
-    std::uint64_t h = 0;
-    for (std::uint64_t w : mask)
-        h = hashCombine(h, w);
-    auto &bucket = _maskIndex[h];
-    for (std::uint32_t id : bucket)
-        if (_maskTable[id] == mask)
-            return id;
-    std::uint32_t id = static_cast<std::uint32_t>(_maskTable.size());
-    _maskTable.push_back(mask);
-    bucket.push_back(id);
-    return id;
-}
-
 std::vector<std::uint8_t>
 StateGraph::pathTo(std::uint32_t node) const
 {
@@ -211,6 +460,42 @@ StateGraph::pathTo(std::uint32_t node) const
     }
     std::reverse(inputs.begin(), inputs.end());
     return inputs;
+}
+
+std::size_t
+StateGraph::memoryBytes() const
+{
+    std::size_t bytes =
+        _stateArena.capacity() * sizeof(std::uint32_t);
+    bytes += _edges.capacity() * sizeof(std::vector<GraphEdge>);
+    for (const auto &e : _edges)
+        bytes += e.capacity() * sizeof(GraphEdge);
+    bytes += _depth.capacity() * sizeof(std::uint32_t);
+    bytes += _parent.capacity() *
+             sizeof(std::pair<std::uint32_t, std::uint8_t>);
+    bytes += _maskTable.capacity() * sizeof(sva::PredMask);
+    for (const rtl::InputVec &in : _inputTable)
+        bytes += in.capacity() * sizeof(std::uint32_t);
+    return bytes;
+}
+
+bool
+StateGraph::replayMatches(const rtl::Netlist &netlist,
+                          std::uint32_t node) const
+{
+    rtl::StateVec state = _initial;
+    rtl::ValueVec values;
+    rtl::StateVec next;
+    for (std::uint8_t combo : pathTo(node)) {
+        netlist.eval(state.data(), _inputTable[combo].data(),
+                     values);
+        netlist.nextState(state.data(), values.data(), next);
+        state.swap(next);
+    }
+    std::vector<std::uint32_t> packed(_packedWords, 0);
+    _packing.pack(state.data(), packed.data());
+    return std::memcmp(packed.data(), packedStateOf(node),
+                       _packedWords * sizeof(std::uint32_t)) == 0;
 }
 
 const std::vector<GraphEdge> GraphView::_noEdges;

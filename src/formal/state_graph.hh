@@ -16,13 +16,24 @@
  * `maxNodes` is an exact prefix of the unlimited run — which is what
  * lets a complete graph serve a bounded request through `GraphView`
  * without re-exploring anything.
+ *
+ * Exploration is level-synchronized and optionally parallel: every
+ * (frontier node, input combo) of one BFS depth is evaluated across
+ * ThreadPool lanes into per-task staging slots, with duplicate states
+ * detected through a CAS-claimed open-addressed table; a serial
+ * commit pass then walks the tasks in (node, combo) order and assigns
+ * ids on first encounter — exactly the order the serial FIFO loop
+ * would have used — so node ids, depths, parents, witness paths, and
+ * cover hits are bit-identical for every `jobs` value (see DESIGN.md,
+ * "Parallel exploration & packed states"). States are stored
+ * bit-packed (rtl::StatePacking), cutting arena bytes and hash and
+ * compare cost.
  */
 
 #ifndef RTLCHECK_FORMAL_STATE_GRAPH_HH
 #define RTLCHECK_FORMAL_STATE_GRAPH_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "formal/assumptions.hh"
@@ -53,17 +64,44 @@ struct ExploreLimits
 {
     /** Maximum distinct states to expand; 0 means unlimited. */
     std::size_t maxNodes = 0;
+    /** Parallel lanes for frontier expansion; 1 = serial, 0 =
+     *  ThreadPool::defaultJobs(). The graph is bit-identical at
+     *  every setting, so `jobs` is not part of any cache key. */
+    std::size_t jobs = 1;
+};
+
+class StateGraph;
+
+/**
+ * Hook into a running exploration. onLevelCommitted() fires on the
+ * constructing thread after each BFS level's commit pass: every edge
+ * of nodes with id < `expanded_nodes` is final, node ids are stable
+ * (never reassigned), and the mask table only ever grows. The engine
+ * uses this to step property monitors on the fly and report hard
+ * counterexamples before the fixpoint (early falsification).
+ */
+class ExploreObserver
+{
+  public:
+    virtual ~ExploreObserver() = default;
+
+    /** `depth` is the BFS depth of the level just expanded. */
+    virtual void onLevelCommitted(const StateGraph &graph,
+                                  std::size_t expanded_nodes,
+                                  std::uint32_t depth) = 0;
 };
 
 class StateGraph
 {
   public:
     /** BFS exploration; see file comment. `pins` overwrite state
-     *  words of the reset state before exploration begins. */
+     *  words of the reset state before exploration begins. A non-null
+     *  `observer` is called after every committed level. */
     StateGraph(const rtl::Netlist &netlist,
                const std::vector<Assumption> &assumptions,
                const sva::PredicateTable &preds,
-               const ExploreLimits &limits);
+               const ExploreLimits &limits,
+               ExploreObserver *observer = nullptr);
 
     std::size_t numNodes() const { return _edges.size(); }
     std::uint64_t numEdges() const { return _numEdges; }
@@ -126,23 +164,58 @@ class StateGraph
         return _inputTable[combo];
     }
 
-  private:
-    std::uint32_t internMask(const sva::PredMask &mask);
+    /** Words of one bit-packed state in the arena. */
+    std::size_t packedWords() const { return _packedWords; }
 
+    /** The packing the arena uses (copied from the netlist, so the
+     *  graph stays self-contained). */
+    const rtl::StatePacking &packing() const { return _packing; }
+
+    /** A node's stored state, bit-packed (`packedWords()` words). */
+    const std::uint32_t *packedStateOf(std::uint32_t node) const
+    {
+        return _stateArena.data() +
+               static_cast<std::size_t>(node) * _packedWords;
+    }
+
+    /** Bytes the packed state arena occupies. */
+    std::size_t arenaBytes() const
+    {
+        return _stateArena.size() * sizeof(std::uint32_t);
+    }
+
+    /** Bytes the arena would occupy without packing (one uint32_t
+     *  per state slot, the pre-packing encoding). */
+    std::size_t unpackedArenaBytes() const
+    {
+        return numNodes() * _initial.size() * sizeof(std::uint32_t);
+    }
+
+    /** Approximate resident footprint (arena + edges + per-node
+     *  metadata + mask table), for cache budgeting. */
+    std::size_t memoryBytes() const;
+
+    /** Replay pathTo(node) through `netlist` from the pinned initial
+     *  state and compare the resulting state against the stored
+     *  packed state — the witness-integrity cross-check. `netlist`
+     *  must be behaviorally equivalent to the one explored (same
+     *  fingerprint family). */
+    bool replayMatches(const rtl::Netlist &netlist,
+                       std::uint32_t node) const;
+
+  private:
     // No reference to the netlist is retained: a cached graph may
     // outlive the netlist instance it was explored with (GraphCache
     // serves graphs across independently elaborated netlists).
     rtl::StateVec _initial;
+    rtl::StatePacking _packing;
+    std::size_t _packedWords = 0;
     std::vector<std::vector<GraphEdge>> _edges;
     std::vector<std::uint32_t> _depth;
     std::vector<std::pair<std::uint32_t, std::uint8_t>> _parent;
     std::vector<CoverHit> _covers;
     std::vector<std::uint32_t> _stateArena;
-    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>
-        _dedup;
     std::vector<sva::PredMask> _maskTable;
-    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>
-        _maskIndex;
     std::uint64_t _numEdges = 0;
     std::size_t _expanded = 0;
     bool _complete = false;

@@ -6,6 +6,61 @@
 
 namespace rtlcheck::rtl {
 
+StatePacking::StatePacking(const std::vector<unsigned> &widths)
+{
+    _fields.reserve(widths.size());
+    std::uint32_t word = 0;
+    unsigned used = 0;
+    for (unsigned w : widths) {
+        RC_ASSERT(w >= 1 && w <= 32, "bad state-slot width ", w);
+        if (used + w > 32) { // never straddle a word boundary
+            ++word;
+            used = 0;
+        }
+        _fields.push_back(
+            Field{word, static_cast<std::uint8_t>(used),
+                  static_cast<std::uint32_t>(BitVector::maskFor(w))});
+        used += w;
+        if (used == 32) {
+            ++word;
+            used = 0;
+        }
+    }
+    _packedWords = word + (used ? 1 : 0);
+}
+
+void
+StatePacking::pack(const std::uint32_t *state,
+                   std::uint32_t *out) const
+{
+    std::fill_n(out, _packedWords, 0u);
+    const std::size_t n = _fields.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const Field &f = _fields[i];
+        out[f.word] |= (state[i] & f.mask) << f.shift;
+    }
+}
+
+void
+StatePacking::unpack(const std::uint32_t *packed,
+                     std::uint32_t *out) const
+{
+    const std::size_t n = _fields.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const Field &f = _fields[i];
+        out[i] = (packed[f.word] >> f.shift) & f.mask;
+    }
+}
+
+bool
+StatePacking::fits(const std::uint32_t *state) const
+{
+    for (std::size_t i = 0; i < _fields.size(); ++i)
+        if (state[i] & ~_fields[i].mask)
+            return false;
+    return true;
+}
+
 Netlist::Netlist(const Design &design, const NetlistOptions &options)
     : _regs(design.regs()),
       _inputs(design.inputs()),
@@ -55,6 +110,18 @@ Netlist::Netlist(const Design &design, const NetlistOptions &options)
     std::uint32_t mem_id = 0;
     for (const auto &m : _mems)
         _namedMems[m.name] = MemHandle{mem_id++};
+
+    std::vector<unsigned> slot_widths;
+    slot_widths.reserve(_stateWords);
+    for (const RegDecl &r : _regs)
+        slot_widths.push_back(r.width);
+    for (std::size_t i = 0; i < _mems.size(); ++i) {
+        if (!_memLayout[i].inState)
+            continue;
+        for (std::uint32_t w = 0; w < _mems[i].words; ++w)
+            slot_widths.push_back(_mems[i].width);
+    }
+    _packing = StatePacking(slot_widths);
 
     _fingerprint = computeFingerprint();
 }

@@ -43,6 +43,55 @@ using ValueVec = std::vector<std::uint32_t>;
  *  passes (every design-space node stays readable). */
 using NetlistOptions = OptimizeOptions;
 
+/**
+ * Width-aware bit packing of flattened state vectors.
+ *
+ * A StateVec spends a full uint32_t on every register and memory
+ * word, but most registers of the lowered SoCs are a handful of bits
+ * wide. The packing lays the declared widths out back to back
+ * (greedily, never straddling a 32-bit word boundary), so the formal
+ * explorer can store, hash, and compare states in far fewer words.
+ *
+ * Packing is injective exactly on state vectors whose every slot
+ * fits its declared width — which all reachable states do: eval()
+ * masks every node result, so register next-values and memory writes
+ * never exceed their widths, and the explorer asserts the (pinned)
+ * initial state with fits() before relying on packed dedup.
+ */
+class StatePacking
+{
+  public:
+    StatePacking() = default;
+
+    /** Lay out one field per state slot, in slot order. */
+    explicit StatePacking(const std::vector<unsigned> &widths);
+
+    /** Slots of the unpacked StateVec this packing encodes. */
+    std::size_t unpackedWords() const { return _fields.size(); }
+
+    /** 32-bit words of one packed state. */
+    std::size_t packedWords() const { return _packedWords; }
+
+    /** Pack `unpackedWords()` slots into `packedWords()` words. */
+    void pack(const std::uint32_t *state, std::uint32_t *out) const;
+
+    /** Invert pack(); exact for vectors that fit their widths. */
+    void unpack(const std::uint32_t *packed, std::uint32_t *out) const;
+
+    /** Does every slot of `state` fit its declared width? */
+    bool fits(const std::uint32_t *state) const;
+
+  private:
+    struct Field
+    {
+        std::uint32_t word = 0;  ///< packed word index
+        std::uint8_t shift = 0;  ///< bit offset within the word
+        std::uint32_t mask = 0;  ///< width mask, unshifted
+    };
+    std::vector<Field> _fields;
+    std::size_t _packedWords = 0;
+};
+
 class Netlist
 {
   public:
@@ -71,6 +120,9 @@ class Netlist
 
     /** State vector after reset (register resets + memory init). */
     StateVec initialState() const;
+
+    /** Bit packing of the state vector (slot order = state layout). */
+    const StatePacking &packing() const { return _packing; }
 
     /** Evaluate all combinational values for one cycle. */
     void eval(const std::uint32_t *state, const std::uint32_t *inputs,
@@ -129,6 +181,7 @@ class Netlist
     std::map<std::string, Signal> _named;
     std::map<std::string, MemHandle> _namedMems;
     std::size_t _stateWords = 0;
+    StatePacking _packing;
     OptStats _optStats;
     std::uint64_t _fingerprint = 0;
 };

@@ -42,6 +42,17 @@ class Simulator
     const StateVec &state() const { return _state; }
     StateVec &mutableState() { return _state; }
 
+    /** Current state under the netlist's bit packing — directly
+     *  comparable against packed states the formal explorer stores
+     *  (witness-replay cross-checks). */
+    std::vector<std::uint32_t> packedState() const
+    {
+        const StatePacking &p = _netlist.packing();
+        std::vector<std::uint32_t> packed(p.packedWords(), 0);
+        p.pack(_state.data(), packed.data());
+        return packed;
+    }
+
     std::uint64_t cycle() const { return _cycle; }
     const Netlist &netlist() const { return _netlist; }
 

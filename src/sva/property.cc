@@ -117,18 +117,29 @@ PropertyRuntime::StepTables
 PropertyRuntime::compileAlphabet(const std::vector<PredMask> &letters) const
 {
     StepTables tables(_nfas.size());
+    extendAlphabet(letters, 0, tables);
+    return tables;
+}
+
+void
+PropertyRuntime::extendAlphabet(const std::vector<PredMask> &letters,
+                                std::size_t from,
+                                StepTables &tables) const
+{
+    RC_ASSERT(tables.size() == _nfas.size());
     for (std::size_t i = 0; i < _nfas.size(); ++i) {
         const Nfa &nfa = _nfas[i];
         const std::size_t n =
             static_cast<std::size_t>(nfa.numStates());
         std::vector<std::uint64_t> &table = tables[i];
+        RC_ASSERT(table.size() == from * n,
+                  "alphabet extension out of step");
         table.resize(letters.size() * n);
-        for (std::size_t l = 0; l < letters.size(); ++l)
+        for (std::size_t l = from; l < letters.size(); ++l)
             for (std::size_t s = 0; s < n; ++s)
                 table[l * n + s] =
                     nfa.stepOne(static_cast<int>(s), letters[l]);
     }
-    return tables;
 }
 
 void

@@ -86,6 +86,17 @@ class PropertyRuntime
      */
     StepTables compileAlphabet(const std::vector<PredMask> &letters) const;
 
+    /**
+     * Extend compiled tables in place with letters [from,
+     * letters.size()): per-letter rows are independent, so an
+     * incremental consumer (the engine's on-the-fly falsification
+     * monitors, whose alphabet grows as exploration interns new
+     * masks) pays only for the new letters. compileAlphabet() is
+     * extendAlphabet() from zero.
+     */
+    void extendAlphabet(const std::vector<PredMask> &letters,
+                        std::size_t from, StepTables &tables) const;
+
     /** step(), but over letter index `letter` of a compiled
      *  alphabet. Produces bit-identical State contents. */
     void stepLetter(State &state, std::uint32_t letter,

@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Parallel state-space exploration, packed state encoding, and
+ * on-the-fly falsification.
+ *
+ * The load-bearing claim of the parallel explorer (state_graph.cc) is
+ * bit-identity: for every `jobs` value the explored graph — node
+ * count, per-node depth, every edge with its interned mask, witness
+ * paths, cover hits, and the packed states themselves — equals the
+ * serial graph, so `jobs` can be excluded from cache keys and flipped
+ * freely without perturbing any verdict. These tests pin that claim
+ * across complete and truncated explorations, exercise StatePacking
+ * and the witness-replay cross-check, show early falsification never
+ * changes a verdict or witness, and cover GraphCache's LRU budget.
+ * This binary is part of the ThreadSanitizer gate (see
+ * tests/CMakeLists.txt).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "formal/graph_cache.hh"
+#include "formal/state_graph.hh"
+#include "litmus/suite.hh"
+#include "rtlcheck/assumption_gen.hh"
+#include "rtlcheck/mapping.hh"
+#include "rtlcheck/runner.hh"
+#include "uspec/multivscale.hh"
+#include "vscale/soc.hh"
+
+namespace rtlcheck {
+namespace {
+
+struct Fixture
+{
+    vscale::Program program;
+    rtl::Design design;
+    sva::PredicateTable preds;
+    std::unique_ptr<core::VscaleNodeMapping> mapping;
+    std::vector<formal::Assumption> assumptions;
+    std::unique_ptr<rtl::Netlist> netlist;
+
+    Fixture(const litmus::Test &test, vscale::MemoryVariant variant)
+        : program(vscale::lower(test))
+    {
+        vscale::buildSoc(design, program, variant);
+        mapping = std::make_unique<core::VscaleNodeMapping>(
+            design, preds, program);
+        core::AssumptionSet set = core::generateAssumptions(
+            design, preds, program, *mapping);
+        netlist = std::make_unique<rtl::Netlist>(design);
+        assumptions = set.resolve(*netlist);
+    }
+
+    formal::StateGraph explore(std::size_t jobs,
+                               std::size_t max_nodes = 0) const
+    {
+        formal::ExploreLimits limits;
+        limits.maxNodes = max_nodes;
+        limits.jobs = jobs;
+        return formal::StateGraph(*netlist, assumptions, preds,
+                                  limits);
+    }
+};
+
+/** Every observable of the graph, bit for bit. */
+void
+expectSameGraph(const formal::StateGraph &a,
+                const formal::StateGraph &b)
+{
+    ASSERT_EQ(a.numNodes(), b.numNodes());
+    EXPECT_EQ(a.numEdges(), b.numEdges());
+    EXPECT_EQ(a.expandedNodes(), b.expandedNodes());
+    EXPECT_EQ(a.complete(), b.complete());
+    EXPECT_EQ(a.exploredDepth(), b.exploredDepth());
+    EXPECT_EQ(a.packedWords(), b.packedWords());
+
+    // The interned-mask table is built in edge-commit order, so even
+    // the maskId numbering must agree.
+    ASSERT_EQ(a.numDistinctMasks(), b.numDistinctMasks());
+    for (std::uint32_t m = 0; m < a.numDistinctMasks(); ++m)
+        EXPECT_EQ(a.maskOf(m), b.maskOf(m)) << "mask " << m;
+
+    for (std::uint32_t n = 0; n < a.numNodes(); ++n) {
+        SCOPED_TRACE(testing::Message() << "node " << n);
+        EXPECT_EQ(a.depthOf(n), b.depthOf(n));
+        EXPECT_EQ(0, std::memcmp(a.packedStateOf(n),
+                                 b.packedStateOf(n),
+                                 a.packedWords() *
+                                     sizeof(std::uint32_t)));
+        const auto &ea = a.outEdges(n);
+        const auto &eb = b.outEdges(n);
+        ASSERT_EQ(ea.size(), eb.size());
+        for (std::size_t i = 0; i < ea.size(); ++i) {
+            EXPECT_EQ(ea[i].dst, eb[i].dst);
+            EXPECT_EQ(ea[i].maskId, eb[i].maskId);
+            EXPECT_EQ(ea[i].input, eb[i].input);
+        }
+        EXPECT_EQ(a.pathTo(n), b.pathTo(n));
+    }
+
+    ASSERT_EQ(a.coverHits().size(), b.coverHits().size());
+    for (std::size_t c = 0; c < a.coverHits().size(); ++c) {
+        EXPECT_EQ(a.coverHits()[c].reached, b.coverHits()[c].reached);
+        EXPECT_EQ(a.coverHits()[c].node, b.coverHits()[c].node);
+        EXPECT_EQ(a.coverHits()[c].input, b.coverHits()[c].input);
+    }
+}
+
+class ExploreJobsIdentity
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ExploreJobsIdentity, CompleteGraphsMatchSerial)
+{
+    Fixture fx(litmus::suiteTest(GetParam()),
+               vscale::MemoryVariant::Fixed);
+    formal::StateGraph serial = fx.explore(1);
+    ASSERT_TRUE(serial.complete());
+    for (std::size_t jobs : {2u, 4u, 8u}) {
+        SCOPED_TRACE(testing::Message() << "jobs=" << jobs);
+        formal::StateGraph parallel = fx.explore(jobs);
+        expectSameGraph(serial, parallel);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tests, ExploreJobsIdentity,
+                         ::testing::Values("mp", "sb", "lb", "iriw",
+                                           "wrc", "safe003"));
+
+TEST(ExploreParallel, TruncatedGraphsMatchSerial)
+{
+    // Truncation must cut at the same level boundary in parallel
+    // runs; a bounded parallel run equals the bounded serial run,
+    // node for node, including the truncated-depth accounting.
+    // podwr001 has the largest reachable graph of the suite (~400
+    // nodes), so both bounds genuinely truncate.
+    Fixture fx(litmus::suiteTest("podwr001"),
+               vscale::MemoryVariant::Fixed);
+    for (std::size_t max_nodes : {50u, 200u}) {
+        formal::StateGraph serial = fx.explore(1, max_nodes);
+        EXPECT_FALSE(serial.complete());
+        for (std::size_t jobs : {2u, 8u}) {
+            SCOPED_TRACE(testing::Message()
+                         << "maxNodes=" << max_nodes
+                         << " jobs=" << jobs);
+            formal::StateGraph parallel = fx.explore(jobs, max_nodes);
+            expectSameGraph(serial, parallel);
+        }
+    }
+}
+
+TEST(ExploreParallel, BuggyDesignCoverHitsMatchSerial)
+{
+    // The §7.1 store-drop design reaches the forbidden outcome; the
+    // covering node and input must be the serial ones at any lane
+    // count (the engine turns them into the Figure-12 witness).
+    Fixture fx(litmus::suiteTest("mp"),
+               vscale::MemoryVariant::Buggy);
+    formal::StateGraph serial = fx.explore(1);
+    formal::StateGraph parallel = fx.explore(4);
+    expectSameGraph(serial, parallel);
+}
+
+TEST(ExploreParallel, JobsZeroMeansDefaultAndStaysIdentical)
+{
+    Fixture fx(litmus::suiteTest("mp"),
+               vscale::MemoryVariant::Fixed);
+    formal::StateGraph serial = fx.explore(1);
+    formal::StateGraph pool = fx.explore(0); // defaultJobs()
+    expectSameGraph(serial, pool);
+}
+
+// ---------------------------------------------------------------
+// Packed state encoding.
+
+TEST(StatePacking, PackUnpackRoundTrips)
+{
+    // 1+3+32+8+1 bits: exercises sub-word fields, a full word, and
+    // the no-straddle rule (fields never cross a 32-bit boundary).
+    rtl::StatePacking p({1u, 3u, 32u, 8u, 1u});
+    EXPECT_EQ(p.unpackedWords(), 5u);
+    // 1+3 share a word (4 bits), 32 takes its own, 8+1 share one.
+    EXPECT_EQ(p.packedWords(), 3u);
+
+    const std::uint32_t state[5] = {1u, 5u, 0xdeadbeefu, 0xabu, 0u};
+    EXPECT_TRUE(p.fits(state));
+    std::uint32_t packed[3] = {0xffffffffu, 0xffffffffu, 0xffffffffu};
+    p.pack(state, packed);
+    std::uint32_t back[5] = {};
+    p.unpack(packed, back);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(back[i], state[i]) << "slot " << i;
+
+    const std::uint32_t too_wide[5] = {2u, 5u, 0u, 0u, 0u};
+    EXPECT_FALSE(p.fits(too_wide));
+}
+
+TEST(StatePacking, PackingIsCanonicalOverMaskedValues)
+{
+    // pack() masks each slot to its width, so two states equal
+    // modulo dead high bits pack identically — the property the
+    // dedup table's hash-and-compare relies on.
+    rtl::StatePacking p({4u, 16u});
+    const std::uint32_t a[2] = {0x5u, 0x1234u};
+    const std::uint32_t b[2] = {0xf5u, 0xff1234u};
+    std::uint32_t pa[1], pb[1];
+    ASSERT_EQ(p.packedWords(), 1u);
+    p.pack(a, pa);
+    p.pack(b, pb);
+    EXPECT_EQ(pa[0], pb[0]);
+}
+
+TEST(StatePacking, GraphArenaIsSmallerThanUnpacked)
+{
+    // Multi-V-scale state is dominated by 32-bit data words (regfile
+    // entries, memory words), which packing cannot shrink — the win
+    // comes from folding the narrow control registers together. It
+    // must be a strict win, never a regression.
+    Fixture fx(litmus::suiteTest("mp"),
+               vscale::MemoryVariant::Fixed);
+    formal::StateGraph graph = fx.explore(1);
+    EXPECT_LT(graph.arenaBytes(), graph.unpackedArenaBytes());
+    EXPECT_EQ(graph.packing().unpackedWords(),
+              graph.initialState().size());
+    EXPECT_EQ(graph.arenaBytes(),
+              graph.numNodes() * graph.packedWords() *
+                  sizeof(std::uint32_t));
+}
+
+TEST(ExploreParallel, EveryWitnessReplaysToItsPackedState)
+{
+    // The debug-build engine assert, exercised explicitly: replaying
+    // pathTo(n) through the netlist must land exactly on the packed
+    // state the graph recorded for n.
+    Fixture fx(litmus::suiteTest("sb"),
+               vscale::MemoryVariant::Fixed);
+    formal::StateGraph graph = fx.explore(4);
+    for (std::uint32_t n = 0; n < graph.numNodes(); ++n)
+        EXPECT_TRUE(graph.replayMatches(*fx.netlist, n))
+            << "node " << n;
+}
+
+// ---------------------------------------------------------------
+// On-the-fly falsification.
+
+TEST(EarlyFalsify, SameVerdictsAndWitnessAsBatchCheck)
+{
+    const litmus::Test &test = litmus::suiteTest("mp");
+    core::RunOptions early;
+    early.variant = vscale::MemoryVariant::Buggy;
+    early.config.earlyFalsify = true;
+    core::RunOptions batch = early;
+    batch.config.earlyFalsify = false;
+
+    core::TestRun er =
+        core::runTest(test, uspec::multiVscaleModel(), early);
+    core::TestRun br =
+        core::runTest(test, uspec::multiVscaleModel(), batch);
+
+    ASSERT_EQ(er.verify.properties.size(),
+              br.verify.properties.size());
+    ASSERT_GT(er.verify.numFalsified(), 0);
+    bool saw_early = false;
+    for (std::size_t p = 0; p < er.verify.properties.size(); ++p) {
+        const formal::PropertyResult &e = er.verify.properties[p];
+        const formal::PropertyResult &b = br.verify.properties[p];
+        SCOPED_TRACE(e.name);
+        EXPECT_EQ(e.status, b.status);
+        EXPECT_EQ(e.boundCycles, b.boundCycles);
+        EXPECT_EQ(e.productStates, b.productStates);
+        ASSERT_EQ(e.counterexample.has_value(),
+                  b.counterexample.has_value());
+        if (e.counterexample) {
+            EXPECT_EQ(e.counterexample->inputs,
+                      b.counterexample->inputs);
+        }
+        EXPECT_FALSE(b.earlyFalsified);
+        if (e.earlyFalsified) {
+            saw_early = true;
+            EXPECT_EQ(e.status, formal::ProofStatus::Falsified);
+            // Detected strictly before the exploration fixpoint.
+            EXPECT_LT(e.earlyFalsifySeconds,
+                      er.verify.exploreSeconds);
+        }
+    }
+    EXPECT_TRUE(saw_early);
+    EXPECT_EQ(er.verify.coverReached, br.verify.coverReached);
+}
+
+TEST(EarlyFalsify, CleanDesignResultsUnchanged)
+{
+    // On a correct design the monitors find nothing; every result
+    // field the batch path produces must be reproduced.
+    const litmus::Test &test = litmus::suiteTest("sb");
+    core::RunOptions early; // earlyFalsify defaults to true
+    core::RunOptions batch;
+    batch.config.earlyFalsify = false;
+
+    core::TestRun er =
+        core::runTest(test, uspec::multiVscaleModel(), early);
+    core::TestRun br =
+        core::runTest(test, uspec::multiVscaleModel(), batch);
+    ASSERT_EQ(er.verify.properties.size(),
+              br.verify.properties.size());
+    EXPECT_EQ(er.verify.numFalsified(), 0);
+    for (std::size_t p = 0; p < er.verify.properties.size(); ++p) {
+        const formal::PropertyResult &e = er.verify.properties[p];
+        const formal::PropertyResult &b = br.verify.properties[p];
+        SCOPED_TRACE(e.name);
+        EXPECT_EQ(e.status, b.status);
+        EXPECT_EQ(e.boundCycles, b.boundCycles);
+        EXPECT_EQ(e.productStates, b.productStates);
+        EXPECT_FALSE(e.earlyFalsified);
+    }
+    EXPECT_EQ(er.verify.coverUnreachable, br.verify.coverUnreachable);
+}
+
+// ---------------------------------------------------------------
+// GraphCache budget / LRU eviction.
+
+TEST(GraphCacheBudget, EvictsLeastRecentlyUsedAndReExplores)
+{
+    Fixture mp(litmus::suiteTest("mp"),
+               vscale::MemoryVariant::Fixed);
+    Fixture sb(litmus::suiteTest("sb"),
+               vscale::MemoryVariant::Fixed);
+
+    formal::GraphCache cache;
+    cache.setBudget(0, 1); // at most one resident graph
+
+    formal::ExploreLimits limits;
+    auto g1 = cache.obtain(*mp.netlist, mp.preds, mp.assumptions,
+                           limits);
+    EXPECT_EQ(cache.stats().entries, 1u);
+    EXPECT_GT(cache.stats().bytesCached, 0u);
+
+    // Publishing sb's graph evicts mp's (LRU, newest exempt)...
+    auto g2 = cache.obtain(*sb.netlist, sb.preds, sb.assumptions,
+                           limits);
+    formal::GraphCache::Stats s = cache.stats();
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.entries, 1u);
+    EXPECT_EQ(s.explores, 2u);
+
+    // ...but the shared_ptr we hold stays valid and intact.
+    EXPECT_GT(g1->numNodes(), 0u);
+    EXPECT_TRUE(g1->complete());
+
+    // Asking for mp again is a miss that re-explores — and produces
+    // the same graph.
+    bool hit = true;
+    auto g3 = cache.obtain(*mp.netlist, mp.preds, mp.assumptions,
+                           limits, &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(cache.stats().explores, 3u);
+    EXPECT_EQ(g3->numNodes(), g1->numNodes());
+    EXPECT_EQ(g3->numEdges(), g1->numEdges());
+}
+
+TEST(GraphCacheBudget, ByteBudgetDropsGraphsUntilWithinBound)
+{
+    Fixture mp(litmus::suiteTest("mp"),
+               vscale::MemoryVariant::Fixed);
+    Fixture sb(litmus::suiteTest("sb"),
+               vscale::MemoryVariant::Fixed);
+
+    formal::GraphCache cache;
+    formal::ExploreLimits limits;
+    auto g1 = cache.obtain(*mp.netlist, mp.preds, mp.assumptions,
+                           limits);
+    auto g2 = cache.obtain(*sb.netlist, sb.preds, sb.assumptions,
+                           limits);
+    ASSERT_EQ(cache.stats().entries, 2u);
+    const std::size_t both = cache.stats().bytesCached;
+
+    // Shrink the budget below the pair: the LRU graph (mp) goes.
+    cache.setBudget(both - 1);
+    formal::GraphCache::Stats s = cache.stats();
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.entries, 1u);
+    EXPECT_LT(s.bytesCached, both);
+
+    // The survivor still hits.
+    bool hit = false;
+    auto g4 = cache.obtain(*sb.netlist, sb.preds, sb.assumptions,
+                           limits, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(g4.get(), g2.get());
+}
+
+TEST(GraphCacheBudget, UnlimitedByDefault)
+{
+    Fixture mp(litmus::suiteTest("mp"),
+               vscale::MemoryVariant::Fixed);
+    Fixture sb(litmus::suiteTest("sb"),
+               vscale::MemoryVariant::Fixed);
+    formal::GraphCache cache;
+    formal::ExploreLimits limits;
+    cache.obtain(*mp.netlist, mp.preds, mp.assumptions, limits);
+    cache.obtain(*sb.netlist, sb.preds, sb.assumptions, limits);
+    formal::GraphCache::Stats s = cache.stats();
+    EXPECT_EQ(s.evictions, 0u);
+    EXPECT_EQ(s.entries, 2u);
+}
+
+} // namespace
+} // namespace rtlcheck

@@ -229,12 +229,17 @@ TEST(ParallelSuite, SuiteFanOutMatchesDirectRunTest)
 TEST(ParallelEngine, PerPropertyFanOutMatchesSerial)
 {
     // The finer grain: one test, the engine's property checks fanned
-    // out across lanes vs checked one by one.
+    // out across lanes vs checked one by one. Early falsification is
+    // disabled so the batch check path (the one that fans out) runs:
+    // with monitors engaged the products are consumed during
+    // exploration instead.
     const litmus::Test &test = litmus::suiteTest("iriw");
     core::RunOptions serial_o;
     serial_o.config.jobs = 1;
+    serial_o.config.earlyFalsify = false;
     core::RunOptions parallel_o;
     parallel_o.config.jobs = 4;
+    parallel_o.config.earlyFalsify = false;
 
     core::TestRun serial =
         core::runTest(test, uspec::multiVscaleModel(), serial_o);

@@ -34,6 +34,18 @@
  *                         verdicts are identical. Single-test runs
  *                         print an opt-stats line showing what the
  *                         pipeline did.
+ *   --explore-jobs N      parallel lanes for state-graph exploration
+ *                         (level-synchronized frontier expansion;
+ *                         see state_graph.hh). Graphs and verdicts
+ *                         are bit-identical at every setting.
+ *                         Default 1: under --all the suite runner
+ *                         already fans whole tests out.
+ *   --no-early-falsify    do not step assertion monitors during
+ *                         exploration; counterexamples are then only
+ *                         found by the post-exploration check phase.
+ *                         Verdicts and witnesses are identical.
+ *   --cache-mb N          bound the --all state-graph cache to N MiB
+ *                         (LRU eviction; 0 = unlimited, the default)
  */
 
 #include <cstdio>
@@ -65,6 +77,9 @@ struct CliOptions
     std::string emitSva;
     std::string vcdPath;
     std::size_t jobs = 0; ///< 0 = ThreadPool::defaultJobs()
+    std::size_t exploreJobs = 1;
+    std::size_t cacheMb = 0; ///< 0 = unlimited
+    bool earlyFalsify = true;
     bool naive = false;
     bool noNetlistOpt = false;
     bool uhb = false;
@@ -83,10 +98,14 @@ usage()
         "options: --model sc|tso  --design fixed|buggy|tso\n"
         "         --config hybrid|full  --naive  --uhb  --wave\n"
         "         --emit-sva <path>  --jobs N  --no-netlist-opt\n"
+        "         --explore-jobs N  --no-early-falsify  --cache-mb N\n"
         "--jobs (or $RTLCHECK_JOBS) sets the parallel lanes used to\n"
         "run tests under --all and to check properties on a single\n"
-        "test; the default is the hardware concurrency and verdicts\n"
-        "are identical at every setting.\n");
+        "test; --explore-jobs parallelizes each state-graph\n"
+        "exploration itself. Verdicts (and explored graphs) are\n"
+        "identical at every setting. --no-early-falsify disables the\n"
+        "exploration-time counterexample monitors; --cache-mb bounds\n"
+        "the --all graph cache with LRU eviction.\n");
 }
 
 const uspec::Model &
@@ -116,6 +135,8 @@ runOptionsFor(const CliOptions &opts)
     o.encoding = opts.naive ? core::EdgeEncoding::Naive
                             : core::EdgeEncoding::Strict;
     o.optimizeNetlist = !opts.noNetlistOpt;
+    o.config.exploreJobs = opts.exploreJobs;
+    o.config.earlyFalsify = opts.earlyFalsify;
     return o;
 }
 
@@ -152,9 +173,15 @@ report(const litmus::Test &test, const core::TestRun &run,
                     os.coiDropped);
         for (const auto &p : run.verify.properties) {
             if (p.status == formal::ProofStatus::Falsified) {
-                std::printf("  counterexample: %s (%zu cycles)\n",
+                std::printf("  counterexample: %s (%zu cycles)%s\n",
                             p.name.c_str(),
-                            p.counterexample->inputs.size());
+                            p.counterexample->inputs.size(),
+                            p.earlyFalsified ? " [early]" : "");
+                if (p.earlyFalsified)
+                    std::printf("  early falsify: %.2f ms into a "
+                                "%.2f ms exploration\n",
+                                p.earlyFalsifySeconds * 1e3,
+                                run.verify.exploreSeconds * 1e3);
             }
         }
     }
@@ -232,6 +259,8 @@ runAll(const CliOptions &opts)
     // Share one state-graph cache across the whole batch: tests with
     // identical (design, assumptions) pairs explore once.
     formal::GraphCache cache;
+    if (opts.cacheMb)
+        cache.setBudget(opts.cacheMb << 20);
     o.graphCache = &cache;
 
     core::SuiteRun sr = core::runSuite(suite, model, o, opts.jobs);
@@ -250,6 +279,11 @@ runAll(const CliOptions &opts)
                 "%.2fx\n",
                 sr.jobs, sr.wallSeconds, cpu,
                 sr.wallSeconds > 0 ? cpu / sr.wallSeconds : 1.0);
+    formal::GraphCache::Stats cs = cache.stats();
+    std::printf("graph cache: %zu explores, %zu hits, %zu evictions "
+                "| %zu graphs resident (%.1f MiB)\n",
+                cs.explores, cs.hits, cs.evictions, cs.entries,
+                static_cast<double>(cs.bytesCached) / (1 << 20));
     return failures ? 1 : 0;
 }
 
@@ -281,6 +315,14 @@ main(int argc, char **argv)
         } else if (arg == "--jobs") {
             opts.jobs = static_cast<std::size_t>(
                 std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--explore-jobs") {
+            opts.exploreJobs = static_cast<std::size_t>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--cache-mb") {
+            opts.cacheMb = static_cast<std::size_t>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--no-early-falsify") {
+            opts.earlyFalsify = false;
         } else if (arg == "--naive") {
             opts.naive = true;
         } else if (arg == "--no-netlist-opt") {
