@@ -1,0 +1,189 @@
+/**
+ * @file
+ * SAT back-end vs explicit engine vs portfolio, at matching budgets.
+ *
+ * Workload: a suite slice on the fixed design (proof-heavy) plus the
+ * §7.1 store-drop bug on the buggy memory (falsification-heavy).
+ * Every test runs under all three back-ends with the same Full_Proof
+ * budgets (BMC: depth 8, induction off — V-scale state is too wide
+ * for the simple-path windows), best-of-3 verify time per cell.
+ *
+ * Two unconditional gates:
+ *
+ *   verdicts   every back-end must put every property into the same
+ *              verdict class (Falsified sets and witness depths must
+ *              match exactly; Proven may weaken to Bounded on the
+ *              bounded back-end), and reached covers must agree.
+ *
+ *   portfolio  racing both engines must never be slower than the
+ *              slower single back-end (that is the whole point of a
+ *              portfolio). A 25% + 50 ms allowance absorbs scheduler
+ *              noise on millisecond-scale cells.
+ *
+ * Headline numbers land in BENCH_bmc.json.
+ */
+
+#include <algorithm>
+#include <cstring>
+
+#include "bench_util.hh"
+
+using namespace rtlcheck;
+using namespace rtlcheck::bench;
+
+namespace {
+
+struct Cell
+{
+    const char *test;
+    vscale::MemoryVariant variant;
+};
+
+core::TestRun
+runCell(const Cell &cell, formal::Backend backend)
+{
+    core::RunOptions o;
+    o.variant = cell.variant;
+    o.config = formal::fullProofConfig();
+    o.config.backend = backend;
+    o.config.bmcDepth = 8;
+    o.config.inductionDepth = 0;
+    return core::runTest(litmus::suiteTest(cell.test),
+                         uspec::multiVscaleModel(), o);
+}
+
+double
+verifySeconds(const core::TestRun &run)
+{
+    return run.totalSeconds - run.generationSeconds;
+}
+
+/** Same-verdict-class check (the crosscheck test's contract): the
+ *  Falsified set and reached covers agree exactly, witness depths
+ *  included; Proven-vs-Bounded is the only allowed asymmetry. */
+bool
+classAgree(const core::TestRun &a, const core::TestRun &b)
+{
+    const formal::VerifyResult &x = a.verify;
+    const formal::VerifyResult &y = b.verify;
+    if (x.coverReached != y.coverReached ||
+        x.properties.size() != y.properties.size())
+        return false;
+    if (x.coverReached && x.coverWitness->inputs.size() !=
+                              y.coverWitness->inputs.size())
+        return false;
+    for (std::size_t p = 0; p < x.properties.size(); ++p) {
+        const formal::PropertyResult &px = x.properties[p];
+        const formal::PropertyResult &py = y.properties[p];
+        const bool fx =
+            px.status == formal::ProofStatus::Falsified;
+        const bool fy =
+            py.status == formal::ProofStatus::Falsified;
+        if (fx != fy)
+            return false;
+        if (fx && px.counterexample->inputs.size() !=
+                      py.counterexample->inputs.size())
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool quick =
+        argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    const int iterations = quick ? 1 : 3;
+
+    printHeader("SAT BMC back-end vs explicit engine vs portfolio",
+                "the engine-portfolio methodology of §6/Table 1");
+
+    const Cell cells[] = {
+        {"mp", vscale::MemoryVariant::Fixed},
+        {"sb", vscale::MemoryVariant::Fixed},
+        {"lb", vscale::MemoryVariant::Fixed},
+        {"co-mp", vscale::MemoryVariant::Fixed},
+        {"iwp23b", vscale::MemoryVariant::Fixed},
+        {"mp", vscale::MemoryVariant::Buggy},
+    };
+    const formal::Backend backends[] = {
+        formal::Backend::Explicit,
+        formal::Backend::Bmc,
+        formal::Backend::Portfolio,
+    };
+
+    JsonObject json;
+    json.str("bench", "bmc");
+    json.count("iterations", static_cast<std::uint64_t>(iterations));
+
+    bool verdicts_ok = true;
+    bool portfolio_ok = true;
+    double totals[3] = {0.0, 0.0, 0.0};
+    std::string rows = "[\n";
+    std::printf("%-12s %-6s %10s %10s %10s  winner\n", "test",
+                "design", "explicit", "bmc", "portfolio");
+    for (const Cell &cell : cells) {
+        core::TestRun best_run[3];
+        double best[3];
+        for (int e = 0; e < 3; ++e) {
+            for (int it = 0; it < iterations; ++it) {
+                core::TestRun run = runCell(cell, backends[e]);
+                const double s = verifySeconds(run);
+                if (!it || s < best[e]) {
+                    best[e] = s;
+                    best_run[e] = std::move(run);
+                }
+            }
+            totals[e] += best[e];
+        }
+        const bool agree =
+            classAgree(best_run[0], best_run[1]) &&
+            classAgree(best_run[0], best_run[2]);
+        verdicts_ok = verdicts_ok && agree;
+        const double slower = std::max(best[0], best[1]);
+        const bool within = best[2] <= slower * 1.25 + 0.05;
+        portfolio_ok = portfolio_ok && within;
+        const char *design =
+            cell.variant == vscale::MemoryVariant::Fixed ? "fixed"
+                                                         : "buggy";
+        std::printf("%-12s %-6s %8.2fms %8.2fms %8.2fms  %s%s%s\n",
+                    cell.test, design, best[0] * 1e3, best[1] * 1e3,
+                    best[2] * 1e3,
+                    best_run[2].verify.engineUsed.c_str(),
+                    agree ? "" : "  VERDICTS DIFFER",
+                    within ? "" : "  PORTFOLIO SLOW");
+        char row[256];
+        std::snprintf(
+            row, sizeof row,
+            "    {\"test\": \"%s\", \"design\": \"%s\", "
+            "\"explicit_seconds\": %.6f, \"bmc_seconds\": %.6f, "
+            "\"portfolio_seconds\": %.6f, \"winner\": \"%s\", "
+            "\"verdicts_agree\": %s}%s\n",
+            cell.test, design, best[0], best[1], best[2],
+            best_run[2].verify.engineUsed.c_str(),
+            agree ? "true" : "false",
+            &cell + 1 < cells + std::size(cells) ? "," : "");
+        rows += row;
+    }
+    rows += "  ]";
+    json.raw("cells", rows);
+    json.num("explicit_total_seconds", totals[0]);
+    json.num("bmc_total_seconds", totals[1]);
+    json.num("portfolio_total_seconds", totals[2]);
+    json.boolean("verdict_classes_identical", verdicts_ok);
+    json.boolean("portfolio_never_slower", portfolio_ok);
+
+    std::printf("\ntotals             : explicit %.2f ms, bmc %.2f "
+                "ms, portfolio %.2f ms\n",
+                totals[0] * 1e3, totals[1] * 1e3, totals[2] * 1e3);
+    std::printf("verdict gate       : %s\n",
+                verdicts_ok ? "pass" : "FAIL");
+    std::printf("portfolio gate     : %s (never slower than the "
+                "slower single back-end)\n",
+                portfolio_ok ? "pass" : "FAIL");
+
+    writeBenchJson("bmc", json);
+    return verdicts_ok && portfolio_ok ? 0 : 1;
+}

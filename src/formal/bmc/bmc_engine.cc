@@ -1,0 +1,390 @@
+#include "formal/bmc/bmc_engine.hh"
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "common/logging.hh"
+#include "formal/bmc/unroller.hh"
+#include "sat/cnf.hh"
+#include "sva/monitor_cnf.hh"
+
+namespace rtlcheck::formal {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedSeconds(Clock::time_point since)
+{
+    return std::chrono::duration<double>(Clock::now() - since)
+        .count();
+}
+
+/** One property's share of the BMC sweep. */
+struct PropTrack
+{
+    std::shared_ptr<const sva::PropertyRuntime> runtime;
+    std::unique_ptr<sva::MonitorCnf> monitor;
+    sva::MonitorCnf::State state;  ///< after consuming d cycles
+    PropertyResult result;
+    bool resolved = false;
+};
+
+/** One property's share of the shared induction solver. */
+struct IndProp
+{
+    PropTrack *track = nullptr;
+    std::unique_ptr<sva::MonitorCnf> monitor;
+    /** Monitor state per window frame 0..K. */
+    std::vector<sva::MonitorCnf::State> states;
+    sat::Lit act;  ///< activation literal gating this property's clauses
+    bool active = true;
+};
+
+/** One cover's unreachability proof attempt. */
+struct IndCover
+{
+    const Assumption *cover = nullptr;
+    sat::Lit act;
+    /** hit literal per window cycle 0..K-1. */
+    std::vector<sat::Lit> hits;
+    bool provenUnreachable = false;
+};
+
+/** Pairwise-distinctness lits over equal-length literal vectors. */
+sat::Lit
+vectorsDistinct(sat::CnfBuilder &cnf, const std::vector<sat::Lit> &a,
+                const std::vector<sat::Lit> &b)
+{
+    RC_ASSERT(a.size() == b.size());
+    std::vector<sat::Lit> diffs;
+    diffs.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        diffs.push_back(cnf.mkXor(a[i], b[i]));
+    return cnf.mkOrN(diffs);
+}
+
+} // namespace
+
+VerifyResult
+verifyBmc(const rtl::Netlist &netlist,
+          const sva::PredicateTable &preds,
+          const std::vector<Assumption> &assumptions,
+          const std::vector<sva::Property> &properties,
+          const EngineConfig &config)
+{
+    const auto t_start = Clock::now();
+    VerifyResult result;
+    result.engineUsed = "bmc";
+    result.checkJobs = 1;
+
+    sat::Solver solver;
+    if (config.cancel)
+        solver.setCancel(config.cancel);
+    sat::CnfBuilder cnf(solver);
+    bmc::Unroller unroller(cnf, netlist, preds, assumptions);
+    unroller.pushInitialFrame();
+
+    std::vector<PropTrack> tracks(properties.size());
+    for (std::size_t i = 0; i < properties.size(); ++i) {
+        PropTrack &t = tracks[i];
+        t.runtime = properties[i].runtime
+                        ? properties[i].runtime
+                        : std::make_shared<const sva::PropertyRuntime>(
+                              properties[i]);
+        t.monitor =
+            std::make_unique<sva::MonitorCnf>(cnf, *t.runtime);
+        t.state = t.monitor->initialState();
+        t.result.name = properties[i].name;
+    }
+
+    std::vector<const Assumption *> covers;
+    for (const Assumption &a : assumptions)
+        if (a.kind == Assumption::Kind::FinalValueCover)
+            covers.push_back(&a);
+
+    const std::size_t depth = config.bmcDepth;
+    result.graphDepth = static_cast<std::uint32_t>(depth);
+
+    auto cancelled = [&]() {
+        result.cancelled = true;
+        result.checkSeconds = elapsedSeconds(t_start);
+        return result;
+    };
+
+    // ---- bounded sweep: depths 0..bmcDepth ----
+    for (std::size_t d = 0; d <= depth; ++d) {
+        if (config.cancel &&
+            config.cancel->load(std::memory_order_relaxed))
+            return cancelled();
+
+        // Property status at depth d. Frame d carries only its state
+        // image here — no inputs, no cycle-d implications — so a
+        // depth-d failure can never be masked by deeper constraints.
+        //
+        // One aggregate "does any open property fail here?" query
+        // filters the depth first: on a correct design that is a
+        // single UNSAT per depth instead of one solve per property.
+        // Only when the aggregate is SAT do per-property queries run
+        // (the aggregate model usually resolves most of them for
+        // free), so per-property shallowest-failure depths are
+        // exactly the ones the one-query-per-property loop reports.
+        std::vector<PropTrack *> open;
+        std::vector<sat::Lit> open_failed;
+        for (PropTrack &t : tracks) {
+            if (t.resolved)
+                continue;
+            sat::Lit failed = t.monitor->failed(t.state);
+            if (cnf.isConst(failed) && !cnf.constValue(failed))
+                continue;
+            open.push_back(&t);
+            open_failed.push_back(failed);
+        }
+        bool depth_can_fail = !open.empty();
+        if (depth_can_fail) {
+            const sat::Result r =
+                solver.solve({cnf.mkOrN(open_failed)});
+            if (r == sat::Result::Unknown)
+                return cancelled();
+            depth_can_fail = r == sat::Result::Sat;
+            if (depth_can_fail) {
+                // Everything the aggregate model already falsifies
+                // shares its witness; no further queries for those.
+                for (std::size_t i = 0; i < open.size(); ++i) {
+                    if (!solver.modelTrue(open_failed[i]))
+                        continue;
+                    PropTrack &t = *open[i];
+                    t.resolved = true;
+                    t.result.status = ProofStatus::Falsified;
+                    WitnessTrace wit;
+                    for (std::size_t j = 0; j < d; ++j)
+                        wit.inputs.push_back(
+                            unroller.decodeInput(j, solver));
+                    t.result.counterexample = std::move(wit);
+                }
+            }
+        }
+        for (std::size_t i = 0; depth_can_fail && i < open.size();
+             ++i) {
+            PropTrack &t = *open[i];
+            if (t.resolved)
+                continue;
+            const auto t_solve = Clock::now();
+            const sat::Result r = solver.solve({open_failed[i]});
+            t.result.checkSeconds += elapsedSeconds(t_solve);
+            if (r == sat::Result::Unknown)
+                return cancelled();
+            if (r == sat::Result::Sat) {
+                t.resolved = true;
+                t.result.status = ProofStatus::Falsified;
+                WitnessTrace wit;
+                for (std::size_t j = 0; j < d; ++j)
+                    wit.inputs.push_back(
+                        unroller.decodeInput(j, solver));
+                t.result.counterexample = std::move(wit);
+            }
+        }
+        if (d == depth)
+            break;
+
+        // Open cycle d: inputs, cone, implications as hard clauses.
+        unroller.attachInputs(d);
+        unroller.assertValidCycle(d);
+
+        // Cover query for cycle d, after the cycle's implications
+        // (StateGraph records hits on unpruned edges only). Any
+        // reachable cover suffices for the verdict; the first hit is
+        // the shallowest and makes the best replay witness.
+        if (!result.coverReached) {
+            for (const Assumption *cover : covers) {
+                sat::Lit hit = unroller.coverHitLit(d, *cover);
+                if (cnf.isConst(hit) && !cnf.constValue(hit))
+                    continue;
+                const sat::Result r = solver.solve({hit});
+                if (r == sat::Result::Unknown)
+                    return cancelled();
+                if (r == sat::Result::Sat) {
+                    result.coverReached = true;
+                    WitnessTrace wit;
+                    for (std::size_t j = 0; j <= d; ++j)
+                        wit.inputs.push_back(
+                            unroller.decodeInput(j, solver));
+                    result.coverWitness = std::move(wit);
+                    break;
+                }
+            }
+        }
+
+        unroller.pushTransition();
+        for (PropTrack &t : tracks)
+            if (!t.resolved)
+                t.state = t.monitor->step(t.state, [&](int pred) {
+                    return unroller.predLit(d, pred);
+                });
+    }
+
+    // ---- k-induction for whatever the sweep left open ----
+    bool props_open = false;
+    for (const PropTrack &t : tracks)
+        props_open |= !t.resolved;
+    const bool covers_open = !covers.empty() && !result.coverReached;
+
+    std::size_t ind_vars = 0, ind_clauses = 0;
+    std::uint64_t ind_conflicts = 0;
+    if (config.inductionDepth > 0 && (props_open || covers_open)) {
+        sat::Solver isolver;
+        if (config.cancel)
+            isolver.setCancel(config.cancel);
+        sat::CnfBuilder icnf(isolver);
+        bmc::Unroller iu(icnf, netlist, preds, assumptions);
+        iu.pushFreeFrame();
+
+        std::vector<IndProp> iprops;
+        for (PropTrack &t : tracks) {
+            if (t.resolved)
+                continue;
+            IndProp ip;
+            ip.track = &t;
+            ip.monitor =
+                std::make_unique<sva::MonitorCnf>(icnf, *t.runtime);
+            ip.states.push_back(ip.monitor->freeState());
+            ip.act = icnf.freshLit();
+            iprops.push_back(std::move(ip));
+        }
+        std::vector<IndCover> icovers;
+        if (covers_open) {
+            for (const Assumption *c : covers) {
+                IndCover ic;
+                ic.cover = c;
+                ic.act = icnf.freshLit();
+                icovers.push_back(std::move(ic));
+            }
+        }
+
+        // Per-frame design-state literals and memoized pairwise
+        // design distinctness, shared across properties and covers.
+        std::vector<std::vector<sat::Lit>> frame_bits;
+        frame_bits.emplace_back();
+        iu.appendStateLits(0, frame_bits.back());
+        std::map<std::pair<std::size_t, std::size_t>, sat::Lit>
+            design_distinct;
+        auto designDistinct = [&](std::size_t j, std::size_t k) {
+            auto it = design_distinct.find({j, k});
+            if (it != design_distinct.end())
+                return it->second;
+            sat::Lit l =
+                vectorsDistinct(icnf, frame_bits[j], frame_bits[k]);
+            design_distinct.emplace(std::make_pair(j, k), l);
+            return l;
+        };
+        auto monitorBits = [](const IndProp &ip, std::size_t f) {
+            std::vector<sat::Lit> bits;
+            ip.monitor->appendStateLits(ip.states[f], bits);
+            return bits;
+        };
+
+        // Base cases come from the sweep: no property fails within
+        // bmcDepth cycles and no cover fires in cycles 0..bmcDepth-1,
+        // so any window up to bmcDepth+1 has its base discharged.
+        const std::size_t max_k =
+            std::min(config.inductionDepth, depth + 1);
+        for (std::size_t k = 1; k <= max_k; ++k) {
+            if (config.cancel &&
+                config.cancel->load(std::memory_order_relaxed))
+                return cancelled();
+
+            // Grow the window: cycle k-1 runs, frame k appears.
+            iu.attachInputs(k - 1);
+            iu.assertValidCycle(k - 1);
+            for (IndCover &ic : icovers)
+                ic.hits.push_back(iu.coverHitLit(k - 1, *ic.cover));
+            iu.pushTransition();
+            frame_bits.emplace_back();
+            iu.appendStateLits(k, frame_bits.back());
+
+            for (IndProp &ip : iprops) {
+                if (!ip.active)
+                    continue;
+                PropTrack &t = *ip.track;
+                // act -> the window prefix never fails...
+                isolver.addClause(
+                    ~ip.act, ~ip.monitor->failed(ip.states[k - 1]));
+                ip.states.push_back(ip.monitor->step(
+                    ip.states[k - 1],
+                    [&](int pred) { return iu.predLit(k - 1, pred); }));
+                // ...and its product states are pairwise distinct
+                // (a minimal counterexample is loop-free: splicing
+                // out a repeated product state replays the suffix
+                // and yields a shorter one).
+                const auto mk = monitorBits(ip, k);
+                for (std::size_t j = 0; j < k; ++j)
+                    isolver.addClause(
+                        ~ip.act,
+                        icnf.mkOr(designDistinct(j, k),
+                                  vectorsDistinct(icnf,
+                                                  monitorBits(ip, j),
+                                                  mk)));
+                const auto t_solve = Clock::now();
+                const sat::Result r = isolver.solve(
+                    {ip.act, ip.monitor->failed(ip.states[k])});
+                t.result.checkSeconds += elapsedSeconds(t_solve);
+                if (r == sat::Result::Unknown)
+                    return cancelled();
+                if (r == sat::Result::Unsat) {
+                    ip.active = false;
+                    t.resolved = true;
+                    t.result.status = ProofStatus::Proven;
+                    t.result.inductionK =
+                        static_cast<std::uint32_t>(k);
+                }
+            }
+
+            for (IndCover &ic : icovers) {
+                if (ic.provenUnreachable)
+                    continue;
+                // Window cycles 0..k-1: no hit before the last
+                // cycle, distinct design states, hit at cycle k-1.
+                if (k >= 2)
+                    isolver.addClause(~ic.act, ~ic.hits[k - 2]);
+                for (std::size_t j = 0; j + 1 < k; ++j)
+                    isolver.addClause(~ic.act,
+                                      designDistinct(j, k - 1));
+                const sat::Result r =
+                    isolver.solve({ic.act, ic.hits[k - 1]});
+                if (r == sat::Result::Unknown)
+                    return cancelled();
+                if (r == sat::Result::Unsat)
+                    ic.provenUnreachable = true;
+            }
+        }
+
+        if (!icovers.empty()) {
+            bool all_unreachable = true;
+            for (const IndCover &ic : icovers)
+                all_unreachable &= ic.provenUnreachable;
+            result.coverUnreachable = all_unreachable;
+        }
+        ind_vars = isolver.numVars();
+        ind_clauses = isolver.numClauses();
+        ind_conflicts = isolver.stats().conflicts;
+    }
+
+    for (PropTrack &t : tracks) {
+        if (!t.resolved) {
+            t.result.status = ProofStatus::Bounded;
+            t.result.boundCycles = static_cast<std::uint32_t>(depth);
+        }
+        result.properties.push_back(std::move(t.result));
+    }
+
+    result.satVars = solver.numVars() + ind_vars;
+    result.satClauses = solver.numClauses() + ind_clauses;
+    result.satConflicts = solver.stats().conflicts + ind_conflicts;
+    result.checkSeconds = elapsedSeconds(t_start);
+    return result;
+}
+
+} // namespace rtlcheck::formal

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * SAT-based bounded model checking + k-induction back-end.
+ *
+ * Produces the same VerifyResult/PropertyResult types as the
+ * explicit-state engine, with identical witness conventions:
+ *   - Falsified: per-cycle input-combo bytes the simulator replays
+ *     (depth-d failure -> d bytes, cycles 0..d-1);
+ *   - cover reached: bytes for cycles 0..k where the hit fires in
+ *     cycle k;
+ *   - Proven: closed by k-induction (PropertyResult::inductionK);
+ *   - Bounded: no counterexample within EngineConfig::bmcDepth
+ *     cycles and induction did not close the proof.
+ *
+ * The per-depth query order is chosen so a deeper frame's constraints
+ * can never mask a shallower verdict, mirroring the explicit engine's
+ * check-status-before-expanding discipline: the depth-d property
+ * query runs while frame d carries only its state image (no inputs,
+ * no cycle-d implications), and the cycle-d cover query runs after
+ * the cycle's implications are hard clauses (StateGraph records
+ * covers on unpruned edges only).
+ */
+
+#ifndef RTLCHECK_FORMAL_BMC_BMC_ENGINE_HH
+#define RTLCHECK_FORMAL_BMC_BMC_ENGINE_HH
+
+#include "formal/engine.hh"
+
+namespace rtlcheck::formal {
+
+/** Run the BMC + k-induction back-end (EngineConfig::bmcDepth,
+ *  inductionDepth, cancel). Same contract as verify(). */
+VerifyResult verifyBmc(const rtl::Netlist &netlist,
+                       const sva::PredicateTable &preds,
+                       const std::vector<Assumption> &assumptions,
+                       const std::vector<sva::Property> &properties,
+                       const EngineConfig &config);
+
+} // namespace rtlcheck::formal
+
+#endif // RTLCHECK_FORMAL_BMC_BMC_ENGINE_HH

@@ -1,0 +1,356 @@
+#include "formal/bmc/unroller.hh"
+
+#include "common/logging.hh"
+
+namespace rtlcheck::formal::bmc {
+
+namespace {
+
+bool
+fitsWidth(std::uint64_t value, unsigned width)
+{
+    return width >= 64 || (value >> width) == 0;
+}
+
+} // namespace
+
+Unroller::Unroller(sat::CnfBuilder &cnf, const rtl::Netlist &netlist,
+                   const sva::PredicateTable &preds,
+                   const std::vector<Assumption> &assumptions)
+    : _cnf(cnf), _netlist(netlist), _preds(preds),
+      _assumptions(assumptions)
+{
+    _slotWidths.assign(netlist.stateWords(), 0);
+    const auto &regs = netlist.regs();
+    for (std::size_t i = 0; i < regs.size(); ++i)
+        _slotWidths[i] = regs[i].width;
+    const auto &mems = netlist.mems();
+    for (std::size_t i = 0; i < mems.size(); ++i) {
+        if (!netlist.memInState(static_cast<std::uint32_t>(i)))
+            continue;
+        const rtl::MemHandle handle{static_cast<std::uint32_t>(i)};
+        for (std::uint32_t w = 0; w < mems[i].words; ++w)
+            _slotWidths[netlist.stateSlotOfMemWord(handle, w)] =
+                mems[i].width;
+    }
+    for (unsigned w : _slotWidths)
+        RC_ASSERT(w >= 1 && w <= 32, "bad state-slot width");
+}
+
+void
+Unroller::pushInitialFrame()
+{
+    RC_ASSERT(_frames.empty(), "initial frame must be frame 0");
+    rtl::StateVec init = _netlist.initialState();
+    for (const Assumption &a : _assumptions) {
+        if (a.kind != Assumption::Kind::InitialPin)
+            continue;
+        RC_ASSERT(a.stateSlot < init.size());
+        init[a.stateSlot] = a.value;
+    }
+    Frame f;
+    f.state.reserve(init.size());
+    for (std::size_t i = 0; i < init.size(); ++i) {
+        RC_ASSERT(fitsWidth(init[i], _slotWidths[i]),
+                  "pinned initial state exceeds declared widths");
+        f.state.push_back(_cnf.bvConst(init[i], _slotWidths[i]));
+    }
+    _frames.push_back(std::move(f));
+}
+
+void
+Unroller::pushFreeFrame()
+{
+    RC_ASSERT(_frames.empty(), "free frame must be frame 0");
+    Frame f;
+    f.state.reserve(_slotWidths.size());
+    for (unsigned w : _slotWidths)
+        f.state.push_back(_cnf.bvFresh(w));
+    _frames.push_back(std::move(f));
+}
+
+void
+Unroller::attachInputs(std::size_t k)
+{
+    RC_ASSERT(k < _frames.size());
+    Frame &f = _frames[k];
+    RC_ASSERT(!f.evaluated, "inputs already attached to frame");
+    const auto &inputs = _netlist.inputs();
+    f.inputs.reserve(inputs.size());
+    for (const rtl::InputDecl &in : inputs)
+        f.inputs.push_back(_cnf.bvFresh(in.width));
+    evalFrame(f);
+    f.evaluated = true;
+}
+
+void
+Unroller::evalFrame(Frame &f)
+{
+    // 1:1 translation of Netlist::eval(). Operand handles in the
+    // optimized node list are optimized-space, as are the
+    // pre-remapped reg.next / write-port handles, so `values` is
+    // indexed directly by Signal::id throughout.
+    const auto &nodes = _netlist.nodes();
+    f.values.resize(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const rtl::ExprNode &e = nodes[i];
+        const std::uint32_t w = e.width;
+        sat::Bits r;
+        switch (e.op) {
+          case rtl::Op::Const:
+            RC_ASSERT(fitsWidth(e.imm, w), "constant exceeds width");
+            r = _cnf.bvConst(e.imm, w);
+            break;
+          case rtl::Op::Input:
+            r = _cnf.bvZext(f.inputs[e.inputSlot], w);
+            break;
+          case rtl::Op::RegQ:
+            // eval() reads the slot unmasked; the slot value fits
+            // its declared width, so zext is exact as long as the
+            // node is at least as wide.
+            RC_ASSERT(w >= _slotWidths[e.stateSlot]);
+            r = _cnf.bvZext(f.state[e.stateSlot], w);
+            break;
+          case rtl::Op::MemRead: {
+            const rtl::MemDecl &m = _netlist.mems()[e.memId];
+            RC_ASSERT(w >= m.width);
+            const sat::Bits &addr = f.values[e.a.id];
+            const bool in_state = _netlist.memInState(e.memId);
+            const rtl::MemHandle handle{e.memId};
+            // Out-of-range addresses read 0, which the accumulator
+            // base provides when no word address matches.
+            r = _cnf.bvConst(0, w);
+            for (std::uint32_t word = 0; word < m.words; ++word) {
+                sat::Lit sel =
+                    _cnf.bvEq(addr, _cnf.bvConst(word, 32));
+                sat::Bits value;
+                if (in_state) {
+                    value = _cnf.bvZext(
+                        f.state[_netlist.stateSlotOfMemWord(handle,
+                                                            word)],
+                        w);
+                } else {
+                    RC_ASSERT(fitsWidth(m.init[word], m.width),
+                              "ROM init word exceeds width");
+                    value = _cnf.bvConst(m.init[word], w);
+                }
+                r = _cnf.bvMux(sel, value, r, w);
+            }
+            break;
+          }
+          case rtl::Op::Not:
+            r = _cnf.bvNot(f.values[e.a.id], w);
+            break;
+          case rtl::Op::And:
+            RC_ASSERT(nodes[e.a.id].width <= w &&
+                      nodes[e.b.id].width <= w);
+            r = _cnf.bvAnd(f.values[e.a.id], f.values[e.b.id], w);
+            break;
+          case rtl::Op::Or:
+            RC_ASSERT(nodes[e.a.id].width <= w &&
+                      nodes[e.b.id].width <= w);
+            r = _cnf.bvOr(f.values[e.a.id], f.values[e.b.id], w);
+            break;
+          case rtl::Op::Xor:
+            RC_ASSERT(nodes[e.a.id].width <= w &&
+                      nodes[e.b.id].width <= w);
+            r = _cnf.bvXor(f.values[e.a.id], f.values[e.b.id], w);
+            break;
+          case rtl::Op::Add:
+            r = _cnf.bvAdd(f.values[e.a.id], f.values[e.b.id], w);
+            break;
+          case rtl::Op::Sub:
+            r = _cnf.bvSub(f.values[e.a.id], f.values[e.b.id], w);
+            break;
+          case rtl::Op::Eq:
+            r = _cnf.bvZext(
+                {_cnf.bvEq(f.values[e.a.id], f.values[e.b.id])}, w);
+            break;
+          case rtl::Op::Ne:
+            r = _cnf.bvZext(
+                {~_cnf.bvEq(f.values[e.a.id], f.values[e.b.id])}, w);
+            break;
+          case rtl::Op::Ult:
+            r = _cnf.bvZext(
+                {_cnf.bvUlt(f.values[e.a.id], f.values[e.b.id])}, w);
+            break;
+          case rtl::Op::Mux:
+            RC_ASSERT(nodes[e.a.id].width <= w &&
+                      nodes[e.b.id].width <= w);
+            r = _cnf.bvMux(_cnf.bvNonZero(f.values[e.c.id]),
+                           f.values[e.a.id], f.values[e.b.id], w);
+            break;
+          case rtl::Op::Concat:
+            r = _cnf.bvConcat(f.values[e.a.id], f.values[e.b.id],
+                              nodes[e.b.id].width, w);
+            break;
+          case rtl::Op::Slice:
+            r = _cnf.bvSlice(f.values[e.a.id], e.imm, w);
+            break;
+          case rtl::Op::ShlC:
+            r = _cnf.bvShlC(f.values[e.a.id], e.imm, w);
+            break;
+          case rtl::Op::ShrC:
+            r = _cnf.bvShrC(f.values[e.a.id], e.imm, w);
+            break;
+        }
+        f.values[i] = std::move(r);
+    }
+
+    // Predicate truth literals: bit i of the PredMask is set iff the
+    // predicate signal's value is nonzero.
+    const int npreds = _preds.size();
+    f.preds.resize(static_cast<std::size_t>(npreds));
+    for (int p = 0; p < npreds; ++p) {
+        const std::uint32_t node =
+            _netlist.nodeIdOf(_preds.signalOf(p));
+        f.preds[static_cast<std::size_t>(p)] =
+            _cnf.bvNonZero(f.values[node]);
+    }
+}
+
+void
+Unroller::assertValidCycle(std::size_t k)
+{
+    const Frame &f = _frames[k];
+    RC_ASSERT(f.evaluated, "assertValidCycle needs inputs attached");
+    for (const Assumption &a : _assumptions) {
+        // FinalValueCover doubles as an implication: StateGraph
+        // prunes edges whose antecedent holds with a false
+        // consequent, for covers and implications alike.
+        if (a.kind == Assumption::Kind::InitialPin)
+            continue;
+        _cnf.solver().addClause(
+            ~f.preds[static_cast<std::size_t>(a.antecedent)],
+            f.preds[static_cast<std::size_t>(a.consequent)]);
+    }
+}
+
+void
+Unroller::pushTransition()
+{
+    RC_ASSERT(!_frames.empty());
+    const std::size_t k = _frames.size() - 1;
+    RC_ASSERT(_frames[k].evaluated,
+              "pushTransition needs inputs attached");
+    Frame next;
+    next.state.resize(_slotWidths.size());
+    for (std::size_t slot = 0; slot < _slotWidths.size(); ++slot)
+        next.state[slot] = stateSlotImage(_frames[k], slot);
+    _frames.push_back(std::move(next));
+}
+
+sat::Bits
+Unroller::stateSlotImage(const Frame &f, std::size_t slot) const
+{
+    const auto &regs = _netlist.regs();
+    if (slot < regs.size()) {
+        // nextState() stores the next-value unmasked; it fits the
+        // node's width, which construction keeps equal to the
+        // register's, so truncation via bvZext is exact.
+        return _cnf.bvZext(f.values[regs[slot].next.id],
+                           _slotWidths[slot]);
+    }
+    // Memory word: apply the write ports in declaration order (the
+    // last enabled writer of a word wins, as in nextState()) as a
+    // mux chain seeded with the held value.
+    const auto &mems = _netlist.mems();
+    for (std::size_t i = 0; i < mems.size(); ++i) {
+        if (!_netlist.memInState(static_cast<std::uint32_t>(i)))
+            continue;
+        const rtl::MemDecl &m = mems[i];
+        const rtl::MemHandle handle{static_cast<std::uint32_t>(i)};
+        const std::size_t base = _netlist.stateSlotOfMemWord(handle, 0);
+        if (slot < base || slot >= base + m.words)
+            continue;
+        const std::uint32_t word =
+            static_cast<std::uint32_t>(slot - base);
+        sat::Bits acc = f.state[slot];
+        for (const rtl::MemWritePort &p : m.writePorts) {
+            sat::Lit hit = _cnf.mkAnd(
+                _cnf.bvNonZero(f.values[p.enable.id]),
+                _cnf.bvEq(f.values[p.addr.id],
+                          _cnf.bvConst(word, 32)));
+            acc = _cnf.bvMux(hit,
+                             _cnf.bvZext(f.values[p.data.id],
+                                         _slotWidths[slot]),
+                             acc, _slotWidths[slot]);
+        }
+        return acc;
+    }
+    RC_PANIC("state slot outside register and memory layout");
+}
+
+sat::Lit
+Unroller::predLit(std::size_t k, int pred) const
+{
+    const Frame &f = _frames[k];
+    RC_ASSERT(f.evaluated, "predLit needs inputs attached");
+    return f.preds[static_cast<std::size_t>(pred)];
+}
+
+sat::Lit
+Unroller::coverHitLit(std::size_t k, const Assumption &cover)
+{
+    const Frame &f = _frames[k];
+    RC_ASSERT(f.evaluated, "coverHitLit needs inputs attached");
+    return _cnf.mkAnd(
+        f.preds[static_cast<std::size_t>(cover.antecedent)],
+        f.preds[static_cast<std::size_t>(cover.consequent)]);
+}
+
+std::uint8_t
+Unroller::decodeInput(std::size_t k,
+                      const sat::Solver &solver) const
+{
+    const Frame &f = _frames[k];
+    RC_ASSERT(f.evaluated, "decodeInput needs inputs attached");
+    unsigned combo = 0;
+    unsigned shift = 0;
+    for (const sat::Bits &in : f.inputs) {
+        for (std::size_t b = 0; b < in.size(); ++b)
+            if (solver.modelTrue(in[b]))
+                combo |= 1u << (shift + b);
+        shift += static_cast<unsigned>(in.size());
+    }
+    RC_ASSERT(shift <= 8, "too many free input bits for combo bytes");
+    return static_cast<std::uint8_t>(combo);
+}
+
+namespace {
+
+std::uint32_t
+decodeBits(const sat::Bits &bits, const sat::Solver &solver)
+{
+    std::uint32_t v = 0;
+    for (std::size_t b = 0; b < bits.size(); ++b)
+        if (solver.modelTrue(bits[b]))
+            v |= std::uint32_t(1) << b;
+    return v;
+}
+
+} // namespace
+
+std::uint32_t
+Unroller::modelNodeValue(std::size_t k, std::uint32_t node,
+                         const sat::Solver &solver) const
+{
+    return decodeBits(_frames[k].values[node], solver);
+}
+
+std::uint32_t
+Unroller::modelStateValue(std::size_t k, std::size_t slot,
+                          const sat::Solver &solver) const
+{
+    return decodeBits(_frames[k].state[slot], solver);
+}
+
+void
+Unroller::appendStateLits(std::size_t k,
+                          std::vector<sat::Lit> &out) const
+{
+    for (const sat::Bits &slot : _frames[k].state)
+        out.insert(out.end(), slot.begin(), slot.end());
+}
+
+} // namespace rtlcheck::formal::bmc

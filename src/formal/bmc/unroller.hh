@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Transition-relation unroller: Tseitin encoding of an optimized
+ * rtl::Netlist over per-cycle frames, for the SAT-based BMC and
+ * k-induction back-end.
+ *
+ * Each frame holds bit-vectors for the flattened design state
+ * (registers then memory words, exactly Netlist's state layout), the
+ * primary inputs of the cycle leaving that frame, every node value of
+ * the combinational cone, and one truth literal per registered
+ * predicate. The node translation mirrors Netlist::eval() case by
+ * case — the invariant "every node value fits its declared width"
+ * carries over, so a SAT model decodes to states and inputs the
+ * concrete simulator reproduces bit-exactly.
+ *
+ * Frame discipline (BmcEngine depends on it):
+ *   - a frame starts with only its state bits (initial, free, or the
+ *     image of the previous frame's transition);
+ *   - attachInputs() creates the cycle's input variables and
+ *     evaluates the cone, making predicate literals available;
+ *   - assertValidCycle() adds the Assumption implications of that
+ *     cycle as hard clauses (unit-implied structure, not assumptions);
+ *   - pushTransition() computes the next frame's state image.
+ */
+
+#ifndef RTLCHECK_FORMAL_BMC_UNROLLER_HH
+#define RTLCHECK_FORMAL_BMC_UNROLLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "formal/assumptions.hh"
+#include "rtl/netlist.hh"
+#include "sat/cnf.hh"
+#include "sva/predicates.hh"
+
+namespace rtlcheck::formal::bmc {
+
+class Unroller
+{
+  public:
+    /** All referenced objects must outlive the unroller. */
+    Unroller(sat::CnfBuilder &cnf, const rtl::Netlist &netlist,
+             const sva::PredicateTable &preds,
+             const std::vector<Assumption> &assumptions);
+
+    /** Frames created so far (pushInitial/FreeFrame + transitions). */
+    std::size_t numFrames() const { return _frames.size(); }
+
+    /** Frame 0 pinned to the reset state plus InitialPin overrides
+     *  (the state StateGraph explores from). */
+    void pushInitialFrame();
+
+    /** Frame 0 fully unconstrained within declared slot widths, for
+     *  induction windows. */
+    void pushFreeFrame();
+
+    /** Create frame k's input variables and evaluate the cone.
+     *  Required before predLit/coverHit/assertValidCycle/transition
+     *  on that frame; call once per frame. */
+    void attachInputs(std::size_t k);
+
+    bool hasInputs(std::size_t k) const { return _frames[k].evaluated; }
+
+    /** Add every Implication (and FinalValueCover, which doubles as
+     *  one — StateGraph prunes those edges too) of cycle k as hard
+     *  clauses: ant -> cons. */
+    void assertValidCycle(std::size_t k);
+
+    /** Append frame numFrames()-1's state image as a new frame. */
+    void pushTransition();
+
+    /** Truth literal of predicate `pred` in cycle k (the letter the
+     *  monitor consumes leaving frame k). */
+    sat::Lit predLit(std::size_t k, int pred) const;
+
+    /** ant && cons of one cover assumption in cycle k — the exact
+     *  CoverHit condition StateGraph records on unpruned edges. */
+    sat::Lit coverHitLit(std::size_t k, const Assumption &cover);
+
+    /** Decode cycle k's input combo from a SAT model, in StateGraph's
+     *  witness byte format (inputs concatenated LSB-first). */
+    std::uint8_t decodeInput(std::size_t k,
+                             const sat::Solver &solver) const;
+
+    /** Append frame k's design-state literals (simple-path
+     *  constraints). */
+    void appendStateLits(std::size_t k,
+                         std::vector<sat::Lit> &out) const;
+
+    /** Decode one node value / state slot of frame k from a SAT
+     *  model (diagnostics: frame-by-frame diff against eval()). */
+    std::uint32_t modelNodeValue(std::size_t k, std::uint32_t node,
+                                 const sat::Solver &solver) const;
+    std::uint32_t modelStateValue(std::size_t k, std::size_t slot,
+                                  const sat::Solver &solver) const;
+
+    /** Tseitin gates allocated so far (diagnostics). */
+    std::size_t numGates() const { return _cnf.numGates(); }
+
+  private:
+    struct Frame
+    {
+        /** One bit-vector per state slot, at the slot's declared
+         *  width (registers first, then memory words). */
+        std::vector<sat::Bits> state;
+        /** One bit-vector per primary input. */
+        std::vector<sat::Bits> inputs;
+        /** One bit-vector per optimized node, at the node's width. */
+        std::vector<sat::Bits> values;
+        /** Truth literal per predicate id. */
+        std::vector<sat::Lit> preds;
+        bool evaluated = false;
+    };
+
+    void evalFrame(Frame &f);
+    sat::Bits stateSlotImage(const Frame &f, std::size_t slot) const;
+
+    sat::CnfBuilder &_cnf;
+    const rtl::Netlist &_netlist;
+    const sva::PredicateTable &_preds;
+    const std::vector<Assumption> &_assumptions;
+    /** Declared width of each state slot. */
+    std::vector<unsigned> _slotWidths;
+    std::vector<Frame> _frames;
+};
+
+} // namespace rtlcheck::formal::bmc
+
+#endif // RTLCHECK_FORMAL_BMC_UNROLLER_HH

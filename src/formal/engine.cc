@@ -3,14 +3,43 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <future>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/hashing.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "formal/bmc/bmc_engine.hh"
 
 namespace rtlcheck::formal {
+
+std::string
+backendName(Backend b)
+{
+    switch (b) {
+      case Backend::Explicit:
+        return "explicit";
+      case Backend::Bmc:
+        return "bmc";
+      case Backend::Portfolio:
+        return "portfolio";
+    }
+    return "?";
+}
+
+std::optional<Backend>
+backendFromName(const std::string &name)
+{
+    if (name == "explicit")
+        return Backend::Explicit;
+    if (name == "bmc")
+        return Backend::Bmc;
+    if (name == "portfolio")
+        return Backend::Portfolio;
+    return std::nullopt;
+}
 
 EngineConfig
 hybridConfig()
@@ -87,6 +116,41 @@ secondsSince(Clock::time_point t0)
 {
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
+
+/** Thrown out of exploration observers to abandon a raced explicit
+ *  run; verifyExplicit() catches it and returns a cancelled result. */
+struct CancelledError
+{
+};
+
+bool
+cancelRequested(const EngineConfig &config)
+{
+    return config.cancel &&
+           config.cancel->load(std::memory_order_relaxed);
+}
+
+/** Level-granular cancellation for explorations that run without an
+ *  EarlyMonitor (no properties, or earlyFalsify off). */
+class CancelObserver final : public ExploreObserver
+{
+  public:
+    explicit CancelObserver(const std::atomic<bool> *cancel)
+        : _cancel(cancel)
+    {
+    }
+
+    void
+    onLevelCommitted(const StateGraph &, std::size_t,
+                     std::uint32_t) override
+    {
+        if (_cancel->load(std::memory_order_relaxed))
+            throw CancelledError{};
+    }
+
+  private:
+    const std::atomic<bool> *_cancel;
+};
 
 /**
  * NFA-product check of one property over a state graph, resumable.
@@ -397,8 +461,10 @@ class EarlyMonitor final : public ExploreObserver
 {
   public:
     EarlyMonitor(const std::vector<sva::Property> &props,
-                 std::size_t max_states, Clock::time_point start)
-        : _props(props), _max(max_states), _start(start)
+                 std::size_t max_states, Clock::time_point start,
+                 const std::atomic<bool> *cancel)
+        : _props(props), _max(max_states), _start(start),
+          _cancel(cancel)
     {
     }
 
@@ -406,6 +472,8 @@ class EarlyMonitor final : public ExploreObserver
     onLevelCommitted(const StateGraph &graph, std::size_t expanded,
                      std::uint32_t) override
     {
+        if (_cancel && _cancel->load(std::memory_order_relaxed))
+            throw CancelledError{};
         if (!_engaged) {
             _engaged = true;
             _early.assign(_props.size(), 0.0);
@@ -444,21 +512,22 @@ class EarlyMonitor final : public ExploreObserver
     const std::vector<sva::Property> &_props;
     std::size_t _max = 0;
     Clock::time_point _start;
+    const std::atomic<bool> *_cancel = nullptr;
     bool _engaged = false;
     std::vector<std::unique_ptr<ProductChecker<StateGraph>>>
         _checkers;
     std::vector<double> _early;
 };
 
-} // namespace
-
 VerifyResult
-verify(const rtl::Netlist &netlist, const sva::PredicateTable &preds,
-       const std::vector<Assumption> &assumptions,
-       const std::vector<sva::Property> &properties,
-       const EngineConfig &config, GraphCache *cache)
+verifyExplicit(const rtl::Netlist &netlist,
+               const sva::PredicateTable &preds,
+               const std::vector<Assumption> &assumptions,
+               const std::vector<sva::Property> &properties,
+               const EngineConfig &config, GraphCache *cache)
 {
     VerifyResult result;
+    result.engineUsed = "explicit";
 
     auto t0 = Clock::now();
     ExploreLimits limits;
@@ -469,18 +538,28 @@ verify(const rtl::Netlist &netlist, const sva::PredicateTable &preds,
     // each committed BFS level, so counterexamples surface as soon as
     // the violating path exists. Cache hits skip exploration, so the
     // monitor stays disengaged and the batch check below runs.
-    EarlyMonitor monitor(properties, config.productMaxStates, t0);
+    EarlyMonitor monitor(properties, config.productMaxStates, t0,
+                         config.cancel);
+    CancelObserver cancel_observer(config.cancel);
     ExploreObserver *observer =
         config.earlyFalsify && !properties.empty() ? &monitor
                                                    : nullptr;
+    if (!observer && config.cancel)
+        observer = &cancel_observer;
     std::shared_ptr<const StateGraph> owner;
     bool was_hit = false;
-    if (cache) {
-        owner = cache->obtain(netlist, preds, assumptions, limits,
-                              &was_hit, observer);
-    } else {
-        owner = std::make_shared<const StateGraph>(
-            netlist, assumptions, preds, limits, observer);
+    try {
+        if (cache) {
+            owner = cache->obtain(netlist, preds, assumptions,
+                                  limits, &was_hit, observer);
+        } else {
+            owner = std::make_shared<const StateGraph>(
+                netlist, assumptions, preds, limits, observer);
+        }
+    } catch (const CancelledError &) {
+        result.cancelled = true;
+        result.exploreSeconds = secondsSince(t0);
+        return result;
     }
     // The cached graph may be larger than this config's budget; the
     // view recovers exactly the bounded run's shape, so everything
@@ -536,10 +615,16 @@ verify(const rtl::Netlist &netlist, const sva::PredicateTable &preds,
         // queues still hold) IS the check phase — the product work
         // happens exactly once, and the results are bit-identical to
         // the batch path below.
-        for (std::size_t i = 0; i < properties.size(); ++i)
+        for (std::size_t i = 0; i < properties.size(); ++i) {
+            if (cancelRequested(config)) {
+                result.cancelled = true;
+                break;
+            }
             result.properties[i] = monitor.finish(i);
+        }
         result.checkJobs = 1;
-    } else if (jobs > 1 && properties.size() > 1) {
+    } else if (jobs > 1 && properties.size() > 1 &&
+               !cancelRequested(config)) {
         ThreadPool pool(jobs);
         pool.parallelFor(properties.size(), [&](std::size_t i) {
             result.properties[i] = checkProperty(
@@ -547,12 +632,136 @@ verify(const rtl::Netlist &netlist, const sva::PredicateTable &preds,
         });
         result.checkJobs = jobs;
     } else {
-        for (std::size_t i = 0; i < properties.size(); ++i)
+        for (std::size_t i = 0; i < properties.size(); ++i) {
+            if (cancelRequested(config)) {
+                result.cancelled = true;
+                break;
+            }
             result.properties[i] = checkProperty(
                 graph, properties[i], config.productMaxStates);
+        }
     }
     result.checkSeconds = secondsSince(t1);
     return result;
+}
+
+/** Is a BMC result a full verdict (nothing left open)? Portfolio may
+ *  only cancel the explicit arm on such a result: a Bounded property
+ *  or an unresolved cover must fall through to the explicit engine's
+ *  answer. */
+bool
+bmcConclusive(const VerifyResult &r,
+              const std::vector<Assumption> &assumptions)
+{
+    if (r.cancelled || r.numBounded() > 0)
+        return false;
+    bool have_cover = false;
+    for (const Assumption &a : assumptions)
+        have_cover |= a.kind == Assumption::Kind::FinalValueCover;
+    if (have_cover && !r.coverReached && !r.coverUnreachable)
+        return false;
+    return true;
+}
+
+VerifyResult
+verifyPortfolio(const rtl::Netlist &netlist,
+                const sva::PredicateTable &preds,
+                const std::vector<Assumption> &assumptions,
+                const std::vector<sva::Property> &properties,
+                const EngineConfig &config, GraphCache *cache)
+{
+    std::atomic<bool> cancel_explicit{false};
+    std::atomic<bool> cancel_bmc{false};
+
+    // An outer cancellation request has to reach both arms, whose
+    // configs carry arm-private flags; a watcher relays it. Portfolio
+    // runs are only nested under a cancel in portfolio-of-portfolio
+    // setups, so the watcher is usually not started.
+    std::atomic<bool> done{false};
+    std::thread watcher;
+    if (config.cancel) {
+        watcher = std::thread([&] {
+            while (!done.load(std::memory_order_relaxed)) {
+                if (config.cancel->load(std::memory_order_relaxed)) {
+                    cancel_explicit.store(true);
+                    cancel_bmc.store(true);
+                    break;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            }
+        });
+    }
+
+    EngineConfig bmc_config = config;
+    bmc_config.backend = Backend::Bmc;
+    bmc_config.cancel = &cancel_bmc;
+    auto bmc_future =
+        std::async(std::launch::async, [&, bmc_config] {
+            VerifyResult r = verifyBmc(netlist, preds, assumptions,
+                                       properties, bmc_config);
+            // First conclusive verdict wins: a finished, fully
+            // resolved BMC run pulls the plug on the explicit arm.
+            if (bmcConclusive(r, assumptions))
+                cancel_explicit.store(true);
+            return r;
+        });
+
+    EngineConfig exp_config = config;
+    exp_config.backend = Backend::Explicit;
+    exp_config.cancel = &cancel_explicit;
+    VerifyResult exp_result =
+        verifyExplicit(netlist, preds, assumptions, properties,
+                       exp_config, cache);
+    if (!exp_result.cancelled)
+        cancel_bmc.store(true);
+
+    VerifyResult bmc_result = bmc_future.get();
+    done.store(true);
+    if (watcher.joinable())
+        watcher.join();
+
+    if (cancelRequested(config)) {
+        VerifyResult r;
+        r.engineUsed = "portfolio";
+        r.cancelled = true;
+        return r;
+    }
+
+    // The explicit engine's verdict is authoritative whenever it ran
+    // to completion; the BMC arm only wins by finishing a conclusive
+    // result early enough to cancel it.
+    if (!exp_result.cancelled) {
+        exp_result.engineUsed = "portfolio:explicit";
+        return exp_result;
+    }
+    RC_ASSERT(bmcConclusive(bmc_result, assumptions),
+              "explicit arm cancelled without a conclusive BMC "
+              "result");
+    bmc_result.engineUsed = "portfolio:bmc";
+    return bmc_result;
+}
+
+} // namespace
+
+VerifyResult
+verify(const rtl::Netlist &netlist, const sva::PredicateTable &preds,
+       const std::vector<Assumption> &assumptions,
+       const std::vector<sva::Property> &properties,
+       const EngineConfig &config, GraphCache *cache)
+{
+    switch (config.backend) {
+      case Backend::Explicit:
+        return verifyExplicit(netlist, preds, assumptions,
+                              properties, config, cache);
+      case Backend::Bmc:
+        return verifyBmc(netlist, preds, assumptions, properties,
+                         config);
+      case Backend::Portfolio:
+        return verifyPortfolio(netlist, preds, assumptions,
+                               properties, config, cache);
+    }
+    RC_PANIC("unknown engine backend");
 }
 
 } // namespace rtlcheck::formal

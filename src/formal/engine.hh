@@ -24,6 +24,7 @@
 #ifndef RTLCHECK_FORMAL_ENGINE_HH
 #define RTLCHECK_FORMAL_ENGINE_HH
 
+#include <atomic>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,6 +34,19 @@
 #include "sva/property.hh"
 
 namespace rtlcheck::formal {
+
+/**
+ * Which verification back-end runs. Explicit is the state-graph
+ * product engine; Bmc is the SAT-based bounded-model-checking +
+ * k-induction engine; Portfolio races both on the suite thread pool
+ * and takes the first conclusive verdict, cancelling the loser.
+ */
+enum class Backend { Explicit, Bmc, Portfolio };
+
+std::string backendName(Backend b);
+/** Parse "explicit"/"bmc"/"portfolio"; std::nullopt on anything
+ *  else so the CLI can reject bad values instead of defaulting. */
+std::optional<Backend> backendFromName(const std::string &name);
 
 struct EngineConfig
 {
@@ -56,6 +70,20 @@ struct EngineConfig
      *  verdict or witness — only *when* falsification is detected
      *  (PropertyResult::earlyFalsified). */
     bool earlyFalsify = true;
+    /** Back-end selector (see Backend). */
+    Backend backend = Backend::Explicit;
+    /** BMC unroll bound in cycles. Chosen so the suite's deepest
+     *  known counterexamples (the §7.1 store-drop bug included) fit
+     *  comfortably. */
+    std::size_t bmcDepth = 16;
+    /** Largest k-induction window tried for unresolved properties
+     *  and covers after the BMC sweep; 0 disables induction (every
+     *  unfalsified property stays Bounded). */
+    std::size_t inductionDepth = 6;
+    /** Cooperative cancellation (portfolio mode): when the flag goes
+     *  true, the back-end abandons work and returns a result with
+     *  `cancelled` set. */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /** Table 1's Hybrid configuration analogue: bounded engines. */
@@ -90,6 +118,10 @@ struct PropertyResult
     /** Wall-clock from exploration start to the monitor detecting
      *  the counterexample (0 unless earlyFalsified). */
     double earlyFalsifySeconds = 0.0;
+    /** For BMC-proven properties: the k-induction window that closed
+     *  the proof (0 when the proof came from the explicit engine or
+     *  the property is not Proven). */
+    std::uint32_t inductionK = 0;
 };
 
 struct VerifyResult
@@ -120,6 +152,18 @@ struct VerifyResult
     double checkSeconds = 0.0;
     /** Parallel lanes the property checks actually used. */
     std::size_t checkJobs = 1;
+
+    /** Back-end that produced this result ("explicit", "bmc", or
+     *  "portfolio:<winner>"). */
+    std::string engineUsed = "explicit";
+    /** The run was abandoned via EngineConfig::cancel; verdicts are
+     *  partial and must not be consumed. */
+    bool cancelled = false;
+
+    /** BMC diagnostics (0 for the explicit engine). */
+    std::size_t satVars = 0;
+    std::size_t satClauses = 0;
+    std::uint64_t satConflicts = 0;
 
     int numProven() const;
     int numBounded() const;

@@ -159,6 +159,26 @@ class Netlist
     const std::vector<RegDecl> &regs() const { return _regs; }
     const std::vector<MemDecl> &mems() const { return _mems; }
 
+    /** Optimized node list, in evaluation order (operand handles are
+     *  in optimized space). Symbolic back-ends translate this list
+     *  1:1 instead of re-deriving the semantics. */
+    const std::vector<ExprNode> &nodes() const { return _nodes; }
+
+    /** Optimized node id of a design-space signal (the remap that
+     *  valueOf() applies). */
+    std::uint32_t
+    nodeIdOf(Signal s) const
+    {
+        return _remap[s.id];
+    }
+
+    /** Is this memory part of the state vector (i.e. writable)? */
+    bool
+    memInState(std::uint32_t mem_id) const
+    {
+        return _memLayout[mem_id].inState;
+    }
+
   private:
     struct MemLayout
     {

@@ -1,0 +1,363 @@
+#include "cnf.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rtlcheck::sat {
+
+CnfBuilder::CnfBuilder(Solver &solver) : _solver(solver)
+{
+    RC_ASSERT(solver.numVars() == 0,
+              "CnfBuilder must own the solver's variable space");
+    Var v = _solver.newVar();
+    _true = mkLit(v);
+    _solver.addClause(_true);
+}
+
+Lit
+CnfBuilder::freshLit()
+{
+    return mkLit(_solver.newVar());
+}
+
+void
+CnfBuilder::require(Lit l)
+{
+    _solver.addClause(l);
+}
+
+Lit
+CnfBuilder::hashed(const Key &key,
+                   Lit (CnfBuilder::*build)(Lit, Lit, Lit), Lit a,
+                   Lit b, Lit c)
+{
+    auto it = _cache.find(key);
+    if (it != _cache.end())
+        return it->second;
+    Lit y = (this->*build)(a, b, c);
+    _cache.emplace(key, y);
+    ++_numGates;
+    return y;
+}
+
+Lit
+CnfBuilder::buildAnd(Lit a, Lit b, Lit)
+{
+    Lit y = freshLit();
+    _solver.addClause(~y, a);
+    _solver.addClause(~y, b);
+    _solver.addClause(y, ~a, ~b);
+    return y;
+}
+
+Lit
+CnfBuilder::mkAnd(Lit a, Lit b)
+{
+    if (isConst(a))
+        return constValue(a) ? b : constFalse();
+    if (isConst(b))
+        return constValue(b) ? a : constFalse();
+    if (a == b)
+        return a;
+    if (a == ~b)
+        return constFalse();
+    if (a.x > b.x)
+        std::swap(a, b);
+    return hashed(Key{0, a.x, b.x, 0}, &CnfBuilder::buildAnd, a, b,
+                  Lit{});
+}
+
+Lit
+CnfBuilder::mkOr(Lit a, Lit b)
+{
+    return ~mkAnd(~a, ~b);
+}
+
+Lit
+CnfBuilder::buildXor(Lit a, Lit b, Lit)
+{
+    Lit y = freshLit();
+    _solver.addClause(~y, a, b);
+    _solver.addClause(~y, ~a, ~b);
+    _solver.addClause(y, ~a, b);
+    _solver.addClause(y, a, ~b);
+    return y;
+}
+
+Lit
+CnfBuilder::mkXor(Lit a, Lit b)
+{
+    if (isConst(a))
+        return constValue(a) ? ~b : b;
+    if (isConst(b))
+        return constValue(b) ? ~a : a;
+    if (a == b)
+        return constFalse();
+    if (a == ~b)
+        return constTrue();
+    // Canonicalize to positive operands: xor absorbs signs.
+    bool flip = a.sign() != b.sign();
+    Lit pa = mkLit(a.var());
+    Lit pb = mkLit(b.var());
+    if (pa.x > pb.x)
+        std::swap(pa, pb);
+    Lit y = hashed(Key{1, pa.x, pb.x, 0}, &CnfBuilder::buildXor, pa,
+                   pb, Lit{});
+    return flip ? ~y : y;
+}
+
+Lit
+CnfBuilder::buildMux(Lit sel, Lit t, Lit e)
+{
+    Lit y = freshLit();
+    _solver.addClause(~sel, ~t, y);
+    _solver.addClause(~sel, t, ~y);
+    _solver.addClause(sel, ~e, y);
+    _solver.addClause(sel, e, ~y);
+    return y;
+}
+
+Lit
+CnfBuilder::mkMux(Lit sel, Lit t, Lit e)
+{
+    if (isConst(sel))
+        return constValue(sel) ? t : e;
+    if (t == e)
+        return t;
+    if (isConst(t))
+        return constValue(t) ? mkOr(sel, e) : mkAnd(~sel, e);
+    if (isConst(e))
+        return constValue(e) ? mkOr(~sel, t) : mkAnd(sel, t);
+    if (t == ~e)
+        return mkXor(sel, e);  // sel ? ~e : e  (1 -> ~e, 0 -> e)
+    if (sel == t)
+        return mkOr(sel, e);   // sel ? sel : e
+    if (sel == ~t)
+        return mkAnd(t, e);    // sel ? ~sel : e  ==  ~sel & e
+    if (sel == e)
+        return mkAnd(sel, t);  // sel ? t : sel
+    if (sel == ~e)
+        return mkOr(~sel, t);  // sel ? t : ~sel
+    return hashed(Key{2, sel.x, t.x, e.x}, &CnfBuilder::buildMux,
+                  sel, t, e);
+}
+
+Lit
+CnfBuilder::mkAndN(const std::vector<Lit> &lits)
+{
+    Lit y = constTrue();
+    for (Lit l : lits) {
+        y = mkAnd(y, l);
+        if (isConst(y) && !constValue(y))
+            return y;
+    }
+    return y;
+}
+
+Lit
+CnfBuilder::mkOrN(const std::vector<Lit> &lits)
+{
+    Lit y = constFalse();
+    for (Lit l : lits) {
+        y = mkOr(y, l);
+        if (isConst(y) && constValue(y))
+            return y;
+    }
+    return y;
+}
+
+Bits
+CnfBuilder::bvConst(std::uint64_t value, std::uint32_t width)
+{
+    Bits out(width);
+    for (std::uint32_t i = 0; i < width; ++i)
+        out[i] = constBit((value >> i) & 1);
+    return out;
+}
+
+Bits
+CnfBuilder::bvFresh(std::uint32_t width)
+{
+    Bits out(width);
+    for (std::uint32_t i = 0; i < width; ++i)
+        out[i] = freshLit();
+    return out;
+}
+
+Bits
+CnfBuilder::bvZext(const Bits &a, std::uint32_t width) const
+{
+    Bits out(width, constFalse());
+    for (std::uint32_t i = 0; i < width && i < a.size(); ++i)
+        out[i] = a[i];
+    return out;
+}
+
+Bits
+CnfBuilder::bvNot(const Bits &a, std::uint32_t width)
+{
+    // Matches the interpreter: the operand is zero-extended first,
+    // so pad bits invert to 1.
+    Bits out = bvZext(a, width);
+    for (Lit &l : out)
+        l = ~l;
+    return out;
+}
+
+Bits
+CnfBuilder::bvAnd(const Bits &a, const Bits &b, std::uint32_t width)
+{
+    Bits ea = bvZext(a, width), eb = bvZext(b, width);
+    Bits out(width);
+    for (std::uint32_t i = 0; i < width; ++i)
+        out[i] = mkAnd(ea[i], eb[i]);
+    return out;
+}
+
+Bits
+CnfBuilder::bvOr(const Bits &a, const Bits &b, std::uint32_t width)
+{
+    Bits ea = bvZext(a, width), eb = bvZext(b, width);
+    Bits out(width);
+    for (std::uint32_t i = 0; i < width; ++i)
+        out[i] = mkOr(ea[i], eb[i]);
+    return out;
+}
+
+Bits
+CnfBuilder::bvXor(const Bits &a, const Bits &b, std::uint32_t width)
+{
+    Bits ea = bvZext(a, width), eb = bvZext(b, width);
+    Bits out(width);
+    for (std::uint32_t i = 0; i < width; ++i)
+        out[i] = mkXor(ea[i], eb[i]);
+    return out;
+}
+
+Bits
+CnfBuilder::bvAdd(const Bits &a, const Bits &b, std::uint32_t width)
+{
+    Bits ea = bvZext(a, width), eb = bvZext(b, width);
+    Bits out(width);
+    Lit carry = constFalse();
+    for (std::uint32_t i = 0; i < width; ++i) {
+        Lit axb = mkXor(ea[i], eb[i]);
+        out[i] = mkXor(axb, carry);
+        // carry' = (a & b) | (carry & (a ^ b))
+        carry = mkOr(mkAnd(ea[i], eb[i]), mkAnd(carry, axb));
+    }
+    return out;
+}
+
+Bits
+CnfBuilder::bvSub(const Bits &a, const Bits &b, std::uint32_t width)
+{
+    // a - b = a + ~b + 1 (two's complement), with the initial carry
+    // folded into the ripple chain.
+    Bits ea = bvZext(a, width), eb = bvZext(b, width);
+    Bits out(width);
+    Lit carry = constTrue();
+    for (std::uint32_t i = 0; i < width; ++i) {
+        Lit nb = ~eb[i];
+        Lit axb = mkXor(ea[i], nb);
+        out[i] = mkXor(axb, carry);
+        carry = mkOr(mkAnd(ea[i], nb), mkAnd(carry, axb));
+    }
+    return out;
+}
+
+Lit
+CnfBuilder::bvEq(const Bits &a, const Bits &b)
+{
+    std::uint32_t width = static_cast<std::uint32_t>(
+        std::max(a.size(), b.size()));
+    Bits ea = bvZext(a, width), eb = bvZext(b, width);
+    Lit y = constTrue();
+    for (std::uint32_t i = 0; i < width; ++i)
+        y = mkAnd(y, mkEq(ea[i], eb[i]));
+    return y;
+}
+
+Lit
+CnfBuilder::bvUlt(const Bits &a, const Bits &b)
+{
+    std::uint32_t width = static_cast<std::uint32_t>(
+        std::max(a.size(), b.size()));
+    Bits ea = bvZext(a, width), eb = bvZext(b, width);
+    // LSB -> MSB: lt' = (~a & b) | ((a == b) & lt); the MSB, applied
+    // last, dominates.
+    Lit lt = constFalse();
+    for (std::uint32_t i = 0; i < width; ++i)
+        lt = mkOr(mkAnd(~ea[i], eb[i]),
+                  mkAnd(mkEq(ea[i], eb[i]), lt));
+    return lt;
+}
+
+Bits
+CnfBuilder::bvMux(Lit sel, const Bits &t, const Bits &e,
+                  std::uint32_t width)
+{
+    Bits et = bvZext(t, width), ee = bvZext(e, width);
+    Bits out(width);
+    for (std::uint32_t i = 0; i < width; ++i)
+        out[i] = mkMux(sel, et[i], ee[i]);
+    return out;
+}
+
+Lit
+CnfBuilder::bvNonZero(const Bits &a)
+{
+    Lit y = constFalse();
+    for (Lit l : a)
+        y = mkOr(y, l);
+    return y;
+}
+
+Bits
+CnfBuilder::bvShlC(const Bits &a, std::uint32_t amount,
+                   std::uint32_t width)
+{
+    Bits out(width, constFalse());
+    for (std::uint32_t i = amount; i < width; ++i)
+        if (i - amount < a.size())
+            out[i] = a[i - amount];
+    return out;
+}
+
+Bits
+CnfBuilder::bvShrC(const Bits &a, std::uint32_t amount,
+                   std::uint32_t width)
+{
+    Bits out(width, constFalse());
+    for (std::uint32_t i = 0; i < width; ++i)
+        if (i + amount < a.size())
+            out[i] = a[i + amount];
+    return out;
+}
+
+Bits
+CnfBuilder::bvConcat(const Bits &hi, const Bits &lo,
+                     std::uint32_t lo_width, std::uint32_t width)
+{
+    Bits out(width, constFalse());
+    for (std::uint32_t i = 0; i < lo_width && i < width; ++i)
+        out[i] = i < lo.size() ? lo[i] : constFalse();
+    for (std::uint32_t i = 0; i + lo_width < width &&
+                              i < hi.size(); ++i)
+        out[i + lo_width] = hi[i];
+    return out;
+}
+
+Bits
+CnfBuilder::bvSlice(const Bits &a, std::uint32_t lsb,
+                    std::uint32_t width)
+{
+    Bits out(width, constFalse());
+    for (std::uint32_t i = 0; i < width; ++i)
+        if (lsb + i < a.size())
+            out[i] = a[lsb + i];
+    return out;
+}
+
+} // namespace rtlcheck::sat

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tseitin CNF construction on top of sat::Solver: single-bit gates
+ * with constant folding and structural hashing, plus a bit-vector
+ * layer (LSB-first literal vectors) mirroring the rtl::Netlist
+ * operator semantics so the BMC encoder can translate nodes 1:1.
+ *
+ * Folding matters here more than in a general-purpose frontend: BMC
+ * frames start from a pinned reset state, so the frame-0 cone is
+ * almost entirely constant and folds away to nothing; structural
+ * hashing then dedups the per-cycle next-state cones that the
+ * unroller instantiates once per frame.
+ */
+
+#ifndef RTLCHECK_SAT_CNF_HH
+#define RTLCHECK_SAT_CNF_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sat/solver.hh"
+
+namespace rtlcheck::sat {
+
+/** A bit-vector of literals, index 0 = LSB. */
+using Bits = std::vector<Lit>;
+
+class CnfBuilder
+{
+  public:
+    /** Pins variable 0 of `solver` to true so constants are plain
+     *  literals and every gate can fold against them. */
+    explicit CnfBuilder(Solver &solver);
+
+    Solver &solver() { return _solver; }
+
+    Lit constTrue() const { return _true; }
+    Lit constFalse() const { return ~_true; }
+    Lit constBit(bool b) const { return b ? _true : ~_true; }
+
+    bool isConst(Lit l) const { return l.var() == _true.var(); }
+    /** Only meaningful when isConst(l). */
+    bool constValue(Lit l) const { return l == _true; }
+
+    /** A fresh unconstrained literal (new solver variable). */
+    Lit freshLit();
+
+    // Single-bit gates. Results are folded when an operand is
+    // constant or operands are equal/complementary, and structurally
+    // hashed otherwise (two calls with the same operands return the
+    // same literal without emitting clauses twice).
+    Lit mkAnd(Lit a, Lit b);
+    Lit mkOr(Lit a, Lit b);
+    Lit mkXor(Lit a, Lit b);
+    Lit mkEq(Lit a, Lit b) { return ~mkXor(a, b); }
+    Lit mkMux(Lit sel, Lit then_lit, Lit else_lit);
+    Lit mkAndN(const std::vector<Lit> &lits);
+    Lit mkOrN(const std::vector<Lit> &lits);
+
+    /** Assert `l` as a unit clause. */
+    void require(Lit l);
+
+    // Bit-vector layer. All results carry exactly the requested
+    // width; operands are zero-extended on demand, mirroring the
+    // interpreter's maskOf() truncation semantics.
+    Bits bvConst(std::uint64_t value, std::uint32_t width);
+    Bits bvFresh(std::uint32_t width);
+    Bits bvZext(const Bits &a, std::uint32_t width) const;
+    Bits bvNot(const Bits &a, std::uint32_t width);
+    Bits bvAnd(const Bits &a, const Bits &b, std::uint32_t width);
+    Bits bvOr(const Bits &a, const Bits &b, std::uint32_t width);
+    Bits bvXor(const Bits &a, const Bits &b, std::uint32_t width);
+    Bits bvAdd(const Bits &a, const Bits &b, std::uint32_t width);
+    Bits bvSub(const Bits &a, const Bits &b, std::uint32_t width);
+    /** Equality over max(|a|,|b|) bits after zero-extension. */
+    Lit bvEq(const Bits &a, const Bits &b);
+    Lit bvUlt(const Bits &a, const Bits &b);
+    Bits bvMux(Lit sel, const Bits &t, const Bits &e,
+               std::uint32_t width);
+    /** (value != 0): OR-reduction. */
+    Lit bvNonZero(const Bits &a);
+    Bits bvShlC(const Bits &a, std::uint32_t amount,
+                std::uint32_t width);
+    Bits bvShrC(const Bits &a, std::uint32_t amount,
+                std::uint32_t width);
+    /** {a, b}: b in the low bits, a shifted above them. */
+    Bits bvConcat(const Bits &hi, const Bits &lo,
+                  std::uint32_t lo_width, std::uint32_t width);
+    Bits bvSlice(const Bits &a, std::uint32_t lsb,
+                 std::uint32_t width);
+
+    /** Number of gate literals emitted (excludes folded results). */
+    std::size_t numGates() const { return _numGates; }
+
+  private:
+    struct Key
+    {
+        std::uint8_t op;
+        std::uint32_t a;
+        std::uint32_t b;
+        std::uint32_t c;
+        bool operator==(const Key &) const = default;
+    };
+    struct KeyHash
+    {
+        std::size_t operator()(const Key &k) const
+        {
+            std::uint64_t h = k.op;
+            h = h * 0x9e3779b97f4a7c15ull + k.a;
+            h = h * 0x9e3779b97f4a7c15ull + k.b;
+            h = h * 0x9e3779b97f4a7c15ull + k.c;
+            return static_cast<std::size_t>(h ^ (h >> 32));
+        }
+    };
+
+    Lit hashed(const Key &key, Lit (CnfBuilder::*build)(Lit, Lit,
+                                                        Lit),
+               Lit a, Lit b, Lit c);
+    Lit buildAnd(Lit a, Lit b, Lit unused);
+    Lit buildXor(Lit a, Lit b, Lit unused);
+    Lit buildMux(Lit sel, Lit t, Lit e);
+
+    Solver &_solver;
+    Lit _true;
+    std::unordered_map<Key, Lit, KeyHash> _cache;
+    std::size_t _numGates = 0;
+};
+
+} // namespace rtlcheck::sat
+
+#endif // RTLCHECK_SAT_CNF_HH

@@ -1,0 +1,684 @@
+#include "solver.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rtlcheck::sat {
+
+std::string
+resultName(Result r)
+{
+    switch (r) {
+      case Result::Sat:
+        return "sat";
+      case Result::Unsat:
+        return "unsat";
+      case Result::Unknown:
+        return "unknown";
+    }
+    return "?";
+}
+
+Solver::Solver() = default;
+
+Var
+Solver::newVar()
+{
+    Var v = static_cast<Var>(_assigns.size());
+    _assigns.push_back(LBool::Undef);
+    _phase.push_back(0);
+    _level.push_back(0);
+    _reason.push_back(kNoReason);
+    _activity.push_back(0.0);
+    _watches.emplace_back();
+    _watches.emplace_back();
+    _seen.push_back(0);
+    _heapPos.push_back(0);
+    heapInsert(v);
+    return v;
+}
+
+bool
+Solver::addClause(Lit a)
+{
+    return addClause(std::vector<Lit>{a});
+}
+
+bool
+Solver::addClause(Lit a, Lit b)
+{
+    return addClause(std::vector<Lit>{a, b});
+}
+
+bool
+Solver::addClause(Lit a, Lit b, Lit c)
+{
+    return addClause(std::vector<Lit>{a, b, c});
+}
+
+bool
+Solver::addClause(const std::vector<Lit> &lits)
+{
+    if (!_ok)
+        return false;
+    RC_ASSERT(decisionLevel() == 0,
+              "clauses may only be added at the top level");
+
+    // Sort/dedup; drop tautologies (l, ~l) and clauses containing a
+    // top-level true literal; drop top-level false literals.
+    std::vector<Lit> cls(lits);
+    std::sort(cls.begin(), cls.end(),
+              [](Lit x, Lit y) { return x.x < y.x; });
+    std::vector<Lit> out;
+    out.reserve(cls.size());
+    for (std::size_t i = 0; i < cls.size(); ++i) {
+        Lit l = cls[i];
+        RC_ASSERT(l.valid() && l.var() < numVars(),
+                  "clause literal over unknown variable");
+        if (i + 1 < cls.size() && cls[i + 1] == ~l)
+            return true; // tautology
+        if (!out.empty() && out.back() == l)
+            continue;
+        LBool v = valueOf(l);
+        if (v == LBool::True)
+            return true; // already satisfied
+        if (v == LBool::False)
+            continue;    // literal is dead
+        out.push_back(l);
+    }
+
+    if (out.empty()) {
+        _ok = false;
+        return false;
+    }
+    if (out.size() == 1) {
+        enqueue(out[0], kNoReason);
+        if (propagate() != kNoReason) {
+            _ok = false;
+            return false;
+        }
+        return true;
+    }
+
+    std::uint32_t ci = static_cast<std::uint32_t>(_clauses.size());
+    std::uint32_t off = static_cast<std::uint32_t>(_lits.size());
+    _lits.insert(_lits.end(), out.begin(), out.end());
+    _clauses.push_back(Clause{
+        off, static_cast<std::uint32_t>(out.size()), 0.0f, false,
+        false});
+    attachClause(ci);
+    ++_numProblemClauses;
+    return true;
+}
+
+void
+Solver::attachClause(std::uint32_t ci)
+{
+    const Clause &c = _clauses[ci];
+    const Lit *ls = clauseLits(c);
+    RC_ASSERT(c.size >= 2);
+    _watches[(~ls[0]).x].push_back(Watcher{ci, ls[1]});
+    _watches[(~ls[1]).x].push_back(Watcher{ci, ls[0]});
+}
+
+void
+Solver::enqueue(Lit l, std::uint32_t reason)
+{
+    RC_ASSERT(valueOf(l) == LBool::Undef);
+    _assigns[l.var()] = l.sign() ? LBool::False : LBool::True;
+    _level[l.var()] = decisionLevel();
+    _reason[l.var()] = reason;
+    _phase[l.var()] = l.sign() ? 0 : 1;
+    _trail.push_back(l);
+}
+
+std::uint32_t
+Solver::propagate()
+{
+    std::uint32_t confl = kNoReason;
+    // No clauses are added during propagation, so the arena base is
+    // stable for the whole sweep.
+    Lit *const arena = _lits.data();
+    while (_qhead < _trail.size()) {
+        Lit p = _trail[_qhead++];
+        ++_stats.propagations;
+        std::vector<Watcher> &ws = _watches[p.x];
+        std::size_t keep = 0;
+        std::size_t i = 0;
+        for (; i < ws.size(); ++i) {
+            Watcher w = ws[i];
+            if (valueOf(w.blocker) == LBool::True) {
+                ws[keep++] = w;
+                continue;
+            }
+            Clause &c = _clauses[w.clause];
+            Lit *ls = arena + c.offset;
+            // Put the falsified literal (~p) into slot 1. The other
+            // watched literal then sits in slot 0 — and while the
+            // clause is a reason, slot 0 holds the implied literal.
+            if (ls[0] == ~p)
+                std::swap(ls[0], ls[1]);
+            if (valueOf(ls[0]) == LBool::True) {
+                ws[keep++] = Watcher{w.clause, ls[0]};
+                continue;
+            }
+            // Find a replacement watch.
+            bool moved = false;
+            for (std::uint32_t k = 2; k < c.size; ++k) {
+                if (valueOf(ls[k]) != LBool::False) {
+                    std::swap(ls[1], ls[k]);
+                    _watches[(~ls[1]).x].push_back(
+                        Watcher{w.clause, ls[0]});
+                    moved = true;
+                    break;
+                }
+            }
+            if (moved)
+                continue;
+            // Unit or conflicting.
+            ws[keep++] = Watcher{w.clause, ls[0]};
+            if (valueOf(ls[0]) == LBool::False) {
+                confl = w.clause;
+                _qhead = _trail.size();
+                for (++i; i < ws.size(); ++i)
+                    ws[keep++] = ws[i];
+                break;
+            }
+            enqueue(ls[0], w.clause);
+        }
+        ws.resize(keep);
+        if (confl != kNoReason)
+            break;
+    }
+    return confl;
+}
+
+void
+Solver::bumpVar(Var v)
+{
+    _activity[v] += _varInc;
+    if (_activity[v] > 1e100) {
+        for (double &a : _activity)
+            a *= 1e-100;
+        _varInc *= 1e-100;
+    }
+    std::uint32_t pos = _heapPos[v];
+    if (pos)
+        heapSiftUp(pos - 1);
+}
+
+void
+Solver::bumpClause(std::uint32_t ci)
+{
+    Clause &c = _clauses[ci];
+    if (!c.learnt)
+        return;
+    c.activity += static_cast<float>(_clauseInc);
+    if (c.activity > 1e20f) {
+        for (Clause &cl : _clauses)
+            if (cl.learnt)
+                cl.activity *= 1e-20f;
+        _clauseInc *= 1e-20;
+    }
+}
+
+void
+Solver::decayActivities()
+{
+    _varInc /= 0.95;
+    _clauseInc /= 0.999;
+}
+
+void
+Solver::analyze(std::uint32_t confl, std::vector<Lit> &learnt,
+                std::uint32_t &backtrack_level)
+{
+    learnt.clear();
+    learnt.push_back(Lit{}); // slot for the asserting literal
+    int counter = 0;
+    Lit p{};
+    std::size_t index = _trail.size();
+    _toClear.clear();
+
+    do {
+        RC_ASSERT(confl != kNoReason, "conflict without a reason");
+        bumpClause(confl);
+        const Clause &c = _clauses[confl];
+        const Lit *ls = clauseLits(c);
+        // On continuation rounds slot 0 is the literal we just
+        // resolved on; skip it.
+        for (std::uint32_t j = p.valid() ? 1 : 0; j < c.size; ++j) {
+            Lit q = ls[j];
+            Var v = q.var();
+            if (_seen[v] || levelOf(v) == 0)
+                continue;
+            _seen[v] = 1;
+            _toClear.push_back(v);
+            bumpVar(v);
+            if (levelOf(v) >= decisionLevel())
+                ++counter;
+            else
+                learnt.push_back(q);
+        }
+        // Walk the trail backwards to the next marked literal.
+        while (!_seen[_trail[index - 1].var()])
+            --index;
+        p = _trail[--index];
+        confl = _reason[p.var()];
+        _seen[p.var()] = 0;
+        --counter;
+    } while (counter > 0);
+    learnt[0] = ~p;
+
+    // Conflict-clause minimization: drop literals implied by the
+    // rest of the clause (recursive check along reason edges).
+    std::uint32_t abstract_levels = 0;
+    for (std::size_t i = 1; i < learnt.size(); ++i) {
+        _seen[learnt[i].var()] = 1; // cleared via _toClear below
+        abstract_levels |= 1u << (levelOf(learnt[i].var()) & 31);
+    }
+    std::size_t keep = 1;
+    for (std::size_t i = 1; i < learnt.size(); ++i) {
+        Lit l = learnt[i];
+        if (_reason[l.var()] == kNoReason ||
+            !litRedundant(l, abstract_levels))
+            learnt[keep++] = l;
+    }
+    learnt.resize(keep);
+
+    // Backtrack level = second-highest level in the clause; put a
+    // literal of that level into slot 1 so it stays watched.
+    backtrack_level = 0;
+    if (learnt.size() > 1) {
+        std::size_t max_i = 1;
+        for (std::size_t i = 2; i < learnt.size(); ++i)
+            if (levelOf(learnt[i].var()) >
+                levelOf(learnt[max_i].var()))
+                max_i = i;
+        std::swap(learnt[1], learnt[max_i]);
+        backtrack_level = levelOf(learnt[1].var());
+    }
+
+    for (std::size_t i = 1; i < learnt.size(); ++i)
+        _seen[learnt[i].var()] = 0;
+    for (Var v : _toClear)
+        _seen[v] = 0;
+    _toClear.clear();
+}
+
+bool
+Solver::litRedundant(Lit l, std::uint32_t abstract_levels)
+{
+    // A seen var is either in the learnt clause or already proven to
+    // be implied by it, so the marks memoize across calls within one
+    // analyze() (all of them are undone via _toClear at its end).
+    _analyzeStack.clear();
+    _analyzeStack.push_back(l);
+    const std::size_t top = _toClear.size();
+    while (!_analyzeStack.empty()) {
+        Lit q = _analyzeStack.back();
+        _analyzeStack.pop_back();
+        std::uint32_t reason = _reason[q.var()];
+        RC_ASSERT(reason != kNoReason);
+        const Clause &c = _clauses[reason];
+        const Lit *ls = clauseLits(c);
+        for (std::uint32_t j = 1; j < c.size; ++j) {
+            Lit r = ls[j];
+            Var v = r.var();
+            if (_seen[v] || levelOf(v) == 0)
+                continue;
+            if (_reason[v] == kNoReason ||
+                !((1u << (levelOf(v) & 31)) & abstract_levels)) {
+                for (std::size_t k = top; k < _toClear.size(); ++k)
+                    _seen[_toClear[k]] = 0;
+                _toClear.resize(top);
+                return false;
+            }
+            _seen[v] = 1;
+            _toClear.push_back(v);
+            _analyzeStack.push_back(r);
+        }
+    }
+    return true;
+}
+
+void
+Solver::analyzeFinal(Lit p)
+{
+    // Assumption `p` was found false: collect the subset of the
+    // assumptions whose conjunction the refutation rests on, by
+    // walking reason edges down to decision (= assumption) literals.
+    _conflictCore.clear();
+    _conflictCore.push_back(p);
+    if (decisionLevel() == 0)
+        return;
+    _seen[p.var()] = 1;
+    for (std::size_t i = _trail.size(); i-- > _trailLim[0];) {
+        Var v = _trail[i].var();
+        if (!_seen[v])
+            continue;
+        _seen[v] = 0;
+        if (_reason[v] == kNoReason) {
+            // Every decision on the trail here is an assumption
+            // literal exactly as it was enqueued.
+            if (_trail[i] != p)
+                _conflictCore.push_back(_trail[i]);
+        } else {
+            const Clause &c = _clauses[_reason[v]];
+            const Lit *ls = clauseLits(c);
+            for (std::uint32_t j = 1; j < c.size; ++j)
+                if (levelOf(ls[j].var()) > 0)
+                    _seen[ls[j].var()] = 1;
+        }
+    }
+    _seen[p.var()] = 0;
+}
+
+void
+Solver::cancelUntil(std::uint32_t level)
+{
+    if (decisionLevel() <= level)
+        return;
+    for (std::size_t i = _trail.size(); i-- > _trailLim[level];) {
+        Var v = _trail[i].var();
+        _assigns[v] = LBool::Undef;
+        _reason[v] = kNoReason;
+        if (!_heapPos[v])
+            heapInsert(v);
+    }
+    _trail.resize(_trailLim[level]);
+    _trailLim.resize(level);
+    _qhead = _trail.size();
+}
+
+void
+Solver::heapInsert(Var v)
+{
+    _heap.push_back(v);
+    _heapPos[v] = static_cast<std::uint32_t>(_heap.size());
+    heapSiftUp(_heap.size() - 1);
+}
+
+void
+Solver::heapSiftUp(std::size_t i)
+{
+    Var v = _heap[i];
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        if (_activity[_heap[parent]] >= _activity[v])
+            break;
+        _heap[i] = _heap[parent];
+        _heapPos[_heap[i]] = static_cast<std::uint32_t>(i + 1);
+        i = parent;
+    }
+    _heap[i] = v;
+    _heapPos[v] = static_cast<std::uint32_t>(i + 1);
+}
+
+void
+Solver::heapSiftDown(std::size_t i)
+{
+    Var v = _heap[i];
+    const std::size_t n = _heap.size();
+    for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n &&
+            _activity[_heap[child + 1]] > _activity[_heap[child]])
+            ++child;
+        if (_activity[_heap[child]] <= _activity[v])
+            break;
+        _heap[i] = _heap[child];
+        _heapPos[_heap[i]] = static_cast<std::uint32_t>(i + 1);
+        i = child;
+    }
+    _heap[i] = v;
+    _heapPos[v] = static_cast<std::uint32_t>(i + 1);
+}
+
+Var
+Solver::heapPop()
+{
+    Var v = _heap[0];
+    _heapPos[v] = 0;
+    _heap[0] = _heap.back();
+    _heap.pop_back();
+    if (!_heap.empty()) {
+        _heapPos[_heap[0]] = 1;
+        heapSiftDown(0);
+    }
+    return v;
+}
+
+Lit
+Solver::pickBranchLit()
+{
+    while (!_heap.empty()) {
+        Var v = heapPop();
+        if (_assigns[v] == LBool::Undef)
+            return mkLit(v, _phase[v] == 0);
+    }
+    return Lit{};
+}
+
+void
+Solver::reduceDb()
+{
+    // Drop the lower-activity half of the learnt clauses; clauses
+    // currently acting as a reason are locked, binaries are kept.
+    std::vector<std::uint32_t> learnt;
+    for (std::uint32_t ci = 0;
+         ci < static_cast<std::uint32_t>(_clauses.size()); ++ci) {
+        const Clause &c = _clauses[ci];
+        if (c.learnt && !c.deleted)
+            learnt.push_back(ci);
+    }
+    std::sort(learnt.begin(), learnt.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  return _clauses[a].activity < _clauses[b].activity;
+              });
+    std::size_t target = learnt.size() / 2;
+    std::size_t dropped = 0;
+    for (std::uint32_t ci : learnt) {
+        if (dropped >= target)
+            break;
+        Clause &c = _clauses[ci];
+        const Lit *ls = clauseLits(c);
+        bool locked = false;
+        for (std::uint32_t j = 0; j < c.size; ++j) {
+            Lit l = ls[j];
+            if (valueOf(l) == LBool::True &&
+                _reason[l.var()] == ci) {
+                locked = true;
+                break;
+            }
+        }
+        if (locked || c.size <= 2)
+            continue;
+        c.deleted = true;
+        ++dropped;
+        --_numLearnt;
+        ++_stats.deletedClauses;
+    }
+    if (!dropped)
+        return;
+    // Rebuild the watch lists without the deleted clauses.
+    for (auto &ws : _watches) {
+        std::size_t keep = 0;
+        for (const Watcher &w : ws)
+            if (!_clauses[w.clause].deleted)
+                ws[keep++] = w;
+        ws.resize(keep);
+    }
+    // Compact the literal arena: deleted clauses leave holes that
+    // would otherwise accumulate across reductions. Clause indices
+    // (and thus reasons and watchers) are untouched — only offsets
+    // move.
+    std::vector<Lit> packed;
+    packed.reserve(_lits.size());
+    for (Clause &c : _clauses) {
+        if (c.deleted) {
+            c.offset = 0;
+            c.size = 0;
+            continue;
+        }
+        std::uint32_t off = static_cast<std::uint32_t>(packed.size());
+        packed.insert(packed.end(), _lits.begin() + c.offset,
+                      _lits.begin() + c.offset + c.size);
+        c.offset = off;
+    }
+    _lits = std::move(packed);
+}
+
+namespace {
+
+/** luby(i), 0-based: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... */
+std::uint64_t
+luby(std::uint64_t i)
+{
+    std::uint64_t size = 1;
+    std::uint64_t seq = 0;
+    while (size < i + 1) {
+        ++seq;
+        size = 2 * size + 1;
+    }
+    while (size - 1 != i) {
+        size = (size - 1) >> 1;
+        --seq;
+        i = i % size;
+    }
+    return 1ull << seq;
+}
+
+} // namespace
+
+Result
+Solver::search()
+{
+    std::uint64_t restart_count = 0;
+    std::uint64_t restart_budget = 32 * luby(restart_count);
+    std::uint64_t conflicts_since_restart = 0;
+    std::vector<Lit> learnt;
+
+    for (;;) {
+        if (_cancel && _cancel->load(std::memory_order_relaxed))
+            return Result::Unknown;
+
+        std::uint32_t confl = propagate();
+        if (confl != kNoReason) {
+            ++_stats.conflicts;
+            ++_solveConflicts;
+            ++conflicts_since_restart;
+            if (decisionLevel() == 0) {
+                // A conflict independent of any decision: the clause
+                // set itself is unsatisfiable.
+                _ok = false;
+                _conflictCore.clear();
+                return Result::Unsat;
+            }
+            std::uint32_t backtrack_level = 0;
+            analyze(confl, learnt, backtrack_level);
+            cancelUntil(backtrack_level);
+            if (learnt.size() == 1) {
+                enqueue(learnt[0], kNoReason);
+            } else {
+                std::uint32_t ci =
+                    static_cast<std::uint32_t>(_clauses.size());
+                std::uint32_t off =
+                    static_cast<std::uint32_t>(_lits.size());
+                _lits.insert(_lits.end(), learnt.begin(),
+                             learnt.end());
+                _clauses.push_back(Clause{
+                    off, static_cast<std::uint32_t>(learnt.size()),
+                    static_cast<float>(_clauseInc), true, false});
+                attachClause(ci);
+                ++_numLearnt;
+                ++_stats.learnedClauses;
+                _stats.learnedLits += learnt.size();
+                enqueue(learnt[0], ci);
+            }
+            decayActivities();
+            if (_conflictBudget &&
+                _solveConflicts >= _conflictBudget)
+                return Result::Unknown;
+            continue;
+        }
+
+        if (conflicts_since_restart >= restart_budget) {
+            ++_stats.restarts;
+            ++restart_count;
+            restart_budget = 32 * luby(restart_count);
+            conflicts_since_restart = 0;
+            cancelUntil(0);
+            continue;
+        }
+
+        if (_numLearnt >= _maxLearnt) {
+            reduceDb();
+            _maxLearnt += _maxLearnt / 2;
+        }
+
+        // (Re-)place assumptions: level i + 1 always corresponds to
+        // _assumptions[i], with an empty decision level when the
+        // assumption is already implied.
+        if (decisionLevel() < _assumptions.size()) {
+            Lit a = _assumptions[decisionLevel()];
+            LBool v = valueOf(a);
+            if (v == LBool::False) {
+                analyzeFinal(a);
+                return Result::Unsat;
+            }
+            _trailLim.push_back(
+                static_cast<std::uint32_t>(_trail.size()));
+            if (v == LBool::Undef)
+                enqueue(a, kNoReason);
+            continue;
+        }
+
+        Lit next = pickBranchLit();
+        if (!next.valid())
+            return Result::Sat; // fully assigned
+        ++_stats.decisions;
+        _trailLim.push_back(
+            static_cast<std::uint32_t>(_trail.size()));
+        enqueue(next, kNoReason);
+    }
+}
+
+Result
+Solver::solve(const std::vector<Lit> &assumptions)
+{
+    ++_stats.solves;
+    _conflictCore.clear();
+    _solveConflicts = 0;
+    if (!_ok)
+        return Result::Unsat;
+    for (Lit a : assumptions)
+        RC_ASSERT(a.valid() && a.var() < numVars(),
+                  "assumption over unknown variable");
+
+    _assumptions = assumptions;
+    Result r = search();
+    if (r == Result::Sat) {
+        _model.assign(_assigns.begin(), _assigns.end());
+        for (std::size_t v = 0; v < _model.size(); ++v)
+            if (_model[v] == LBool::Undef)
+                _model[v] = _phase[v] ? LBool::True : LBool::False;
+    }
+    cancelUntil(0);
+    _assumptions.clear();
+    return r;
+}
+
+LBool
+Solver::modelValue(Lit l) const
+{
+    RC_ASSERT(l.var() < _model.size(),
+              "modelValue before a Sat result");
+    LBool v = _model[l.var()];
+    return l.sign() ? negate(v) : v;
+}
+
+} // namespace rtlcheck::sat

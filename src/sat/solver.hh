@@ -1,0 +1,251 @@
+/**
+ * @file
+ * A small, self-contained CDCL SAT solver (our substitute for the
+ * engine portfolio's SAT back-ends — JasperGold's bounded engines run
+ * on exactly this kind of core).
+ *
+ * Feature set is the classic MiniSat recipe:
+ *  - two-watched-literal unit propagation,
+ *  - first-UIP conflict analysis with learned-clause minimization,
+ *  - VSIDS variable activities with phase saving,
+ *  - Luby-sequence restarts,
+ *  - learned-clause database reduction by activity,
+ *  - incremental solving under assumptions, with failed-assumption
+ *    (unsat core) extraction.
+ *
+ * No external dependency: the formal layer's BMC engine and the CNF
+ * builders are the only intended clients, and the randomized fuzz
+ * tests cross-check every verdict against a naive DPLL reference.
+ */
+
+#ifndef RTLCHECK_SAT_SOLVER_HH
+#define RTLCHECK_SAT_SOLVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace rtlcheck::sat {
+
+using Var = std::uint32_t;
+
+/** A literal: variable index with a sign bit in the LSB. */
+struct Lit
+{
+    static constexpr std::uint32_t invalid = 0xffffffffu;
+
+    std::uint32_t x = invalid;
+
+    bool valid() const { return x != invalid; }
+    Var var() const { return x >> 1; }
+    bool sign() const { return x & 1; }          ///< true = negated
+    bool operator==(const Lit &o) const = default;
+};
+
+inline Lit
+mkLit(Var v, bool negated = false)
+{
+    return Lit{(v << 1) | (negated ? 1u : 0u)};
+}
+
+inline Lit
+operator~(Lit l)
+{
+    return Lit{l.x ^ 1u};
+}
+
+/** Three-valued assignment. */
+enum class LBool : std::uint8_t { False = 0, True = 1, Undef = 2 };
+
+inline LBool
+negate(LBool b)
+{
+    return b == LBool::Undef
+               ? LBool::Undef
+               : (b == LBool::True ? LBool::False : LBool::True);
+}
+
+enum class Result { Sat, Unsat, Unknown };
+
+std::string resultName(Result r);
+
+class Solver
+{
+  public:
+    Solver();
+
+    /** Create a fresh variable; returns its index. */
+    Var newVar();
+
+    std::size_t numVars() const { return _assigns.size(); }
+
+    /**
+     * Add a clause over existing variables. Returns false when the
+     * clause makes the formula trivially unsatisfiable at the top
+     * level (the solver is then permanently UNSAT). Duplicate and
+     * opposite-pair literals are handled; the empty clause is the
+     * canonical top-level conflict.
+     */
+    bool addClause(const std::vector<Lit> &lits);
+    bool addClause(Lit a);
+    bool addClause(Lit a, Lit b);
+    bool addClause(Lit a, Lit b, Lit c);
+
+    /**
+     * Solve under `assumptions` (each forced true for this call
+     * only). Result::Unknown is returned only when cancelled or over
+     * the conflict budget; the solver stays usable — more clauses may
+     * be added and solve() called again.
+     */
+    Result solve(const std::vector<Lit> &assumptions = {});
+
+    /** After Sat: the model value of a literal (never Undef). */
+    LBool modelValue(Lit l) const;
+    bool modelTrue(Lit l) const
+    {
+        return modelValue(l) == LBool::True;
+    }
+
+    /**
+     * After Unsat under assumptions: the subset of the assumptions
+     * the refutation actually used (a — not necessarily minimal —
+     * unsat core), in no particular order.
+     */
+    const std::vector<Lit> &failedAssumptions() const
+    {
+        return _conflictCore;
+    }
+
+    /** Cooperative cancellation: checked between propagations, so a
+     *  raced solve returns Unknown promptly after the flag is set. */
+    void setCancel(const std::atomic<bool> *cancel)
+    {
+        _cancel = cancel;
+    }
+
+    /** Abort solve() with Unknown after this many conflicts
+     *  (0 = unlimited). The budget applies per solve() call. */
+    void setConflictBudget(std::uint64_t conflicts)
+    {
+        _conflictBudget = conflicts;
+    }
+
+    struct Stats
+    {
+        std::uint64_t conflicts = 0;
+        std::uint64_t decisions = 0;
+        std::uint64_t propagations = 0;
+        std::uint64_t restarts = 0;
+        std::uint64_t learnedClauses = 0;
+        std::uint64_t learnedLits = 0;
+        std::uint64_t deletedClauses = 0;
+        std::uint64_t solves = 0;
+    };
+    const Stats &stats() const { return _stats; }
+
+    std::size_t numClauses() const { return _numProblemClauses; }
+
+  private:
+    static constexpr std::uint32_t kNoReason = 0xffffffffu;
+
+    /** Clause header; the literals live contiguously in the shared
+     *  `_lits` arena (one heap block for the whole database, so
+     *  propagation walks cache-local memory instead of chasing a
+     *  vector pointer per clause). */
+    struct Clause
+    {
+        std::uint32_t offset = 0;  ///< first literal in _lits
+        std::uint32_t size = 0;
+        float activity = 0.0f;
+        bool learnt = false;
+        bool deleted = false;
+    };
+
+    struct Watcher
+    {
+        std::uint32_t clause;  ///< index into _clauses
+        Lit blocker;           ///< quick satisfied-clause test
+    };
+
+    LBool valueOf(Lit l) const
+    {
+        LBool v = _assigns[l.var()];
+        return l.sign() ? negate(v) : v;
+    }
+
+    Lit *clauseLits(const Clause &c)
+    {
+        return _lits.data() + c.offset;
+    }
+    const Lit *clauseLits(const Clause &c) const
+    {
+        return _lits.data() + c.offset;
+    }
+
+    void attachClause(std::uint32_t ci);
+    void enqueue(Lit l, std::uint32_t reason);
+    /** Returns the conflicting clause index or kNoReason. */
+    std::uint32_t propagate();
+    void analyze(std::uint32_t confl, std::vector<Lit> &learnt,
+                 std::uint32_t &backtrack_level);
+    bool litRedundant(Lit l, std::uint32_t abstract_levels);
+    void analyzeFinal(Lit p);
+    void cancelUntil(std::uint32_t level);
+    Lit pickBranchLit();
+    void bumpVar(Var v);
+    void bumpClause(std::uint32_t ci);
+    void decayActivities();
+    void reduceDb();
+    Result search();
+    std::uint32_t decisionLevel() const
+    {
+        return static_cast<std::uint32_t>(_trailLim.size());
+    }
+    std::uint32_t levelOf(Var v) const { return _level[v]; }
+
+    // Heap helpers (max-heap on _activity, lazily rebuilt).
+    void heapInsert(Var v);
+    void heapSiftUp(std::size_t i);
+    void heapSiftDown(std::size_t i);
+    Var heapPop();
+
+    std::vector<Clause> _clauses;
+    std::vector<Lit> _lits;                      ///< clause-literal arena
+    std::vector<std::vector<Watcher>> _watches;  ///< per literal
+    std::vector<LBool> _assigns;                 ///< per variable
+    std::vector<std::uint8_t> _phase;            ///< saved polarity
+    std::vector<std::uint32_t> _level;           ///< per variable
+    std::vector<std::uint32_t> _reason;          ///< per variable
+    std::vector<double> _activity;               ///< per variable
+    std::vector<Lit> _trail;
+    std::vector<std::uint32_t> _trailLim;
+    std::size_t _qhead = 0;
+
+    std::vector<Var> _heap;                ///< binary max-heap
+    std::vector<std::uint32_t> _heapPos;   ///< var -> heap index + 1
+
+    std::vector<Lit> _assumptions;
+    std::vector<Lit> _conflictCore;
+    std::vector<LBool> _model;
+
+    std::vector<std::uint8_t> _seen;   ///< analyze scratch
+    std::vector<Lit> _analyzeStack;    ///< minimization scratch
+    std::vector<Var> _toClear;         ///< seen-marks to undo
+
+    double _varInc = 1.0;
+    double _clauseInc = 1.0;
+    bool _ok = true;                   ///< false after top-level conflict
+    std::size_t _numProblemClauses = 0;
+    std::size_t _numLearnt = 0;
+    std::uint64_t _maxLearnt = 4096;
+
+    const std::atomic<bool> *_cancel = nullptr;
+    std::uint64_t _conflictBudget = 0;
+    std::uint64_t _solveConflicts = 0;
+
+    Stats _stats;
+};
+
+} // namespace rtlcheck::sat
+
+#endif // RTLCHECK_SAT_SOLVER_HH

@@ -1,0 +1,157 @@
+#include "monitor_cnf.hh"
+
+#include "common/logging.hh"
+
+namespace rtlcheck::sva {
+
+MonitorCnf::MonitorCnf(sat::CnfBuilder &cnf,
+                       const PropertyRuntime &runtime)
+    : _cnf(cnf), _rt(runtime)
+{
+}
+
+MonitorCnf::State
+MonitorCnf::initialState() const
+{
+    State st;
+    const int nseq = _rt.numSequences();
+    st.live.resize(static_cast<std::size_t>(nseq));
+    st.matched.resize(static_cast<std::size_t>(nseq));
+    for (int i = 0; i < nseq; ++i) {
+        const Nfa &nfa = _rt.nfa(i);
+        const int n = nfa.numStates();
+        std::uint64_t init = nfa.initial();
+        auto &live = st.live[static_cast<std::size_t>(i)];
+        live.resize(static_cast<std::size_t>(n));
+        for (int s = 0; s < n; ++s)
+            live[static_cast<std::size_t>(s)] =
+                _cnf.constBit((init >> s) & 1);
+        st.matched[static_cast<std::size_t>(i)] =
+            _cnf.constBit(nfa.matchesEmpty());
+    }
+    return st;
+}
+
+MonitorCnf::State
+MonitorCnf::freeState()
+{
+    State st;
+    const int nseq = _rt.numSequences();
+    st.live.resize(static_cast<std::size_t>(nseq));
+    st.matched.resize(static_cast<std::size_t>(nseq));
+    for (int i = 0; i < nseq; ++i) {
+        const int n = _rt.nfa(i).numStates();
+        auto &live = st.live[static_cast<std::size_t>(i)];
+        live.resize(static_cast<std::size_t>(n));
+        sat::Lit m = _cnf.freshLit();
+        st.matched[static_cast<std::size_t>(i)] = m;
+        for (int s = 0; s < n; ++s) {
+            sat::Lit l = _cnf.freshLit();
+            live[static_cast<std::size_t>(s)] = l;
+            // PropertyRuntime zeroes the live set of a matched
+            // sequence, so matched -> not live holds in every
+            // reachable monitor state; baking it in keeps induction
+            // windows from starting in impossible configurations.
+            _cnf.solver().addClause(~m, ~l);
+        }
+    }
+    return st;
+}
+
+MonitorCnf::State
+MonitorCnf::step(const State &cur,
+                 const std::function<sat::Lit(int)> &pred_lit)
+{
+    State next;
+    const int nseq = _rt.numSequences();
+    next.live.resize(static_cast<std::size_t>(nseq));
+    next.matched.resize(static_cast<std::size_t>(nseq));
+    std::vector<sat::Lit> incoming;
+    for (int i = 0; i < nseq; ++i) {
+        const Nfa &nfa = _rt.nfa(i);
+        const int n = nfa.numStates();
+        const auto &live = cur.live[static_cast<std::size_t>(i)];
+        const sat::Lit m = cur.matched[static_cast<std::size_t>(i)];
+
+        // Successor live bits. PropertyRuntime::step() clears the
+        // live set of an already-matched sequence before stepping,
+        // which is equivalent to gating every successor with ~m.
+        auto &nlive = next.live[static_cast<std::size_t>(i)];
+        nlive.assign(static_cast<std::size_t>(n),
+                     _cnf.constFalse());
+        std::vector<std::vector<sat::Lit>> per_target(
+            static_cast<std::size_t>(n));
+        for (int s = 0; s < n; ++s) {
+            for (const Nfa::Trans &t : nfa.transitionsOf(s)) {
+                sat::Lit fire = _cnf.mkAnd(
+                    live[static_cast<std::size_t>(s)],
+                    t.pred < 0 ? _cnf.constTrue()
+                               : pred_lit(t.pred));
+                std::uint64_t targets = t.targetMask;
+                while (targets) {
+                    int dst = __builtin_ctzll(targets);
+                    targets &= targets - 1;
+                    per_target[static_cast<std::size_t>(dst)]
+                        .push_back(fire);
+                }
+            }
+        }
+        for (int s = 0; s < n; ++s)
+            nlive[static_cast<std::size_t>(s)] = _cnf.mkAnd(
+                ~m,
+                _cnf.mkOrN(per_target[static_cast<std::size_t>(s)]));
+
+        // matched' = matched | (an accepting state is newly live).
+        incoming.clear();
+        std::uint64_t acc = nfa.acceptingMask();
+        while (acc) {
+            int s = __builtin_ctzll(acc);
+            acc &= acc - 1;
+            incoming.push_back(nlive[static_cast<std::size_t>(s)]);
+        }
+        next.matched[static_cast<std::size_t>(i)] =
+            _cnf.mkOr(m, _cnf.mkOrN(incoming));
+    }
+    return next;
+}
+
+sat::Lit
+MonitorCnf::failed(const State &st)
+{
+    // dead_i = unmatched with an empty live set; the property has
+    // Failed when every branch contains a dead member (exactly
+    // PropertyRuntime::status()'s Tri::Failed case).
+    const int nseq = _rt.numSequences();
+    std::vector<sat::Lit> dead(static_cast<std::size_t>(nseq));
+    for (int i = 0; i < nseq; ++i) {
+        sat::Lit any_live = _cnf.constFalse();
+        for (sat::Lit l : st.live[static_cast<std::size_t>(i)])
+            any_live = _cnf.mkOr(any_live, l);
+        dead[static_cast<std::size_t>(i)] = _cnf.mkAnd(
+            ~st.matched[static_cast<std::size_t>(i)], ~any_live);
+    }
+    sat::Lit all_branches = _cnf.constTrue();
+    for (std::uint64_t mask : _rt.branchMasks()) {
+        sat::Lit branch_dead = _cnf.constFalse();
+        std::uint64_t work = mask;
+        while (work) {
+            int i = __builtin_ctzll(work);
+            work &= work - 1;
+            branch_dead = _cnf.mkOr(
+                branch_dead, dead[static_cast<std::size_t>(i)]);
+        }
+        all_branches = _cnf.mkAnd(all_branches, branch_dead);
+    }
+    return all_branches;
+}
+
+void
+MonitorCnf::appendStateLits(const State &st,
+                            std::vector<sat::Lit> &out) const
+{
+    for (const auto &live : st.live)
+        out.insert(out.end(), live.begin(), live.end());
+    out.insert(out.end(), st.matched.begin(), st.matched.end());
+}
+
+} // namespace rtlcheck::sva

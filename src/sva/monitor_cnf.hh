@@ -1,0 +1,73 @@
+/**
+ * @file
+ * CNF export of a property's monitor automaton, for the SAT-based
+ * BMC back-end.
+ *
+ * The symbolic monitor state mirrors PropertyRuntime::State exactly:
+ * one literal per (sequence, NFA state) live bit plus a sticky
+ * matched literal per sequence. step() and failed() encode the same
+ * transition and status semantics as PropertyRuntime::step()/
+ * status(), so a SAT model of "Failed at frame k" corresponds 1:1 to
+ * an explicit product state with Tri::Failed — the cross-check suite
+ * leans on that equivalence.
+ */
+
+#ifndef RTLCHECK_SVA_MONITOR_CNF_HH
+#define RTLCHECK_SVA_MONITOR_CNF_HH
+
+#include <functional>
+#include <vector>
+
+#include "sat/cnf.hh"
+#include "sva/property.hh"
+
+namespace rtlcheck::sva {
+
+class MonitorCnf
+{
+  public:
+    /** `runtime` must outlive the monitor. */
+    MonitorCnf(sat::CnfBuilder &cnf, const PropertyRuntime &runtime);
+
+    /** Symbolic counterpart of PropertyRuntime::State. */
+    struct State
+    {
+        /** live[seq][nfa_state] */
+        std::vector<std::vector<sat::Lit>> live;
+        /** matched[seq] (sticky) */
+        std::vector<sat::Lit> matched;
+    };
+
+    /** The (constant) state before any cycle is consumed. */
+    State initialState() const;
+
+    /**
+     * A fully unconstrained state, for induction windows. The only
+     * baked-in invariant is the one PropertyRuntime maintains
+     * structurally: a matched sequence has an empty live set.
+     */
+    State freeState();
+
+    /**
+     * Advance one cycle. `pred_lit` maps a predicate id to its truth
+     * literal in the cycle being consumed (the frame the transition
+     * leaves from); always-transitions (pred < 0) take constTrue.
+     */
+    State step(const State &cur,
+               const std::function<sat::Lit(int)> &pred_lit);
+
+    /** status(state) == Failed: every branch has a dead member. */
+    sat::Lit failed(const State &st);
+
+    /** Append all state literals (for simple-path distinctness). */
+    void appendStateLits(const State &st,
+                         std::vector<sat::Lit> &out) const;
+
+  private:
+    sat::CnfBuilder &_cnf;
+    const PropertyRuntime &_rt;
+};
+
+} // namespace rtlcheck::sva
+
+#endif // RTLCHECK_SVA_MONITOR_CNF_HH

@@ -48,13 +48,24 @@ class Nfa
 
     int numStates() const { return static_cast<int>(_trans.size()); }
 
-  private:
     struct Trans
     {
         int pred;                  ///< predicate id; -1 = always
         std::uint64_t targetMask;  ///< epsilon-closed target states
     };
 
+    /** Raw transitions of one state, for symbolic (CNF) encodings of
+     *  the automaton. */
+    const std::vector<Trans> &
+    transitionsOf(int state) const
+    {
+        return _trans[static_cast<std::size_t>(state)];
+    }
+
+    /** Accepting-state bitmask. */
+    std::uint64_t acceptingMask() const { return _accepting; }
+
+  private:
     std::vector<std::vector<Trans>> _trans;
     std::uint64_t _initial = 0;
     std::uint64_t _accepting = 0;

@@ -108,6 +108,20 @@ class PropertyRuntime
 
     int numSequences() const { return static_cast<int>(_nfas.size()); }
 
+    /** Sequence automaton `i`, for symbolic (CNF) monitor export. */
+    const Nfa &
+    nfa(int i) const
+    {
+        return _nfas[static_cast<std::size_t>(i)];
+    }
+
+    /** Per-branch bitmasks over sequence indices. */
+    const std::vector<std::uint64_t> &
+    branchMasks() const
+    {
+        return _branchMask;
+    }
+
   private:
     std::vector<Nfa> _nfas;
     /** branch -> indices into _nfas. */

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Tests for the SAT-based BMC + k-induction back-end on small
+ * hand-built designs: falsification with simulator-replayable
+ * witnesses, k-induction proofs, bounded verdicts when induction is
+ * off, cover search and cover-unreachability proofs, backend
+ * dispatch, and the portfolio race.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "formal/engine.hh"
+#include "rtl/design.hh"
+#include "rtl/simulator.hh"
+#include "sva/trace_checker.hh"
+
+namespace rtlcheck::formal {
+namespace {
+
+/** Same 3-bit saturating counter as test_formal.cc, so the two
+ *  back-ends are exercised on identical semantics. */
+struct CounterDesign
+{
+    rtl::Design d;
+    sva::PredicateTable preds;
+    int atSeven;
+    int atThree;
+    int goPred;
+    int falsePred;
+    int gapPred;
+
+    CounterDesign()
+    {
+        rtl::Signal go = d.addInput("go", 1);
+        rtl::Signal c = d.addReg("c", 3, 0);
+        rtl::Signal t = d.addReg("t", 1, 0);
+        rtl::Signal at7 = d.eqConst(c, 7);
+        d.setNext(c, d.mux(at7, c, d.add(c, d.constant(3, 1))));
+        d.setNext(t, d.xorOf(t, go));
+
+        rtl::Signal at3 = d.eqConst(c, 3);
+        atSeven = preds.add(at7, "c==7");
+        atThree = preds.add(at3, "c==3");
+        goPred = preds.add(go, "go");
+        falsePred = preds.add(d.constant(1, 0), "1'b0");
+        gapPred = preds.add(d.notOf(d.orOf(at3, at7)), "gap");
+    }
+
+    std::unique_ptr<rtl::Netlist>
+    elaborate()
+    {
+        return std::make_unique<rtl::Netlist>(d);
+    }
+
+    /** gap[*0:$] ##1 <a> ##1 gap[*0:$] ##1 <b> */
+    sva::Property
+    edgeProp(const std::string &name, int a, int b) const
+    {
+        sva::Property p;
+        p.name = name;
+        p.branches = {{sva::sChain({sva::sStar(gapPred),
+                                    sva::sPred(a),
+                                    sva::sStar(gapPred),
+                                    sva::sPred(b)})}};
+        return p;
+    }
+};
+
+EngineConfig
+bmcConfig()
+{
+    EngineConfig c{"bmc-test", 0, 0};
+    c.backend = Backend::Bmc;
+    return c;
+}
+
+TEST(Bmc, FalsifiedAtExplicitEnginesDepth)
+{
+    CounterDesign cd;
+    auto netlist = cd.elaborate();
+    // "c==7 happens before c==3" fails on every execution, 4 cycles
+    // in — the depth the explicit engine reports too.
+    sva::Property p =
+        cd.edgeProp("seven-before-three", cd.atSeven, cd.atThree);
+    auto result =
+        verify(*netlist, cd.preds, {}, {p}, bmcConfig());
+    EXPECT_EQ(result.engineUsed, "bmc");
+    ASSERT_EQ(result.properties.size(), 1u);
+    EXPECT_EQ(result.properties[0].status, ProofStatus::Falsified);
+    ASSERT_TRUE(result.properties[0].counterexample.has_value());
+    // The per-depth query order finds the shallowest failure.
+    EXPECT_EQ(result.properties[0].counterexample->inputs.size(),
+              4u);
+    EXPECT_GT(result.satVars, 0u);
+}
+
+TEST(Bmc, FalsifyingWitnessReplaysOnSimulator)
+{
+    CounterDesign cd;
+    auto netlist = cd.elaborate();
+    sva::Property p =
+        cd.edgeProp("seven-before-three", cd.atSeven, cd.atThree);
+    auto result =
+        verify(*netlist, cd.preds, {}, {p}, bmcConfig());
+    ASSERT_EQ(result.properties[0].status, ProofStatus::Falsified);
+    const WitnessTrace &wit = *result.properties[0].counterexample;
+
+    rtl::Simulator sim(*netlist);
+    sva::Trace trace;
+    for (std::uint8_t combo : wit.inputs) {
+        sim.step({combo});
+        sva::PredMask mask{};
+        for (int q = 0; q < cd.preds.size(); ++q)
+            if (sim.lastValue(cd.preds.signalOf(q)))
+                mask[static_cast<std::size_t>(q) / 64] |=
+                    std::uint64_t(1) << (q % 64);
+        trace.push_back(mask);
+    }
+    EXPECT_EQ(sva::checkFireOnce(p, trace), sva::Tri::Failed);
+}
+
+TEST(Bmc, ProvenByInduction)
+{
+    CounterDesign cd;
+    auto netlist = cd.elaborate();
+    // "c==3 happens before c==7" holds on every execution; the
+    // explicit engine proves it over the complete graph, BMC needs
+    // k-induction to close it.
+    sva::Property p =
+        cd.edgeProp("three-before-seven", cd.atThree, cd.atSeven);
+    auto result =
+        verify(*netlist, cd.preds, {}, {p}, bmcConfig());
+    ASSERT_EQ(result.properties.size(), 1u);
+    EXPECT_EQ(result.properties[0].status, ProofStatus::Proven);
+    EXPECT_GT(result.properties[0].inductionK, 0u);
+}
+
+TEST(Bmc, BoundedWhenInductionDisabled)
+{
+    CounterDesign cd;
+    auto netlist = cd.elaborate();
+    sva::Property p =
+        cd.edgeProp("three-before-seven", cd.atThree, cd.atSeven);
+    EngineConfig config = bmcConfig();
+    config.inductionDepth = 0;
+    config.bmcDepth = 10;
+    auto result = verify(*netlist, cd.preds, {}, {p}, config);
+    ASSERT_EQ(result.properties.size(), 1u);
+    EXPECT_EQ(result.properties[0].status, ProofStatus::Bounded);
+    EXPECT_EQ(result.properties[0].boundCycles, 10u);
+}
+
+TEST(Bmc, CoverReachedWithShallowestWitness)
+{
+    CounterDesign cd;
+    auto netlist = cd.elaborate();
+    Assumption cover;
+    cover.kind = Assumption::Kind::FinalValueCover;
+    cover.antecedent = cd.atSeven;
+    cover.consequent = cd.atSeven;
+    auto result =
+        verify(*netlist, cd.preds, {cover}, {}, bmcConfig());
+    EXPECT_TRUE(result.coverReached);
+    EXPECT_FALSE(result.coverUnreachable);
+    ASSERT_TRUE(result.coverWitness.has_value());
+    // c first equals 7 in cycle 7: witness covers cycles 0..7.
+    EXPECT_EQ(result.coverWitness->inputs.size(), 8u);
+}
+
+TEST(Bmc, CoverUnreachableProvedByInduction)
+{
+    CounterDesign cd;
+    auto netlist = cd.elaborate();
+    // "c is never 3" prunes everything past c==3, so c==7 is
+    // unreachable; BMC must prove that, not just fail to reach it.
+    Assumption imp;
+    imp.kind = Assumption::Kind::Implication;
+    imp.antecedent = cd.atThree;
+    imp.consequent = cd.falsePred;
+    Assumption cover;
+    cover.kind = Assumption::Kind::FinalValueCover;
+    cover.antecedent = cd.atSeven;
+    cover.consequent = cd.atSeven;
+    auto result = verify(*netlist, cd.preds, {imp, cover}, {},
+                         bmcConfig());
+    EXPECT_FALSE(result.coverReached);
+    EXPECT_TRUE(result.coverUnreachable);
+}
+
+TEST(Bmc, InitialPinMovesFrameZero)
+{
+    CounterDesign cd;
+    auto netlist = cd.elaborate();
+    Assumption pin;
+    pin.kind = Assumption::Kind::InitialPin;
+    pin.stateSlot =
+        netlist->stateSlotOfReg(netlist->signalByName("c"));
+    pin.value = 6;
+    Assumption cover;
+    cover.kind = Assumption::Kind::FinalValueCover;
+    cover.antecedent = cd.atSeven;
+    cover.consequent = cd.atSeven;
+    auto result = verify(*netlist, cd.preds, {pin, cover}, {},
+                         bmcConfig());
+    EXPECT_TRUE(result.coverReached);
+    // From c=6, c==7 fires in cycle 1: two witness cycles.
+    ASSERT_TRUE(result.coverWitness.has_value());
+    EXPECT_EQ(result.coverWitness->inputs.size(), 2u);
+}
+
+TEST(Bmc, VerdictsAgreeWithExplicitEngine)
+{
+    CounterDesign cd;
+    auto netlist = cd.elaborate();
+    std::vector<sva::Property> props = {
+        cd.edgeProp("three-before-seven", cd.atThree, cd.atSeven),
+        cd.edgeProp("seven-before-three", cd.atSeven, cd.atThree),
+    };
+    auto explicit_result = verify(*netlist, cd.preds, {}, props,
+                                  EngineConfig{"explicit", 0, 0});
+    auto bmc_result =
+        verify(*netlist, cd.preds, {}, props, bmcConfig());
+    ASSERT_EQ(explicit_result.properties.size(),
+              bmc_result.properties.size());
+    for (std::size_t i = 0; i < props.size(); ++i)
+        EXPECT_EQ(explicit_result.properties[i].status,
+                  bmc_result.properties[i].status)
+            << props[i].name;
+}
+
+TEST(Portfolio, MatchesSingleBackendVerdicts)
+{
+    CounterDesign cd;
+    auto netlist = cd.elaborate();
+    std::vector<sva::Property> props = {
+        cd.edgeProp("three-before-seven", cd.atThree, cd.atSeven),
+        cd.edgeProp("seven-before-three", cd.atSeven, cd.atThree),
+    };
+    auto reference = verify(*netlist, cd.preds, {}, props,
+                            EngineConfig{"explicit", 0, 0});
+    EngineConfig config{"portfolio-test", 0, 0};
+    config.backend = Backend::Portfolio;
+    auto result = verify(*netlist, cd.preds, {}, props, config);
+    EXPECT_FALSE(result.cancelled);
+    EXPECT_EQ(result.engineUsed.rfind("portfolio:", 0), 0u)
+        << result.engineUsed;
+    ASSERT_EQ(result.properties.size(), reference.properties.size());
+    for (std::size_t i = 0; i < props.size(); ++i) {
+        // Proven-vs-Bounded is the only allowed asymmetry between
+        // the arms; Falsified must agree exactly.
+        const ProofStatus ref = reference.properties[i].status;
+        const ProofStatus got = result.properties[i].status;
+        if (ref == ProofStatus::Falsified ||
+            got == ProofStatus::Falsified) {
+            EXPECT_EQ(ref, got) << props[i].name;
+        }
+    }
+}
+
+TEST(Backend, NamesRoundTrip)
+{
+    EXPECT_EQ(backendName(Backend::Explicit), "explicit");
+    EXPECT_EQ(backendName(Backend::Bmc), "bmc");
+    EXPECT_EQ(backendName(Backend::Portfolio), "portfolio");
+    EXPECT_EQ(backendFromName("bmc"), Backend::Bmc);
+    EXPECT_EQ(backendFromName("portfolio"), Backend::Portfolio);
+    EXPECT_EQ(backendFromName("explicit"), Backend::Explicit);
+    EXPECT_FALSE(backendFromName("jasper").has_value());
+    EXPECT_FALSE(backendFromName("").has_value());
+}
+
+TEST(Bmc, CancelFlagAbandonsRun)
+{
+    CounterDesign cd;
+    auto netlist = cd.elaborate();
+    sva::Property p =
+        cd.edgeProp("three-before-seven", cd.atThree, cd.atSeven);
+    std::atomic<bool> cancel{true};
+    EngineConfig config = bmcConfig();
+    config.cancel = &cancel;
+    auto result = verify(*netlist, cd.preds, {}, {p}, config);
+    EXPECT_TRUE(result.cancelled);
+}
+
+} // namespace
+} // namespace rtlcheck::formal

@@ -193,6 +193,165 @@ sweepOutcomes(const char *test_name,
     }
 }
 
+/** Full-proof explicit config with the back-end swapped to BMC.
+ *  k-induction is disabled: the V-scale product state is too wide
+ *  for the simple-path windows we try, so induction only burns time
+ *  without ever closing a proof on these designs. */
+formal::EngineConfig
+bmcConfigFor(std::size_t depth)
+{
+    formal::EngineConfig cfg = formal::fullProofConfig();
+    cfg.backend = formal::Backend::Bmc;
+    cfg.bmcDepth = depth;
+    cfg.inductionDepth = 0;
+    return cfg;
+}
+
+/**
+ * Explicit-vs-BMC verdict agreement over the whole standard suite.
+ *
+ * Both engines must put every property into the same verdict class,
+ * with one allowed asymmetry: a property the explicit engine Proves
+ * may come back Bounded from BMC (a bounded method cannot conclude
+ * more without induction), and likewise an unreachable cover may
+ * weaken to "bounded" (neither flag). Falsified verdicts and reached
+ * covers must agree exactly — including the witness depth, since
+ * both engines find shallowest counterexamples.
+ *
+ * The BMC bound is derived from the explicit run: the deepest
+ * explicit witness is the deepest trace BMC needs to reproduce.
+ */
+TEST(BmcCrossCheck, SuiteVerdictsAgreeWithExplicitEngine)
+{
+    const std::vector<litmus::Test> &suite = litmus::standardSuite();
+    core::RunOptions opts;
+    core::SuiteRun expl = core::runSuite(
+        suite, uspec::multiVscaleModel(), opts, 0);
+
+    std::size_t depth = 6;
+    for (const core::TestRun &run : expl.runs) {
+        if (run.verify.coverWitness)
+            depth = std::max(depth,
+                             run.verify.coverWitness->inputs.size());
+        for (const formal::PropertyResult &p :
+             run.verify.properties)
+            if (p.counterexample)
+                depth = std::max(depth,
+                                 p.counterexample->inputs.size());
+    }
+
+    core::RunOptions bmc_opts = opts;
+    bmc_opts.config = bmcConfigFor(depth);
+    core::SuiteRun bmc = core::runSuite(
+        suite, uspec::multiVscaleModel(), bmc_opts, 0);
+
+    ASSERT_EQ(expl.runs.size(), bmc.runs.size());
+    int proven_to_bounded = 0;
+    int cover_weakened = 0;
+    for (std::size_t t = 0; t < expl.runs.size(); ++t) {
+        const formal::VerifyResult &ev = expl.runs[t].verify;
+        const formal::VerifyResult &bv = bmc.runs[t].verify;
+        const std::string &name = suite[t].name;
+        EXPECT_EQ(bv.engineUsed, "bmc") << name;
+        EXPECT_FALSE(bv.cancelled) << name;
+
+        // Reached covers agree exactly; BMC may only weaken an
+        // unreachable-cover proof, never invent one.
+        EXPECT_EQ(ev.coverReached, bv.coverReached) << name;
+        if (bv.coverUnreachable)
+            EXPECT_TRUE(ev.coverUnreachable) << name;
+        if (ev.coverUnreachable && !bv.coverUnreachable)
+            ++cover_weakened;
+        if (ev.coverReached && bv.coverReached) {
+            EXPECT_EQ(ev.coverWitness->inputs.size(),
+                      bv.coverWitness->inputs.size())
+                << name << " cover witness depth";
+            EXPECT_TRUE(core::witnessExhibitsOutcome(
+                suite[t], opts, *bv.coverWitness))
+                << name << " BMC cover witness must replay";
+        }
+
+        ASSERT_EQ(ev.properties.size(), bv.properties.size())
+            << name;
+        for (std::size_t i = 0; i < ev.properties.size(); ++i) {
+            const formal::PropertyResult &ep = ev.properties[i];
+            const formal::PropertyResult &bp = bv.properties[i];
+            EXPECT_EQ(ep.name, bp.name) << name;
+            bool ef = ep.status == formal::ProofStatus::Falsified;
+            bool bf = bp.status == formal::ProofStatus::Falsified;
+            EXPECT_EQ(ef, bf)
+                << name << " / " << ep.name << ": explicit="
+                << formal::proofStatusName(ep.status) << " bmc="
+                << formal::proofStatusName(bp.status);
+            if (ef && bf)
+                EXPECT_EQ(ep.counterexample->inputs.size(),
+                          bp.counterexample->inputs.size())
+                    << name << " / " << ep.name
+                    << " counterexample depth";
+            if (ep.status == formal::ProofStatus::Proven &&
+                bp.status == formal::ProofStatus::Bounded)
+                ++proven_to_bounded;
+            if (bp.status == formal::ProofStatus::Proven)
+                EXPECT_NE(ep.status,
+                          formal::ProofStatus::Falsified)
+                    << name << " / " << ep.name;
+        }
+    }
+    // The allowed asymmetries are expected, not silent: log how
+    // often the bounded method fell short of a proof.
+    std::cout << "[crosscheck] bmcDepth=" << depth
+              << " proven->bounded=" << proven_to_bounded
+              << " cover proofs weakened to bounded="
+              << cover_weakened << "\n";
+}
+
+/**
+ * §7.1 store-drop bug through the SAT back-end: BMC must falsify
+ * Read_Values on the buggy memory, and its witness must replay to
+ * the same property failure on the RTL simulator (the end-to-end
+ * counterexample path of Figure 12).
+ */
+TEST(BmcCrossCheck, StoreDropBugFalsifiedWithReplayableWitness)
+{
+    core::RunOptions opts;
+    opts.variant = vscale::MemoryVariant::Buggy;
+    opts.config = bmcConfigFor(8);
+    core::TestRun run = core::runTest(
+        suiteTest("mp"), uspec::multiVscaleModel(), opts);
+    EXPECT_EQ(run.verify.engineUsed, "bmc");
+
+    const formal::PropertyResult *failed = nullptr;
+    for (const formal::PropertyResult &p : run.verify.properties) {
+        if (p.status == formal::ProofStatus::Falsified) {
+            EXPECT_NE(p.name.find("Read_Values"), std::string::npos)
+                << "unexpected BMC counterexample: " << p.name;
+            if (p.name.find("Read_Values[i=1.1]") !=
+                std::string::npos)
+                failed = &p;
+        }
+    }
+    ASSERT_NE(failed, nullptr)
+        << "BMC missed the store-drop counterexample";
+    ASSERT_TRUE(failed->counterexample.has_value());
+
+    // Replay the witness cycle-for-cycle on the simulator and
+    // re-evaluate the property over the resulting predicate trace.
+    TraceFixture fx(suiteTest("mp"), vscale::MemoryVariant::Buggy);
+    std::vector<unsigned> schedule(
+        failed->counterexample->inputs.begin(),
+        failed->counterexample->inputs.end());
+    sva::Trace trace = fx.simulate(schedule);
+    EXPECT_EQ(trace.size(), schedule.size())
+        << "witness must not violate any assumption";
+    bool replayed = false;
+    for (const sva::Property &p : fx.properties)
+        if (p.name == failed->name)
+            replayed =
+                sva::checkFireOnce(p, trace) == sva::Tri::Failed;
+    EXPECT_TRUE(replayed)
+        << "witness does not reproduce the failure in simulation";
+}
+
 TEST(OutcomeSweep, Mp)
 {
     sweepOutcomes("mp", {0, 1});

@@ -1,0 +1,468 @@
+/**
+ * @file
+ * Unit tests for the CDCL SAT solver and the Tseitin/bit-vector CNF
+ * builder underneath the BMC back-end: hand-built CNF instances
+ * (unit propagation, conflicts and clause learning, UNSAT cores via
+ * assumptions, incremental solving), gate truth tables, bit-vector
+ * arithmetic against reference integer computation, and randomized
+ * 3-SAT cross-checked against a naive DPLL enumerator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "sat/cnf.hh"
+#include "sat/solver.hh"
+
+namespace rtlcheck::sat {
+namespace {
+
+TEST(Solver, TrivialSatAndModel)
+{
+    Solver s;
+    Lit a = mkLit(s.newVar());
+    Lit b = mkLit(s.newVar());
+    s.addClause(a);
+    s.addClause(~a, b);
+    ASSERT_EQ(s.solve(), Result::Sat);
+    EXPECT_TRUE(s.modelTrue(a));
+    EXPECT_TRUE(s.modelTrue(b));
+}
+
+TEST(Solver, ContradictionUnsat)
+{
+    Solver s;
+    Lit a = mkLit(s.newVar());
+    s.addClause(a);
+    s.addClause(~a);
+    EXPECT_EQ(s.solve(), Result::Unsat);
+    // The solver stays usable (reports Unsat again, not UB).
+    EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Solver, DuplicateAndTautologicalLiterals)
+{
+    Solver s;
+    Lit a = mkLit(s.newVar());
+    Lit b = mkLit(s.newVar());
+    s.addClause({a, a, a});       // collapses to unit
+    s.addClause({b, ~b});         // tautology, dropped
+    s.addClause({~a, b, b});      // (~a b)
+    ASSERT_EQ(s.solve(), Result::Sat);
+    EXPECT_TRUE(s.modelTrue(a));
+    EXPECT_TRUE(s.modelTrue(b));
+}
+
+/** Pigeonhole: n+1 pigeons in n holes. Small but requires real
+ *  conflict analysis to refute quickly. */
+void
+addPigeonhole(Solver &s, int holes)
+{
+    const int pigeons = holes + 1;
+    std::vector<std::vector<Lit>> at(
+        static_cast<std::size_t>(pigeons));
+    for (int p = 0; p < pigeons; ++p)
+        for (int h = 0; h < holes; ++h)
+            at[static_cast<std::size_t>(p)].push_back(
+                mkLit(s.newVar()));
+    for (int p = 0; p < pigeons; ++p)
+        s.addClause(at[static_cast<std::size_t>(p)]);
+    for (int h = 0; h < holes; ++h)
+        for (int p1 = 0; p1 < pigeons; ++p1)
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+                s.addClause(
+                    ~at[static_cast<std::size_t>(p1)]
+                       [static_cast<std::size_t>(h)],
+                    ~at[static_cast<std::size_t>(p2)]
+                       [static_cast<std::size_t>(h)]);
+}
+
+TEST(Solver, PigeonholeUnsatWithLearning)
+{
+    Solver s;
+    addPigeonhole(s, 5);
+    EXPECT_EQ(s.solve(), Result::Unsat);
+    EXPECT_GT(s.stats().conflicts, 0u);
+    EXPECT_GT(s.stats().learnedClauses, 0u);
+}
+
+TEST(Solver, AssumptionCoreIsSubsetOfAssumptions)
+{
+    Solver s;
+    Lit a = mkLit(s.newVar());
+    Lit b = mkLit(s.newVar());
+    Lit c = mkLit(s.newVar());
+    s.addClause(~a, ~b);
+    // {a, b} clash; c is irrelevant and must not enter the core.
+    ASSERT_EQ(s.solve({a, b, c}), Result::Unsat);
+    const auto &core = s.failedAssumptions();
+    ASSERT_FALSE(core.empty());
+    for (Lit l : core)
+        EXPECT_TRUE(l == a || l == b) << "core leaked literal";
+    // Without the clashing assumptions, satisfiable again.
+    EXPECT_EQ(s.solve({a, c}), Result::Sat);
+    EXPECT_TRUE(s.modelTrue(a));
+    EXPECT_TRUE(s.modelTrue(~b));
+    EXPECT_TRUE(s.modelTrue(c));
+}
+
+TEST(Solver, FalsifiedAssumptionAtLevelZero)
+{
+    Solver s;
+    Lit a = mkLit(s.newVar());
+    s.addClause(~a); // a is false at level 0
+    ASSERT_EQ(s.solve({a}), Result::Unsat);
+    const auto &core = s.failedAssumptions();
+    ASSERT_EQ(core.size(), 1u);
+    EXPECT_EQ(core[0], a);
+}
+
+TEST(Solver, IncrementalSolvesReuseState)
+{
+    Solver s;
+    Lit a = mkLit(s.newVar());
+    Lit b = mkLit(s.newVar());
+    s.addClause(a, b);
+    ASSERT_EQ(s.solve(), Result::Sat);
+    s.addClause(~a);
+    ASSERT_EQ(s.solve(), Result::Sat);
+    EXPECT_TRUE(s.modelTrue(b));
+    s.addClause(~b);
+    EXPECT_EQ(s.solve(), Result::Unsat);
+    EXPECT_GE(s.stats().solves, 3u);
+}
+
+TEST(Solver, ConflictBudgetReturnsUnknown)
+{
+    Solver s;
+    addPigeonhole(s, 7);
+    s.setConflictBudget(1);
+    EXPECT_EQ(s.solve(), Result::Unknown);
+    s.setConflictBudget(0);
+    EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Solver, CancelFlagReturnsUnknown)
+{
+    Solver s;
+    addPigeonhole(s, 7);
+    std::atomic<bool> cancel{true};
+    s.setCancel(&cancel);
+    EXPECT_EQ(s.solve(), Result::Unknown);
+    cancel.store(false);
+    EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+// ---- randomized 3-SAT vs naive DPLL ----
+
+struct RandomCnf
+{
+    int vars = 0;
+    std::vector<std::vector<int>> clauses; ///< ±(var+1) literals
+};
+
+std::uint32_t
+nextRand(std::uint32_t &s)
+{
+    s = s * 1664525u + 1013904223u;
+    return s >> 8;
+}
+
+RandomCnf
+randomCnf(std::uint32_t seed, int vars, int clauses)
+{
+    RandomCnf f;
+    f.vars = vars;
+    for (int c = 0; c < clauses; ++c) {
+        std::vector<int> cl;
+        for (int k = 0; k < 3; ++k) {
+            int v = static_cast<int>(nextRand(seed) %
+                                     static_cast<unsigned>(vars)) +
+                    1;
+            cl.push_back(nextRand(seed) & 1 ? v : -v);
+        }
+        f.clauses.push_back(std::move(cl));
+    }
+    return f;
+}
+
+/** Naive complete enumerator: assign variables in order, prune when
+ *  a clause is fully falsified. The reference oracle. */
+bool
+dpllSat(const RandomCnf &f, std::vector<int> &assign, int var)
+{
+    for (const auto &cl : f.clauses) {
+        bool sat = false, open = false;
+        for (int l : cl) {
+            int v = l > 0 ? l : -l;
+            if (v > var) {
+                open = true;
+                continue;
+            }
+            if ((l > 0) == (assign[static_cast<std::size_t>(v)] > 0))
+                sat = true;
+        }
+        if (!sat && !open)
+            return false;
+    }
+    if (var == f.vars)
+        return true;
+    for (int val : {1, -1}) {
+        assign[static_cast<std::size_t>(var + 1)] = val;
+        if (dpllSat(f, assign, var + 1))
+            return true;
+    }
+    return false;
+}
+
+TEST(SatFuzz, Random3SatAgreesWithDpll)
+{
+    int sat_seen = 0, unsat_seen = 0;
+    for (std::uint32_t seed = 1; seed <= 60; ++seed) {
+        const int vars = 10 + static_cast<int>(seed % 4);
+        const int clauses =
+            static_cast<int>(4.3 * vars) +
+            static_cast<int>(seed % 7) - 3;
+        RandomCnf f = randomCnf(seed * 2654435761u, vars, clauses);
+
+        std::vector<int> assign(
+            static_cast<std::size_t>(vars) + 1, 0);
+        const bool ref = dpllSat(f, assign, 0);
+
+        Solver s;
+        std::vector<Lit> lits;
+        for (int v = 0; v < vars; ++v)
+            lits.push_back(mkLit(s.newVar()));
+        for (const auto &cl : f.clauses) {
+            std::vector<Lit> c;
+            for (int l : cl)
+                c.push_back(l > 0
+                                ? lits[static_cast<std::size_t>(l - 1)]
+                                : ~lits[static_cast<std::size_t>(
+                                      -l - 1)]);
+            s.addClause(c);
+        }
+        Result r = s.solve();
+        ASSERT_EQ(r, ref ? Result::Sat : Result::Unsat)
+            << "seed=" << seed;
+        if (r == Result::Sat) {
+            ++sat_seen;
+            // The model must actually satisfy every clause.
+            for (const auto &cl : f.clauses) {
+                bool ok = false;
+                for (int l : cl) {
+                    Lit lit =
+                        l > 0 ? lits[static_cast<std::size_t>(l - 1)]
+                              : ~lits[static_cast<std::size_t>(-l -
+                                                               1)];
+                    ok |= s.modelTrue(lit);
+                }
+                EXPECT_TRUE(ok) << "seed=" << seed;
+            }
+        } else {
+            ++unsat_seen;
+        }
+    }
+    // The clause ratio straddles the phase transition; both outcomes
+    // must actually be exercised.
+    EXPECT_GT(sat_seen, 5);
+    EXPECT_GT(unsat_seen, 5);
+}
+
+TEST(SatFuzz, RandomAssumptionCoresAreSound)
+{
+    for (std::uint32_t seed = 1; seed <= 20; ++seed) {
+        const int vars = 12;
+        RandomCnf f = randomCnf(seed * 97u, vars, 40);
+        Solver s;
+        std::vector<Lit> lits;
+        for (int v = 0; v < vars; ++v)
+            lits.push_back(mkLit(s.newVar()));
+        for (const auto &cl : f.clauses) {
+            std::vector<Lit> c;
+            for (int l : cl)
+                c.push_back(l > 0
+                                ? lits[static_cast<std::size_t>(l - 1)]
+                                : ~lits[static_cast<std::size_t>(
+                                      -l - 1)]);
+            s.addClause(c);
+        }
+        // Assume the first 6 variables true.
+        std::vector<Lit> assumptions(lits.begin(), lits.begin() + 6);
+        if (s.solve(assumptions) != Result::Unsat)
+            continue;
+        // Re-solving under just the reported core must stay Unsat.
+        std::vector<Lit> core = s.failedAssumptions();
+        for (Lit l : core) {
+            bool from_assumptions = false;
+            for (Lit a : assumptions)
+                from_assumptions |= a == l;
+            ASSERT_TRUE(from_assumptions) << "seed=" << seed;
+        }
+        EXPECT_EQ(s.solve(core), Result::Unsat) << "seed=" << seed;
+    }
+}
+
+// ---- CNF builder ----
+
+TEST(CnfBuilder, GateTruthTables)
+{
+    Solver s;
+    CnfBuilder cnf(s);
+    Lit a = cnf.freshLit();
+    Lit b = cnf.freshLit();
+    Lit sel = cnf.freshLit();
+    Lit and_ab = cnf.mkAnd(a, b);
+    Lit or_ab = cnf.mkOr(a, b);
+    Lit xor_ab = cnf.mkXor(a, b);
+    Lit mux = cnf.mkMux(sel, a, b);
+    for (int m = 0; m < 8; ++m) {
+        const bool va = m & 1, vb = m & 2, vs = m & 4;
+        std::vector<Lit> assume = {va ? a : ~a, vb ? b : ~b,
+                                   vs ? sel : ~sel};
+        ASSERT_EQ(s.solve(assume), Result::Sat);
+        EXPECT_EQ(s.modelTrue(and_ab), va && vb);
+        EXPECT_EQ(s.modelTrue(or_ab), va || vb);
+        EXPECT_EQ(s.modelTrue(xor_ab), va != vb);
+        EXPECT_EQ(s.modelTrue(mux), vs ? va : vb);
+    }
+}
+
+/** The literal-aliasing rewrites of mkMux (shared or complementary
+ *  operands) must match the plain mux truth table bit for bit. One
+ *  of them once returned the inverted branch for t == ~e — caught
+ *  only on a real netlist, so every alias pattern is pinned here. */
+TEST(CnfBuilder, MuxLiteralAliasRewrites)
+{
+    Solver s;
+    CnfBuilder cnf(s);
+    Lit sel = cnf.freshLit();
+    Lit a = cnf.freshLit();
+    // Each entry: (t, e) built from aliased literals.
+    struct Case
+    {
+        const char *what;
+        Lit t, e;
+    };
+    const Case cases[] = {
+        {"t==~e", ~a, a},   {"t==e", a, a},     {"sel==t", sel, a},
+        {"sel==~t", ~sel, a}, {"sel==e", a, sel}, {"sel==~e", a, ~sel},
+    };
+    for (const Case &c : cases) {
+        Lit y = cnf.mkMux(sel, c.t, c.e);
+        for (int m = 0; m < 4; ++m) {
+            const bool vs = m & 1, va = m & 2;
+            std::vector<Lit> assume = {vs ? sel : ~sel,
+                                       va ? a : ~a};
+            ASSERT_EQ(s.solve(assume), Result::Sat) << c.what;
+            auto value = [&](Lit l) {
+                return l == a    ? va
+                       : l == ~a ? !va
+                       : l == sel ? vs
+                                  : !vs;
+            };
+            EXPECT_EQ(s.modelTrue(y),
+                      vs ? value(c.t) : value(c.e))
+                << c.what << " sel=" << vs << " a=" << va;
+        }
+    }
+}
+
+TEST(CnfBuilder, ConstantFoldingAndHashing)
+{
+    Solver s;
+    CnfBuilder cnf(s);
+    Lit a = cnf.freshLit();
+    EXPECT_EQ(cnf.mkAnd(a, cnf.constTrue()), a);
+    EXPECT_EQ(cnf.mkAnd(a, cnf.constFalse()), cnf.constFalse());
+    EXPECT_EQ(cnf.mkOr(a, cnf.constTrue()), cnf.constTrue());
+    EXPECT_EQ(cnf.mkXor(a, cnf.constFalse()), a);
+    EXPECT_EQ(cnf.mkXor(a, cnf.constTrue()), ~a);
+    EXPECT_EQ(cnf.mkAnd(a, ~a), cnf.constFalse());
+    EXPECT_EQ(cnf.mkOr(a, ~a), cnf.constTrue());
+
+    Lit b = cnf.freshLit();
+    Lit g1 = cnf.mkAnd(a, b);
+    std::size_t gates = cnf.numGates();
+    // Same structural gate (either operand order) → same literal,
+    // no new clauses.
+    EXPECT_EQ(cnf.mkAnd(b, a), g1);
+    EXPECT_EQ(cnf.numGates(), gates);
+}
+
+TEST(CnfBuilder, BitVectorArithmeticMatchesReference)
+{
+    Solver s;
+    CnfBuilder cnf(s);
+    const std::uint32_t width = 8;
+    Bits a = cnf.bvFresh(width);
+    Bits b = cnf.bvFresh(width);
+    Bits add = cnf.bvAdd(a, b, width);
+    Bits sub = cnf.bvSub(a, b, width);
+    Bits andv = cnf.bvAnd(a, b, width);
+    Bits notv = cnf.bvNot(a, width);
+    Lit eq = cnf.bvEq(a, b);
+    Lit ult = cnf.bvUlt(a, b);
+    Lit nz = cnf.bvNonZero(a);
+
+    std::uint32_t seed = 12345;
+    for (int round = 0; round < 32; ++round) {
+        const std::uint32_t va = nextRand(seed) & 0xff;
+        const std::uint32_t vb = nextRand(seed) & 0xff;
+        std::vector<Lit> assume;
+        for (std::uint32_t i = 0; i < width; ++i) {
+            assume.push_back((va >> i) & 1 ? a[i] : ~a[i]);
+            assume.push_back((vb >> i) & 1 ? b[i] : ~b[i]);
+        }
+        ASSERT_EQ(s.solve(assume), Result::Sat);
+        auto decode = [&](const Bits &bits) {
+            std::uint32_t v = 0;
+            for (std::uint32_t i = 0; i < bits.size(); ++i)
+                v |= static_cast<std::uint32_t>(
+                         s.modelTrue(bits[i]))
+                     << i;
+            return v;
+        };
+        EXPECT_EQ(decode(add), (va + vb) & 0xffu);
+        EXPECT_EQ(decode(sub), (va - vb) & 0xffu);
+        EXPECT_EQ(decode(andv), va & vb);
+        EXPECT_EQ(decode(notv), ~va & 0xffu);
+        EXPECT_EQ(s.modelTrue(eq), va == vb);
+        EXPECT_EQ(s.modelTrue(ult), va < vb);
+        EXPECT_EQ(s.modelTrue(nz), va != 0);
+    }
+}
+
+TEST(CnfBuilder, ShiftSliceConcat)
+{
+    Solver s;
+    CnfBuilder cnf(s);
+    Bits a = cnf.bvFresh(8);
+    Bits shl = cnf.bvShlC(a, 3, 8);
+    Bits shr = cnf.bvShrC(a, 2, 8);
+    Bits slice = cnf.bvSlice(a, 2, 4);
+    Bits cat = cnf.bvConcat(a, a, 8, 16);
+
+    const std::uint32_t va = 0xb6;
+    std::vector<Lit> assume;
+    for (std::uint32_t i = 0; i < 8; ++i)
+        assume.push_back((va >> i) & 1 ? a[i] : ~a[i]);
+    ASSERT_EQ(s.solve(assume), Result::Sat);
+    auto decode = [&](const Bits &bits) {
+        std::uint32_t v = 0;
+        for (std::uint32_t i = 0; i < bits.size(); ++i)
+            v |= static_cast<std::uint32_t>(s.modelTrue(bits[i]))
+                 << i;
+        return v;
+    };
+    EXPECT_EQ(decode(shl), (va << 3) & 0xffu);
+    EXPECT_EQ(decode(shr), va >> 2);
+    EXPECT_EQ(decode(slice), (va >> 2) & 0xfu);
+    EXPECT_EQ(decode(cat), (va << 8) | va);
+}
+
+} // namespace
+} // namespace rtlcheck::sat

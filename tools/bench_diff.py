@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files produced by the bench binaries.
+
+Usage:
+    tools/bench_diff.py OLD.json NEW.json [--threshold PCT]
+
+Every numeric field is flattened to a dotted path (array elements are
+keyed by their identifying string fields, e.g. ``cells[mp/fixed]``)
+and compared. Timing fields (path contains "seconds" or "ms") are
+lower-is-better and reported as speedup (old/new); other numbers and
+booleans are reported when they change.
+
+Exit status is 1 when --threshold is given and any timing field
+regressed by more than PCT percent, so CI can gate on it; without
+--threshold the tool only reports.
+"""
+
+import argparse
+import json
+import sys
+
+TIMING_MARKERS = ("seconds", "_ms", "time")
+
+
+def is_timing(path):
+    low = path.lower()
+    return any(m in low for m in TIMING_MARKERS)
+
+
+def element_key(value, index):
+    """Stable label for an array element: join its string fields."""
+    if isinstance(value, dict):
+        tags = [str(v) for v in value.values() if isinstance(v, str)]
+        if tags:
+            return "/".join(tags)
+    return str(index)
+
+
+def flatten(value, path, out):
+    if isinstance(value, dict):
+        for k, v in value.items():
+            flatten(v, f"{path}.{k}" if path else k, out)
+    elif isinstance(value, list):
+        for i, v in enumerate(value):
+            flatten(v, f"{path}[{element_key(v, i)}]", out)
+    else:
+        out[path] = value
+
+
+def fmt(value):
+    if isinstance(value, float):
+        return f"{value:.6f}"
+    return str(value)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json files")
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--threshold", type=float, default=None,
+                    help="fail (exit 1) when any timing field "
+                         "regresses by more than PCT percent")
+    args = ap.parse_args()
+
+    with open(args.old) as f:
+        old = {}
+        flatten(json.load(f), "", old)
+    with open(args.new) as f:
+        new = {}
+        flatten(json.load(f), "", new)
+
+    regressions = []
+    rows = []
+    for path in sorted(set(old) | set(new)):
+        if path not in old:
+            rows.append((path, "(added)", fmt(new[path]), ""))
+            continue
+        if path not in new:
+            rows.append((path, fmt(old[path]), "(removed)", ""))
+            continue
+        a, b = old[path], new[path]
+        numeric = (isinstance(a, (int, float))
+                   and isinstance(b, (int, float))
+                   and not isinstance(a, bool)
+                   and not isinstance(b, bool))
+        if numeric and is_timing(path):
+            if a == b == 0:
+                continue
+            speedup = a / b if b else float("inf")
+            delta_pct = (b - a) / a * 100.0 if a else float("inf")
+            note = f"{speedup:8.3f}x"
+            if delta_pct > 0:
+                note += f"  ({delta_pct:+.1f}% regression)"
+                if (args.threshold is not None
+                        and delta_pct > args.threshold):
+                    regressions.append((path, delta_pct))
+            elif delta_pct < 0:
+                note += f"  ({delta_pct:+.1f}%)"
+            rows.append((path, fmt(a), fmt(b), note))
+        elif a != b:
+            rows.append((path, fmt(a), fmt(b), "CHANGED"))
+
+    if not rows:
+        print("no differences")
+        return 0
+
+    width = max(len(r[0]) for r in rows)
+    print(f"{'field':<{width}}  {'old':>12}  {'new':>12}  speedup")
+    for path, a, b, note in rows:
+        print(f"{path:<{width}}  {a:>12}  {b:>12}  {note}")
+
+    if regressions:
+        print(f"\n{len(regressions)} timing regression(s) over "
+              f"{args.threshold:.1f}%:", file=sys.stderr)
+        for path, pct in regressions:
+            print(f"  {path}: {pct:+.1f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

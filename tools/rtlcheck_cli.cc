@@ -46,12 +46,27 @@
  *                         Verdicts and witnesses are identical.
  *   --cache-mb N          bound the --all state-graph cache to N MiB
  *                         (LRU eviction; 0 = unlimited, the default)
+ *   --engine explicit|bmc|portfolio
+ *                         verification back-end: the explicit
+ *                         state-graph engine (default), the SAT-based
+ *                         BMC + k-induction engine, or a portfolio
+ *                         race of both that takes the first
+ *                         conclusive verdict
+ *   --bmc-depth N         BMC unroll bound in cycles (default 16)
+ *   --induction-depth N   largest k-induction window tried after the
+ *                         BMC sweep (default 6; 0 disables induction
+ *                         — much faster on designs whose state is too
+ *                         wide for small-K windows to close)
+ *
+ * Unknown flags and malformed option values (e.g. --engine jasper or
+ * --jobs abc) exit with usage instead of silently defaulting.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -79,6 +94,9 @@ struct CliOptions
     std::size_t jobs = 0; ///< 0 = ThreadPool::defaultJobs()
     std::size_t exploreJobs = 1;
     std::size_t cacheMb = 0; ///< 0 = unlimited
+    formal::Backend engine = formal::Backend::Explicit;
+    std::size_t bmcDepth = 0; ///< 0 = EngineConfig default
+    std::optional<std::size_t> inductionDepth; ///< unset = default
     bool earlyFalsify = true;
     bool naive = false;
     bool noNetlistOpt = false;
@@ -99,6 +117,8 @@ usage()
         "         --config hybrid|full  --naive  --uhb  --wave\n"
         "         --emit-sva <path>  --jobs N  --no-netlist-opt\n"
         "         --explore-jobs N  --no-early-falsify  --cache-mb N\n"
+        "         --engine explicit|bmc|portfolio  --bmc-depth N\n"
+        "         --induction-depth N\n"
         "--jobs (or $RTLCHECK_JOBS) sets the parallel lanes used to\n"
         "run tests under --all and to check properties on a single\n"
         "test; --explore-jobs parallelizes each state-graph\n"
@@ -137,6 +157,11 @@ runOptionsFor(const CliOptions &opts)
     o.optimizeNetlist = !opts.noNetlistOpt;
     o.config.exploreJobs = opts.exploreJobs;
     o.config.earlyFalsify = opts.earlyFalsify;
+    o.config.backend = opts.engine;
+    if (opts.bmcDepth)
+        o.config.bmcDepth = opts.bmcDepth;
+    if (opts.inductionDepth)
+        o.config.inductionDepth = *opts.inductionDepth;
     return o;
 }
 
@@ -171,6 +196,18 @@ report(const litmus::Test &test, const core::TestRun &run,
                     os.nodesBefore, os.nodesAfter, os.constFolded,
                     os.memReadsFolded, os.copyPropagated, os.cseMerged,
                     os.coiDropped);
+        std::printf("  engine: %s", run.verify.engineUsed.c_str());
+        if (run.verify.satVars)
+            std::printf(" | cnf %zu vars %zu clauses, %llu "
+                        "conflicts",
+                        run.verify.satVars, run.verify.satClauses,
+                        static_cast<unsigned long long>(
+                            run.verify.satConflicts));
+        std::printf("\n");
+        for (const auto &p : run.verify.properties)
+            if (p.inductionK)
+                std::printf("  proven by %u-induction: %s\n",
+                            p.inductionK, p.name.c_str());
         for (const auto &p : run.verify.properties) {
             if (p.status == formal::ProofStatus::Falsified) {
                 std::printf("  counterexample: %s (%zu cycles)%s\n",
@@ -289,6 +326,33 @@ runAll(const CliOptions &opts)
 
 } // namespace
 
+/** Reject a malformed option value: report it, print usage, exit 2.
+ *  Silent defaulting (strtoul's 0, an unknown enum falling through)
+ *  has burned users before; bad input must never look like a run
+ *  with different settings. */
+[[noreturn]] void
+badValue(const std::string &flag, const std::string &value,
+         const char *expected)
+{
+    std::fprintf(stderr, "rtlcheck_cli: bad value '%s' for %s "
+                         "(expected %s)\n",
+                 value.c_str(), flag.c_str(), expected);
+    usage();
+    std::exit(2);
+}
+
+/** Strict decimal parse for option counts: the whole token must be
+ *  digits ("abc" or "4x" exit with usage instead of becoming 0). */
+std::size_t
+parseCount(const std::string &flag, const std::string &value)
+{
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos)
+        badValue(flag, value, "a non-negative integer");
+    return static_cast<std::size_t>(
+        std::strtoul(value.c_str(), nullptr, 10));
+}
+
 int
 main(int argc, char **argv)
 {
@@ -302,10 +366,28 @@ main(int argc, char **argv)
         };
         if (arg == "--model") {
             opts.model = next();
+            if (opts.model != "sc" && opts.model != "tso")
+                badValue(arg, opts.model, "sc or tso");
         } else if (arg == "--design") {
             opts.design = next();
+            if (opts.design != "fixed" && opts.design != "buggy" &&
+                opts.design != "tso")
+                badValue(arg, opts.design, "fixed, buggy, or tso");
         } else if (arg == "--config") {
             opts.config = next();
+            if (opts.config != "hybrid" && opts.config != "full")
+                badValue(arg, opts.config, "hybrid or full");
+        } else if (arg == "--engine") {
+            std::string name = next();
+            std::optional<formal::Backend> backend =
+                formal::backendFromName(name);
+            if (!backend)
+                badValue(arg, name, "explicit, bmc, or portfolio");
+            opts.engine = *backend;
+        } else if (arg == "--bmc-depth") {
+            opts.bmcDepth = parseCount(arg, next());
+        } else if (arg == "--induction-depth") {
+            opts.inductionDepth = parseCount(arg, next());
         } else if (arg == "--file") {
             opts.litmusFile = next();
         } else if (arg == "--emit-sva") {
@@ -313,14 +395,11 @@ main(int argc, char **argv)
         } else if (arg == "--vcd") {
             opts.vcdPath = next();
         } else if (arg == "--jobs") {
-            opts.jobs = static_cast<std::size_t>(
-                std::strtoul(next().c_str(), nullptr, 10));
+            opts.jobs = parseCount(arg, next());
         } else if (arg == "--explore-jobs") {
-            opts.exploreJobs = static_cast<std::size_t>(
-                std::strtoul(next().c_str(), nullptr, 10));
+            opts.exploreJobs = parseCount(arg, next());
         } else if (arg == "--cache-mb") {
-            opts.cacheMb = static_cast<std::size_t>(
-                std::strtoul(next().c_str(), nullptr, 10));
+            opts.cacheMb = parseCount(arg, next());
         } else if (arg == "--no-early-falsify") {
             opts.earlyFalsify = false;
         } else if (arg == "--naive") {
@@ -347,10 +426,15 @@ main(int argc, char **argv)
     }
 
     if (opts.list) {
-        for (const litmus::Test &t : litmus::standardSuite())
-            std::printf("%s\n", t.name.c_str());
-        for (const litmus::Test &t : litmus::fenceSuite())
-            std::printf("%s\n", t.name.c_str());
+        auto listSuite = [](const char *suite,
+                            const std::vector<litmus::Test> &tests) {
+            for (const litmus::Test &t : tests)
+                std::printf("%-14s %s  %zu cores  %2d instrs\n",
+                            t.name.c_str(), suite,
+                            t.threads.size(), t.numInstrs());
+        };
+        listSuite("standard", litmus::standardSuite());
+        listSuite("fence   ", litmus::fenceSuite());
         return 0;
     }
 
