@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Mutation-testing campaign gates over the Multi-V-scale design.
+ *
+ * Two workloads, both on the fixed design with the campaign-default
+ * portfolio + early-falsify engine:
+ *
+ *   memory-path  every write-port mutant class (enable drop, enable
+ *                stuck, address off-by-one, data off-by-one — the
+ *                family that subsumes the §7.1 store-drop bug) on a
+ *                suite prefix that contains the known killers.
+ *
+ *   equivalence  a fixed stuck-at sample (seed 7, budget 12) that is
+ *                known to contain at least one miter-provably
+ *                equivalent mutant, exercising the pruning path.
+ *
+ * Three unconditional gates (enforced in --quick mode too):
+ *
+ *   dmem kills   every non-equivalent mutant of the data-memory
+ *                write port is killed by at least one litmus test.
+ *                A survivor here would mean the generated properties
+ *                cannot see a dropped or corrupted store — exactly
+ *                the class of bug RTLCheck exists to catch.
+ *
+ *   witnesses    every kill's witness replays on the mutant RTL
+ *                simulator (covers must exhibit the outcome,
+ *                counterexamples must fire the assertion's NFA).
+ *
+ *   pruning      the equivalence workload proves at least one mutant
+ *                equivalent, pruned mutants never appear as kills or
+ *                survivors, and the mutation score counts only live
+ *                mutants: killed / (killed + survived).
+ *
+ * Headline numbers land in BENCH_mutation.json.
+ */
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "formal/graph_cache.hh"
+#include "rtl/mutate.hh"
+#include "rtlcheck/mutation_campaign.hh"
+
+using namespace rtlcheck;
+using namespace rtlcheck::bench;
+
+namespace {
+
+core::CampaignReport
+runCampaign(const std::vector<rtl::MutationOp> &ops,
+            std::size_t budget, std::uint32_t seed,
+            std::size_t num_tests, formal::GraphCache &cache)
+{
+    core::MutationCampaignOptions mo;
+    mo.run.variant = vscale::MemoryVariant::Fixed;
+    mo.run.config.backend = formal::Backend::Portfolio;
+    mo.run.config.earlyFalsify = true;
+    mo.run.graphCache = &cache;
+    mo.mutate.ops = ops;
+    mo.mutate.budget = budget;
+    mo.mutate.seed = seed;
+
+    std::vector<litmus::Test> tests = litmus::standardSuite();
+    if (num_tests && num_tests < tests.size())
+        tests.resize(num_tests);
+    return core::runMutationCampaign(uspec::multiVscaleModel(), tests,
+                                     mo);
+}
+
+bool
+isDmemMutant(const core::MutantReport &m)
+{
+    return m.mutation.site.find("dmem") != std::string::npos;
+}
+
+/** Score bookkeeping: pruned mutants carry no kills and the score is
+ *  killed / (killed + survived) over live mutants only. */
+bool
+pruningConsistent(const core::CampaignReport &report)
+{
+    for (const core::MutantReport &m : report.mutants)
+        if (m.fate == core::MutantFate::Equivalent && !m.kills.empty())
+            return false;
+    const double live = static_cast<double>(report.numKilled() +
+                                            report.numSurvived());
+    const double expect =
+        live > 0 ? static_cast<double>(report.numKilled()) / live
+                 : 1.0;
+    return std::fabs(report.mutationScore() - expect) < 1e-12;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool quick =
+        argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+    printHeader("Mutation-testing campaign on Multi-V-scale",
+                "the §7.1 bug-finding methodology, generalized to "
+                "systematic fault injection");
+
+    formal::GraphCache cache;
+    const std::vector<rtl::MutationOp> write_port_ops = {
+        rtl::MutationOp::WriteEnableDrop,
+        rtl::MutationOp::WriteEnableStuck,
+        rtl::MutationOp::WriteAddrOffByOne,
+        rtl::MutationOp::WriteDataOffByOne,
+    };
+    // The known killers (iwp23b, amd3, co-iriw) sit in the first six
+    // suite tests; the full run widens the survivor columns.
+    const std::size_t num_tests = quick ? 6 : 12;
+
+    core::CampaignReport mem =
+        runCampaign(write_port_ops, 0, 1, num_tests, cache);
+    std::printf("memory-path campaign (%zu tests):\n\n%s\n",
+                mem.testNames.size(), mem.renderTable().c_str());
+
+    bool dmem_killed = true;
+    bool witnesses_ok = true;
+    std::size_t dmem_total = 0;
+    for (const core::MutantReport &m : mem.mutants) {
+        if (isDmemMutant(m) && m.fate != core::MutantFate::Equivalent) {
+            ++dmem_total;
+            if (m.fate != core::MutantFate::Killed) {
+                dmem_killed = false;
+                std::printf("  GATE: dmem mutant survived: %s\n",
+                            m.mutation.describe().c_str());
+            }
+        }
+        for (const core::KillCell &k : m.kills)
+            if (!k.witnessReplayed) {
+                witnesses_ok = false;
+                std::printf("  GATE: witness did not replay: %s "
+                            "killed by %s/%s\n",
+                            m.mutation.describe().c_str(),
+                            k.testName.c_str(), k.property.c_str());
+            }
+    }
+    // An empty gate set would mean the enumerator lost the memory
+    // write path entirely — fail loudly rather than pass vacuously.
+    if (!dmem_total)
+        dmem_killed = false;
+
+    core::CampaignReport equiv = runCampaign(
+        {rtl::MutationOp::StuckAt0, rtl::MutationOp::StuckAt1}, 12, 7,
+        2, cache);
+    std::printf("equivalence-pruning probe (stuck-at sample, %zu "
+                "tests): %zu mutants, %zu pruned\n",
+                equiv.testNames.size(), equiv.mutants.size(),
+                equiv.numEquivalent());
+    const bool pruning_ok = equiv.numEquivalent() > 0 &&
+                            pruningConsistent(equiv) &&
+                            pruningConsistent(mem);
+
+    JsonObject json;
+    json.str("bench", "mutation");
+    json.boolean("quick", quick);
+    json.count("tests", mem.testNames.size());
+    json.count("mutants", mem.mutants.size());
+    json.count("killed", mem.numKilled());
+    json.count("survived", mem.numSurvived());
+    json.count("equivalent", mem.numEquivalent());
+    json.num("mutation_score", mem.mutationScore());
+    json.count("dmem_mutants", dmem_total);
+    json.num("campaign_seconds", mem.wallSeconds);
+    json.count("probe_mutants", equiv.mutants.size());
+    json.count("probe_equivalent", equiv.numEquivalent());
+    json.num("probe_seconds", equiv.wallSeconds);
+    json.boolean("dmem_mutants_all_killed", dmem_killed);
+    json.boolean("witnesses_all_replayed", witnesses_ok);
+    json.boolean("equivalents_pruned", pruning_ok);
+
+    std::printf("\nmutation score     : %.3f (%zu killed / %zu "
+                "live)\n",
+                mem.mutationScore(), mem.numKilled(),
+                mem.numKilled() + mem.numSurvived());
+    std::printf("dmem kill gate     : %s (%zu write-port mutants)\n",
+                dmem_killed ? "pass" : "FAIL", dmem_total);
+    std::printf("witness gate       : %s\n",
+                witnesses_ok ? "pass" : "FAIL");
+    std::printf("pruning gate       : %s (%zu equivalent pruned in "
+                "probe)\n",
+                pruning_ok ? "pass" : "FAIL", equiv.numEquivalent());
+
+    writeBenchJson("mutation", json);
+    return dmem_killed && witnesses_ok && pruning_ok ? 0 : 1;
+}

@@ -70,6 +70,39 @@ Unroller::pushFreeFrame()
 }
 
 void
+Unroller::pushSharedFrame(const Unroller &other)
+{
+    RC_ASSERT(_frames.empty(), "shared frame must be frame 0");
+    RC_ASSERT(&_cnf == &other._cnf,
+              "shared frames require one CnfBuilder");
+    RC_ASSERT(!other._frames.empty(),
+              "other unroller has no frame to share");
+    RC_ASSERT(_slotWidths == other._slotWidths,
+              "shared frames require identical state layouts");
+    Frame f;
+    f.state = other._frames[0].state;
+    _frames.push_back(std::move(f));
+}
+
+void
+Unroller::attachSharedInputs(std::size_t k, const Unroller &other)
+{
+    RC_ASSERT(k < _frames.size());
+    Frame &f = _frames[k];
+    RC_ASSERT(!f.evaluated, "inputs already attached to frame");
+    RC_ASSERT(&_cnf == &other._cnf,
+              "shared inputs require one CnfBuilder");
+    RC_ASSERT(k < other._frames.size() && other._frames[k].evaluated,
+              "other unroller's frame has no inputs to share");
+    RC_ASSERT(_netlist.inputs().size()
+                  == other._netlist.inputs().size(),
+              "shared inputs require identical input layouts");
+    f.inputs = other._frames[k].inputs;
+    evalFrame(f);
+    f.evaluated = true;
+}
+
+void
 Unroller::attachInputs(std::size_t k)
 {
     RC_ASSERT(k < _frames.size());

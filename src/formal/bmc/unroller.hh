@@ -55,6 +55,17 @@ class Unroller
      *  induction windows. */
     void pushFreeFrame();
 
+    /** Frame 0 aliased to `other`'s frame 0: the same state
+     *  bit-vectors, so the two machines provably start from the one
+     *  (free or pinned) state. Both unrollers must share a
+     *  CnfBuilder and a state layout. Used by the mutation miter. */
+    void pushSharedFrame(const Unroller &other);
+
+    /** Like attachInputs(k), but alias this frame's input variables
+     *  to `other`'s frame-k inputs so both machines see the same
+     *  stimulus; evaluates the cone as usual. */
+    void attachSharedInputs(std::size_t k, const Unroller &other);
+
     /** Create frame k's input variables and evaluate the cone.
      *  Required before predLit/coverHit/assertValidCycle/transition
      *  on that frame; call once per frame. */
@@ -87,6 +98,12 @@ class Unroller
      *  constraints). */
     void appendStateLits(std::size_t k,
                          std::vector<sat::Lit> &out) const;
+
+    /** Frame k's bit-vector for one state slot (miter diffing). */
+    const sat::Bits &stateBits(std::size_t k, std::size_t slot) const
+    {
+        return _frames[k].state[slot];
+    }
 
     /** Decode one node value / state slot of frame k from a SAT
      *  model (diagnostics: frame-by-frame diff against eval()). */

@@ -1,0 +1,134 @@
+#include "formal/miter.hh"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "formal/bmc/unroller.hh"
+#include "sat/cnf.hh"
+#include "sat/solver.hh"
+
+namespace rtlcheck::formal {
+
+namespace {
+
+/** Human name of one state slot: register name or "mem[word]". */
+std::string
+slotName(const rtl::Netlist &netlist, std::size_t slot)
+{
+    const auto &regs = netlist.regs();
+    if (slot < regs.size())
+        return regs[slot].name;
+    const auto &mems = netlist.mems();
+    for (std::size_t i = 0; i < mems.size(); ++i) {
+        if (!netlist.memInState(static_cast<std::uint32_t>(i)))
+            continue;
+        const rtl::MemHandle handle{static_cast<std::uint32_t>(i)};
+        const std::size_t base = netlist.stateSlotOfMemWord(handle, 0);
+        if (slot >= base && slot < base + mems[i].words)
+            return catStr(mems[i].name, "[", slot - base, "]");
+    }
+    return catStr("slot ", slot);
+}
+
+} // namespace
+
+std::string
+equivVerdictName(EquivVerdict v)
+{
+    switch (v) {
+      case EquivVerdict::Equivalent: return "equivalent";
+      case EquivVerdict::Different: return "different";
+      case EquivVerdict::Unknown: return "unknown";
+    }
+    return "?";
+}
+
+MiterResult
+proveTransitionEquivalent(const rtl::Netlist &a, const rtl::Netlist &b,
+                          const sva::PredicateTable &preds,
+                          std::uint64_t conflictBudget,
+                          const std::atomic<bool> *cancel)
+{
+    const auto start = std::chrono::steady_clock::now();
+    MiterResult result;
+
+    RC_ASSERT(a.stateWords() == b.stateWords()
+                  && a.inputs().size() == b.inputs().size(),
+              "miter requires identical state and input layouts");
+
+    sat::Solver solver;
+    sat::CnfBuilder cnf(solver);
+    // The unrollers are built without assumptions: equivalence must
+    // hold from *every* state for pruning to be sound, not just the
+    // reachable states of one litmus test.
+    const std::vector<Assumption> noAssumptions;
+    bmc::Unroller ua(cnf, a, preds, noAssumptions);
+    bmc::Unroller ub(cnf, b, preds, noAssumptions);
+
+    ua.pushFreeFrame();
+    ua.attachInputs(0);
+    ua.pushTransition();
+    ub.pushSharedFrame(ua);
+    ub.attachSharedInputs(0, ua);
+    ub.pushTransition();
+
+    // Observables: every registered predicate of the shared cycle,
+    // then every state slot of the post-transition image.
+    std::vector<std::pair<sat::Lit, std::string>> diffs;
+    for (int p = 0; p < preds.size(); ++p) {
+        sat::Lit d = cnf.mkXor(ua.predLit(0, p), ub.predLit(0, p));
+        if (cnf.isConst(d) && !cnf.constValue(d))
+            continue;
+        diffs.emplace_back(d, catStr("pred ", preds.textOf(p)));
+    }
+    for (std::size_t slot = 0; slot < a.stateWords(); ++slot) {
+        const sat::Bits &sa = ua.stateBits(1, slot);
+        const sat::Bits &sb = ub.stateBits(1, slot);
+        sat::Lit d = ~cnf.bvEq(sa, sb);
+        if (cnf.isConst(d) && !cnf.constValue(d))
+            continue;
+        diffs.emplace_back(d, catStr("state ", slotName(a, slot)));
+    }
+
+    auto finish = [&](EquivVerdict verdict) {
+        result.verdict = verdict;
+        result.conflicts = solver.stats().conflicts;
+        result.clauses = solver.numClauses();
+        result.seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        return result;
+    };
+
+    // Structural hashing already folded every observable onto the
+    // same literal: equivalent without touching the solver.
+    if (diffs.empty())
+        return finish(EquivVerdict::Equivalent);
+
+    std::vector<sat::Lit> diffLits;
+    diffLits.reserve(diffs.size());
+    for (const auto &[lit, name] : diffs)
+        diffLits.push_back(lit);
+    cnf.require(cnf.mkOrN(diffLits));
+
+    solver.setConflictBudget(conflictBudget);
+    solver.setCancel(cancel);
+    sat::Result sat = solver.solve();
+    if (sat == sat::Result::Unsat)
+        return finish(EquivVerdict::Equivalent);
+    if (sat == sat::Result::Unknown)
+        return finish(EquivVerdict::Unknown);
+
+    for (const auto &[lit, name] : diffs) {
+        if (solver.modelTrue(lit)) {
+            result.firstDiff = name;
+            break;
+        }
+    }
+    return finish(EquivVerdict::Different);
+}
+
+} // namespace rtlcheck::formal

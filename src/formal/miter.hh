@@ -1,0 +1,74 @@
+/**
+ * @file
+ * SAT miter for pruning functionally-equivalent mutants.
+ *
+ * Two netlists with identical state/input layouts are unrolled for
+ * one cycle from a *shared free symbolic state* under *shared
+ * symbolic inputs*, on one CnfBuilder so structural hashing folds
+ * their unmutated cones onto the same literals. The miter asserts
+ * that some observable differs: a registered predicate in the
+ * combinational cycle, or a state slot of the post-transition image.
+ *
+ * UNSAT means the two transition functions and observation functions
+ * agree on *every* state — mutated and original are bisimilar from
+ * any start state, so no litmus test (which only constrains initial
+ * state and inputs) can ever distinguish them. That makes Equivalent
+ * a sound pruning verdict, not a heuristic: an equivalent mutant is
+ * removed from the campaign rather than misreported as a survivor.
+ *
+ * SAT means the machines differ somewhere; whether the litmus suite
+ * reaches that somewhere is exactly what the campaign measures.
+ * Unknown (conflict budget or cancellation) is treated by callers as
+ * "not proven equivalent" — the mutant stays in the campaign.
+ */
+
+#ifndef RTLCHECK_FORMAL_MITER_HH
+#define RTLCHECK_FORMAL_MITER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "rtl/netlist.hh"
+#include "sva/predicates.hh"
+
+namespace rtlcheck::formal {
+
+enum class EquivVerdict : std::uint8_t
+{
+    Equivalent, ///< UNSAT: bisimilar from every state; prune
+    Different,  ///< SAT: a distinguishing state+input exists
+    Unknown,    ///< budget exhausted or cancelled; keep the mutant
+};
+
+std::string equivVerdictName(EquivVerdict v);
+
+struct MiterResult
+{
+    EquivVerdict verdict = EquivVerdict::Unknown;
+    /** First differing observable of the SAT model: a predicate's
+     *  SVA text or a state slot's register/memory-word name. */
+    std::string firstDiff;
+    double seconds = 0.0;
+    std::uint64_t conflicts = 0;
+    std::size_t clauses = 0;
+};
+
+/**
+ * Prove or refute one-cycle transition-function equivalence of `a`
+ * and `b` (same design, one mutated) over the observables in
+ * `preds`. Layouts must match; the campaign guarantees this because
+ * mutations never add or remove state, inputs, or memories.
+ *
+ * `conflictBudget` bounds the CDCL search (0 = unlimited); `cancel`
+ * allows cooperative cancellation from portfolio racing.
+ */
+MiterResult proveTransitionEquivalent(
+    const rtl::Netlist &a, const rtl::Netlist &b,
+    const sva::PredicateTable &preds,
+    std::uint64_t conflictBudget = 0,
+    const std::atomic<bool> *cancel = nullptr);
+
+} // namespace rtlcheck::formal
+
+#endif // RTLCHECK_FORMAL_MITER_HH

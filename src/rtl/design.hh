@@ -138,6 +138,11 @@ class Design
     }
     /// @}
 
+    /** Surgical mutable access for the mutation-testing subsystem
+     *  (defined in mutate.cc); nothing else may edit a built design. */
+    struct MutationAccess;
+    friend struct MutationAccess;
+
   private:
     Signal addNode(ExprNode node);
     const ExprNode &nodeOf(Signal s) const;

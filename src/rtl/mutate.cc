@@ -1,0 +1,456 @@
+#include "rtl/mutate.hh"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace rtlcheck::rtl {
+
+/**
+ * The one sanctioned editor of a built Design. All mutations go
+ * through these three accessors so the surgical surface stays
+ * auditable; everything else in the tree sees Design as write-once.
+ */
+struct Design::MutationAccess
+{
+    static std::vector<ExprNode> &nodes(Design &d) { return d._nodes; }
+    static std::vector<RegDecl> &regs(Design &d) { return d._regs; }
+    static std::vector<MemDecl> &mems(Design &d) { return d._mems; }
+};
+
+namespace {
+
+struct OpName
+{
+    MutationOp op;
+    const char *name;
+};
+
+constexpr OpName opNames[] = {
+    {MutationOp::StuckAt0, "stuck-at-0"},
+    {MutationOp::StuckAt1, "stuck-at-1"},
+    {MutationOp::CondInvert, "cond-invert"},
+    {MutationOp::MuxArmSwap, "mux-arm-swap"},
+    {MutationOp::ConstOffByOne, "const-off-by-one"},
+    {MutationOp::WriteEnableDrop, "write-enable-drop"},
+    {MutationOp::WriteEnableStuck, "write-enable-stuck"},
+    {MutationOp::WriteAddrOffByOne, "write-addr-off-by-one"},
+    {MutationOp::WriteDataOffByOne, "write-data-off-by-one"},
+};
+
+static_assert(sizeof(opNames) / sizeof(opNames[0]) == numMutationOps);
+
+std::uint32_t
+lowMask(unsigned width)
+{
+    return width >= 32 ? 0xffffffffu : ((1u << width) - 1u);
+}
+
+/** Reverse map node id -> hierarchical name, for readable sites. */
+std::map<std::uint32_t, std::string>
+nameByNode(const Design &design)
+{
+    std::map<std::uint32_t, std::string> names;
+    for (const auto &[name, sig] : design.namedSignals())
+        names.emplace(sig.id, name);
+    for (const auto &reg : design.regs())
+        if (reg.q.valid())
+            names.emplace(reg.q.id, reg.name);
+    return names;
+}
+
+std::string
+siteOfNode(const std::map<std::uint32_t, std::string> &names,
+           std::uint32_t nodeId)
+{
+    auto it = names.find(nodeId);
+    if (it != names.end())
+        return it->second;
+    return catStr("node ", nodeId);
+}
+
+/** 1-bit nodes worth forcing: mux selects, named wires, register
+ *  next-state roots. Sorted and deduplicated for determinism. */
+std::vector<std::uint32_t>
+controlSites(const Design &design)
+{
+    const auto &nodes = design.nodes();
+    std::set<std::uint32_t> sites;
+    auto consider = [&](Signal s) {
+        if (!s.valid())
+            return;
+        const ExprNode &n = nodes[s.id];
+        if (n.width != 1 || n.op == Op::Input)
+            return;
+        sites.insert(s.id);
+    };
+    for (const ExprNode &n : nodes)
+        if (n.op == Op::Mux)
+            consider(n.c);
+    for (const auto &[name, sig] : design.namedSignals()) {
+        (void)name;
+        consider(sig);
+    }
+    for (const RegDecl &reg : design.regs())
+        consider(reg.next);
+    return {sites.begin(), sites.end()};
+}
+
+struct PortField
+{
+    std::uint32_t memId;
+    std::uint32_t portIdx;
+    Signal anchor;
+    std::string site;
+};
+
+std::vector<PortField>
+writePortFields(const Design &design, const char *field)
+{
+    std::vector<PortField> out;
+    for (std::uint32_t m = 0; m < design.mems().size(); ++m) {
+        const MemDecl &mem = design.mems()[m];
+        for (std::uint32_t p = 0; p < mem.writePorts.size(); ++p) {
+            const MemWritePort &port = mem.writePorts[p];
+            Signal anchor = field[0] == 'e' ? port.enable
+                          : field[0] == 'a' ? port.addr
+                                            : port.data;
+            out.push_back({m, p, anchor,
+                           catStr(mem.name, ".wp", p, ".", field)});
+        }
+    }
+    return out;
+}
+
+void
+pushSite(std::vector<Mutation> &out, const Design &design,
+         MutationOp op, std::uint32_t nodeId, std::string site)
+{
+    const ExprNode &n = design.nodes()[nodeId];
+    Mutation m;
+    m.op = op;
+    m.nodeId = nodeId;
+    m.anchorOp = n.op;
+    m.anchorWidth = n.width;
+    m.site = std::move(site);
+    out.push_back(std::move(m));
+}
+
+void
+pushPortSite(std::vector<Mutation> &out, const Design &design,
+             MutationOp op, const PortField &field)
+{
+    const ExprNode &n = design.nodes()[field.anchor.id];
+    Mutation m;
+    m.op = op;
+    m.memId = field.memId;
+    m.portIdx = field.portIdx;
+    m.anchorOp = n.op;
+    m.anchorWidth = n.width;
+    m.site = field.site;
+    out.push_back(std::move(m));
+}
+
+void
+enumerateOp(std::vector<Mutation> &out, const Design &design,
+            MutationOp op,
+            const std::map<std::uint32_t, std::string> &names)
+{
+    const auto &nodes = design.nodes();
+    switch (op) {
+      case MutationOp::StuckAt0:
+      case MutationOp::StuckAt1: {
+        std::uint32_t forced = op == MutationOp::StuckAt1 ? 1 : 0;
+        for (std::uint32_t id : controlSites(design)) {
+            // Forcing a constant to its own value is the identity
+            // mutation; enumerate only genuine changes.
+            if (nodes[id].op == Op::Const && nodes[id].imm == forced)
+                continue;
+            pushSite(out, design, op, id, siteOfNode(names, id));
+        }
+        break;
+      }
+      case MutationOp::CondInvert: {
+        for (std::uint32_t id = 0; id < nodes.size(); ++id)
+            if (nodes[id].op == Op::Eq || nodes[id].op == Op::Ne)
+                pushSite(out, design, op, id, siteOfNode(names, id));
+        // Also complement 1-bit register next-state functions whose
+        // root is not already a comparison (handled above).
+        for (std::uint32_t r = 0; r < design.regs().size(); ++r) {
+            const RegDecl &reg = design.regs()[r];
+            if (reg.width != 1 || !reg.next.valid())
+                continue;
+            const ExprNode &root = nodes[reg.next.id];
+            if (root.op == Op::Eq || root.op == Op::Ne)
+                continue;
+            Mutation m;
+            m.op = op;
+            m.regIdx = r;
+            m.anchorOp = root.op;
+            m.anchorWidth = root.width;
+            m.site = catStr("reg.", reg.name, ".next");
+            out.push_back(std::move(m));
+        }
+        break;
+      }
+      case MutationOp::MuxArmSwap: {
+        for (std::uint32_t id = 0; id < nodes.size(); ++id) {
+            const ExprNode &n = nodes[id];
+            // mux(sel, x, x) swaps to itself; skip the identity.
+            if (n.op == Op::Mux && !(n.a == n.b))
+                pushSite(out, design, op, id, siteOfNode(names, id));
+        }
+        break;
+      }
+      case MutationOp::ConstOffByOne: {
+        for (std::uint32_t id = 0; id < nodes.size(); ++id)
+            if (nodes[id].op == Op::Const)
+                pushSite(out, design, op, id, siteOfNode(names, id));
+        break;
+      }
+      case MutationOp::WriteEnableDrop:
+      case MutationOp::WriteEnableStuck: {
+        for (const PortField &f : writePortFields(design, "enable"))
+            pushPortSite(out, design, op, f);
+        break;
+      }
+      case MutationOp::WriteAddrOffByOne: {
+        for (const PortField &f : writePortFields(design, "addr"))
+            pushPortSite(out, design, op, f);
+        break;
+      }
+      case MutationOp::WriteDataOffByOne: {
+        for (const PortField &f : writePortFields(design, "data"))
+            pushPortSite(out, design, op, f);
+        break;
+      }
+    }
+}
+
+/** xorshift32; the repo's test-fuzz generator family. */
+std::uint32_t
+nextRand(std::uint32_t &state)
+{
+    state ^= state << 13;
+    state ^= state >> 17;
+    state ^= state << 5;
+    return state;
+}
+
+/** Append a fresh node (legal only for sequential-frontier uses). */
+Signal
+appendNode(Design &design, ExprNode node)
+{
+    auto &nodes = Design::MutationAccess::nodes(design);
+    node.mask = lowMask(node.width);
+    nodes.push_back(node);
+    return Signal{static_cast<std::uint32_t>(nodes.size() - 1)};
+}
+
+Signal
+appendConst(Design &design, unsigned width, std::uint32_t value)
+{
+    ExprNode n;
+    n.op = Op::Const;
+    n.width = static_cast<std::uint8_t>(width);
+    n.imm = value & lowMask(width);
+    return appendNode(design, n);
+}
+
+/** value + 1 over the same width, as an appended Add node. */
+Signal
+appendIncrement(Design &design, Signal value)
+{
+    // Copy the width out: appendConst grows the node vector, which
+    // would invalidate any reference into it.
+    const std::uint8_t width = design.nodes()[value.id].width;
+    Signal one = appendConst(design, width, 1);
+    ExprNode add;
+    add.op = Op::Add;
+    add.width = width;
+    add.a = value;
+    add.b = one;
+    return appendNode(design, add);
+}
+
+void
+checkAnchor(const Mutation &mutation, const ExprNode &node)
+{
+    if (node.op != mutation.anchorOp
+        || node.width != mutation.anchorWidth) {
+        RC_FATAL("mutation ", mutation.describe(),
+                 " does not match the target design: anchor drifted");
+    }
+}
+
+} // namespace
+
+std::string
+mutationOpName(MutationOp op)
+{
+    return opNames[static_cast<std::size_t>(op)].name;
+}
+
+std::optional<MutationOp>
+mutationOpFromName(const std::string &name)
+{
+    for (const OpName &entry : opNames)
+        if (name == entry.name)
+            return entry.op;
+    return std::nullopt;
+}
+
+std::string
+Mutation::describe() const
+{
+    return catStr(mutationOpName(op), " @ ", site);
+}
+
+std::string
+Mutation::key() const
+{
+    if (memId != invalidIndex)
+        return catStr(mutationOpName(op), ":m", memId, ".p", portIdx);
+    if (regIdx != invalidIndex)
+        return catStr(mutationOpName(op), ":r", regIdx);
+    return catStr(mutationOpName(op), ":n", nodeId);
+}
+
+std::vector<Mutation>
+enumerateMutations(const Design &design, const MutateOptions &options)
+{
+    std::vector<MutationOp> ops = options.ops;
+    if (ops.empty()) {
+        for (const OpName &entry : opNames)
+            ops.push_back(entry.op);
+    }
+
+    auto names = nameByNode(design);
+    std::vector<Mutation> all;
+    for (MutationOp op : ops)
+        enumerateOp(all, design, op, names);
+
+    if (options.budget == 0 || all.size() <= options.budget)
+        return all;
+
+    // Seeded Fisher-Yates over the index set; the surviving indices
+    // are re-sorted so the sampled list keeps catalog order.
+    std::vector<std::size_t> idx(all.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    std::uint32_t state = options.seed * 2654435761u + 1;
+    for (std::size_t i = idx.size() - 1; i > 0; --i) {
+        std::size_t j = nextRand(state) % (i + 1);
+        std::swap(idx[i], idx[j]);
+    }
+    idx.resize(options.budget);
+    std::sort(idx.begin(), idx.end());
+
+    std::vector<Mutation> sampled;
+    sampled.reserve(options.budget);
+    for (std::size_t i : idx)
+        sampled.push_back(all[i]);
+    return sampled;
+}
+
+Design
+applyMutation(const Design &design, const Mutation &mutation)
+{
+    Design mutant = design;
+    auto &nodes = Design::MutationAccess::nodes(mutant);
+    auto &regs = Design::MutationAccess::regs(mutant);
+    auto &mems = Design::MutationAccess::mems(mutant);
+
+    auto portOf = [&]() -> MemWritePort & {
+        RC_ASSERT(mutation.memId < mems.size()
+                      && mutation.portIdx
+                             < mems[mutation.memId].writePorts.size(),
+                  "mutation write port out of range: ",
+                  mutation.describe());
+        return mems[mutation.memId].writePorts[mutation.portIdx];
+    };
+
+    switch (mutation.op) {
+      case MutationOp::StuckAt0:
+      case MutationOp::StuckAt1: {
+        RC_ASSERT(mutation.nodeId < nodes.size(),
+                  "mutation node out of range: ", mutation.describe());
+        ExprNode &n = nodes[mutation.nodeId];
+        checkAnchor(mutation, n);
+        std::uint8_t width = n.width;
+        n = ExprNode{};
+        n.op = Op::Const;
+        n.width = width;
+        n.imm = mutation.op == MutationOp::StuckAt1 ? 1 : 0;
+        n.mask = lowMask(width);
+        break;
+      }
+      case MutationOp::CondInvert: {
+        if (mutation.regIdx != Mutation::invalidIndex) {
+            RC_ASSERT(mutation.regIdx < regs.size(),
+                      "mutation register out of range: ",
+                      mutation.describe());
+            RegDecl &reg = regs[mutation.regIdx];
+            checkAnchor(mutation, nodes[reg.next.id]);
+            ExprNode inv;
+            inv.op = Op::Not;
+            inv.width = 1;
+            inv.a = reg.next;
+            reg.next = appendNode(mutant, inv);
+        } else {
+            RC_ASSERT(mutation.nodeId < nodes.size(),
+                      "mutation node out of range: ",
+                      mutation.describe());
+            ExprNode &n = nodes[mutation.nodeId];
+            checkAnchor(mutation, n);
+            n.op = n.op == Op::Eq ? Op::Ne : Op::Eq;
+        }
+        break;
+      }
+      case MutationOp::MuxArmSwap: {
+        RC_ASSERT(mutation.nodeId < nodes.size(),
+                  "mutation node out of range: ", mutation.describe());
+        ExprNode &n = nodes[mutation.nodeId];
+        checkAnchor(mutation, n);
+        std::swap(n.a, n.b);
+        break;
+      }
+      case MutationOp::ConstOffByOne: {
+        RC_ASSERT(mutation.nodeId < nodes.size(),
+                  "mutation node out of range: ", mutation.describe());
+        ExprNode &n = nodes[mutation.nodeId];
+        checkAnchor(mutation, n);
+        n.imm = (n.imm + 1) & lowMask(n.width);
+        break;
+      }
+      case MutationOp::WriteEnableDrop: {
+        MemWritePort &port = portOf();
+        checkAnchor(mutation, nodes[port.enable.id]);
+        port.enable = appendConst(mutant, 1, 0);
+        break;
+      }
+      case MutationOp::WriteEnableStuck: {
+        MemWritePort &port = portOf();
+        checkAnchor(mutation, nodes[port.enable.id]);
+        port.enable = appendConst(mutant, 1, 1);
+        break;
+      }
+      case MutationOp::WriteAddrOffByOne: {
+        MemWritePort &port = portOf();
+        checkAnchor(mutation, nodes[port.addr.id]);
+        port.addr = appendIncrement(mutant, port.addr);
+        break;
+      }
+      case MutationOp::WriteDataOffByOne: {
+        MemWritePort &port = portOf();
+        checkAnchor(mutation, nodes[port.data.id]);
+        port.data = appendIncrement(mutant, port.data);
+        break;
+      }
+    }
+    return mutant;
+}
+
+} // namespace rtlcheck::rtl

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Netlist mutation testing: mechanical derivation of faulty designs.
+ *
+ * Hand-picked fault variants (vscale::MemoryVariant) demonstrate that
+ * the generated assumptions/assertions catch *some* bugs; a mutation
+ * campaign asks how much of the fault space the litmus suite covers.
+ * This module supplies the fault half: a catalog of semantic mutation
+ * operators over the RTL expression DAG and the sequential frontier,
+ * an enumerator that lists every applicable site of a design, and an
+ * applicator that produces a mutated copy.
+ *
+ * Mutations are expressed in *design space* (pre-optimization node
+ * ids, memory write-port indices, register indices). The Multi-V-scale
+ * builder emits an identical node structure for every litmus test —
+ * only ROM/memory initial contents differ — so one enumeration on a
+ * reference design transfers to every test's SoC; applyMutation
+ * re-validates the site against a structural fingerprint and fails
+ * loudly if the anchor drifted.
+ *
+ * Two site classes keep every mutant a well-formed design:
+ *
+ *  - In-place node rewrites (stuck-at, condition inversion, mux arm
+ *    swap, constant off-by-one) replace one ExprNode with another over
+ *    the same or lower operand ids, so the topological evaluation
+ *    order is untouched.
+ *  - Sequential-frontier retargets (write-enable drop/stuck, write
+ *    address/data off-by-one, register-next inversion) append fresh
+ *    nodes at the end of the DAG and repoint a MemWritePort field or
+ *    a RegDecl::next at them — legal because the frontier is read
+ *    only after the full combinational evaluation of a cycle.
+ *
+ * No operator ever adds/removes state, inputs, memories, or names, so
+ * the mutant elaborates to a Netlist with the *identical* state-vector
+ * layout, slot maps, and input layout: predicate tables, assumption
+ * pins, witness traces, and waveform replay carry over unchanged.
+ */
+
+#ifndef RTLCHECK_RTL_MUTATE_HH
+#define RTLCHECK_RTL_MUTATE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtl/design.hh"
+
+namespace rtlcheck::rtl {
+
+/** Semantic fault operators. WriteEnableDrop is the class that
+ *  subsumes the paper's §7.1 V-scale store-drop bug: a store whose
+ *  commit into the memory array silently never happens. */
+enum class MutationOp : std::uint8_t
+{
+    StuckAt0,          ///< 1-bit control node forced to 0
+    StuckAt1,          ///< 1-bit control node forced to 1
+    CondInvert,        ///< comparison inverted (Eq<->Ne) or a 1-bit
+                       ///< register's next-state complemented
+    MuxArmSwap,        ///< Mux then/else arms exchanged
+    ConstOffByOne,     ///< literal incremented modulo its width
+    WriteEnableDrop,   ///< memory write port never fires (§7.1 class)
+    WriteEnableStuck,  ///< memory write port always fires
+    WriteAddrOffByOne, ///< writes land one word above their address
+    WriteDataOffByOne, ///< written data incremented by one
+};
+
+constexpr int numMutationOps = 9;
+
+std::string mutationOpName(MutationOp op);
+/** Parse a kebab-case operator name ("write-enable-drop");
+ *  std::nullopt on anything else so CLIs can reject bad values. */
+std::optional<MutationOp> mutationOpFromName(const std::string &name);
+
+/**
+ * One mutation site. Node-site operators use `nodeId` (design-space);
+ * write-port operators use (`memId`, `portIdx`); CondInvert on a
+ * register's next-state uses `regIdx`. The op/width fingerprint of
+ * the anchor is recorded at enumeration and re-checked at apply time.
+ */
+struct Mutation
+{
+    static constexpr std::uint32_t invalidIndex = 0xffffffffu;
+
+    MutationOp op = MutationOp::StuckAt0;
+    std::uint32_t nodeId = invalidIndex;
+    std::uint32_t memId = invalidIndex;
+    std::uint32_t portIdx = 0;
+    std::uint32_t regIdx = invalidIndex;
+
+    /** Structural fingerprint of the anchor at enumeration time. */
+    Op anchorOp = Op::Const;
+    std::uint8_t anchorWidth = 0;
+
+    /** Human-readable site anchor, e.g. "mem.dmem.wp0.enable" or
+     *  "node 812 (sel of core1.PC_IF mux)". */
+    std::string site;
+
+    /** "write-enable-drop @ mem.dmem.wp0.enable". */
+    std::string describe() const;
+    /** Stable identity for dedup/reporting, independent of `site`. */
+    std::string key() const;
+};
+
+struct MutateOptions
+{
+    /** Operators to enumerate; empty = the full catalog. */
+    std::vector<MutationOp> ops;
+    /** Mutant budget after deterministic seed-driven sampling;
+     *  0 = every enumerated site. */
+    std::size_t budget = 0;
+    /** Sampling seed (only consulted when budget truncates). */
+    std::uint32_t seed = 1;
+};
+
+/**
+ * Enumerate every applicable mutation of `design`, in deterministic
+ * (operator-catalog, site-index) order. With a budget smaller than
+ * the site count, a seeded Fisher-Yates pass picks the subset — the
+ * same (design, options) always yields the same mutant list.
+ */
+std::vector<Mutation> enumerateMutations(const Design &design,
+                                         const MutateOptions &options);
+
+/**
+ * Apply one mutation to a copy of `design`. Fatal when the site no
+ * longer matches its enumeration-time fingerprint (the design the
+ * mutation was enumerated on is structurally different).
+ */
+Design applyMutation(const Design &design, const Mutation &mutation);
+
+} // namespace rtlcheck::rtl
+
+#endif // RTLCHECK_RTL_MUTATE_HH

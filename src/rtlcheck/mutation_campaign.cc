@@ -1,0 +1,482 @@
+#include "rtlcheck/mutation_campaign.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "formal/miter.hh"
+#include "litmus/suite.hh"
+#include "rtl/simulator.hh"
+#include "sva/trace_checker.hh"
+
+namespace rtlcheck::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Pristine per-test artifacts, built once and shared read-only by
+ *  every mutant lane. The design is stored post-mapping so predicate
+ *  signal ids are valid in both the pristine and any mutant design
+ *  (mutations rewrite in place or append past the end). */
+struct CampaignTestContext
+{
+    const litmus::Test *test = nullptr;
+    rtl::Design design;
+    sva::PredicateTable preds;
+    AssumptionSet assumptions;
+    std::vector<sva::Property> properties;
+    rtl::NetlistOptions nopts;
+    std::unique_ptr<rtl::Netlist> netlist;
+    bool pristineClean = false;
+};
+
+/** Mirror of the runner's assumption filtering (ablation flags). */
+std::vector<formal::Assumption>
+resolveFiltered(const AssumptionSet &assumptions,
+                const rtl::Netlist &netlist, const RunOptions &run)
+{
+    std::vector<formal::Assumption> resolved =
+        assumptions.resolve(netlist);
+    if (run.useValueAssumptions && run.useFinalValueCover)
+        return resolved;
+    std::vector<formal::Assumption> kept;
+    for (auto &a : resolved) {
+        if (!run.useValueAssumptions &&
+            a.kind == formal::Assumption::Kind::Implication)
+            continue;
+        if (!run.useFinalValueCover &&
+            a.kind == formal::Assumption::Kind::FinalValueCover)
+            continue;
+        kept.push_back(std::move(a));
+    }
+    return kept;
+}
+
+void
+buildBareSoc(rtl::Design &design, const litmus::Test &test,
+             const RunOptions &run)
+{
+    vscale::Program program = vscale::lower(test);
+    if (run.pipeline == Pipeline::StoreBuffer)
+        vscale::buildTsoSoc(design, program);
+    else
+        vscale::buildSoc(design, program, run.variant);
+}
+
+CampaignTestContext
+buildCampaignContext(const litmus::Test &test, const uspec::Model &model,
+                     const RunOptions &run)
+{
+    CampaignTestContext ctx;
+    ctx.test = &test;
+    vscale::Program program = vscale::lower(test);
+    if (run.pipeline == Pipeline::StoreBuffer)
+        vscale::buildTsoSoc(ctx.design, program);
+    else
+        vscale::buildSoc(ctx.design, program, run.variant);
+
+    VscaleNodeMapping mapping(ctx.design, ctx.preds, program);
+    ctx.assumptions =
+        generateAssumptions(ctx.design, ctx.preds, program, mapping);
+    ctx.properties = generateAssertions(model, test, mapping,
+                                        ctx.preds, run.encoding);
+
+    ctx.nopts.enable = run.optimizeNetlist;
+    if (run.optimizeNetlist) {
+        ctx.nopts.coneOfInfluence = true;
+        for (int i = 0; i < ctx.preds.size(); ++i)
+            ctx.nopts.keepSignals.push_back(ctx.preds.signalOf(i));
+    }
+    ctx.netlist =
+        std::make_unique<rtl::Netlist>(ctx.design, ctx.nopts);
+    return ctx;
+}
+
+/** Decode one witness combo byte into the netlist's input vector
+ *  (LSB-first concatenation, the engine's witness byte format). */
+rtl::InputVec
+decodeCombo(const rtl::Netlist &netlist, std::uint8_t combo)
+{
+    rtl::InputVec inputs(netlist.numInputs());
+    unsigned shift = 0;
+    for (std::size_t i = 0; i < netlist.numInputs(); ++i) {
+        unsigned width = netlist.inputs()[i].width;
+        inputs[i] = (combo >> shift) & ((1u << width) - 1);
+        shift += width;
+    }
+    return inputs;
+}
+
+/** Replay an assertion counterexample on the mutant simulator and
+ *  check the property's NFA fails over the simulated predicate
+ *  trace — the assertion-side analogue of witnessExhibitsOutcome. */
+bool
+replayAssertionCex(const CampaignTestContext &ctx,
+                   const rtl::Netlist &mut_netlist,
+                   const std::vector<formal::Assumption> &resolved,
+                   const std::string &prop_name,
+                   const formal::WitnessTrace &trace)
+{
+    const sva::Property *prop = nullptr;
+    for (const sva::Property &p : ctx.properties)
+        if (p.name == prop_name)
+            prop = &p;
+    if (!prop)
+        return false;
+
+    std::vector<std::pair<std::size_t, std::uint32_t>> pins;
+    for (const formal::Assumption &a : resolved)
+        if (a.kind == formal::Assumption::Kind::InitialPin)
+            pins.push_back({a.stateSlot, a.value});
+
+    rtl::Simulator sim(mut_netlist);
+    sim.resetWith(pins);
+    sva::Trace pred_trace;
+    for (std::uint8_t combo : trace.inputs) {
+        sim.step(decodeCombo(mut_netlist, combo));
+        sva::PredMask mask{};
+        for (int p = 0; p < ctx.preds.size(); ++p) {
+            if (sim.lastValue(ctx.preds.signalOf(p)))
+                mask[static_cast<std::size_t>(p) / 64] |=
+                    std::uint64_t(1) << (p % 64);
+        }
+        pred_trace.push_back(mask);
+    }
+    return sva::checkFireOnce(*prop, pred_trace) == sva::Tri::Failed;
+}
+
+MutantReport
+runOneMutant(const rtl::Mutation &mutation,
+             const std::vector<CampaignTestContext> &ctxs,
+             const MutationCampaignOptions &options,
+             const RunOptions &run)
+{
+    auto t0 = Clock::now();
+    MutantReport rep;
+    rep.mutation = mutation;
+
+    bool killed = false;
+    bool considered = false;
+    bool all_equivalent = true;
+    for (const CampaignTestContext &ctx : ctxs) {
+        if (!ctx.pristineClean)
+            continue;
+        considered = true;
+
+        rtl::Design mut_design = rtl::applyMutation(ctx.design,
+                                                    mutation);
+        rtl::Netlist mut_netlist(mut_design, ctx.nopts);
+
+        // Per-test equivalence check: the instruction ROM folds the
+        // program into the cone, so equivalence is per test. UNSAT
+        // here means this test cannot distinguish the mutant.
+        formal::MiterResult miter = formal::proveTransitionEquivalent(
+            *ctx.netlist, mut_netlist, ctx.preds,
+            options.miterConflictBudget, run.config.cancel);
+        rep.miterSeconds += miter.seconds;
+        if (miter.verdict == formal::EquivVerdict::Equivalent) {
+            ++rep.testsSkippedEquivalent;
+            continue;
+        }
+        all_equivalent = false;
+        if (rep.firstDiff.empty() && !miter.firstDiff.empty())
+            rep.firstDiff = miter.firstDiff;
+
+        auto t_verify = Clock::now();
+        std::vector<formal::Assumption> resolved =
+            resolveFiltered(ctx.assumptions, mut_netlist, run);
+        formal::VerifyResult verdict =
+            formal::verify(mut_netlist, ctx.preds, resolved,
+                           ctx.properties, run.config,
+                           run.graphCache);
+        ++rep.testsRun;
+        const double verify_seconds = secondsSince(t_verify);
+        if (verdict.clean())
+            continue;
+
+        KillCell cell;
+        cell.testName = ctx.test->name;
+        cell.seconds = verify_seconds;
+        const formal::WitnessTrace *trace = nullptr;
+        if (verdict.coverReached && verdict.coverWitness) {
+            cell.property = "outcome-cover";
+            trace = &*verdict.coverWitness;
+        } else {
+            for (const formal::PropertyResult &p : verdict.properties) {
+                if (p.status != formal::ProofStatus::Falsified)
+                    continue;
+                cell.property = p.name;
+                if (p.counterexample)
+                    trace = &*p.counterexample;
+                break;
+            }
+        }
+        if (trace) {
+            cell.witnessDepth = trace->inputs.size();
+            if (options.replayWitnesses) {
+                if (cell.property == "outcome-cover") {
+                    RunOptions patched = run;
+                    patched.designPatch = [&mutation](rtl::Design &d) {
+                        d = rtl::applyMutation(d, mutation);
+                    };
+                    cell.witnessReplayed = witnessExhibitsOutcome(
+                        *ctx.test, patched, *trace);
+                } else {
+                    cell.witnessReplayed = replayAssertionCex(
+                        ctx, mut_netlist, resolved, cell.property,
+                        *trace);
+                }
+            }
+        }
+        rep.kills.push_back(std::move(cell));
+        killed = true;
+        if (!options.fullMatrix)
+            break;
+    }
+
+    if (killed)
+        rep.fate = MutantFate::Killed;
+    else if (considered && all_equivalent)
+        rep.fate = MutantFate::Equivalent;
+    else
+        rep.fate = MutantFate::Survived;
+    rep.seconds = secondsSince(t0);
+    return rep;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+mutantFateName(MutantFate fate)
+{
+    switch (fate) {
+      case MutantFate::Equivalent: return "equivalent";
+      case MutantFate::Killed: return "killed";
+      case MutantFate::Survived: return "survived";
+    }
+    return "?";
+}
+
+std::size_t
+CampaignReport::numKilled() const
+{
+    std::size_t n = 0;
+    for (const MutantReport &m : mutants)
+        n += m.fate == MutantFate::Killed;
+    return n;
+}
+
+std::size_t
+CampaignReport::numSurvived() const
+{
+    std::size_t n = 0;
+    for (const MutantReport &m : mutants)
+        n += m.fate == MutantFate::Survived;
+    return n;
+}
+
+std::size_t
+CampaignReport::numEquivalent() const
+{
+    std::size_t n = 0;
+    for (const MutantReport &m : mutants)
+        n += m.fate == MutantFate::Equivalent;
+    return n;
+}
+
+double
+CampaignReport::mutationScore() const
+{
+    const std::size_t killed = numKilled();
+    const std::size_t live = killed + numSurvived();
+    return live ? static_cast<double>(killed) / live : 1.0;
+}
+
+std::string
+CampaignReport::renderTable() const
+{
+    std::ostringstream out;
+    std::size_t site_width = 12;
+    for (const MutantReport &m : mutants)
+        site_width = std::max(site_width, m.mutation.describe().size());
+
+    out << "  " << std::left << std::setw(11) << "fate"
+        << std::setw(static_cast<int>(site_width) + 2) << "mutant"
+        << std::setw(12) << "killed-by" << std::setw(26) << "property"
+        << std::right << std::setw(6) << "depth" << std::setw(9)
+        << "time" << "\n";
+    for (const MutantReport &m : mutants) {
+        out << "  " << std::left << std::setw(11)
+            << mutantFateName(m.fate)
+            << std::setw(static_cast<int>(site_width) + 2)
+            << m.mutation.describe();
+        if (m.kills.empty()) {
+            out << std::setw(12)
+                << (m.fate == MutantFate::Equivalent ? "(pruned)"
+                                                     : "-")
+                << std::setw(26) << "-" << std::right << std::setw(6)
+                << "-" << std::setw(9) << "-";
+        } else {
+            const KillCell &k = m.kills.front();
+            out << std::setw(12) << k.testName << std::setw(26)
+                << k.property << std::right << std::setw(6)
+                << k.witnessDepth << std::setw(8) << std::fixed
+                << std::setprecision(2) << k.seconds << "s";
+        }
+        out << "\n";
+        for (std::size_t i = 1; i < m.kills.size(); ++i) {
+            const KillCell &k = m.kills[i];
+            out << "  " << std::left << std::setw(11) << ""
+                << std::setw(static_cast<int>(site_width) + 2) << ""
+                << std::setw(12) << k.testName << std::setw(26)
+                << k.property << std::right << std::setw(6)
+                << k.witnessDepth << std::setw(8) << std::fixed
+                << std::setprecision(2) << k.seconds << "s\n";
+        }
+    }
+    out << "\n  mutants: " << mutants.size() << "  killed: "
+        << numKilled() << "  survived: " << numSurvived()
+        << "  equivalent(pruned): " << numEquivalent()
+        << "  score: " << std::fixed << std::setprecision(3)
+        << mutationScore() << "\n";
+    return out.str();
+}
+
+std::string
+CampaignReport::renderJson() const
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(6);
+    out << "{\n";
+    out << "  \"mutants\": " << mutants.size() << ",\n";
+    out << "  \"killed\": " << numKilled() << ",\n";
+    out << "  \"survived\": " << numSurvived() << ",\n";
+    out << "  \"equivalent\": " << numEquivalent() << ",\n";
+    out << "  \"mutationScore\": " << mutationScore() << ",\n";
+    out << "  \"wallSeconds\": " << wallSeconds << ",\n";
+    out << "  \"jobs\": " << jobs << ",\n";
+    out << "  \"tests\": [";
+    for (std::size_t i = 0; i < testNames.size(); ++i)
+        out << (i ? ", " : "") << '"' << jsonEscape(testNames[i])
+            << '"';
+    out << "],\n";
+    out << "  \"excludedTests\": [";
+    for (std::size_t i = 0; i < excludedTests.size(); ++i)
+        out << (i ? ", " : "") << '"' << jsonEscape(excludedTests[i])
+            << '"';
+    out << "],\n";
+    out << "  \"matrix\": [\n";
+    for (std::size_t i = 0; i < mutants.size(); ++i) {
+        const MutantReport &m = mutants[i];
+        out << "    {\"op\": \"" << mutationOpName(m.mutation.op)
+            << "\", \"site\": \"" << jsonEscape(m.mutation.site)
+            << "\", \"fate\": \"" << mutantFateName(m.fate)
+            << "\", \"testsRun\": " << m.testsRun
+            << ", \"testsSkippedEquivalent\": "
+            << m.testsSkippedEquivalent
+            << ", \"miterSeconds\": " << m.miterSeconds
+            << ", \"seconds\": " << m.seconds;
+        if (!m.firstDiff.empty())
+            out << ", \"firstDiff\": \"" << jsonEscape(m.firstDiff)
+                << '"';
+        out << ", \"kills\": [";
+        for (std::size_t k = 0; k < m.kills.size(); ++k) {
+            const KillCell &c = m.kills[k];
+            out << (k ? ", " : "") << "{\"test\": \""
+                << jsonEscape(c.testName) << "\", \"property\": \""
+                << jsonEscape(c.property) << "\", \"witnessDepth\": "
+                << c.witnessDepth << ", \"seconds\": " << c.seconds
+                << ", \"witnessReplayed\": "
+                << (c.witnessReplayed ? "true" : "false") << "}";
+        }
+        out << "]}" << (i + 1 < mutants.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.str();
+}
+
+CampaignReport
+runMutationCampaign(const uspec::Model &model,
+                    const std::vector<litmus::Test> &tests,
+                    const MutationCampaignOptions &options)
+{
+    RC_ASSERT(!tests.empty(), "mutation campaign needs litmus tests");
+    RC_ASSERT(!options.run.designPatch,
+              "the campaign owns RunOptions::designPatch");
+
+    auto t0 = Clock::now();
+    CampaignReport report;
+    report.jobs =
+        options.jobs ? options.jobs : ThreadPool::defaultJobs();
+
+    RunOptions run = options.run;
+    formal::GraphCache local_cache;
+    if (!run.graphCache)
+        run.graphCache = &local_cache;
+
+    // Enumerate sites on the bare SoC (pre-mapping, so predicate
+    // observer logic is never a mutation target). The structure is
+    // program-independent, so the first test's design stands in for
+    // all of them; applyMutation re-checks every anchor per test.
+    std::vector<rtl::Mutation> mutations;
+    {
+        rtl::Design bare;
+        buildBareSoc(bare, tests[0], run);
+        mutations = rtl::enumerateMutations(bare, options.mutate);
+    }
+
+    // Pristine pass: per-test artifacts plus the baseline verdict.
+    // Tests the pristine design fails cannot witness a kill.
+    std::vector<CampaignTestContext> ctxs(tests.size());
+    ThreadPool pool(report.jobs);
+    pool.parallelFor(tests.size(), [&](std::size_t i) {
+        ctxs[i] = buildCampaignContext(tests[i], model, run);
+        formal::VerifyResult v = formal::verify(
+            *ctxs[i].netlist, ctxs[i].preds,
+            resolveFiltered(ctxs[i].assumptions, *ctxs[i].netlist,
+                            run),
+            ctxs[i].properties, run.config, run.graphCache);
+        ctxs[i].pristineClean = v.clean();
+    });
+    for (const CampaignTestContext &ctx : ctxs) {
+        if (ctx.pristineClean)
+            report.testNames.push_back(ctx.test->name);
+        else
+            report.excludedTests.push_back(ctx.test->name);
+    }
+
+    report.mutants.resize(mutations.size());
+    pool.parallelFor(mutations.size(), [&](std::size_t mi) {
+        report.mutants[mi] =
+            runOneMutant(mutations[mi], ctxs, options, run);
+    });
+
+    report.wallSeconds = secondsSince(t0);
+    return report;
+}
+
+} // namespace rtlcheck::core

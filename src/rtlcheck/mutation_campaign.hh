@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Mutation-testing campaign over the litmus suite.
+ *
+ * The fault-injection tests show the generated properties catch four
+ * hand-picked memory bugs; the campaign turns that spot check into a
+ * measurement. Every mutant from the rtl::mutate catalog is taken
+ * through three stages:
+ *
+ *  1. SAT miter against the pristine netlist (per litmus test, since
+ *     the instruction ROM folds the program into the cone): a mutant
+ *     proven equivalent on *every* test is pruned — no test could
+ *     ever kill it, so it must not count against the suite. An UNSAT
+ *     miter on a single test skips just that test.
+ *  2. Verification of the mutant against each remaining test with
+ *     the configured engine. A test *kills* the mutant when a test
+ *     that is clean on the pristine design reaches the forbidden
+ *     outcome or falsifies a generated assertion on the mutant.
+ *  3. Witness validation: covering traces are replayed on the mutant
+ *     RTL simulator via RunOptions::designPatch and must exhibit the
+ *     test outcome; assertion counterexamples are replayed against
+ *     the property's NFA over the simulated predicate trace.
+ *
+ * The result is a kill matrix — mutant × (killing test, property,
+ * witness depth, time) — a mutation score over the non-equivalent
+ * mutants, and the list of survivors: live mutants no litmus test
+ * distinguishes, each a concrete gap in the generated properties.
+ */
+
+#ifndef RTLCHECK_RTLCHECK_MUTATION_CAMPAIGN_HH
+#define RTLCHECK_RTLCHECK_MUTATION_CAMPAIGN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "litmus/test.hh"
+#include "rtl/mutate.hh"
+#include "rtlcheck/runner.hh"
+#include "uspec/ast.hh"
+
+namespace rtlcheck::core {
+
+struct MutationCampaignOptions
+{
+    /** Base flow options: pipeline, variant, engine config, graph
+     *  cache. `run.designPatch` must be empty — the campaign owns
+     *  fault injection. ISSUE-default engine for campaigns is the
+     *  portfolio with early falsification on. */
+    RunOptions run;
+    /** Operator selection, mutant budget, sampling seed. */
+    rtl::MutateOptions mutate;
+    /** CDCL conflict budget per miter call (0 = unlimited); over
+     *  budget means "not proven equivalent" and the mutant runs. */
+    std::uint64_t miterConflictBudget = 100000;
+    /** Keep verifying past the first kill, filling the whole row of
+     *  the kill matrix (slower; default stops at first blood). */
+    bool fullMatrix = false;
+    /** Replay every kill's witness on the mutant RTL simulator. */
+    bool replayWitnesses = true;
+    /** Mutant-level parallel lanes (0 = ThreadPool::defaultJobs). */
+    std::size_t jobs = 0;
+};
+
+/** One cell of the kill matrix. */
+struct KillCell
+{
+    std::string testName;
+    /** "outcome-cover" for a reachable forbidden outcome, otherwise
+     *  the name of the first falsified assertion. */
+    std::string property;
+    /** Length (cycles) of the killing witness trace. */
+    std::size_t witnessDepth = 0;
+    /** Verification wall-clock for this (mutant, test) pair. */
+    double seconds = 0.0;
+    /** The witness replayed successfully on the mutant simulator. */
+    bool witnessReplayed = false;
+};
+
+enum class MutantFate
+{
+    Equivalent, ///< miter-proven equivalent on every test; pruned
+    Killed,     ///< at least one litmus test distinguishes it
+    Survived,   ///< live and never distinguished: a property gap
+};
+
+std::string mutantFateName(MutantFate fate);
+
+struct MutantReport
+{
+    rtl::Mutation mutation;
+    MutantFate fate = MutantFate::Survived;
+    std::vector<KillCell> kills;
+    /** Tests skipped by a per-test equivalence proof. */
+    std::size_t testsSkippedEquivalent = 0;
+    /** Tests actually verified against this mutant. */
+    std::size_t testsRun = 0;
+    /** Total miter wall-clock across tests. */
+    double miterSeconds = 0.0;
+    /** First differing observable from the first SAT miter. */
+    std::string firstDiff;
+    /** Total wall-clock spent on this mutant. */
+    double seconds = 0.0;
+};
+
+struct CampaignReport
+{
+    std::vector<MutantReport> mutants;
+    /** Tests the campaign ran, in order; kills reference these. */
+    std::vector<std::string> testNames;
+    /** Tests excluded because the pristine design is not clean on
+     *  them (they cannot witness a kill). */
+    std::vector<std::string> excludedTests;
+    double wallSeconds = 0.0;
+    std::size_t jobs = 1;
+
+    std::size_t numKilled() const;
+    std::size_t numSurvived() const;
+    std::size_t numEquivalent() const;
+    /** killed / (killed + survived); equivalent mutants excluded.
+     *  1.0 when there are no non-equivalent mutants. */
+    double mutationScore() const;
+
+    /** Column-aligned kill matrix for terminals. */
+    std::string renderTable() const;
+    /** Machine-readable report (one JSON object). */
+    std::string renderJson() const;
+};
+
+/**
+ * Run the campaign: enumerate mutants of the (pipeline, variant)
+ * design, prune equivalents, verify the rest against `tests`, and
+ * assemble the kill matrix. Mutations are enumerated once on the
+ * first test's SoC and transfer to every test because the design
+ * structure is program-independent (programs only change memory
+ * initialization).
+ */
+CampaignReport runMutationCampaign(const uspec::Model &model,
+                                   const std::vector<litmus::Test> &tests,
+                                   const MutationCampaignOptions &options);
+
+} // namespace rtlcheck::core
+
+#endif // RTLCHECK_RTLCHECK_MUTATION_CAMPAIGN_HH

@@ -52,6 +52,8 @@ buildContext(const litmus::Test &test, const uspec::Model &model,
         vscale::buildTsoSoc(design, program);
     else
         vscale::buildSoc(design, program, options.variant);
+    if (options.designPatch)
+        options.designPatch(design);
 
     // Generate assumptions and assertions (this is the part the
     // paper reports takes "just seconds" per test).
@@ -243,6 +245,8 @@ replayToWaveform(const litmus::Test &test, const RunOptions &options,
         vscale::buildTsoSoc(design, program);
     else
         vscale::buildSoc(design, program, options.variant);
+    if (options.designPatch)
+        options.designPatch(design);
 
     // Re-apply the initial-state pins the assumptions established.
     sva::PredicateTable preds;
@@ -315,6 +319,8 @@ witnessExhibitsOutcome(const litmus::Test &test,
         vscale::buildTsoSoc(design, program);
     else
         vscale::buildSoc(design, program, options.variant);
+    if (options.designPatch)
+        options.designPatch(design);
 
     sva::PredicateTable preds;
     VscaleNodeMapping mapping(design, preds, program);

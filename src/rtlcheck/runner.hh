@@ -13,6 +13,7 @@
 #ifndef RTLCHECK_RTLCHECK_RUNNER_HH
 #define RTLCHECK_RTLCHECK_RUNNER_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -55,6 +56,12 @@ struct RunOptions
      *  is explored once and reused by every engine config whose
      *  budget it covers. */
     formal::GraphCache *graphCache = nullptr;
+    /** Optional hook applied to the freshly built design before
+     *  generation, elaboration, and witness replay. The mutation
+     *  campaign injects faults here, so counterexamples replay on
+     *  the same faulty RTL that was verified. Must not add or remove
+     *  state, inputs, or memories. */
+    std::function<void(rtl::Design &)> designPatch;
 };
 
 struct TestRun

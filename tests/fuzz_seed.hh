@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Seed override for the randomized test suites.
+ *
+ * Every fuzz loop derives its RNG stream from a fixed base seed so
+ * CI is deterministic. Setting RTLCHECK_TEST_SEED=<n> shifts every
+ * base by n, steering all the fuzzers onto fresh streams without a
+ * rebuild — useful both for widening coverage in soak runs and for
+ * reproducing a failure reported with its effective seed. Unset (or
+ * non-numeric) means offset 0: the checked-in behavior.
+ *
+ * On failure, tests must print the *effective* seed (the return
+ * value of fuzzSeed), which reproduces the run when exported back
+ * through RTLCHECK_TEST_SEED with the base subtracted — or, for
+ * parameterized suites, passed via --gtest_filter on the shifted
+ * instance.
+ */
+
+#ifndef RTLCHECK_TESTS_FUZZ_SEED_HH
+#define RTLCHECK_TESTS_FUZZ_SEED_HH
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace rtlcheck::testenv {
+
+/** Offset parsed once from RTLCHECK_TEST_SEED (0 when unset). */
+inline std::uint32_t
+fuzzSeedOffset()
+{
+    static const std::uint32_t offset = [] {
+        const char *env = std::getenv("RTLCHECK_TEST_SEED");
+        if (!env || !*env)
+            return 0u;
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end == env || *end != '\0')
+            return 0u;
+        return static_cast<std::uint32_t>(v);
+    }();
+    return offset;
+}
+
+/** Effective seed for a fuzz loop with the given base. */
+inline std::uint32_t
+fuzzSeed(std::uint32_t base)
+{
+    return base + fuzzSeedOffset();
+}
+
+} // namespace rtlcheck::testenv
+
+#endif // RTLCHECK_TESTS_FUZZ_SEED_HH

@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Tests for the mutation-testing subsystem: operator enumeration and
+ * application on small hand-built designs, layout preservation (the
+ * property that makes one predicate table serve pristine and mutant
+ * netlists), SAT-miter equivalence pruning, the RunOptions
+ * designPatch hook, and a small-budget campaign on the real
+ * Multi-V-scale design that must kill the §7.1 store-drop class with
+ * a simulator-replayable witness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "formal/miter.hh"
+#include "litmus/suite.hh"
+#include "rtl/mutate.hh"
+#include "rtl/simulator.hh"
+#include "rtlcheck/mutation_campaign.hh"
+#include "rtlcheck/runner.hh"
+#include "sva/predicates.hh"
+#include "uspec/multivscale.hh"
+
+namespace rtlcheck::rtl {
+namespace {
+
+/** A toy memory pipeline exercising every operator class: a write
+ *  port fed by inputs, a read-accumulate register behind a mux, and
+ *  a comparison-driven flag register. */
+struct TinyMem
+{
+    Design d;
+    MemHandle mem;
+    Signal en, addr, data;
+    Signal acc, flag, nonzero;
+
+    TinyMem()
+    {
+        en = d.addInput("en", 1);
+        addr = d.addInput("addr", 2);
+        data = d.addInput("data", 4);
+        mem = d.addMem("m", 4, 4);
+        d.addMemWrite(mem, en, addr, data);
+        Signal rdata = d.memRead(mem, addr);
+        acc = d.addReg("acc", 4, 0);
+        d.setNext(acc, d.mux(en, d.add(acc, rdata), acc));
+        flag = d.addReg("flag", 1, 0);
+        d.setNext(flag, d.eq(addr, d.constant(2, 3)));
+        nonzero = d.ne(acc, d.constant(4, 0));
+    }
+
+    sva::PredicateTable
+    preds() const
+    {
+        sva::PredicateTable p;
+        p.add(flag, "flag");
+        p.add(nonzero, "acc != 0");
+        return p;
+    }
+};
+
+std::vector<Mutation>
+enumerateOp(const Design &d, MutationOp op)
+{
+    MutateOptions o;
+    o.ops = {op};
+    return enumerateMutations(d, o);
+}
+
+bool
+sameNode(const ExprNode &x, const ExprNode &y)
+{
+    return x.op == y.op && x.width == y.width && x.a == y.a &&
+           x.b == y.b && x.c == y.c && x.imm == y.imm &&
+           x.memId == y.memId;
+}
+
+TEST(MutateOps, NamesRoundTrip)
+{
+    for (int i = 0; i < numMutationOps; ++i) {
+        const MutationOp op = static_cast<MutationOp>(i);
+        const std::string name = mutationOpName(op);
+        ASSERT_FALSE(name.empty());
+        auto back = mutationOpFromName(name);
+        ASSERT_TRUE(back.has_value()) << name;
+        EXPECT_EQ(*back, op);
+    }
+    EXPECT_FALSE(mutationOpFromName("no-such-op").has_value());
+    EXPECT_FALSE(mutationOpFromName("").has_value());
+}
+
+TEST(MutateEnumerate, DeterministicAndBudgeted)
+{
+    TinyMem t;
+    MutateOptions all;
+    const std::vector<Mutation> a = enumerateMutations(t.d, all);
+    const std::vector<Mutation> b = enumerateMutations(t.d, all);
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_FALSE(a.empty());
+    std::set<std::string> keys;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].key(), b[i].key());
+        keys.insert(a[i].key());
+    }
+    EXPECT_EQ(keys.size(), a.size()) << "duplicate mutation keys";
+
+    MutateOptions budget;
+    budget.budget = 3;
+    budget.seed = 42;
+    const std::vector<Mutation> s1 = enumerateMutations(t.d, budget);
+    const std::vector<Mutation> s2 = enumerateMutations(t.d, budget);
+    ASSERT_EQ(s1.size(), 3u);
+    for (std::size_t i = 0; i < s1.size(); ++i) {
+        EXPECT_EQ(s1[i].key(), s2[i].key());
+        EXPECT_TRUE(keys.count(s1[i].key()))
+            << "sampled mutant not in the full catalog";
+    }
+}
+
+TEST(MutateApply, InPlaceRewriteTouchesOnlyTheMutatedNode)
+{
+    TinyMem t;
+    for (MutationOp op :
+         {MutationOp::StuckAt0, MutationOp::StuckAt1,
+          MutationOp::CondInvert, MutationOp::MuxArmSwap,
+          MutationOp::ConstOffByOne}) {
+        for (const Mutation &m : enumerateOp(t.d, op)) {
+            if (m.nodeId == Mutation::invalidIndex)
+                continue; // reg-next inversion appends; covered below
+            const Design mut = applyMutation(t.d, m);
+            ASSERT_EQ(mut.nodes().size(), t.d.nodes().size())
+                << m.describe();
+            for (std::size_t i = 0; i < mut.nodes().size(); ++i) {
+                if (i == m.nodeId) {
+                    EXPECT_FALSE(
+                        sameNode(mut.nodes()[i], t.d.nodes()[i]))
+                        << m.describe() << " left node " << i
+                        << " unchanged";
+                } else {
+                    EXPECT_TRUE(
+                        sameNode(mut.nodes()[i], t.d.nodes()[i]))
+                        << m.describe() << " disturbed node " << i;
+                }
+            }
+        }
+    }
+}
+
+TEST(MutateApply, FrontierRetargetOnlyAppendsNodes)
+{
+    TinyMem t;
+    for (MutationOp op :
+         {MutationOp::WriteEnableDrop, MutationOp::WriteEnableStuck,
+          MutationOp::WriteAddrOffByOne,
+          MutationOp::WriteDataOffByOne}) {
+        const std::vector<Mutation> muts = enumerateOp(t.d, op);
+        ASSERT_EQ(muts.size(), 1u) << mutationOpName(op);
+        const Mutation &m = muts[0];
+        const Design mut = applyMutation(t.d, m);
+        ASSERT_GE(mut.nodes().size(), t.d.nodes().size());
+        for (std::size_t i = 0; i < t.d.nodes().size(); ++i)
+            EXPECT_TRUE(sameNode(mut.nodes()[i], t.d.nodes()[i]))
+                << m.describe() << " rewrote pre-existing node " << i;
+        // The retarget repoints exactly one write-port field.
+        const MemWritePort &pp = t.d.mems()[0].writePorts[0];
+        const MemWritePort &mp = mut.mems()[0].writePorts[0];
+        const int changed = (pp.enable == mp.enable ? 0 : 1) +
+                            (pp.addr == mp.addr ? 0 : 1) +
+                            (pp.data == mp.data ? 0 : 1);
+        EXPECT_EQ(changed, 1) << m.describe();
+    }
+}
+
+TEST(MutateApply, LayoutIsPreservedForEveryMutant)
+{
+    TinyMem t;
+    const Netlist pristine(t.d);
+    for (const Mutation &m :
+         enumerateMutations(t.d, MutateOptions{})) {
+        const Design mut_d = applyMutation(t.d, m);
+        const Netlist mut(mut_d);
+        ASSERT_EQ(mut.numInputs(), pristine.numInputs())
+            << m.describe();
+        ASSERT_EQ(mut.stateWords(), pristine.stateWords())
+            << m.describe();
+        for (const RegDecl &r : t.d.regs()) {
+            // A stuck-at on the register's own output rewrites the
+            // RegQ node; the state slot survives but is no longer
+            // reachable through that handle.
+            if (m.nodeId == r.q.id)
+                continue;
+            EXPECT_EQ(mut.stateSlotOfReg(mut.signalByName(r.name)),
+                      pristine.stateSlotOfReg(
+                          pristine.signalByName(r.name)))
+                << m.describe() << " moved " << r.name;
+        }
+        for (std::uint32_t w = 0; w < t.d.mems()[0].words; ++w)
+            EXPECT_EQ(mut.stateSlotOfMemWord(mut.memByName("m"), w),
+                      pristine.stateSlotOfMemWord(
+                          pristine.memByName("m"), w))
+                << m.describe() << " moved m[" << w << "]";
+    }
+}
+
+TEST(MutateApply, WriteEnableDropSilentlyLosesTheStore)
+{
+    TinyMem t;
+    const std::vector<Mutation> muts =
+        enumerateOp(t.d, MutationOp::WriteEnableDrop);
+    ASSERT_EQ(muts.size(), 1u);
+    EXPECT_EQ(muts[0].site, "m.wp0.enable");
+    const Design mut_d = applyMutation(t.d, muts[0]);
+
+    const Netlist pn(t.d);
+    const Netlist mn(mut_d);
+    Simulator ps(pn), ms(mn);
+    ps.reset();
+    ms.reset();
+    // One store: en=1, addr=2, data=9.
+    const InputVec store = {1, 2, 9};
+    ps.step(store);
+    ms.step(store);
+    const std::size_t slot = pn.stateSlotOfMemWord(pn.memByName("m"), 2);
+    EXPECT_EQ(ps.state()[slot], 9u);
+    EXPECT_EQ(ms.state()[slot], 0u) << "mutant committed the store";
+    // Everything else in the image agrees this cycle (the fault is
+    // silent until something reads the lost word).
+    for (std::size_t s = 0; s < pn.stateWords(); ++s) {
+        if (s != slot) {
+            EXPECT_EQ(ps.state()[s], ms.state()[s]) << "slot " << s;
+        }
+    }
+}
+
+TEST(MutateApply, AnchorDriftIsFatal)
+{
+    TinyMem t;
+    std::vector<Mutation> muts =
+        enumerateOp(t.d, MutationOp::StuckAt0);
+    ASSERT_FALSE(muts.empty());
+    Mutation bad = muts[0];
+    bad.anchorOp = Op::Concat; // no 1-bit Concat control site exists
+    EXPECT_DEATH({ applyMutation(t.d, bad); }, "anchor");
+}
+
+TEST(Miter, ProvablyEquivalentMutantIsPruned)
+{
+    // mux(sel, x, x): swapping the arms is a semantic no-op. The
+    // enumerator skips the identity, so build the mutation by hand
+    // to drive the miter's UNSAT path.
+    Design d;
+    Signal sel = d.addInput("sel", 1);
+    Signal x = d.addInput("x", 4);
+    Signal r = d.addReg("r", 4, 0);
+    Signal m = d.mux(sel, x, x);
+    d.setNext(r, m);
+
+    Mutation swap;
+    swap.op = MutationOp::MuxArmSwap;
+    swap.nodeId = m.id;
+    swap.anchorOp = Op::Mux;
+    swap.anchorWidth = 4;
+    swap.site = "mux(sel,x,x)";
+    const Design mut_d = applyMutation(d, swap);
+
+    sva::PredicateTable preds;
+    preds.add(sel, "sel");
+    const Netlist a(d), b(mut_d);
+    const formal::MiterResult res =
+        formal::proveTransitionEquivalent(a, b, preds);
+    EXPECT_EQ(res.verdict, formal::EquivVerdict::Equivalent)
+        << res.firstDiff;
+}
+
+TEST(Miter, StoreDropMutantIsDifferent)
+{
+    TinyMem t;
+    const std::vector<Mutation> muts =
+        enumerateOp(t.d, MutationOp::WriteEnableDrop);
+    ASSERT_EQ(muts.size(), 1u);
+    const Design mut_d = applyMutation(t.d, muts[0]);
+
+    const sva::PredicateTable preds = t.preds();
+    const Netlist a(t.d), b(mut_d);
+    const formal::MiterResult res =
+        formal::proveTransitionEquivalent(a, b, preds);
+    EXPECT_EQ(res.verdict, formal::EquivVerdict::Different);
+    EXPECT_FALSE(res.firstDiff.empty());
+}
+
+TEST(Miter, IdentityIsEquivalentToItself)
+{
+    TinyMem t;
+    const sva::PredicateTable preds = t.preds();
+    const Netlist a(t.d), b(t.d);
+    const formal::MiterResult res =
+        formal::proveTransitionEquivalent(a, b, preds);
+    EXPECT_EQ(res.verdict, formal::EquivVerdict::Equivalent);
+}
+
+} // namespace
+} // namespace rtlcheck::rtl
+
+namespace rtlcheck::core {
+namespace {
+
+/** The §7.1-class campaign check on the real design: with the
+ *  write-enable-drop operator and the one litmus test known to kill
+ *  the data-memory mutant, the campaign must report the kill with a
+ *  replayed witness, while the regfile mutants survive. */
+TEST(MutationCampaign, StoreDropClassIsKilledWithReplayableWitness)
+{
+    MutationCampaignOptions mo;
+    mo.run.variant = vscale::MemoryVariant::Fixed;
+    mo.run.config.backend = formal::Backend::Portfolio;
+    mo.run.config.earlyFalsify = true;
+    mo.mutate.ops = {rtl::MutationOp::WriteEnableDrop};
+
+    const std::vector<litmus::Test> tests = {
+        litmus::suiteTest("iwp23b")};
+    const CampaignReport report = runMutationCampaign(
+        uspec::multiVscaleModel(), tests, mo);
+
+    ASSERT_TRUE(report.excludedTests.empty())
+        << "pristine design not clean on iwp23b";
+    bool saw_dmem = false;
+    for (const MutantReport &m : report.mutants) {
+        if (m.mutation.site.find("dmem") == std::string::npos)
+            continue;
+        saw_dmem = true;
+        ASSERT_EQ(m.fate, MutantFate::Killed) << m.mutation.describe();
+        ASSERT_FALSE(m.kills.empty());
+        const KillCell &k = m.kills.front();
+        EXPECT_EQ(k.testName, "iwp23b");
+        EXPECT_FALSE(k.property.empty());
+        EXPECT_GT(k.witnessDepth, 0u);
+        EXPECT_TRUE(k.witnessReplayed)
+            << "kill evidence did not replay on the mutant RTL";
+    }
+    EXPECT_TRUE(saw_dmem)
+        << "no data-memory write-enable mutant enumerated";
+    EXPECT_GT(report.numKilled(), 0u);
+    // Score counts live mutants only.
+    const double live = static_cast<double>(report.numKilled() +
+                                            report.numSurvived());
+    EXPECT_DOUBLE_EQ(report.mutationScore(),
+                     static_cast<double>(report.numKilled()) / live);
+
+    // The reports render without blowing up and mention the kill.
+    EXPECT_NE(report.renderTable().find("killed"), std::string::npos);
+    EXPECT_NE(report.renderJson().find("\"iwp23b\""),
+              std::string::npos);
+}
+
+/** RunOptions::designPatch is the campaign's injection mechanism;
+ *  check it end to end on the runner directly. */
+TEST(MutationCampaign, DesignPatchInjectsTheFault)
+{
+    RunOptions o;
+    o.variant = vscale::MemoryVariant::Fixed;
+    o.config.backend = formal::Backend::Portfolio;
+    o.config.earlyFalsify = true;
+    o.designPatch = [](rtl::Design &d) {
+        rtl::MutateOptions mo;
+        mo.ops = {rtl::MutationOp::WriteEnableDrop};
+        for (const rtl::Mutation &m :
+             rtl::enumerateMutations(d, mo))
+            if (m.site.find("dmem") != std::string::npos) {
+                d = rtl::applyMutation(d, m);
+                return;
+            }
+        FAIL() << "no dmem write-enable site on the SoC";
+    };
+
+    TestRun run = runTest(litmus::suiteTest("iwp23b"),
+                          uspec::multiVscaleModel(), o);
+    EXPECT_FALSE(run.verified())
+        << "patched (store-dropping) design passed iwp23b";
+}
+
+} // namespace
+} // namespace rtlcheck::core

@@ -10,6 +10,7 @@
 
 #include <map>
 
+#include "fuzz_seed.hh"
 #include "uspec/formula.hh"
 
 namespace rtlcheck::uspec {
@@ -128,7 +129,9 @@ class RandomFormula : public ::testing::TestWithParam<int>
 
 TEST_P(RandomFormula, DnfEquivalentUnderAllAssignments)
 {
-    Rng rng(static_cast<std::uint32_t>(GetParam()));
+    const std::uint32_t seed =
+        testenv::fuzzSeed(static_cast<std::uint32_t>(GetParam()));
+    Rng rng(seed);
     AtomUniverse u;
     for (int round = 0; round < 50; ++round) {
         Formula f = randomFormula(rng, u, 4);
@@ -147,7 +150,7 @@ TEST_P(RandomFormula, DnfEquivalentUnderAllAssignments)
             for (const Branch &br : branches)
                 via_dnf |= evalBranch(br, assignment);
             EXPECT_EQ(direct, via_dnf)
-                << "seed=" << GetParam() << " round=" << round
+                << "seed=" << seed << " round=" << round
                 << " bits=" << bits << " formula="
                 << formulaToString(f);
         }

@@ -11,6 +11,7 @@
 
 #include <set>
 
+#include "fuzz_seed.hh"
 #include "sva/nfa.hh"
 
 namespace rtlcheck::sva {
@@ -116,7 +117,9 @@ class RandomNfa : public ::testing::TestWithParam<int>
 
 TEST_P(RandomNfa, AgreesWithReferenceMatcher)
 {
-    Rng rng(static_cast<std::uint32_t>(GetParam()));
+    const std::uint32_t seed =
+        testenv::fuzzSeed(static_cast<std::uint32_t>(GetParam()));
+    Rng rng(seed);
     for (int round = 0; round < 40; ++round) {
         Seq seq = randomSeq(rng, 3);
         Nfa nfa = Nfa::compile(seq);
@@ -138,7 +141,7 @@ TEST_P(RandomNfa, AgreesWithReferenceMatcher)
             for (std::size_t e = 1; e <= c + 1; ++e)
                 ref_matched |= ref_all.count(e) > 0;
             EXPECT_EQ(matched, ref_matched)
-                << "seed=" << GetParam() << " round=" << round
+                << "seed=" << seed << " round=" << round
                 << " cycle=" << c;
         }
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fuzz_seed.hh"
 #include "sat/cnf.hh"
 #include "sat/solver.hh"
 
@@ -221,7 +222,8 @@ dpllSat(const RandomCnf &f, std::vector<int> &assign, int var)
 TEST(SatFuzz, Random3SatAgreesWithDpll)
 {
     int sat_seen = 0, unsat_seen = 0;
-    for (std::uint32_t seed = 1; seed <= 60; ++seed) {
+    for (std::uint32_t base = 1; base <= 60; ++base) {
+        const std::uint32_t seed = testenv::fuzzSeed(base);
         const int vars = 10 + static_cast<int>(seed % 4);
         const int clauses =
             static_cast<int>(4.3 * vars) +
@@ -274,7 +276,8 @@ TEST(SatFuzz, Random3SatAgreesWithDpll)
 
 TEST(SatFuzz, RandomAssumptionCoresAreSound)
 {
-    for (std::uint32_t seed = 1; seed <= 20; ++seed) {
+    for (std::uint32_t base = 1; base <= 20; ++base) {
+        const std::uint32_t seed = testenv::fuzzSeed(base);
         const int vars = 12;
         RandomCnf f = randomCnf(seed * 97u, vars, 40);
         Solver s;
@@ -408,10 +411,14 @@ TEST(CnfBuilder, BitVectorArithmeticMatchesReference)
     Lit ult = cnf.bvUlt(a, b);
     Lit nz = cnf.bvNonZero(a);
 
-    std::uint32_t seed = 12345;
+    std::uint32_t seed = testenv::fuzzSeed(12345);
     for (int round = 0; round < 32; ++round) {
         const std::uint32_t va = nextRand(seed) & 0xff;
         const std::uint32_t vb = nextRand(seed) & 0xff;
+        SCOPED_TRACE(::testing::Message()
+                     << "seed=" << testenv::fuzzSeed(12345)
+                     << " round=" << round << " va=" << va
+                     << " vb=" << vb);
         std::vector<Lit> assume;
         for (std::uint32_t i = 0; i < width; ++i) {
             assume.push_back((va >> i) & 1 ? a[i] : ~a[i]);

@@ -87,8 +87,15 @@ def main():
         if numeric and is_timing(path):
             if a == b == 0:
                 continue
-            speedup = a / b if b else float("inf")
-            delta_pct = (b - a) / a * 100.0 if a else float("inf")
+            if a == 0 or b == 0:
+                # A zero cell means the bench skipped or could not
+                # time this field; a ratio against it is noise, not
+                # a speedup or regression.
+                rows.append((path, fmt(a), fmt(b),
+                             "     n/a (zero cell)"))
+                continue
+            speedup = a / b
+            delta_pct = (b - a) / a * 100.0
             note = f"{speedup:8.3f}x"
             if delta_pct > 0:
                 note += f"  ({delta_pct:+.1f}% regression)"

@@ -57,6 +57,23 @@
  *                         BMC sweep (default 6; 0 disables induction
  *                         — much faster on designs whose state is too
  *                         wide for small-K windows to close)
+ *   --mutate              run a mutation-testing campaign instead of
+ *                         a verification run: derive faulty designs
+ *                         from the selected variant, prune
+ *                         SAT-provably-equivalent mutants, verify the
+ *                         rest against the litmus suite, and print
+ *                         the kill matrix + mutation score. Defaults
+ *                         to the portfolio backend with early
+ *                         falsification unless --engine is given.
+ *   --mutate-ops a,b,...  restrict the operator catalog (names like
+ *                         write-enable-drop, stuck-at-0; default all)
+ *   --mutate-budget N     cap the number of mutants (deterministic
+ *                         seeded sampling; 0 = all sites)
+ *   --mutate-seed N       sampling seed for --mutate-budget
+ *   --mutate-tests N      run only the first N suite tests (smoke)
+ *   --mutate-full-matrix  keep verifying past the first kill, filling
+ *                         each mutant's whole kill-matrix row
+ *   --mutate-json <path>  write the machine-readable campaign report
  *
  * Unknown flags and malformed option values (e.g. --engine jasper or
  * --jobs abc) exit with usage instead of silently defaulting.
@@ -73,6 +90,8 @@
 
 #include "litmus/parser.hh"
 #include "litmus/suite.hh"
+#include "rtl/mutate.hh"
+#include "rtlcheck/mutation_campaign.hh"
 #include "rtlcheck/runner.hh"
 #include "uhb/solver.hh"
 #include "uspec/multivscale.hh"
@@ -95,8 +114,17 @@ struct CliOptions
     std::size_t exploreJobs = 1;
     std::size_t cacheMb = 0; ///< 0 = unlimited
     formal::Backend engine = formal::Backend::Explicit;
+    bool engineSet = false; ///< --engine given (overrides --mutate's
+                            ///< portfolio default)
     std::size_t bmcDepth = 0; ///< 0 = EngineConfig default
     std::optional<std::size_t> inductionDepth; ///< unset = default
+    std::vector<rtl::MutationOp> mutateOps;
+    std::size_t mutateBudget = 0;
+    std::uint32_t mutateSeed = 1;
+    std::size_t mutateTests = 0; ///< 0 = the whole suite
+    std::string mutateJson;
+    bool mutate = false;
+    bool mutateFullMatrix = false;
     bool earlyFalsify = true;
     bool naive = false;
     bool noNetlistOpt = false;
@@ -119,6 +147,9 @@ usage()
         "         --explore-jobs N  --no-early-falsify  --cache-mb N\n"
         "         --engine explicit|bmc|portfolio  --bmc-depth N\n"
         "         --induction-depth N\n"
+        "         --mutate  --mutate-ops <op,...>  --mutate-budget N\n"
+        "         --mutate-seed N  --mutate-tests N\n"
+        "         --mutate-full-matrix  --mutate-json <path>\n"
         "--jobs (or $RTLCHECK_JOBS) sets the parallel lanes used to\n"
         "run tests under --all and to check properties on a single\n"
         "test; --explore-jobs parallelizes each state-graph\n"
@@ -324,6 +355,63 @@ runAll(const CliOptions &opts)
     return failures ? 1 : 0;
 }
 
+/** The --mutate mode: a mutation-testing campaign over the suite. */
+int
+runMutate(const CliOptions &opts)
+{
+    const uspec::Model &model = modelFor(opts);
+    core::MutationCampaignOptions mo;
+    mo.run = runOptionsFor(opts);
+    if (!opts.engineSet) {
+        // Campaign default per the mutation-testing design: race the
+        // engines and take the first falsification.
+        mo.run.config.backend = formal::Backend::Portfolio;
+        mo.run.config.earlyFalsify = true;
+    }
+    formal::GraphCache cache;
+    if (opts.cacheMb)
+        cache.setBudget(opts.cacheMb << 20);
+    mo.run.graphCache = &cache;
+    mo.mutate.ops = opts.mutateOps;
+    mo.mutate.budget = opts.mutateBudget;
+    mo.mutate.seed = opts.mutateSeed;
+    mo.fullMatrix = opts.mutateFullMatrix;
+    mo.jobs = opts.jobs;
+
+    std::vector<litmus::Test> tests = litmus::standardSuite();
+    if (opts.mutateTests && opts.mutateTests < tests.size())
+        tests.resize(opts.mutateTests);
+
+    core::CampaignReport report =
+        core::runMutationCampaign(model, tests, mo);
+
+    std::printf("mutation campaign: design %s, %zu tests, "
+                "backend %s, %zu mutants\n\n",
+                opts.design.c_str(), report.testNames.size(),
+                formal::backendName(mo.run.config.backend).c_str(),
+                report.mutants.size());
+    std::printf("%s", report.renderTable().c_str());
+    for (const core::MutantReport &m : report.mutants) {
+        if (m.fate == core::MutantFate::Survived)
+            std::printf("  SURVIVOR: %s (differs at %s) — no litmus "
+                        "test distinguishes it\n",
+                        m.mutation.describe().c_str(),
+                        m.firstDiff.empty() ? "?"
+                                            : m.firstDiff.c_str());
+    }
+    std::printf("  wall %.3f s | jobs %zu\n", report.wallSeconds,
+                report.jobs);
+
+    if (!opts.mutateJson.empty()) {
+        std::ofstream out(opts.mutateJson);
+        if (!out)
+            RC_FATAL("cannot write '", opts.mutateJson, "'");
+        out << report.renderJson();
+        std::printf("wrote %s\n", opts.mutateJson.c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
 /** Reject a malformed option value: report it, print usage, exit 2.
@@ -384,6 +472,35 @@ main(int argc, char **argv)
             if (!backend)
                 badValue(arg, name, "explicit, bmc, or portfolio");
             opts.engine = *backend;
+            opts.engineSet = true;
+        } else if (arg == "--mutate") {
+            opts.mutate = true;
+        } else if (arg == "--mutate-ops") {
+            std::string csv = next();
+            std::stringstream ss(csv);
+            std::string item;
+            while (std::getline(ss, item, ',')) {
+                std::optional<rtl::MutationOp> op =
+                    rtl::mutationOpFromName(item);
+                if (!op)
+                    badValue(arg, item,
+                             "operator names like write-enable-drop, "
+                             "stuck-at-0, cond-invert, mux-arm-swap");
+                opts.mutateOps.push_back(*op);
+            }
+            if (opts.mutateOps.empty())
+                badValue(arg, csv, "a comma-separated operator list");
+        } else if (arg == "--mutate-budget") {
+            opts.mutateBudget = parseCount(arg, next());
+        } else if (arg == "--mutate-seed") {
+            opts.mutateSeed =
+                static_cast<std::uint32_t>(parseCount(arg, next()));
+        } else if (arg == "--mutate-tests") {
+            opts.mutateTests = parseCount(arg, next());
+        } else if (arg == "--mutate-full-matrix") {
+            opts.mutateFullMatrix = true;
+        } else if (arg == "--mutate-json") {
+            opts.mutateJson = next();
         } else if (arg == "--bmc-depth") {
             opts.bmcDepth = parseCount(arg, next());
         } else if (arg == "--induction-depth") {
@@ -437,6 +554,9 @@ main(int argc, char **argv)
         listSuite("fence   ", litmus::fenceSuite());
         return 0;
     }
+
+    if (opts.mutate)
+        return runMutate(opts);
 
     if (opts.all)
         return runAll(opts);

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_diff.py (stdlib unittest; no pytest dep).
+
+Run directly or via ctest:
+    python3 tools/test_bench_diff.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "bench_diff.py")
+
+
+def run_diff(old, new, *extra):
+    with tempfile.TemporaryDirectory() as tmp:
+        old_path = os.path.join(tmp, "old.json")
+        new_path = os.path.join(tmp, "new.json")
+        with open(old_path, "w") as f:
+            json.dump(old, f)
+        with open(new_path, "w") as f:
+            json.dump(new, f)
+        proc = subprocess.run(
+            [sys.executable, TOOL, old_path, new_path, *extra],
+            capture_output=True, text=True)
+    return proc
+
+
+class BenchDiffTest(unittest.TestCase):
+    def test_reports_speedup(self):
+        proc = run_diff({"wall_seconds": 2.0}, {"wall_seconds": 1.0})
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("2.000x", proc.stdout)
+
+    def test_threshold_gates_regression(self):
+        proc = run_diff({"wall_seconds": 1.0}, {"wall_seconds": 2.0},
+                        "--threshold", "50")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("regression", proc.stdout + proc.stderr)
+
+    def test_zero_baseline_is_na_not_a_regression(self):
+        # A zero cell used to divide by zero / report an infinite
+        # regression; it must be n/a and never trip the gate.
+        proc = run_diff({"wall_seconds": 0.0}, {"wall_seconds": 2.0},
+                        "--threshold", "1")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("n/a (zero cell)", proc.stdout)
+
+    def test_zero_new_cell_is_na(self):
+        proc = run_diff({"wall_seconds": 2.0}, {"wall_seconds": 0.0},
+                        "--threshold", "1")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("n/a (zero cell)", proc.stdout)
+
+    def test_both_zero_is_skipped(self):
+        proc = run_diff({"wall_seconds": 0.0, "n": 1},
+                        {"wall_seconds": 0.0, "n": 1})
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("no differences", proc.stdout)
+
+    def test_missing_cells_are_added_removed(self):
+        proc = run_diff({"a_seconds": 1.0}, {"b_seconds": 1.0},
+                        "--threshold", "1")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("(removed)", proc.stdout)
+        self.assertIn("(added)", proc.stdout)
+
+    def test_nested_array_cells(self):
+        old = {"cells": [{"test": "mp", "verify_seconds": 1.0}]}
+        new = {"cells": [{"test": "mp", "verify_seconds": 4.0}]}
+        proc = run_diff(old, new, "--threshold", "100")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("cells[mp]", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
