@@ -20,6 +20,17 @@
  *              portfolio). A 25% + 50 ms allowance absorbs scheduler
  *              noise on millisecond-scale cells.
  *
+ * A second section gates the incremental SAT pipeline: the litmus
+ * sweep runs under the BMC back-end twice — depth-incremental (one
+ * solver deepens, per-depth queries retired via activation groups)
+ * and rebuild-per-depth — and must produce identical verdict classes
+ * and witness depths, with the incremental mode never slower in
+ * aggregate. A deep-unroll stress cell (an easy-query test at a deep
+ * bound, where rebuild's O(depth²) re-encoding dominates) must show
+ * the incremental mode ≥1.5× faster. Solver-core counters from the
+ * incremental sweep (solves, conflicts, learned-clause reuse hits,
+ * frames) are reported alongside the timings.
+ *
  * Headline numbers land in BENCH_bmc.json.
  */
 
@@ -86,6 +97,22 @@ classAgree(const core::TestRun &a, const core::TestRun &b)
             return false;
     }
     return true;
+}
+
+/** BMC-only run of one fixed-design test with the incremental SAT
+ *  pipeline on or off. */
+core::TestRun
+runBmcCell(const char *test, std::size_t depth, bool incremental)
+{
+    core::RunOptions o;
+    o.variant = vscale::MemoryVariant::Fixed;
+    o.config = formal::fullProofConfig();
+    o.config.backend = formal::Backend::Bmc;
+    o.config.bmcDepth = depth;
+    o.config.inductionDepth = 0;
+    o.config.satIncremental = incremental;
+    return core::runTest(litmus::suiteTest(test),
+                         uspec::multiVscaleModel(), o);
 }
 
 } // namespace
@@ -175,6 +202,94 @@ main(int argc, char **argv)
     json.boolean("verdict_classes_identical", verdicts_ok);
     json.boolean("portfolio_never_slower", portfolio_ok);
 
+    // ---- Incremental SAT pipeline gates --------------------------
+
+    // Litmus sweep, depth-incremental vs rebuild-per-depth. Verdict
+    // classes and witness depths must agree on every test, and the
+    // incremental mode must not be slower in aggregate (10% + 50 ms
+    // absorbs noise on a sweep whose cells are mostly milliseconds).
+    core::RunOptions so;
+    so.variant = vscale::MemoryVariant::Fixed;
+    so.config = formal::fullProofConfig();
+    so.config.backend = formal::Backend::Bmc;
+    so.config.bmcDepth = 8;
+    so.config.inductionDepth = 0;
+
+    std::vector<litmus::Test> sweep_tests = litmus::standardSuite();
+    if (quick)
+        sweep_tests.resize(10);
+
+    so.config.satIncremental = true;
+    core::SuiteRun sweep_incr = core::runSuite(
+        sweep_tests, uspec::multiVscaleModel(), so, 1);
+    so.config.satIncremental = false;
+    core::SuiteRun sweep_rebuild = core::runSuite(
+        sweep_tests, uspec::multiVscaleModel(), so, 1);
+
+    bool sweep_verdicts_ok = true;
+    double sweep_incr_s = 0.0;
+    double sweep_rebuild_s = 0.0;
+    for (std::size_t i = 0; i < sweep_tests.size(); ++i) {
+        if (!classAgree(sweep_incr.runs[i], sweep_rebuild.runs[i])) {
+            sweep_verdicts_ok = false;
+            std::printf("  GATE: incremental BMC verdicts differ on "
+                        "%s\n",
+                        sweep_tests[i].name.c_str());
+        }
+        sweep_incr_s += verifySeconds(sweep_incr.runs[i]);
+        sweep_rebuild_s += verifySeconds(sweep_rebuild.runs[i]);
+    }
+    const bool incr_never_slower =
+        sweep_incr_s <= sweep_rebuild_s * 1.10 + 0.05;
+
+    // Deep-unroll stress: an easy-query test at a deep bound, where
+    // the rebuild path's re-encoding of every prefix dominates.
+    const std::size_t deep_depth = 32;
+    core::TestRun deep_incr = runBmcCell("lb", deep_depth, true);
+    core::TestRun deep_rebuild = runBmcCell("lb", deep_depth, false);
+    const bool deep_agree = classAgree(deep_incr, deep_rebuild);
+    sweep_verdicts_ok = sweep_verdicts_ok && deep_agree;
+    const double deep_incr_s = verifySeconds(deep_incr);
+    const double deep_rebuild_s = verifySeconds(deep_rebuild);
+    const double deep_speedup =
+        deep_incr_s > 0 ? deep_rebuild_s / deep_incr_s : 1.0;
+    const bool deep_ok = deep_speedup >= 1.5;
+
+    core::SatTotals st = sweep_incr.satTotals();
+    std::printf("\nincremental sweep  : %zu tests, %.2f ms "
+                "incremental vs %.2f ms rebuild%s\n",
+                sweep_tests.size(), sweep_incr_s * 1e3,
+                sweep_rebuild_s * 1e3,
+                incr_never_slower ? "" : "  INCREMENTAL SLOW");
+    std::printf("deep unroll (lb@%zu): %.2f ms incremental vs %.2f "
+                "ms rebuild = %.2fx%s\n",
+                deep_depth, deep_incr_s * 1e3, deep_rebuild_s * 1e3,
+                deep_speedup, deep_ok ? "" : "  BELOW 1.5x");
+    std::printf("sat core (sweep)   : %llu solves, %llu conflicts, "
+                "%llu learned-clause reuse hits, %llu frames "
+                "pushed/%llu popped\n",
+                static_cast<unsigned long long>(st.solves),
+                static_cast<unsigned long long>(st.conflicts),
+                static_cast<unsigned long long>(st.learnedReuse),
+                static_cast<unsigned long long>(st.framesPushed),
+                static_cast<unsigned long long>(st.framesPopped));
+
+    json.count("sweep_tests", sweep_tests.size());
+    json.num("sweep_incremental_seconds", sweep_incr_s);
+    json.num("sweep_rebuild_seconds", sweep_rebuild_s);
+    json.count("deep_unroll_depth", deep_depth);
+    json.num("deep_incremental_seconds", deep_incr_s);
+    json.num("deep_rebuild_seconds", deep_rebuild_s);
+    json.num("deep_unroll_speedup", deep_speedup);
+    json.count("sat_solves", st.solves);
+    json.count("sat_conflicts", st.conflicts);
+    json.count("sat_learned_reuse", st.learnedReuse);
+    json.count("sat_frames_pushed", st.framesPushed);
+    json.count("sat_frames_popped", st.framesPopped);
+    json.boolean("incremental_verdicts_identical", sweep_verdicts_ok);
+    json.boolean("incremental_never_slower", incr_never_slower);
+    json.boolean("deep_unroll_speedup_ok", deep_ok);
+
     std::printf("\ntotals             : explicit %.2f ms, bmc %.2f "
                 "ms, portfolio %.2f ms\n",
                 totals[0] * 1e3, totals[1] * 1e3, totals[2] * 1e3);
@@ -183,7 +298,15 @@ main(int argc, char **argv)
     std::printf("portfolio gate     : %s (never slower than the "
                 "slower single back-end)\n",
                 portfolio_ok ? "pass" : "FAIL");
+    std::printf("incremental gates  : verdicts %s | never slower %s "
+                "| deep-unroll >=1.5x %s\n",
+                sweep_verdicts_ok ? "pass" : "FAIL",
+                incr_never_slower ? "pass" : "FAIL",
+                deep_ok ? "pass" : "FAIL");
 
     writeBenchJson("bmc", json);
-    return verdicts_ok && portfolio_ok ? 0 : 1;
+    return verdicts_ok && portfolio_ok && sweep_verdicts_ok &&
+                   incr_never_slower && deep_ok
+               ? 0
+               : 1;
 }

@@ -52,7 +52,8 @@ namespace {
 core::CampaignReport
 runCampaign(const std::vector<rtl::MutationOp> &ops,
             std::size_t budget, std::uint32_t seed,
-            std::size_t num_tests, formal::GraphCache &cache)
+            std::size_t num_tests, formal::GraphCache &cache,
+            bool sat_incremental = true)
 {
     core::MutationCampaignOptions mo;
     mo.run.variant = vscale::MemoryVariant::Fixed;
@@ -62,6 +63,7 @@ runCampaign(const std::vector<rtl::MutationOp> &ops,
     mo.mutate.ops = ops;
     mo.mutate.budget = budget;
     mo.mutate.seed = seed;
+    mo.satIncremental = sat_incremental;
 
     std::vector<litmus::Test> tests = litmus::standardSuite();
     if (num_tests && num_tests < tests.size())
@@ -90,6 +92,28 @@ pruningConsistent(const core::CampaignReport &report)
         live > 0 ? static_cast<double>(report.numKilled()) / live
                  : 1.0;
     return std::fabs(report.mutationScore() - expect) < 1e-12;
+}
+
+/** Same mutants, same fates, same (test, property) kill cells: the
+ *  miter-session path must not change what the campaign concludes. */
+bool
+matricesMatch(const core::CampaignReport &a,
+              const core::CampaignReport &b)
+{
+    if (a.mutants.size() != b.mutants.size())
+        return false;
+    for (std::size_t i = 0; i < a.mutants.size(); ++i) {
+        const core::MutantReport &x = a.mutants[i];
+        const core::MutantReport &y = b.mutants[i];
+        if (x.mutation.describe() != y.mutation.describe() ||
+            x.fate != y.fate || x.kills.size() != y.kills.size())
+            return false;
+        for (std::size_t k = 0; k < x.kills.size(); ++k)
+            if (x.kills[k].testName != y.kills[k].testName ||
+                x.kills[k].property != y.kills[k].property)
+                return false;
+    }
+    return true;
 }
 
 } // namespace
@@ -157,6 +181,19 @@ main(int argc, char **argv)
                             pruningConsistent(equiv) &&
                             pruningConsistent(mem);
 
+    // Rerun the probe with per-pair fresh miter solvers: shared
+    // incremental sessions must report a nonzero reuse rate without
+    // moving a single cell of the kill matrix.
+    core::CampaignReport equiv_fresh = runCampaign(
+        {rtl::MutationOp::StuckAt0, rtl::MutationOp::StuckAt1}, 12, 7,
+        2, cache, /*sat_incremental=*/false);
+    const bool reuse_ok =
+        mem.miterLearnedReuse > 0 && mem.miterReuseRate() > 0.0;
+    const bool matrix_ok = matricesMatch(equiv, equiv_fresh);
+    if (!matrix_ok)
+        std::printf("  GATE: incremental miter sessions changed the "
+                    "probe kill matrix\n");
+
     JsonObject json;
     json.str("bench", "mutation");
     json.boolean("quick", quick);
@@ -168,12 +205,20 @@ main(int argc, char **argv)
     json.num("mutation_score", mem.mutationScore());
     json.count("dmem_mutants", dmem_total);
     json.num("campaign_seconds", mem.wallSeconds);
+    json.count("miter_solves", mem.miterSolves);
+    json.count("miter_conflicts", mem.miterConflicts);
+    json.count("miter_learned_reuse", mem.miterLearnedReuse);
+    json.count("miter_cone_gates", mem.miterConeGates);
+    json.count("miter_cone_hits", mem.miterConeHits);
+    json.num("miter_reuse_rate", mem.miterReuseRate());
     json.count("probe_mutants", equiv.mutants.size());
     json.count("probe_equivalent", equiv.numEquivalent());
     json.num("probe_seconds", equiv.wallSeconds);
     json.boolean("dmem_mutants_all_killed", dmem_killed);
     json.boolean("witnesses_all_replayed", witnesses_ok);
     json.boolean("equivalents_pruned", pruning_ok);
+    json.boolean("miter_reuse_nonzero", reuse_ok);
+    json.boolean("incremental_matrix_unchanged", matrix_ok);
 
     std::printf("\nmutation score     : %.3f (%zu killed / %zu "
                 "live)\n",
@@ -186,7 +231,17 @@ main(int argc, char **argv)
     std::printf("pruning gate       : %s (%zu equivalent pruned in "
                 "probe)\n",
                 pruning_ok ? "pass" : "FAIL", equiv.numEquivalent());
+    std::printf("miter reuse gate   : %s (%llu learned-clause hits, "
+                "%.1f%% cone reuse, matrix %s)\n",
+                reuse_ok && matrix_ok ? "pass" : "FAIL",
+                static_cast<unsigned long long>(
+                    mem.miterLearnedReuse),
+                mem.miterReuseRate() * 100.0,
+                matrix_ok ? "unchanged" : "CHANGED");
 
     writeBenchJson("mutation", json);
-    return dmem_killed && witnesses_ok && pruning_ok ? 0 : 1;
+    return dmem_killed && witnesses_ok && pruning_ok && reuse_ok &&
+                   matrix_ok
+               ? 0
+               : 1;
 }

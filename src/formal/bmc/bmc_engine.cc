@@ -23,7 +23,10 @@ elapsedSeconds(Clock::time_point since)
         .count();
 }
 
-/** One property's share of the BMC sweep. */
+/** One property's share of the BMC sweep. The monitor/state pair is
+ *  bound by the sweep mode: the incremental sweep keeps one monitor
+ *  alive across all depths, the rebuild sweep re-encodes per depth
+ *  and leaves these fields unused. */
 struct PropTrack
 {
     std::shared_ptr<const sva::PropertyRuntime> runtime;
@@ -67,6 +70,433 @@ vectorsDistinct(sat::CnfBuilder &cnf, const std::vector<sat::Lit> &a,
     return cnf.mkOrN(diffs);
 }
 
+/** Fold one solver's counters into the result diagnostics. The
+ *  rebuild sweep calls this once per depth, so its totals honestly
+ *  reflect the re-encoding work the incremental sweep avoids. */
+void
+addSolverStats(VerifyResult &result, const sat::Solver &solver)
+{
+    result.satVars += solver.numVars();
+    result.satClauses += solver.numClauses();
+    const sat::Solver::Stats &s = solver.stats();
+    result.satConflicts += s.conflicts;
+    result.satSolves += s.solves;
+    result.satLearnedReuse += s.learnedReuseHits;
+    result.satFramesPushed += s.framesPushed;
+    result.satFramesPopped += s.framesPopped;
+}
+
+/**
+ * Property status at depth d. Frame d carries only its state image
+ * here — no inputs, no cycle-d implications — so a depth-d failure
+ * can never be masked by deeper constraints.
+ *
+ * One aggregate "does any open property fail here?" query filters
+ * the depth first: on a correct design that is a single UNSAT per
+ * depth instead of one solve per property. Only when the aggregate
+ * is SAT do per-property queries run (the aggregate model usually
+ * resolves most of them for free), so per-property
+ * shallowest-failure depths are exactly the ones the
+ * one-query-per-property loop reports.
+ *
+ * Both sweep modes funnel through this helper, so the query order —
+ * and therefore every verdict class and witness depth — is
+ * identical by construction. `monitors`/`states` run parallel to
+ * `tracks`. Returns false on cancellation.
+ */
+bool
+queryPropsAtDepth(std::vector<PropTrack> &tracks,
+                  const std::vector<sva::MonitorCnf *> &monitors,
+                  const std::vector<sva::MonitorCnf::State> &states,
+                  sat::Solver &solver, sat::CnfBuilder &cnf,
+                  const bmc::Unroller &unroller, std::size_t d)
+{
+    std::vector<std::size_t> open;
+    std::vector<sat::Lit> open_failed;
+    for (std::size_t i = 0; i < tracks.size(); ++i) {
+        if (tracks[i].resolved)
+            continue;
+        sat::Lit failed = monitors[i]->failed(states[i]);
+        if (cnf.isConst(failed) && !cnf.constValue(failed))
+            continue;
+        open.push_back(i);
+        open_failed.push_back(failed);
+    }
+    bool depth_can_fail = !open.empty();
+    if (depth_can_fail) {
+        const sat::Result r = solver.solve({cnf.mkOrN(open_failed)});
+        if (r == sat::Result::Unknown)
+            return false;
+        depth_can_fail = r == sat::Result::Sat;
+        if (depth_can_fail) {
+            // Everything the aggregate model already falsifies
+            // shares its witness; no further queries for those.
+            for (std::size_t i = 0; i < open.size(); ++i) {
+                if (!solver.modelTrue(open_failed[i]))
+                    continue;
+                PropTrack &t = tracks[open[i]];
+                t.resolved = true;
+                t.result.status = ProofStatus::Falsified;
+                WitnessTrace wit;
+                for (std::size_t j = 0; j < d; ++j)
+                    wit.inputs.push_back(
+                        unroller.decodeInput(j, solver));
+                t.result.counterexample = std::move(wit);
+            }
+        }
+    }
+    for (std::size_t i = 0; depth_can_fail && i < open.size(); ++i) {
+        PropTrack &t = tracks[open[i]];
+        if (t.resolved)
+            continue;
+        const auto t_solve = Clock::now();
+        const sat::Result r = solver.solve({open_failed[i]});
+        t.result.checkSeconds += elapsedSeconds(t_solve);
+        if (r == sat::Result::Unknown)
+            return false;
+        if (r == sat::Result::Sat) {
+            t.resolved = true;
+            t.result.status = ProofStatus::Falsified;
+            WitnessTrace wit;
+            for (std::size_t j = 0; j < d; ++j)
+                wit.inputs.push_back(unroller.decodeInput(j, solver));
+            t.result.counterexample = std::move(wit);
+        }
+    }
+    return true;
+}
+
+/**
+ * Cover query for cycle d, after the cycle's implications
+ * (StateGraph records hits on unpruned edges only). Any reachable
+ * cover suffices for the verdict; the first hit is the shallowest
+ * and makes the best replay witness. Returns false on cancellation.
+ */
+bool
+queryCoversAtCycle(const std::vector<const Assumption *> &covers,
+                   sat::Solver &solver, sat::CnfBuilder &cnf,
+                   bmc::Unroller &unroller, std::size_t d,
+                   VerifyResult &result)
+{
+    for (const Assumption *cover : covers) {
+        sat::Lit hit = unroller.coverHitLit(d, *cover);
+        if (cnf.isConst(hit) && !cnf.constValue(hit))
+            continue;
+        const sat::Result r = solver.solve({hit});
+        if (r == sat::Result::Unknown)
+            return false;
+        if (r == sat::Result::Sat) {
+            result.coverReached = true;
+            WitnessTrace wit;
+            for (std::size_t j = 0; j <= d; ++j)
+                wit.inputs.push_back(unroller.decodeInput(j, solver));
+            result.coverWitness = std::move(wit);
+            break;
+        }
+    }
+    return true;
+}
+
+/**
+ * Depth-incremental sweep: one solver deepens across all of
+ * 0..bmcDepth. The transition relation, cycle implications, and
+ * monitor-step cones are permanent clauses — later depths build on
+ * them — while each depth's query gates (failed-state literals, the
+ * aggregate OR, cover-hit conjunctions) live in an activation frame
+ * that is retired as soon as the depth is resolved, so retired
+ * queries cost nothing at deeper depths but every learned clause
+ * over the permanent CNF carries forward. Returns false on
+ * cancellation.
+ */
+bool
+sweepIncremental(const rtl::Netlist &netlist,
+                 const sva::PredicateTable &preds,
+                 const std::vector<Assumption> &assumptions,
+                 const EngineConfig &config,
+                 std::vector<PropTrack> &tracks,
+                 const std::vector<const Assumption *> &covers,
+                 VerifyResult &result)
+{
+    sat::Solver solver;
+    if (config.cancel)
+        solver.setCancel(config.cancel);
+    sat::CnfBuilder cnf(solver);
+    bmc::Unroller unroller(cnf, netlist, preds, assumptions);
+    unroller.pushInitialFrame();
+
+    std::vector<sva::MonitorCnf *> monitors;
+    for (PropTrack &t : tracks) {
+        t.monitor = std::make_unique<sva::MonitorCnf>(cnf, *t.runtime);
+        t.state = t.monitor->initialState();
+        monitors.push_back(t.monitor.get());
+    }
+
+    const std::size_t depth = config.bmcDepth;
+    for (std::size_t d = 0; d <= depth; ++d) {
+        if (config.cancel &&
+            config.cancel->load(std::memory_order_relaxed))
+            return false;
+
+        std::vector<sva::MonitorCnf::State> states;
+        states.reserve(tracks.size());
+        for (const PropTrack &t : tracks)
+            states.push_back(t.state);
+
+        cnf.pushFrame();
+        const bool ok = queryPropsAtDepth(tracks, monitors, states,
+                                          solver, cnf, unroller, d);
+        cnf.popFrame();
+        if (!ok)
+            return false;
+        if (d == depth)
+            break;
+
+        // Open cycle d: inputs, cone, implications as hard clauses.
+        // These must stay outside any frame — depth d+1 onward
+        // depends on them.
+        unroller.attachInputs(d);
+        unroller.assertValidCycle(d);
+
+        if (!result.coverReached) {
+            cnf.pushFrame();
+            const bool cover_ok = queryCoversAtCycle(
+                covers, solver, cnf, unroller, d, result);
+            cnf.popFrame();
+            if (!cover_ok)
+                return false;
+        }
+
+        unroller.pushTransition();
+        for (PropTrack &t : tracks)
+            if (!t.resolved)
+                t.state = t.monitor->step(t.state, [&](int pred) {
+                    return unroller.predLit(d, pred);
+                });
+    }
+    addSolverStats(result, solver);
+    return true;
+}
+
+/**
+ * Rebuild-per-depth sweep: the full-price baseline the incremental
+ * path is benchmarked against. Every depth d gets a fresh solver,
+ * CNF, unrolling of cycles 0..d-1, and monitor re-encoding, then
+ * issues exactly the queries the incremental sweep issues at that
+ * depth — identical verdict classes and witness depths, O(depth²)
+ * encoding work, and no learned-clause carry-over. Returns false on
+ * cancellation.
+ */
+bool
+sweepRebuild(const rtl::Netlist &netlist,
+             const sva::PredicateTable &preds,
+             const std::vector<Assumption> &assumptions,
+             const EngineConfig &config,
+             std::vector<PropTrack> &tracks,
+             const std::vector<const Assumption *> &covers,
+             VerifyResult &result)
+{
+    const std::size_t depth = config.bmcDepth;
+    for (std::size_t d = 0; d <= depth; ++d) {
+        if (config.cancel &&
+            config.cancel->load(std::memory_order_relaxed))
+            return false;
+
+        sat::Solver solver;
+        if (config.cancel)
+            solver.setCancel(config.cancel);
+        sat::CnfBuilder cnf(solver);
+        bmc::Unroller unroller(cnf, netlist, preds, assumptions);
+        unroller.pushInitialFrame();
+
+        std::vector<std::unique_ptr<sva::MonitorCnf>> owned;
+        std::vector<sva::MonitorCnf *> monitors;
+        std::vector<sva::MonitorCnf::State> states;
+        for (PropTrack &t : tracks) {
+            owned.push_back(
+                std::make_unique<sva::MonitorCnf>(cnf, *t.runtime));
+            monitors.push_back(owned.back().get());
+            states.push_back(owned.back()->initialState());
+        }
+
+        // Replay cycles 0..d-1 to reconstruct frame d and the
+        // monitor states the incremental sweep would hold here.
+        for (std::size_t j = 0; j < d; ++j) {
+            unroller.attachInputs(j);
+            unroller.assertValidCycle(j);
+            unroller.pushTransition();
+            for (std::size_t i = 0; i < tracks.size(); ++i)
+                if (!tracks[i].resolved)
+                    states[i] = monitors[i]->step(
+                        states[i], [&](int pred) {
+                            return unroller.predLit(j, pred);
+                        });
+        }
+
+        if (!queryPropsAtDepth(tracks, monitors, states, solver, cnf,
+                               unroller, d))
+            return false;
+
+        if (d < depth && !result.coverReached) {
+            unroller.attachInputs(d);
+            unroller.assertValidCycle(d);
+            if (!queryCoversAtCycle(covers, solver, cnf, unroller, d,
+                                    result))
+                return false;
+        }
+        addSolverStats(result, solver);
+    }
+    return true;
+}
+
+/**
+ * k-induction for whatever the sweep left open. Independent of the
+ * sweep mode: the window solver is always built fresh (its free
+ * initial frame shares nothing with the reset-pinned sweep CNF), so
+ * inductionK values match between modes by construction. Returns
+ * false on cancellation.
+ */
+bool
+runInduction(const rtl::Netlist &netlist,
+             const sva::PredicateTable &preds,
+             const std::vector<Assumption> &assumptions,
+             const EngineConfig &config,
+             std::vector<PropTrack> &tracks,
+             const std::vector<const Assumption *> &covers,
+             VerifyResult &result)
+{
+    const std::size_t depth = config.bmcDepth;
+    sat::Solver isolver;
+    if (config.cancel)
+        isolver.setCancel(config.cancel);
+    sat::CnfBuilder icnf(isolver);
+    bmc::Unroller iu(icnf, netlist, preds, assumptions);
+    iu.pushFreeFrame();
+
+    std::vector<IndProp> iprops;
+    for (PropTrack &t : tracks) {
+        if (t.resolved)
+            continue;
+        IndProp ip;
+        ip.track = &t;
+        ip.monitor = std::make_unique<sva::MonitorCnf>(icnf, *t.runtime);
+        ip.states.push_back(ip.monitor->freeState());
+        ip.act = icnf.freshLit();
+        iprops.push_back(std::move(ip));
+    }
+    std::vector<IndCover> icovers;
+    if (!result.coverReached) {
+        for (const Assumption *c : covers) {
+            IndCover ic;
+            ic.cover = c;
+            ic.act = icnf.freshLit();
+            icovers.push_back(std::move(ic));
+        }
+    }
+
+    // Per-frame design-state literals and memoized pairwise design
+    // distinctness, shared across properties and covers.
+    std::vector<std::vector<sat::Lit>> frame_bits;
+    frame_bits.emplace_back();
+    iu.appendStateLits(0, frame_bits.back());
+    std::map<std::pair<std::size_t, std::size_t>, sat::Lit>
+        design_distinct;
+    auto designDistinct = [&](std::size_t j, std::size_t k) {
+        auto it = design_distinct.find({j, k});
+        if (it != design_distinct.end())
+            return it->second;
+        sat::Lit l =
+            vectorsDistinct(icnf, frame_bits[j], frame_bits[k]);
+        design_distinct.emplace(std::make_pair(j, k), l);
+        return l;
+    };
+    auto monitorBits = [](const IndProp &ip, std::size_t f) {
+        std::vector<sat::Lit> bits;
+        ip.monitor->appendStateLits(ip.states[f], bits);
+        return bits;
+    };
+
+    // Base cases come from the sweep: no property fails within
+    // bmcDepth cycles and no cover fires in cycles 0..bmcDepth-1,
+    // so any window up to bmcDepth+1 has its base discharged.
+    const std::size_t max_k =
+        std::min(config.inductionDepth, depth + 1);
+    for (std::size_t k = 1; k <= max_k; ++k) {
+        if (config.cancel &&
+            config.cancel->load(std::memory_order_relaxed))
+            return false;
+
+        // Grow the window: cycle k-1 runs, frame k appears.
+        iu.attachInputs(k - 1);
+        iu.assertValidCycle(k - 1);
+        for (IndCover &ic : icovers)
+            ic.hits.push_back(iu.coverHitLit(k - 1, *ic.cover));
+        iu.pushTransition();
+        frame_bits.emplace_back();
+        iu.appendStateLits(k, frame_bits.back());
+
+        for (IndProp &ip : iprops) {
+            if (!ip.active)
+                continue;
+            PropTrack &t = *ip.track;
+            // act -> the window prefix never fails...
+            isolver.addClause(
+                ~ip.act, ~ip.monitor->failed(ip.states[k - 1]));
+            ip.states.push_back(ip.monitor->step(
+                ip.states[k - 1],
+                [&](int pred) { return iu.predLit(k - 1, pred); }));
+            // ...and its product states are pairwise distinct
+            // (a minimal counterexample is loop-free: splicing
+            // out a repeated product state replays the suffix
+            // and yields a shorter one).
+            const auto mk = monitorBits(ip, k);
+            for (std::size_t j = 0; j < k; ++j)
+                isolver.addClause(
+                    ~ip.act,
+                    icnf.mkOr(designDistinct(j, k),
+                              vectorsDistinct(icnf, monitorBits(ip, j),
+                                              mk)));
+            const auto t_solve = Clock::now();
+            const sat::Result r = isolver.solve(
+                {ip.act, ip.monitor->failed(ip.states[k])});
+            t.result.checkSeconds += elapsedSeconds(t_solve);
+            if (r == sat::Result::Unknown)
+                return false;
+            if (r == sat::Result::Unsat) {
+                ip.active = false;
+                t.resolved = true;
+                t.result.status = ProofStatus::Proven;
+                t.result.inductionK = static_cast<std::uint32_t>(k);
+            }
+        }
+
+        for (IndCover &ic : icovers) {
+            if (ic.provenUnreachable)
+                continue;
+            // Window cycles 0..k-1: no hit before the last cycle,
+            // distinct design states, hit at cycle k-1.
+            if (k >= 2)
+                isolver.addClause(~ic.act, ~ic.hits[k - 2]);
+            for (std::size_t j = 0; j + 1 < k; ++j)
+                isolver.addClause(~ic.act, designDistinct(j, k - 1));
+            const sat::Result r =
+                isolver.solve({ic.act, ic.hits[k - 1]});
+            if (r == sat::Result::Unknown)
+                return false;
+            if (r == sat::Result::Unsat)
+                ic.provenUnreachable = true;
+        }
+    }
+
+    if (!icovers.empty()) {
+        bool all_unreachable = true;
+        for (const IndCover &ic : icovers)
+            all_unreachable &= ic.provenUnreachable;
+        result.coverUnreachable = all_unreachable;
+    }
+    addSolverStats(result, isolver);
+    return true;
+}
+
 } // namespace
 
 VerifyResult
@@ -81,13 +511,6 @@ verifyBmc(const rtl::Netlist &netlist,
     result.engineUsed = "bmc";
     result.checkJobs = 1;
 
-    sat::Solver solver;
-    if (config.cancel)
-        solver.setCancel(config.cancel);
-    sat::CnfBuilder cnf(solver);
-    bmc::Unroller unroller(cnf, netlist, preds, assumptions);
-    unroller.pushInitialFrame();
-
     std::vector<PropTrack> tracks(properties.size());
     for (std::size_t i = 0; i < properties.size(); ++i) {
         PropTrack &t = tracks[i];
@@ -95,9 +518,6 @@ verifyBmc(const rtl::Netlist &netlist,
                         ? properties[i].runtime
                         : std::make_shared<const sva::PropertyRuntime>(
                               properties[i]);
-        t.monitor =
-            std::make_unique<sva::MonitorCnf>(cnf, *t.runtime);
-        t.state = t.monitor->initialState();
         t.result.name = properties[i].name;
     }
 
@@ -116,115 +536,14 @@ verifyBmc(const rtl::Netlist &netlist,
     };
 
     // ---- bounded sweep: depths 0..bmcDepth ----
-    for (std::size_t d = 0; d <= depth; ++d) {
-        if (config.cancel &&
-            config.cancel->load(std::memory_order_relaxed))
-            return cancelled();
-
-        // Property status at depth d. Frame d carries only its state
-        // image here — no inputs, no cycle-d implications — so a
-        // depth-d failure can never be masked by deeper constraints.
-        //
-        // One aggregate "does any open property fail here?" query
-        // filters the depth first: on a correct design that is a
-        // single UNSAT per depth instead of one solve per property.
-        // Only when the aggregate is SAT do per-property queries run
-        // (the aggregate model usually resolves most of them for
-        // free), so per-property shallowest-failure depths are
-        // exactly the ones the one-query-per-property loop reports.
-        std::vector<PropTrack *> open;
-        std::vector<sat::Lit> open_failed;
-        for (PropTrack &t : tracks) {
-            if (t.resolved)
-                continue;
-            sat::Lit failed = t.monitor->failed(t.state);
-            if (cnf.isConst(failed) && !cnf.constValue(failed))
-                continue;
-            open.push_back(&t);
-            open_failed.push_back(failed);
-        }
-        bool depth_can_fail = !open.empty();
-        if (depth_can_fail) {
-            const sat::Result r =
-                solver.solve({cnf.mkOrN(open_failed)});
-            if (r == sat::Result::Unknown)
-                return cancelled();
-            depth_can_fail = r == sat::Result::Sat;
-            if (depth_can_fail) {
-                // Everything the aggregate model already falsifies
-                // shares its witness; no further queries for those.
-                for (std::size_t i = 0; i < open.size(); ++i) {
-                    if (!solver.modelTrue(open_failed[i]))
-                        continue;
-                    PropTrack &t = *open[i];
-                    t.resolved = true;
-                    t.result.status = ProofStatus::Falsified;
-                    WitnessTrace wit;
-                    for (std::size_t j = 0; j < d; ++j)
-                        wit.inputs.push_back(
-                            unroller.decodeInput(j, solver));
-                    t.result.counterexample = std::move(wit);
-                }
-            }
-        }
-        for (std::size_t i = 0; depth_can_fail && i < open.size();
-             ++i) {
-            PropTrack &t = *open[i];
-            if (t.resolved)
-                continue;
-            const auto t_solve = Clock::now();
-            const sat::Result r = solver.solve({open_failed[i]});
-            t.result.checkSeconds += elapsedSeconds(t_solve);
-            if (r == sat::Result::Unknown)
-                return cancelled();
-            if (r == sat::Result::Sat) {
-                t.resolved = true;
-                t.result.status = ProofStatus::Falsified;
-                WitnessTrace wit;
-                for (std::size_t j = 0; j < d; ++j)
-                    wit.inputs.push_back(
-                        unroller.decodeInput(j, solver));
-                t.result.counterexample = std::move(wit);
-            }
-        }
-        if (d == depth)
-            break;
-
-        // Open cycle d: inputs, cone, implications as hard clauses.
-        unroller.attachInputs(d);
-        unroller.assertValidCycle(d);
-
-        // Cover query for cycle d, after the cycle's implications
-        // (StateGraph records hits on unpruned edges only). Any
-        // reachable cover suffices for the verdict; the first hit is
-        // the shallowest and makes the best replay witness.
-        if (!result.coverReached) {
-            for (const Assumption *cover : covers) {
-                sat::Lit hit = unroller.coverHitLit(d, *cover);
-                if (cnf.isConst(hit) && !cnf.constValue(hit))
-                    continue;
-                const sat::Result r = solver.solve({hit});
-                if (r == sat::Result::Unknown)
-                    return cancelled();
-                if (r == sat::Result::Sat) {
-                    result.coverReached = true;
-                    WitnessTrace wit;
-                    for (std::size_t j = 0; j <= d; ++j)
-                        wit.inputs.push_back(
-                            unroller.decodeInput(j, solver));
-                    result.coverWitness = std::move(wit);
-                    break;
-                }
-            }
-        }
-
-        unroller.pushTransition();
-        for (PropTrack &t : tracks)
-            if (!t.resolved)
-                t.state = t.monitor->step(t.state, [&](int pred) {
-                    return unroller.predLit(d, pred);
-                });
-    }
+    const bool swept =
+        config.satIncremental
+            ? sweepIncremental(netlist, preds, assumptions, config,
+                               tracks, covers, result)
+            : sweepRebuild(netlist, preds, assumptions, config,
+                           tracks, covers, result);
+    if (!swept)
+        return cancelled();
 
     // ---- k-induction for whatever the sweep left open ----
     bool props_open = false;
@@ -232,144 +551,10 @@ verifyBmc(const rtl::Netlist &netlist,
         props_open |= !t.resolved;
     const bool covers_open = !covers.empty() && !result.coverReached;
 
-    std::size_t ind_vars = 0, ind_clauses = 0;
-    std::uint64_t ind_conflicts = 0;
     if (config.inductionDepth > 0 && (props_open || covers_open)) {
-        sat::Solver isolver;
-        if (config.cancel)
-            isolver.setCancel(config.cancel);
-        sat::CnfBuilder icnf(isolver);
-        bmc::Unroller iu(icnf, netlist, preds, assumptions);
-        iu.pushFreeFrame();
-
-        std::vector<IndProp> iprops;
-        for (PropTrack &t : tracks) {
-            if (t.resolved)
-                continue;
-            IndProp ip;
-            ip.track = &t;
-            ip.monitor =
-                std::make_unique<sva::MonitorCnf>(icnf, *t.runtime);
-            ip.states.push_back(ip.monitor->freeState());
-            ip.act = icnf.freshLit();
-            iprops.push_back(std::move(ip));
-        }
-        std::vector<IndCover> icovers;
-        if (covers_open) {
-            for (const Assumption *c : covers) {
-                IndCover ic;
-                ic.cover = c;
-                ic.act = icnf.freshLit();
-                icovers.push_back(std::move(ic));
-            }
-        }
-
-        // Per-frame design-state literals and memoized pairwise
-        // design distinctness, shared across properties and covers.
-        std::vector<std::vector<sat::Lit>> frame_bits;
-        frame_bits.emplace_back();
-        iu.appendStateLits(0, frame_bits.back());
-        std::map<std::pair<std::size_t, std::size_t>, sat::Lit>
-            design_distinct;
-        auto designDistinct = [&](std::size_t j, std::size_t k) {
-            auto it = design_distinct.find({j, k});
-            if (it != design_distinct.end())
-                return it->second;
-            sat::Lit l =
-                vectorsDistinct(icnf, frame_bits[j], frame_bits[k]);
-            design_distinct.emplace(std::make_pair(j, k), l);
-            return l;
-        };
-        auto monitorBits = [](const IndProp &ip, std::size_t f) {
-            std::vector<sat::Lit> bits;
-            ip.monitor->appendStateLits(ip.states[f], bits);
-            return bits;
-        };
-
-        // Base cases come from the sweep: no property fails within
-        // bmcDepth cycles and no cover fires in cycles 0..bmcDepth-1,
-        // so any window up to bmcDepth+1 has its base discharged.
-        const std::size_t max_k =
-            std::min(config.inductionDepth, depth + 1);
-        for (std::size_t k = 1; k <= max_k; ++k) {
-            if (config.cancel &&
-                config.cancel->load(std::memory_order_relaxed))
-                return cancelled();
-
-            // Grow the window: cycle k-1 runs, frame k appears.
-            iu.attachInputs(k - 1);
-            iu.assertValidCycle(k - 1);
-            for (IndCover &ic : icovers)
-                ic.hits.push_back(iu.coverHitLit(k - 1, *ic.cover));
-            iu.pushTransition();
-            frame_bits.emplace_back();
-            iu.appendStateLits(k, frame_bits.back());
-
-            for (IndProp &ip : iprops) {
-                if (!ip.active)
-                    continue;
-                PropTrack &t = *ip.track;
-                // act -> the window prefix never fails...
-                isolver.addClause(
-                    ~ip.act, ~ip.monitor->failed(ip.states[k - 1]));
-                ip.states.push_back(ip.monitor->step(
-                    ip.states[k - 1],
-                    [&](int pred) { return iu.predLit(k - 1, pred); }));
-                // ...and its product states are pairwise distinct
-                // (a minimal counterexample is loop-free: splicing
-                // out a repeated product state replays the suffix
-                // and yields a shorter one).
-                const auto mk = monitorBits(ip, k);
-                for (std::size_t j = 0; j < k; ++j)
-                    isolver.addClause(
-                        ~ip.act,
-                        icnf.mkOr(designDistinct(j, k),
-                                  vectorsDistinct(icnf,
-                                                  monitorBits(ip, j),
-                                                  mk)));
-                const auto t_solve = Clock::now();
-                const sat::Result r = isolver.solve(
-                    {ip.act, ip.monitor->failed(ip.states[k])});
-                t.result.checkSeconds += elapsedSeconds(t_solve);
-                if (r == sat::Result::Unknown)
-                    return cancelled();
-                if (r == sat::Result::Unsat) {
-                    ip.active = false;
-                    t.resolved = true;
-                    t.result.status = ProofStatus::Proven;
-                    t.result.inductionK =
-                        static_cast<std::uint32_t>(k);
-                }
-            }
-
-            for (IndCover &ic : icovers) {
-                if (ic.provenUnreachable)
-                    continue;
-                // Window cycles 0..k-1: no hit before the last
-                // cycle, distinct design states, hit at cycle k-1.
-                if (k >= 2)
-                    isolver.addClause(~ic.act, ~ic.hits[k - 2]);
-                for (std::size_t j = 0; j + 1 < k; ++j)
-                    isolver.addClause(~ic.act,
-                                      designDistinct(j, k - 1));
-                const sat::Result r =
-                    isolver.solve({ic.act, ic.hits[k - 1]});
-                if (r == sat::Result::Unknown)
-                    return cancelled();
-                if (r == sat::Result::Unsat)
-                    ic.provenUnreachable = true;
-            }
-        }
-
-        if (!icovers.empty()) {
-            bool all_unreachable = true;
-            for (const IndCover &ic : icovers)
-                all_unreachable &= ic.provenUnreachable;
-            result.coverUnreachable = all_unreachable;
-        }
-        ind_vars = isolver.numVars();
-        ind_clauses = isolver.numClauses();
-        ind_conflicts = isolver.stats().conflicts;
+        if (!runInduction(netlist, preds, assumptions, config, tracks,
+                          covers, result))
+            return cancelled();
     }
 
     for (PropTrack &t : tracks) {
@@ -380,9 +565,6 @@ verifyBmc(const rtl::Netlist &netlist,
         result.properties.push_back(std::move(t.result));
     }
 
-    result.satVars = solver.numVars() + ind_vars;
-    result.satClauses = solver.numClauses() + ind_clauses;
-    result.satConflicts = solver.stats().conflicts + ind_conflicts;
     result.checkSeconds = elapsedSeconds(t_start);
     return result;
 }

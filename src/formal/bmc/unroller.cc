@@ -58,6 +58,32 @@ Unroller::pushInitialFrame()
     _frames.push_back(std::move(f));
 }
 
+std::vector<sat::Lit>
+Unroller::pushPinnedFrame()
+{
+    RC_ASSERT(_frames.empty(), "pinned frame must be frame 0");
+    rtl::StateVec init = _netlist.initialState();
+    for (const Assumption &a : _assumptions) {
+        if (a.kind != Assumption::Kind::InitialPin)
+            continue;
+        RC_ASSERT(a.stateSlot < init.size());
+        init[a.stateSlot] = a.value;
+    }
+    Frame f;
+    f.state.reserve(init.size());
+    std::vector<sat::Lit> pins;
+    for (std::size_t i = 0; i < init.size(); ++i) {
+        RC_ASSERT(fitsWidth(init[i], _slotWidths[i]),
+                  "pinned initial state exceeds declared widths");
+        sat::Bits bits = _cnf.bvFresh(_slotWidths[i]);
+        for (unsigned b = 0; b < _slotWidths[i]; ++b)
+            pins.push_back((init[i] >> b) & 1 ? bits[b] : ~bits[b]);
+        f.state.push_back(std::move(bits));
+    }
+    _frames.push_back(std::move(f));
+    return pins;
+}
+
 void
 Unroller::pushFreeFrame()
 {

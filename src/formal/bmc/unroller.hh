@@ -55,6 +55,20 @@ class Unroller
      *  induction windows. */
     void pushFreeFrame();
 
+    /**
+     * Frame 0 with *free* state variables plus returned unit
+     * assumption literals that pin every slot to the same
+     * reset/InitialPin image pushInitialFrame() bakes in as
+     * constants. Solving under the returned literals is equivalent
+     * to pushInitialFrame() (up to constant folding, which the free
+     * encoding forgoes); swapping in a different image's literals
+     * re-targets the same unrolled CNF — how a sweep over designs
+     * differing only in memory initialization (the litmus suite's
+     * programs change nothing else) shares one solver and its
+     * learned clauses.
+     */
+    std::vector<sat::Lit> pushPinnedFrame();
+
     /** Frame 0 aliased to `other`'s frame 0: the same state
      *  bit-vectors, so the two machines provably start from the one
      *  (free or pinned) state. Both unrollers must share a

@@ -80,6 +80,13 @@ struct EngineConfig
      *  and covers after the BMC sweep; 0 disables induction (every
      *  unfalsified property stays Bounded). */
     std::size_t inductionDepth = 6;
+    /** Depth-incremental BMC: one solver deepens across the whole
+     *  sweep, per-depth query gates are retired via activation
+     *  groups, and learned clauses carry between depths. Off =
+     *  rebuild the CNF from scratch at every depth (the full-price
+     *  baseline the bench gates against). Verdict classes, witness
+     *  depths, and inductionK are identical either way. */
+    bool satIncremental = true;
     /** Cooperative cancellation (portfolio mode): when the flag goes
      *  true, the back-end abandons work and returns a result with
      *  `cancelled` set. */
@@ -164,6 +171,12 @@ struct VerifyResult
     std::size_t satVars = 0;
     std::size_t satClauses = 0;
     std::uint64_t satConflicts = 0;
+    /** SAT-core counters (sat::Solver::Stats, summed over the sweep
+     *  and induction solvers; 0 for the explicit engine). */
+    std::uint64_t satSolves = 0;
+    std::uint64_t satLearnedReuse = 0;
+    std::uint64_t satFramesPushed = 0;
+    std::uint64_t satFramesPopped = 0;
 
     int numProven() const;
     int numBounded() const;

@@ -5,9 +5,6 @@
 #include <vector>
 
 #include "common/logging.hh"
-#include "formal/bmc/unroller.hh"
-#include "sat/cnf.hh"
-#include "sat/solver.hh"
 
 namespace rtlcheck::formal {
 
@@ -45,61 +42,91 @@ equivVerdictName(EquivVerdict v)
     return "?";
 }
 
+MiterSession::MiterSession(const rtl::Netlist &pristine,
+                           const sva::PredicateTable &preds)
+    : _pristine(pristine), _preds(preds), _cnf(_solver),
+      _ua(_cnf, pristine, preds, _noAssumptions)
+{
+    // The pristine base every check() diffs against: one cycle from
+    // a free symbolic state under symbolic inputs. Encoded outside
+    // any clause group, so it persists for the session's lifetime.
+    _ua.pushFreeFrame();
+    _ua.attachInputs(0);
+    _ua.pushTransition();
+}
+
+double
+MiterSession::reuseRate() const
+{
+    const std::size_t total = _coneHits + _coneGates;
+    return total ? static_cast<double>(_coneHits) / total : 0.0;
+}
+
 MiterResult
-proveTransitionEquivalent(const rtl::Netlist &a, const rtl::Netlist &b,
-                          const sva::PredicateTable &preds,
-                          std::uint64_t conflictBudget,
-                          const std::atomic<bool> *cancel)
+MiterSession::check(const rtl::Netlist &mutant,
+                    std::uint64_t conflictBudget,
+                    const std::atomic<bool> *cancel)
 {
     const auto start = std::chrono::steady_clock::now();
     MiterResult result;
 
-    RC_ASSERT(a.stateWords() == b.stateWords()
-                  && a.inputs().size() == b.inputs().size(),
+    RC_ASSERT(_pristine.stateWords() == mutant.stateWords()
+                  && _pristine.inputs().size()
+                         == mutant.inputs().size(),
               "miter requires identical state and input layouts");
 
-    sat::Solver solver;
-    sat::CnfBuilder cnf(solver);
-    // The unrollers are built without assumptions: equivalence must
-    // hold from *every* state for pruning to be sound, not just the
-    // reachable states of one litmus test.
-    const std::vector<Assumption> noAssumptions;
-    bmc::Unroller ua(cnf, a, preds, noAssumptions);
-    bmc::Unroller ub(cnf, b, preds, noAssumptions);
+    const std::uint64_t conflicts0 = _solver.stats().conflicts;
+    const std::size_t gates0 = _cnf.numGates();
+    const std::size_t hits0 = _cnf.cacheHits();
+    ++_checks;
 
-    ua.pushFreeFrame();
-    ua.attachInputs(0);
-    ua.pushTransition();
-    ub.pushSharedFrame(ua);
-    ub.attachSharedInputs(0, ua);
+    // Everything the mutant adds — its cone, the difference
+    // observables, the query OR — lives in this group and is retired
+    // before we return; only learned clauses over the pristine base
+    // survive into the next check.
+    _cnf.pushFrame();
+    bmc::Unroller ub(_cnf, mutant, _preds, _noAssumptions);
+    ub.pushSharedFrame(_ua);
+    ub.attachSharedInputs(0, _ua);
     ub.pushTransition();
 
     // Observables: every registered predicate of the shared cycle,
     // then every state slot of the post-transition image.
     std::vector<std::pair<sat::Lit, std::string>> diffs;
-    for (int p = 0; p < preds.size(); ++p) {
-        sat::Lit d = cnf.mkXor(ua.predLit(0, p), ub.predLit(0, p));
-        if (cnf.isConst(d) && !cnf.constValue(d))
+    for (int p = 0; p < _preds.size(); ++p) {
+        sat::Lit d = _cnf.mkXor(_ua.predLit(0, p), ub.predLit(0, p));
+        if (_cnf.isConst(d) && !_cnf.constValue(d))
             continue;
-        diffs.emplace_back(d, catStr("pred ", preds.textOf(p)));
+        diffs.emplace_back(d, catStr("pred ", _preds.textOf(p)));
     }
-    for (std::size_t slot = 0; slot < a.stateWords(); ++slot) {
-        const sat::Bits &sa = ua.stateBits(1, slot);
+    for (std::size_t slot = 0; slot < _pristine.stateWords();
+         ++slot) {
+        const sat::Bits &sa = _ua.stateBits(1, slot);
         const sat::Bits &sb = ub.stateBits(1, slot);
-        sat::Lit d = ~cnf.bvEq(sa, sb);
-        if (cnf.isConst(d) && !cnf.constValue(d))
+        sat::Lit d = ~_cnf.bvEq(sa, sb);
+        if (_cnf.isConst(d) && !_cnf.constValue(d))
             continue;
-        diffs.emplace_back(d, catStr("state ", slotName(a, slot)));
+        diffs.emplace_back(d, catStr("state ", slotName(_pristine,
+                                                        slot)));
     }
 
     auto finish = [&](EquivVerdict verdict) {
         result.verdict = verdict;
-        result.conflicts = solver.stats().conflicts;
-        result.clauses = solver.numClauses();
+        result.conflicts = _solver.stats().conflicts - conflicts0;
+        result.clauses = _solver.numClauses();
+        const std::size_t gates = _cnf.numGates() - gates0;
+        const std::size_t hits = _cnf.cacheHits() - hits0;
+        _coneGates += gates;
+        _coneHits += hits;
+        result.reuseRate =
+            (gates + hits)
+                ? static_cast<double>(hits) / (gates + hits)
+                : 1.0;
         result.seconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - start)
                 .count();
+        _cnf.popFrame();
         return result;
     };
 
@@ -112,23 +139,37 @@ proveTransitionEquivalent(const rtl::Netlist &a, const rtl::Netlist &b,
     diffLits.reserve(diffs.size());
     for (const auto &[lit, name] : diffs)
         diffLits.push_back(lit);
-    cnf.require(cnf.mkOrN(diffLits));
+    sat::Lit any_diff = _cnf.mkOrN(diffLits);
 
-    solver.setConflictBudget(conflictBudget);
-    solver.setCancel(cancel);
-    sat::Result sat = solver.solve();
+    _solver.setConflictBudget(conflictBudget, /*cumulative=*/true);
+    _solver.setCancel(cancel);
+    // Assumption, not unit: the query dies with the clause group
+    // while the solver stays consistent for the next mutant.
+    sat::Result sat = _solver.solve({any_diff});
+    _solver.setCancel(nullptr);
+    _solver.setConflictBudget(0);
     if (sat == sat::Result::Unsat)
         return finish(EquivVerdict::Equivalent);
     if (sat == sat::Result::Unknown)
         return finish(EquivVerdict::Unknown);
 
     for (const auto &[lit, name] : diffs) {
-        if (solver.modelTrue(lit)) {
+        if (_solver.modelTrue(lit)) {
             result.firstDiff = name;
             break;
         }
     }
     return finish(EquivVerdict::Different);
+}
+
+MiterResult
+proveTransitionEquivalent(const rtl::Netlist &a, const rtl::Netlist &b,
+                          const sva::PredicateTable &preds,
+                          std::uint64_t conflictBudget,
+                          const std::atomic<bool> *cancel)
+{
+    MiterSession session(a, preds);
+    return session.check(b, conflictBudget, cancel);
 }
 
 } // namespace rtlcheck::formal

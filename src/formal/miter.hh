@@ -20,6 +20,11 @@
  * reaches that somewhere is exactly what the campaign measures.
  * Unknown (conflict budget or cancellation) is treated by callers as
  * "not proven equivalent" — the mutant stays in the campaign.
+ *
+ * MiterSession amortizes the pristine side across a whole mutant
+ * catalog: the base CNF is encoded once and each mutant's delta cone
+ * lives in a retirable solver clause group, so learned clauses and
+ * structural-hash folds persist from mutant to mutant.
  */
 
 #ifndef RTLCHECK_FORMAL_MITER_HH
@@ -28,8 +33,13 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "formal/assumptions.hh"
+#include "formal/bmc/unroller.hh"
 #include "rtl/netlist.hh"
+#include "sat/cnf.hh"
+#include "sat/solver.hh"
 #include "sva/predicates.hh"
 
 namespace rtlcheck::formal {
@@ -52,6 +62,69 @@ struct MiterResult
     double seconds = 0.0;
     std::uint64_t conflicts = 0;
     std::size_t clauses = 0;
+    /** Fraction of this check's gate requests answered by the
+     *  structural-hash cache instead of fresh clauses — how much of
+     *  the mutant's cone folded onto the pristine base CNF. */
+    double reuseRate = 0.0;
+};
+
+/**
+ * Incremental miter: the pristine machine's one-cycle unrolling
+ * (free shared state, symbolic inputs, transition image) is encoded
+ * once, then each check() encodes only the mutant's delta cone inside
+ * a solver clause group that is retired when the check returns. All
+ * checks share one solver, so learned clauses over the pristine base
+ * carry from mutant to mutant, and structural hashing folds every
+ * unmutated cone onto the persistent pristine literals.
+ *
+ * check() verdicts match proveTransitionEquivalent() on the same
+ * pair: the base CNF is identical and the difference query is solved
+ * under an assumption instead of a unit, which cannot change
+ * SAT/UNSAT status.
+ */
+class MiterSession
+{
+  public:
+    /** `pristine` and `preds` must outlive the session. */
+    MiterSession(const rtl::Netlist &pristine,
+                 const sva::PredicateTable &preds);
+
+    /** Check one mutant against the pristine base. `mutant` must
+     *  share the pristine state/input layout (the mutation catalog
+     *  guarantees this). The conflict budget spans the whole check
+     *  (cumulative across its solves). */
+    MiterResult check(const rtl::Netlist &mutant,
+                      std::uint64_t conflictBudget = 0,
+                      const std::atomic<bool> *cancel = nullptr);
+
+    /** Mutants checked so far. */
+    std::size_t numChecks() const { return _checks; }
+    /** Gate literals freshly emitted across all checks (the delta
+     *  cones), and gate requests served by the persistent base. */
+    std::size_t coneGates() const { return _coneGates; }
+    std::size_t coneCacheHits() const { return _coneHits; }
+    /** coneCacheHits / (coneCacheHits + coneGates); 0 before the
+     *  first check. */
+    double reuseRate() const;
+    /** Shared solver's counters (solves, conflicts, learned-clause
+     *  reuse, frames) over the whole session. */
+    const sat::Solver::Stats &solverStats() const
+    {
+        return _solver.stats();
+    }
+
+  private:
+    const rtl::Netlist &_pristine;
+    const sva::PredicateTable &_preds;
+    /** Equivalence must hold from *every* state, so the unrollers
+     *  carry no assumptions. */
+    std::vector<Assumption> _noAssumptions;
+    sat::Solver _solver;
+    sat::CnfBuilder _cnf;
+    bmc::Unroller _ua;
+    std::size_t _checks = 0;
+    std::size_t _coneGates = 0;
+    std::size_t _coneHits = 0;
 };
 
 /**

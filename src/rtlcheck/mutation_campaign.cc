@@ -4,6 +4,7 @@
 #include <chrono>
 #include <iomanip>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <utility>
 
@@ -157,10 +158,89 @@ replayAssertionCex(const CampaignTestContext &ctx,
     return sva::checkFireOnce(*prop, pred_trace) == sva::Tri::Failed;
 }
 
+/**
+ * Per-test miter sessions behind per-test locks. Each test's session
+ * encodes the pristine base once; every mutant's delta cone is then
+ * checked against it on that one solver, so learned clauses and the
+ * hashed pristine cone are shared across the whole mutant catalog.
+ * Mutant lanes contend only when they reach the same test at the
+ * same time, and the check order inside a session cannot change
+ * verdicts: Equivalent/Different are SAT ground truth, and the
+ * per-check conflict budget is order-independent too (cumulative
+ * within a check, reset between checks).
+ *
+ * With `incremental` off, every check gets the pre-session fresh
+ * solver — the full-price baseline with identical verdicts.
+ */
+class MiterBank
+{
+  public:
+    MiterBank(const std::vector<CampaignTestContext> &ctxs,
+              bool incremental)
+        : _ctxs(ctxs), _incremental(incremental), _lanes(ctxs.size())
+    {
+    }
+
+    formal::MiterResult check(std::size_t ti,
+                              const rtl::Netlist &mut_netlist,
+                              std::uint64_t budget,
+                              const std::atomic<bool> *cancel)
+    {
+        Lane &lane = _lanes[ti];
+        const CampaignTestContext &ctx = _ctxs[ti];
+        std::lock_guard<std::mutex> guard(lane.mu);
+        ++lane.solves;
+        if (_incremental) {
+            if (!lane.session)
+                lane.session =
+                    std::make_unique<formal::MiterSession>(
+                        *ctx.netlist, ctx.preds);
+            return lane.session->check(mut_netlist, budget, cancel);
+        }
+        formal::MiterResult r = formal::proveTransitionEquivalent(
+            *ctx.netlist, mut_netlist, ctx.preds, budget, cancel);
+        lane.conflicts += r.conflicts;
+        return r;
+    }
+
+    void tallyInto(CampaignReport &report) const
+    {
+        for (const Lane &lane : _lanes) {
+            if (lane.session) {
+                const sat::Solver::Stats &s =
+                    lane.session->solverStats();
+                report.miterSolves += s.solves;
+                report.miterConflicts += s.conflicts;
+                report.miterLearnedReuse += s.learnedReuseHits;
+                report.miterConeGates += lane.session->coneGates();
+                report.miterConeHits +=
+                    lane.session->coneCacheHits();
+            } else {
+                report.miterSolves += lane.solves;
+                report.miterConflicts += lane.conflicts;
+            }
+        }
+    }
+
+  private:
+    struct Lane
+    {
+        std::mutex mu;
+        std::unique_ptr<formal::MiterSession> session;
+        /** Baseline-mode counters (the session tracks its own). */
+        std::uint64_t solves = 0;
+        std::uint64_t conflicts = 0;
+    };
+
+    const std::vector<CampaignTestContext> &_ctxs;
+    bool _incremental;
+    std::vector<Lane> _lanes;
+};
+
 MutantReport
 runOneMutant(const rtl::Mutation &mutation,
              const std::vector<CampaignTestContext> &ctxs,
-             const MutationCampaignOptions &options,
+             MiterBank &miters, const MutationCampaignOptions &options,
              const RunOptions &run)
 {
     auto t0 = Clock::now();
@@ -170,7 +250,8 @@ runOneMutant(const rtl::Mutation &mutation,
     bool killed = false;
     bool considered = false;
     bool all_equivalent = true;
-    for (const CampaignTestContext &ctx : ctxs) {
+    for (std::size_t ti = 0; ti < ctxs.size(); ++ti) {
+        const CampaignTestContext &ctx = ctxs[ti];
         if (!ctx.pristineClean)
             continue;
         considered = true;
@@ -182,9 +263,10 @@ runOneMutant(const rtl::Mutation &mutation,
         // Per-test equivalence check: the instruction ROM folds the
         // program into the cone, so equivalence is per test. UNSAT
         // here means this test cannot distinguish the mutant.
-        formal::MiterResult miter = formal::proveTransitionEquivalent(
-            *ctx.netlist, mut_netlist, ctx.preds,
-            options.miterConflictBudget, run.config.cancel);
+        formal::MiterResult miter =
+            miters.check(ti, mut_netlist,
+                         options.miterConflictBudget,
+                         run.config.cancel);
         rep.miterSeconds += miter.seconds;
         if (miter.verdict == formal::EquivVerdict::Equivalent) {
             ++rep.testsSkippedEquivalent;
@@ -309,6 +391,13 @@ CampaignReport::numEquivalent() const
 }
 
 double
+CampaignReport::miterReuseRate() const
+{
+    const std::size_t total = miterConeHits + miterConeGates;
+    return total ? static_cast<double>(miterConeHits) / total : 0.0;
+}
+
+double
 CampaignReport::mutationScore() const
 {
     const std::size_t killed = numKilled();
@@ -379,6 +468,12 @@ CampaignReport::renderJson() const
     out << "  \"mutationScore\": " << mutationScore() << ",\n";
     out << "  \"wallSeconds\": " << wallSeconds << ",\n";
     out << "  \"jobs\": " << jobs << ",\n";
+    out << "  \"miter\": {\"solves\": " << miterSolves
+        << ", \"conflicts\": " << miterConflicts
+        << ", \"learnedReuse\": " << miterLearnedReuse
+        << ", \"coneGates\": " << miterConeGates
+        << ", \"coneHits\": " << miterConeHits
+        << ", \"reuseRate\": " << miterReuseRate() << "},\n";
     out << "  \"tests\": [";
     for (std::size_t i = 0; i < testNames.size(); ++i)
         out << (i ? ", " : "") << '"' << jsonEscape(testNames[i])
@@ -469,11 +564,13 @@ runMutationCampaign(const uspec::Model &model,
             report.excludedTests.push_back(ctx.test->name);
     }
 
+    MiterBank miters(ctxs, options.satIncremental);
     report.mutants.resize(mutations.size());
     pool.parallelFor(mutations.size(), [&](std::size_t mi) {
-        report.mutants[mi] =
-            runOneMutant(mutations[mi], ctxs, options, run);
+        report.mutants[mi] = runOneMutant(mutations[mi], ctxs,
+                                          miters, options, run);
     });
+    miters.tallyInto(report);
 
     report.wallSeconds = secondsSince(t0);
     return report;

@@ -56,6 +56,13 @@ struct MutationCampaignOptions
     /** Keep verifying past the first kill, filling the whole row of
      *  the kill matrix (slower; default stops at first blood). */
     bool fullMatrix = false;
+    /** Share one MiterSession (one solver, one pristine base CNF)
+     *  across all mutants of a test, so learned clauses and the
+     *  structurally-hashed pristine cone carry from mutant to
+     *  mutant. Off = a fresh solver per (test, mutant) miter, the
+     *  pre-session baseline. Fates and the kill matrix are
+     *  unaffected. */
+    bool satIncremental = true;
     /** Replay every kill's witness on the mutant RTL simulator. */
     bool replayWitnesses = true;
     /** Mutant-level parallel lanes (0 = ThreadPool::defaultJobs). */
@@ -113,6 +120,21 @@ struct CampaignReport
     std::vector<std::string> excludedTests;
     double wallSeconds = 0.0;
     std::size_t jobs = 1;
+
+    /** Miter-stage counters, summed over every per-test session
+     *  (per-pair solver when satIncremental is off). */
+    std::uint64_t miterSolves = 0;
+    std::uint64_t miterConflicts = 0;
+    /** Learned clauses re-propagated in a later solve than the one
+     *  that derived them — cross-mutant clause reuse. */
+    std::uint64_t miterLearnedReuse = 0;
+    /** Gate literals freshly emitted for mutant delta cones, and
+     *  gate requests served by a persistent pristine base. */
+    std::size_t miterConeGates = 0;
+    std::size_t miterConeHits = 0;
+    /** coneHits / (coneHits + coneGates): how much of the mutant
+     *  cones folded onto shared base CNF. */
+    double miterReuseRate() const;
 
     std::size_t numKilled() const;
     std::size_t numSurvived() const;

@@ -116,6 +116,20 @@ verifyContext(const TestContext &ctx, const formal::EngineConfig &config,
 
 } // namespace
 
+SatTotals
+SuiteRun::satTotals() const
+{
+    SatTotals t;
+    for (const TestRun &run : runs) {
+        t.solves += run.verify.satSolves;
+        t.conflicts += run.verify.satConflicts;
+        t.learnedReuse += run.verify.satLearnedReuse;
+        t.framesPushed += run.verify.satFramesPushed;
+        t.framesPopped += run.verify.satFramesPopped;
+    }
+    return t;
+}
+
 TestRun
 runTest(const litmus::Test &test, const uspec::Model &model,
         const RunOptions &options)

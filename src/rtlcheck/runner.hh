@@ -84,6 +84,16 @@ struct TestRun
 TestRun runTest(const litmus::Test &test, const uspec::Model &model,
                 const RunOptions &options);
 
+/** SAT-core counters summed over a batch of test runs. */
+struct SatTotals
+{
+    std::uint64_t solves = 0;
+    std::uint64_t conflicts = 0;
+    std::uint64_t learnedReuse = 0;
+    std::uint64_t framesPushed = 0;
+    std::uint64_t framesPopped = 0;
+};
+
 /** Result of running a batch of tests, in input order. */
 struct SuiteRun
 {
@@ -93,6 +103,10 @@ struct SuiteRun
     double wallSeconds = 0.0;
     /** Parallel lanes the batch was run with. */
     std::size_t jobs = 1;
+
+    /** Solver counters summed over every run; all zero when no test
+     *  used a SAT backend (pure explicit-state batches). */
+    SatTotals satTotals() const;
 };
 
 /**

@@ -33,12 +33,35 @@ CnfBuilder::hashed(const Key &key,
                    Lit b, Lit c)
 {
     auto it = _cache.find(key);
-    if (it != _cache.end())
+    if (it != _cache.end()) {
+        ++_cacheHits;
         return it->second;
+    }
     Lit y = (this->*build)(a, b, c);
     _cache.emplace(key, y);
     ++_numGates;
+    if (!_frameMarks.empty())
+        _cacheLog.push_back(key);
     return y;
+}
+
+void
+CnfBuilder::pushFrame()
+{
+    _frameMarks.push_back(_cacheLog.size());
+    _solver.pushFrame();
+}
+
+void
+CnfBuilder::popFrame()
+{
+    RC_ASSERT(!_frameMarks.empty(), "popFrame without an open frame");
+    const std::size_t mark = _frameMarks.back();
+    _frameMarks.pop_back();
+    for (std::size_t i = mark; i < _cacheLog.size(); ++i)
+        _cache.erase(_cacheLog[i]);
+    _cacheLog.resize(mark);
+    _solver.popFrame();
 }
 
 Lit

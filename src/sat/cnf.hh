@@ -61,6 +61,20 @@ class CnfBuilder
     /** Assert `l` as a unit clause. */
     void require(Lit l);
 
+    /**
+     * Open a solver clause group (Solver::pushFrame) and scope the
+     * structural-hash cache to it: gate results memoized while the
+     * frame is open are forgotten at popFrame(), because their
+     * defining clauses are disabled with the frame — handing out a
+     * cached literal whose semantics were popped would be unsound.
+     * Gates hashed *before* the frame keep serving hits inside it,
+     * which is exactly how a query's delta cone folds onto a
+     * persistent base CNF.
+     */
+    void pushFrame();
+    void popFrame();
+    std::size_t numOpenFrames() const { return _frameMarks.size(); }
+
     // Bit-vector layer. All results carry exactly the requested
     // width; operands are zero-extended on demand, mirroring the
     // interpreter's maskOf() truncation semantics.
@@ -92,6 +106,12 @@ class CnfBuilder
 
     /** Number of gate literals emitted (excludes folded results). */
     std::size_t numGates() const { return _numGates; }
+
+    /** Structural-hash cache hits so far: gate requests answered
+     *  with an existing literal instead of fresh clauses. The
+     *  hits/(hits + gates) ratio over a query is its base-CNF reuse
+     *  rate. */
+    std::size_t cacheHits() const { return _cacheHits; }
 
   private:
     struct Key
@@ -125,6 +145,11 @@ class CnfBuilder
     Lit _true;
     std::unordered_map<Key, Lit, KeyHash> _cache;
     std::size_t _numGates = 0;
+    std::size_t _cacheHits = 0;
+    /** Keys inserted while at least one frame was open (for
+     *  popFrame eviction), plus the per-frame watermarks into it. */
+    std::vector<Key> _cacheLog;
+    std::vector<std::size_t> _frameMarks;
 };
 
 } // namespace rtlcheck::sat

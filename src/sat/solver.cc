@@ -60,6 +60,21 @@ Solver::addClause(Lit a, Lit b, Lit c)
 bool
 Solver::addClause(const std::vector<Lit> &lits)
 {
+    // Inside an open frame the clause is gated: stored with the
+    // frame's ~act so popFrame() can disable it. Only the innermost
+    // frame gates it — frames pop LIFO, so any enclosing pop retires
+    // the inner activation variable (and with it this clause) first.
+    if (!_frameActs.empty()) {
+        std::vector<Lit> gated(lits);
+        gated.push_back(~_frameActs.back());
+        return addClauseRaw(gated);
+    }
+    return addClauseRaw(lits);
+}
+
+bool
+Solver::addClauseRaw(const std::vector<Lit> &lits)
+{
     if (!_ok)
         return false;
     RC_ASSERT(decisionLevel() == 0,
@@ -105,8 +120,8 @@ Solver::addClause(const std::vector<Lit> &lits)
     std::uint32_t off = static_cast<std::uint32_t>(_lits.size());
     _lits.insert(_lits.end(), out.begin(), out.end());
     _clauses.push_back(Clause{
-        off, static_cast<std::uint32_t>(out.size()), 0.0f, false,
-        false});
+        off, static_cast<std::uint32_t>(out.size()), 0.0f, _solveId,
+        false, false});
     attachClause(ci);
     ++_numProblemClauses;
     return true;
@@ -178,6 +193,12 @@ Solver::propagate()
                 continue;
             // Unit or conflicting.
             ws[keep++] = Watcher{w.clause, ls[0]};
+            if (c.learnt && c.mark != _solveId) {
+                // A clause learned in an earlier solve() doing work
+                // in this one; count it once per solve.
+                c.mark = _solveId;
+                ++_stats.learnedReuseHits;
+            }
             if (valueOf(ls[0]) == LBool::False) {
                 confl = w.clause;
                 _qhead = _trail.size();
@@ -504,6 +525,12 @@ Solver::reduceDb()
     }
     if (!dropped)
         return;
+    purgeDeleted();
+}
+
+void
+Solver::purgeDeleted()
+{
     // Rebuild the watch lists without the deleted clauses.
     for (auto &ws : _watches) {
         std::size_t keep = 0;
@@ -530,6 +557,106 @@ Solver::reduceDb()
         c.offset = off;
     }
     _lits = std::move(packed);
+}
+
+void
+Solver::releaseFrameVars(Var mark)
+{
+    RC_ASSERT(decisionLevel() == 0,
+              "frame variables may only be released at the top level");
+    // Delete every clause mentioning a variable at or above the
+    // watermark. That is exactly the popped group (every clause in
+    // it carries ~act, and act itself is above the mark) plus every
+    // learned clause whose derivation used it: `act` only ever
+    // enters the trail as a true assumption, so such derivations
+    // keep ~act as a literal. Learned clauses below the watermark
+    // were derived from surviving clauses alone and remain sound.
+    std::size_t dropped = 0;
+    for (Clause &c : _clauses) {
+        if (c.deleted)
+            continue;
+        const Lit *ls = clauseLits(c);
+        bool released = false;
+        for (std::uint32_t j = 0; j < c.size && !released; ++j)
+            released = ls[j].var() >= mark;
+        if (!released)
+            continue;
+        c.deleted = true;
+        ++dropped;
+        ++_stats.deletedClauses;
+        if (c.learnt)
+            --_numLearnt;
+        else
+            --_numProblemClauses;
+    }
+    // Level-0 assignments are facts; their reason clauses are never
+    // resolved on again (analyze and analyzeFinal both skip level-0
+    // variables), so clearing the reasons makes every deleted clause
+    // safe to drop.
+    for (Lit l : _trail)
+        _reason[l.var()] = kNoReason;
+    if (dropped)
+        purgeDeleted();
+
+    // Scrub released variables off the level-0 trail — a learned
+    // unit over a frame variable lands there — then truncate every
+    // per-variable array so newVar() recycles the indices.
+    std::size_t keep = 0;
+    for (Lit l : _trail)
+        if (l.var() < mark)
+            _trail[keep++] = l;
+    _trail.resize(keep);
+    _qhead = _trail.size();
+
+    _assigns.resize(mark);
+    _phase.resize(mark);
+    _level.resize(mark);
+    _reason.resize(mark);
+    _activity.resize(mark);
+    _seen.resize(mark);
+    _watches.resize(2 * static_cast<std::size_t>(mark));
+
+    // Variable activities do not carry across frames. Keeping them
+    // lets one query's conflict pattern scramble the next query's
+    // decision order, and on these encodings that is catastrophic:
+    // fresh-solver order is roughly topological, so each descent
+    // propagates whole cones per decision, while a scrambled order
+    // decides nearly every gate variable individually and re-descends
+    // the full variable range after every backjump (measured as ~10x
+    // more decisions for the same conflict count). Learned clauses
+    // and saved phases are the carryover that pays; decision order
+    // restarts from the fresh-solver state.
+    std::fill(_activity.begin(), _activity.end(), 0.0);
+    _varInc = 1.0;
+    _heap.clear();
+    _heapPos.assign(mark, 0u);
+    for (Var v = 0; v < mark; ++v)
+        heapInsert(v);
+}
+
+std::size_t
+Solver::pushFrame()
+{
+    RC_ASSERT(decisionLevel() == 0,
+              "frames may only be opened at the top level");
+    _frameVarMarks.push_back(static_cast<Var>(numVars()));
+    Var act = newVar();
+    _frameActs.push_back(mkLit(act));
+    ++_stats.framesPushed;
+    return _frameActs.size();
+}
+
+void
+Solver::popFrame()
+{
+    RC_ASSERT(!_frameActs.empty(), "popFrame without an open frame");
+    RC_ASSERT(decisionLevel() == 0,
+              "frames may only be closed at the top level");
+    _frameActs.pop_back();
+    Var mark = _frameVarMarks.back();
+    _frameVarMarks.pop_back();
+    ++_stats.framesPopped;
+    releaseFrameVars(mark);
 }
 
 namespace {
@@ -592,7 +719,8 @@ Solver::search()
                              learnt.end());
                 _clauses.push_back(Clause{
                     off, static_cast<std::uint32_t>(learnt.size()),
-                    static_cast<float>(_clauseInc), true, false});
+                    static_cast<float>(_clauseInc), _solveId, true,
+                    false});
                 attachClause(ci);
                 ++_numLearnt;
                 ++_stats.learnedClauses;
@@ -651,21 +779,44 @@ Result
 Solver::solve(const std::vector<Lit> &assumptions)
 {
     ++_stats.solves;
+    _solveId = static_cast<std::uint32_t>(_stats.solves);
     _conflictCore.clear();
-    _solveConflicts = 0;
+    if (!_budgetCumulative)
+        _solveConflicts = 0;
     if (!_ok)
         return Result::Unsat;
     for (Lit a : assumptions)
         RC_ASSERT(a.valid() && a.var() < numVars(),
                   "assumption over unknown variable");
 
-    _assumptions = assumptions;
+    // Open frames are active exactly while their activation literals
+    // hold, so they are assumed ahead of the caller's assumptions.
+    if (_frameActs.empty()) {
+        _assumptions = assumptions;
+    } else {
+        _assumptions = _frameActs;
+        _assumptions.insert(_assumptions.end(), assumptions.begin(),
+                            assumptions.end());
+    }
     Result r = search();
     if (r == Result::Sat) {
         _model.assign(_assigns.begin(), _assigns.end());
         for (std::size_t v = 0; v < _model.size(); ++v)
             if (_model[v] == LBool::Undef)
                 _model[v] = _phase[v] ? LBool::True : LBool::False;
+    } else if (r == Result::Unsat && !_frameActs.empty() &&
+               !_conflictCore.empty()) {
+        // Frame activation literals are an implementation detail;
+        // callers reason about *their* assumptions only.
+        std::size_t keep = 0;
+        for (Lit l : _conflictCore) {
+            bool is_act = false;
+            for (Lit act : _frameActs)
+                is_act |= l.var() == act.var();
+            if (!is_act)
+                _conflictCore[keep++] = l;
+        }
+        _conflictCore.resize(keep);
     }
     cancelUntil(0);
     _assumptions.clear();

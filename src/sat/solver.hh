@@ -11,7 +11,10 @@
  *  - Luby-sequence restarts,
  *  - learned-clause database reduction by activity,
  *  - incremental solving under assumptions, with failed-assumption
- *    (unsat core) extraction.
+ *    (unsat core) extraction,
+ *  - activation-literal clause groups (pushFrame/popFrame) so one
+ *    solver instance services a sequence of related queries while
+ *    retaining learned clauses across solve() calls.
  *
  * No external dependency: the formal layer's BMC engine and the CNF
  * builders are the only intended clients, and the randomized fuzz
@@ -99,6 +102,40 @@ class Solver
      */
     Result solve(const std::vector<Lit> &assumptions = {});
 
+    /**
+     * Open a clause group. Every clause added until the matching
+     * popFrame() is gated by a fresh activation literal `act`: it is
+     * stored as (~act | clause) and `act` is silently assumed true by
+     * every solve() while the frame is open, so inside the frame the
+     * clause behaves exactly as if added outright. popFrame()
+     * physically deletes the group and reclaims every variable
+     * created since the push: the gating guarantees that any clause
+     * whose derivation used the group mentions ~act (because `act`
+     * only ever enters the trail as a true assumption), so "mentions
+     * a frame variable" is a sound deletion criterion. Learned
+     * clauses that never touched the frame survive the pop, and the
+     * reclaimed variable indices are recycled by the next newVar() —
+     * the decision heap never accumulates retired variables. VSIDS
+     * activities reset at the pop: learned clauses and saved phases
+     * are the cross-query state that pays for itself, while a stale
+     * decision order measurably poisons the next query's search.
+     *
+     * Frames nest with strict LIFO discipline; a clause belongs to
+     * the innermost frame open at the time it is added. Returns the
+     * open-frame depth after the push.
+     */
+    std::size_t pushFrame();
+
+    /** Close the innermost frame (see pushFrame): delete its clause
+     *  group and reclaim its variables. Must be called outside
+     *  solve(), i.e. at decision level 0; it never consults the
+     *  cancel flag, so a cancelled solve() can always be followed by
+     *  a popFrame() that leaves the solver consistent. */
+    void popFrame();
+
+    /** Currently open frames. */
+    std::size_t numOpenFrames() const { return _frameActs.size(); }
+
     /** After Sat: the model value of a literal (never Undef). */
     LBool modelValue(Lit l) const;
     bool modelTrue(Lit l) const
@@ -123,11 +160,21 @@ class Solver
         _cancel = cancel;
     }
 
-    /** Abort solve() with Unknown after this many conflicts
-     *  (0 = unlimited). The budget applies per solve() call. */
-    void setConflictBudget(std::uint64_t conflicts)
+    /**
+     * Abort solve() with Unknown after this many conflicts
+     * (0 = unlimited). Per-solve by default: each solve() call gets
+     * the full budget. With `cumulative`, the conflict ledger is
+     * reset here (and only here), so one budget spans every solve()
+     * until the next setConflictBudget() — the natural accounting
+     * for a frame's worth of related queries, where a later query
+     * must not get fresh headroom the earlier ones already burned.
+     */
+    void setConflictBudget(std::uint64_t conflicts,
+                           bool cumulative = false)
     {
         _conflictBudget = conflicts;
+        _budgetCumulative = cumulative;
+        _solveConflicts = 0;
     }
 
     struct Stats
@@ -140,6 +187,12 @@ class Solver
         std::uint64_t learnedLits = 0;
         std::uint64_t deletedClauses = 0;
         std::uint64_t solves = 0;
+        /** Learned clauses from an earlier solve() that propagated
+         *  or conflicted in a later one, counted once per (clause,
+         *  solve) pair — the cross-query clause-reuse measure. */
+        std::uint64_t learnedReuseHits = 0;
+        std::uint64_t framesPushed = 0;
+        std::uint64_t framesPopped = 0;
     };
     const Stats &stats() const { return _stats; }
 
@@ -157,6 +210,9 @@ class Solver
         std::uint32_t offset = 0;  ///< first literal in _lits
         std::uint32_t size = 0;
         float activity = 0.0f;
+        /** Solve id (truncated) of creation or last counted use; a
+         *  learnt clause used under a different id is a reuse hit. */
+        std::uint32_t mark = 0;
         bool learnt = false;
         bool deleted = false;
     };
@@ -182,6 +238,16 @@ class Solver
         return _lits.data() + c.offset;
     }
 
+    /** addClause minus the open-frame activation gating. */
+    bool addClauseRaw(const std::vector<Lit> &lits);
+    /** popFrame's engine: delete every clause mentioning a variable
+     *  at or above `mark`, scrub those variables off the level-0
+     *  trail, truncate all per-variable state to `mark`, and rebuild
+     *  the decision heap. */
+    void releaseFrameVars(Var mark);
+    /** Rebuild watch lists without deleted clauses and compact the
+     *  literal arena (clause indices are stable, offsets move). */
+    void purgeDeleted();
     void attachClause(std::uint32_t ci);
     void enqueue(Lit l, std::uint32_t reason);
     /** Returns the conflicting clause index or kNoReason. */
@@ -228,6 +294,13 @@ class Solver
     std::vector<Lit> _conflictCore;
     std::vector<LBool> _model;
 
+    /** Activation literal (positive polarity) per open frame,
+     *  outermost first; solve() assumes them all. */
+    std::vector<Lit> _frameActs;
+    /** numVars() at the matching pushFrame(), before the activation
+     *  variable was created — popFrame reclaims everything above. */
+    std::vector<Var> _frameVarMarks;
+
     std::vector<std::uint8_t> _seen;   ///< analyze scratch
     std::vector<Lit> _analyzeStack;    ///< minimization scratch
     std::vector<Var> _toClear;         ///< seen-marks to undo
@@ -242,6 +315,8 @@ class Solver
     const std::atomic<bool> *_cancel = nullptr;
     std::uint64_t _conflictBudget = 0;
     std::uint64_t _solveConflicts = 0;
+    bool _budgetCumulative = false;
+    std::uint32_t _solveId = 0;   ///< _stats.solves, truncated
 
     Stats _stats;
 };

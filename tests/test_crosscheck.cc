@@ -306,6 +306,69 @@ TEST(BmcCrossCheck, SuiteVerdictsAgreeWithExplicitEngine)
 }
 
 /**
+ * Depth-incremental BMC (one solver per test, deepened one
+ * transition frame at a time, per-depth queries retired through
+ * clause-group frames) against the from-scratch rebuild path, over
+ * the whole standard suite. Both paths issue the same queries in the
+ * same order at the same depths, so agreement is exact: status,
+ * counterexample depth, and cover outcome — not merely verdict
+ * class.
+ */
+TEST(BmcIncremental, SuiteMatchesFromScratchExactly)
+{
+    const std::vector<litmus::Test> &suite = litmus::standardSuite();
+    core::RunOptions inc_opts;
+    inc_opts.config = bmcConfigFor(8);
+    inc_opts.config.satIncremental = true;
+    core::RunOptions fresh_opts = inc_opts;
+    fresh_opts.config.satIncremental = false;
+
+    core::SuiteRun inc = core::runSuite(
+        suite, uspec::multiVscaleModel(), inc_opts, 0);
+    core::SuiteRun fresh = core::runSuite(
+        suite, uspec::multiVscaleModel(), fresh_opts, 0);
+
+    ASSERT_EQ(inc.runs.size(), fresh.runs.size());
+    for (std::size_t t = 0; t < inc.runs.size(); ++t) {
+        const formal::VerifyResult &iv = inc.runs[t].verify;
+        const formal::VerifyResult &fv = fresh.runs[t].verify;
+        const std::string &name = suite[t].name;
+        EXPECT_EQ(iv.coverReached, fv.coverReached) << name;
+        EXPECT_EQ(iv.coverUnreachable, fv.coverUnreachable) << name;
+        if (iv.coverReached && fv.coverReached) {
+            EXPECT_EQ(iv.coverWitness->inputs.size(),
+                      fv.coverWitness->inputs.size())
+                << name << " cover witness depth";
+        }
+        ASSERT_EQ(iv.properties.size(), fv.properties.size())
+            << name;
+        for (std::size_t i = 0; i < iv.properties.size(); ++i) {
+            const formal::PropertyResult &ip = iv.properties[i];
+            const formal::PropertyResult &fp = fv.properties[i];
+            EXPECT_EQ(ip.name, fp.name) << name;
+            EXPECT_EQ(ip.status, fp.status)
+                << name << " / " << ip.name << ": incremental="
+                << formal::proofStatusName(ip.status)
+                << " rebuild="
+                << formal::proofStatusName(fp.status);
+            if (ip.counterexample && fp.counterexample) {
+                EXPECT_EQ(ip.counterexample->inputs.size(),
+                          fp.counterexample->inputs.size())
+                    << name << " / " << ip.name
+                    << " counterexample depth";
+            }
+        }
+    }
+
+    // The incremental sweep must actually have run on solver frames,
+    // and every frame it opened must have been retired.
+    core::SatTotals st = inc.satTotals();
+    EXPECT_GT(st.framesPushed, 0u);
+    EXPECT_EQ(st.framesPushed, st.framesPopped);
+    EXPECT_EQ(fresh.satTotals().framesPushed, 0u);
+}
+
+/**
  * §7.1 store-drop bug through the SAT back-end: BMC must falsify
  * Read_Values on the buggy memory, and its witness must replay to
  * the same property failure on the RTL simulator (the end-to-end

@@ -7,8 +7,12 @@ Usage:
 Every numeric field is flattened to a dotted path (array elements are
 keyed by their identifying string fields, e.g. ``cells[mp/fixed]``)
 and compared. Timing fields (path contains "seconds" or "ms") are
-lower-is-better and reported as speedup (old/new); other numbers and
-booleans are reported when they change.
+lower-is-better and reported as speedup (old/new). Other numeric
+fields — solver-stats counters (sat_solves, sat_conflicts,
+sat_learned_reuse, frames, miter_* cells), sweep sizes, derived
+ratios — have no better/worse direction, so they are reported as a
+delta, never as a speedup, and never count toward the regression
+gate. Booleans and strings are reported when they change.
 
 Exit status is 1 when --threshold is given and any timing field
 regressed by more than PCT percent, so CI can gate on it; without
@@ -104,6 +108,20 @@ def main():
                     regressions.append((path, delta_pct))
             elif delta_pct < 0:
                 note += f"  ({delta_pct:+.1f}%)"
+            rows.append((path, fmt(a), fmt(b), note))
+        elif numeric:
+            # Counters and derived ratios: direction-free, so a plain
+            # delta — a speedup reading would be meaningless and must
+            # never feed the regression gate.
+            if a == b:
+                continue
+            delta = b - a
+            if isinstance(a, int) and isinstance(b, int):
+                note = f"   {delta:+d}"
+            else:
+                note = f"   {delta:+.6f}"
+            if a != 0:
+                note += f" ({(b - a) / a * 100.0:+.1f}%)"
             rows.append((path, fmt(a), fmt(b), note))
         elif a != b:
             rows.append((path, fmt(a), fmt(b), "CHANGED"))

@@ -57,6 +57,15 @@
  *                         BMC sweep (default 6; 0 disables induction
  *                         — much faster on designs whose state is too
  *                         wide for small-K windows to close)
+ *   --sat-incremental / --no-sat-incremental
+ *                         keep (default) or disable the incremental
+ *                         SAT pipeline: depth-incremental BMC sweeps
+ *                         that deepen one solver instead of
+ *                         rebuilding per depth, and shared miter
+ *                         sessions in --mutate that carry learned
+ *                         clauses across a test's mutants. Verdict
+ *                         classes, witness depths, and the kill
+ *                         matrix are identical either way.
  *   --mutate              run a mutation-testing campaign instead of
  *                         a verification run: derive faulty designs
  *                         from the selected variant, prune
@@ -125,6 +134,7 @@ struct CliOptions
     std::string mutateJson;
     bool mutate = false;
     bool mutateFullMatrix = false;
+    bool satIncremental = true;
     bool earlyFalsify = true;
     bool naive = false;
     bool noNetlistOpt = false;
@@ -147,6 +157,7 @@ usage()
         "         --explore-jobs N  --no-early-falsify  --cache-mb N\n"
         "         --engine explicit|bmc|portfolio  --bmc-depth N\n"
         "         --induction-depth N\n"
+        "         --sat-incremental | --no-sat-incremental\n"
         "         --mutate  --mutate-ops <op,...>  --mutate-budget N\n"
         "         --mutate-seed N  --mutate-tests N\n"
         "         --mutate-full-matrix  --mutate-json <path>\n"
@@ -193,6 +204,7 @@ runOptionsFor(const CliOptions &opts)
         o.config.bmcDepth = opts.bmcDepth;
     if (opts.inductionDepth)
         o.config.inductionDepth = *opts.inductionDepth;
+    o.config.satIncremental = opts.satIncremental;
     return o;
 }
 
@@ -352,6 +364,16 @@ runAll(const CliOptions &opts)
                 "| %zu graphs resident (%.1f MiB)\n",
                 cs.explores, cs.hits, cs.evictions, cs.entries,
                 static_cast<double>(cs.bytesCached) / (1 << 20));
+    core::SatTotals st = sr.satTotals();
+    if (st.solves)
+        std::printf("sat core: %llu solves, %llu conflicts, %llu "
+                    "learned-clause reuse hits | %llu frames pushed, "
+                    "%llu popped\n",
+                    static_cast<unsigned long long>(st.solves),
+                    static_cast<unsigned long long>(st.conflicts),
+                    static_cast<unsigned long long>(st.learnedReuse),
+                    static_cast<unsigned long long>(st.framesPushed),
+                    static_cast<unsigned long long>(st.framesPopped));
     return failures ? 1 : 0;
 }
 
@@ -376,6 +398,7 @@ runMutate(const CliOptions &opts)
     mo.mutate.budget = opts.mutateBudget;
     mo.mutate.seed = opts.mutateSeed;
     mo.fullMatrix = opts.mutateFullMatrix;
+    mo.satIncremental = opts.satIncremental;
     mo.jobs = opts.jobs;
 
     std::vector<litmus::Test> tests = litmus::standardSuite();
@@ -401,6 +424,16 @@ runMutate(const CliOptions &opts)
     }
     std::printf("  wall %.3f s | jobs %zu\n", report.wallSeconds,
                 report.jobs);
+    if (report.miterSolves)
+        std::printf("  miter: %llu solves, %llu conflicts, %llu "
+                    "learned-clause reuse hits | cone reuse %.1f%%\n",
+                    static_cast<unsigned long long>(
+                        report.miterSolves),
+                    static_cast<unsigned long long>(
+                        report.miterConflicts),
+                    static_cast<unsigned long long>(
+                        report.miterLearnedReuse),
+                    report.miterReuseRate() * 100.0);
 
     if (!opts.mutateJson.empty()) {
         std::ofstream out(opts.mutateJson);
@@ -505,6 +538,10 @@ main(int argc, char **argv)
             opts.bmcDepth = parseCount(arg, next());
         } else if (arg == "--induction-depth") {
             opts.inductionDepth = parseCount(arg, next());
+        } else if (arg == "--sat-incremental") {
+            opts.satIncremental = true;
+        } else if (arg == "--no-sat-incremental") {
+            opts.satIncremental = false;
         } else if (arg == "--file") {
             opts.litmusFile = next();
         } else if (arg == "--emit-sva") {

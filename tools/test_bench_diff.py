@@ -69,6 +69,28 @@ class BenchDiffTest(unittest.TestCase):
         self.assertIn("(removed)", proc.stdout)
         self.assertIn("(added)", proc.stdout)
 
+    def test_count_fields_show_delta_not_speedup(self):
+        proc = run_diff({"sat_conflicts": 1000},
+                        {"sat_conflicts": 1500})
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("+500", proc.stdout)
+        self.assertIn("+50.0%", proc.stdout)
+        self.assertNotIn("x", proc.stdout.split("sat_conflicts")[1])
+
+    def test_count_fields_never_trip_the_gate(self):
+        # A counter doubling is not a timing regression: solver-stats
+        # cells must not feed the --threshold gate.
+        proc = run_diff({"sat_learned_reuse": 10, "frames_pushed": 4},
+                        {"sat_learned_reuse": 20, "frames_pushed": 8},
+                        "--threshold", "1")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_float_ratio_fields_show_delta(self):
+        proc = run_diff({"miter_reuse_rate": 0.5},
+                        {"miter_reuse_rate": 0.75})
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("+0.250000", proc.stdout)
+
     def test_nested_array_cells(self):
         old = {"cells": [{"test": "mp", "verify_seconds": 1.0}]}
         new = {"cells": [{"test": "mp", "verify_seconds": 4.0}]}
