@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Verification-service gates: cold vs warm suites over the
+ * persistent artifact store, and cone-incremental re-verification
+ * after an RTL edit.
+ *
+ * Three scenarios, all on the fixed design:
+ *
+ *   explicit     the CLI-default Full_Proof configuration over the
+ *                standard suite. The warm run must answer (nearly)
+ *                every test from the store with bit-identical
+ *                verdicts and zero state-graph explorations.
+ *
+ *   bmc-shallow  a depth-6 BMC sweep (induction off) — the workload
+ *                where verification time dominates preparation, so
+ *                the store's value shows up as wall-clock. The warm
+ *                run must be at least 5x faster than the cold one.
+ *
+ *   incremental  the unbounded (cone-eligible) configuration. After
+ *                an RTL edit outside the probe test's predicate
+ *                cone, the warm run must re-verify exactly the
+ *                tests whose cones contain the edited node and
+ *                serve every other test from its cone key,
+ *                bit-identically.
+ *
+ * Headline numbers land in BENCH_service.json.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "rtl/fingerprint.hh"
+#include "rtl/mutate.hh"
+#include "service/service.hh"
+
+using namespace rtlcheck;
+using namespace rtlcheck::bench;
+
+namespace {
+
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        char tmpl[] = "/tmp/rtlcheck_bench_XXXXXX";
+        const char *p = ::mkdtemp(tmpl);
+        path = p ? p : "";
+    }
+
+    ~TempDir()
+    {
+        if (!path.empty())
+            std::system(("rm -rf " + path).c_str());
+    }
+};
+
+core::RunOptions
+optionsWith(const formal::EngineConfig &config)
+{
+    core::RunOptions o;
+    o.variant = vscale::MemoryVariant::Fixed;
+    o.config = config;
+    return o;
+}
+
+/** Run the batch twice through the service over one store: a cold
+ *  process and a warm one. */
+struct ColdWarm
+{
+    core::SuiteRun cold;
+    core::SuiteRun warm;
+    service::VerificationService::Stats warmStats;
+    std::size_t warmExplores = 0;
+};
+
+ColdWarm
+coldWarm(const std::vector<litmus::Test> &tests,
+         const core::RunOptions &options, std::size_t jobs,
+         int warm_iterations = 1)
+{
+    TempDir dir;
+    service::ServiceConfig config;
+    config.storeDir = dir.path;
+
+    ColdWarm r;
+    {
+        service::VerificationService svc(config);
+        r.cold = svc.runSuite(tests, uspec::multiVscaleModel(),
+                              options, jobs);
+    }
+    // Warm runs are cheap; take the fastest of a few fresh-process
+    // repeats so a scheduler hiccup cannot fail the timing gate.
+    for (int i = 0; i < warm_iterations; ++i) {
+        service::VerificationService warm(config);
+        core::SuiteRun run = warm.runSuite(
+            tests, uspec::multiVscaleModel(), options, jobs);
+        if (i == 0 || run.wallSeconds < r.warm.wallSeconds) {
+            r.warm = std::move(run);
+            r.warmStats = warm.stats();
+            r.warmExplores = warm.graphCache().stats().explores;
+        }
+    }
+    return r;
+}
+
+/** Per-run analogue of bench_util's sameVerdicts. */
+bool
+sameRunVerdict(const core::TestRun &a, const core::TestRun &b)
+{
+    core::SuiteRun x, y;
+    x.runs.push_back(a);
+    y.runs.push_back(b);
+    return sameVerdicts(x, y);
+}
+
+/** The predicate cone of `test` (on its own freshly built design;
+ *  the suite's designs differ only in memory init images, so node
+ *  ids align across tests). */
+rtl::ConeInfo
+coneOf(const litmus::Test &test, const core::RunOptions &options)
+{
+    core::PreparedTest prep =
+        core::prepareTest(test, uspec::multiVscaleModel(), options);
+    std::vector<rtl::Signal> roots;
+    for (int i = 0; i < prep.preds.size(); ++i)
+        roots.push_back(prep.preds.signalOf(i));
+    return rtl::coneFingerprint(prep.design, roots);
+}
+
+/** A node-site edit that touches *some* of the suite's predicate
+ *  cones but not all of them — the sharpest demonstration that the
+ *  service re-verifies exactly the changed-cone tests. Falls back
+ *  to an edit outside every cone (all tests served) when no
+ *  splitting site exists. Node sites rewrite in place without
+ *  renumbering, so node ids stay aligned with ConeInfo membership. */
+std::optional<rtl::Mutation>
+findSplittingEdit(const std::vector<litmus::Test> &tests,
+                  const core::RunOptions &options,
+                  const std::vector<rtl::ConeInfo> &cones)
+{
+    core::PreparedTest prep = core::prepareTest(
+        tests.front(), uspec::multiVscaleModel(), options);
+
+    rtl::MutateOptions mc;
+    mc.ops = {rtl::MutationOp::StuckAt0, rtl::MutationOp::StuckAt1,
+              rtl::MutationOp::CondInvert,
+              rtl::MutationOp::ConstOffByOne};
+    std::optional<rtl::Mutation> outside_all;
+    for (const rtl::Mutation &m :
+         rtl::enumerateMutations(prep.design, mc)) {
+        if (m.nodeId == rtl::Mutation::invalidIndex)
+            continue;
+        std::size_t touched = 0;
+        for (const rtl::ConeInfo &c : cones)
+            touched += c.containsNode(m.nodeId) ? 1 : 0;
+        if (touched > 0 && touched < cones.size())
+            return m;
+        if (touched == 0 && !outside_all)
+            outside_all = m;
+    }
+    return outside_all;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool quick =
+        argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+    printHeader("Verification service: cold vs warm suites and "
+                "cone-incremental re-verification",
+                "the artifact-store/service extension");
+
+    const std::vector<litmus::Test> &all = litmus::standardSuite();
+    const std::size_t jobs = 8;
+
+    // -----------------------------------------------------------
+    // Scenario 1: explicit engine, whole suite. Preparation
+    // dominates here, so the gates are about *what* ran, not time:
+    // the warm run must serve from the store bit-identically and
+    // explore nothing.
+    // -----------------------------------------------------------
+    std::vector<litmus::Test> explicitTests(
+        all.begin(), all.begin() + (quick ? 12 : all.size()));
+    const core::RunOptions explicitOpts =
+        optionsWith(formal::fullProofConfig());
+
+    ColdWarm ex = coldWarm(explicitTests, explicitOpts, jobs);
+    std::size_t exServed = 0;
+    for (const core::TestRun &r : ex.warm.runs)
+        exServed += r.servedFromStore ? 1 : 0;
+    const std::size_t exServedFloor =
+        quick ? explicitTests.size() : 50;
+    const bool explicit_served_ok = exServed >= exServedFloor;
+    const bool explicit_identical = sameVerdicts(ex.cold, ex.warm);
+    const bool explicit_no_explore = ex.warmExplores == 0;
+
+    std::printf("explicit  %zu tests  cold %.3fs  warm %.3fs  "
+                "served %zu/%zu  explores %zu\n",
+                explicitTests.size(), ex.cold.wallSeconds,
+                ex.warm.wallSeconds, exServed, explicitTests.size(),
+                ex.warmExplores);
+
+    // -----------------------------------------------------------
+    // Scenario 2: shallow BMC — verification dominates, so the warm
+    // store read must win big on wall-clock.
+    // -----------------------------------------------------------
+    std::vector<litmus::Test> bmcTests(
+        all.begin(), all.begin() + (quick ? 8 : all.size()));
+    formal::EngineConfig bmcConfig = formal::fullProofConfig();
+    bmcConfig.name = "Bmc_Shallow";
+    bmcConfig.backend = formal::Backend::Bmc;
+    bmcConfig.bmcDepth = 6;
+    bmcConfig.inductionDepth = 0;
+
+    ColdWarm bm =
+        coldWarm(bmcTests, optionsWith(bmcConfig), jobs, 3);
+    const double bmc_speedup =
+        bm.warm.wallSeconds > 0.0
+            ? bm.cold.wallSeconds / bm.warm.wallSeconds
+            : 0.0;
+    const bool bmc_identical = sameVerdicts(bm.cold, bm.warm);
+    const bool bmc_speedup_ok = bmc_speedup >= 5.0;
+
+    std::printf("bmc-6     %zu tests  cold %.3fs  warm %.3fs  "
+                "speedup %.1fx\n",
+                bmcTests.size(), bm.cold.wallSeconds,
+                bm.warm.wallSeconds, bmc_speedup);
+
+    // -----------------------------------------------------------
+    // Scenario 3: incremental re-verification under the
+    // cone-eligible (unbounded) configuration. Edit the RTL outside
+    // the probe test's cone; the service must re-verify exactly the
+    // changed-cone tests and serve the rest from their cone keys.
+    // -----------------------------------------------------------
+    std::vector<litmus::Test> incrTests(
+        all.begin(), all.begin() + (quick ? 6 : 12));
+    const core::RunOptions incrOpts =
+        optionsWith(formal::unboundedConfig());
+
+    std::vector<rtl::ConeInfo> cones;
+    for (const litmus::Test &t : incrTests)
+        cones.push_back(coneOf(t, incrOpts));
+    std::optional<rtl::Mutation> edit =
+        findSplittingEdit(incrTests, incrOpts, cones);
+    bool incr_ok = false;
+    std::size_t incrExpectedMisses = 0, incrMisses = 0,
+                incrConeHits = 0;
+    double incrColdSeconds = 0.0, incrWarmSeconds = 0.0;
+    if (edit) {
+        for (const rtl::ConeInfo &c : cones)
+            incrExpectedMisses +=
+                c.containsNode(edit->nodeId) ? 1 : 0;
+
+        TempDir dir;
+        service::ServiceConfig config;
+        config.storeDir = dir.path;
+        core::SuiteRun cold;
+        {
+            service::VerificationService svc(config);
+            cold = svc.runSuite(incrTests, uspec::multiVscaleModel(),
+                                incrOpts, jobs);
+        }
+        incrColdSeconds = cold.wallSeconds;
+
+        core::RunOptions edited = incrOpts;
+        edited.designPatch = [&](rtl::Design &d) {
+            d = rtl::applyMutation(d, *edit);
+        };
+        service::VerificationService warm(config);
+        core::SuiteRun rerun = warm.runSuite(
+            incrTests, uspec::multiVscaleModel(), edited, jobs);
+        incrWarmSeconds = rerun.wallSeconds;
+        incrMisses = warm.stats().misses;
+        incrConeHits = warm.stats().coneHits;
+
+        bool servedIdentical = true;
+        for (std::size_t i = 0; i < incrTests.size(); ++i)
+            if (rerun.runs[i].servedFromStore &&
+                !sameRunVerdict(cold.runs[i], rerun.runs[i]))
+                servedIdentical = false;
+        incr_ok = incrMisses == incrExpectedMisses &&
+                  incrConeHits ==
+                      incrTests.size() - incrExpectedMisses &&
+                  servedIdentical;
+    }
+
+    std::printf("incr      %zu tests  cold %.3fs  re-verify %.3fs  "
+                "changed-cone %zu  misses %zu  cone-hits %zu\n",
+                incrTests.size(), incrColdSeconds, incrWarmSeconds,
+                incrExpectedMisses, incrMisses, incrConeHits);
+
+    std::printf("\nserved gate       : %s (%zu/%zu warm verdicts "
+                "from the store, floor %zu)\n",
+                explicit_served_ok ? "pass" : "FAIL", exServed,
+                explicitTests.size(), exServedFloor);
+    std::printf("bit-identity gate : %s\n",
+                explicit_identical && bmc_identical &&
+                        explicit_no_explore
+                    ? "pass"
+                    : "FAIL");
+    std::printf("warm speedup gate : %s (%.1fx, floor 5.0x)\n",
+                bmc_speedup_ok ? "pass" : "FAIL", bmc_speedup);
+    std::printf("incremental gate  : %s (re-verified %zu "
+                "changed-cone tests, served %zu)\n",
+                incr_ok ? "pass" : "FAIL", incrMisses, incrConeHits);
+
+    JsonObject json;
+    json.str("bench", "service");
+    json.boolean("quick", quick);
+    json.count("explicit_tests", explicitTests.size());
+    json.num("explicit_cold_seconds", ex.cold.wallSeconds);
+    json.num("explicit_warm_seconds", ex.warm.wallSeconds);
+    json.count("explicit_served", exServed);
+    json.count("explicit_warm_explores", ex.warmExplores);
+    json.count("bmc_tests", bmcTests.size());
+    json.num("bmc_cold_seconds", bm.cold.wallSeconds);
+    json.num("bmc_warm_seconds", bm.warm.wallSeconds);
+    json.num("bmc_warm_speedup", bmc_speedup);
+    json.count("incr_tests", incrTests.size());
+    json.count("incr_changed_cone", incrExpectedMisses);
+    json.count("incr_misses", incrMisses);
+    json.count("incr_cone_hits", incrConeHits);
+    json.num("incr_cold_seconds", incrColdSeconds);
+    json.num("incr_reverify_seconds", incrWarmSeconds);
+    json.boolean("served_floor_met", explicit_served_ok);
+    json.boolean("warm_bit_identical",
+                 explicit_identical && bmc_identical);
+    json.boolean("warm_no_exploration", explicit_no_explore);
+    json.boolean("warm_speedup_met", bmc_speedup_ok);
+    json.boolean("incremental_exact", incr_ok);
+
+    writeBenchJson("service", json);
+    return explicit_served_ok && explicit_identical &&
+                   explicit_no_explore && bmc_identical &&
+                   bmc_speedup_ok && incr_ok
+               ? 0
+               : 1;
+}

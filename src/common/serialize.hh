@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Bounds-checked binary serialization for on-disk artifacts.
+ *
+ * The artifact store persists explored state graphs and verdicts
+ * across processes, so the byte format must be (a) deterministic —
+ * the same object always serializes to the same bytes, which is what
+ * lets tests assert round-trip identity by memcmp — and (b) safe to
+ * parse from untrusted bytes: a truncated or bit-flipped file must be
+ * rejected, never crash or over-allocate.
+ *
+ * ByteWriter appends fixed-width little-endian fields to a growable
+ * buffer; ByteReader consumes them with every read bounds-checked
+ * against the remaining input. A failed read poisons the reader (ok()
+ * goes false and stays false) and returns a zero value, so decoders
+ * can run straight-line and check ok() once at the end. Vector reads
+ * validate the element count against the remaining bytes *before*
+ * allocating, so a corrupt length field cannot trigger a huge
+ * allocation.
+ *
+ * The format is host-endian (we only ever read artifacts written on
+ * the same machine); the artifact header's format version guards
+ * against anything else.
+ */
+
+#ifndef RTLCHECK_COMMON_SERIALIZE_HH
+#define RTLCHECK_COMMON_SERIALIZE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/hashing.hh"
+
+namespace rtlcheck {
+
+class ByteWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        _buf.push_back(v);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        raw(&v, sizeof v);
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        raw(&v, sizeof v);
+    }
+
+    void
+    f64(double v)
+    {
+        raw(&v, sizeof v);
+    }
+
+    void
+    boolean(bool v)
+    {
+        u8(v ? 1 : 0);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        raw(s.data(), s.size());
+    }
+
+    void
+    u32vec(const std::vector<std::uint32_t> &v)
+    {
+        u64(v.size());
+        raw(v.data(), v.size() * sizeof(std::uint32_t));
+    }
+
+    void
+    u8vec(const std::vector<std::uint8_t> &v)
+    {
+        u64(v.size());
+        raw(v.data(), v.size());
+    }
+
+    void
+    raw(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        _buf.insert(_buf.end(), p, p + n);
+    }
+
+    std::size_t size() const { return _buf.size(); }
+    const std::vector<std::uint8_t> &buffer() const { return _buf; }
+    std::vector<std::uint8_t> take() { return std::move(_buf); }
+
+  private:
+    std::vector<std::uint8_t> _buf;
+};
+
+class ByteReader
+{
+  public:
+    ByteReader(const std::uint8_t *data, std::size_t size)
+        : _data(data), _size(size)
+    {
+    }
+
+    explicit ByteReader(const std::vector<std::uint8_t> &bytes)
+        : ByteReader(bytes.data(), bytes.size())
+    {
+    }
+
+    /** False once any read ran past the input; all subsequent reads
+     *  return zero values. */
+    bool ok() const { return _ok; }
+
+    /** All input consumed (decoders require this so trailing garbage
+     *  is rejected, keeping serialize∘deserialize injective). */
+    bool atEnd() const { return _ok && _pos == _size; }
+
+    std::size_t remaining() const { return _ok ? _size - _pos : 0; }
+
+    std::uint8_t
+    u8()
+    {
+        std::uint8_t v = 0;
+        raw(&v, sizeof v);
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t v = 0;
+        raw(&v, sizeof v);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v = 0;
+        raw(&v, sizeof v);
+        return v;
+    }
+
+    double
+    f64()
+    {
+        double v = 0;
+        raw(&v, sizeof v);
+        return v;
+    }
+
+    bool boolean() { return u8() != 0; }
+
+    std::string
+    str()
+    {
+        const std::uint64_t n = u64();
+        if (!checkedElems(n, 1))
+            return {};
+        std::string s(static_cast<std::size_t>(n), '\0');
+        raw(s.data(), s.size());
+        return s;
+    }
+
+    std::vector<std::uint32_t>
+    u32vec()
+    {
+        const std::uint64_t n = u64();
+        if (!checkedElems(n, sizeof(std::uint32_t)))
+            return {};
+        std::vector<std::uint32_t> v(static_cast<std::size_t>(n));
+        raw(v.data(), v.size() * sizeof(std::uint32_t));
+        return v;
+    }
+
+    std::vector<std::uint8_t>
+    u8vec()
+    {
+        const std::uint64_t n = u64();
+        if (!checkedElems(n, 1))
+            return {};
+        std::vector<std::uint8_t> v(static_cast<std::size_t>(n));
+        raw(v.data(), v.size());
+        return v;
+    }
+
+    void
+    raw(void *out, std::size_t n)
+    {
+        if (!_ok || n > _size - _pos) {
+            _ok = false;
+            std::memset(out, 0, n);
+            return;
+        }
+        std::memcpy(out, _data + _pos, n);
+        _pos += n;
+    }
+
+    /** Validate an element count against the remaining input before
+     *  any allocation happens. */
+    bool
+    checkedElems(std::uint64_t n, std::size_t elem_bytes)
+    {
+        if (!_ok || n > remaining() / elem_bytes) {
+            _ok = false;
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    const std::uint8_t *_data = nullptr;
+    std::size_t _size = 0;
+    std::size_t _pos = 0;
+    bool _ok = true;
+};
+
+/** 64-bit content hash of a byte buffer (artifact checksums). Same
+ *  mixing discipline as hashWords; not cryptographic. */
+inline std::uint64_t
+hashBytes(const std::uint8_t *data, std::size_t n)
+{
+    std::uint64_t h =
+        0x8f1b5c4d2a6e9371ull ^ (n * 0x9e3779b97f4a7c15ull);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        std::uint64_t w;
+        std::memcpy(&w, data + i, 8);
+        h = hashCombine(h, w);
+    }
+    std::uint64_t tail = 0;
+    for (; i < n; ++i)
+        tail = (tail << 8) | data[i];
+    return hashCombine(h, tail);
+}
+
+inline std::uint64_t
+hashBytes(const std::vector<std::uint8_t> &v)
+{
+    return hashBytes(v.data(), v.size());
+}
+
+} // namespace rtlcheck
+
+#endif // RTLCHECK_COMMON_SERIALIZE_HH

@@ -60,6 +60,18 @@ fullProofConfig()
     return EngineConfig{"Full_Proof", 0, 150};
 }
 
+EngineConfig
+unboundedConfig()
+{
+    // No budgets at all: every verdict is a full proof or a real
+    // counterexample, never a bounded fallback. This is the only
+    // configuration whose verdicts are functions of the predicate
+    // cone alone (bounded fallbacks depend on whole-design product
+    // sizes), so it is the configuration the verification service's
+    // cone-key incremental reuse requires (service/verdict_serial.hh).
+    return EngineConfig{"Unbounded", 0, 0};
+}
+
 std::string
 proofStatusName(ProofStatus s)
 {

@@ -97,6 +97,9 @@ struct EngineConfig
 EngineConfig hybridConfig();
 /** Table 1's Full_Proof configuration analogue. */
 EngineConfig fullProofConfig();
+/** No budgets: verdicts are cone-determined, enabling the service's
+ *  cone-key incremental reuse. */
+EngineConfig unboundedConfig();
 
 enum class ProofStatus { Proven, Bounded, Falsified };
 

@@ -78,11 +78,47 @@ GraphCache::obtain(const rtl::Netlist &netlist,
         }
     }
 
+    // Memory miss: consult the persistent tier before exploring.
+    // Hook calls happen under the entry lock only (see SpillHooks).
+    SpillHooks spill;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        spill = _spill;
+    }
+    if (spill.load) {
+        if (std::shared_ptr<const StateGraph> loaded =
+                spill.load(key)) {
+            if (sufficient(*loaded, limits)) {
+                std::lock_guard<std::mutex> lock(_mutex);
+                if (entry->graph) {
+                    _bytesCached -= entry->bytes;
+                    --_numCached;
+                }
+                entry->graph = loaded;
+                entry->bytes = loaded->memoryBytes();
+                entry->lastUse = ++_useCounter;
+                _bytesCached += entry->bytes;
+                ++_numCached;
+                ++_stats.diskHits;
+                enforceBudgetLocked(entry.get());
+                if (was_hit)
+                    *was_hit = true;
+                return loaded;
+            }
+        }
+    }
+
     // The exploration observer only ever fires on this caller's own
     // fresh exploration — never on a cache hit — so the engine can
     // tell whether its monitors actually saw the graph being built.
     auto graph = std::make_shared<const StateGraph>(
         netlist, assumptions, preds, limits, observer);
+
+    if (spill.save) {
+        spill.save(key, *graph);
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_stats.diskStores;
+    }
 
     std::lock_guard<std::mutex> lock(_mutex);
     // Keep the more-complete graph: a truncated cached graph is
@@ -103,6 +139,13 @@ GraphCache::obtain(const rtl::Netlist &netlist,
     if (was_hit)
         *was_hit = false;
     return graph;
+}
+
+void
+GraphCache::setSpillHooks(SpillHooks hooks)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _spill = std::move(hooks);
 }
 
 void

@@ -40,6 +40,7 @@
 #define RTLCHECK_FORMAL_GRAPH_CACHE_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -59,7 +60,31 @@ class GraphCache
         std::size_t evictions = 0; ///< graphs dropped for the budget
         std::size_t entries = 0;     ///< graphs currently resident
         std::size_t bytesCached = 0; ///< their approximate bytes
+        std::size_t diskHits = 0;   ///< misses served by the spill load hook
+        std::size_t diskStores = 0; ///< fresh explorations handed to save
     };
+
+    /**
+     * Second-level (persistent) storage behind the in-memory map.
+     * On a memory miss the cache first asks `load` for the key; a
+     * sufficient loaded graph is published and served like a hit
+     * (counted in Stats::diskHits). Every freshly explored graph is
+     * offered to `save` (the hook decides whether to overwrite an
+     * existing, possibly more complete, artifact). Hooks run without
+     * the cache-wide mutex — only the per-key entry lock is held —
+     * so disk I/O for one key never stalls other keys. Installed by
+     * the service layer (service/service.cc), keeping rc_formal free
+     * of any dependency on the artifact store.
+     */
+    struct SpillHooks
+    {
+        std::function<std::shared_ptr<const StateGraph>(
+            std::uint64_t key)> load;
+        std::function<void(std::uint64_t key, const StateGraph &)>
+            save;
+    };
+
+    void setSpillHooks(SpillHooks hooks);
 
     /**
      * Return a graph equivalent to `StateGraph(netlist, assumptions,
@@ -114,6 +139,7 @@ class GraphCache
     void enforceBudgetLocked(const Entry *keep);
 
     mutable std::mutex _mutex;
+    SpillHooks _spill; ///< guarded by _mutex; copied before use
     std::unordered_map<std::uint64_t, std::shared_ptr<Entry>>
         _entries;
     Stats _stats;

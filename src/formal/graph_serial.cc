@@ -1,0 +1,219 @@
+#include "graph_serial.hh"
+
+#include "common/serialize.hh"
+
+namespace rtlcheck::formal {
+
+namespace {
+
+bool
+fail(std::string *error, const char *why)
+{
+    if (error)
+        *error = why;
+    return false;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+GraphSerializer::serialize(const StateGraph &g)
+{
+    ByteWriter w;
+    w.u32(kGraphFormatVersion);
+
+    w.u32vec(g._initial);
+
+    // StatePacking fields, written member-wise (the struct has
+    // padding, so a raw dump would leak indeterminate bytes and
+    // break byte-identity).
+    w.u64(g._packing._fields.size());
+    for (const auto &f : g._packing._fields) {
+        w.u32(f.word);
+        w.u8(f.shift);
+        w.u32(f.mask);
+    }
+    w.u64(g._packing._packedWords);
+    w.u64(g._packedWords);
+
+    w.u64(g._edges.size());
+    for (const auto &out : g._edges) {
+        w.u64(out.size());
+        for (const GraphEdge &e : out) {
+            w.u32(e.dst);
+            w.u32(e.maskId);
+            w.u8(e.input);
+        }
+    }
+
+    w.u32vec(g._depth);
+    w.u64(g._parent.size());
+    for (const auto &p : g._parent) {
+        w.u32(p.first);
+        w.u8(p.second);
+    }
+
+    w.u64(g._covers.size());
+    for (const CoverHit &c : g._covers) {
+        w.boolean(c.reached);
+        w.u32(c.node);
+        w.u8(c.input);
+    }
+
+    w.u32vec(g._stateArena);
+
+    w.u64(g._maskTable.size());
+    for (const sva::PredMask &m : g._maskTable)
+        for (std::uint64_t word : m)
+            w.u64(word);
+
+    w.u64(g._numEdges);
+    w.u64(g._expanded);
+    w.boolean(g._complete);
+    w.u32(g._exploredDepth);
+    w.u32(g._numInputs);
+
+    w.u64(g._inputWidths.size());
+    for (unsigned width : g._inputWidths)
+        w.u32(width);
+    w.u64(g._inputTable.size());
+    for (const rtl::InputVec &in : g._inputTable)
+        w.u32vec(in);
+
+    return w.take();
+}
+
+std::shared_ptr<StateGraph>
+GraphSerializer::deserialize(const std::uint8_t *data,
+                             std::size_t size, std::string *error)
+{
+    ByteReader r(data, size);
+
+    const std::uint32_t version = r.u32();
+    if (!r.ok())
+        return fail(error, "truncated header"), nullptr;
+    if (version != kGraphFormatVersion)
+        return fail(error, "graph format version mismatch"), nullptr;
+
+    auto g = std::shared_ptr<StateGraph>(new StateGraph());
+
+    g->_initial = r.u32vec();
+
+    const std::uint64_t num_fields = r.u64();
+    if (!r.checkedElems(num_fields, 9))
+        return fail(error, "truncated packing"), nullptr;
+    g->_packing._fields.resize(
+        static_cast<std::size_t>(num_fields));
+    for (auto &f : g->_packing._fields) {
+        f.word = r.u32();
+        f.shift = r.u8();
+        f.mask = r.u32();
+    }
+    g->_packing._packedWords = static_cast<std::size_t>(r.u64());
+    g->_packedWords = static_cast<std::size_t>(r.u64());
+
+    const std::uint64_t num_nodes = r.u64();
+    if (!r.checkedElems(num_nodes, 8))
+        return fail(error, "truncated node table"), nullptr;
+    g->_edges.resize(static_cast<std::size_t>(num_nodes));
+    for (auto &out : g->_edges) {
+        const std::uint64_t degree = r.u64();
+        if (!r.checkedElems(degree, 9))
+            return fail(error, "truncated edge list"), nullptr;
+        out.resize(static_cast<std::size_t>(degree));
+        for (GraphEdge &e : out) {
+            e.dst = r.u32();
+            e.maskId = r.u32();
+            e.input = r.u8();
+        }
+    }
+
+    g->_depth = r.u32vec();
+    const std::uint64_t num_parents = r.u64();
+    if (!r.checkedElems(num_parents, 5))
+        return fail(error, "truncated parent table"), nullptr;
+    g->_parent.resize(static_cast<std::size_t>(num_parents));
+    for (auto &p : g->_parent) {
+        p.first = r.u32();
+        p.second = r.u8();
+    }
+
+    const std::uint64_t num_covers = r.u64();
+    if (!r.checkedElems(num_covers, 6))
+        return fail(error, "truncated cover table"), nullptr;
+    g->_covers.resize(static_cast<std::size_t>(num_covers));
+    for (CoverHit &c : g->_covers) {
+        c.reached = r.boolean();
+        c.node = r.u32();
+        c.input = r.u8();
+    }
+
+    g->_stateArena = r.u32vec();
+
+    const std::uint64_t num_masks = r.u64();
+    if (!r.checkedElems(num_masks, sizeof(sva::PredMask)))
+        return fail(error, "truncated mask table"), nullptr;
+    g->_maskTable.resize(static_cast<std::size_t>(num_masks));
+    for (sva::PredMask &m : g->_maskTable)
+        for (std::uint64_t &word : m)
+            word = r.u64();
+
+    g->_numEdges = r.u64();
+    g->_expanded = static_cast<std::size_t>(r.u64());
+    g->_complete = r.boolean();
+    g->_exploredDepth = r.u32();
+    g->_numInputs = r.u32();
+
+    const std::uint64_t num_widths = r.u64();
+    if (!r.checkedElems(num_widths, 4))
+        return fail(error, "truncated input widths"), nullptr;
+    g->_inputWidths.resize(static_cast<std::size_t>(num_widths));
+    for (unsigned &width : g->_inputWidths)
+        width = r.u32();
+    const std::uint64_t num_inputs = r.u64();
+    if (!r.checkedElems(num_inputs, 8))
+        return fail(error, "truncated input table"), nullptr;
+    g->_inputTable.resize(static_cast<std::size_t>(num_inputs));
+    for (rtl::InputVec &in : g->_inputTable)
+        in = r.u32vec();
+
+    if (!r.atEnd())
+        return fail(error, "truncated or oversized payload"), nullptr;
+
+    // Structural invariants: every cross-array index must be in
+    // range before anyone walks the graph.
+    const std::size_t n = g->_edges.size();
+    if (g->_depth.size() != n || g->_parent.size() != n)
+        return fail(error, "inconsistent node tables"), nullptr;
+    if (g->_expanded > n)
+        return fail(error, "expanded count out of range"), nullptr;
+    if (g->_packedWords != g->_packing._packedWords ||
+        g->_stateArena.size() != n * g->_packedWords)
+        return fail(error, "state arena size mismatch"), nullptr;
+    if (g->_packing._fields.size() != g->_initial.size())
+        return fail(error, "packing/initial size mismatch"), nullptr;
+    if (g->_numInputs != g->_inputTable.size())
+        return fail(error, "input table size mismatch"), nullptr;
+    std::uint64_t edge_count = 0;
+    for (std::uint32_t node = 0; node < n; ++node) {
+        for (const GraphEdge &e : g->_edges[node]) {
+            ++edge_count;
+            if (e.dst >= n || e.maskId >= g->_maskTable.size() ||
+                e.input >= g->_numInputs)
+                return fail(error, "edge index out of range"), nullptr;
+        }
+        if (g->_parent[node].first >= n ||
+            (node > 0 && g->_parent[node].second >= g->_numInputs))
+            return fail(error, "parent index out of range"), nullptr;
+    }
+    if (edge_count != g->_numEdges)
+        return fail(error, "edge count mismatch"), nullptr;
+    for (const CoverHit &c : g->_covers)
+        if (c.reached &&
+            (c.node >= n || c.input >= g->_numInputs))
+            return fail(error, "cover index out of range"), nullptr;
+
+    return g;
+}
+
+} // namespace rtlcheck::formal

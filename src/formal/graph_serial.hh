@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Binary serialization of explored StateGraphs for the on-disk
+ * artifact store.
+ *
+ * Exploration dominates end-to-end verification time; serializing a
+ * finished graph lets a later *process* skip it entirely — the
+ * persistent analogue of formal::GraphCache. The format is a flat
+ * dump of every StateGraph field (states stay bit-packed, edges are
+ * flattened into one array with per-node counts), written through
+ * the deterministic ByteWriter so that serialize(deserialize(bytes))
+ * reproduces `bytes` exactly — the round-trip identity the test
+ * suite asserts by memcmp.
+ *
+ * Robustness: the payload leads with a format version (bumped on any
+ * layout change; mismatches are refused, never reinterpreted), every
+ * read is bounds-checked, and structural invariants (array sizes
+ * consistent, mask/input/parent indices in range) are re-validated
+ * after decode, so a truncated or corrupted artifact yields a null
+ * graph and an error string rather than a crash. File-level
+ * integrity (magic, checksum) is the artifact store's job — see
+ * service/artifact_store.hh; this layer assumes the bytes arrived
+ * intact but still refuses malformed content defensively.
+ */
+
+#ifndef RTLCHECK_FORMAL_GRAPH_SERIAL_HH
+#define RTLCHECK_FORMAL_GRAPH_SERIAL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "formal/state_graph.hh"
+
+namespace rtlcheck::formal {
+
+/** Bumped on any change to the serialized StateGraph layout. */
+constexpr std::uint32_t kGraphFormatVersion = 1;
+
+class GraphSerializer
+{
+  public:
+    static std::vector<std::uint8_t> serialize(const StateGraph &g);
+
+    /** Null on malformed input; `error` (optional) says why. */
+    static std::shared_ptr<StateGraph>
+    deserialize(const std::uint8_t *data, std::size_t size,
+                std::string *error = nullptr);
+};
+
+inline std::vector<std::uint8_t>
+serializeGraph(const StateGraph &graph)
+{
+    return GraphSerializer::serialize(graph);
+}
+
+inline std::shared_ptr<StateGraph>
+deserializeGraph(const std::vector<std::uint8_t> &bytes,
+                 std::string *error = nullptr)
+{
+    return GraphSerializer::deserialize(bytes.data(), bytes.size(),
+                                        error);
+}
+
+} // namespace rtlcheck::formal
+
+#endif // RTLCHECK_FORMAL_GRAPH_SERIAL_HH

@@ -204,6 +204,11 @@ class StateGraph
                        std::uint32_t node) const;
 
   private:
+    /** Deserialization constructs an empty graph and fills every
+     *  field from the artifact bytes (graph_serial.hh). */
+    friend class GraphSerializer;
+    StateGraph() = default;
+
     // No reference to the netlist is retained: a cached graph may
     // outlive the netlist instance it was explored with (GraphCache
     // serves graphs across independently elaborated netlists).

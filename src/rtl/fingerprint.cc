@@ -1,0 +1,181 @@
+#include "fingerprint.hh"
+
+#include <algorithm>
+
+#include "common/hashing.hh"
+#include "common/logging.hh"
+
+namespace rtlcheck::rtl {
+
+namespace {
+
+// Distinct tags delimit the sections of both fingerprints so streams
+// from adjacent structures can never alias (a memory's last init word
+// vs. the next memory's header, say).
+enum : std::uint64_t
+{
+    kTagNodes = 0x6e6f646573ull,  // "nodes"
+    kTagRegs = 0x72656773ull,     // "regs"
+    kTagInputs = 0x696e70ull,     // "inp"
+    kTagMems = 0x6d656d73ull,     // "mems"
+    kTagInit = 0x696e6974ull,     // "init"
+    kTagPorts = 0x706f727473ull,  // "ports"
+    kTagRoots = 0x726f6f7473ull,  // "roots"
+};
+
+std::uint64_t
+hashNode(std::uint64_t h, const ExprNode &n)
+{
+    h = hashCombine(h, static_cast<std::uint64_t>(n.op) |
+                           (std::uint64_t(n.width) << 8));
+    h = hashCombine(h, (std::uint64_t(n.a.id) << 32) | n.b.id);
+    h = hashCombine(h, (std::uint64_t(n.c.id) << 32) | n.imm);
+    h = hashCombine(h, (std::uint64_t(n.memId) << 32) | n.stateSlot);
+    return hashCombine(h, n.inputSlot);
+}
+
+std::uint64_t
+hashReg(std::uint64_t h, const RegDecl &r)
+{
+    h = hashCombine(h, (std::uint64_t(r.width) << 32) | r.resetValue);
+    return hashCombine(h, r.next.valid() ? r.next.id
+                                         : Signal::invalidId);
+}
+
+std::uint64_t
+hashMem(std::uint64_t h, const MemDecl &m)
+{
+    h = hashCombine(h, (std::uint64_t(m.words) << 32) |
+                           (std::uint64_t(m.width) << 8) |
+                           (m.isRom ? 1 : 0));
+    // The full initialization image, with an explicit tag and length:
+    // two designs differing only in a ROM word or a data-memory init
+    // word must never share a fingerprint (the artifact store would
+    // otherwise serve one design's verdict for the other).
+    h = hashCombine(h, kTagInit);
+    h = hashCombine(h, m.init.size());
+    for (std::uint32_t w : m.init)
+        h = hashCombine(h, w);
+    h = hashCombine(h, kTagPorts);
+    h = hashCombine(h, m.writePorts.size());
+    for (const MemWritePort &p : m.writePorts) {
+        h = hashCombine(h, (std::uint64_t(p.enable.id) << 32) |
+                               p.addr.id);
+        h = hashCombine(h, p.data.id);
+    }
+    return h;
+}
+
+} // namespace
+
+std::uint64_t
+designFingerprint(const Design &design)
+{
+    std::uint64_t h = 0x64736e66705e7631ull; // "dsnfp^v1"
+    h = hashCombine(h, kTagNodes);
+    h = hashCombine(h, design.nodes().size());
+    for (const ExprNode &n : design.nodes())
+        h = hashNode(h, n);
+    h = hashCombine(h, kTagRegs);
+    h = hashCombine(h, design.regs().size());
+    for (const RegDecl &r : design.regs())
+        h = hashReg(h, r);
+    h = hashCombine(h, kTagInputs);
+    h = hashCombine(h, design.inputs().size());
+    for (const InputDecl &in : design.inputs())
+        h = hashCombine(h, in.width);
+    h = hashCombine(h, kTagMems);
+    h = hashCombine(h, design.mems().size());
+    for (const MemDecl &m : design.mems())
+        h = hashMem(h, m);
+    return h;
+}
+
+ConeInfo
+coneFingerprint(const Design &design, const std::vector<Signal> &roots)
+{
+    const std::vector<ExprNode> &nodes = design.nodes();
+    const std::vector<RegDecl> &regs = design.regs();
+    const std::vector<MemDecl> &mems = design.mems();
+
+    std::vector<bool> node_in(nodes.size(), false);
+    std::vector<bool> reg_in(regs.size(), false);
+    std::vector<bool> mem_in(mems.size(), false);
+    std::vector<std::uint32_t> worklist;
+
+    auto push = [&](Signal s) {
+        RC_ASSERT(s.valid() && s.id < nodes.size(),
+                  "cone root/operand out of range");
+        if (!node_in[s.id]) {
+            node_in[s.id] = true;
+            worklist.push_back(s.id);
+        }
+    };
+
+    for (Signal root : roots)
+        push(root);
+
+    // Closure under combinational fan-in and the sequential frontier.
+    while (!worklist.empty()) {
+        const std::uint32_t id = worklist.back();
+        worklist.pop_back();
+        const ExprNode &n = nodes[id];
+        if (n.a.valid())
+            push(n.a);
+        if (n.b.valid())
+            push(n.b);
+        if (n.c.valid())
+            push(n.c);
+        if (n.op == Op::RegQ && !reg_in[n.stateSlot]) {
+            reg_in[n.stateSlot] = true;
+            push(regs[n.stateSlot].next);
+        }
+        if (n.op == Op::MemRead && !mem_in[n.memId]) {
+            mem_in[n.memId] = true;
+            for (const MemWritePort &p : mems[n.memId].writePorts) {
+                push(p.enable);
+                push(p.addr);
+                push(p.data);
+            }
+        }
+    }
+
+    ConeInfo info;
+    std::uint64_t h = 0x636f6e6566705e31ull; // "conefp^1"
+
+    // Hash the members in ascending index order — the worklist order
+    // is traversal-dependent, the fingerprint must not be.
+    h = hashCombine(h, kTagNodes);
+    for (std::uint32_t id = 0; id < nodes.size(); ++id) {
+        if (!node_in[id])
+            continue;
+        info.nodes.push_back(id);
+        h = hashCombine(h, id);
+        h = hashNode(h, nodes[id]);
+    }
+    h = hashCombine(h, kTagRegs);
+    for (std::uint32_t i = 0; i < regs.size(); ++i) {
+        if (!reg_in[i])
+            continue;
+        info.regs.push_back(i);
+        h = hashCombine(h, i);
+        h = hashReg(h, regs[i]);
+    }
+    h = hashCombine(h, kTagMems);
+    for (std::uint32_t i = 0; i < mems.size(); ++i) {
+        if (!mem_in[i])
+            continue;
+        info.mems.push_back(i);
+        h = hashCombine(h, i);
+        h = hashMem(h, mems[i]);
+    }
+    h = hashCombine(h, kTagRoots);
+    h = hashCombine(h, roots.size());
+    for (Signal root : roots)
+        h = hashCombine(h, root.id);
+
+    info.fingerprint = h;
+    return info;
+}
+
+} // namespace rtlcheck::rtl

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Design-space content fingerprints for the verification service.
+ *
+ * The persistent artifact store keys verdicts and explored graphs on
+ * *what was verified*, so two fingerprints are needed on the cheap
+ * (pre-elaboration) side of the flow:
+ *
+ *  - designFingerprint(): a content hash of the whole design —
+ *    every expression node, register (width, reset, next), input,
+ *    and memory including its full initialization image. This is the
+ *    design-space analogue of Netlist::fingerprint() and the
+ *    conservative cache key: any edit anywhere invalidates it.
+ *
+ *  - coneFingerprint(): the hash restricted to the *cone of
+ *    influence* of a set of root signals (in practice: every SVA
+ *    predicate of a litmus test). The cone is closed under both
+ *    combinational fan-in and the sequential frontier — reaching a
+ *    register pulls in its next-state cone and reset value, reaching
+ *    a memory pulls in its initialization image and every write
+ *    port's cone — so the fingerprint covers exactly the logic that
+ *    can influence the roots' behaviour over time. An RTL edit
+ *    outside the cone leaves the fingerprint unchanged, which is what
+ *    lets incremental re-verification answer unaffected tests from
+ *    the store after an edit (see DESIGN.md, "Verification as a
+ *    service": semantic verdicts — statuses, cover outcomes, minimal
+ *    witness depths over *complete* explorations — are functions of
+ *    the cone alone; budget-truncated or SAT-backed configurations
+ *    key on the full design fingerprint instead).
+ *
+ * Both hashes are computed over design space (pre-optimization node
+ * ids), so they are independent of the netlist compilation pipeline
+ * and stable across processes: the Multi-V-scale builder emits nodes
+ * deterministically, and mutation patches rewrite nodes in place
+ * without renumbering (see rtl/mutate.hh).
+ */
+
+#ifndef RTLCHECK_RTL_FINGERPRINT_HH
+#define RTLCHECK_RTL_FINGERPRINT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/design.hh"
+
+namespace rtlcheck::rtl {
+
+/** Content hash of the entire design (nodes, registers with reset
+ *  values and next-state wiring, inputs, memories with full init
+ *  images and write ports). */
+std::uint64_t designFingerprint(const Design &design);
+
+/** What the cone-of-influence closure reached; exposed so tests and
+ *  tooling can reason about cone membership directly. */
+struct ConeInfo
+{
+    std::uint64_t fingerprint = 0;
+    /** Design-space node ids inside the cone, ascending. */
+    std::vector<std::uint32_t> nodes;
+    /** Register indices inside the cone, ascending. */
+    std::vector<std::uint32_t> regs;
+    /** Memory indices inside the cone, ascending. */
+    std::vector<std::uint32_t> mems;
+
+    bool
+    containsNode(std::uint32_t id) const
+    {
+        for (std::uint32_t n : nodes)
+            if (n == id)
+                return true;
+        return false;
+    }
+};
+
+/**
+ * Cone-of-influence fingerprint rooted at `roots` (see file
+ * comment). The root list itself is part of the hash — the same
+ * design with different observation points is a different key. Roots
+ * must be valid signals of `design`.
+ */
+ConeInfo coneFingerprint(const Design &design,
+                         const std::vector<Signal> &roots);
+
+} // namespace rtlcheck::rtl
+
+#endif // RTLCHECK_RTL_FINGERPRINT_HH

@@ -123,7 +123,28 @@ Netlist::Netlist(const Design &design, const NetlistOptions &options)
     }
     _packing = StatePacking(slot_widths);
 
+    _initDigest = computeInitDigest();
     _fingerprint = computeFingerprint();
+}
+
+std::uint64_t
+Netlist::computeInitDigest() const
+{
+    // Register resets and every memory/ROM image, each section
+    // tagged and length-prefixed so adjacent streams cannot alias.
+    std::uint64_t h = 0x696e697464696731ull; // "initdig1"
+    h = hashCombine(h, _regs.size());
+    for (const RegDecl &r : _regs)
+        h = hashCombine(h, r.resetValue);
+    h = hashCombine(h, _mems.size());
+    for (const MemDecl &m : _mems) {
+        h = hashCombine(h, (std::uint64_t(m.words) << 1) |
+                               (m.isRom ? 1 : 0));
+        h = hashCombine(h, m.init.size());
+        for (std::uint32_t w : m.init)
+            h = hashCombine(h, w);
+    }
+    return h;
 }
 
 std::uint64_t
@@ -153,14 +174,17 @@ Netlist::computeFingerprint() const
         h = hashCombine(h, (std::uint64_t(m.words) << 32) |
                                (std::uint64_t(m.width) << 8) |
                                (m.isRom ? 1 : 0));
-        for (std::uint32_t w : m.init)
-            h = hashCombine(h, w);
+        h = hashCombine(h, m.writePorts.size());
         for (const MemWritePort &p : m.writePorts) {
             h = hashCombine(h, (std::uint64_t(p.enable.id) << 32) |
                                    p.addr.id);
             h = hashCombine(h, p.data.id);
         }
     }
+    // Initialization content (register resets + memory/ROM images)
+    // enters through the tagged, length-prefixed init digest: designs
+    // differing only in initial contents must never share a key.
+    h = hashCombine(h, _initDigest);
     return h;
 }
 

@@ -30,6 +30,10 @@
 #include "rtl/design.hh"
 #include "rtl/optimize.hh"
 
+namespace rtlcheck::formal {
+class GraphSerializer; // on-disk StateGraph artifacts (graph_serial.hh)
+}
+
 namespace rtlcheck::rtl {
 
 /** Flattened design state: registers first, then memory words. */
@@ -82,6 +86,8 @@ class StatePacking
     bool fits(const std::uint32_t *state) const;
 
   private:
+    friend class rtlcheck::formal::GraphSerializer;
+
     struct Field
     {
         std::uint32_t word = 0;  ///< packed word index
@@ -115,8 +121,20 @@ class Netlist
      *  behaviour (nodes, state layout, memory images, remap). Two
      *  independently elaborated netlists of the same design under
      *  the same options share a fingerprint; the formal layer keys
-     *  its state-graph cache on it. */
+     *  its state-graph cache on it, and the service layer keys its
+     *  persistent artifact store on it. Initialization content
+     *  (register resets, memory/ROM images) is hashed with explicit
+     *  section tags and lengths — see initDigest() — so two designs
+     *  differing only in initial contents can never alias a key. */
     std::uint64_t fingerprint() const { return _fingerprint; }
+
+    /** Content hash of the post-reset initial-state image alone:
+     *  register reset values plus every memory/ROM initialization
+     *  image, in state-layout order. Mixed into fingerprint(), and
+     *  combined with InitialPin assumption values by the service
+     *  layer's artifact keys (a pinned word overrides this image, so
+     *  pins must be keyed alongside it). */
+    std::uint64_t initDigest() const { return _initDigest; }
 
     /** State vector after reset (register resets + memory init). */
     StateVec initialState() const;
@@ -188,6 +206,7 @@ class Netlist
     };
 
     std::uint64_t computeFingerprint() const;
+    std::uint64_t computeInitDigest() const;
 
     /// optimized nodes; operand handles are in optimized space
     std::vector<ExprNode> _nodes;
@@ -204,6 +223,7 @@ class Netlist
     StatePacking _packing;
     OptStats _optStats;
     std::uint64_t _fingerprint = 0;
+    std::uint64_t _initDigest = 0;
 };
 
 } // namespace rtlcheck::rtl

@@ -1,0 +1,110 @@
+#include "report.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace rtlcheck::core {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+const char *
+coverName(const formal::VerifyResult &v)
+{
+    if (v.coverUnreachable)
+        return "unreachable";
+    return v.coverReached ? "reached" : "bounded";
+}
+
+} // namespace
+
+std::string
+renderSuiteJson(const std::vector<litmus::Test> &tests,
+                const SuiteRun &suite, const SuiteJsonInfo &info)
+{
+    RC_ASSERT(tests.size() == suite.runs.size(),
+              "suite/run size mismatch");
+
+    std::size_t failures = 0, served = 0;
+    double cpu = 0.0;
+    for (const TestRun &run : suite.runs) {
+        failures += !run.verified();
+        served += run.servedFromStore;
+        cpu += run.totalSeconds;
+    }
+
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(6);
+    out << "{\n";
+    out << "  \"model\": \"" << jsonEscape(info.model) << "\",\n";
+    out << "  \"design\": \"" << jsonEscape(info.design) << "\",\n";
+    out << "  \"config\": \"" << jsonEscape(info.config) << "\",\n";
+    out << "  \"engine\": \"" << jsonEscape(info.engine) << "\",\n";
+    out << "  \"tests\": " << tests.size() << ",\n";
+    out << "  \"failures\": " << failures << ",\n";
+    out << "  \"servedFromStore\": " << served << ",\n";
+    out << "  \"jobs\": " << suite.jobs << ",\n";
+    out << "  \"wallSeconds\": " << suite.wallSeconds << ",\n";
+    out << "  \"cpuSeconds\": " << cpu << ",\n";
+
+    const formal::GraphCache::Stats &cs = info.cacheStats;
+    out << "  \"graphCache\": {\"explores\": " << cs.explores
+        << ", \"hits\": " << cs.hits
+        << ", \"evictions\": " << cs.evictions
+        << ", \"diskHits\": " << cs.diskHits
+        << ", \"diskStores\": " << cs.diskStores << "},\n";
+
+    const SatTotals st = suite.satTotals();
+    out << "  \"sat\": {\"solves\": " << st.solves
+        << ", \"conflicts\": " << st.conflicts
+        << ", \"learnedReuse\": " << st.learnedReuse
+        << ", \"framesPushed\": " << st.framesPushed
+        << ", \"framesPopped\": " << st.framesPopped << "},\n";
+
+    out << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < suite.runs.size(); ++i) {
+        const TestRun &run = suite.runs[i];
+        const formal::VerifyResult &v = run.verify;
+        out << "    {\"test\": \"" << jsonEscape(tests[i].name)
+            << "\", \"verified\": " << (run.verified() ? "true"
+                                                       : "false")
+            << ", \"props\": " << run.numProperties
+            << ", \"proven\": " << v.numProven()
+            << ", \"bounded\": " << v.numBounded()
+            << ", \"falsified\": " << v.numFalsified()
+            << ", \"cover\": \"" << coverName(v) << '"';
+        if (v.coverWitness)
+            out << ", \"witnessDepth\": "
+                << v.coverWitness->inputs.size();
+        out << ", \"graphNodes\": " << v.graphNodes
+            << ", \"engine\": \"" << jsonEscape(v.engineUsed)
+            << "\", \"generationSeconds\": " << run.generationSeconds
+            << ", \"totalSeconds\": " << run.totalSeconds
+            << ", \"servedFromStore\": "
+            << (run.servedFromStore ? "true" : "false");
+        if (run.coneKey) {
+            std::ostringstream hex;
+            hex << std::hex << std::setw(16) << std::setfill('0')
+                << run.coneKey;
+            out << ", \"coneKey\": \"" << hex.str() << '"';
+        }
+        out << "}" << (i + 1 < suite.runs.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.str();
+}
+
+} // namespace rtlcheck::core

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Machine-readable suite reports.
+ *
+ * renderSuiteJson turns one SuiteRun into a JSON document: suite-wide
+ * counters (failures, wall/cpu time, graph-cache and SAT-core
+ * counters, store-served count) plus one record per test with its
+ * verdict, witness depth, timing, and engine. The format is the
+ * contract consumed by CI, by `rtlcheck_cli --all --json`, and by the
+ * service benchmark; fields are only ever added, not renamed.
+ */
+
+#ifndef RTLCHECK_RTLCHECK_REPORT_HH
+#define RTLCHECK_RTLCHECK_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "formal/graph_cache.hh"
+#include "litmus/test.hh"
+#include "rtlcheck/runner.hh"
+
+namespace rtlcheck::core {
+
+/** Run-identification and counters that live outside the SuiteRun. */
+struct SuiteJsonInfo
+{
+    std::string model;  ///< e.g. "sc"
+    std::string design; ///< e.g. "fixed"
+    std::string config; ///< e.g. "full"
+    std::string engine; ///< e.g. "explicit"
+    /** Graph-cache counters; all-zero when no cache was used. */
+    formal::GraphCache::Stats cacheStats;
+};
+
+/** Render `suite` (the runs of `tests`, index-aligned) as JSON. */
+std::string renderSuiteJson(const std::vector<litmus::Test> &tests,
+                            const SuiteRun &suite,
+                            const SuiteJsonInfo &info);
+
+} // namespace rtlcheck::core
+
+#endif // RTLCHECK_RTLCHECK_REPORT_HH

@@ -38,67 +38,58 @@ struct TestContext
     std::vector<sva::Property> properties;
 };
 
-TestContext
-buildContext(const litmus::Test &test, const uspec::Model &model,
-             const RunOptions &options)
+/** Elaborate a prepared design. The compilation pipeline may drop any
+ *  combinational node the verification cannot observe, so the
+ *  cone-of-influence roots must include every predicate signal —
+ *  those are read via valueOf() during exploration. */
+std::unique_ptr<rtl::Netlist>
+elaboratePrepared(const PreparedTest &prep, const RunOptions &options)
 {
-    TestContext ctx;
-    ctx.proto.testName = test.name;
-
-    // Lower the test and build the SoC around it.
-    vscale::Program program = vscale::lower(test);
-    rtl::Design design;
-    if (options.pipeline == Pipeline::StoreBuffer)
-        vscale::buildTsoSoc(design, program);
-    else
-        vscale::buildSoc(design, program, options.variant);
-    if (options.designPatch)
-        options.designPatch(design);
-
-    // Generate assumptions and assertions (this is the part the
-    // paper reports takes "just seconds" per test).
-    auto t_gen = Clock::now();
-    sva::PredicateTable &preds = ctx.preds;
-    VscaleNodeMapping mapping(design, preds, program);
-    AssumptionSet assumptions =
-        generateAssumptions(design, preds, program, mapping);
-    ctx.properties = generateAssertions(model, test, mapping, preds,
-                                        options.encoding);
-    ctx.proto.generationSeconds = secondsSince(t_gen);
-
-    ctx.proto.svaAssumptions = assumptions.allSvaText();
-    for (const auto &p : ctx.properties)
-        ctx.proto.svaAssertions.push_back(p.svaText);
-    ctx.proto.numProperties = static_cast<int>(ctx.properties.size());
-
-    // Elaborate. The compilation pipeline may drop any combinational
-    // node the verification cannot observe, so the cone-of-influence
-    // roots must include every predicate signal — those are read via
-    // valueOf() during exploration.
     rtl::NetlistOptions nopts;
     nopts.enable = options.optimizeNetlist;
     if (options.optimizeNetlist) {
         nopts.coneOfInfluence = true;
-        for (int i = 0; i < preds.size(); ++i)
-            nopts.keepSignals.push_back(preds.signalOf(i));
+        for (int i = 0; i < prep.preds.size(); ++i)
+            nopts.keepSignals.push_back(prep.preds.signalOf(i));
     }
-    ctx.netlist = std::make_unique<rtl::Netlist>(design, nopts);
+    return std::make_unique<rtl::Netlist>(prep.design, nopts);
+}
+
+std::vector<formal::Assumption>
+resolveFiltered(const AssumptionSet &assumptions,
+                const rtl::Netlist &netlist,
+                const RunOptions &options)
+{
+    std::vector<formal::Assumption> resolved =
+        assumptions.resolve(netlist);
+    if (options.useValueAssumptions && options.useFinalValueCover)
+        return resolved;
+    std::vector<formal::Assumption> kept;
+    for (auto &a : resolved) {
+        if (!options.useValueAssumptions &&
+            a.kind == formal::Assumption::Kind::Implication)
+            continue;
+        if (!options.useFinalValueCover &&
+            a.kind == formal::Assumption::Kind::FinalValueCover)
+            continue;
+        kept.push_back(std::move(a));
+    }
+    return kept;
+}
+
+TestContext
+buildContext(const litmus::Test &test, const uspec::Model &model,
+             const RunOptions &options)
+{
+    PreparedTest prep = prepareTest(test, model, options);
+    TestContext ctx;
+    ctx.netlist = elaboratePrepared(prep, options);
+    ctx.resolved =
+        resolveFiltered(prep.assumptions, *ctx.netlist, options);
+    ctx.proto = std::move(prep.proto);
     ctx.proto.netlistStats = ctx.netlist->optStats();
-    ctx.resolved = assumptions.resolve(*ctx.netlist);
-    if (!options.useValueAssumptions ||
-        !options.useFinalValueCover) {
-        std::vector<formal::Assumption> kept;
-        for (auto &a : ctx.resolved) {
-            if (!options.useValueAssumptions &&
-                a.kind == formal::Assumption::Kind::Implication)
-                continue;
-            if (!options.useFinalValueCover &&
-                a.kind == formal::Assumption::Kind::FinalValueCover)
-                continue;
-            kept.push_back(std::move(a));
-        }
-        ctx.resolved = std::move(kept);
-    }
+    ctx.preds = std::move(prep.preds);
+    ctx.properties = std::move(prep.properties);
     return ctx;
 }
 
@@ -130,15 +121,65 @@ SuiteRun::satTotals() const
     return t;
 }
 
+PreparedTest
+prepareTest(const litmus::Test &test, const uspec::Model &model,
+            const RunOptions &options)
+{
+    auto t_start = Clock::now();
+    PreparedTest prep;
+    prep.proto.testName = test.name;
+
+    // Lower the test and build the SoC around it.
+    vscale::Program program = vscale::lower(test);
+    if (options.pipeline == Pipeline::StoreBuffer)
+        vscale::buildTsoSoc(prep.design, program);
+    else
+        vscale::buildSoc(prep.design, program, options.variant);
+    if (options.designPatch)
+        options.designPatch(prep.design);
+
+    // Generate assumptions and assertions (this is the part the
+    // paper reports takes "just seconds" per test).
+    auto t_gen = Clock::now();
+    VscaleNodeMapping mapping(prep.design, prep.preds, program);
+    prep.assumptions = generateAssumptions(prep.design, prep.preds,
+                                           program, mapping);
+    prep.properties = generateAssertions(model, test, mapping,
+                                         prep.preds, options.encoding);
+    prep.proto.generationSeconds = secondsSince(t_gen);
+
+    prep.proto.svaAssumptions = prep.assumptions.allSvaText();
+    for (const auto &p : prep.properties)
+        prep.proto.svaAssertions.push_back(p.svaText);
+    prep.proto.numProperties =
+        static_cast<int>(prep.properties.size());
+    prep.buildSeconds = secondsSince(t_start);
+    return prep;
+}
+
+TestRun
+verifyPrepared(const PreparedTest &prep, const RunOptions &options)
+{
+    auto t0 = Clock::now();
+    std::unique_ptr<rtl::Netlist> netlist =
+        elaboratePrepared(prep, options);
+    TestRun run = prep.proto;
+    run.netlistStats = netlist->optStats();
+    std::vector<formal::Assumption> resolved =
+        resolveFiltered(prep.assumptions, *netlist, options);
+    run.verify =
+        formal::verify(*netlist, prep.preds, resolved,
+                       prep.properties, options.config,
+                       options.graphCache);
+    run.totalSeconds = prep.buildSeconds + secondsSince(t0);
+    return run;
+}
+
 TestRun
 runTest(const litmus::Test &test, const uspec::Model &model,
         const RunOptions &options)
 {
-    auto t_start = Clock::now();
-    TestContext ctx = buildContext(test, model, options);
-    const double build_seconds = secondsSince(t_start);
-    return verifyContext(ctx, options.config, options.graphCache,
-                         build_seconds);
+    return verifyPrepared(prepareTest(test, model, options), options);
 }
 
 SuiteRun

@@ -76,9 +76,46 @@ struct TestRun
     std::vector<std::string> svaAssumptions;
     std::vector<std::string> svaAssertions;
 
+    /** Set by the service layer when this verdict was answered from
+     *  the persistent artifact store without re-verification. */
+    bool servedFromStore = false;
+    /** The cone-of-influence fingerprint the service keyed this
+     *  verdict on (0 when no service was involved). */
+    std::uint64_t coneKey = 0;
+
     /** Verified: outcome unobservable and every assertion holds. */
     bool verified() const { return verify.clean(); }
 };
+
+/**
+ * Everything that precedes elaboration for one test: the lowered,
+ * patched design, the generated predicates/assumptions/assertions,
+ * and the TestRun fields already known. This is the cheap stage of
+ * runTest (the paper's "just seconds" generation step); elaboration
+ * plus engine time dominates. The service layer runs only this stage
+ * on a warm store hit — the design and predicate roots are enough to
+ * compute content keys — and hands the whole struct to
+ * verifyPrepared() on a miss.
+ */
+struct PreparedTest
+{
+    TestRun proto;      ///< fields known before verification
+    rtl::Design design; ///< built and patched, ready to elaborate
+    sva::PredicateTable preds;
+    std::vector<sva::Property> properties;
+    AssumptionSet assumptions; ///< resolved against the netlist later
+    double buildSeconds = 0.0; ///< wall-clock of this stage
+};
+
+/** Build the pre-elaboration artifacts of one test. */
+PreparedTest prepareTest(const litmus::Test &test,
+                         const uspec::Model &model,
+                         const RunOptions &options);
+
+/** Elaborate and verify a prepared test under `options.config`.
+ *  runTest(t, m, o) ≡ verifyPrepared(prepareTest(t, m, o), o). */
+TestRun verifyPrepared(const PreparedTest &prep,
+                       const RunOptions &options);
 
 /** Run RTLCheck on one test. */
 TestRun runTest(const litmus::Test &test, const uspec::Model &model,

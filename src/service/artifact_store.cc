@@ -1,0 +1,293 @@
+#include "artifact_store.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/serialize.hh"
+
+namespace rtlcheck::service {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x5243415254464331ull; // "RCARTFC1"
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8;
+
+/** mkdir -p for exactly one level (parents must exist). */
+bool
+ensureDir(const std::string &path)
+{
+    if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST)
+        return true;
+    return false;
+}
+
+std::string
+hex(std::uint64_t v, int digits)
+{
+    static const char *d = "0123456789abcdef";
+    std::string out(static_cast<std::size_t>(digits), '0');
+    for (int i = digits - 1; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = d[v & 0xf];
+        v >>= 4;
+    }
+    return out;
+}
+
+bool
+writeAll(int fd, const std::uint8_t *data, std::size_t n)
+{
+    while (n) {
+        ssize_t w = ::write(fd, data, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+bool
+readFile(const std::string &path, std::vector<std::uint8_t> &out)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return false;
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+        ::close(fd);
+        return false;
+    }
+    out.resize(static_cast<std::size_t>(st.st_size));
+    std::size_t off = 0;
+    while (off < out.size()) {
+        ssize_t r = ::read(fd, out.data() + off, out.size() - off);
+        if (r < 0 && errno == EINTR)
+            continue;
+        if (r <= 0) {
+            ::close(fd);
+            return false;
+        }
+        off += static_cast<std::size_t>(r);
+    }
+    ::close(fd);
+    return true;
+}
+
+/** Split a framed artifact file into its verified payload. */
+bool
+decodeArtifact(const std::vector<std::uint8_t> &file,
+               std::vector<std::uint8_t> &payload)
+{
+    ByteReader r(file);
+    const std::uint64_t magic = r.u64();
+    const std::uint32_t version = r.u32();
+    const std::uint64_t size = r.u64();
+    const std::uint64_t checksum = r.u64();
+    if (!r.ok() || magic != kMagic ||
+        version != kStoreFormatVersion || size != r.remaining())
+        return false;
+    payload.assign(file.begin() +
+                       static_cast<std::ptrdiff_t>(kHeaderBytes),
+                   file.end());
+    return hashBytes(payload) == checksum;
+}
+
+bool
+isArtifactName(const std::string &name)
+{
+    return name.size() > 4 &&
+           name.compare(name.size() - 4, 4, ".rca") == 0;
+}
+
+bool
+isTempName(const std::string &name)
+{
+    return name.find(".tmp.") != std::string::npos;
+}
+
+/** Invoke `fn(shard_dir, file_name)` for every entry of every shard
+ *  directory. */
+template <typename Fn>
+void
+forEachFile(const std::string &dir, Fn fn)
+{
+    DIR *top = ::opendir(dir.c_str());
+    if (!top)
+        return;
+    while (struct dirent *shard = ::readdir(top)) {
+        if (shard->d_name[0] == '.')
+            continue;
+        const std::string shard_dir = dir + "/" + shard->d_name;
+        DIR *sd = ::opendir(shard_dir.c_str());
+        if (!sd)
+            continue;
+        while (struct dirent *e = ::readdir(sd)) {
+            if (e->d_name[0] == '.')
+                continue;
+            fn(shard_dir, std::string(e->d_name));
+        }
+        ::closedir(sd);
+    }
+    ::closedir(top);
+}
+
+} // namespace
+
+ArtifactStore::ArtifactStore(const std::string &dir) : _dir(dir)
+{
+    if (!ensureDir(_dir))
+        RC_FATAL("cannot create artifact store directory '", _dir,
+                 "': ", std::strerror(errno));
+}
+
+std::string
+ArtifactStore::fileNameOf(const std::string &kind, std::uint64_t key)
+{
+    return hex(key & 0xff, 2) + "/" + kind + "-" + hex(key, 16) +
+           ".rca";
+}
+
+std::string
+ArtifactStore::pathOf(const std::string &kind, std::uint64_t key) const
+{
+    return _dir + "/" + fileNameOf(kind, key);
+}
+
+bool
+ArtifactStore::put(const std::string &kind, std::uint64_t key,
+                   const std::vector<std::uint8_t> &payload)
+{
+    const std::string shard = _dir + "/" + hex(key & 0xff, 2);
+    if (!ensureDir(shard))
+        return false;
+
+    ByteWriter w;
+    w.u64(kMagic);
+    w.u32(kStoreFormatVersion);
+    w.u64(payload.size());
+    w.u64(hashBytes(payload));
+    w.raw(payload.data(), payload.size());
+    const std::vector<std::uint8_t> file = w.take();
+
+    std::uint64_t serial;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        serial = ++_tmpCounter;
+    }
+    const std::string final_path = pathOf(kind, key);
+    const std::string tmp_path =
+        final_path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(serial);
+
+    int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_EXCL,
+                    0644);
+    if (fd < 0)
+        return false;
+    const bool wrote = writeAll(fd, file.data(), file.size()) &&
+                       ::fsync(fd) == 0;
+    ::close(fd);
+    if (!wrote || ::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+        ::unlink(tmp_path.c_str());
+        return false;
+    }
+
+    std::lock_guard<std::mutex> lock(_mutex);
+    ++_stats.puts;
+    _stats.bytesWritten += file.size();
+    return true;
+}
+
+std::optional<std::vector<std::uint8_t>>
+ArtifactStore::get(const std::string &kind, std::uint64_t key)
+{
+    std::vector<std::uint8_t> file;
+    if (!readFile(pathOf(kind, key), file)) {
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_stats.misses;
+        return std::nullopt;
+    }
+    std::vector<std::uint8_t> payload;
+    if (!decodeArtifact(file, payload)) {
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_stats.corrupt;
+        return std::nullopt;
+    }
+    std::lock_guard<std::mutex> lock(_mutex);
+    ++_stats.hits;
+    _stats.bytesRead += file.size();
+    return payload;
+}
+
+bool
+ArtifactStore::contains(const std::string &kind,
+                        std::uint64_t key) const
+{
+    struct stat st;
+    return ::stat(pathOf(kind, key).c_str(), &st) == 0;
+}
+
+ArtifactStore::Audit
+ArtifactStore::validateAll(bool remove_corrupt)
+{
+    Audit audit;
+    forEachFile(_dir, [&](const std::string &shard_dir,
+                          const std::string &name) {
+        if (!isArtifactName(name) || isTempName(name))
+            return;
+        ++audit.checked;
+        const std::string path = shard_dir + "/" + name;
+        std::vector<std::uint8_t> file, payload;
+        if (readFile(path, file) && decodeArtifact(file, payload))
+            return;
+        ++audit.corrupt;
+        audit.corruptFiles.push_back(path);
+        if (remove_corrupt && ::unlink(path.c_str()) == 0)
+            ++audit.removed;
+    });
+    return audit;
+}
+
+std::size_t
+ArtifactStore::removeStale()
+{
+    std::size_t removed = 0;
+    forEachFile(_dir, [&](const std::string &shard_dir,
+                          const std::string &name) {
+        if (!isTempName(name))
+            return;
+        if (::unlink((shard_dir + "/" + name).c_str()) == 0)
+            ++removed;
+    });
+    return removed;
+}
+
+std::size_t
+ArtifactStore::count() const
+{
+    std::size_t n = 0;
+    forEachFile(_dir, [&](const std::string &, const std::string &name) {
+        if (isArtifactName(name) && !isTempName(name))
+            ++n;
+    });
+    return n;
+}
+
+ArtifactStore::Stats
+ArtifactStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _stats;
+}
+
+} // namespace rtlcheck::service

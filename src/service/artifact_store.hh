@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Persistent on-disk artifact store: the durable tier behind the
+ * in-memory GraphCache and the verdict cache of the verification
+ * service.
+ *
+ * The store maps (kind, 64-bit content key) to an opaque payload.
+ * Keys are content hashes — Netlist::fingerprint crossed with
+ * canonical assumption sets and engine limits (see
+ * service/verdict_serial.hh and GraphCache::keyOf) — so a warm entry
+ * is valid for any process that derives the same key, and a changed
+ * design simply derives different keys; nothing is ever invalidated
+ * in place.
+ *
+ * Layout: one file per artifact, `<dir>/<shard>/<kind>-<key16>.rca`,
+ * where `<shard>` is the low byte of the key in hex. Sharding keeps
+ * directories small when a suite × config × mutant matrix stores
+ * thousands of artifacts.
+ *
+ * Crash safety: every put writes a uniquely named temp file in the
+ * destination shard, fsyncs it, and atomically rename(2)s it into
+ * place — a reader (or a crash) can never observe a torn entry, only
+ * the old bytes or the new bytes. Each file carries a magic, a store
+ * format version, the payload size, and a content checksum; get()
+ * verifies all four and treats any mismatch as a miss, so a
+ * bit-flipped or truncated file degrades to a re-computation, never
+ * a wrong answer. Leftover temp files from killed writers are swept
+ * by removeStale() (the daemon runs it on startup).
+ */
+
+#ifndef RTLCHECK_SERVICE_ARTIFACT_STORE_HH
+#define RTLCHECK_SERVICE_ARTIFACT_STORE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rtlcheck::service {
+
+/** Bumped on any change to the artifact file header layout. */
+constexpr std::uint32_t kStoreFormatVersion = 1;
+
+class ArtifactStore
+{
+  public:
+    struct Stats
+    {
+        std::size_t hits = 0;    ///< get() served a valid artifact
+        std::size_t misses = 0;  ///< no artifact for the key
+        std::size_t corrupt = 0; ///< artifact present but rejected
+        std::size_t puts = 0;
+        std::uint64_t bytesWritten = 0;
+        std::uint64_t bytesRead = 0;
+    };
+
+    /** What validateAll() found across every artifact on disk. */
+    struct Audit
+    {
+        std::size_t checked = 0;
+        std::size_t corrupt = 0;
+        std::size_t removed = 0;
+        std::vector<std::string> corruptFiles;
+    };
+
+    /** Open (and create if needed) the store rooted at `dir`. */
+    explicit ArtifactStore(const std::string &dir);
+
+    /** Atomically publish an artifact; overwrites any previous entry
+     *  for the key. False on I/O failure (the old entry, if any,
+     *  survives intact). */
+    bool put(const std::string &kind, std::uint64_t key,
+             const std::vector<std::uint8_t> &payload);
+
+    /** Fetch and verify an artifact; nullopt on miss or on any
+     *  header/checksum mismatch. */
+    std::optional<std::vector<std::uint8_t>>
+    get(const std::string &kind, std::uint64_t key);
+
+    /** Is there a (not-necessarily-valid) entry for the key? */
+    bool contains(const std::string &kind, std::uint64_t key) const;
+
+    /** Verify every artifact's header and checksum; optionally unlink
+     *  the rejects. The daemon smoke test runs this after a mid-job
+     *  SIGTERM to prove no torn entries survive a crash. */
+    Audit validateAll(bool remove_corrupt);
+
+    /** Delete temp files abandoned by killed writers. Returns how
+     *  many were removed. Never touches published artifacts. */
+    std::size_t removeStale();
+
+    /** Artifacts currently on disk (valid or not). */
+    std::size_t count() const;
+
+    /** Path an artifact lives at, relative to dir(). */
+    static std::string fileNameOf(const std::string &kind,
+                                  std::uint64_t key);
+
+    const std::string &dir() const { return _dir; }
+    Stats stats() const;
+
+  private:
+    std::string pathOf(const std::string &kind,
+                       std::uint64_t key) const;
+
+    std::string _dir;
+    mutable std::mutex _mutex; ///< guards _stats and _tmpCounter
+    Stats _stats;
+    std::uint64_t _tmpCounter = 0;
+};
+
+} // namespace rtlcheck::service
+
+#endif // RTLCHECK_SERVICE_ARTIFACT_STORE_HH

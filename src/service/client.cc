@@ -1,0 +1,80 @@
+#include "client.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace rtlcheck::service {
+
+Client::~Client()
+{
+    close();
+}
+
+bool
+Client::connect(const std::string &socketPath, std::string *error)
+{
+    close();
+
+    // writeFrame reports a hung-up daemon as false; a SIGPIPE default
+    // disposition would kill us first.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof addr.sun_path) {
+        if (error)
+            *error = "socket path too long: " + socketPath;
+        return false;
+    }
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof addr.sun_path - 1);
+
+    _fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (_fd < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    if (::connect(_fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        if (error)
+            *error = "cannot reach daemon at " + socketPath + ": " +
+                     std::strerror(errno);
+        close();
+        return false;
+    }
+    return true;
+}
+
+std::optional<Message>
+Client::request(Message message)
+{
+    if (_fd < 0)
+        return std::nullopt;
+    message["proto"] = std::to_string(kProtocolVersion);
+    if (!sendMessage(_fd, message)) {
+        close();
+        return std::nullopt;
+    }
+    std::optional<Message> response = recvMessage(_fd);
+    if (!response)
+        close();
+    return response;
+}
+
+void
+Client::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+}
+
+} // namespace rtlcheck::service

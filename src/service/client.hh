@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Client side of the rtlcheckd socket protocol.
+ *
+ * A thin request/response wrapper: connect() dials the daemon's
+ * AF_UNIX socket, request() stamps the protocol version onto a
+ * message, sends it as one frame, and blocks for the single response
+ * frame. The daemon serializes responses per connection, so one
+ * Client is usable from one thread at a time; open several clients
+ * for concurrent requests (the daemon dedups identical jobs anyway).
+ */
+
+#ifndef RTLCHECK_SERVICE_CLIENT_HH
+#define RTLCHECK_SERVICE_CLIENT_HH
+
+#include <optional>
+#include <string>
+
+#include "service/protocol.hh"
+
+namespace rtlcheck::service {
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Dial the daemon. False (with *error set) when nothing is
+     *  listening on `socketPath`. */
+    bool connect(const std::string &socketPath, std::string *error);
+
+    /** Send one request (proto stamped automatically) and wait for
+     *  its response. nullopt when the daemon hung up mid-request —
+     *  the connection is then closed and must be re-dialed. */
+    std::optional<Message> request(Message message);
+
+    bool connected() const { return _fd >= 0; }
+    void close();
+
+  private:
+    int _fd = -1;
+};
+
+} // namespace rtlcheck::service
+
+#endif // RTLCHECK_SERVICE_CLIENT_HH

@@ -1,0 +1,120 @@
+#include "protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace rtlcheck::service {
+
+namespace {
+
+bool
+writeAll(int fd, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    while (n) {
+        ssize_t w = ::write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+bool
+readAll(int fd, void *data, std::size_t n)
+{
+    auto *p = static_cast<std::uint8_t *>(data);
+    while (n) {
+        ssize_t r = ::read(fd, p, n);
+        if (r < 0 && errno == EINTR)
+            continue;
+        if (r <= 0)
+            return false;
+        p += r;
+        n -= static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        return false;
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(payload.size());
+    return writeAll(fd, &len, sizeof len) &&
+           writeAll(fd, payload.data(), payload.size());
+}
+
+std::optional<std::string>
+readFrame(int fd)
+{
+    std::uint32_t len = 0;
+    if (!readAll(fd, &len, sizeof len))
+        return std::nullopt;
+    if (len > kMaxFrameBytes)
+        return std::nullopt;
+    std::string payload(len, '\0');
+    if (len && !readAll(fd, payload.data(), len))
+        return std::nullopt;
+    return payload;
+}
+
+std::string
+encodeMessage(const Message &message)
+{
+    std::string out;
+    for (const auto &kv : message) {
+        out += kv.first;
+        out += '=';
+        out += kv.second;
+        out += '\n';
+    }
+    return out;
+}
+
+Message
+decodeMessage(const std::string &payload)
+{
+    Message m;
+    std::size_t pos = 0;
+    while (pos < payload.size()) {
+        std::size_t eol = payload.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = payload.size();
+        const std::string line = payload.substr(pos, eol - pos);
+        pos = eol + 1;
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos || eq == 0)
+            continue; // tolerate junk lines; missing keys are caught
+                      // by the command handlers
+        m[line.substr(0, eq)] = line.substr(eq + 1);
+    }
+    return m;
+}
+
+bool
+sendMessage(int fd, const Message &message)
+{
+    return writeFrame(fd, encodeMessage(message));
+}
+
+std::optional<Message>
+recvMessage(int fd)
+{
+    std::optional<std::string> payload = readFrame(fd);
+    if (!payload)
+        return std::nullopt;
+    return decodeMessage(*payload);
+}
+
+} // namespace rtlcheck::service

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Wire protocol of the rtlcheckd daemon.
+ *
+ * Transport: a stream socket (AF_UNIX) carrying length-prefixed
+ * frames — a little-endian u32 payload length followed by the
+ * payload. Frames above kMaxFrameBytes are refused at both ends, so
+ * a garbage length prefix cannot trigger a giant allocation.
+ *
+ * Payloads are flat `key=value` text, one pair per newline-separated
+ * line (keys and values must not contain '\n'; values may contain
+ * '='). Text keeps the protocol debuggable with `socat` and
+ * versionable without a schema compiler. Every request carries
+ * `proto=<kProtocolVersion>`; the daemon refuses mismatches instead
+ * of guessing.
+ *
+ * Requests: cmd=ping | stats | verify | verify_all | shutdown, plus
+ * job fields (test, model, design, config, engine). Responses carry
+ * status=ok|error and command-specific fields; see daemon.cc for the
+ * authoritative field lists.
+ */
+
+#ifndef RTLCHECK_SERVICE_PROTOCOL_HH
+#define RTLCHECK_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace rtlcheck::service {
+
+constexpr std::uint32_t kProtocolVersion = 1;
+constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+/** One decoded message: ordered key → value. */
+using Message = std::map<std::string, std::string>;
+
+/** Write one frame; false on a closed/failed peer (EPIPE included —
+ *  callers must have SIGPIPE ignored, the daemon and client do). */
+bool writeFrame(int fd, const std::string &payload);
+
+/** Read one frame; nullopt on clean EOF, error, or an oversized
+ *  length prefix. */
+std::optional<std::string> readFrame(int fd);
+
+std::string encodeMessage(const Message &message);
+Message decodeMessage(const std::string &payload);
+
+/** encode + frame in one call. */
+bool sendMessage(int fd, const Message &message);
+/** read + decode in one call. */
+std::optional<Message> recvMessage(int fd);
+
+} // namespace rtlcheck::service
+
+#endif // RTLCHECK_SERVICE_PROTOCOL_HH

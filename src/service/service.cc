@@ -1,0 +1,156 @@
+#include "service.hh"
+
+#include <chrono>
+
+#include "common/thread_pool.hh"
+#include "formal/graph_serial.hh"
+#include "service/verdict_serial.hh"
+
+namespace rtlcheck::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace
+
+VerificationService::VerificationService(const ServiceConfig &config)
+    : _config(config)
+{
+    if (!_config.storeDir.empty())
+        _store = std::make_unique<ArtifactStore>(_config.storeDir);
+    if (_config.cacheBytes)
+        _cache.setBudget(_config.cacheBytes);
+
+    if (_store && _config.persistGraphs) {
+        formal::GraphCache::SpillHooks hooks;
+        ArtifactStore *store = _store.get();
+        hooks.load =
+            [store](std::uint64_t key)
+            -> std::shared_ptr<const formal::StateGraph> {
+            auto bytes = store->get("graph", key);
+            if (!bytes)
+                return nullptr;
+            return formal::deserializeGraph(*bytes);
+        };
+        hooks.save = [store](std::uint64_t key,
+                             const formal::StateGraph &graph) {
+            // Never replace a more complete artifact with a smaller
+            // exploration of the same key (the in-memory cache has
+            // the same keep-the-larger rule).
+            if (auto existing = store->get("graph", key)) {
+                auto old = formal::deserializeGraph(*existing);
+                if (old && (old->complete() ||
+                            old->expandedNodes() >=
+                                graph.expandedNodes()))
+                    return;
+            }
+            store->put("graph", key,
+                       formal::GraphSerializer::serialize(graph));
+        };
+        _cache.setSpillHooks(std::move(hooks));
+    }
+}
+
+core::TestRun
+VerificationService::runTest(const litmus::Test &test,
+                             const uspec::Model &model,
+                             const core::RunOptions &options)
+{
+    auto t0 = Clock::now();
+    core::PreparedTest prep = core::prepareTest(test, model, options);
+    const VerdictKeys keys = verdictKeysOf(prep, options);
+
+    auto serve = [&](StoredVerdict &&sv,
+                     bool via_cone) -> core::TestRun {
+        core::TestRun run = std::move(sv.run);
+        run.servedFromStore = true;
+        run.coneKey = keys.cone;
+        // Report what *this* answer cost, not what the original
+        // verification cost; the verdict fields are the stored ones.
+        run.totalSeconds = secondsSince(t0);
+        run.generationSeconds = prep.proto.generationSeconds;
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++(via_cone ? _stats.coneHits : _stats.fullHits);
+        return run;
+    };
+
+    if (_store) {
+        if (auto bytes = _store->get("verdict", keys.full)) {
+            if (auto sv = deserializeVerdict(*bytes))
+                return serve(std::move(*sv), false);
+        }
+        if (_config.coneReuse && keys.coneEligible) {
+            if (auto bytes = _store->get("verdict", keys.cone)) {
+                auto sv = deserializeVerdict(*bytes);
+                // The flag is re-checked on load: only clean,
+                // complete results may cross designs via the cone.
+                if (sv && sv->coneReusable)
+                    return serve(std::move(*sv), true);
+            }
+        }
+    }
+
+    core::RunOptions o = options;
+    o.graphCache = &_cache;
+    core::TestRun run = core::verifyPrepared(prep, o);
+    run.coneKey = keys.cone;
+
+    if (_store) {
+        StoredVerdict sv;
+        sv.run = run;
+        sv.run.servedFromStore = false;
+        sv.coneReusable = coneReusable(run, keys);
+        const std::vector<std::uint8_t> bytes = serializeVerdict(sv);
+        std::size_t stored = 0;
+        stored += _store->put("verdict", keys.full, bytes) ? 1 : 0;
+        if (sv.coneReusable)
+            stored +=
+                _store->put("verdict", keys.cone, bytes) ? 1 : 0;
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stats.stored += stored;
+    }
+    std::lock_guard<std::mutex> lock(_mutex);
+    ++_stats.misses;
+    return run;
+}
+
+core::SuiteRun
+VerificationService::runSuite(const std::vector<litmus::Test> &tests,
+                              const uspec::Model &model,
+                              const core::RunOptions &options,
+                              std::size_t jobs)
+{
+    core::SuiteRun suite;
+    suite.jobs = jobs ? jobs : ThreadPool::defaultJobs();
+    suite.runs.resize(tests.size());
+
+    auto t0 = Clock::now();
+    if (suite.jobs > 1 && tests.size() > 1) {
+        ThreadPool pool(suite.jobs);
+        pool.parallelFor(tests.size(), [&](std::size_t i) {
+            suite.runs[i] = runTest(tests[i], model, options);
+        });
+    } else {
+        suite.jobs = 1;
+        for (std::size_t i = 0; i < tests.size(); ++i)
+            suite.runs[i] = runTest(tests[i], model, options);
+    }
+    suite.wallSeconds = secondsSince(t0);
+    return suite;
+}
+
+VerificationService::Stats
+VerificationService::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _stats;
+}
+
+} // namespace rtlcheck::service

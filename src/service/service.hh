@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The verification service: RTLCheck runs with a persistent memory.
+ *
+ * VerificationService wraps the core runner with two durable tiers
+ * backed by one ArtifactStore:
+ *
+ *  - Verdicts. runTest() first runs only the cheap prepare stage
+ *    (SoC build + SVA generation — the paper's "just seconds" part),
+ *    derives the content keys of verdict_serial.hh, and asks the
+ *    store. A full-key hit skips elaboration, exploration, and
+ *    checking entirely; a cone-key hit does the same for tests whose
+ *    predicate cone an RTL edit did not touch (incremental
+ *    re-verification). Only on a miss does verifyPrepared() run —
+ *    and its result is published for the next process.
+ *
+ *  - State graphs. The service installs GraphCache spill hooks, so
+ *    explorations that do happen (different config, witness replay,
+ *    cone-changed tests) are themselves persisted and reloaded
+ *    near-zero-copy by later runs.
+ *
+ * Everything is content-addressed; there is no invalidation. An RTL
+ * edit changes fingerprints, which changes keys, which makes the old
+ * artifacts unreachable garbage (dropped by wiping the directory).
+ *
+ * Thread safety: runTest() may be called concurrently — runSuite()
+ * fans it out across a pool — and the daemon shares one service
+ * across its worker pool and connection threads.
+ */
+
+#ifndef RTLCHECK_SERVICE_SERVICE_HH
+#define RTLCHECK_SERVICE_SERVICE_HH
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "formal/graph_cache.hh"
+#include "rtlcheck/runner.hh"
+#include "service/artifact_store.hh"
+
+namespace rtlcheck::service {
+
+struct ServiceConfig
+{
+    /** Artifact store root; empty = no persistence (the service then
+     *  degrades to a plain runner with a shared graph cache). */
+    std::string storeDir;
+    /** GraphCache resident budget in bytes (0 = unlimited). */
+    std::size_t cacheBytes = 0;
+    /** Spill explored state graphs to the store. */
+    bool persistGraphs = true;
+    /** Serve cone-key verdict hits (see verdict_serial.hh). Full-key
+     *  hits are always served. */
+    bool coneReuse = true;
+};
+
+class VerificationService
+{
+  public:
+    struct Stats
+    {
+        std::size_t fullHits = 0; ///< served via the exact-design key
+        std::size_t coneHits = 0; ///< served via the cone key
+        std::size_t misses = 0;   ///< verified from scratch
+        std::size_t stored = 0;   ///< verdict artifacts written
+    };
+
+    explicit VerificationService(const ServiceConfig &config);
+
+    /** runTest with the warm path: identical TestRun content to
+     *  core::runTest except the timing fields and, when served,
+     *  servedFromStore/coneKey. `options.graphCache` is ignored —
+     *  the service's own (spilling) cache is used. */
+    core::TestRun runTest(const litmus::Test &test,
+                          const uspec::Model &model,
+                          const core::RunOptions &options);
+
+    /** Fan runTest over a batch, `jobs` tests at a time (0 =
+     *  ThreadPool::defaultJobs()); runs[i] matches runTest(tests[i])
+     *  at any job count. */
+    core::SuiteRun runSuite(const std::vector<litmus::Test> &tests,
+                            const uspec::Model &model,
+                            const core::RunOptions &options,
+                            std::size_t jobs = 0);
+
+    Stats stats() const;
+
+    /** Null when configured without persistence. */
+    ArtifactStore *store() { return _store.get(); }
+    formal::GraphCache &graphCache() { return _cache; }
+
+  private:
+    ServiceConfig _config;
+    std::unique_ptr<ArtifactStore> _store;
+    formal::GraphCache _cache;
+    mutable std::mutex _mutex; ///< guards _stats
+    Stats _stats;
+};
+
+} // namespace rtlcheck::service
+
+#endif // RTLCHECK_SERVICE_SERVICE_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Verdict (TestRun) serialization and content-key derivation for the
+ * persistent artifact store.
+ *
+ * ## Keys
+ *
+ * A verdict is a pure function of the prepared test artifacts — the
+ * patched design, the generated predicates/assumptions/assertions —
+ * plus the engine configuration and the runner's ablation flags. Two
+ * keys are derived from that content:
+ *
+ *  - `full`: mixes in the whole-design fingerprint
+ *    (rtl::designFingerprint). Always sound; a hit reproduces every
+ *    byte of the original result, witnesses included.
+ *
+ *  - `cone`: mixes in only the cone-of-influence fingerprint rooted
+ *    at the predicate signals (rtl::coneFingerprint). After an RTL
+ *    edit outside a test's predicate cone, this key is *unchanged*,
+ *    which is what lets incremental re-verification answer the test
+ *    from the store without re-running anything.
+ *
+ * Cone-key reuse is deliberately narrower than full-key reuse.
+ * Predicate truth values — hence property statuses, cover outcomes,
+ * and minimal violation depths — are functions of the cone alone,
+ * but witness *byte strings* and graph statistics are functions of
+ * the whole design (state deduplication sees out-of-cone registers).
+ * So a verdict is published under its cone key only when it is
+ * `coneReusable`: a complete, uncancelled, unbounded explicit-engine
+ * run with a clean outcome (no witnesses to go stale). Anything
+ * carrying a witness or a truncation bound reuses only via the full
+ * key, where byte identity is trivially guaranteed.
+ *
+ * InitialPin assumption values enter both keys through the
+ * assumption digest (pins override words of the initial-state image,
+ * so two runs differing only in pinned values must never alias), and
+ * memory/ROM init images enter through the design and cone
+ * fingerprints — closing the key-coverage gaps this subsystem's
+ * issue called out.
+ *
+ * ## Blob format
+ *
+ * A flat ByteWriter dump of every TestRun field plus the
+ * coneReusable flag, led by a format version that is refused on
+ * mismatch. Deterministic: the same run always serializes to the
+ * same bytes.
+ */
+
+#ifndef RTLCHECK_SERVICE_VERDICT_SERIAL_HH
+#define RTLCHECK_SERVICE_VERDICT_SERIAL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtlcheck/runner.hh"
+
+namespace rtlcheck::service {
+
+/** Bumped on any change to the serialized verdict layout. */
+constexpr std::uint32_t kVerdictFormatVersion = 1;
+
+/** The two store keys of one (prepared test, options) pair. */
+struct VerdictKeys
+{
+    std::uint64_t full = 0; ///< exact-design key
+    std::uint64_t cone = 0; ///< predicate-cone key
+    /** The config qualifies for cone reuse (complete explicit
+     *  exploration: results are cone-determined when clean). */
+    bool coneEligible = false;
+    std::uint64_t designFp = 0; ///< rtl::designFingerprint
+    std::uint64_t coneFp = 0;   ///< rtl::coneFingerprint at the roots
+};
+
+VerdictKeys verdictKeysOf(const core::PreparedTest &prep,
+                          const core::RunOptions &options);
+
+/** A verdict as stored: the run plus its reuse class. */
+struct StoredVerdict
+{
+    core::TestRun run;
+    bool coneReusable = false;
+};
+
+/** Is this freshly computed run safe to publish under its cone key?
+ *  (See the file comment for why clean + complete is required.) */
+bool coneReusable(const core::TestRun &run, const VerdictKeys &keys);
+
+std::vector<std::uint8_t> serializeVerdict(const StoredVerdict &v);
+
+/** nullopt on truncation, corruption, or version mismatch. */
+std::optional<StoredVerdict>
+deserializeVerdict(const std::vector<std::uint8_t> &bytes,
+                   std::string *error = nullptr);
+
+} // namespace rtlcheck::service
+
+#endif // RTLCHECK_SERVICE_VERDICT_SERIAL_HH

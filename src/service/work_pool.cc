@@ -1,0 +1,169 @@
+#include "work_pool.hh"
+
+namespace rtlcheck::service {
+
+WorkPool::WorkPool(std::size_t workers)
+{
+    if (workers == 0) {
+        workers = std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 2;
+    }
+    _workers.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        _workers.push_back(std::make_unique<Worker>());
+    _threads.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        _threads.emplace_back([this, i] { workerLoop(i); });
+}
+
+WorkPool::~WorkPool()
+{
+    shutdown(false);
+}
+
+bool
+WorkPool::submit(std::function<void()> task)
+{
+    std::size_t target;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_stopping)
+            return false;
+        target = static_cast<std::size_t>(_nextWorker++) %
+                 _workers.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(_workers[target]->mutex);
+        _workers[target]->tasks.push_back(std::move(task));
+    }
+    {
+        // The task is made visible (queued counter) only under
+        // _mutex — the same mutex the workers' sleep predicate
+        // reads — so a submission can never slip between a worker's
+        // check and its wait (no lost wakeups).
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_pending;
+        ++_queued;
+        ++_stats.submitted;
+    }
+    _wake.notify_one();
+    return true;
+}
+
+std::function<void()>
+WorkPool::take(std::size_t self, bool *stolen)
+{
+    // Own work first, newest first: a worker's back is cache-warm
+    // and uncontended in the common case.
+    {
+        Worker &own = *_workers[self];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            std::function<void()> t = std::move(own.tasks.back());
+            own.tasks.pop_back();
+            *stolen = false;
+            return t;
+        }
+    }
+    // Steal oldest-first from the neighbours, scanning from self+1 so
+    // idle workers fan out over different victims.
+    for (std::size_t k = 1; k < _workers.size(); ++k) {
+        Worker &victim = *_workers[(self + k) % _workers.size()];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            std::function<void()> t = std::move(victim.tasks.front());
+            victim.tasks.pop_front();
+            *stolen = true;
+            return t;
+        }
+    }
+    *stolen = false;
+    return nullptr;
+}
+
+void
+WorkPool::workerLoop(std::size_t self)
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _wake.wait(lock, [this] {
+                return _queued > 0 || _stopping;
+            });
+            if (_queued == 0)
+                return; // stopping and nothing left to run
+        }
+        bool stolen = false;
+        std::function<void()> task = take(self, &stolen);
+        if (!task) {
+            // _queued was > 0 but every deque came up empty: a
+            // concurrent taker holds the task and has not yet
+            // decremented the counter (or a discard shutdown just
+            // emptied the deques). Transient either way.
+            std::this_thread::yield();
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            --_queued;
+        }
+        task();
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_stats.executed;
+        if (stolen)
+            ++_stats.stolen;
+        if (--_pending == 0)
+            _idle.notify_all();
+    }
+}
+
+void
+WorkPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _idle.wait(lock, [this] { return _pending == 0; });
+}
+
+void
+WorkPool::shutdown(bool drain)
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_joined)
+            return;
+        _stopping = true;
+    }
+    if (!drain) {
+        // Pull queued tasks out before the workers can claim them;
+        // in-flight tasks still finish. A task a worker popped but
+        // has not yet counted is not in any deque, so it is never
+        // double-discarded.
+        std::size_t dropped = 0;
+        for (auto &w : _workers) {
+            std::lock_guard<std::mutex> lock(w->mutex);
+            dropped += w->tasks.size();
+            w->tasks.clear();
+        }
+        std::lock_guard<std::mutex> lock(_mutex);
+        _queued -= dropped;
+        _stats.discarded += dropped;
+        _pending -= dropped;
+        if (_pending == 0)
+            _idle.notify_all();
+    }
+    _wake.notify_all();
+    for (std::thread &t : _threads)
+        t.join();
+    std::lock_guard<std::mutex> lock(_mutex);
+    _joined = true;
+}
+
+WorkPool::Stats
+WorkPool::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _stats;
+}
+
+} // namespace rtlcheck::service

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Work-stealing task pool for the verification daemon.
+ *
+ * The daemon's jobs are wildly uneven — a warm store hit returns in
+ * microseconds while a cold Full_Proof exploration runs for seconds —
+ * so a single shared queue would serialize submission behind the
+ * longest job's dequeue contention. Here every worker owns a deque:
+ * submissions are distributed round-robin to the backs, a worker pops
+ * its own back (LIFO, cache-warm), and an idle worker steals from the
+ * *front* of a victim's deque (FIFO — the oldest, likely largest,
+ * work moves; stealer and owner touch opposite ends, so contention
+ * windows are short).
+ *
+ * This intentionally differs from common/thread_pool.hh, which
+ * batch-executes a fixed-size parallelFor; the daemon needs open-ended
+ * submission of independent jobs arriving over time, completion
+ * tracking (waitIdle), and a shutdown that lets in-flight jobs finish
+ * while discarding queued ones (each discarded task is still *run* if
+ * `drain`, or dropped — the daemon fails those clients explicitly).
+ */
+
+#ifndef RTLCHECK_SERVICE_WORK_POOL_HH
+#define RTLCHECK_SERVICE_WORK_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rtlcheck::service {
+
+class WorkPool
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t submitted = 0;
+        std::uint64_t executed = 0;
+        std::uint64_t stolen = 0; ///< executed via a steal
+        std::uint64_t discarded = 0;
+    };
+
+    /** `workers` = 0 picks the hardware concurrency. */
+    explicit WorkPool(std::size_t workers = 0);
+
+    /** Drains in-flight tasks (discarding queued ones) and joins. */
+    ~WorkPool();
+
+    /** Enqueue a task. False (task not queued) after shutdown(). */
+    bool submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void waitIdle();
+
+    /** Stop the pool: no new submissions; in-flight tasks finish.
+     *  Queued-but-unstarted tasks run to completion when `drain`,
+     *  and are dropped (counted in Stats::discarded) otherwise.
+     *  Idempotent; blocks until workers have joined. */
+    void shutdown(bool drain);
+
+    std::size_t workers() const { return _workers.size(); }
+    Stats stats() const;
+
+  private:
+    struct Worker
+    {
+        std::deque<std::function<void()>> tasks; ///< guarded by mutex
+        std::mutex mutex;
+    };
+
+    /** Pop from own back, else steal from a victim's front. */
+    std::function<void()> take(std::size_t self, bool *stolen);
+
+    void workerLoop(std::size_t self);
+
+    std::vector<std::unique_ptr<Worker>> _workers;
+    std::vector<std::thread> _threads;
+
+    mutable std::mutex _mutex;
+    std::condition_variable _wake; ///< work arrived or stopping
+    std::condition_variable _idle; ///< pending hit zero
+    std::size_t _pending = 0;      ///< queued + running tasks
+    std::size_t _queued = 0;       ///< queued, not yet taken
+    std::uint64_t _nextWorker = 0;
+    bool _stopping = false;
+    bool _joined = false;
+    Stats _stats;
+};
+
+} // namespace rtlcheck::service
+
+#endif // RTLCHECK_SERVICE_WORK_POOL_HH

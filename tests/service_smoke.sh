@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# End-to-end gate for the verification service: spawn rtlcheckd, run
+# the suite through the socket client, SIGTERM the daemon mid-batch,
+# and prove that (a) the daemon always exits cleanly, (b) the
+# interrupted store contains zero torn entries, and (c) a restarted
+# daemon serves the same verdicts warm.
+#
+# Usage: service_smoke.sh <rtlcheckd> <rtlcheck_cli>
+
+set -u
+
+DAEMON=${1:?usage: service_smoke.sh <rtlcheckd> <rtlcheck_cli>}
+CLI=${2:?usage: service_smoke.sh <rtlcheckd> <rtlcheck_cli>}
+
+TMP=$(mktemp -d /tmp/rtlcheck_smoke_XXXXXX)
+SOCK="$TMP/d.sock"
+STORE="$TMP/store"
+DAEMON_PID=
+
+cleanup() {
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill -KILL "$DAEMON_PID" 2>/dev/null
+        wait "$DAEMON_PID" 2>/dev/null
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "service_smoke: FAIL: $*" >&2
+    exit 1
+}
+
+start_daemon() {
+    "$DAEMON" --socket "$SOCK" --store "$STORE" --workers 4 &
+    DAEMON_PID=$!
+    # Wait for the socket to answer.
+    for _ in $(seq 1 100); do
+        if "$CLI" --client --socket "$SOCK" --ping \
+                >/dev/null 2>&1; then
+            return 0
+        fi
+        kill -0 "$DAEMON_PID" 2>/dev/null \
+            || fail "daemon died during startup"
+        sleep 0.1
+    done
+    fail "daemon never answered ping"
+}
+
+stop_daemon_sigterm() {
+    kill -TERM "$DAEMON_PID" || fail "could not signal daemon"
+    # A graceful stop must finish promptly even with queued jobs.
+    for _ in $(seq 1 150); do
+        if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+            wait "$DAEMON_PID" 2>/dev/null
+            DAEMON_PID=
+            return 0
+        fi
+        sleep 0.1
+    done
+    fail "daemon did not exit within 15s of SIGTERM"
+}
+
+# Strip the volatile per-run field (served-from-store flag) from the
+# per-test summary lines so cold and warm runs are comparable.
+verdicts_of() {
+    grep '^t[0-9]*=' "$1" | sed 's/|[01]$//' | sort
+}
+
+# --- 1. Kill the daemon mid-batch on a cold store. ------------------
+start_daemon
+"$CLI" --client --socket "$SOCK" --all > "$TMP/interrupted.txt" 2>&1 &
+CLIENT_PID=$!
+sleep 0.6 # let some jobs finish, leave others queued or in flight
+stop_daemon_sigterm
+# The client must come back (explicit error or hang-up), not hang.
+wait "$CLIENT_PID" 2>/dev/null
+
+# --- 2. No torn store entries survive the interruption. -------------
+"$CLI" --store "$STORE" --store-verify > "$TMP/audit1.txt" 2>&1 \
+    || fail "store audit found corrupt artifacts after SIGTERM:
+$(cat "$TMP/audit1.txt")"
+
+# --- 3. A restarted daemon completes the suite on the same store. ---
+start_daemon
+"$CLI" --client --socket "$SOCK" --all > "$TMP/first.txt" 2>&1 \
+    || fail "suite run after restart failed:
+$(tail -5 "$TMP/first.txt")"
+grep -q '^failures=0$' "$TMP/first.txt" \
+    || fail "suite reported failures after restart"
+
+# --- 4. A warm re-run serves from the store, bit-identically. -------
+"$CLI" --client --socket "$SOCK" --all > "$TMP/second.txt" 2>&1 \
+    || fail "warm suite run failed"
+TESTS=$(grep '^tests=' "$TMP/second.txt" | cut -d= -f2)
+SERVED=$(grep '^served=' "$TMP/second.txt" | cut -d= -f2)
+[ -n "$TESTS" ] && [ "$SERVED" = "$TESTS" ] \
+    || fail "warm run served $SERVED of $TESTS from the store"
+
+verdicts_of "$TMP/first.txt" > "$TMP/first.verdicts"
+verdicts_of "$TMP/second.txt" > "$TMP/second.verdicts"
+diff -u "$TMP/first.verdicts" "$TMP/second.verdicts" >&2 \
+    || fail "warm verdicts differ from the first run"
+
+# --- 5. Graceful shutdown via the protocol, store still clean. ------
+"$CLI" --client --socket "$SOCK" --shutdown >/dev/null 2>&1 \
+    || fail "shutdown command failed"
+for _ in $(seq 1 100); do
+    kill -0 "$DAEMON_PID" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$DAEMON_PID" 2>/dev/null \
+    && fail "daemon ignored the shutdown command"
+wait "$DAEMON_PID" 2>/dev/null
+DAEMON_PID=
+[ -e "$SOCK" ] && fail "socket not unlinked on shutdown"
+
+"$CLI" --store "$STORE" --store-verify >/dev/null 2>&1 \
+    || fail "store audit failed after graceful shutdown"
+
+echo "service_smoke: PASS"
+exit 0

@@ -12,7 +12,7 @@
  *   --model sc|tso        µspec model to verify against (default sc)
  *   --design fixed|buggy|tso
  *                         RTL design variant (default fixed)
- *   --config hybrid|full  engine configuration (default full)
+ *   --config hybrid|full|unbounded  engine config (default full)
  *   --naive               use the §3.3 naive edge encoding (unsound;
  *                         for demonstration)
  *   --emit-sva <path>     write the generated SystemVerilog file
@@ -83,15 +83,41 @@
  *   --mutate-full-matrix  keep verifying past the first kill, filling
  *                         each mutant's whole kill-matrix row
  *   --mutate-json <path>  write the machine-readable campaign report
+ *   --json                print the machine-readable suite report to
+ *                         stdout instead of the human tables (--all;
+ *                         see src/rtlcheck/report.hh for the format)
+ *   --store <dir>         run through the verification service with a
+ *                         persistent artifact store rooted at <dir>:
+ *                         verdicts and state graphs are reused across
+ *                         processes, and unchanged-cone tests are
+ *                         answered without re-verification
+ *   --store-verify        audit every artifact under --store <dir>
+ *                         (checksums, headers) and exit nonzero if
+ *                         any is corrupt; nothing is verified
+ *   --serve               run as a verification daemon on --socket
+ *                         (blocks until SIGTERM/SIGINT or a client
+ *                         `--client --shutdown`); --store, --cache-mb
+ *                         and --jobs (workers) apply
+ *   --client              send the request to a running daemon
+ *                         instead of verifying in-process: works with
+ *                         <test-name>, --all, --ping, or --shutdown;
+ *                         job options (--model, --design, --config,
+ *                         --engine) are forwarded
+ *   --socket <path>       daemon rendezvous for --serve/--client
+ *                         (default /tmp/rtlcheckd.sock)
+ *   --ping, --shutdown    client commands: liveness probe / ask the
+ *                         daemon to stop gracefully
  *
  * Unknown flags and malformed option values (e.g. --engine jasper or
  * --jobs abc) exit with usage instead of silently defaulting.
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -101,7 +127,11 @@
 #include "litmus/suite.hh"
 #include "rtl/mutate.hh"
 #include "rtlcheck/mutation_campaign.hh"
+#include "rtlcheck/report.hh"
 #include "rtlcheck/runner.hh"
+#include "service/client.hh"
+#include "service/daemon.hh"
+#include "service/service.hh"
 #include "uhb/solver.hh"
 #include "uspec/multivscale.hh"
 #include "uspec/tso.hh"
@@ -142,6 +172,14 @@ struct CliOptions
     bool wave = false;
     bool list = false;
     bool all = false;
+    bool json = false;
+    std::string storeDir;
+    std::string socketPath = "/tmp/rtlcheckd.sock";
+    bool storeVerify = false;
+    bool serve = false;
+    bool client = false;
+    bool ping = false;
+    bool shutdownDaemon = false;
 };
 
 void
@@ -152,7 +190,8 @@ usage()
         "       rtlcheck_cli [options] --file <litmus-file>\n"
         "       rtlcheck_cli --list | --all\n"
         "options: --model sc|tso  --design fixed|buggy|tso\n"
-        "         --config hybrid|full  --naive  --uhb  --wave\n"
+        "         --config hybrid|full|unbounded  --naive  --uhb\n"
+        "         --wave\n"
         "         --emit-sva <path>  --jobs N  --no-netlist-opt\n"
         "         --explore-jobs N  --no-early-falsify  --cache-mb N\n"
         "         --engine explicit|bmc|portfolio  --bmc-depth N\n"
@@ -161,6 +200,9 @@ usage()
         "         --mutate  --mutate-ops <op,...>  --mutate-budget N\n"
         "         --mutate-seed N  --mutate-tests N\n"
         "         --mutate-full-matrix  --mutate-json <path>\n"
+        "         --json  --store <dir>  --store-verify\n"
+        "         --serve  --client  --socket <path>  --ping\n"
+        "         --shutdown\n"
         "--jobs (or $RTLCHECK_JOBS) sets the parallel lanes used to\n"
         "run tests under --all and to check properties on a single\n"
         "test; --explore-jobs parallelizes each state-graph\n"
@@ -192,8 +234,11 @@ runOptionsFor(const CliOptions &opts)
         RC_FATAL("unknown design '", opts.design,
                  "' (fixed, buggy, or tso)");
     }
-    o.config = opts.config == "hybrid" ? formal::hybridConfig()
-                                       : formal::fullProofConfig();
+    o.config = opts.config == "hybrid"
+                   ? formal::hybridConfig()
+                   : (opts.config == "unbounded"
+                          ? formal::unboundedConfig()
+                          : formal::fullProofConfig());
     o.encoding = opts.naive ? core::EdgeEncoding::Naive
                             : core::EdgeEncoding::Strict;
     o.optimizeNetlist = !opts.noNetlistOpt;
@@ -311,6 +356,16 @@ reportUhb(const litmus::Test &test, const uspec::Model &model,
         std::printf("%s\n", r.witness->toDot(test).c_str());
 }
 
+/** The service configuration implied by --store/--cache-mb. */
+service::ServiceConfig
+serviceConfigFor(const CliOptions &opts)
+{
+    service::ServiceConfig sc;
+    sc.storeDir = opts.storeDir;
+    sc.cacheBytes = opts.cacheMb << 20;
+    return sc;
+}
+
 int
 runOne(const litmus::Test &test, const CliOptions &opts,
        bool verbose)
@@ -324,7 +379,16 @@ runOne(const litmus::Test &test, const CliOptions &opts,
     if (opts.uhb)
         reportUhb(test, model, verbose);
 
-    core::TestRun run = core::runTest(test, model, o);
+    core::TestRun run;
+    if (!opts.storeDir.empty()) {
+        service::VerificationService svc(serviceConfigFor(opts));
+        run = svc.runTest(test, model, o);
+        if (run.servedFromStore)
+            std::printf("(served from store %s)\n",
+                        opts.storeDir.c_str());
+    } else {
+        run = core::runTest(test, model, o);
+    }
     return report(test, run, o, opts, verbose);
 }
 
@@ -337,13 +401,38 @@ runAll(const CliOptions &opts)
     const std::vector<litmus::Test> &suite = litmus::standardSuite();
 
     // Share one state-graph cache across the whole batch: tests with
-    // identical (design, assumptions) pairs explore once.
+    // identical (design, assumptions) pairs explore once. With
+    // --store the service owns the (spilling) cache instead.
     formal::GraphCache cache;
-    if (opts.cacheMb)
-        cache.setBudget(opts.cacheMb << 20);
-    o.graphCache = &cache;
+    std::unique_ptr<service::VerificationService> svc;
+    core::SuiteRun sr;
+    if (!opts.storeDir.empty()) {
+        svc = std::make_unique<service::VerificationService>(
+            serviceConfigFor(opts));
+        sr = svc->runSuite(suite, model, o, opts.jobs);
+    } else {
+        if (opts.cacheMb)
+            cache.setBudget(opts.cacheMb << 20);
+        o.graphCache = &cache;
+        sr = core::runSuite(suite, model, o, opts.jobs);
+    }
+    formal::GraphCache::Stats cs =
+        svc ? svc->graphCache().stats() : cache.stats();
 
-    core::SuiteRun sr = core::runSuite(suite, model, o, opts.jobs);
+    if (opts.json) {
+        core::SuiteJsonInfo info;
+        info.model = opts.model;
+        info.design = opts.design;
+        info.config = opts.config;
+        info.engine = formal::backendName(opts.engine);
+        info.cacheStats = cs;
+        std::printf("%s",
+                    core::renderSuiteJson(suite, sr, info).c_str());
+        int failures = 0;
+        for (const core::TestRun &run : sr.runs)
+            failures += !run.verified();
+        return failures ? 1 : 0;
+    }
 
     int failures = 0;
     double cpu = 0.0;
@@ -359,11 +448,16 @@ runAll(const CliOptions &opts)
                 "%.2fx\n",
                 sr.jobs, sr.wallSeconds, cpu,
                 sr.wallSeconds > 0 ? cpu / sr.wallSeconds : 1.0);
-    formal::GraphCache::Stats cs = cache.stats();
     std::printf("graph cache: %zu explores, %zu hits, %zu evictions "
                 "| %zu graphs resident (%.1f MiB)\n",
                 cs.explores, cs.hits, cs.evictions, cs.entries,
                 static_cast<double>(cs.bytesCached) / (1 << 20));
+    if (svc) {
+        service::VerificationService::Stats ss = svc->stats();
+        std::printf("store: %zu full hits, %zu cone hits, %zu "
+                    "misses, %zu artifacts written\n",
+                    ss.fullHits, ss.coneHits, ss.misses, ss.stored);
+    }
     core::SatTotals st = sr.satTotals();
     if (st.solves)
         std::printf("sat core: %llu solves, %llu conflicts, %llu "
@@ -445,6 +539,122 @@ runMutate(const CliOptions &opts)
     return 0;
 }
 
+/** The --store-verify mode: audit the artifact store and report. */
+int
+runStoreVerify(const CliOptions &opts)
+{
+    if (opts.storeDir.empty()) {
+        std::fprintf(stderr,
+                     "rtlcheck_cli: --store-verify needs --store "
+                     "<dir>\n");
+        return 2;
+    }
+    service::ArtifactStore store(opts.storeDir);
+    std::size_t stale = store.removeStale();
+    service::ArtifactStore::Audit audit = store.validateAll(false);
+    std::printf("store %s: %zu artifacts checked, %zu corrupt, "
+                "%zu stale temp files removed\n",
+                opts.storeDir.c_str(), audit.checked, audit.corrupt,
+                stale);
+    for (const std::string &f : audit.corruptFiles)
+        std::printf("  corrupt: %s\n", f.c_str());
+    return audit.corrupt ? 1 : 0;
+}
+
+/** The --serve mode: run the daemon in-process until a signal. */
+service::Daemon *g_daemon = nullptr;
+
+void
+onServeSignal(int)
+{
+    if (g_daemon)
+        g_daemon->requestStop();
+}
+
+int
+runServe(const CliOptions &opts)
+{
+    service::DaemonConfig config;
+    config.socketPath = opts.socketPath;
+    config.service = serviceConfigFor(opts);
+    config.workers = opts.jobs;
+
+    service::Daemon daemon(config);
+    std::string error;
+    if (!daemon.start(&error)) {
+        std::fprintf(stderr, "rtlcheck_cli: %s\n", error.c_str());
+        return 1;
+    }
+    g_daemon = &daemon;
+    std::signal(SIGTERM, onServeSignal);
+    std::signal(SIGINT, onServeSignal);
+    std::printf("serving on %s (store %s)\n", opts.socketPath.c_str(),
+                opts.storeDir.empty() ? "(none)"
+                                      : opts.storeDir.c_str());
+    std::fflush(stdout);
+    daemon.run();
+    g_daemon = nullptr;
+    std::printf("daemon stopped\n");
+    return 0;
+}
+
+/** The --client mode: forward the request to a running daemon. */
+int
+runClient(const CliOptions &opts)
+{
+    service::Client client;
+    std::string error;
+    if (!client.connect(opts.socketPath, &error)) {
+        std::fprintf(stderr, "rtlcheck_cli: %s\n", error.c_str());
+        return 1;
+    }
+
+    service::Message request;
+    if (opts.ping) {
+        request["cmd"] = "ping";
+    } else if (opts.shutdownDaemon) {
+        request["cmd"] = "shutdown";
+    } else if (opts.all) {
+        request["cmd"] = "verify_all";
+    } else if (!opts.testName.empty()) {
+        request["cmd"] = "verify";
+        request["test"] = opts.testName;
+    } else {
+        std::fprintf(stderr,
+                     "rtlcheck_cli: --client needs <test-name>, "
+                     "--all, --ping, or --shutdown\n");
+        return 2;
+    }
+    request["model"] = opts.model;
+    request["design"] = opts.design;
+    request["config"] = opts.config;
+    request["engine"] = formal::backendName(opts.engine);
+
+    std::optional<service::Message> response =
+        client.request(std::move(request));
+    if (!response) {
+        std::fprintf(stderr,
+                     "rtlcheck_cli: daemon hung up mid-request\n");
+        return 1;
+    }
+
+    // k=v responses print as-is: greppable and diffable across runs.
+    for (const auto &kv : *response)
+        std::printf("%s=%s\n", kv.first.c_str(), kv.second.c_str());
+
+    auto fieldOf = [&](const char *key) -> std::string {
+        auto it = response->find(key);
+        return it == response->end() ? "" : it->second;
+    };
+    if (fieldOf("status") != "ok")
+        return 1;
+    if (opts.all)
+        return fieldOf("failures") == "0" ? 0 : 1;
+    if (!opts.testName.empty())
+        return fieldOf("verified") == "1" ? 0 : 1;
+    return 0;
+}
+
 } // namespace
 
 /** Reject a malformed option value: report it, print usage, exit 2.
@@ -496,8 +706,10 @@ main(int argc, char **argv)
                 badValue(arg, opts.design, "fixed, buggy, or tso");
         } else if (arg == "--config") {
             opts.config = next();
-            if (opts.config != "hybrid" && opts.config != "full")
-                badValue(arg, opts.config, "hybrid or full");
+            if (opts.config != "hybrid" && opts.config != "full" &&
+                opts.config != "unbounded")
+                badValue(arg, opts.config,
+                         "hybrid, full, or unbounded");
         } else if (arg == "--engine") {
             std::string name = next();
             std::optional<formal::Backend> backend =
@@ -556,6 +768,22 @@ main(int argc, char **argv)
             opts.cacheMb = parseCount(arg, next());
         } else if (arg == "--no-early-falsify") {
             opts.earlyFalsify = false;
+        } else if (arg == "--json") {
+            opts.json = true;
+        } else if (arg == "--store") {
+            opts.storeDir = next();
+        } else if (arg == "--store-verify") {
+            opts.storeVerify = true;
+        } else if (arg == "--socket") {
+            opts.socketPath = next();
+        } else if (arg == "--serve") {
+            opts.serve = true;
+        } else if (arg == "--client") {
+            opts.client = true;
+        } else if (arg == "--ping") {
+            opts.ping = true;
+        } else if (arg == "--shutdown") {
+            opts.shutdownDaemon = true;
         } else if (arg == "--naive") {
             opts.naive = true;
         } else if (arg == "--no-netlist-opt") {
@@ -591,6 +819,15 @@ main(int argc, char **argv)
         listSuite("fence   ", litmus::fenceSuite());
         return 0;
     }
+
+    if (opts.storeVerify)
+        return runStoreVerify(opts);
+
+    if (opts.serve)
+        return runServe(opts);
+
+    if (opts.client)
+        return runClient(opts);
 
     if (opts.mutate)
         return runMutate(opts);

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * rtlcheckd: the standalone verification daemon.
+ *
+ * Usage:
+ *   rtlcheckd --socket <path> [--store <dir>] [--workers N]
+ *             [--cache-mb N] [--no-cone-reuse] [--no-graph-persist]
+ *
+ * Binds an AF_UNIX socket and serves verification requests until
+ * SIGTERM/SIGINT (graceful: in-flight jobs finish, queued jobs are
+ * failed explicitly, the socket is unlinked) or a client sends the
+ * `shutdown` command. Talk to it with `rtlcheck_cli --client` or any
+ * program speaking the framed key=value protocol of
+ * src/service/protocol.hh.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/daemon.hh"
+
+using namespace rtlcheck;
+
+namespace {
+
+service::Daemon *g_daemon = nullptr;
+
+void
+onSignal(int)
+{
+    if (g_daemon)
+        g_daemon->requestStop();
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: rtlcheckd --socket <path> [options]\n"
+        "options: --store <dir>      persistent artifact store root\n"
+        "         --workers N        verification threads (default:\n"
+        "                            hardware concurrency)\n"
+        "         --cache-mb N       graph-cache budget (0 =\n"
+        "                            unlimited)\n"
+        "         --no-cone-reuse    disable cone-key verdict reuse\n"
+        "         --no-graph-persist do not spill state graphs to\n"
+        "                            the store\n");
+}
+
+std::size_t
+parseCount(const std::string &flag, const std::string &value)
+{
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr, "rtlcheckd: bad value '%s' for %s\n",
+                     value.c_str(), flag.c_str());
+        usage();
+        std::exit(2);
+    }
+    return static_cast<std::size_t>(
+        std::strtoul(value.c_str(), nullptr, 10));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    service::DaemonConfig config;
+    std::size_t cacheMb = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "rtlcheckd: option %s needs a value\n",
+                             arg.c_str());
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            config.socketPath = next();
+        } else if (arg == "--store") {
+            config.service.storeDir = next();
+        } else if (arg == "--workers") {
+            config.workers = parseCount(arg, next());
+        } else if (arg == "--cache-mb") {
+            cacheMb = parseCount(arg, next());
+        } else if (arg == "--no-cone-reuse") {
+            config.service.coneReuse = false;
+        } else if (arg == "--no-graph-persist") {
+            config.service.persistGraphs = false;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (config.socketPath.empty()) {
+        usage();
+        return 2;
+    }
+    config.service.cacheBytes = cacheMb << 20;
+
+    service::Daemon daemon(config);
+    std::string error;
+    if (!daemon.start(&error)) {
+        std::fprintf(stderr, "rtlcheckd: %s\n", error.c_str());
+        return 1;
+    }
+
+    g_daemon = &daemon;
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    const std::string workers =
+        config.workers ? std::to_string(config.workers)
+                       : std::string("hw");
+    std::printf("rtlcheckd: listening on %s (%s workers, store %s)\n",
+                config.socketPath.c_str(), workers.c_str(),
+                config.service.storeDir.empty()
+                    ? "(none)"
+                    : config.service.storeDir.c_str());
+    std::fflush(stdout);
+
+    daemon.run();
+
+    service::Daemon::Stats ds = daemon.stats();
+    std::printf("rtlcheckd: stopped (%llu connections, %llu "
+                "requests, %llu jobs, %llu dedup joins)\n",
+                static_cast<unsigned long long>(ds.connections),
+                static_cast<unsigned long long>(ds.requests),
+                static_cast<unsigned long long>(ds.jobs),
+                static_cast<unsigned long long>(ds.dedupJoins));
+    g_daemon = nullptr;
+    return 0;
+}
