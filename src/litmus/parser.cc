@@ -150,4 +150,69 @@ parseTest(const std::string &text)
     return test;
 }
 
+std::string
+renderTest(const Test &test)
+{
+    RC_ASSERT(!test.name.empty() && !test.threads.empty(),
+              "renderTest needs a named test with threads");
+    std::ostringstream oss;
+    oss << "test " << test.name << '\n';
+    if (!test.initialMem.empty()) {
+        oss << "init";
+        for (const auto &[addr, value] : test.initialMem)
+            oss << ' ' << Test::addressName(addr) << '=' << value;
+        oss << '\n';
+    }
+    for (const auto &thread : test.threads) {
+        oss << "thread ";
+        for (std::size_t i = 0; i < thread.instrs.size(); ++i) {
+            const Instr &in = thread.instrs[i];
+            if (i)
+                oss << " ; ";
+            if (in.type == OpType::Store) {
+                oss << "St " << Test::addressName(in.address) << ' '
+                    << in.value;
+            } else if (in.type == OpType::Load) {
+                oss << "Ld " << in.reg << ' '
+                    << Test::addressName(in.address);
+            } else {
+                oss << "Fence";
+            }
+        }
+        oss << '\n';
+    }
+    if (!test.loadConstraints.empty()) {
+        oss << "forbid";
+        for (const auto &c : test.loadConstraints) {
+            const Instr &load = test.instrAt(c.ref);
+            if (load.type != OpType::Load || load.reg.empty())
+                RC_FATAL("test '", test.name, "' constrains ",
+                         c.ref.thread, ":", c.ref.index,
+                         " which is not a named load");
+            // The textual forbid binds thread:reg to the *first*
+            // load with that register, so an earlier same-reg load
+            // would make the rendering parse back differently.
+            const auto &instrs = test.threads[c.ref.thread].instrs;
+            for (int i = 0; i < c.ref.index; ++i)
+                if (instrs[i].type == OpType::Load &&
+                    instrs[i].reg == load.reg)
+                    RC_FATAL("test '", test.name, "': register ",
+                             load.reg, " is reused in thread ",
+                             c.ref.thread,
+                             "; forbid cannot name the later load");
+            oss << ' ' << c.ref.thread << ':' << load.reg << '='
+                << c.value;
+        }
+        oss << '\n';
+    }
+    if (!test.finalMem.empty()) {
+        oss << "final";
+        for (const auto &f : test.finalMem)
+            oss << ' ' << Test::addressName(f.address) << '='
+                << f.value;
+        oss << '\n';
+    }
+    return oss.str();
+}
+
 } // namespace rtlcheck::litmus

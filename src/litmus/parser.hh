@@ -26,6 +26,15 @@ namespace rtlcheck::litmus {
 /** Parse one litmus test; fatal-errors on malformed input. */
 Test parseTest(const std::string &text);
 
+/**
+ * Render a test back into the textual format, the exact inverse of
+ * parseTest: parseTest(renderTest(t)) == t for every test whose
+ * loads carry register names unique within their thread (the forbid
+ * line addresses loads as thread:reg). Fatal when that precondition
+ * is violated for a constrained load.
+ */
+std::string renderTest(const Test &test);
+
 /** Map an address name (x, y, z, w, aN) to its index. */
 int addressIndex(const std::string &name);
 

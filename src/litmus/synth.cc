@@ -1,0 +1,561 @@
+#include "synth.hh"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "litmus/sc_ref.hh"
+#include "litmus/suite.hh"
+#include "litmus/tso_ref.hh"
+
+namespace rtlcheck::litmus::synth {
+
+namespace {
+
+struct EdgeInfo
+{
+    const char *name;
+    bool com;    ///< external communication edge (thread boundary)
+    bool fenced; ///< po edge with a FENCE between its accesses
+    bool srcW;   ///< source access is a write
+    bool dstW;   ///< destination access is a write
+};
+
+constexpr std::array<EdgeInfo, 11> kEdges = {{
+    {"Rfe", true, false, true, false},
+    {"Fre", true, false, false, true},
+    {"Coe", true, false, true, true},
+    {"PoWW", false, false, true, true},
+    {"PoWR", false, false, true, false},
+    {"PoRW", false, false, false, true},
+    {"PoRR", false, false, false, false},
+    {"FPoWW", false, true, true, true},
+    {"FPoWR", false, true, true, false},
+    {"FPoRW", false, true, false, true},
+    {"FPoRR", false, true, false, false},
+}};
+
+const EdgeInfo &
+info(EdgeKind kind)
+{
+    return kEdges[static_cast<std::size_t>(kind)];
+}
+
+/** xorshift32; the repo's test-fuzz generator family. */
+std::uint32_t
+nextRand(std::uint32_t &state)
+{
+    state ^= state << 13;
+    state ^= state >> 17;
+    state ^= state << 5;
+    return state;
+}
+
+} // namespace
+
+std::string
+edgeKindName(EdgeKind kind)
+{
+    return info(kind).name;
+}
+
+bool
+edgeIsCom(EdgeKind kind)
+{
+    return info(kind).com;
+}
+
+bool
+edgeIsPo(EdgeKind kind)
+{
+    return !info(kind).com;
+}
+
+bool
+edgeIsFenced(EdgeKind kind)
+{
+    return info(kind).fenced;
+}
+
+bool
+edgeSrcIsWrite(EdgeKind kind)
+{
+    return info(kind).srcW;
+}
+
+bool
+edgeDstIsWrite(EdgeKind kind)
+{
+    return info(kind).dstW;
+}
+
+namespace {
+
+std::string
+cycleName(const std::vector<EdgeKind> &cycle)
+{
+    std::string name;
+    for (EdgeKind e : cycle) {
+        if (!name.empty())
+            name += '.';
+        name += edgeKindName(e);
+    }
+    return name;
+}
+
+/**
+ * Lower one rotation-canonical cycle (last edge is a communication
+ * edge) to a concrete test. Event i is the source access of edge i;
+ * edge i points from event i to event (i+1) mod n. A new thread
+ * starts after every communication edge and a new address after
+ * every po edge; the po-edge count mod-wraps the address so the
+ * final thread segment continues the first segment's address chain.
+ */
+Test
+lowerCycle(const std::vector<EdgeKind> &cycle)
+{
+    const int n = static_cast<int>(cycle.size());
+    int numCom = 0;
+    int numPo = 0;
+    for (EdgeKind e : cycle)
+        (edgeIsCom(e) ? numCom : numPo)++;
+    RC_ASSERT(numCom >= 2 && numPo >= 2 && edgeIsCom(cycle[n - 1]),
+              "malformed synthesis cycle");
+
+    std::vector<int> evThread(n), evAddr(n);
+    std::vector<bool> evWrite(n);
+    {
+        int thread = 0;
+        int addr = 0;
+        for (int i = 0; i < n; ++i) {
+            evThread[i] = thread;
+            evAddr[i] = addr % numPo;
+            evWrite[i] = edgeSrcIsWrite(cycle[i]);
+            RC_ASSERT(i == 0 ||
+                          evWrite[i] == edgeDstIsWrite(cycle[i - 1]),
+                      "cycle edge directions do not chain");
+            if (edgeIsCom(cycle[i]))
+                ++thread;
+            else
+                ++addr;
+        }
+    }
+
+    Test test;
+    test.name = "cyc-" + cycleName(cycle);
+    test.threads.resize(numCom);
+    std::vector<InstrRef> evRef(n);
+    for (int i = 0; i < n; ++i) {
+        auto &instrs = test.threads[evThread[i]].instrs;
+        Instr in;
+        in.type = evWrite[i] ? OpType::Store : OpType::Load;
+        in.address = evAddr[i];
+        instrs.push_back(in);
+        evRef[i] = InstrRef{evThread[i],
+                            static_cast<int>(instrs.size()) - 1};
+        if (edgeIsFenced(cycle[i])) {
+            Instr fence;
+            fence.type = OpType::Fence;
+            fence.address = -1;
+            instrs.push_back(fence);
+        }
+    }
+
+    // Walk each address's coherence chain: contiguous in the cyclic
+    // event order (the wrap splices the last segment onto the
+    // first), entered by exactly one po edge. Writes take values
+    // 1..k in chain order; each read is pinned to its rf source's
+    // value, or to the initial 0 when it opens the chain.
+    std::vector<std::uint32_t> evValue(n, 0);
+    for (int addr = 0; addr < numPo; ++addr) {
+        int start = -1;
+        for (int i = 0; i < n; ++i) {
+            if (evAddr[i] == addr &&
+                edgeIsPo(cycle[(i + n - 1) % n])) {
+                RC_ASSERT(start < 0, "address chain entered twice");
+                start = i;
+            }
+        }
+        RC_ASSERT(start >= 0, "address chain has no entry");
+        std::uint32_t nextValue = 1;
+        int numWrites = 0;
+        std::uint32_t lastWritten = 0;
+        for (int j = start;;) {
+            if (evWrite[j]) {
+                evValue[j] = nextValue++;
+                lastWritten = evValue[j];
+                ++numWrites;
+            } else {
+                int in = (j + n - 1) % n;
+                evValue[j] = edgeIsCom(cycle[in]) ? evValue[in] : 0;
+            }
+            if (!edgeIsCom(cycle[j]) || evAddr[(j + 1) % n] != addr)
+                break;
+            j = (j + 1) % n;
+        }
+        // With a single write the load constraints already force
+        // the cycle; two or more writes additionally need the final
+        // state to pin their coherence order.
+        if (numWrites >= 2)
+            test.finalMem.push_back(
+                FinalMemConstraint{addr, lastWritten});
+    }
+
+    for (int i = 0; i < n; ++i)
+        if (evWrite[i])
+            test.threads[evRef[i].thread]
+                .instrs[evRef[i].index]
+                .value = evValue[i];
+
+    // Globally unique registers keep renderTest's forbid lines
+    // unambiguous; constraints are emitted in (thread, index) order.
+    int regCounter = 0;
+    for (auto &thread : test.threads)
+        for (auto &in : thread.instrs)
+            if (in.type == OpType::Load)
+                in.reg = "r" + std::to_string(++regCounter);
+    for (int i = 0; i < n; ++i) {
+        if (!evWrite[i])
+            test.loadConstraints.push_back(
+                LoadConstraint{evRef[i], evValue[i]});
+    }
+    std::sort(test.loadConstraints.begin(),
+              test.loadConstraints.end(),
+              [](const LoadConstraint &a, const LoadConstraint &b) {
+                  return a.ref < b.ref;
+              });
+    return test;
+}
+
+/** True when `cycle` is the lexicographically smallest of its
+ *  rotations that end with a communication edge. */
+bool
+rotationCanonical(const std::vector<EdgeKind> &cycle)
+{
+    const int n = static_cast<int>(cycle.size());
+    for (int r = 1; r < n; ++r) {
+        if (!edgeIsCom(cycle[(r + n - 1) % n]))
+            continue;
+        for (int i = 0; i < n; ++i) {
+            EdgeKind rot = cycle[(r + i) % n];
+            if (rot != cycle[i]) {
+                if (rot < cycle[i])
+                    return false;
+                break;
+            }
+        }
+    }
+    return true;
+}
+
+struct Enumerator
+{
+    const SynthOptions &options;
+    std::vector<EdgeKind> alphabet;
+    std::vector<EdgeKind> cycle;
+    std::vector<std::vector<EdgeKind>> out;
+
+    explicit Enumerator(const SynthOptions &opts) : options(opts)
+    {
+        for (std::size_t k = 0; k < kEdges.size(); ++k) {
+            auto kind = static_cast<EdgeKind>(k);
+            if (edgeIsFenced(kind) && !options.withFences)
+                continue;
+            alphabet.push_back(kind);
+        }
+    }
+
+    void run()
+    {
+        for (int len = 4; len <= options.maxEdges; ++len) {
+            cycle.clear();
+            extend(len, 0, 0, 1);
+        }
+    }
+
+    /** DFS one position deeper. `segInstrs` counts instructions
+     *  (events + fences) of the thread segment under construction. */
+    void extend(int len, int numCom, int numPo, int segInstrs)
+    {
+        const int pos = static_cast<int>(cycle.size());
+        if (pos == len) {
+            if (numCom < 2 || numPo < 2)
+                return;
+            // The cyclic direction chain must close.
+            if (edgeDstIsWrite(cycle[len - 1]) !=
+                edgeSrcIsWrite(cycle[0]))
+                return;
+            if (rotationCanonical(cycle))
+                out.push_back(cycle);
+            return;
+        }
+        const int remaining = len - pos;
+        if (std::max(0, 2 - numCom) + std::max(0, 2 - numPo) >
+            remaining)
+            return;
+        for (EdgeKind kind : alphabet) {
+            if (pos > 0 &&
+                edgeSrcIsWrite(kind) !=
+                    edgeDstIsWrite(cycle[pos - 1]))
+                continue;
+            // Rotation canonicalization fixes the last edge as
+            // communication.
+            if (pos == len - 1 && !edgeIsCom(kind))
+                continue;
+            if (edgeIsCom(kind)) {
+                if (numCom + 1 > options.maxThreads)
+                    continue;
+                cycle.push_back(kind);
+                extend(len, numCom + 1, numPo, 1);
+                cycle.pop_back();
+            } else {
+                int grown =
+                    segInstrs + 1 + (edgeIsFenced(kind) ? 1 : 0);
+                if (numPo + 1 > options.maxAddresses ||
+                    grown > options.maxInstrsPerThread)
+                    continue;
+                cycle.push_back(kind);
+                extend(len, numCom, numPo + 1, grown);
+                cycle.pop_back();
+            }
+        }
+    }
+};
+
+/** Canonical keys of the frozen suite, for classic-shape labeling.
+ *  First name wins (rfi014 aliases to rfi000, etc.). */
+const std::map<std::string, std::string> &
+suiteKeyIndex()
+{
+    static const std::map<std::string, std::string> index = [] {
+        std::map<std::string, std::string> m;
+        // The suite contains aliases (safe001 is the sb shape); make
+        // sure the textbook names win the first-insert race.
+        static const char *const classics[] = {"sb",   "mp",   "lb",
+                                               "wrc",  "iriw", "rwc",
+                                               "safe003"};
+        auto insertSuite = [&m](const std::vector<Test> &suite,
+                                bool classicsOnly) {
+            for (const Test &t : suite) {
+                const bool classic =
+                    std::find_if(std::begin(classics),
+                                 std::end(classics),
+                                 [&t](const char *n) {
+                                     return t.name == n;
+                                 }) != std::end(classics);
+                if (classic == classicsOnly)
+                    m.emplace(canonicalKey(t), t.name);
+            }
+        };
+        insertSuite(standardSuite(), true);
+        insertSuite(fenceSuite(), true);
+        insertSuite(standardSuite(), false);
+        insertSuite(fenceSuite(), false);
+        return m;
+    }();
+    return index;
+}
+
+} // namespace
+
+std::string
+canonicalKey(const Test &test)
+{
+    const int numThreads = static_cast<int>(test.threads.size());
+    std::vector<int> perm(numThreads);
+    std::iota(perm.begin(), perm.end(), 0);
+
+    std::string best;
+    do {
+        std::map<int, int> addrMap;
+        // Per real address: value -> canonical id. The address's
+        // initial value is id 0; every other value (store data,
+        // load constraint, final constraint) gets 1.. in
+        // first-appearance order along the canonical walk.
+        std::map<int, std::map<std::uint32_t, int>> valueMap;
+        std::map<int, int> nextValueId;
+        auto canonAddr = [&](int addr) {
+            auto [it, fresh] =
+                addrMap.emplace(addr,
+                                static_cast<int>(addrMap.size()));
+            if (fresh) {
+                valueMap[addr][test.initialValue(addr)] = 0;
+                nextValueId[addr] = 1;
+            }
+            return it->second;
+        };
+        auto canonValue = [&](int addr, std::uint32_t value) {
+            auto &vm = valueMap[addr];
+            auto it = vm.find(value);
+            if (it == vm.end())
+                it = vm.emplace(value, nextValueId[addr]++).first;
+            return it->second;
+        };
+
+        std::ostringstream oss;
+        for (int p = 0; p < numThreads; ++p) {
+            const int t = perm[p];
+            if (p)
+                oss << '|';
+            const auto &instrs = test.threads[t].instrs;
+            for (int i = 0; i < static_cast<int>(instrs.size());
+                 ++i) {
+                const Instr &in = instrs[i];
+                if (i)
+                    oss << ',';
+                if (in.type == OpType::Fence) {
+                    oss << 'F';
+                    continue;
+                }
+                int a = canonAddr(in.address);
+                if (in.type == OpType::Store) {
+                    oss << 'W' << a << ':'
+                        << canonValue(in.address, in.value);
+                } else {
+                    oss << 'R' << a;
+                    auto c = test.constraintFor(InstrRef{t, i});
+                    if (c)
+                        oss << '='
+                            << canonValue(in.address, *c);
+                    else
+                        oss << "=?";
+                }
+            }
+        }
+        std::vector<std::pair<int, int>> finals;
+        for (const auto &f : test.finalMem)
+            finals.emplace_back(canonAddr(f.address),
+                                canonValue(f.address, f.value));
+        std::sort(finals.begin(), finals.end());
+        for (const auto &[a, v] : finals)
+            oss << "/f" << a << '=' << v;
+
+        std::string key = oss.str();
+        if (best.empty() || key < best)
+            best = std::move(key);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return best;
+}
+
+Test
+fullyFenced(const Test &test)
+{
+    Test fenced;
+    fenced.name = test.name + "+ff";
+    fenced.initialMem = test.initialMem;
+    fenced.finalMem = test.finalMem;
+    std::map<std::pair<int, int>, int> indexMap;
+    for (int t = 0; t < static_cast<int>(test.threads.size()); ++t) {
+        Thread thread;
+        const auto &instrs = test.threads[t].instrs;
+        for (int i = 0; i < static_cast<int>(instrs.size()); ++i) {
+            if (i) {
+                Instr fence;
+                fence.type = OpType::Fence;
+                fence.address = -1;
+                thread.instrs.push_back(fence);
+            }
+            indexMap[{t, i}] =
+                static_cast<int>(thread.instrs.size());
+            thread.instrs.push_back(instrs[i]);
+        }
+        fenced.threads.push_back(std::move(thread));
+    }
+    for (const auto &c : test.loadConstraints)
+        fenced.loadConstraints.push_back(LoadConstraint{
+            InstrRef{c.ref.thread,
+                     indexMap.at({c.ref.thread, c.ref.index})},
+            c.value});
+    return fenced;
+}
+
+SynthResult
+synthesize(const SynthOptions &options)
+{
+    SynthOptions opts = options;
+    // The Multi-V-scale SoC geometry bounds what vscale::lower can
+    // place: 4 cores, 7 data-memory litmus words, 7 instruction
+    // slots per core (address registers live at 1+2n < 16 and the
+    // per-core ROM window holds 8 words including the halt jump).
+    opts.maxThreads = std::clamp(opts.maxThreads, 2, 4);
+    opts.maxInstrsPerThread = std::clamp(opts.maxInstrsPerThread, 1, 7);
+    opts.maxAddresses = std::clamp(opts.maxAddresses, 2, 7);
+    opts.maxEdges = std::clamp(opts.maxEdges, 4, 8);
+
+    SynthResult result;
+    Enumerator enumerator(opts);
+    enumerator.run();
+    result.cyclesEnumerated = enumerator.out.size();
+
+    std::map<std::string, std::size_t> keyIndex;
+    std::vector<SynthesizedTest> classes;
+    for (const auto &cycle : enumerator.out) {
+        SynthesizedTest st;
+        st.test = lowerCycle(cycle);
+        st.cycle = cycleName(cycle);
+        st.canonicalKey = canonicalKey(st.test);
+        if (keyIndex.count(st.canonicalKey)) {
+            ++result.duplicateShapes;
+            continue;
+        }
+        keyIndex.emplace(st.canonicalKey, classes.size());
+        classes.push_back(std::move(st));
+    }
+    result.distinctShapes = classes.size();
+
+    std::vector<SynthesizedTest> kept;
+    for (auto &st : classes) {
+        st.scObservable = ScExecutor(st.test).outcomeObservable();
+        st.tsoObservable = TsoExecutor(st.test).outcomeObservable();
+        const auto &suiteKeys = suiteKeyIndex();
+        auto it = suiteKeys.find(st.canonicalKey);
+        if (it != suiteKeys.end())
+            st.classic = it->second;
+        bool keep = false;
+        switch (opts.keep) {
+        case KeepFilter::All:
+            keep = true;
+            break;
+        case KeepFilter::ScForbidden:
+            keep = !st.scObservable;
+            break;
+        case KeepFilter::TsoRelaxed:
+            keep = !st.scObservable && st.tsoObservable;
+            break;
+        case KeepFilter::TsoForbidden:
+            keep = !st.tsoObservable;
+            break;
+        }
+        if (keep)
+            kept.push_back(std::move(st));
+        else
+            ++result.filteredOut;
+    }
+
+    if (opts.budget > 0 && kept.size() > opts.budget) {
+        // Seeded Fisher-Yates over the index set; the surviving
+        // indices are re-sorted so the sample keeps emission order.
+        std::vector<std::size_t> idx(kept.size());
+        std::iota(idx.begin(), idx.end(), 0);
+        std::uint32_t state = opts.seed * 2654435761u + 1;
+        for (std::size_t i = idx.size() - 1; i > 0; --i) {
+            std::size_t j = nextRand(state) % (i + 1);
+            std::swap(idx[i], idx[j]);
+        }
+        idx.resize(opts.budget);
+        std::sort(idx.begin(), idx.end());
+        result.sampledOut = kept.size() - opts.budget;
+        std::vector<SynthesizedTest> sampled;
+        sampled.reserve(opts.budget);
+        for (std::size_t i : idx)
+            sampled.push_back(std::move(kept[i]));
+        kept = std::move(sampled);
+    }
+    result.tests = std::move(kept);
+    return result;
+}
+
+} // namespace rtlcheck::litmus::synth

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Cycle-based litmus-test synthesis (diy-style, after TriCheck).
+ *
+ * The paper's evaluation is frozen at 56 hand-picked tests. This
+ * module generates litmus programs instead: it enumerates *critical
+ * cycles* — cyclic sequences of happens-before edges over program
+ * order (po), reads-from (rf), from-reads (fr), and coherence (co) —
+ * and lowers each cycle to a concrete test whose outcome under test
+ * forces exactly the relations of the cycle. An outcome that forces
+ * a cyclic ordering is unobservable on any machine whose memory
+ * model keeps those edges in happens-before; the classic shapes (SB,
+ * MP, LB, WRC, IRIW, 2+2W, S, R) are all single critical cycles.
+ *
+ * Edge alphabet. Communication edges are external (they cross
+ * threads) and stay on one address; program-order edges stay in one
+ * thread and move to a fresh address (the Shasha–Snir criticality
+ * conditions):
+ *
+ *   Rfe   W(a) -> R(a)   read from an external write
+ *   Fre   R(a) -> W(a)   read co-before an external write
+ *   Coe   W(a) -> W(a)   coherence between external writes
+ *   PoDD  X(a) -> Y(b)   program order, D,D' in {W,R}, a != b
+ *   FPoDD as PoDD with a FENCE instruction between the two accesses
+ *
+ * A well-formed cycle chains edge directions (the destination kind
+ * of each edge is the source kind of the next, cyclically), has at
+ * least two communication edges (one thread cannot be external to
+ * itself) and at least two po edges (one address segment cannot
+ * change address into itself). Lowering walks the cycle once: a new
+ * thread starts after every communication edge, a new address after
+ * every po edge, writes on an address take distinct values 1..k in
+ * coherence order, every read is constrained to the value of its rf
+ * source (or the initial 0), and addresses written more than once
+ * get a final-state constraint pinning the coherence-last value.
+ *
+ * The synthesizer does NOT trust the cycle argument for the verdict:
+ * every lowered test is classified against the reference executors
+ * (litmus::ScExecutor / litmus::TsoExecutor), which are ground truth
+ * for SC-forbidden and TSO-forbidden. Tests are canonicalized and
+ * deduplicated up to thread, address, and (per-address) value
+ * renaming, so each shape — sb, mp, lb, wrc, iriw, 2+2W — emerges
+ * exactly once no matter how many cycles lower to it.
+ */
+
+#ifndef RTLCHECK_LITMUS_SYNTH_HH
+#define RTLCHECK_LITMUS_SYNTH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "litmus/test.hh"
+
+namespace rtlcheck::litmus::synth {
+
+/** One cycle edge. Values are ordered: enumeration, rotation
+ *  canonicalization, and test names all use this order. */
+enum class EdgeKind : std::uint8_t
+{
+    Rfe,   ///< W(a) -> R(a), external
+    Fre,   ///< R(a) -> W(a), external
+    Coe,   ///< W(a) -> W(a), external
+    PoWW,  ///< W(a) -> W(b), program order
+    PoWR,  ///< W(a) -> R(b), program order
+    PoRW,  ///< R(a) -> W(b), program order
+    PoRR,  ///< R(a) -> R(b), program order
+    FPoWW, ///< W(a) -> Fence -> W(b)
+    FPoWR, ///< W(a) -> Fence -> R(b)
+    FPoRW, ///< R(a) -> Fence -> W(b)
+    FPoRR, ///< R(a) -> Fence -> R(b)
+};
+
+std::string edgeKindName(EdgeKind kind);
+bool edgeIsCom(EdgeKind kind);
+bool edgeIsPo(EdgeKind kind);
+bool edgeIsFenced(EdgeKind kind);
+/** Source / destination access kinds (true = write). */
+bool edgeSrcIsWrite(EdgeKind kind);
+bool edgeDstIsWrite(EdgeKind kind);
+
+/** Which classification a synthesized test must have to be kept. */
+enum class KeepFilter
+{
+    All,         ///< keep every deduplicated shape
+    ScForbidden, ///< outcome unobservable under SC (suite invariant)
+    TsoRelaxed,  ///< SC-forbidden but TSO-observable (needs buffers)
+    TsoForbidden ///< unobservable even under TSO
+};
+
+struct SynthOptions
+{
+    /** Threads per test; equals the cycle's communication-edge count.
+     *  Clamped to the Multi-V-scale core count (4). */
+    int maxThreads = 4;
+    /** Instructions per thread, fences included. Clamped to the SoC
+     *  register-file/ROM geometry bound (7). */
+    int maxInstrsPerThread = 4;
+    /** Distinct addresses per test; equals the cycle's po-edge count.
+     *  Clamped to the data-memory capacity (7 litmus words). */
+    int maxAddresses = 4;
+    /** Cycle length in edges. 4 reaches SB/MP/LB/2+2W, 5 adds
+     *  WRC/S/R-like shapes, 6 adds IRIW. */
+    int maxEdges = 6;
+    /** Also enumerate fence-augmented po edges. */
+    bool withFences = false;
+    /** Classification filter applied after dedup. */
+    KeepFilter keep = KeepFilter::ScForbidden;
+    /** Cap on emitted tests; 0 = all. When the filtered shape count
+     *  exceeds the budget, a seeded Fisher-Yates pass picks the
+     *  subset (enumeration order is preserved). */
+    std::size_t budget = 0;
+    /** Sampling seed (only consulted when the budget truncates). */
+    std::uint32_t seed = 1;
+};
+
+/** One synthesized test plus its provenance and classification. */
+struct SynthesizedTest
+{
+    Test test;
+    /** The generating cycle, e.g. "PoWR.Fre.PoWR.Fre". */
+    std::string cycle;
+    /** Canonical form up to thread/address/value renaming. */
+    std::string canonicalKey;
+    /** Name of the standard-suite test with the same canonical form,
+     *  empty when the shape is new. */
+    std::string classic;
+    bool scObservable = false;
+    bool tsoObservable = false;
+};
+
+struct SynthResult
+{
+    std::vector<SynthesizedTest> tests;
+
+    /** Funnel counters, in order. */
+    std::size_t cyclesEnumerated = 0;  ///< rotation-canonical cycles
+    std::size_t duplicateShapes = 0;   ///< lowered to an earlier key
+    std::size_t distinctShapes = 0;    ///< canonical classes seen
+    std::size_t filteredOut = 0;       ///< dropped by KeepFilter
+    std::size_t sampledOut = 0;        ///< dropped by the budget
+};
+
+/**
+ * Enumerate, lower, classify, deduplicate, and sample. Fully
+ * deterministic: the same options always produce the same tests in
+ * the same order (DFS over the edge alphabet by cycle length, then
+ * canonical-first-wins dedup, then seeded sampling).
+ */
+SynthResult synthesize(const SynthOptions &options);
+
+/**
+ * Canonical form of a litmus test up to thread permutation, address
+ * renaming, and per-address value renaming (the initial value of an
+ * address canonicalizes to 0, stored values to 1.. in first-store
+ * order). Two tests are the same shape iff their keys are equal;
+ * rfi014 (init x=5) keys equal to rfi000, safe003 keys equal to the
+ * synthesized 2+2W.
+ */
+std::string canonicalKey(const Test &test);
+
+/** Insert a FENCE between every pair of adjacent instructions in
+ *  every thread (load-constraint refs are remapped). Under TSO the
+ *  result is SC-equivalent: every relaxed outcome collapses. */
+Test fullyFenced(const Test &test);
+
+} // namespace rtlcheck::litmus::synth
+
+#endif // RTLCHECK_LITMUS_SYNTH_HH

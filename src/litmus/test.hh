@@ -30,11 +30,15 @@ struct Instr
     int address = 0;             ///< symbolic address index (0=x,1=y,...)
     std::uint32_t value = 0;     ///< store data (stores only)
     std::string reg;             ///< destination register name (loads)
+
+    bool operator==(const Instr &o) const = default;
 };
 
 struct Thread
 {
     std::vector<Instr> instrs;
+
+    bool operator==(const Thread &o) const = default;
 };
 
 /** Identifies one instruction within a test. */
@@ -52,6 +56,8 @@ struct LoadConstraint
 {
     InstrRef ref;
     std::uint32_t value = 0;
+
+    bool operator==(const LoadConstraint &o) const = default;
 };
 
 /** Constraint "address holds value at the end of the test". */
@@ -59,6 +65,8 @@ struct FinalMemConstraint
 {
     int address = 0;
     std::uint32_t value = 0;
+
+    bool operator==(const FinalMemConstraint &o) const = default;
 };
 
 class Test
@@ -89,6 +97,8 @@ class Test
 
     /** One-line rendering, for reports. */
     std::string summary() const;
+
+    bool operator==(const Test &o) const = default;
 };
 
 } // namespace rtlcheck::litmus

@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -537,8 +538,10 @@ runMutationCampaign(const uspec::Model &model,
     // observer logic is never a mutation target). The structure is
     // program-independent, so the first test's design stands in for
     // all of them; applyMutation re-checks every anchor per test.
-    std::vector<rtl::Mutation> mutations;
-    {
+    // An explicit mutation list (the kill loop re-targeting
+    // survivors) bypasses enumeration.
+    std::vector<rtl::Mutation> mutations = options.mutations;
+    if (mutations.empty()) {
         rtl::Design bare;
         buildBareSoc(bare, tests[0], run);
         mutations = rtl::enumerateMutations(bare, options.mutate);
@@ -574,6 +577,240 @@ runMutationCampaign(const uspec::Model &model,
 
     report.wallSeconds = secondsSince(t0);
     return report;
+}
+
+namespace {
+
+/**
+ * Cone-coverage proxy for a litmus test: which per-core instruction
+ * slots it occupies (each slot is a distinct ROM word and, for
+ * loads, a distinct regfile destination), which data-memory words it
+ * reads and writes, and how deep each word's write chain goes (the
+ * retire order of multi-writer words exercises arbitration logic).
+ * Tests whose elements all lie inside the already-covered set can
+ * only re-check cones the suite already drives.
+ */
+std::set<std::string>
+coverageElements(const litmus::Test &test)
+{
+    std::set<std::string> elems;
+    std::map<int, int> writeDepth;
+    for (std::size_t t = 0; t < test.threads.size(); ++t) {
+        const auto &instrs = test.threads[t].instrs;
+        for (std::size_t i = 0; i < instrs.size(); ++i) {
+            elems.insert("t" + std::to_string(t) + ".i" +
+                         std::to_string(i));
+            const litmus::Instr &in = instrs[i];
+            if (in.type == litmus::OpType::Store) {
+                elems.insert("w" + std::to_string(in.address));
+                ++writeDepth[in.address];
+            } else if (in.type == litmus::OpType::Load) {
+                elems.insert("r" + std::to_string(in.address));
+            } else if (in.type == litmus::OpType::Fence) {
+                // Fence presence, globally and per thread: the
+                // fence-drain cone is dead logic to any fence-free
+                // base suite, so a fenced candidate always carries
+                // fresh coverage.
+                elems.insert("f");
+                elems.insert("t" + std::to_string(t) + ".f");
+            }
+        }
+    }
+    for (const auto &[addr, depth] : writeDepth)
+        elems.insert("wd" + std::to_string(addr) + "x" +
+                     std::to_string(std::min(depth, 3)));
+    elems.insert("th" + std::to_string(test.threads.size()));
+    return elems;
+}
+
+/** Greedy max-new-coverage ordering of the candidates, seeded with
+ *  everything the base tests already cover. Deterministic: ties
+ *  break toward the earlier candidate. */
+std::vector<std::size_t>
+coverageOrder(const std::vector<litmus::Test> &baseTests,
+              const std::vector<litmus::synth::SynthesizedTest> &cands)
+{
+    std::set<std::string> covered;
+    for (const litmus::Test &t : baseTests)
+        covered.merge(coverageElements(t));
+
+    std::vector<std::set<std::string>> elems(cands.size());
+    for (std::size_t i = 0; i < cands.size(); ++i)
+        elems[i] = coverageElements(cands[i].test);
+
+    std::vector<std::size_t> order;
+    std::vector<bool> used(cands.size(), false);
+    for (std::size_t n = 0; n < cands.size(); ++n) {
+        std::size_t best = cands.size();
+        std::size_t bestNew = 0;
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+            if (used[i])
+                continue;
+            std::size_t fresh = 0;
+            for (const std::string &e : elems[i])
+                fresh += !covered.count(e);
+            if (best == cands.size() || fresh > bestNew) {
+                best = i;
+                bestNew = fresh;
+            }
+        }
+        used[best] = true;
+        order.push_back(best);
+        covered.merge(elems[best]);
+    }
+    return order;
+}
+
+} // namespace
+
+double
+KillLoopReport::finalScore() const
+{
+    // A loop kill of a baseline-equivalent mutant proves the
+    // equivalence verdict was an artifact of the base programs, so
+    // the mutant re-enters the live population it is scored over.
+    const std::size_t live = baseline.numKilled() +
+                             baseline.numSurvived() +
+                             equivalentsRevived;
+    if (!live)
+        return 1.0;
+    return static_cast<double>(baseline.numKilled() + loopKilled()) /
+           static_cast<double>(live);
+}
+
+std::string
+KillLoopReport::renderSummary() const
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(3);
+    out << "  baseline: " << baseline.mutants.size() << " mutants, "
+        << baseline.numKilled() << " killed, " << survivorsBefore
+        << " survived, " << baseline.numEquivalent()
+        << " equivalent (score " << baseline.mutationScore()
+        << ")\n";
+    out << "  candidates: " << candidatesSynthesized
+        << " synthesized, " << candidatesNovel
+        << " novel vs the base suite\n";
+    if (equivalentsRetargeted)
+        out << "  re-targeting " << equivalentsRetargeted
+            << " baseline-equivalent mutants alongside the "
+            << "survivors\n";
+    for (const KillLoopRound &r : rounds) {
+        out << "  round " << r.round << ": " << r.batchTests.size()
+            << " tests, " << r.newlyKilled.size() << " new kills, "
+            << r.survivorsAfter << " survivors left ("
+            << std::setprecision(2) << r.seconds << "s)\n"
+            << std::setprecision(3);
+        for (const std::string &site : r.newlyKilled)
+            out << "    killed " << site << "\n";
+    }
+    out << "  loop: " << loopKilled() << " mutants killed by "
+        << killerTests.size() << " synthesized tests ("
+        << equivalentsRevived << " had been proven equivalent on "
+        << "the base suite); score " << baseline.mutationScore()
+        << " -> " << finalScore() << "\n";
+    return out.str();
+}
+
+KillLoopReport
+runCoverageKillLoop(const uspec::Model &model,
+                    const std::vector<litmus::Test> &baseTests,
+                    const KillLoopOptions &options)
+{
+    RC_ASSERT(options.campaign.mutations.empty(),
+              "the kill loop owns campaign mutant re-targeting");
+    auto t0 = Clock::now();
+    KillLoopReport rep;
+    rep.baseline =
+        runMutationCampaign(model, baseTests, options.campaign);
+
+    std::vector<rtl::Mutation> survivors;
+    std::set<std::string> equivalentKeys;
+    for (const MutantReport &m : rep.baseline.mutants) {
+        if (m.fate == MutantFate::Survived) {
+            survivors.push_back(m.mutation);
+        } else if (m.fate == MutantFate::Equivalent &&
+                   options.retargetEquivalents) {
+            survivors.push_back(m.mutation);
+            equivalentKeys.insert(m.mutation.key());
+        }
+    }
+    rep.survivorsBefore = survivors.size() - equivalentKeys.size();
+    rep.equivalentsRetargeted = equivalentKeys.size();
+    if (survivors.empty()) {
+        rep.wallSeconds = secondsSince(t0);
+        return rep;
+    }
+
+    litmus::synth::SynthResult synth =
+        litmus::synth::synthesize(options.synth);
+    rep.candidatesSynthesized = synth.tests.size();
+    std::set<std::string> baseKeys;
+    for (const litmus::Test &t : baseTests)
+        baseKeys.insert(litmus::synth::canonicalKey(t));
+    std::vector<litmus::synth::SynthesizedTest> candidates;
+    for (auto &st : synth.tests)
+        if (!baseKeys.count(st.canonicalKey))
+            candidates.push_back(std::move(st));
+    rep.candidatesNovel = candidates.size();
+
+    const std::vector<std::size_t> order =
+        coverageOrder(baseTests, candidates);
+
+    std::set<std::string> killerNames;
+    std::size_t next = 0;
+    std::size_t stale = 0;
+    for (std::size_t round = 1;
+         round <= options.maxRounds && !survivors.empty() &&
+         stale < options.staleRounds && next < order.size();
+         ++round) {
+        auto tRound = Clock::now();
+        std::vector<litmus::Test> batch;
+        std::vector<const litmus::synth::SynthesizedTest *> batchSrc;
+        while (batch.size() < options.batchSize &&
+               next < order.size()) {
+            const auto &cand = candidates[order[next++]];
+            batch.push_back(cand.test);
+            batchSrc.push_back(&cand);
+        }
+
+        MutationCampaignOptions mini = options.campaign;
+        mini.mutations = survivors;
+        CampaignReport roundReport =
+            runMutationCampaign(model, batch, mini);
+
+        KillLoopRound r;
+        r.round = round;
+        for (const litmus::Test &t : batch)
+            r.batchTests.push_back(t.name);
+        std::vector<rtl::Mutation> stillLive;
+        for (MutantReport &m : roundReport.mutants) {
+            if (m.fate == MutantFate::Killed) {
+                r.newlyKilled.push_back(m.mutation.describe());
+                rep.equivalentsRevived +=
+                    equivalentKeys.count(m.mutation.key());
+                for (const KillCell &cell : m.kills)
+                    killerNames.insert(cell.testName);
+                rep.loopKills.push_back(std::move(m));
+            } else {
+                // Equivalent here only means "equivalent on this
+                // batch" — the mutant stays live for later rounds.
+                stillLive.push_back(m.mutation);
+            }
+        }
+        survivors = std::move(stillLive);
+        r.survivorsAfter = survivors.size();
+        r.seconds = secondsSince(tRound);
+        stale = r.newlyKilled.empty() ? stale + 1 : 0;
+        rep.rounds.push_back(std::move(r));
+    }
+
+    for (const auto &cand : candidates)
+        if (killerNames.count(cand.test.name))
+            rep.killerTests.push_back(cand.test);
+    rep.survivorsAfter = survivors.size();
+    rep.wallSeconds = secondsSince(t0);
+    return rep;
 }
 
 } // namespace rtlcheck::core

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "litmus/synth.hh"
 #include "litmus/test.hh"
 #include "rtl/mutate.hh"
 #include "rtlcheck/runner.hh"
@@ -67,6 +68,11 @@ struct MutationCampaignOptions
     bool replayWitnesses = true;
     /** Mutant-level parallel lanes (0 = ThreadPool::defaultJobs). */
     std::size_t jobs = 0;
+    /** Non-empty: verify exactly these mutations instead of
+     *  enumerating the catalog on the first test's SoC. The kill
+     *  loop re-targets the surviving mutants of an earlier campaign
+     *  this way; `mutate` is ignored then. */
+    std::vector<rtl::Mutation> mutations;
 };
 
 /** One cell of the kill matrix. */
@@ -160,6 +166,86 @@ struct CampaignReport
 CampaignReport runMutationCampaign(const uspec::Model &model,
                                    const std::vector<litmus::Test> &tests,
                                    const MutationCampaignOptions &options);
+
+/** Options for the coverage-directed synthesis kill loop. */
+struct KillLoopOptions
+{
+    /** Campaign configuration shared by the baseline pass and every
+     *  loop round (`campaign.mutations` must be empty; the loop owns
+     *  mutant re-targeting). */
+    MutationCampaignOptions campaign;
+    /** Candidate generator configuration. Candidates whose canonical
+     *  shape already appears in the base suite are discarded — the
+     *  loop only spends rounds on genuinely new programs. */
+    litmus::synth::SynthOptions synth;
+    /** Synthesized tests verified per round. */
+    std::size_t batchSize = 6;
+    std::size_t maxRounds = 8;
+    /** Stop after this many consecutive rounds with no new kill. */
+    std::size_t staleRounds = 2;
+    /** Also re-target mutants the baseline proved *equivalent*: that
+     *  proof only quantifies over the base programs, so a fault in a
+     *  cone every base program folds away (the fence-drain path on a
+     *  fence-free suite, say) is baseline-equivalent yet killable by
+     *  a synthesized batch that reaches the cone. */
+    bool retargetEquivalents = true;
+};
+
+struct KillLoopRound
+{
+    std::size_t round = 0; ///< 1-based
+    std::vector<std::string> batchTests;
+    /** Sites of formerly-surviving mutants this round killed. */
+    std::vector<std::string> newlyKilled;
+    std::size_t survivorsAfter = 0;
+    double seconds = 0.0;
+};
+
+struct KillLoopReport
+{
+    /** The kill matrix of the base suite, before any synthesis. */
+    CampaignReport baseline;
+    std::vector<KillLoopRound> rounds;
+    /** One report per formerly-surviving mutant the loop killed,
+     *  from the round that killed it (cells name synth tests). */
+    std::vector<MutantReport> loopKills;
+    /** Synthesized tests credited with at least one loop kill. */
+    std::vector<litmus::Test> killerTests;
+
+    std::size_t candidatesSynthesized = 0;
+    /** Candidates left after dropping base-suite-shaped ones. */
+    std::size_t candidatesNovel = 0;
+    std::size_t survivorsBefore = 0;
+    std::size_t survivorsAfter = 0;
+    /** Baseline-equivalent mutants the loop put back in play, and
+     *  how many of those a synthesized test killed — each one a
+     *  false "unkillable" verdict exposed by a bigger program. */
+    std::size_t equivalentsRetargeted = 0;
+    std::size_t equivalentsRevived = 0;
+    double wallSeconds = 0.0;
+
+    std::size_t loopKilled() const { return loopKills.size(); }
+    /** Re-scored mutation score: baseline kills plus loop kills over
+     *  the baseline's live mutants plus the revived equivalents. */
+    double finalScore() const;
+    /** Human-readable round-by-round account. */
+    std::string renderSummary() const;
+};
+
+/**
+ * Close the loop between synthesis and the kill matrix: run the
+ * baseline campaign on `baseTests`, then repeatedly synthesize
+ * batches of novel litmus tests — ordered so each batch maximizes
+ * coverage of instruction slots, addresses, and write depths the
+ * already-run tests leave untouched (a proxy for untouched netlist
+ * cones: slots pick ROM/regfile words, addresses pick data-memory
+ * words) — and re-verify only the surviving mutants against each
+ * batch, until the survivors are gone, the candidates run out, or
+ * `staleRounds` consecutive rounds kill nothing new.
+ */
+KillLoopReport runCoverageKillLoop(const uspec::Model &model,
+                                   const std::vector<litmus::Test> &baseTests,
+                                   const KillLoopOptions &options);
 
 } // namespace rtlcheck::core
 

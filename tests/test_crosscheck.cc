@@ -14,7 +14,9 @@
 
 #include <gtest/gtest.h>
 
+#include "fuzz_seed.hh"
 #include "litmus/suite.hh"
+#include "litmus/synth.hh"
 #include "litmus/tso_ref.hh"
 #include "rtl/vcd.hh"
 #include "rtlcheck/assertion_gen.hh"
@@ -443,6 +445,97 @@ TEST(OutcomeSweep, Iwp23b)
 TEST(OutcomeSweep, SbFences)
 {
     sweepOutcomes("sb+fences", {0, 1});
+}
+
+/**
+ * Synthesized programs get the same explicit-vs-BMC agreement gate
+ * as the hand-written suite: a seeded sample of fresh shapes (none
+ * matching a suite test up to renaming) runs through both engines,
+ * with the BMC bound taken from the deepest explicit witness. The
+ * only tolerated asymmetry is Proven weakening to Bounded; falsified
+ * verdicts, cover reachability, and witness depths agree exactly.
+ */
+TEST(BmcCrossCheck, SynthesizedSampleVerdictsAgree)
+{
+    litmus::synth::SynthOptions sopts;
+    sopts.maxEdges = 5;
+    sopts.budget = 5;
+    sopts.seed = testenv::fuzzSeed(9);
+    const litmus::synth::SynthResult synth =
+        litmus::synth::synthesize(sopts);
+    ASSERT_EQ(synth.tests.size(), 5u);
+    std::vector<litmus::Test> sample;
+    for (const litmus::synth::SynthesizedTest &st : synth.tests) {
+        if (st.classic.empty()) // keep only genuinely new shapes
+            sample.push_back(st.test);
+    }
+    ASSERT_GE(sample.size(), 2u) << "seed " << sopts.seed;
+
+    core::RunOptions opts;
+    core::SuiteRun expl = core::runSuite(
+        sample, uspec::multiVscaleModel(), opts, 0);
+
+    std::size_t depth = 6;
+    for (const core::TestRun &run : expl.runs) {
+        if (run.verify.coverWitness)
+            depth = std::max(depth,
+                             run.verify.coverWitness->inputs.size());
+        for (const formal::PropertyResult &p :
+             run.verify.properties)
+            if (p.counterexample)
+                depth = std::max(depth,
+                                 p.counterexample->inputs.size());
+    }
+
+    core::RunOptions bmc_opts = opts;
+    bmc_opts.config = bmcConfigFor(depth);
+    core::SuiteRun bmc = core::runSuite(
+        sample, uspec::multiVscaleModel(), bmc_opts, 0);
+
+    ASSERT_EQ(expl.runs.size(), bmc.runs.size());
+    for (std::size_t t = 0; t < expl.runs.size(); ++t) {
+        const formal::VerifyResult &ev = expl.runs[t].verify;
+        const formal::VerifyResult &bv = bmc.runs[t].verify;
+        const std::string &name = sample[t].name;
+        EXPECT_EQ(bv.engineUsed, "bmc") << name;
+
+        EXPECT_EQ(ev.coverReached, bv.coverReached) << name;
+        if (bv.coverUnreachable)
+            EXPECT_TRUE(ev.coverUnreachable) << name;
+        if (ev.coverReached && bv.coverReached) {
+            EXPECT_EQ(ev.coverWitness->inputs.size(),
+                      bv.coverWitness->inputs.size())
+                << name << " cover witness depth";
+            EXPECT_TRUE(core::witnessExhibitsOutcome(
+                sample[t], opts, *bv.coverWitness))
+                << name << " BMC cover witness must replay";
+        }
+
+        ASSERT_EQ(ev.properties.size(), bv.properties.size())
+            << name;
+        for (std::size_t i = 0; i < ev.properties.size(); ++i) {
+            const formal::PropertyResult &ep = ev.properties[i];
+            const formal::PropertyResult &bp = bv.properties[i];
+            EXPECT_EQ(ep.name, bp.name) << name;
+            const bool ef =
+                ep.status == formal::ProofStatus::Falsified;
+            const bool bf =
+                bp.status == formal::ProofStatus::Falsified;
+            EXPECT_EQ(ef, bf)
+                << name << " / " << ep.name << ": explicit="
+                << formal::proofStatusName(ep.status) << " bmc="
+                << formal::proofStatusName(bp.status);
+            if (ef && bf)
+                EXPECT_EQ(ep.counterexample->inputs.size(),
+                          bp.counterexample->inputs.size())
+                    << name << " / " << ep.name
+                    << " counterexample depth";
+            if (bp.status == formal::ProofStatus::Proven)
+                EXPECT_NE(ep.status,
+                          formal::ProofStatus::Falsified)
+                    << name << " / " << ep.name;
+        }
+    }
 }
 
 } // namespace

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for the litmus-test synthesizer: deterministic enumeration,
+ * canonical dedup, classic-shape recovery, the renderTest/parseTest
+ * round trip, and the differential reference-model properties (TSO
+ * outcomes contain SC; full fencing collapses TSO back to SC).
+ */
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fuzz_seed.hh"
+#include "litmus/parser.hh"
+#include "litmus/sc_ref.hh"
+#include "litmus/suite.hh"
+#include "litmus/synth.hh"
+#include "litmus/tso_ref.hh"
+
+using namespace rtlcheck;
+using namespace rtlcheck::litmus;
+using synth::SynthOptions;
+
+namespace {
+
+std::vector<ScOutcome>
+sorted(std::vector<ScOutcome> v)
+{
+    std::sort(v.begin(), v.end());
+    return v;
+}
+
+} // namespace
+
+TEST(Synth, DeterministicForFixedSeed)
+{
+    SynthOptions opts;
+    opts.maxEdges = 5;
+    opts.budget = 12;
+    opts.seed = testenv::fuzzSeed(41);
+    const auto a = synth::synthesize(opts);
+    const auto b = synth::synthesize(opts);
+    ASSERT_EQ(a.tests.size(), b.tests.size());
+    ASSERT_EQ(a.tests.size(), 12u);
+    for (std::size_t i = 0; i < a.tests.size(); ++i) {
+        EXPECT_EQ(a.tests[i].cycle, b.tests[i].cycle);
+        EXPECT_EQ(a.tests[i].test, b.tests[i].test);
+        EXPECT_EQ(a.tests[i].canonicalKey, b.tests[i].canonicalKey);
+    }
+    EXPECT_EQ(a.cyclesEnumerated, b.cyclesEnumerated);
+    EXPECT_EQ(a.sampledOut, b.sampledOut);
+}
+
+TEST(Synth, DifferentSeedsSampleDifferentBatches)
+{
+    SynthOptions opts;
+    opts.maxEdges = 6;
+    opts.budget = 8;
+    opts.seed = testenv::fuzzSeed(1);
+    const auto a = synth::synthesize(opts);
+    opts.seed = testenv::fuzzSeed(2);
+    const auto b = synth::synthesize(opts);
+    ASSERT_EQ(a.tests.size(), b.tests.size());
+    bool anyDiff = false;
+    for (std::size_t i = 0; i < a.tests.size(); ++i)
+        anyDiff |= a.tests[i].cycle != b.tests[i].cycle;
+    EXPECT_TRUE(anyDiff) << "seed " << opts.seed
+                         << " sampled the same batch as its neighbor";
+}
+
+TEST(Synth, ClassicShapesEmergeExactlyOnce)
+{
+    SynthOptions opts;
+    opts.maxEdges = 6;
+    const auto result = synth::synthesize(opts);
+    // Every emitted shape is SC-forbidden by construction (the cycle
+    // argument), and the executor confirms it: nothing is filtered.
+    EXPECT_EQ(result.filteredOut, 0u);
+    EXPECT_EQ(result.sampledOut, 0u);
+    EXPECT_EQ(result.tests.size(), result.distinctShapes);
+    EXPECT_GT(result.duplicateShapes, 0u);
+
+    std::map<std::string, int> classicCount;
+    for (const auto &st : result.tests)
+        if (!st.classic.empty())
+            ++classicCount[st.classic];
+    for (const char *name :
+         {"sb", "mp", "lb", "wrc", "iriw", "safe003"})
+        EXPECT_EQ(classicCount[name], 1)
+            << name << " should emerge exactly once at 6 edges";
+    // sb is the canonical TSO-relaxed shape; mp stays forbidden.
+    for (const auto &st : result.tests) {
+        if (st.classic == "sb")
+            EXPECT_TRUE(st.tsoObservable);
+        if (st.classic == "mp")
+            EXPECT_FALSE(st.tsoObservable);
+    }
+}
+
+TEST(Synth, CanonicalKeyInvariantUnderRenaming)
+{
+    // mp with threads swapped and addresses renamed (x<->y) is the
+    // same test; the canonical key must not see the difference.
+    const litmus::Test mp = parseTest("test mp\n"
+                              "thread St x 1 ; St y 1\n"
+                              "thread Ld r1 y ; Ld r2 x\n"
+                              "forbid 1:r1=1 1:r2=0\n");
+    const litmus::Test mpRenamed =
+        parseTest("test mp-renamed\n"
+                  "thread Ld r1 x ; Ld r2 y\n"
+                  "thread St y 1 ; St x 1\n"
+                  "forbid 0:r1=1 0:r2=0\n");
+    EXPECT_EQ(synth::canonicalKey(mp), synth::canonicalKey(mpRenamed));
+
+    // Value renaming: a store of 7 read as 7 is the same shape as a
+    // store of 1 read as 1.
+    const litmus::Test mp7 = parseTest("test mp7\n"
+                               "thread St x 7 ; St y 3\n"
+                               "thread Ld r1 y ; Ld r2 x\n"
+                               "forbid 1:r1=3 1:r2=0\n");
+    EXPECT_EQ(synth::canonicalKey(mp), synth::canonicalKey(mp7));
+
+    const litmus::Test sb = parseTest("test sb\n"
+                              "thread St x 1 ; Ld r1 y\n"
+                              "thread St y 1 ; Ld r2 x\n"
+                              "forbid 0:r1=0 1:r2=0\n");
+    EXPECT_NE(synth::canonicalKey(mp), synth::canonicalKey(sb));
+}
+
+TEST(Synth, EmittedBatchHasNoDuplicateKeys)
+{
+    SynthOptions opts;
+    opts.maxEdges = 6;
+    opts.withFences = true;
+    const auto result = synth::synthesize(opts);
+    std::set<std::string> keys;
+    for (const auto &st : result.tests)
+        EXPECT_TRUE(keys.insert(st.canonicalKey).second)
+            << "duplicate shape emitted: " << st.cycle;
+}
+
+TEST(SynthRoundTrip, SuiteTestsSurviveRenderParse)
+{
+    for (const auto &test : standardSuite()) {
+        const litmus::Test back = parseTest(renderTest(test));
+        EXPECT_EQ(back, test) << test.name;
+    }
+    for (const auto &test : fenceSuite()) {
+        const litmus::Test back = parseTest(renderTest(test));
+        EXPECT_EQ(back, test) << test.name;
+    }
+}
+
+TEST(SynthRoundTrip, SynthesizedTestsSurviveRenderParse)
+{
+    // Seeded fuzz loop: each iteration samples a fresh batch (with
+    // and without fences) and round-trips every sampled test.
+    const std::uint32_t base = testenv::fuzzSeed(1000);
+    for (std::uint32_t iter = 0; iter < 6; ++iter) {
+        SynthOptions opts;
+        opts.maxEdges = 6;
+        opts.withFences = iter % 2 == 1;
+        opts.budget = 10;
+        opts.seed = base + iter;
+        const auto result = synth::synthesize(opts);
+        ASSERT_EQ(result.tests.size(), 10u) << "seed " << opts.seed;
+        for (const auto &st : result.tests) {
+            const std::string text = renderTest(st.test);
+            const litmus::Test back = parseTest(text);
+            EXPECT_EQ(back, st.test)
+                << "seed " << opts.seed << " cycle " << st.cycle
+                << "\n" << text;
+        }
+    }
+}
+
+TEST(SynthDifferential, TsoOutcomesContainScOutcomes)
+{
+    // On every synthesized test the store-buffer machine can emulate
+    // the interleaving machine by draining eagerly, so its outcome
+    // set is a superset of SC's.
+    SynthOptions opts;
+    opts.maxEdges = 5;
+    opts.withFences = true;
+    opts.keep = synth::KeepFilter::All;
+    const auto result = synth::synthesize(opts);
+    ASSERT_GT(result.tests.size(), 50u);
+    for (const auto &st : result.tests) {
+        const auto sc = sorted(ScExecutor(st.test).allOutcomes());
+        const auto tso = sorted(TsoExecutor(st.test).allOutcomes());
+        EXPECT_TRUE(std::includes(tso.begin(), tso.end(), sc.begin(),
+                                  sc.end()))
+            << st.cycle << ": SC outcome missing under TSO";
+    }
+}
+
+TEST(SynthDifferential, FullyFencedCollapsesTsoToSc)
+{
+    // A fence after every instruction forces the store buffer to
+    // drain before the next move, so the TSO machine degenerates to
+    // exactly the SC outcome set — on the same fenced program, where
+    // the InstrRef keys line up.
+    SynthOptions opts;
+    opts.maxEdges = 5;
+    opts.budget = 25;
+    opts.seed = testenv::fuzzSeed(77);
+    const auto result = synth::synthesize(opts);
+    ASSERT_EQ(result.tests.size(), 25u);
+    std::size_t relaxed = 0;
+    for (const auto &st : result.tests) {
+        const litmus::Test fenced = synth::fullyFenced(st.test);
+        const auto sc = sorted(ScExecutor(fenced).allOutcomes());
+        const auto tso = sorted(TsoExecutor(fenced).allOutcomes());
+        EXPECT_EQ(sc, tso)
+            << st.cycle << ": fully-fenced TSO != SC outcome set";
+        // Fences are no-ops on the SC machine, so fencing never
+        // changes whether the outcome under test is SC-observable.
+        EXPECT_EQ(ScExecutor(fenced).outcomeObservable(),
+                  ScExecutor(st.test).outcomeObservable())
+            << st.cycle;
+        relaxed += st.tsoObservable;
+    }
+    // The sample is big enough to contain genuinely relaxed shapes,
+    // so the collapse above is not vacuous.
+    EXPECT_GT(relaxed, 0u);
+}
+
+TEST(SynthDifferential, FullyFencedForbidsTsoObservableShapes)
+{
+    // sb's outcome is TSO-observable; sb with fences is forbidden
+    // again. fullyFenced must reproduce that flip on the synthesized
+    // copy of the shape.
+    SynthOptions opts;
+    opts.maxEdges = 4;
+    const auto result = synth::synthesize(opts);
+    bool sawSb = false;
+    for (const auto &st : result.tests) {
+        if (st.classic != "sb")
+            continue;
+        sawSb = true;
+        EXPECT_TRUE(st.tsoObservable);
+        EXPECT_FALSE(
+            TsoExecutor(synth::fullyFenced(st.test)).outcomeObservable());
+    }
+    EXPECT_TRUE(sawSb);
+}

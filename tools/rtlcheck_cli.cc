@@ -164,6 +164,19 @@ struct CliOptions
     std::string mutateJson;
     bool mutate = false;
     bool mutateFullMatrix = false;
+    bool synth = false;
+    bool synthRun = false;
+    bool synthKillLoop = false;
+    bool synthFences = false;
+    std::size_t synthThreads = 4;
+    std::size_t synthInsns = 4;
+    std::size_t synthAddrs = 4;
+    std::size_t synthEdges = 6;
+    std::size_t synthBudget = 0;
+    std::uint32_t synthSeed = 1;
+    std::size_t synthBatch = 6;
+    std::size_t synthRounds = 8;
+    std::string synthKeep = "sc-forbidden";
     bool satIncremental = true;
     bool earlyFalsify = true;
     bool naive = false;
@@ -200,6 +213,12 @@ usage()
         "         --mutate  --mutate-ops <op,...>  --mutate-budget N\n"
         "         --mutate-seed N  --mutate-tests N\n"
         "         --mutate-full-matrix  --mutate-json <path>\n"
+        "         --synth  --synth-threads N  --synth-insns N\n"
+        "         --synth-addrs N  --synth-edges N  --synth-budget N\n"
+        "         --synth-seed N  --synth-fences  --synth-run\n"
+        "         --synth-keep all|sc-forbidden|tso-relaxed|"
+        "tso-forbidden\n"
+        "         --synth-kill-loop  --synth-batch N  --synth-rounds N\n"
         "         --json  --store <dir>  --store-verify\n"
         "         --serve  --client  --socket <path>  --ping\n"
         "         --shutdown\n"
@@ -539,6 +558,118 @@ runMutate(const CliOptions &opts)
     return 0;
 }
 
+litmus::synth::SynthOptions
+synthOptionsFor(const CliOptions &opts)
+{
+    litmus::synth::SynthOptions so;
+    so.maxThreads = static_cast<int>(opts.synthThreads);
+    so.maxInstrsPerThread = static_cast<int>(opts.synthInsns);
+    so.maxAddresses = static_cast<int>(opts.synthAddrs);
+    so.maxEdges = static_cast<int>(opts.synthEdges);
+    so.withFences = opts.synthFences;
+    so.budget = opts.synthBudget;
+    so.seed = opts.synthSeed;
+    // Validated at parse time; default to the suite invariant.
+    if (opts.synthKeep == "all")
+        so.keep = litmus::synth::KeepFilter::All;
+    else if (opts.synthKeep == "tso-relaxed")
+        so.keep = litmus::synth::KeepFilter::TsoRelaxed;
+    else if (opts.synthKeep == "tso-forbidden")
+        so.keep = litmus::synth::KeepFilter::TsoForbidden;
+    else
+        so.keep = litmus::synth::KeepFilter::ScForbidden;
+    return so;
+}
+
+/** The --synth mode: cycle-based litmus generation; with
+ *  --synth-run the tests also verify on the SoC, and with
+ *  --synth-kill-loop they re-target the campaign's survivors. */
+int
+runSynth(const CliOptions &opts)
+{
+    litmus::synth::SynthOptions so = synthOptionsFor(opts);
+
+    if (opts.synthKillLoop) {
+        core::KillLoopOptions ko;
+        ko.campaign.run = runOptionsFor(opts);
+        if (!opts.engineSet) {
+            ko.campaign.run.config.backend =
+                formal::Backend::Portfolio;
+            ko.campaign.run.config.earlyFalsify = true;
+        }
+        formal::GraphCache cache;
+        if (opts.cacheMb)
+            cache.setBudget(opts.cacheMb << 20);
+        ko.campaign.run.graphCache = &cache;
+        ko.campaign.mutate.ops = opts.mutateOps;
+        ko.campaign.mutate.budget = opts.mutateBudget;
+        ko.campaign.mutate.seed = opts.mutateSeed;
+        ko.campaign.satIncremental = opts.satIncremental;
+        ko.campaign.jobs = opts.jobs;
+        ko.synth = so;
+        ko.batchSize = opts.synthBatch;
+        ko.maxRounds = opts.synthRounds;
+
+        std::vector<litmus::Test> tests = litmus::standardSuite();
+        if (opts.mutateTests && opts.mutateTests < tests.size())
+            tests.resize(opts.mutateTests);
+
+        core::KillLoopReport rep = core::runCoverageKillLoop(
+            modelFor(opts), tests, ko);
+        std::printf("coverage-directed kill loop: design %s, %zu "
+                    "base tests\n\n%s",
+                    opts.design.c_str(), tests.size(),
+                    rep.renderSummary().c_str());
+        return 0;
+    }
+
+    litmus::synth::SynthResult result = litmus::synth::synthesize(so);
+    std::printf("litmus synthesis: %zu cycles -> %zu shapes "
+                "(%zu duplicate lowerings) | filtered %zu, "
+                "sampled out %zu, emitted %zu\n\n",
+                result.cyclesEnumerated, result.distinctShapes,
+                result.duplicateShapes, result.filteredOut,
+                result.sampledOut, result.tests.size());
+    for (const litmus::synth::SynthesizedTest &st : result.tests) {
+        std::printf("  %-36s sc:%s tso:%s %-9s %s\n",
+                    st.cycle.c_str(),
+                    st.scObservable ? "obs" : "FORBID",
+                    st.tsoObservable ? "obs" : "FORBID",
+                    st.classic.empty() ? "-" : st.classic.c_str(),
+                    st.test.summary().c_str());
+    }
+
+    if (!opts.synthRun)
+        return 0;
+
+    // End-to-end plumbing: verify every synthesized test on the SoC
+    // exactly like a suite test. On the fixed design each
+    // SC-forbidden outcome must be unreachable and every assertion
+    // must hold.
+    core::RunOptions run = runOptionsFor(opts);
+    formal::GraphCache cache;
+    if (opts.cacheMb)
+        cache.setBudget(opts.cacheMb << 20);
+    run.graphCache = &cache;
+    std::vector<litmus::Test> tests;
+    for (const auto &st : result.tests)
+        tests.push_back(st.test);
+    core::SuiteRun suite =
+        core::runSuite(tests, modelFor(opts), run, opts.jobs);
+    int failures = 0;
+    std::printf("\n");
+    for (const core::TestRun &r : suite.runs) {
+        failures += !r.verified();
+        std::printf("  %-36s %s  (%d props, %.3fs)\n",
+                    r.testName.c_str(),
+                    r.verified() ? "verified" : "FAILED",
+                    r.numProperties, r.totalSeconds);
+    }
+    std::printf("\n  %zu tests, %d failures, wall %.3fs\n",
+                suite.runs.size(), failures, suite.wallSeconds);
+    return failures ? 1 : 0;
+}
+
 /** The --store-verify mode: audit the artifact store and report. */
 int
 runStoreVerify(const CliOptions &opts)
@@ -746,6 +877,40 @@ main(int argc, char **argv)
             opts.mutateFullMatrix = true;
         } else if (arg == "--mutate-json") {
             opts.mutateJson = next();
+        } else if (arg == "--synth") {
+            opts.synth = true;
+        } else if (arg == "--synth-run") {
+            opts.synthRun = true;
+        } else if (arg == "--synth-kill-loop") {
+            opts.synthKillLoop = true;
+        } else if (arg == "--synth-fences") {
+            opts.synthFences = true;
+        } else if (arg == "--synth-threads") {
+            opts.synthThreads = parseCount(arg, next());
+        } else if (arg == "--synth-insns") {
+            opts.synthInsns = parseCount(arg, next());
+        } else if (arg == "--synth-addrs") {
+            opts.synthAddrs = parseCount(arg, next());
+        } else if (arg == "--synth-edges") {
+            opts.synthEdges = parseCount(arg, next());
+        } else if (arg == "--synth-budget") {
+            opts.synthBudget = parseCount(arg, next());
+        } else if (arg == "--synth-seed") {
+            opts.synthSeed =
+                static_cast<std::uint32_t>(parseCount(arg, next()));
+        } else if (arg == "--synth-batch") {
+            opts.synthBatch = parseCount(arg, next());
+        } else if (arg == "--synth-rounds") {
+            opts.synthRounds = parseCount(arg, next());
+        } else if (arg == "--synth-keep") {
+            opts.synthKeep = next();
+            if (opts.synthKeep != "all" &&
+                opts.synthKeep != "sc-forbidden" &&
+                opts.synthKeep != "tso-relaxed" &&
+                opts.synthKeep != "tso-forbidden")
+                badValue(arg, opts.synthKeep,
+                         "all, sc-forbidden, tso-relaxed, or "
+                         "tso-forbidden");
         } else if (arg == "--bmc-depth") {
             opts.bmcDepth = parseCount(arg, next());
         } else if (arg == "--induction-depth") {
@@ -831,6 +996,9 @@ main(int argc, char **argv)
 
     if (opts.mutate)
         return runMutate(opts);
+
+    if (opts.synth || opts.synthRun || opts.synthKillLoop)
+        return runSynth(opts);
 
     if (opts.all)
         return runAll(opts);
